@@ -1,0 +1,59 @@
+// Ablation: beacon timing (supports the paper's §II-D assumption).
+//
+// "The RSU broadcasts beacons in preset intervals, such as once per second,
+// ensuring that each passing vehicle will be able to receive a beacon."
+// The discrete-event model (sim/event_sim.hpp) tests where that holds:
+// sweep the beacon interval against realistic dwell times and report
+// simulated vs closed-form coverage and the resulting volume undercount.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "sim/event_sim.hpp"
+
+int main() {
+  using namespace ptm;
+
+  const std::size_t runs = bench_runs(10);
+  const std::uint64_t seed = bench_seed();
+  bench::print_banner("Ablation - beacon interval vs coverage",
+                      "validates the paper's §II-D beaconing assumption",
+                      runs, seed);
+
+  for (double mean_dwell : {4.0, 8.0, 20.0}) {
+    TableWriter table({"beacon interval (s)", "sim coverage",
+                       "analytic coverage", "undercount %",
+                       "mean s to encode"});
+    for (double interval : {0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0}) {
+      EventSimConfig config;
+      config.beacon_interval = interval;
+      config.mean_dwell = mean_dwell;
+      RunningStats coverage, latency;
+      for (std::size_t run = 0; run < runs; ++run) {
+        Xoshiro256 rng(seed + run * 101 +
+                       static_cast<std::uint64_t>(interval * 1000) +
+                       static_cast<std::uint64_t>(mean_dwell));
+        const EventSimResult result = run_event_sim(config, rng);
+        coverage.add(result.coverage);
+        latency.add(result.mean_time_to_encode);
+      }
+      table.add_row({TableWriter::fmt(interval, 2),
+                     TableWriter::fmt(coverage.mean(), 4),
+                     TableWriter::fmt(analytic_coverage(config), 4),
+                     TableWriter::fmt(100.0 * (1.0 - coverage.mean()), 1),
+                     TableWriter::fmt(latency.mean(), 2)});
+    }
+    std::cout << "--- mean dwell = " << mean_dwell << " s ---\n";
+    bench::emit(table, "ablation_beacon_dwell" +
+                           std::to_string(static_cast<int>(mean_dwell)));
+    std::cout << "\n";
+  }
+
+  std::cout << "reading: at 1 Hz beaconing (the paper's example) coverage\n"
+            << "is ~90-99% for any plausible dwell; the assumption starts\n"
+            << "failing once the interval approaches the dwell time, and\n"
+            << "the undercount column is exactly the bias a deployment\n"
+            << "would see in its volume estimates.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation: channel loss (DESIGN.md §5 substitution check).
+//
+// The paper assumes every passing vehicle is encoded (DSRC beacons are
+// frequent enough).  Our substituted channel has a loss knob; this bench
+// shows how estimation degrades as the 4-leg contact success probability
+// falls - the estimators then measure the *encoded* population, which
+// undercounts the true one by exactly the contact failure rate.
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "nodes/deployment.hpp"
+
+int main() {
+  using namespace ptm;
+
+  const std::size_t runs = bench_runs(5);
+  const std::uint64_t seed = bench_seed();
+  bench::print_banner("Ablation - channel loss vs estimation",
+                      "DESIGN.md §5 (DSRC substitution sanity)", runs, seed);
+
+  constexpr int kVehicles = 1500;
+  TableWriter table({"loss prob", "contact success", "expected success",
+                     "point volume rel err vs all",
+                     "point volume rel err vs encoded"});
+
+  for (double loss : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    RunningStats success_rate, err_vs_all, err_vs_encoded;
+    for (std::size_t run = 0; run < runs; ++run) {
+      Deployment::Config config;
+      config.ca_key_bits = 512;
+      config.rsu_key_bits = 512;
+      config.channel.loss_probability = loss;
+      Deployment dep(config, seed + run * 31 +
+                                 static_cast<std::uint64_t>(loss * 1000));
+      Rsu& rsu = dep.add_rsu(1, 4096);
+      int encoded = 0;
+      for (int i = 0; i < kVehicles; ++i) {
+        Vehicle v = dep.make_vehicle(static_cast<std::uint64_t>(i));
+        if (dep.run_contact(v, rsu) == ContactOutcome::kEncoded) ++encoded;
+      }
+      if (!dep.upload_period(rsu).is_ok()) continue;  // upload lost: retry-less
+      const auto est = dep.server().query_point_volume(1, 0);
+      if (!est) continue;
+      success_rate.add(static_cast<double>(encoded) / kVehicles);
+      err_vs_all.add(relative_error(est->value, kVehicles));
+      err_vs_encoded.add(relative_error(est->value, encoded));
+    }
+    const double expected = std::pow(1.0 - loss, 4);  // 4 protocol legs
+    table.add_row({TableWriter::fmt(loss, 2),
+                   TableWriter::fmt(success_rate.mean(), 4),
+                   TableWriter::fmt(expected, 4),
+                   TableWriter::fmt(err_vs_all.mean(), 4),
+                   TableWriter::fmt(err_vs_encoded.mean(), 4)});
+  }
+
+  bench::emit(table, "ablation_channel_loss");
+  std::cout << "\nshape checks: contact success tracks (1-loss)^4; the\n"
+            << "estimator stays accurate for the ENCODED population at any\n"
+            << "loss (rightmost column small), so undercount vs the true\n"
+            << "population is purely the protocol failure rate - matching\n"
+            << "the paper's assumption that frequent beacons make loss\n"
+            << "negligible.\n";
+  return 0;
+}

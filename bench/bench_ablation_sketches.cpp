@@ -1,0 +1,92 @@
+// Ablation: why bitmaps and not register sketches?
+//
+// The paper's records are plain bitmaps (linear counting [20]-[22]).  PCSA
+// and HyperLogLog estimate point volume too - often in less memory - so
+// why not use them?  Two reasons this bench makes concrete:
+//   1. at Eq. 2's planned load (m = f·n bits), linear counting is MORE
+//      accurate than both sketches at comparable or larger memory;
+//   2. the persistent estimators need per-bit AND/OR joins with the
+//      common-vehicle alignment property (§III-A) - register sketches
+//      support union (merge) but have no analogue of the AND-join that
+//      isolates common vehicles.  (Unavoidably qualitative; the accuracy
+//      half is the table below.)
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "core/linear_counting.hpp"
+#include "core/traffic_record.hpp"
+#include "sketch/hyperloglog.hpp"
+#include "sketch/pcsa.hpp"
+#include "sketch/virtual_bitmap.hpp"
+
+int main() {
+  using namespace ptm;
+
+  const std::size_t runs = bench_runs(30);
+  const std::uint64_t seed = bench_seed();
+  bench::print_banner("Ablation - linear counting vs register sketches",
+                      "supports the paper's choice of bitmap records (§II-D)",
+                      runs, seed);
+
+  TableWriter table({"n (vehicles)", "method", "memory bits",
+                     "mean rel err", "stderr"});
+
+  for (std::uint64_t n : {5'000ULL, 50'000ULL, 451'000ULL}) {
+    const std::size_t m = plan_bitmap_size(static_cast<double>(n), 2.0);
+
+    RunningStats lc_err, pcsa_err, hll_err, hll_big_err, vb_err;
+    for (std::size_t run = 0; run < runs; ++run) {
+      Xoshiro256 rng(seed + n * 7 + run * 13);
+
+      // Linear counting at the Eq. 2 planned size.
+      Bitmap record(m);
+      // PCSA with 1024 buckets (64 Kibit), HLL at p=12 (32 Kibit) and
+      // p=16 (512 Kibit), and a 64-Kibit virtual bitmap sampling at 1/8 -
+      // the usual operating points.
+      PcsaSketch pcsa(1024, HashFamily::kMurmur3, rng.next());
+      HyperLogLog hll(12, HashFamily::kMurmur3, rng.next());
+      HyperLogLog hll_big(16, HashFamily::kMurmur3, rng.next());
+      VirtualBitmap vb(1 << 16, 0.125, HashFamily::kMurmur3, rng.next());
+
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint64_t vehicle = rng.next();
+        record.set(static_cast<std::size_t>(vehicle % m));
+        pcsa.add(vehicle);
+        hll.add(vehicle);
+        hll_big.add(vehicle);
+        vb.add(vehicle);
+      }
+      const double nd = static_cast<double>(n);
+      lc_err.add(relative_error(estimate_cardinality(record).value, nd));
+      pcsa_err.add(relative_error(pcsa.estimate(), nd));
+      hll_err.add(relative_error(hll.estimate(), nd));
+      hll_big_err.add(relative_error(hll_big.estimate(), nd));
+      vb_err.add(relative_error(vb.estimate().value, nd));
+    }
+
+    auto add = [&](const char* method, std::size_t bits,
+                   const RunningStats& err) {
+      table.add_row({TableWriter::fmt(std::uint64_t{n}), method,
+                     TableWriter::fmt(std::uint64_t{bits}),
+                     TableWriter::fmt(err.mean(), 4),
+                     TableWriter::fmt(err.stderr_mean(), 4)});
+    };
+    add("linear counting (Eq. 2)", m, lc_err);
+    add("PCSA-1024", PcsaSketch(1024).size_bits(), pcsa_err);
+    add("HLL p=12", HyperLogLog(12).size_bits(), hll_err);
+    add("HLL p=16", HyperLogLog(16).size_bits(), hll_big_err);
+    add("virtual bitmap p=1/8", 1 << 16, vb_err);
+  }
+
+  bench::emit(table, "ablation_sketches");
+  std::cout
+      << "\nreading: at the paper's f = 2 sizing, linear counting's error\n"
+      << "is a fraction of a percent - below both sketches - and, unlike\n"
+      << "registers, the bitmap supports the §III-A AND-join on which both\n"
+      << "persistent estimators are built.  Sketches win only when memory\n"
+      << "must be far below f·n bits, a regime Eq. 2 never plans.\n";
+  return 0;
+}

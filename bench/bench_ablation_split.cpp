@@ -1,0 +1,128 @@
+// Ablation: the two-subset split (DESIGN.md §6).
+//
+// The point persistent estimator's one non-obvious move is splitting Π into
+// Π_a/Π_b and modeling E_* as the AND of two abstract independent sets
+// (Eqs. 3-12) instead of linear-counting E_* directly.  This bench
+// quantifies that choice across persistent-traffic fractions and period
+// counts, and also ablates the p2p estimator's exact-log variant.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/point_persistent.hpp"
+#include "core/privacy.hpp"
+#include "sim/experiment.hpp"
+#include "traffic/workload.hpp"
+
+int main() {
+  using namespace ptm;
+
+  const std::size_t runs = bench_runs(30);
+  const std::uint64_t seed = bench_seed();
+  bench::print_banner("Ablation - two-subset split & estimator variants",
+                      "DESIGN.md §6 (supports paper §III-B, §IV-B)", runs,
+                      seed);
+
+  // Part 1: proposed (split) vs naive (no split) across t, at a fixed small
+  // persistent fraction where the difference is starkest.
+  {
+    TableWriter table({"t", "proposed rel err", "naive rel err",
+                       "naive/proposed"});
+    const EncodingParams encoding;
+    for (std::size_t t : {2u, 3u, 5u, 7u, 10u, 15u}) {
+      RunningStats err_proposed, err_naive;
+      Xoshiro256 rng(seed + t);
+      for (std::size_t run = 0; run < runs; ++run) {
+        constexpr std::size_t kNStar = 200;
+        const std::vector<std::uint64_t> volumes(t, 8000);
+        const auto common = make_vehicles(kNStar, encoding.s, rng);
+        const auto records = generate_point_records(volumes, common, 0xA,
+                                                    2.0, encoding, rng);
+        const auto proposed = estimate_point_persistent(records);
+        const auto naive = estimate_point_persistent_naive(records);
+        err_proposed.add(relative_error(proposed->n_star, kNStar));
+        err_naive.add(relative_error(naive->value, kNStar));
+      }
+      table.add_row({TableWriter::fmt(std::uint64_t{t}),
+                     TableWriter::fmt(err_proposed.mean(), 4),
+                     TableWriter::fmt(err_naive.mean(), 4),
+                     TableWriter::fmt(err_naive.mean() /
+                                          std::max(err_proposed.mean(), 1e-9),
+                                      1)});
+    }
+    std::cout << "--- split (Eq. 12) vs naive linear counting, n* = 200, "
+                 "volume = 8000 ---\n";
+    bench::emit(table, "ablation_split_vs_naive");
+    std::cout << "\n";
+  }
+
+  // Part 2: Eq. 21's ln(1+x) ~ x approximation vs the exact log - the
+  // difference should be negligible at realistic m' (DESIGN.md §6).
+  {
+    TableWriter table({"m'", "approx estimate", "exact estimate",
+                       "relative gap"});
+    const EncodingParams encoding;
+    for (std::uint64_t volume : {500ULL, 4000ULL, 32000ULL}) {
+      Xoshiro256 rng(seed ^ volume);
+      const auto n_pp = static_cast<std::size_t>(volume / 10);
+      const auto common = make_vehicles(n_pp, encoding.s, rng);
+      const std::vector<std::uint64_t> volumes(5, volume);
+      const auto records = generate_p2p_records(volumes, volumes, common,
+                                                0xA, 0xB, 2.0, encoding, rng);
+      PointToPointOptions approx, exact;
+      approx.s = exact.s = encoding.s;
+      exact.exact_log = true;
+      const auto est_a =
+          estimate_p2p_persistent(records.at_l, records.at_l_prime, approx);
+      const auto est_e =
+          estimate_p2p_persistent(records.at_l, records.at_l_prime, exact);
+      table.add_row(
+          {TableWriter::fmt(std::uint64_t{est_a->m_prime}),
+           TableWriter::fmt(est_a->n_double_prime, 1),
+           TableWriter::fmt(est_e->n_double_prime, 1),
+           TableWriter::fmt(std::abs(est_a->n_double_prime -
+                                     est_e->n_double_prime) /
+                                std::max(est_e->n_double_prime, 1e-9),
+                            6)});
+    }
+    std::cout << "--- Eq. 21 approximation vs exact log (p2p) ---\n";
+    bench::emit(table, "ablation_exact_log");
+    std::cout << "\n";
+  }
+
+  // Part 3: sensitivity of p2p accuracy to s (the privacy knob's accuracy
+  // cost, complementing Table II's privacy gain).
+  {
+    TableWriter table({"s", "p2p rel err", "privacy ratio (f=2)"});
+    for (std::size_t s : {1u, 2u, 3u, 4u, 5u, 8u}) {
+      EncodingParams encoding;
+      encoding.s = s;
+      RunningStats err;
+      Xoshiro256 rng(seed + 1000 + s);
+      for (std::size_t run = 0; run < runs; ++run) {
+        constexpr std::size_t kNpp = 400;
+        const std::vector<std::uint64_t> volumes(5, 6000);
+        const auto common = make_vehicles(kNpp, s, rng);
+        const auto records = generate_p2p_records(
+            volumes, volumes, common, 0xA, 0xB, 2.0, encoding, rng);
+        PointToPointOptions options;
+        options.s = s;
+        const auto est = estimate_p2p_persistent(records.at_l,
+                                                 records.at_l_prime, options);
+        err.add(relative_error(est->n_double_prime, kNpp));
+      }
+      table.add_row({TableWriter::fmt(std::uint64_t{s}),
+                     TableWriter::fmt(err.mean(), 4),
+                     TableWriter::fmt(table2_ratio(s, 2.0), 4)});
+    }
+    std::cout << "--- s sweep: accuracy cost vs privacy gain ---\n";
+    bench::emit(table, "ablation_s_sweep");
+  }
+
+  std::cout << "\nshape checks: the split wins at every t (most at small t);\n"
+            << "the exact-log gap is ~1e-4 or below; raising s buys privacy\n"
+            << "ratio linearly while p2p error grows.\n";
+  return 0;
+}

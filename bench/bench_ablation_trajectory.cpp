@@ -1,0 +1,56 @@
+// Ablation: trajectory-reconstruction attack vs the privacy knobs.
+//
+// Extends §V's two-location analysis to whole routes: the adversary who
+// linked a vehicle to a bit index at one intersection scans every other
+// intersection's record and calls the hits a route.  The table shows how
+// (s, f) control what that attack recovers - the empirical, route-level
+// counterpart of Table II.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/privacy.hpp"
+#include "sim/trajectory_attack.hpp"
+
+int main() {
+  using namespace ptm;
+
+  const std::size_t targets = bench_runs(60);
+  const std::uint64_t seed = bench_seed();
+  bench::print_banner("Ablation - trajectory reconstruction attack",
+                      "route-level empirical counterpart of Table II (§V)",
+                      targets, seed);
+
+  TableWriter table({"s", "f", "TPR (route hit)", "FPR (false hit)",
+                     "precision", "analytic ratio"});
+  for (std::size_t s : {1u, 2u, 3u, 5u}) {
+    for (double f : {1.0, 2.0, 4.0}) {
+      TrajectoryAttackConfig config;
+      config.encoding.s = s;
+      config.load_factor = f;
+      config.targets_per_world = targets;
+      config.seed = seed;
+      const TrajectoryAttackResult result = run_trajectory_attack(config);
+      table.add_row({TableWriter::fmt(std::uint64_t{s}),
+                     TableWriter::fmt(f, 1),
+                     TableWriter::fmt(result.tpr, 4),
+                     TableWriter::fmt(result.fpr, 4),
+                     TableWriter::fmt(result.precision, 4),
+                     TableWriter::fmt(table2_ratio(s, f), 4)});
+    }
+  }
+  bench::emit(table, "ablation_trajectory_attack");
+
+  TrajectoryAttackConfig base;
+  const TrajectoryAttackResult base_result = run_trajectory_attack(base);
+  std::cout << "\ncontext: mean route length "
+            << TableWriter::fmt(base_result.mean_route_length, 1)
+            << " of 24 zones; the attacker flags "
+            << TableWriter::fmt(base_result.mean_flagged, 1)
+            << " zones per target at s = 3, f = 2.\n"
+            << "reading: at s = 1 + large f the attack has high precision -\n"
+            << "exactly the regime Table II scores worst; at the paper's\n"
+            << "s = 3, f = 2 the flagged set is dominated by false hits\n"
+            << "(precision near the route base rate), so a reconstructed\n"
+            << "'route' is mostly noise - the §V claim, route-scale.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Extension: corridor persistent traffic (k locations).
+//
+// The paper stops at two locations; core/corridor_persistent.hpp derives
+// the k-location estimator (its B factor reduces exactly to Eq. 19 at
+// k = 2).  This bench characterizes the extension: accuracy vs corridor
+// length and vs planted volume, and the growth of the per-vehicle signal
+// ln B with k - more locations actually make the estimate EASIER, because
+// each corridor vehicle contributes evidence at every location.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "core/corridor_persistent.hpp"
+#include "traffic/workload.hpp"
+
+int main() {
+  using namespace ptm;
+
+  const std::size_t runs = bench_runs(30);
+  const std::uint64_t seed = bench_seed();
+  bench::print_banner("Extension - corridor persistent traffic",
+                      "k-location generalization of Eq. 21 (DESIGN.md)",
+                      runs, seed);
+
+  const EncodingParams encoding;
+
+  TableWriter table({"k (locations)", "n'' planted", "mean rel err",
+                     "stderr", "ln B (signal/vehicle)"});
+  for (std::size_t k : {2u, 3u, 4u, 5u, 6u}) {
+    for (std::size_t planted : {100u, 1000u}) {
+      RunningStats err;
+      double log_b = 0.0;
+      for (std::size_t run = 0; run < runs; ++run) {
+        Xoshiro256 rng(seed + 100 * k + planted + run * 977);
+        const auto common = make_vehicles(planted, encoding.s, rng);
+        std::vector<std::uint64_t> ids;
+        std::vector<std::vector<std::uint64_t>> volumes;
+        for (std::size_t j = 0; j < k; ++j) {
+          ids.push_back(0x2000 + j);
+          volumes.emplace_back(5, 6000);
+        }
+        const auto records = generate_corridor_records(
+            ids, volumes, common, 2.0, encoding, rng);
+        const auto est = estimate_corridor_persistent(records, encoding.s);
+        if (!est) continue;
+        err.add(relative_error(est->n_corridor,
+                               static_cast<double>(planted)));
+        log_b = est->log_b;
+      }
+      table.add_row({TableWriter::fmt(std::uint64_t{k}),
+                     TableWriter::fmt(std::uint64_t{planted}),
+                     TableWriter::fmt(err.mean(), 4),
+                     TableWriter::fmt(err.stderr_mean(), 4),
+                     TableWriter::fmt(log_b, 8)});
+    }
+  }
+  bench::emit(table, "ext_corridor");
+
+  std::cout << "\nreading: ln B grows with k (every location adds per-\n"
+            << "vehicle evidence), so longer corridors estimate BETTER at\n"
+            << "fixed volume - the opposite of what chaining pairwise\n"
+            << "estimates would suffer.  At k = 2 the estimator is exactly\n"
+            << "the paper's Eq. 21 (tested to 1e-12 in the ln B factor).\n";
+  return 0;
+}

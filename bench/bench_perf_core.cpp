@@ -1,0 +1,184 @@
+// Performance microbenchmarks (google-benchmark) for the hot paths: vehicle
+// encoding, bitmap joins/expansion, and the three estimators.  These are
+// ours (the paper reports no throughput numbers) and exist to keep the
+// library honest about the "RSU handles a beacon's worth of vehicles per
+// second" and "server answers a query interactively" stories.
+#include <benchmark/benchmark.h>
+
+#include "common/random.hpp"
+#include "core/encoding.hpp"
+#include "core/bootstrap.hpp"
+#include "core/expansion.hpp"
+#include "core/linear_counting.hpp"
+#include "core/sliding_join.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/point_persistent.hpp"
+#include "hash/hash_suite.hpp"
+#include "nodes/deployment.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace ptm;
+
+void BM_Hash64(benchmark::State& state) {
+  const auto family = static_cast<HashFamily>(state.range(0));
+  std::uint64_t v = 0x9E3779B97F4A7C15ULL;
+  for (auto _ : state) {
+    v = hash64(family, v, 42);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Hash64)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_VehicleEncode(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  const VehicleEncoder encoder(EncodingParams{});
+  const auto vehicles = make_vehicles(1024, 3, rng);
+  Bitmap record(1 << 16);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    encoder.encode(vehicles[i++ & 1023], 0xA, record);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VehicleEncode);
+
+void BM_BitmapAnd(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(2);
+  Bitmap a(bits), b(bits);
+  for (std::size_t i = 0; i < bits / 2; ++i) {
+    a.set(rng.below(bits));
+    b.set(rng.below(bits));
+  }
+  for (auto _ : state) {
+    Bitmap copy = a;
+    benchmark::DoNotOptimize(copy.and_with(b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bits / 8));
+}
+BENCHMARK(BM_BitmapAnd)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BitmapExpand(benchmark::State& state) {
+  Xoshiro256 rng(3);
+  Bitmap small(1 << 12);
+  for (int i = 0; i < 2000; ++i) small.set(rng.below(1 << 12));
+  for (auto _ : state) {
+    auto expanded = expand_to(small, 1 << 20);
+    benchmark::DoNotOptimize(expanded);
+  }
+}
+BENCHMARK(BM_BitmapExpand);
+
+void BM_LinearCounting(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(4);
+  Bitmap b(bits);
+  for (std::size_t i = 0; i < bits / 2; ++i) b.set(rng.below(bits));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_cardinality(b));
+  }
+}
+BENCHMARK(BM_LinearCounting)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_PointPersistentEstimate(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(5);
+  const EncodingParams encoding;
+  const auto common = make_vehicles(500, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(t, 8000);
+  const auto records =
+      generate_point_records(volumes, common, 0xA, 2.0, encoding, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimate_point_persistent(records));
+  }
+}
+BENCHMARK(BM_PointPersistentEstimate)->Arg(5)->Arg(10);
+
+void BM_P2PPersistentEstimate(benchmark::State& state) {
+  Xoshiro256 rng(6);
+  const EncodingParams encoding;
+  const auto common = make_vehicles(500, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(5, 8000);
+  const auto records = generate_p2p_records(volumes, volumes, common, 0xA,
+                                            0xB, 2.0, encoding, rng);
+  PointToPointOptions options;
+  options.s = encoding.s;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_p2p_persistent(records.at_l, records.at_l_prime, options));
+  }
+}
+BENCHMARK(BM_P2PPersistentEstimate);
+
+void BM_SlidingJoinPush(benchmark::State& state) {
+  // Amortized cost of one window slide (the rolling "last 7 days" query).
+  Xoshiro256 rng(8);
+  SlidingAndJoin window(7, 1 << 16);
+  std::vector<Bitmap> records;
+  for (int i = 0; i < 32; ++i) {
+    Bitmap b(1 << 16);
+    for (int j = 0; j < 20000; ++j) b.set(rng.below(1 << 16));
+    records.push_back(std::move(b));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(window.push(records[i++ & 31]));
+    benchmark::DoNotOptimize(window.joined());
+  }
+}
+BENCHMARK(BM_SlidingJoinPush);
+
+void BM_BootstrapCi(benchmark::State& state) {
+  const auto resamples = static_cast<std::size_t>(state.range(0));
+  Xoshiro256 rng(9);
+  const EncodingParams encoding;
+  const auto common = make_vehicles(500, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(5, 8000);
+  const auto records =
+      generate_point_records(volumes, common, 0xA, 2.0, encoding, rng);
+  BootstrapOptions options;
+  options.resamples = resamples;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        estimate_point_persistent_with_ci(records, options));
+  }
+}
+BENCHMARK(BM_BootstrapCi)->Arg(100)->Arg(400);
+
+void BM_GeneratePeriodRecord(benchmark::State& state) {
+  // One full measurement period at a busy location: 500 common vehicles
+  // encoded + 7500 transients.
+  Xoshiro256 rng(7);
+  const EncodingParams encoding;
+  const auto common = make_vehicles(500, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(1, 8000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generate_point_records(volumes, common, 0xA, 2.0, encoding, rng));
+  }
+}
+BENCHMARK(BM_GeneratePeriodRecord);
+
+void BM_FullStackContact(benchmark::State& state) {
+  // One complete beacon/auth/encode exchange over the (lossless) simulated
+  // radio, RSA signing included - the RSU-side cost ceiling per vehicle.
+  Deployment::Config config;
+  config.ca_key_bits = 512;
+  config.rsu_key_bits = 512;
+  Deployment dep(config, 42);
+  Rsu& rsu = dep.add_rsu(1, 1 << 16);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    Vehicle v = dep.make_vehicle(id++);
+    benchmark::DoNotOptimize(dep.run_contact(v, rsu));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullStackContact);
+
+}  // namespace
+
+BENCHMARK_MAIN();

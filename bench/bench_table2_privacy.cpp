@@ -1,0 +1,83 @@
+// Reproduces Table II: the probabilistic noise-to-information ratio
+// p/(p'−p) over s ∈ {2..5} and f ∈ {1..4}, plus the noise row p (paper
+// §VI-C).  The published table uses the continuous-m approximation
+// m' = f·n', under which p = 1 − e^{−1/f} and ratio = s·(e^{1/f} − 1);
+// we print those closed forms (matching the paper to 4 decimals) and, for
+// completeness, the exact Eq. 24 values under power-of-two planning, plus
+// an empirical tracking-attack measurement at the paper's operating point.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/privacy.hpp"
+#include "core/traffic_record.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace ptm;
+
+  const std::size_t runs = bench_runs(4000);
+  const std::uint64_t seed = bench_seed();
+  bench::print_banner("Table II - preserved privacy",
+                      "ICDCS'17 Table II (noise-to-information ratio and p)",
+                      runs, seed);
+
+  const double f_values[] = {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+
+  TableWriter table({"", "f=1", "f=1.5", "f=2", "f=2.5", "f=3", "f=3.5",
+                     "f=4"});
+  for (std::size_t s = 2; s <= 5; ++s) {
+    std::vector<std::string> cells = {"s=" + std::to_string(s)};
+    for (double f : f_values) {
+      cells.push_back(TableWriter::fmt(table2_ratio(s, f), 4));
+    }
+    table.add_row(std::move(cells));
+  }
+  std::vector<std::string> noise_row = {"p"};
+  for (double f : f_values) {
+    noise_row.push_back(TableWriter::fmt(table2_noise(f), 4));
+  }
+  table.add_row(std::move(noise_row));
+  bench::emit(table, "table2_privacy");
+
+  // Exact Eq. 22-24 under the deployed power-of-two sizing (Eq. 2), which
+  // rounds m' up and therefore reports slightly better accuracy / worse
+  // privacy than the continuous table.
+  std::cout << "\nexact Eq. 24 with n' = 451000 and m' = 2^ceil(log2(f n')):\n";
+  TableWriter exact({"", "f=1", "f=1.5", "f=2", "f=2.5", "f=3", "f=3.5",
+                     "f=4"});
+  for (std::size_t s = 2; s <= 5; ++s) {
+    std::vector<std::string> cells = {"s=" + std::to_string(s)};
+    for (double f : f_values) {
+      const double n_prime = 451000.0;
+      const auto m_prime = static_cast<double>(plan_bitmap_size(n_prime, f));
+      cells.push_back(
+          TableWriter::fmt(privacy_point(n_prime, m_prime, s).ratio, 4));
+    }
+    exact.add_row(std::move(cells));
+  }
+  bench::emit(exact, "table2_privacy_exact");
+
+  // Empirical tracking attack at the recommended operating point.
+  PrivacyAttackConfig attack;
+  attack.trials = runs;
+  attack.seed = seed;
+  attack.f = 2.0;
+  const auto result = run_privacy_attack(attack);
+  std::cout << "\nempirical attack at s = 3, f = 2 (n' = " << attack.n_prime
+            << ", m' = " << result.m_prime << ", " << attack.trials
+            << " trials):\n"
+            << "  p        = " << TableWriter::fmt(result.p_hat, 4)
+            << "  (Eq. 22: " << TableWriter::fmt(result.analytic.noise, 4)
+            << ")\n"
+            << "  p' - p   = "
+            << TableWriter::fmt(result.p_prime_hat - result.p_hat, 4)
+            << "  (Eq. 23: "
+            << TableWriter::fmt(result.analytic.information, 4) << ")\n"
+            << "  ratio    = " << TableWriter::fmt(result.ratio_hat, 4)
+            << "  (Eq. 24: " << TableWriter::fmt(result.analytic.ratio, 4)
+            << ")\n\n"
+            << "shape checks: ratio grows with s, shrinks with f; at the\n"
+            << "paper's recommended s = 3, f = 2 the ratio is ~1.95 with\n"
+            << "p ~ 0.39 - noise outweighs information ~2:1.\n";
+  return 0;
+}

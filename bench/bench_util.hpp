@@ -1,0 +1,39 @@
+// bench_util.hpp - shared plumbing for the table/figure reproduction
+// binaries: consistent headers, PTM_RUNS / PTM_SEED knobs, and optional CSV
+// mirroring via PTM_CSV=<dir>.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/env.hpp"
+#include "common/table.hpp"
+
+namespace ptm::bench {
+
+inline void print_banner(const std::string& experiment,
+                         const std::string& paper_ref, std::size_t runs,
+                         std::uint64_t seed) {
+  std::cout << "=== " << experiment << " ===\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "runs per cell: " << runs << " (PTM_RUNS to change; paper used"
+            << " 1000)   seed: " << seed << " (PTM_SEED)\n\n";
+}
+
+/// Prints the table and, if PTM_CSV is set, writes <dir>/<name>.csv too.
+inline void emit(const TableWriter& table, const std::string& name) {
+  table.print(std::cout);
+  if (const auto dir = csv_dir()) {
+    const std::string path = *dir + "/" + name + ".csv";
+    std::ofstream out(path);
+    if (out) {
+      table.write_csv(out);
+      std::cout << "(csv mirrored to " << path << ")\n";
+    } else {
+      std::cout << "(could not open " << path << " for csv mirror)\n";
+    }
+  }
+}
+
+}  // namespace ptm::bench

@@ -1,0 +1,81 @@
+// privacy_tradeoff - picking (s, f) for a deployment.
+//
+// The paper's central tension (§V, §VI-C): larger f buys accuracy but
+// shrinks the noise that protects vehicles from tracking; larger s buys
+// deniability but blurs the cross-location signal the p2p estimator reads.
+// This example sweeps both knobs on one synthetic deployment and prints the
+// two curves side by side, ending with the paper's recommendation.
+#include <cstdio>
+
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/privacy.hpp"
+#include "core/traffic_record.hpp"
+#include "traffic/workload.hpp"
+
+namespace {
+
+using namespace ptm;
+
+/// Mean p2p relative error at one (s, f) over a few trials.
+double p2p_error(std::size_t s, double f, Xoshiro256& rng) {
+  EncodingParams encoding;
+  encoding.s = s;
+  RunningStats err;
+  constexpr std::size_t kNpp = 500;
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto common = make_vehicles(kNpp, s, rng);
+    const std::vector<std::uint64_t> volumes(5, 6000);
+    const auto records = generate_p2p_records(volumes, volumes, common, 0xA,
+                                              0xB, f, encoding, rng);
+    PointToPointOptions options;
+    options.s = s;
+    const auto est =
+        estimate_p2p_persistent(records.at_l, records.at_l_prime, options);
+    if (est) err.add(relative_error(est->n_double_prime, kNpp));
+  }
+  return err.mean();
+}
+
+}  // namespace
+
+int main() {
+  Xoshiro256 rng(0x7A3D0FF);
+
+  std::printf("accuracy vs privacy on one deployment "
+              "(n'' = 500 common, 6000/period, t = 5)\n\n");
+  std::printf("%-5s %-5s | %-16s | %-22s %-8s\n", "s", "f", "p2p rel err",
+              "noise-to-info ratio", "noise p");
+  std::printf("---------------------------------------------------------------"
+              "--\n");
+
+  for (std::size_t s : {2u, 3u, 4u}) {
+    for (double f : {1.5, 2.0, 3.0}) {
+      const double err = p2p_error(s, f, rng);
+      const double ratio = table2_ratio(s, f);
+      const double noise = table2_noise(f);
+      const char* verdict =
+          (err < 0.15 && ratio > 1.0) ? "  <- viable" : "";
+      std::printf("%-5zu %-5.1f | %-16.4f | %-22.4f %-8.4f%s\n", s, f, err,
+                  ratio, noise, verdict);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("reading the table:\n"
+              " * down a column (s up): privacy ratio grows linearly, p2p\n"
+              "   error grows - the estimator loses cross-location signal;\n"
+              " * across a row (f up): error falls (bigger bitmaps, less\n"
+              "   mixing) but the tracking noise p collapses;\n"
+              " * ratio < 1 means a tracker's information beats the noise -\n"
+              "   unacceptable; the paper requires ratio > 1.\n\n");
+
+  const double rec_err = table2_ratio(3, 2.0);
+  std::printf("the paper's pick: s = 3, f = 2 -> ratio = %.4f (~2:1 noise\n"
+              "over information) with p = %.4f, while keeping relative\n"
+              "error in the low percent range - the compromise used for\n"
+              "every headline experiment.\n",
+              rec_err, table2_noise(2.0));
+  return 0;
+}

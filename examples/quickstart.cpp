@@ -1,0 +1,86 @@
+// quickstart - the 60-second tour of the ptm public API.
+//
+//   1. plan a traffic record's bitmap size (Eq. 2);
+//   2. encode vehicles the way the paper's RSUs do (§II-D);
+//   3. estimate point traffic from one record (Eq. 1/3);
+//   4. estimate point PERSISTENT traffic across periods (Eq. 12);
+//   5. estimate point-to-point persistent traffic between two locations
+//      (Eq. 21).
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/encoding.hpp"
+#include "core/linear_counting.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/point_persistent.hpp"
+#include "core/traffic_record.hpp"
+#include "traffic/workload.hpp"
+
+int main() {
+  using namespace ptm;
+
+  // --- setup: system-wide parameters (the paper's recommended point) -----
+  const EncodingParams encoding;  // s = 3, murmur3
+  const double f = 2.0;           // load factor (Eq. 2)
+  Xoshiro256 rng(7);
+
+  // --- 1+2: one measurement period at location L -------------------------
+  constexpr std::uint64_t kLocation = 1001;
+  constexpr std::size_t kVehicleCount = 5000;
+  const std::size_t m = plan_bitmap_size(kVehicleCount, f);
+  std::printf("planned bitmap: m = %zu bits for ~%zu vehicles (f = %.0f)\n",
+              m, kVehicleCount, f);
+
+  const VehicleEncoder encoder(encoding);
+  const auto fleet = make_vehicles(kVehicleCount, encoding.s, rng);
+  Bitmap record(m);
+  for (const auto& vehicle : fleet) {
+    encoder.encode(vehicle, kLocation, record);  // each sets ONE bit
+  }
+
+  // --- 3: point traffic from a single record -----------------------------
+  const CardinalityEstimate point = estimate_cardinality(record);
+  std::printf("point traffic:   actual %zu, estimated %.0f (%s)\n",
+              kVehicleCount, point.value, estimate_outcome_name(point.outcome));
+
+  // --- 4: point persistent traffic over 5 periods ------------------------
+  // 800 commuters pass L every day; each day also brings fresh transients.
+  constexpr std::size_t kCommuters = 800;
+  const auto commuters = make_vehicles(kCommuters, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes = {5200, 7100, 4800, 9300, 6100};
+  const auto records =
+      generate_point_records(volumes, commuters, kLocation, f, encoding, rng);
+
+  const auto persistent = estimate_point_persistent(records);
+  std::printf("point persistent (t=5): actual %zu, estimated %.0f\n",
+              kCommuters, persistent->n_star);
+  const auto naive = estimate_point_persistent_naive(records);
+  std::printf("  (naive AND-join benchmark would say %.0f - biased up by "
+              "transient collisions)\n",
+              naive->value);
+
+  // --- 5: point-to-point persistent traffic ------------------------------
+  // 300 vehicles commute between L and L' every day.
+  constexpr std::uint64_t kOtherLocation = 2002;
+  constexpr std::size_t kP2PCommuters = 300;
+  const auto p2p_commuters = make_vehicles(kP2PCommuters, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes_l = {5000, 6000, 5500, 7000, 5200};
+  const std::vector<std::uint64_t> volumes_lp = {9000, 8200, 9900, 8700, 9400};
+  const auto p2p_records =
+      generate_p2p_records(volumes_l, volumes_lp, p2p_commuters, kLocation,
+                           kOtherLocation, f, encoding, rng);
+
+  PointToPointOptions options;
+  options.s = encoding.s;
+  const auto p2p = estimate_p2p_persistent(p2p_records.at_l,
+                                           p2p_records.at_l_prime, options);
+  std::printf("p2p persistent (t=5):   actual %zu, estimated %.0f "
+              "(m = %zu, m' = %zu)\n",
+              kP2PCommuters, p2p->n_double_prime, p2p->m, p2p->m_prime);
+
+  std::printf("\nno vehicle ever transmitted its ID - every record is an\n"
+              "anonymous bitmap, yet all three volumes were recovered.\n");
+  return 0;
+}

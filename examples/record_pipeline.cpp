@@ -1,0 +1,107 @@
+// record_pipeline - operating the measurement archive.
+//
+// The first four examples compute everything in memory; a real deployment
+// stores months of records.  This example runs the archival path: RSUs
+// produce records across a week, the server persists them to an append-only
+// record log (crash-safe, CRC-protected), a "new process" reloads the
+// archive cold, and the persistent queries run against the reloaded data.
+// It finishes by demonstrating torn-tail recovery.
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/point_persistent.hpp"
+#include "store/record_log.hpp"
+#include "traffic/workload.hpp"
+
+int main() {
+  using namespace ptm;
+
+  const std::string archive = "/tmp/ptm_example_archive.log";
+  std::remove(archive.c_str());
+
+  const EncodingParams encoding;
+  Xoshiro256 rng(20170605);
+
+  // --- week 1: produce and archive records for two intersections --------
+  constexpr std::uint64_t kMain = 10;
+  constexpr std::uint64_t kHarbor = 20;
+  constexpr std::size_t kCommuters = 650;
+  constexpr std::size_t kDays = 7;
+
+  const auto commuters = make_vehicles(kCommuters, encoding.s, rng);
+  const auto volumes_main = draw_period_volumes(kDays, 4000, 9000, rng);
+  const auto volumes_harbor = draw_period_volumes(kDays, 3000, 7000, rng);
+  const auto records = generate_p2p_records(volumes_main, volumes_harbor,
+                                            commuters, kMain, kHarbor, 2.0,
+                                            encoding, rng);
+
+  {
+    auto writer = RecordLogWriter::open(archive);
+    if (!writer) {
+      std::printf("cannot open archive: %s\n",
+                  writer.status().to_string().c_str());
+      return 1;
+    }
+    for (std::size_t day = 0; day < kDays; ++day) {
+      (void)writer->append({kMain, day, records.at_l[day]});
+      (void)writer->append({kHarbor, day, records.at_l_prime[day]});
+    }
+    std::printf("archived %zu records (%zu days x 2 locations) to %s\n",
+                2 * kDays, kDays, archive.c_str());
+  }
+
+  // --- cold start: reload the archive and answer queries ----------------
+  auto contents = read_record_log(archive);
+  if (!contents) {
+    std::printf("reload failed: %s\n", contents.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("reloaded %zu records%s\n", contents->records.size(),
+              contents->truncated_tail ? " (tail truncated!)" : "");
+
+  std::map<std::uint64_t, std::vector<Bitmap>> by_location;
+  for (const TrafficRecord& rec : contents->records) {
+    by_location[rec.location].push_back(rec.bits);
+  }
+
+  const auto persistent = estimate_point_persistent(by_location[kMain]);
+  std::printf("persistent at Main St over the week: ~%.0f (planted %zu)\n",
+              persistent->n_star, kCommuters);
+
+  PointToPointOptions options;
+  options.s = encoding.s;
+  const auto p2p = estimate_p2p_persistent(by_location[kMain],
+                                           by_location[kHarbor], options);
+  std::printf("p2p persistent Main<->Harbor:      ~%.0f (planted %zu)\n",
+              p2p->n_double_prime, kCommuters);
+
+  // --- failure injection: crash mid-append ------------------------------
+  {
+    std::ifstream in(archive, std::ios::binary | std::ios::ate);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.close();
+    std::vector<char> bytes(size);
+    std::ifstream(archive, std::ios::binary)
+        .read(bytes.data(), static_cast<std::streamsize>(size));
+    // Keep all but the last 9 bytes - a torn final record.
+    std::ofstream(archive, std::ios::binary | std::ios::trunc)
+        .write(bytes.data(), static_cast<std::streamsize>(size - 9));
+  }
+  auto after_crash = read_record_log(archive);
+  std::printf("\nafter a simulated crash mid-append:\n"
+              "  intact records: %zu of %zu, tail status: %s\n",
+              after_crash->records.size(), 2 * kDays,
+              after_crash->truncated_tail ? after_crash->tail_error.c_str()
+                                          : "clean");
+  std::printf("  (the archive keeps every record it can prove whole -\n"
+              "   one lost period degrades a persistent query's t by one,\n"
+              "   it does not corrupt the answer)\n");
+
+  std::remove(archive.c_str());
+  return 0;
+}

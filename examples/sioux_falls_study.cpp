@@ -1,0 +1,115 @@
+// sioux_falls_study - a transportation-engineering study on a 24-zone road
+// network (the paper's §VI-A scenario, generalized).
+//
+// Uses the deterministic Sioux-Falls-like OD network to pick the busiest
+// intersection L' and a spread of partner intersections, simulates 5
+// measurement days of traffic records, and produces the kind of report a
+// traffic engineer would read: per-pair persistent volume estimates with
+// errors, plus the congestion-source ranking the paper motivates in §I
+// ("determine the priority order for planning measures of traffic relief").
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/math.hpp"
+#include "core/p2p_persistent.hpp"
+#include "traffic/trip_table.hpp"
+#include "traffic/workload.hpp"
+
+int main() {
+  using namespace ptm;
+
+  const TripTable network = sioux_falls_like_network();
+  const std::size_t hub = network.busiest_zone();
+  std::printf("network: %zu zones, %llu total trips/day\n", network.zones(),
+              static_cast<unsigned long long>(network.total_trips()));
+  std::printf("hub intersection: zone %zu with %llu vehicles/day\n\n", hub,
+              static_cast<unsigned long long>(network.zone_volume(hub)));
+
+  const EncodingParams encoding;  // s = 3
+  const double f = 2.0;
+  constexpr std::size_t kDays = 5;
+  Xoshiro256 rng(0x510FA115);
+
+  // Which feeders contribute the most *persistent* traffic into the hub?
+  struct PairResult {
+    std::size_t zone;
+    std::uint64_t actual;
+    double estimated;
+    double rel_err;
+  };
+  std::vector<PairResult> results;
+
+  const std::uint64_t hub_volume = network.zone_volume(hub);
+  for (std::size_t zone = 0; zone < network.zones(); ++zone) {
+    if (zone == hub) continue;
+    const std::uint64_t pair = network.pair_volume(hub, zone);
+    // Treat a third of the OD pair flow as day-after-day persistent
+    // commuters (the rest varies) - the quantity §I says feeds "priority
+    // order for planning measures of traffic relief".
+    const std::uint64_t persistent = pair / 3;
+    if (persistent < 200) continue;  // too small to measure meaningfully
+
+    const std::uint64_t zone_volume = network.zone_volume(zone);
+    const auto commuters =
+        make_vehicles(static_cast<std::size_t>(persistent), encoding.s, rng);
+    const std::vector<std::uint64_t> volumes_zone(kDays, zone_volume);
+    const std::vector<std::uint64_t> volumes_hub(kDays, hub_volume);
+    const auto records =
+        generate_p2p_records(volumes_zone, volumes_hub, commuters, zone,
+                             1000 + hub, f, encoding, rng);
+
+    PointToPointOptions options;
+    options.s = encoding.s;
+    const auto est = estimate_p2p_persistent(records.at_l,
+                                             records.at_l_prime, options);
+    if (!est) continue;
+    results.push_back({zone, persistent, est->n_double_prime,
+                       relative_error(est->n_double_prime,
+                                      static_cast<double>(persistent))});
+  }
+
+  // Rank congestion sources by ESTIMATED persistent contribution - the
+  // operational decision is made from measurements, not ground truth.
+  std::sort(results.begin(), results.end(),
+            [](const PairResult& a, const PairResult& b) {
+              return a.estimated > b.estimated;
+            });
+
+  std::printf("persistent traffic into the hub over %zu days "
+              "(s=%zu, f=%.0f):\n",
+              kDays, encoding.s, f);
+  std::printf("%-6s %-12s %-12s %-9s\n", "zone", "actual", "estimated",
+              "rel err");
+  int correct_rank_mass = 0;
+  for (const auto& r : results) {
+    std::printf("%-6zu %-12llu %-12.0f %-9.4f\n", r.zone,
+                static_cast<unsigned long long>(r.actual), r.estimated,
+                r.rel_err);
+    ++correct_rank_mass;
+  }
+
+  // Does the measured ranking agree with the ground-truth ranking on the
+  // top contributors (the decision that matters)?
+  auto by_actual = results;
+  std::sort(by_actual.begin(), by_actual.end(),
+            [](const PairResult& a, const PairResult& b) {
+              return a.actual > b.actual;
+            });
+  const std::size_t top = std::min<std::size_t>(3, results.size());
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < top; ++i) {
+    for (std::size_t j = 0; j < top; ++j) {
+      if (results[i].zone == by_actual[j].zone) {
+        ++agree;
+        break;
+      }
+    }
+  }
+  std::printf("\ntop-%zu congestion sources by estimate vs ground truth: "
+              "%zu/%zu agree\n",
+              top, agree, top);
+  std::printf("(all measured from anonymous bitmaps - no trajectories "
+              "collected)\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// trajectory_study - measurement over real trajectories on a road network.
+//
+// The OD matrix says where trips start and end; it cannot see the traffic
+// that merely PASSES THROUGH an intersection en route.  This example builds
+// a road network, routes a commuter fleet over shortest paths, runs five
+// measurement periods with fresh transient trips each day, and shows that
+// the privacy-preserving records recover per-intersection *pass-through*
+// persistent traffic - the quantity a planner actually needs when deciding
+// which junction to widen.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/math.hpp"
+#include "core/point_persistent.hpp"
+#include "core/traffic_record.hpp"
+#include "traffic/mobility.hpp"
+
+int main() {
+  using namespace ptm;
+
+  // A 30-intersection city, each intersection connected to its 2 nearest
+  // neighbours (plus connectivity patching) - a sparse road mesh.
+  const RoadNetwork network = generate_road_network(30, 2, 0xC17D);
+  const TripTable demand = gravity_model_table(30, 400'000, 0xDE3A);
+  std::printf("road network: %zu intersections, %zu road segments\n",
+              network.zone_count(), network.road_count());
+
+  const EncodingParams encoding;  // s = 3
+  Xoshiro256 rng(20170605);
+  constexpr std::size_t kCommuters = 3000;
+  const MobilityModel model(network, demand, kCommuters, encoding, rng);
+
+  // Mean route length tells us how much pass-through traffic exists.
+  double total_hops = 0;
+  for (const Commuter& c : model.commuters()) {
+    total_hops += static_cast<double>(c.route.size());
+  }
+  std::printf("commuter fleet: %zu vehicles, mean route = %.1f "
+              "intersections\n\n",
+              kCommuters, total_hops / kCommuters);
+
+  // Five measurement periods; each day the commuters drive their route and
+  // 12,000 transient trips are sampled fresh.
+  constexpr std::size_t kDays = 5;
+  constexpr std::size_t kTransientsPerDay = 12'000;
+  std::vector<std::size_t> sizes(network.zone_count());
+  for (std::size_t z = 0; z < sizes.size(); ++z) {
+    // Rough per-zone volume expectation for Eq. 2: fleet share + transient
+    // share (both route-length amplified); a deployment would use history.
+    sizes[z] = plan_bitmap_size(4000.0, 2.0);
+  }
+  std::vector<std::vector<Bitmap>> per_zone(network.zone_count());
+  for (std::size_t day = 0; day < kDays; ++day) {
+    const PeriodTraffic traffic = model.sample_period(kTransientsPerDay, rng);
+    auto records = build_period_records(model, traffic, sizes, encoding);
+    for (std::size_t z = 0; z < records.size(); ++z) {
+      per_zone[z].push_back(std::move(records[z]));
+    }
+  }
+
+  // Estimate pass-through persistent traffic at every intersection and
+  // rank; compare with trajectory ground truth.
+  struct ZoneResult {
+    std::size_t zone;
+    double estimated;
+    std::size_t truth;
+  };
+  std::vector<ZoneResult> results;
+  for (std::size_t z = 0; z < network.zone_count(); ++z) {
+    const auto est = estimate_point_persistent(per_zone[z]);
+    if (!est) continue;
+    results.push_back({z, est->n_star, model.commuters_through(z)});
+  }
+  std::sort(results.begin(), results.end(),
+            [](const ZoneResult& a, const ZoneResult& b) {
+              return a.estimated > b.estimated;
+            });
+
+  std::printf("top intersections by ESTIMATED persistent pass-through:\n");
+  std::printf("%-6s %-12s %-12s %-10s %-s\n", "rank", "intersection",
+              "estimated", "truth", "rel err");
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, results.size()); ++i) {
+    const ZoneResult& r = results[i];
+    std::printf("%-6zu %-12zu %-12.0f %-10zu %.4f\n", i + 1, r.zone,
+                r.estimated, r.truth,
+                relative_error(r.estimated, static_cast<double>(r.truth)));
+  }
+
+  // How much of the top-ranked truth does the estimate-driven ranking
+  // capture?  (The planning decision quality metric.)
+  auto by_truth = results;
+  std::sort(by_truth.begin(), by_truth.end(),
+            [](const ZoneResult& a, const ZoneResult& b) {
+              return a.truth > b.truth;
+            });
+  std::size_t agree = 0;
+  constexpr std::size_t kTop = 5;
+  for (std::size_t i = 0; i < kTop; ++i) {
+    for (std::size_t j = 0; j < kTop; ++j) {
+      if (results[i].zone == by_truth[j].zone) {
+        ++agree;
+        break;
+      }
+    }
+  }
+  std::printf("\ntop-%zu agreement between estimated and true rankings: "
+              "%zu/%zu\n",
+              kTop, agree, kTop);
+  std::printf("note: much of each count is PASS-THROUGH traffic - commuters\n"
+              "whose OD pair doesn't involve the intersection at all; only\n"
+              "trajectory-aware measurement can see it, and the records\n"
+              "recover it without storing a single trajectory.\n");
+  return 0;
+}

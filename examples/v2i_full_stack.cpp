@@ -1,0 +1,108 @@
+// v2i_full_stack - the whole deployment, end to end, over the simulated
+// radio: trusted third party, certified RSUs, vehicles with SpoofMAC
+// one-time addresses, the 4-leg beacon/auth/encode protocol on a lossy
+// channel, record uploads, and central-server queries (paper §II).
+//
+// Also demonstrates what the privacy design is FOR: a rogue RSU is ignored
+// by every vehicle, and the server's stored records contain nothing that
+// identifies any vehicle.
+#include <cstdio>
+#include <vector>
+
+#include "nodes/deployment.hpp"
+
+int main() {
+  using namespace ptm;
+
+  Deployment::Config config;
+  config.ca_key_bits = 768;
+  config.rsu_key_bits = 512;
+  config.channel.loss_probability = 0.02;  // realistic light radio loss
+  Deployment dep(config, 20170605);
+
+  std::printf("trusted third party: \"%s\" (%zu-bit RSA)\n",
+              dep.ca().name().c_str(), dep.ca().public_key().modulus_bits());
+
+  Rsu& north = dep.add_rsu(101, 8192);
+  Rsu& south = dep.add_rsu(202, 8192);
+  std::printf("deployed RSUs at locations %llu and %llu with certified "
+              "keys\n\n",
+              static_cast<unsigned long long>(north.location()),
+              static_cast<unsigned long long>(south.location()));
+
+  // 250 commuters drive north->south every day for 3 days; each day also
+  // brings ~1500 one-off vehicles per intersection.
+  std::vector<Vehicle> commuters;
+  for (int i = 0; i < 250; ++i) {
+    commuters.push_back(dep.make_vehicle(static_cast<std::uint64_t>(i)));
+  }
+
+  std::uint64_t transient_id = 1u << 20;
+  ChannelStats before = dep.channel().stats();
+  for (int day = 0; day < 3; ++day) {
+    int encoded = 0, lost = 0;
+    for (Vehicle& v : commuters) {
+      if (dep.run_contact(v, north) == ContactOutcome::kEncoded) ++encoded;
+      else ++lost;
+      if (dep.run_contact(v, south) == ContactOutcome::kEncoded) ++encoded;
+      else ++lost;
+    }
+    for (int i = 0; i < 1500; ++i) {
+      Vehicle t1 = dep.make_vehicle(transient_id++);
+      if (dep.run_contact(t1, north) == ContactOutcome::kEncoded) ++encoded;
+      Vehicle t2 = dep.make_vehicle(transient_id++);
+      if (dep.run_contact(t2, south) == ContactOutcome::kEncoded) ++encoded;
+    }
+    // Upload with one application-level retry (the radio is lossy).
+    for (Rsu* rsu : {&north, &south}) {
+      Status up = dep.upload_period(*rsu);
+      if (!up.is_ok()) up = dep.upload_period(*rsu);
+      if (!up.is_ok()) std::printf("  day %d: upload failed twice!\n", day);
+    }
+    std::printf("day %d: %d encodes, %d contacts lost to the radio\n", day,
+                encoded, lost);
+  }
+  const ChannelStats after = dep.channel().stats();
+  std::printf("channel: %llu frames sent, %llu lost (%.1f%%)\n\n",
+              static_cast<unsigned long long>(after.sent - before.sent),
+              static_cast<unsigned long long>(after.lost - before.lost),
+              100.0 * static_cast<double>(after.lost - before.lost) /
+                  static_cast<double>(after.sent - before.sent));
+
+  // The transportation authority's queries.
+  const std::vector<std::uint64_t> days = {0, 1, 2};
+  if (const auto point = dep.server().query_point_volume(101, 0)) {
+    std::printf("point volume at 101, day 0: ~%.0f vehicles "
+                "(true ~1750 minus radio losses)\n",
+                point->value);
+  }
+  if (const auto persistent = dep.server().query_point_persistent(101, days)) {
+    std::printf("persistent at 101 over 3 days: ~%.0f (true: 250 commuters "
+                "minus losses)\n",
+                persistent->n_star);
+  }
+  if (const auto p2p = dep.server().query_p2p_persistent(101, 202, days)) {
+    std::printf("p2p persistent 101<->202: ~%.0f (true: 250 minus losses)\n\n",
+                p2p->n_double_prime);
+  }
+
+  // A rogue RSU with a self-signed certificate gets the silent treatment.
+  Xoshiro256 rogue_rng(666);
+  const CertificateAuthority rogue_ca("rogue", 512, rogue_rng);
+  const RsaKeyPair rogue_keys = rsa_generate(512, rogue_rng);
+  Beacon rogue_beacon;
+  rogue_beacon.location = 999;
+  rogue_beacon.period = 0;
+  rogue_beacon.bitmap_size = 4096;
+  rogue_beacon.certificate =
+      rogue_ca.issue("rsu:999", 999, rogue_keys.pub, 0, 1000);
+  Vehicle victim = dep.make_vehicle(0x51C71);
+  const auto reaction = victim.handle_beacon(rogue_beacon);
+  std::printf("rogue RSU broadcast -> vehicle reaction: %s (stays silent)\n",
+              reaction.status().to_string().c_str());
+
+  std::printf("\nwhat the server stores per (location, day): one bitmap.\n"
+              "no IDs, no MACs (one-time), no per-vehicle rows - yet every\n"
+              "query above was answerable.\n");
+  return 0;
+}

@@ -1,0 +1,423 @@
+#include "cli/cli.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "core/bootstrap.hpp"
+#include "core/corridor_persistent.hpp"
+#include "core/kway_persistent.hpp"
+#include "core/linear_counting.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/point_persistent.hpp"
+#include "core/privacy.hpp"
+#include "core/traffic_record.hpp"
+#include "store/archive.hpp"
+#include "store/record_log.hpp"
+#include "traffic/workload.hpp"
+
+namespace ptm {
+namespace {
+
+/// Records of one location, ordered by period.
+Result<std::vector<Bitmap>> bitmaps_at(const std::vector<TrafficRecord>& all,
+                                       std::uint64_t location) {
+  std::map<std::uint64_t, Bitmap> by_period;
+  for (const TrafficRecord& rec : all) {
+    if (rec.location == location) by_period.emplace(rec.period, rec.bits);
+  }
+  if (by_period.empty()) {
+    return Status{ErrorCode::kNotFound,
+                  "no records for location " + std::to_string(location)};
+  }
+  std::vector<Bitmap> out;
+  out.reserve(by_period.size());
+  for (auto& [period, bits] : by_period) out.push_back(std::move(bits));
+  return out;
+}
+
+Status cmd_generate(const Config& flags, std::ostream& out) {
+  auto log_path = flags.get_string("out");
+  if (!log_path) return log_path.status();
+  auto seed = flags.get_u64_or("seed", 1);
+  auto s = flags.get_u64_or("s", 3);
+  auto f = flags.get_double_or("f", 2.0);
+  auto t = flags.get_u64_or("t", 5);
+  auto volume_min = flags.get_u64_or("volume_min", 2001);
+  auto volume_max = flags.get_u64_or("volume_max", 10000);
+  auto common = flags.get_u64_or("common", 500);
+  auto location = flags.get_u64_or("location", 1);
+  auto location_b = flags.get_u64_or("location_b", 0);  // 0 = point only
+  for (const Status& st :
+       {seed.status(), s.status(), f.status(), t.status(),
+        volume_min.status(), volume_max.status(), common.status(),
+        location.status(), location_b.status()}) {
+    if (!st.is_ok()) return st;
+  }
+  if (*t < 1 || *s < 1 || *f <= 0.0 || *volume_min < 1 ||
+      *volume_min > *volume_max || *common > *volume_min) {
+    return {ErrorCode::kInvalidArgument,
+            "generate: need t,s >= 1, f > 0, 1 <= volume_min <= volume_max, "
+            "common <= volume_min"};
+  }
+
+  Xoshiro256 rng(*seed);
+  EncodingParams encoding;
+  encoding.s = static_cast<std::size_t>(*s);
+  const auto fleet =
+      make_vehicles(static_cast<std::size_t>(*common), encoding.s, rng);
+
+  auto writer = RecordLogWriter::open(*log_path);
+  if (!writer) return writer.status();
+
+  auto write_all = [&](std::uint64_t loc,
+                       const std::vector<Bitmap>& bitmaps) -> Status {
+    for (std::size_t period = 0; period < bitmaps.size(); ++period) {
+      TrafficRecord rec;
+      rec.location = loc;
+      rec.period = period;
+      rec.bits = bitmaps[period];
+      if (Status st = writer->append(rec); !st.is_ok()) return st;
+    }
+    return Status::ok();
+  };
+
+  if (*location_b == 0) {
+    const auto volumes = draw_period_volumes(static_cast<std::size_t>(*t),
+                                             *volume_min, *volume_max, rng);
+    const auto records =
+        generate_point_records(volumes, fleet, *location, *f, encoding, rng);
+    if (Status st = write_all(*location, records); !st.is_ok()) return st;
+    out << "wrote " << records.size() << " point records for location "
+        << *location << " to " << *log_path << " (common=" << *common
+        << ")\n";
+  } else {
+    const auto volumes_a = draw_period_volumes(static_cast<std::size_t>(*t),
+                                               *volume_min, *volume_max, rng);
+    const auto volumes_b = draw_period_volumes(static_cast<std::size_t>(*t),
+                                               *volume_min, *volume_max, rng);
+    const auto records =
+        generate_p2p_records(volumes_a, volumes_b, fleet, *location,
+                             *location_b, *f, encoding, rng);
+    if (Status st = write_all(*location, records.at_l); !st.is_ok()) return st;
+    if (Status st = write_all(*location_b, records.at_l_prime); !st.is_ok()) {
+      return st;
+    }
+    out << "wrote " << 2 * records.at_l.size()
+        << " p2p records for locations " << *location << " and "
+        << *location_b << " to " << *log_path << " (common=" << *common
+        << ")\n";
+  }
+  return Status::ok();
+}
+
+Status cmd_inspect(const Config& flags, std::ostream& out) {
+  auto log_path = flags.get_string("log");
+  if (!log_path) return log_path.status();
+  auto contents = read_record_log(*log_path);
+  if (!contents) return contents.status();
+
+  TableWriter table({"location", "period", "m", "ones", "est volume",
+                     "outcome"});
+  for (const TrafficRecord& rec : contents->records) {
+    const CardinalityEstimate est = estimate_cardinality(rec.bits);
+    table.add_row({TableWriter::fmt(std::uint64_t{rec.location}),
+                   TableWriter::fmt(std::uint64_t{rec.period}),
+                   TableWriter::fmt(std::uint64_t{rec.m()}),
+                   TableWriter::fmt(std::uint64_t{rec.bits.count_ones()}),
+                   TableWriter::fmt(est.value, 1),
+                   estimate_outcome_name(est.outcome)});
+  }
+  table.print(out);
+  if (contents->truncated_tail) {
+    out << "warning: log tail skipped (" << contents->tail_error << ")\n";
+  }
+  return Status::ok();
+}
+
+Status cmd_volume(const Config& flags, std::ostream& out) {
+  auto log_path = flags.get_string("log");
+  if (!log_path) return log_path.status();
+  auto location = flags.get_u64("location");
+  if (!location) return location.status();
+  auto period = flags.get_u64("period");
+  if (!period) return period.status();
+
+  auto contents = read_record_log(*log_path);
+  if (!contents) return contents.status();
+  for (const TrafficRecord& rec : contents->records) {
+    if (rec.location == *location && rec.period == *period) {
+      const CardinalityEstimate est = estimate_cardinality(rec.bits);
+      out << "point volume at location " << *location << ", period "
+          << *period << ": " << TableWriter::fmt(est.value, 1) << " ("
+          << estimate_outcome_name(est.outcome) << ", m = " << rec.m()
+          << ")\n";
+      return Status::ok();
+    }
+  }
+  return {ErrorCode::kNotFound, "no record for that location/period"};
+}
+
+Status cmd_persistent(const Config& flags, std::ostream& out) {
+  auto log_path = flags.get_string("log");
+  if (!log_path) return log_path.status();
+  auto location = flags.get_u64("location");
+  if (!location) return location.status();
+  auto groups = flags.get_u64_or("groups", 2);
+  if (!groups) return groups.status();
+
+  auto contents = read_record_log(*log_path);
+  if (!contents) return contents.status();
+  auto bitmaps = bitmaps_at(contents->records, *location);
+  if (!bitmaps) return bitmaps.status();
+
+  auto ci_resamples = flags.get_u64_or("ci", 0);  // 0 = no interval
+  if (!ci_resamples) return ci_resamples.status();
+
+  if (*groups == 2) {
+    auto est = estimate_point_persistent(*bitmaps);
+    if (!est) return est.status();
+    out << "point persistent at location " << *location << " over "
+        << bitmaps->size() << " periods: "
+        << TableWriter::fmt(est->n_star, 1) << " ("
+        << estimate_outcome_name(est->outcome) << ", m = " << est->m
+        << ")\n";
+    if (*ci_resamples > 0) {
+      BootstrapOptions boot;
+      boot.resamples = static_cast<std::size_t>(*ci_resamples);
+      auto interval = estimate_point_persistent_with_ci(*bitmaps, boot);
+      if (!interval) return interval.status();
+      out << "  95% bootstrap CI: ["
+          << TableWriter::fmt(interval->lower, 1) << ", "
+          << TableWriter::fmt(interval->upper, 1) << "] ("
+          << boot.resamples << " resamples)\n";
+    }
+  } else {
+    auto est = estimate_point_persistent_kway(
+        *bitmaps, static_cast<std::size_t>(*groups));
+    if (!est) return est.status();
+    out << "point persistent at location " << *location << " over "
+        << bitmaps->size() << " periods (" << *groups
+        << "-way split): " << TableWriter::fmt(est->n_star, 1) << " ("
+        << estimate_outcome_name(est->outcome) << ", m = " << est->m
+        << ")\n";
+  }
+  return Status::ok();
+}
+
+Status cmd_p2p(const Config& flags, std::ostream& out) {
+  auto log_path = flags.get_string("log");
+  if (!log_path) return log_path.status();
+  auto from = flags.get_u64("from");
+  if (!from) return from.status();
+  auto to = flags.get_u64("to");
+  if (!to) return to.status();
+  auto s = flags.get_u64_or("s", 3);
+  if (!s) return s.status();
+
+  auto contents = read_record_log(*log_path);
+  if (!contents) return contents.status();
+  auto bitmaps_a = bitmaps_at(contents->records, *from);
+  if (!bitmaps_a) return bitmaps_a.status();
+  auto bitmaps_b = bitmaps_at(contents->records, *to);
+  if (!bitmaps_b) return bitmaps_b.status();
+
+  PointToPointOptions options;
+  options.s = static_cast<std::size_t>(*s);
+  auto est = estimate_p2p_persistent(*bitmaps_a, *bitmaps_b, options);
+  if (!est) return est.status();
+  out << "p2p persistent between " << *from << " and " << *to << " over "
+      << bitmaps_a->size() << " periods: "
+      << TableWriter::fmt(est->n_double_prime, 1) << " ("
+      << estimate_outcome_name(est->outcome) << ", m = " << est->m
+      << ", m' = " << est->m_prime << ", s = " << *s << ")\n";
+  return Status::ok();
+}
+
+Status cmd_corridor(const Config& flags, std::ostream& out) {
+  auto log_path = flags.get_string("log");
+  if (!log_path) return log_path.status();
+  auto locations_raw = flags.get_string("locations");
+  if (!locations_raw) return locations_raw.status();
+  auto s = flags.get_u64_or("s", 3);
+  if (!s) return s.status();
+
+  // Parse the comma-separated location list.
+  std::vector<std::uint64_t> locations;
+  std::size_t pos = 0;
+  while (pos <= locations_raw->size()) {
+    const std::size_t comma = locations_raw->find(',', pos);
+    const std::string token = locations_raw->substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      return {ErrorCode::kInvalidArgument,
+              "corridor: bad location token: " + token};
+    }
+    locations.push_back(static_cast<std::uint64_t>(value));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (locations.size() < 2) {
+    return {ErrorCode::kInvalidArgument,
+            "corridor needs at least two --locations"};
+  }
+
+  auto contents = read_record_log(*log_path);
+  if (!contents) return contents.status();
+  std::vector<std::vector<Bitmap>> per_location;
+  for (std::uint64_t location : locations) {
+    auto bitmaps = bitmaps_at(contents->records, location);
+    if (!bitmaps) return bitmaps.status();
+    per_location.push_back(std::move(*bitmaps));
+  }
+
+  auto est = estimate_corridor_persistent(per_location,
+                                          static_cast<std::size_t>(*s));
+  if (!est) return est.status();
+  out << "corridor persistent through " << locations.size()
+      << " locations: " << TableWriter::fmt(est->n_corridor, 1) << " ("
+      << estimate_outcome_name(est->outcome)
+      << ", ln B = " << TableWriter::fmt(est->log_b, 8) << ")\n";
+  return Status::ok();
+}
+
+Status cmd_compact(const Config& flags, std::ostream& out) {
+  auto log_path = flags.get_string("log");
+  if (!log_path) return log_path.status();
+  auto keep = flags.get_u64_or("keep", 0);  // 0 = keep everything
+  if (!keep) return keep.status();
+
+  ArchiveOptions options;
+  options.max_periods_per_location = static_cast<std::size_t>(*keep);
+  auto archive = RecordArchive::open(*log_path, options);
+  if (!archive) return archive.status();
+  auto dropped = archive->compact();
+  if (!dropped) return dropped.status();
+  out << "compacted " << *log_path << ": " << archive->live_records()
+      << " live records kept";
+  if (*keep > 0) out << " (retention: last " << *keep << " per location)";
+  out << ", " << *dropped << " dropped\n";
+  return Status::ok();
+}
+
+Status cmd_privacy(const Config& flags, std::ostream& out) {
+  auto n_prime = flags.get_u64_or("n", 10000);
+  auto f = flags.get_double_or("f", 2.0);
+  auto s = flags.get_u64_or("s", 3);
+  for (const Status& st : {n_prime.status(), f.status(), s.status()}) {
+    if (!st.is_ok()) return st;
+  }
+  if (*f <= 0.0 || *s < 1 || *n_prime < 1) {
+    return {ErrorCode::kInvalidArgument, "privacy: need n,f,s positive"};
+  }
+  const auto m_planned =
+      plan_bitmap_size(static_cast<double>(*n_prime), *f);
+  const PrivacyPoint planned = privacy_point(
+      static_cast<double>(*n_prime), static_cast<double>(m_planned),
+      static_cast<std::size_t>(*s));
+  const PrivacyPoint continuous =
+      privacy_point(static_cast<double>(*n_prime),
+                    *f * static_cast<double>(*n_prime),
+                    static_cast<std::size_t>(*s));
+
+  out << "privacy analysis for n' = " << *n_prime << ", f = " << *f
+      << ", s = " << *s << "\n"
+      << "  deployed (m' = " << m_planned << ", Eq. 2 rounding):\n"
+      << "    noise p = " << TableWriter::fmt(planned.noise, 4)
+      << ", information p'-p = " << TableWriter::fmt(planned.information, 4)
+      << ", ratio = " << TableWriter::fmt(planned.ratio, 4) << "\n"
+      << "  continuous (m' = f*n', the Table II convention):\n"
+      << "    noise p = " << TableWriter::fmt(continuous.noise, 4)
+      << ", information p'-p = "
+      << TableWriter::fmt(continuous.information, 4)
+      << ", ratio = " << TableWriter::fmt(continuous.ratio, 4) << "\n";
+  if (planned.ratio < 1.0) {
+    out << "  WARNING: ratio < 1 - a tracker's information exceeds the "
+           "noise; increase s or decrease f.\n";
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<Config> parse_cli_flags(const std::vector<std::string>& args) {
+  Config flags;
+  std::size_t i = 0;
+  // --config must be honored first so explicit flags override it.
+  std::vector<std::pair<std::string, std::string>> pairs;
+  while (i < args.size()) {
+    const std::string& token = args[i];
+    if (token.rfind("--", 0) != 0 || token.size() <= 2) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "expected --flag, got: " + token};
+    }
+    if (i + 1 >= args.size()) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "flag missing a value: " + token};
+    }
+    pairs.emplace_back(token.substr(2), args[i + 1]);
+    i += 2;
+  }
+  for (const auto& [key, value] : pairs) {
+    if (key == "config") {
+      auto loaded = Config::load(value);
+      if (!loaded) return loaded.status();
+      for (const auto& [k, v] : loaded->entries()) flags.set(k, v);
+    }
+  }
+  for (const auto& [key, value] : pairs) {
+    if (key != "config") flags.set(key, value);
+  }
+  return flags;
+}
+
+std::string cli_usage() {
+  return R"(ptmctl - persistent traffic measurement toolkit
+
+usage: ptmctl <command> [--flag value]... [--config file]
+
+commands:
+  generate    synthesize records into a log
+              --out FILE [--seed N] [--s N] [--f X] [--t N] [--common N]
+              [--volume_min N] [--volume_max N] [--location L]
+              [--location_b L2]   (set location_b for a p2p pair)
+  inspect     list a log's records        --log FILE
+  volume      point traffic estimate      --log FILE --location L --period P
+  persistent  point persistent estimate   --log FILE --location L
+              [--groups G] [--ci N]       (G > 2: k-way estimator; N > 0:
+                                           bootstrap CI with N resamples)
+  p2p         p2p persistent estimate     --log FILE --from L --to L2 [--s N]
+  corridor    k-location persistent       --log FILE --locations L1,L2,... [--s N]
+  compact     rewrite a log in place      --log FILE [--keep N]
+                                          (keep = last N periods/location)
+  privacy     Eq. 22-24 analysis          [--n N] [--f X] [--s N]
+  help        this text
+)";
+}
+
+Status run_cli(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << cli_usage();
+    return Status::ok();
+  }
+  const std::string& command = args[0];
+  auto flags = parse_cli_flags({args.begin() + 1, args.end()});
+  if (!flags) return flags.status();
+
+  if (command == "generate") return cmd_generate(*flags, out);
+  if (command == "inspect") return cmd_inspect(*flags, out);
+  if (command == "volume") return cmd_volume(*flags, out);
+  if (command == "persistent") return cmd_persistent(*flags, out);
+  if (command == "p2p") return cmd_p2p(*flags, out);
+  if (command == "corridor") return cmd_corridor(*flags, out);
+  if (command == "compact") return cmd_compact(*flags, out);
+  if (command == "privacy") return cmd_privacy(*flags, out);
+  return {ErrorCode::kInvalidArgument,
+          "unknown command: " + command + " (try `ptmctl help`)"};
+}
+
+}  // namespace ptm

@@ -1,0 +1,147 @@
+#include "common/bitmap.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+#include "common/math.hpp"
+
+namespace ptm {
+
+Bitmap::Bitmap(std::size_t bit_count)
+    : bit_count_(bit_count), words_(ceil_div(bit_count, kWordBits), 0) {}
+
+void Bitmap::set(std::size_t index) noexcept {
+  assert(index < bit_count_);
+  words_[index / kWordBits] |= (1ULL << (index % kWordBits));
+}
+
+void Bitmap::reset(std::size_t index) noexcept {
+  assert(index < bit_count_);
+  words_[index / kWordBits] &= ~(1ULL << (index % kWordBits));
+}
+
+bool Bitmap::test(std::size_t index) const noexcept {
+  assert(index < bit_count_);
+  return (words_[index / kWordBits] >> (index % kWordBits)) & 1ULL;
+}
+
+void Bitmap::clear() noexcept {
+  std::fill(words_.begin(), words_.end(), 0ULL);
+}
+
+std::uint64_t Bitmap::tail_mask() const noexcept {
+  const std::size_t rem = bit_count_ % kWordBits;
+  return rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+}
+
+std::size_t Bitmap::count_ones() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += std::popcount(w);
+  return total;
+}
+
+double Bitmap::fraction_zeros() const noexcept {
+  assert(bit_count_ > 0);
+  return static_cast<double>(count_zeros()) / static_cast<double>(bit_count_);
+}
+
+Status Bitmap::and_with(const Bitmap& other) noexcept {
+  if (other.bit_count_ != bit_count_) {
+    return {ErrorCode::kInvalidArgument, "bitmap sizes differ in AND"};
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return Status::ok();
+}
+
+Status Bitmap::or_with(const Bitmap& other) noexcept {
+  if (other.bit_count_ != bit_count_) {
+    return {ErrorCode::kInvalidArgument, "bitmap sizes differ in OR"};
+  }
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return Status::ok();
+}
+
+Result<Bitmap> Bitmap::replicate_to(std::size_t target_bits) const {
+  if (bit_count_ == 0) {
+    return Status{ErrorCode::kFailedPrecondition,
+                  "cannot expand an empty bitmap"};
+  }
+  if (target_bits % bit_count_ != 0 || target_bits == 0) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "expansion target must be a positive multiple of the size"};
+  }
+  Bitmap out(target_bits);
+  // The common case in this project is word-aligned (sizes are powers of two
+  // >= 64), where replication is a memcpy of whole words; fall back to
+  // bit-by-bit for small or unaligned sizes.
+  const std::size_t copies = target_bits / bit_count_;
+  if (bit_count_ % kWordBits == 0) {
+    const std::size_t src_words = words_.size();
+    for (std::size_t c = 0; c < copies; ++c) {
+      std::memcpy(out.words_.data() + c * src_words, words_.data(),
+                  src_words * sizeof(std::uint64_t));
+    }
+  } else {
+    for (std::size_t i = 0; i < bit_count_; ++i) {
+      if (!test(i)) continue;
+      for (std::size_t c = 0; c < copies; ++c) out.set(c * bit_count_ + i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> Bitmap::serialize() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(8 + words_.size() * 8);
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<std::uint8_t>(bit_count_ >> (8 * i)));
+  }
+  for (std::uint64_t w : words_) {
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(w >> (8 * i)));
+    }
+  }
+  return bytes;
+}
+
+Result<Bitmap> Bitmap::deserialize(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 8) {
+    return Status{ErrorCode::kParseError, "bitmap header truncated"};
+  }
+  std::uint64_t bit_count = 0;
+  for (int i = 0; i < 8; ++i) {
+    bit_count |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  }
+  const std::uint64_t expected_words = ceil_div(bit_count, kWordBits);
+  if (bytes.size() != 8 + expected_words * 8) {
+    return Status{ErrorCode::kParseError, "bitmap body length mismatch"};
+  }
+  Bitmap out(static_cast<std::size_t>(bit_count));
+  for (std::size_t w = 0; w < expected_words; ++w) {
+    std::uint64_t word = 0;
+    for (int i = 0; i < 8; ++i) {
+      word |= static_cast<std::uint64_t>(bytes[8 + w * 8 + i]) << (8 * i);
+    }
+    out.words_[w] = word;
+  }
+  if (expected_words > 0 &&
+      (out.words_.back() & ~out.tail_mask()) != 0) {
+    return Status{ErrorCode::kParseError, "stray bits beyond bitmap size"};
+  }
+  return out;
+}
+
+Result<Bitmap> bitmap_and(const Bitmap& a, const Bitmap& b) {
+  Bitmap out = a;
+  if (Status s = out.and_with(b); !s.is_ok()) return s;
+  return out;
+}
+
+Result<Bitmap> bitmap_or(const Bitmap& a, const Bitmap& b) {
+  Bitmap out = a;
+  if (Status s = out.or_with(b); !s.is_ok()) return s;
+  return out;
+}
+
+}  // namespace ptm

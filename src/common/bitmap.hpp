@@ -1,0 +1,100 @@
+// bitmap.hpp - dense bit array, the physical representation of a traffic
+// record (paper §II-D).
+//
+// An RSU's traffic record is an m-bit bitmap; the whole measurement pipeline
+// reduces to setting bits, counting zeros, ANDing/ORing equal-sized bitmaps,
+// and replicating a bitmap to a larger power-of-two size (§III-A expansion).
+// This class provides exactly those operations over packed 64-bit words.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ptm {
+
+class Bitmap {
+ public:
+  /// Empty bitmap (0 bits).
+  Bitmap() = default;
+
+  /// All-zero bitmap of `bit_count` bits.
+  explicit Bitmap(std::size_t bit_count);
+
+  [[nodiscard]] std::size_t size() const noexcept { return bit_count_; }
+  [[nodiscard]] bool empty() const noexcept { return bit_count_ == 0; }
+
+  /// Sets bit `index` to one.  Precondition: index < size().
+  void set(std::size_t index) noexcept;
+
+  /// Clears bit `index`.  Precondition: index < size().
+  void reset(std::size_t index) noexcept;
+
+  /// Value of bit `index`.  Precondition: index < size().
+  [[nodiscard]] bool test(std::size_t index) const noexcept;
+
+  /// Resets every bit to zero (start of a new measurement period).
+  void clear() noexcept;
+
+  /// Number of one-bits / zero-bits (popcount over words).
+  [[nodiscard]] std::size_t count_ones() const noexcept;
+  [[nodiscard]] std::size_t count_zeros() const noexcept {
+    return bit_count_ - count_ones();
+  }
+
+  /// Fraction of bits that are zero (the V_0 of Eq. 1) / one.
+  /// Precondition: size() > 0.
+  [[nodiscard]] double fraction_zeros() const noexcept;
+  [[nodiscard]] double fraction_ones() const noexcept {
+    return 1.0 - fraction_zeros();
+  }
+
+  /// In-place bitwise AND / OR with an equal-sized bitmap.
+  /// Returns InvalidArgument if sizes differ.
+  Status and_with(const Bitmap& other) noexcept;
+  Status or_with(const Bitmap& other) noexcept;
+
+  /// Replication expansion (paper Fig. 2): returns a bitmap of
+  /// `target_bits` bits consisting of this bitmap repeated
+  /// `target_bits / size()` times.  Requires target_bits to be a positive
+  /// multiple of size(); the paper guarantees this by making every bitmap
+  /// size a power of two (Eq. 2).
+  [[nodiscard]] Result<Bitmap> replicate_to(std::size_t target_bits) const;
+
+  /// Raw word access (read-only), for tests and serialization.
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return words_;
+  }
+
+  /// Serialization: 8-byte little-endian bit count followed by the packed
+  /// words.  `deserialize` validates the length.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Result<Bitmap> deserialize(
+      std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) noexcept {
+    return a.bit_count_ == b.bit_count_ && a.words_ == b.words_;
+  }
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+
+  [[nodiscard]] std::size_t word_count() const noexcept {
+    return words_.size();
+  }
+  /// Mask of valid bits in the final word (all-ones when size is a
+  /// multiple of 64).  Maintained so count/compare never see stray bits.
+  [[nodiscard]] std::uint64_t tail_mask() const noexcept;
+
+  std::size_t bit_count_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Free-function joins returning a fresh bitmap; sizes must match.
+[[nodiscard]] Result<Bitmap> bitmap_and(const Bitmap& a, const Bitmap& b);
+[[nodiscard]] Result<Bitmap> bitmap_or(const Bitmap& a, const Bitmap& b);
+
+}  // namespace ptm

@@ -1,0 +1,149 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ptm {
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<Config> Config::parse(std::string_view text) {
+  Config config;
+  std::size_t line_number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? std::string_view::npos
+                                           : eol - pos);
+    ++line_number;
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status{ErrorCode::kParseError,
+                    "line " + std::to_string(line_number) +
+                        ": expected key = value"};
+    }
+    const std::string_view key = trim(line.substr(0, eq));
+    const std::string_view value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status{ErrorCode::kParseError,
+                    "line " + std::to_string(line_number) + ": empty key"};
+    }
+    config.values_[std::string(key)] = std::string(value);
+  }
+  return config;
+}
+
+Result<Config> Config::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status{ErrorCode::kNotFound, "cannot open config file: " + path};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse(buffer.str());
+}
+
+void Config::set(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.contains(key);
+}
+
+Result<std::string> Config::get_string(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status{ErrorCode::kNotFound, "missing config key: " + key};
+  }
+  return it->second;
+}
+
+Result<std::uint64_t> Config::get_u64(const std::string& key) const {
+  auto raw = get_string(key);
+  if (!raw) return raw.status();
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0') {
+    return Status{ErrorCode::kInvalidArgument,
+                  "config key " + key + " is not an integer: " + *raw};
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+Result<double> Config::get_double(const std::string& key) const {
+  auto raw = get_string(key);
+  if (!raw) return raw.status();
+  char* end = nullptr;
+  const double v = std::strtod(raw->c_str(), &end);
+  if (end == raw->c_str() || *end != '\0') {
+    return Status{ErrorCode::kInvalidArgument,
+                  "config key " + key + " is not a number: " + *raw};
+  }
+  return v;
+}
+
+Result<bool> Config::get_bool(const std::string& key) const {
+  auto raw = get_string(key);
+  if (!raw) return raw.status();
+  std::string lower = *raw;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "true" || lower == "1" || lower == "yes" || lower == "on") {
+    return true;
+  }
+  if (lower == "false" || lower == "0" || lower == "no" || lower == "off") {
+    return false;
+  }
+  return Status{ErrorCode::kInvalidArgument,
+                "config key " + key + " is not a boolean: " + *raw};
+}
+
+Result<std::string> Config::get_string_or(const std::string& key,
+                                          std::string fallback) const {
+  if (!has(key)) return fallback;
+  return get_string(key);
+}
+
+Result<std::uint64_t> Config::get_u64_or(const std::string& key,
+                                         std::uint64_t fallback) const {
+  if (!has(key)) return fallback;
+  return get_u64(key);
+}
+
+Result<double> Config::get_double_or(const std::string& key,
+                                     double fallback) const {
+  if (!has(key)) return fallback;
+  return get_double(key);
+}
+
+Result<bool> Config::get_bool_or(const std::string& key, bool fallback) const {
+  if (!has(key)) return fallback;
+  return get_bool(key);
+}
+
+}  // namespace ptm

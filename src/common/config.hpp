@@ -1,0 +1,62 @@
+// config.hpp - key=value configuration parsing for the ptmctl tool and
+// scenario files.
+//
+// Format: one `key = value` per line; `#` starts a comment; blank lines
+// ignored; later keys override earlier ones.  Typed getters validate and
+// report which key failed, so a user mistyping a scenario file gets a
+// pointed error instead of a default silently applied.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace ptm {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses config text; ParseError names the offending line.
+  [[nodiscard]] static Result<Config> parse(std::string_view text);
+
+  /// Loads and parses a file (NotFound / ParseError).
+  [[nodiscard]] static Result<Config> load(const std::string& path);
+
+  /// Programmatic set (used by CLI flag overrides: --set key=value).
+  void set(std::string key, std::string value);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  /// Raw string (NotFound if absent).
+  [[nodiscard]] Result<std::string> get_string(const std::string& key) const;
+  /// Typed getters: NotFound if absent, InvalidArgument if unparseable.
+  [[nodiscard]] Result<std::uint64_t> get_u64(const std::string& key) const;
+  [[nodiscard]] Result<double> get_double(const std::string& key) const;
+  [[nodiscard]] Result<bool> get_bool(const std::string& key) const;
+
+  /// Getters with defaults - absent is fine, malformed is still an error.
+  [[nodiscard]] Result<std::string> get_string_or(const std::string& key,
+                                                  std::string fallback) const;
+  [[nodiscard]] Result<std::uint64_t> get_u64_or(const std::string& key,
+                                                 std::uint64_t fallback) const;
+  [[nodiscard]] Result<double> get_double_or(const std::string& key,
+                                             double fallback) const;
+  [[nodiscard]] Result<bool> get_bool_or(const std::string& key,
+                                         bool fallback) const;
+
+  /// All keys, sorted (for diagnostics / help output).
+  [[nodiscard]] const std::map<std::string, std::string>& entries() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ptm

@@ -1,0 +1,36 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace ptm {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32_update(std::uint32_t crc,
+                           std::span<const std::uint8_t> data) noexcept {
+  for (std::uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFF] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  return crc32_finish(crc32_update(crc32_init(), data));
+}
+
+}  // namespace ptm

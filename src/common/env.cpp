@@ -1,0 +1,30 @@
+#include "common/env.hpp"
+
+#include <cstdlib>
+
+namespace ptm {
+
+std::optional<std::string> env_string(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::size_t bench_runs(std::size_t fallback) {
+  return static_cast<std::size_t>(env_u64("PTM_RUNS", fallback));
+}
+
+std::uint64_t bench_seed() { return env_u64("PTM_SEED", 20170605ULL); }
+
+std::optional<std::string> csv_dir() { return env_string("PTM_CSV"); }
+
+}  // namespace ptm

@@ -1,0 +1,35 @@
+// env.hpp - environment-variable knobs for the benchmark harness.
+//
+// The paper averages 1000 simulation runs per table cell; the bench binaries
+// default to a lighter count so `for b in build/bench/*; do $b; done` stays
+// fast, and let the user scale back up with PTM_RUNS=1000.  All knobs are
+// read through this header so they are discoverable in one place:
+//
+//   PTM_RUNS  - simulation runs averaged per reported cell (default per-bench)
+//   PTM_SEED  - master RNG seed (default 20170605, the ICDCS'17 opening day)
+//   PTM_CSV   - if set, benches also write <PTM_CSV>/<bench>.csv
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ptm {
+
+/// Value of an environment variable, if set and non-empty.
+[[nodiscard]] std::optional<std::string> env_string(const char* name);
+
+/// Integer environment variable; returns `fallback` when unset or
+/// unparseable.
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Number of simulation runs per reported cell (PTM_RUNS, else `fallback`).
+[[nodiscard]] std::size_t bench_runs(std::size_t fallback);
+
+/// Master seed for experiment RNGs (PTM_SEED, else 20170605).
+[[nodiscard]] std::uint64_t bench_seed();
+
+/// Directory for CSV mirrors of bench output (PTM_CSV), if requested.
+[[nodiscard]] std::optional<std::string> csv_dir();
+
+}  // namespace ptm

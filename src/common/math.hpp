@@ -1,0 +1,83 @@
+// math.hpp - integer and floating-point helpers shared across the libraries.
+//
+// The paper's design leans on two mathematical conventions that recur
+// everywhere: bitmap sizes are powers of two (so replication-expansion is
+// well defined, Eq. 2), and estimators are ratios of logarithms whose
+// arguments must be clamped away from 0 and above 1 to stay finite
+// (Eqs. 1, 12, 21).  The helpers here centralize both.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ptm {
+
+/// True iff `x` is a power of two.  Zero is not a power of two.
+[[nodiscard]] constexpr bool is_power_of_two(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// Smallest power of two >= x (x >= 1).  next_power_of_two(1) == 1.
+[[nodiscard]] constexpr std::uint64_t next_power_of_two(std::uint64_t x) noexcept {
+  if (x <= 1) return 1;
+  --x;
+  x |= x >> 1;
+  x |= x >> 2;
+  x |= x >> 4;
+  x |= x >> 8;
+  x |= x >> 16;
+  x |= x >> 32;
+  return x + 1;
+}
+
+/// floor(log2(x)) for x >= 1.
+[[nodiscard]] constexpr unsigned floor_log2(std::uint64_t x) noexcept {
+  unsigned r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1.
+[[nodiscard]] constexpr unsigned ceil_log2(std::uint64_t x) noexcept {
+  return is_power_of_two(x) ? floor_log2(x) : floor_log2(x) + 1;
+}
+
+/// ceil(a / b) for b > 0.
+[[nodiscard]] constexpr std::uint64_t ceil_div(std::uint64_t a,
+                                               std::uint64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Natural log with the argument clamped to [floor, 1].  The estimators take
+/// logs of zero-bit fractions; an all-ones bitmap would yield log(0) = -inf,
+/// so callers clamp to one representable "almost empty" fraction instead and
+/// report saturation through their outcome enums.
+[[nodiscard]] inline double clamped_log(double v, double floor_value) noexcept {
+  if (v < floor_value) v = floor_value;
+  if (v > 1.0) v = 1.0;
+  return std::log(v);
+}
+
+/// ln(1 - 1/m) for m >= 2, computed via log1p for accuracy at large m.
+[[nodiscard]] inline double log_one_minus_inv(double m) noexcept {
+  return std::log1p(-1.0 / m);
+}
+
+/// Relative error |estimate - actual| / actual.  Actual of 0 maps an exact
+/// estimate to 0 error, anything else to +inf, matching the paper's metric
+/// domain (persistent volumes are positive in every experiment).
+[[nodiscard]] inline double relative_error(double estimate, double actual) noexcept {
+  if (actual == 0.0) {
+    return estimate == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(estimate - actual) / std::abs(actual);
+}
+
+/// True iff two doubles agree within an absolute-or-relative epsilon.
+[[nodiscard]] inline bool almost_equal(double a, double b, double eps = 1e-9) noexcept {
+  const double diff = std::abs(a - b);
+  return diff <= eps || diff <= eps * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace ptm

@@ -1,0 +1,37 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+namespace ptm {
+
+std::size_t default_parallelism() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw == 0 ? 1 : hw, 1, 16);
+}
+
+void parallel_for_indexed(std::size_t count,
+                          const std::function<void(std::size_t)>& body,
+                          std::size_t threads) {
+  if (count == 0) return;
+  if (threads == 0) threads = default_parallelism();
+  threads = std::min(threads, count);
+  if (threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  const std::size_t chunk = (count + threads - 1) / threads;
+  for (std::size_t w = 0; w < threads; ++w) {
+    const std::size_t begin = w * chunk;
+    const std::size_t end = std::min(begin + chunk, count);
+    if (begin >= end) break;
+    workers.emplace_back([&body, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace ptm

@@ -1,0 +1,29 @@
+// parallel.hpp - a minimal fork-join helper for the experiment runners.
+//
+// Every table cell averages independent seeded trials, which is
+// embarrassingly parallel.  parallel_for_indexed runs f(i) for i in
+// [0, count) across a bounded number of std::threads; the caller keeps
+// determinism by deriving each trial's RNG from its index, never from
+// thread identity or scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ptm {
+
+/// Number of worker threads to use by default: hardware concurrency,
+/// clamped to [1, 16] (experiment trials are CPU-bound and short).
+[[nodiscard]] std::size_t default_parallelism() noexcept;
+
+/// Runs body(i) for every i in [0, count), split contiguously across up to
+/// `threads` workers (0 = default_parallelism()).  Blocks until all
+/// complete.  The body must only write to index-owned state; no
+/// synchronization is provided (by design - trials share nothing).
+void parallel_for_indexed(std::size_t count,
+                          const std::function<void(std::size_t)>& body,
+                          std::size_t threads = 0);
+
+}  // namespace ptm

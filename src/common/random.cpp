@@ -1,0 +1,38 @@
+#include "common/random.hpp"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace ptm {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  assert(bound >= 1);
+  // Lemire 2019: multiply a 64-bit draw by the bound and keep the high word;
+  // reject the short low-word region to remove modulo bias.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::vector<std::uint64_t> sample_distinct_ids(Xoshiro256& rng, std::size_t k) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(k * 2);
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const std::uint64_t id = rng.next();
+    if (seen.insert(id).second) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace ptm

@@ -1,0 +1,107 @@
+// random.hpp - deterministic, fast pseudo-random number generation.
+//
+// Simulations here are seeded end-to-end so every experiment is
+// reproducible run-to-run; std::mt19937 is avoided because its state is
+// large and its seeding is easy to get wrong.  SplitMix64 seeds and
+// xoshiro256** generates (the standard pairing recommended by the xoshiro
+// authors).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ptm {
+
+/// SplitMix64: tiny, full-period 64-bit generator.  Primarily used to expand
+/// a single user seed into the larger xoshiro state, and as a cheap
+/// standalone stream when state size matters.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 - the workhorse generator for all simulations.
+/// Satisfies the UniformRandomBitGenerator requirements.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) for bound >= 1, via Lemire's
+  /// multiply-shift rejection method (unbiased).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive; precondition lo <= hi.
+  std::uint64_t in_range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Fork an independent stream; the child's seed is drawn from this stream
+  /// so that per-trial generators do not overlap.
+  Xoshiro256 fork() noexcept { return Xoshiro256(next()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Sample `k` distinct uint64 IDs (uniform over the full 64-bit space, so
+/// collisions are practically impossible but still checked).  Used to mint
+/// vehicle identities.
+std::vector<std::uint64_t> sample_distinct_ids(Xoshiro256& rng, std::size_t k);
+
+/// Fisher-Yates shuffle of a vector, driven by the given generator.
+template <typename T>
+void shuffle(std::vector<T>& v, Xoshiro256& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    using std::swap;
+    swap(v[i - 1], v[rng.below(i)]);
+  }
+}
+
+}  // namespace ptm

@@ -1,0 +1,93 @@
+#include "common/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace ptm {
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+Result<std::uint64_t> ByteReader::read_le(int bytes_count) {
+  if (remaining() < static_cast<std::size_t>(bytes_count)) {
+    return Status{ErrorCode::kParseError, "buffer underrun"};
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes_count; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += static_cast<std::size_t>(bytes_count);
+  return v;
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  auto r = read_le(1);
+  if (!r) return r.status();
+  return static_cast<std::uint8_t>(*r);
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  auto r = read_le(2);
+  if (!r) return r.status();
+  return static_cast<std::uint16_t>(*r);
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  auto r = read_le(4);
+  if (!r) return r.status();
+  return static_cast<std::uint32_t>(*r);
+}
+
+Result<std::uint64_t> ByteReader::u64() { return read_le(8); }
+
+Result<double> ByteReader::f64() {
+  auto r = read_le(8);
+  if (!r) return r.status();
+  double v;
+  const std::uint64_t bits = *r;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+Result<std::vector<std::uint8_t>> ByteReader::bytes() {
+  auto len = u32();
+  if (!len) return len.status();
+  return raw(*len);
+}
+
+Result<std::string> ByteReader::str() {
+  auto blob = bytes();
+  if (!blob) return blob.status();
+  return std::string(blob->begin(), blob->end());
+}
+
+Result<std::vector<std::uint8_t>> ByteReader::raw(std::size_t n) {
+  if (remaining() < n) {
+    return Status{ErrorCode::kParseError, "buffer underrun in raw read"};
+  }
+  std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+}  // namespace ptm

@@ -1,0 +1,81 @@
+// serialize.hpp - little-endian byte-buffer reader/writer used by the V2I
+// message codecs, certificates, and record uploads.
+//
+// All on-the-wire integers in this project are fixed-width little-endian;
+// variable-length fields are length-prefixed with a u32.  The reader is
+// bounds-checked and returns ParseError rather than asserting, because its
+// inputs cross the (simulated) trust boundary.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ptm {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { append_le(v, 2); }
+  void u32(std::uint32_t v) { append_le(v, 4); }
+  void u64(std::uint64_t v) { append_le(v, 8); }
+  void f64(double v);
+
+  /// Length-prefixed (u32) byte blob.
+  void bytes(std::span<const std::uint8_t> data);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+  /// Raw bytes, no length prefix (caller knows the framing).
+  void raw(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept {
+    return buf_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept {
+    return std::move(buf_);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void append_le(std::uint64_t v, int bytes_count) {
+    for (int i = 0; i < bytes_count; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept
+      : data_(data) {}
+
+  [[nodiscard]] Result<std::uint8_t> u8();
+  [[nodiscard]] Result<std::uint16_t> u16();
+  [[nodiscard]] Result<std::uint32_t> u32();
+  [[nodiscard]] Result<std::uint64_t> u64();
+  [[nodiscard]] Result<double> f64();
+  /// Length-prefixed blob (u32 length).
+  [[nodiscard]] Result<std::vector<std::uint8_t>> bytes();
+  /// Length-prefixed UTF-8 string.
+  [[nodiscard]] Result<std::string> str();
+  /// Exactly `n` raw bytes.
+  [[nodiscard]] Result<std::vector<std::uint8_t>> raw(std::size_t n);
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  [[nodiscard]] Result<std::uint64_t> read_le(int bytes_count);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ptm

@@ -1,0 +1,100 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ptm {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const noexcept {
+  return n_ ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double rmse(const std::vector<double>& estimates,
+            const std::vector<double>& actuals) {
+  assert(estimates.size() == actuals.size() && !estimates.empty());
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < estimates.size(); ++i) {
+    const double d = estimates[i] - actuals[i];
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(estimates.size()));
+}
+
+LinearFit least_squares(const std::vector<double>& x,
+                        const std::vector<double>& y) {
+  assert(x.size() == y.size() && x.size() >= 2);
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;  // vertical line; leave zeros
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0.0) {
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double r = y[i] - (fit.slope * x[i] + fit.intercept);
+      ss_res += r * r;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+}  // namespace ptm

@@ -1,0 +1,61 @@
+// stats.hpp - statistics accumulators used by the experiment harness.
+//
+// Every table/figure in the paper reports either a mean relative error over
+// many simulation runs (Table I, Fig. 4) or raw (actual, estimated) pairs
+// (Figs. 5-6).  RunningStats implements Welford's online algorithm so means
+// and variances are numerically stable over thousands of trials.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ptm {
+
+/// Online mean / variance / min / max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Standard error of the mean: stddev / sqrt(n).
+  [[nodiscard]] double stderr_mean() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// p-th percentile (0 <= p <= 100) by linear interpolation on a copy of the
+/// data.  Returns 0 for empty input.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
+/// Root-mean-square error between paired vectors (equal, non-zero length).
+[[nodiscard]] double rmse(const std::vector<double>& estimates,
+                          const std::vector<double>& actuals);
+
+/// Ordinary least-squares fit y = a*x + b; returns {slope, intercept, r2}.
+/// Used to summarize the Fig. 5/6 scatter plots (a perfect estimator gives
+/// slope 1, intercept 0, r2 1).
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+[[nodiscard]] LinearFit least_squares(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+}  // namespace ptm

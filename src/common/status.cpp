@@ -1,0 +1,31 @@
+#include "common/status.hpp"
+
+namespace ptm {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk: return "Ok";
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kOutOfRange: return "OutOfRange";
+    case ErrorCode::kFailedPrecondition: return "FailedPrecondition";
+    case ErrorCode::kParseError: return "ParseError";
+    case ErrorCode::kAuthFailure: return "AuthFailure";
+    case ErrorCode::kChannelError: return "ChannelError";
+    case ErrorCode::kDegenerate: return "Degenerate";
+    case ErrorCode::kNotFound: return "NotFound";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "Ok";
+  std::string out(error_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ptm

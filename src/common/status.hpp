@@ -1,0 +1,114 @@
+// status.hpp - lightweight error handling primitives for the ptm libraries.
+//
+// The libraries in this project are used both from long-running simulations
+// and from command-line tools; exceptions are reserved for programming errors
+// (violated preconditions), while expected runtime failures (malformed
+// messages, failed signature checks, degenerate estimator inputs) travel as
+// values through `Status` / `Result<T>`.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ptm {
+
+/// Coarse category of a failure.  Keep this list short: callers branch on it,
+/// humans read the message.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something structurally wrong
+  kOutOfRange,        ///< index / size outside the valid domain
+  kFailedPrecondition,///< object not in a state where the call makes sense
+  kParseError,        ///< malformed serialized input
+  kAuthFailure,       ///< certificate / signature verification failed
+  kChannelError,      ///< simulated network refused or lost the payload
+  kDegenerate,        ///< estimator input admits no finite estimate
+  kNotFound,          ///< lookup missed
+  kInternal,          ///< invariant broke; indicates a bug in this library
+};
+
+/// Human-readable name of an ErrorCode ("InvalidArgument", ...).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// A success-or-error value.  Default construction is success.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  explicit operator bool() const noexcept { return is_ok(); }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Either a value of type T or a Status describing why there is none.
+/// The contained Status is never `ok` when the value is absent.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, mirrors
+  // absl::StatusOr ergonomics.
+  Result(T value) : data_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).is_ok() &&
+           "Result constructed from an ok Status carries no value");
+  }
+  Result(ErrorCode code, std::string message)
+      : data_(Status(code, std::move(message))) {}
+
+  [[nodiscard]] bool has_value() const noexcept {
+    return std::holds_alternative<T>(data_);
+  }
+  explicit operator bool() const noexcept { return has_value(); }
+
+  /// Status of the operation; `ok` iff a value is present.
+  [[nodiscard]] Status status() const {
+    if (has_value()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+  /// Precondition: has_value().
+  [[nodiscard]] const T& value() const& {
+    assert(has_value());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(has_value());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(has_value());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return has_value() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace ptm

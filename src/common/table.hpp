@@ -1,0 +1,43 @@
+// table.hpp - aligned console tables and CSV output for the benchmark
+// harness.  Every bench binary reproduces one of the paper's tables or
+// figures; TableWriter prints the same rows the paper reports, aligned for
+// the console, and can mirror them to CSV for external plotting.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ptm {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds one row; the cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double v, int precision = 4);
+  static std::string fmt(std::uint64_t v);
+  static std::string fmt(std::int64_t v);
+
+  /// Prints an aligned, ruled table.
+  void print(std::ostream& os) const;
+
+  /// Writes headers+rows as RFC-4180-ish CSV (quotes cells containing
+  /// commas or quotes).
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  static std::string csv_escape(const std::string& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ptm

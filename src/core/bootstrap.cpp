@@ -1,0 +1,133 @@
+#include "core/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "core/expansion.hpp"
+
+namespace ptm {
+namespace {
+
+/// Binomial(n, p) sampler: exact Bernoulli summation for small expected
+/// counts, normal approximation (clamped, continuity-corrected) otherwise.
+/// Bootstrap CIs are insensitive to the approximation at the sizes where
+/// it kicks in (n·p·(1−p) > 900).
+std::uint64_t sample_binomial(std::uint64_t n, double p, Xoshiro256& rng) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const double variance = static_cast<double>(n) * p * (1.0 - p);
+  if (variance < 900.0) {
+    std::uint64_t count = 0;
+    for (std::uint64_t i = 0; i < n; ++i) count += rng.bernoulli(p) ? 1 : 0;
+    return count;
+  }
+  // Box-Muller normal draw.
+  const double u1 = std::max(rng.uniform01(), 1e-300);
+  const double u2 = rng.uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  const double value =
+      static_cast<double>(n) * p + std::sqrt(variance) * z + 0.5;
+  if (value <= 0.0) return 0;
+  if (value >= static_cast<double>(n)) return n;
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Eq. 12 on category fractions; clamps exactly like the main estimator.
+double eq12_from_fractions(double v_a0, double v_b0, double v_star1,
+                           double m, bool* degenerate) {
+  const double floor_v = 1.0 / m;
+  v_a0 = std::max(v_a0, floor_v);
+  v_b0 = std::max(v_b0, floor_v);
+  const double arg = v_star1 + v_a0 + v_b0 - 1.0;
+  if (arg <= 0.0) {
+    *degenerate = true;
+    return 0.0;
+  }
+  *degenerate = false;
+  const double value = (std::log(v_a0) + std::log(v_b0) - std::log(arg)) /
+                       log_one_minus_inv(m);
+  return std::max(0.0, value);
+}
+
+}  // namespace
+
+Result<PointPersistentInterval> estimate_point_persistent_with_ci(
+    std::span<const Bitmap> records, const BootstrapOptions& options) {
+  if (options.resamples < 10 || options.confidence <= 0.0 ||
+      options.confidence >= 1.0) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "need >= 10 resamples and confidence in (0, 1)"};
+  }
+  auto point = estimate_point_persistent(records);
+  if (!point) return point.status();
+
+  PointPersistentInterval interval;
+  interval.point = *point;
+
+  // Rebuild the two half-joins to classify every bit index.  E_* is their
+  // AND, so the per-index state is fully described by (E_a[i], E_b[i]).
+  const std::size_t m = point->m;
+  const std::size_t half = (records.size() + 1) / 2;
+  auto e_a = and_join_expanded(records.subspan(0, half));
+  if (!e_a) return e_a.status();
+  auto e_a_exp = expand_to(*e_a, m);
+  if (!e_a_exp) return e_a_exp.status();
+  auto e_b = and_join_expanded(records.subspan(half));
+  if (!e_b) return e_b.status();
+  auto e_b_exp = expand_to(*e_b, m);
+  if (!e_b_exp) return e_b_exp.status();
+
+  // Category counts over indices: c[a][b].
+  std::uint64_t c01 = 0, c10 = 0, c11 = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const bool a = e_a_exp->test(i);
+    const bool b = e_b_exp->test(i);
+    if (a && b) ++c11;
+    else if (a) ++c10;
+    else if (b) ++c01;
+  }
+  const std::uint64_t c00 = m - c01 - c10 - c11;
+
+  // Multinomial bootstrap via conditional binomials, then Eq. 12 on the
+  // resampled fractions.
+  const double md = static_cast<double>(m);
+  Xoshiro256 rng(options.seed);
+  std::vector<double> replicates;
+  replicates.reserve(options.resamples);
+  for (std::size_t r = 0; r < options.resamples; ++r) {
+    const std::uint64_t n00 =
+        sample_binomial(m, static_cast<double>(c00) / md, rng);
+    std::uint64_t remaining = m - n00;
+    const double p01 =
+        c00 == static_cast<std::uint64_t>(m)
+            ? 0.0
+            : static_cast<double>(c01) / static_cast<double>(m - c00);
+    const std::uint64_t n01 = sample_binomial(remaining, p01, rng);
+    remaining -= n01;
+    const double p10 =
+        (c10 + c11) == 0
+            ? 0.0
+            : static_cast<double>(c10) / static_cast<double>(c10 + c11);
+    const std::uint64_t n10 = sample_binomial(remaining, p10, rng);
+    const std::uint64_t n11 = remaining - n10;
+
+    const double v_a0 = static_cast<double>(n00 + n01) / md;
+    const double v_b0 = static_cast<double>(n00 + n10) / md;
+    const double v_star1 = static_cast<double>(n11) / md;
+    bool degenerate = false;
+    replicates.push_back(
+        eq12_from_fractions(v_a0, v_b0, v_star1, md, &degenerate));
+    if (degenerate) ++interval.degenerate_resamples;
+  }
+
+  const double alpha = 1.0 - options.confidence;
+  interval.lower = percentile(replicates, 100.0 * alpha / 2.0);
+  interval.upper = percentile(replicates, 100.0 * (1.0 - alpha / 2.0));
+  return interval;
+}
+
+}  // namespace ptm

@@ -1,0 +1,148 @@
+#include "core/corridor_persistent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.hpp"
+#include "core/expansion.hpp"
+
+namespace ptm {
+
+Result<double> corridor_log_b(std::span<const std::size_t> sizes,
+                              std::size_t s) {
+  const std::size_t k = sizes.size();
+  if (k < 2 || k > 8) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "corridor supports 2..8 locations"};
+  }
+  if (s < 1) return Status{ErrorCode::kInvalidArgument, "s must be >= 1"};
+  double maps = 1.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (!is_power_of_two(sizes[j]) || sizes[j] < 2) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "sizes must be powers of two >= 2"};
+    }
+    if (j > 0 && sizes[j] < sizes[j - 1]) {
+      return Status{ErrorCode::kInvalidArgument, "sizes must be ascending"};
+    }
+    maps *= static_cast<double>(s);
+    if (maps > (1 << 20)) {
+      return Status{ErrorCode::kInvalidArgument, "s^k too large to enumerate"};
+    }
+  }
+
+  // A = mean over all s^k maps of Π over occupied reps (1 - 1/min_size).
+  // Iterate maps as base-s counters; track per-rep min size.
+  const auto total_maps = static_cast<std::uint64_t>(maps);
+  std::vector<std::size_t> digits(k, 0);
+  double a_sum = 0.0;
+  std::vector<std::size_t> rep_min(s);
+  for (std::uint64_t map = 0; map < total_maps; ++map) {
+    std::fill(rep_min.begin(), rep_min.end(), std::size_t{0});
+    for (std::size_t j = 0; j < k; ++j) {
+      std::size_t& slot = rep_min[digits[j]];
+      // sizes are ascending, so the FIRST location mapped to a rep is its
+      // minimum; only record when unset.
+      if (slot == 0) slot = sizes[j];
+    }
+    double product = 1.0;
+    for (std::size_t r = 0; r < s; ++r) {
+      if (rep_min[r] != 0) {
+        product *= 1.0 - 1.0 / static_cast<double>(rep_min[r]);
+      }
+    }
+    a_sum += product;
+    // Increment the base-s counter.
+    for (std::size_t j = 0; j < k; ++j) {
+      if (++digits[j] < s) break;
+      digits[j] = 0;
+    }
+  }
+  const double a = a_sum / maps;
+
+  double denominator = 0.0;  // Σ ln(1 - 1/m_j)
+  for (std::size_t size : sizes) {
+    denominator += log_one_minus_inv(static_cast<double>(size));
+  }
+  return std::log(a) - denominator;  // ln B
+}
+
+Result<CorridorPersistentEstimate> estimate_corridor_persistent(
+    std::span<const std::vector<Bitmap>> records_per_location,
+    std::size_t s) {
+  const std::size_t k = records_per_location.size();
+  if (k < 2 || k > 8) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "corridor estimation needs 2..8 locations"};
+  }
+  for (const auto& records : records_per_location) {
+    if (records.empty()) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "every location needs at least one record"};
+    }
+  }
+
+  // First level: per-location AND-joins.
+  std::vector<Bitmap> joins;
+  joins.reserve(k);
+  for (const auto& records : records_per_location) {
+    auto join = and_join_expanded(records);
+    if (!join) return join.status();
+    joins.push_back(std::move(*join));
+  }
+  // Sort ascending by size (the derivation's m_1 <= ... <= m_k).
+  std::sort(joins.begin(), joins.end(),
+            [](const Bitmap& a, const Bitmap& b) {
+              return a.size() < b.size();
+            });
+
+  CorridorPersistentEstimate est;
+  for (const Bitmap& join : joins) {
+    est.m.push_back(join.size());
+    est.v0.push_back(join.fraction_zeros());
+  }
+  auto log_b = corridor_log_b(est.m, s);
+  if (!log_b) return log_b.status();
+  est.log_b = *log_b;
+
+  // Second level: expand all to m_k and OR.
+  const std::size_t m_max = est.m.back();
+  auto acc = expand_to(joins[0], m_max);
+  if (!acc) return acc.status();
+  for (std::size_t j = 1; j < k; ++j) {
+    auto expanded = expand_to(joins[j], m_max);
+    if (!expanded) return expanded.status();
+    if (Status st = acc->or_with(*expanded); !st.is_ok()) return st;
+  }
+  est.v0_union = acc->fraction_zeros();
+
+  // n'' = (ln V_union0 - Σ ln V_j0) / ln B, with the usual clamping.
+  double log_excess = 0.0;
+  {
+    double v_union = est.v0_union;
+    if (v_union == 0.0) {
+      est.outcome = EstimateOutcome::kSaturated;
+      v_union = 1.0 / static_cast<double>(m_max);
+    }
+    log_excess = std::log(v_union);
+    for (std::size_t j = 0; j < k; ++j) {
+      double v = est.v0[j];
+      if (v == 0.0) {
+        est.outcome = EstimateOutcome::kSaturated;
+        v = 1.0 / static_cast<double>(est.m[j]);
+      }
+      log_excess -= std::log(v);
+    }
+  }
+  if (log_excess < 0.0) {
+    if (est.outcome == EstimateOutcome::kOk) {
+      est.outcome = EstimateOutcome::kDegenerate;
+    }
+    est.n_corridor = 0.0;
+    return est;
+  }
+  est.n_corridor = log_excess / est.log_b;
+  return est;
+}
+
+}  // namespace ptm

@@ -1,0 +1,52 @@
+#include "core/encoding.hpp"
+
+#include <cassert>
+
+namespace ptm {
+
+VehicleSecrets VehicleSecrets::create(std::uint64_t id, std::size_t s,
+                                      Xoshiro256& rng) {
+  VehicleSecrets v;
+  v.id = id;
+  v.private_key = rng.next();
+  v.constants.resize(s);
+  for (auto& c : v.constants) c = rng.next();
+  return v;
+}
+
+std::size_t VehicleEncoder::representative_choice(
+    const VehicleSecrets& vehicle, std::uint64_t location) const noexcept {
+  const std::uint64_t h =
+      hash64(params_.hash, location ^ vehicle.id, params_.hash_seed);
+  return static_cast<std::size_t>(h % params_.s);
+}
+
+std::uint64_t VehicleEncoder::representative_hash(
+    const VehicleSecrets& vehicle, std::size_t i) const noexcept {
+  assert(i < params_.s && vehicle.constants.size() == params_.s);
+  const std::uint64_t input =
+      vehicle.id ^ vehicle.private_key ^ vehicle.constants[i];
+  return hash64(params_.hash, input, params_.hash_seed);
+}
+
+std::uint64_t VehicleEncoder::raw_hash(const VehicleSecrets& vehicle,
+                                       std::uint64_t location) const noexcept {
+  return representative_hash(vehicle,
+                             representative_choice(vehicle, location));
+}
+
+std::uint64_t VehicleEncoder::bit_index(const VehicleSecrets& vehicle,
+                                        std::uint64_t location,
+                                        std::size_t m) const noexcept {
+  assert(m >= 1);
+  return raw_hash(vehicle, location) % m;
+}
+
+void VehicleEncoder::encode(const VehicleSecrets& vehicle,
+                            std::uint64_t location,
+                            Bitmap& record) const noexcept {
+  record.set(static_cast<std::size_t>(
+      bit_index(vehicle, location, record.size())));
+}
+
+}  // namespace ptm

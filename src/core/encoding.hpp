@@ -1,0 +1,93 @@
+// encoding.hpp - privacy-preserving vehicle encoding (paper §II-D).
+//
+// When vehicle v passes the RSU at location L during a measurement period,
+// it computes
+//
+//     h_v = H( v ⊕ K_v ⊕ C[ H(L ⊕ v) mod s ] ) mod m
+//
+// and transmits only h_v; the RSU sets bit h_v in its m-bit traffic record.
+// The ingredients:
+//   * v    - the vehicle's unique 64-bit ID (never transmitted),
+//   * K_v  - a private key known only to the vehicle,
+//   * C    - an array of s random constants, private to the vehicle,
+//   * H    - a public uniform hash (any family from hash_suite),
+//   * L    - the RSU's location code (carried in its beacon),
+//   * m    - the RSU's bitmap size (carried in its beacon).
+//
+// The s values H(v ⊕ K_v ⊕ C[i]) are the vehicle's *representative hashes*;
+// which one is used at a given location is chosen by H(L ⊕ v) mod s, so the
+// same vehicle sets (possibly) different bits at different locations while
+// always setting the SAME bit at the same location across periods - the
+// property both persistent estimators rest on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/random.hpp"
+#include "hash/hash_suite.hpp"
+
+namespace ptm {
+
+/// Secret material held by one vehicle.  Only `h_v` values derived from it
+/// ever leave the vehicle.
+struct VehicleSecrets {
+  std::uint64_t id = 0;           ///< v - the unique vehicle ID
+  std::uint64_t private_key = 0;  ///< K_v
+  std::vector<std::uint64_t> constants;  ///< C, one entry per representative
+
+  /// Mints secrets for a vehicle: fresh K_v and s random constants.
+  static VehicleSecrets create(std::uint64_t id, std::size_t s,
+                               Xoshiro256& rng);
+};
+
+/// System-wide encoding parameters shared by all RSUs and vehicles.
+/// `s` trades privacy for point-to-point accuracy (§II-D, Table II);
+/// the paper's recommended operating point is s = 3.
+struct EncodingParams {
+  std::size_t s = 3;                              ///< representative count
+  HashFamily hash = HashFamily::kMurmur3;         ///< instantiation of H
+  std::uint64_t hash_seed = 0x5053544dULL;        ///< fixed public seed
+};
+
+/// Stateless encoder implementing the hash pipeline above.
+class VehicleEncoder {
+ public:
+  explicit VehicleEncoder(EncodingParams params) : params_(params) {}
+
+  [[nodiscard]] const EncodingParams& params() const noexcept {
+    return params_;
+  }
+
+  /// H(L ⊕ v) mod s - which representative the vehicle uses at location L.
+  [[nodiscard]] std::size_t representative_choice(
+      const VehicleSecrets& vehicle, std::uint64_t location) const noexcept;
+
+  /// H(v ⊕ K_v ⊕ C[i]) - the i-th representative hash (location-free).
+  /// Precondition: i < s and vehicle.constants.size() == s.
+  [[nodiscard]] std::uint64_t representative_hash(
+      const VehicleSecrets& vehicle, std::size_t i) const noexcept;
+
+  /// h_v for bitmap size m: the value the vehicle would transmit at
+  /// location L to an RSU with an m-bit record.  Precondition: m >= 1.
+  [[nodiscard]] std::uint64_t bit_index(const VehicleSecrets& vehicle,
+                                        std::uint64_t location,
+                                        std::size_t m) const noexcept;
+
+  /// Full-width h_v before the `mod m` (used by the join property proofs:
+  /// the bit a vehicle sets in any power-of-two-sized bitmap at L is this
+  /// value reduced mod that size).
+  [[nodiscard]] std::uint64_t raw_hash(const VehicleSecrets& vehicle,
+                                       std::uint64_t location) const noexcept;
+
+  /// Convenience: encodes the vehicle into a traffic-record bitmap at L
+  /// (sets the single bit h_v).
+  void encode(const VehicleSecrets& vehicle, std::uint64_t location,
+              Bitmap& record) const noexcept;
+
+ private:
+  EncodingParams params_;
+};
+
+}  // namespace ptm

@@ -1,0 +1,60 @@
+#include "core/expansion.hpp"
+
+#include "common/math.hpp"
+
+namespace ptm {
+
+Result<Bitmap> expand_to(const Bitmap& b, std::size_t target_bits) {
+  if (b.empty()) {
+    return Status{ErrorCode::kInvalidArgument, "cannot expand empty bitmap"};
+  }
+  if (!is_power_of_two(b.size()) || !is_power_of_two(target_bits)) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "expansion requires power-of-two sizes"};
+  }
+  if (target_bits < b.size()) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "expansion target smaller than source"};
+  }
+  if (target_bits == b.size()) return b;
+  return b.replicate_to(target_bits);
+}
+
+std::size_t max_size(std::span<const Bitmap> bitmaps) {
+  std::size_t m = 0;
+  for (const Bitmap& b : bitmaps) m = std::max(m, b.size());
+  return m;
+}
+
+namespace {
+
+enum class JoinOp { kAnd, kOr };
+
+Result<Bitmap> join_expanded(std::span<const Bitmap> bitmaps, JoinOp op) {
+  if (bitmaps.empty()) {
+    return Status{ErrorCode::kInvalidArgument, "join of zero bitmaps"};
+  }
+  const std::size_t m = max_size(bitmaps);
+  auto acc = expand_to(bitmaps[0], m);
+  if (!acc) return acc.status();
+  for (std::size_t i = 1; i < bitmaps.size(); ++i) {
+    auto expanded = expand_to(bitmaps[i], m);
+    if (!expanded) return expanded.status();
+    const Status s = (op == JoinOp::kAnd) ? acc->and_with(*expanded)
+                                          : acc->or_with(*expanded);
+    if (!s.is_ok()) return s;
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<Bitmap> and_join_expanded(std::span<const Bitmap> bitmaps) {
+  return join_expanded(bitmaps, JoinOp::kAnd);
+}
+
+Result<Bitmap> or_join_expanded(std::span<const Bitmap> bitmaps) {
+  return join_expanded(bitmaps, JoinOp::kOr);
+}
+
+}  // namespace ptm

@@ -1,0 +1,36 @@
+// expansion.hpp - bitmap expansion and joining (paper §III-A, Figs. 1-3).
+//
+// Records from different periods (or the two first-level join results of two
+// locations) generally have different sizes.  Because every size is a power
+// of two, a smaller bitmap can be *expanded* by replication to any larger
+// power-of-two size, and §III-A proves the key property: if vehicle v set
+// bit (h_v mod l) in the original l-bit bitmap, then bit (h_v mod m) of the
+// expanded m-bit bitmap is one.  AND-joins of expanded bitmaps therefore
+// retain every common vehicle's bit.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/status.hpp"
+
+namespace ptm {
+
+/// Expands `b` to exactly `target_bits` by replication.  Errors unless both
+/// sizes are powers of two with b.size() <= target_bits.
+[[nodiscard]] Result<Bitmap> expand_to(const Bitmap& b,
+                                       std::size_t target_bits);
+
+/// Largest size among the given bitmaps (0 if the span is empty).
+[[nodiscard]] std::size_t max_size(std::span<const Bitmap> bitmaps);
+
+/// Expands every bitmap to the largest size present and AND-joins them:
+/// the E_* of §III-A.  Errors on an empty span or non-power-of-two sizes.
+[[nodiscard]] Result<Bitmap> and_join_expanded(std::span<const Bitmap> bitmaps);
+
+/// Same, but OR (used by tests and diagnostics; the paper's second-level
+/// cross-location join ORs exactly two bitmaps - see p2p_persistent).
+[[nodiscard]] Result<Bitmap> or_join_expanded(std::span<const Bitmap> bitmaps);
+
+}  // namespace ptm

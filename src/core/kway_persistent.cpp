@@ -1,0 +1,106 @@
+#include "core/kway_persistent.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.hpp"
+#include "core/expansion.hpp"
+
+namespace ptm {
+namespace {
+
+/// The model's predicted one fraction of E_* as a function of
+/// q = (1 − 1/m)^{n_*}.  Strictly decreasing in q on [max V_j0, 1]:
+/// larger q = fewer common vehicles = fewer guaranteed ones.
+double predicted_ones(double q, const std::vector<double>& group_v0) {
+  double product = 1.0;
+  for (double v0 : group_v0) product *= (1.0 - v0 / q);
+  return (1.0 - q) + q * product;
+}
+
+}  // namespace
+
+Result<KwayPersistentEstimate> estimate_point_persistent_kway(
+    std::span<const Bitmap> records, std::size_t groups) {
+  if (groups < 2) {
+    return Status{ErrorCode::kInvalidArgument, "need at least 2 groups"};
+  }
+  if (records.size() < groups) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "need at least one record per group"};
+  }
+  for (const Bitmap& b : records) {
+    if (b.empty() || !is_power_of_two(b.size())) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "record sizes must be non-zero powers of two"};
+    }
+  }
+
+  const std::size_t m = max_size(records);
+  const double md = static_cast<double>(m);
+  KwayPersistentEstimate est;
+  est.m = m;
+  est.groups = groups;
+
+  // Contiguous near-equal partition (mirrors the paper's first-half /
+  // second-half split at g = 2).
+  Bitmap full_join;
+  const std::size_t base = records.size() / groups;
+  const std::size_t extra = records.size() % groups;
+  std::size_t offset = 0;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t count = base + (g < extra ? 1 : 0);
+    auto joined = and_join_expanded(records.subspan(offset, count));
+    if (!joined) return joined.status();
+    auto expanded = expand_to(*joined, m);
+    if (!expanded) return expanded.status();
+    est.group_v0.push_back(expanded->fraction_zeros());
+    if (g == 0) {
+      full_join = std::move(*expanded);
+    } else {
+      if (Status s = full_join.and_with(*expanded); !s.is_ok()) return s;
+    }
+    offset += count;
+  }
+  est.v_star1 = full_join.fraction_ones();
+
+  // Clamp saturated groups to "one zero bit" as in the two-way estimator.
+  std::vector<double> v0 = est.group_v0;
+  for (double& v : v0) {
+    if (v == 0.0) {
+      est.outcome = EstimateOutcome::kSaturated;
+      v = 1.0 / md;
+    }
+  }
+
+  const double q_min = *std::max_element(v0.begin(), v0.end());
+  // predicted_ones is decreasing: range [predicted(1), predicted(q_min)] =
+  // [ones with no common traffic, ones with maximal common traffic].
+  if (est.v_star1 <= predicted_ones(1.0, v0)) {
+    // Fewer ones than even zero persistent traffic explains.
+    if (est.outcome == EstimateOutcome::kOk) {
+      est.outcome = EstimateOutcome::kDegenerate;
+    }
+    est.q = 1.0;
+    est.n_star = 0.0;
+    return est;
+  }
+
+  // Bisection for q with predicted_ones(q) = v_star1.
+  double lo = q_min;   // most common traffic (prediction highest here)
+  double hi = 1.0;     // none
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (predicted_ones(mid, v0) > est.v_star1) {
+      lo = mid;  // prediction too high: more q (less common traffic)
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-15) break;
+  }
+  est.q = 0.5 * (lo + hi);
+  est.n_star = std::max(0.0, std::log(est.q) / log_one_minus_inv(md));
+  return est;
+}
+
+}  // namespace ptm

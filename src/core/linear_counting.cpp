@@ -1,0 +1,68 @@
+#include "core/linear_counting.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace ptm {
+
+const char* estimate_outcome_name(EstimateOutcome o) noexcept {
+  switch (o) {
+    case EstimateOutcome::kOk: return "ok";
+    case EstimateOutcome::kSaturated: return "saturated";
+    case EstimateOutcome::kDegenerate: return "degenerate";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Shared zero-fraction measurement with saturation clamping.
+struct ZeroFraction {
+  double v0;
+  EstimateOutcome outcome;
+};
+
+ZeroFraction measured_v0(const Bitmap& record) {
+  assert(record.size() >= 2);
+  const std::size_t zeros = record.count_zeros();
+  if (zeros == 0) {
+    // All ones: V0 = 0 gives an infinite estimate.  Clamp to "one zero bit"
+    // and flag saturation so callers know to grow m.
+    return {1.0 / static_cast<double>(record.size()),
+            EstimateOutcome::kSaturated};
+  }
+  return {static_cast<double>(zeros) / static_cast<double>(record.size()),
+          EstimateOutcome::kOk};
+}
+
+}  // namespace
+
+CardinalityEstimate estimate_cardinality(const Bitmap& record) {
+  const auto [v0, outcome] = measured_v0(record);
+  const double m = static_cast<double>(record.size());
+  CardinalityEstimate est;
+  est.fraction_zeros = v0;
+  est.outcome = outcome;
+  est.value = std::log(v0) / log_one_minus_inv(m);
+  return est;
+}
+
+CardinalityEstimate estimate_cardinality_approx(const Bitmap& record) {
+  const auto [v0, outcome] = measured_v0(record);
+  const double m = static_cast<double>(record.size());
+  CardinalityEstimate est;
+  est.fraction_zeros = v0;
+  est.outcome = outcome;
+  est.value = -m * std::log(v0);
+  return est;
+}
+
+double linear_counting_relative_stderr(double n, double m) {
+  assert(n > 0.0 && m > 1.0);
+  const double t = n / m;
+  return std::sqrt(m * (std::exp(t) - t - 1.0)) / (t * m);
+}
+
+}  // namespace ptm

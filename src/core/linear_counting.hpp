@@ -1,0 +1,49 @@
+// linear_counting.hpp - linear probabilistic counting (Whang et al. 1990),
+// the base estimator the paper builds on (Eq. 1 / Eq. 3).
+//
+// If n independent items each set one uniformly random bit of an m-bit
+// bitmap, the expected fraction of zero bits is V0 = (1 - 1/m)^n, so
+//     n̂ = ln V0 / ln(1 - 1/m)            (exact form, used by Eq. 3)
+//       ≈ -m ln V0                        (large-m form, Eq. 1).
+// This header also exposes the estimator's standard-error model, which the
+// accuracy tests use to size their tolerance bands.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitmap.hpp"
+
+namespace ptm {
+
+/// What the estimator could conclude from a bitmap.
+enum class EstimateOutcome {
+  kOk,         ///< finite estimate produced
+  kSaturated,  ///< bitmap is all ones - estimate clamped, choose a larger m
+  kDegenerate, ///< inputs admit no estimate (see estimator-specific docs)
+};
+
+[[nodiscard]] const char* estimate_outcome_name(EstimateOutcome o) noexcept;
+
+struct CardinalityEstimate {
+  double value = 0.0;
+  EstimateOutcome outcome = EstimateOutcome::kOk;
+  double fraction_zeros = 0.0;  ///< the measured V0
+};
+
+/// Estimates the number of distinct items encoded in `record` using the
+/// exact linear-counting form n̂ = ln V0 / ln(1 - 1/m).
+/// An all-ones bitmap yields outcome kSaturated with V0 clamped to 1/m
+/// (one conceptual zero bit), the standard linear-counting convention.
+/// Precondition: record.size() >= 2.
+[[nodiscard]] CardinalityEstimate estimate_cardinality(const Bitmap& record);
+
+/// Large-m approximation n̂ = -m ln V0 (paper Eq. 1), same clamping rules.
+[[nodiscard]] CardinalityEstimate estimate_cardinality_approx(
+    const Bitmap& record);
+
+/// Analytic standard error of linear counting, StdErr[n̂]/n (Whang et al.):
+///     sqrt(m) * sqrt(exp(t) - t - 1) / (t * m),  with t = n/m.
+/// Used to size statistical test tolerances.
+[[nodiscard]] double linear_counting_relative_stderr(double n, double m);
+
+}  // namespace ptm

@@ -1,0 +1,93 @@
+#include "core/p2p_persistent.hpp"
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "core/expansion.hpp"
+
+namespace ptm {
+
+Result<PointToPointPersistentEstimate> estimate_p2p_persistent(
+    std::span<const Bitmap> records_at_l,
+    std::span<const Bitmap> records_at_l_prime,
+    const PointToPointOptions& options) {
+  if (records_at_l.empty() || records_at_l_prime.empty()) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "p2p estimation needs records from both locations"};
+  }
+  if (options.s < 1) {
+    return Status{ErrorCode::kInvalidArgument, "s must be >= 1"};
+  }
+  for (auto span : {records_at_l, records_at_l_prime}) {
+    for (const Bitmap& b : span) {
+      if (b.empty() || !is_power_of_two(b.size())) {
+        return Status{ErrorCode::kInvalidArgument,
+                      "record sizes must be non-zero powers of two"};
+      }
+    }
+  }
+
+  // First level: per-location AND-joins.
+  auto e_l = and_join_expanded(records_at_l);
+  if (!e_l) return e_l.status();
+  auto e_lp = and_join_expanded(records_at_l_prime);
+  if (!e_lp) return e_lp.status();
+
+  // W.l.o.g. m <= m' (§IV assumes it; the estimator is symmetric under
+  // swapping the locations along with their sizes).
+  const Bitmap* small = &*e_l;
+  const Bitmap* large = &*e_lp;
+  if (small->size() > large->size()) std::swap(small, large);
+
+  PointToPointPersistentEstimate est;
+  est.m = small->size();
+  est.m_prime = large->size();
+
+  // Second level: expand the smaller first-level join and OR across
+  // locations.  Replication preserves the zero fraction, so V_*0 can be
+  // measured on either E_* or S_*.
+  auto s_star = expand_to(*small, large->size());
+  if (!s_star) return s_star.status();
+  auto e_double = bitmap_or(*s_star, *large);
+  if (!e_double) return e_double.status();
+
+  const double m = static_cast<double>(est.m);
+  const double m_prime = static_cast<double>(est.m_prime);
+
+  est.v0 = small->fraction_zeros();
+  est.v0_prime = large->fraction_zeros();
+  est.v0_double_prime = e_double->fraction_zeros();
+  if (est.v0 == 0.0 || est.v0_prime == 0.0) {
+    est.outcome = EstimateOutcome::kSaturated;
+  }
+  const double v0 = std::max(est.v0, 1.0 / m);
+  const double v0p = std::max(est.v0_prime, 1.0 / m_prime);
+  // The OR of two saturated inputs is saturated too; clamp identically.
+  const double v0pp = std::max(est.v0_double_prime, 1.0 / m_prime);
+
+  est.n = std::log(v0) / log_one_minus_inv(m);          // Eq. 13
+  est.n_prime = std::log(v0p) / log_one_minus_inv(m_prime);
+
+  // Eq. 19/21: E[V''_0] = (1 + 1/(s·m' − s))^{n''} · V_0 · V'_0.
+  const double log_excess = std::log(v0pp) - std::log(v0) - std::log(v0p);
+  if (log_excess < 0.0) {
+    // Fewer zeros survive the OR than two independent joins would leave;
+    // no non-negative n'' explains the data.  (Saturation, if flagged
+    // above, is the more actionable diagnosis - keep it.)
+    if (est.outcome == EstimateOutcome::kOk) {
+      est.outcome = EstimateOutcome::kDegenerate;
+    }
+    est.n_double_prime = 0.0;
+    return est;
+  }
+  const double s_count = static_cast<double>(options.s);
+  if (options.exact_log) {
+    est.n_double_prime =
+        log_excess / std::log1p(1.0 / (s_count * m_prime - s_count));
+  } else {
+    est.n_double_prime = s_count * m_prime * log_excess;  // Eq. 21
+  }
+  return est;
+}
+
+}  // namespace ptm

@@ -1,0 +1,87 @@
+#include "core/point_persistent.hpp"
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "core/expansion.hpp"
+
+namespace ptm {
+
+Result<PointPersistentEstimate> estimate_point_persistent(
+    std::span<const Bitmap> records) {
+  if (records.size() < 2) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "point persistent estimation needs at least 2 records"};
+  }
+  for (const Bitmap& b : records) {
+    if (b.empty() || !is_power_of_two(b.size())) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "record sizes must be non-zero powers of two"};
+    }
+  }
+
+  const std::size_t m = max_size(records);
+  const std::size_t half = (records.size() + 1) / 2;  // ⌈t/2⌉
+
+  auto e_a = and_join_expanded(records.subspan(0, half));
+  if (!e_a) return e_a.status();
+  auto e_a_expanded = expand_to(*e_a, m);
+  if (!e_a_expanded) return e_a_expanded.status();
+  auto e_b = and_join_expanded(records.subspan(half));
+  if (!e_b) return e_b.status();
+  auto e_b_expanded = expand_to(*e_b, m);
+  if (!e_b_expanded) return e_b_expanded.status();
+
+  auto e_star = bitmap_and(*e_a_expanded, *e_b_expanded);
+  if (!e_star) return e_star.status();
+
+  PointPersistentEstimate est;
+  est.m = m;
+  const double md = static_cast<double>(m);
+  const double one_zero = 1.0 / md;  // clamp floor: "one zero bit"
+
+  est.v_a0 = e_a_expanded->fraction_zeros();
+  est.v_b0 = e_b_expanded->fraction_zeros();
+  est.v_star1 = e_star->fraction_ones();
+  if (est.v_a0 == 0.0 || est.v_b0 == 0.0) {
+    est.outcome = EstimateOutcome::kSaturated;
+  }
+  const double v_a0 = std::max(est.v_a0, one_zero);
+  const double v_b0 = std::max(est.v_b0, one_zero);
+
+  const double log_ratio = log_one_minus_inv(md);
+  est.n_a = std::log(v_a0) / log_ratio;  // Eq. 3
+  est.n_b = std::log(v_b0) / log_ratio;
+
+  // Eq. 12.  The log argument V_*1 + V_a0 + V_b0 − 1 equals, in expectation,
+  // V_a0 · V_b0 · (1 − 1/m)^{−n_*}; a non-positive measured value means the
+  // join shows fewer ones than independent halves would produce, which no
+  // n_* >= 0 explains - report degenerate and clamp at 0.
+  const double arg = est.v_star1 + v_a0 + v_b0 - 1.0;
+  if (arg <= 0.0) {
+    if (est.outcome == EstimateOutcome::kOk) {
+      est.outcome = EstimateOutcome::kDegenerate;
+    }
+    est.n_star = 0.0;
+    return est;
+  }
+  double n_star =
+      (std::log(v_a0) + std::log(v_b0) - std::log(arg)) / log_ratio;
+  // Sampling noise can push the raw formula slightly below zero even when
+  // the argument is positive; persistent volume is non-negative.
+  if (n_star < 0.0) n_star = 0.0;
+  est.n_star = n_star;
+  return est;
+}
+
+Result<CardinalityEstimate> estimate_point_persistent_naive(
+    std::span<const Bitmap> records) {
+  if (records.empty()) {
+    return Status{ErrorCode::kInvalidArgument, "no records"};
+  }
+  auto e_star = and_join_expanded(records);
+  if (!e_star) return e_star.status();
+  return estimate_cardinality(*e_star);
+}
+
+}  // namespace ptm

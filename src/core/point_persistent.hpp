@@ -1,0 +1,59 @@
+// point_persistent.hpp - the point persistent traffic estimator (paper §III).
+//
+// Given t traffic records {B_1..B_t} collected at one location across t
+// measurement periods, estimate n_* - the number of *common* vehicles that
+// appear in every period.  Direct linear counting on the AND-join E_* is
+// biased upward because transient vehicles collide into surviving one-bits;
+// the paper's estimator removes that bias:
+//
+//   1. split Π into Π_a = first ⌈t/2⌉ expanded bitmaps, Π_b = rest;
+//   2. E_a = AND(Π_a), E_b = AND(Π_b), E_* = E_a AND E_b;
+//   3. measure V_a0, V_b0 (zero fractions) and V_*1 (one fraction);
+//   4. n̂_* = [ln V_a0 + ln V_b0 − ln(V_*1 + V_a0 + V_b0 − 1)]
+//            / ln(1 − 1/m)                                   (Eq. 12).
+//
+// The naive estimator (step 3 of the paper's Fig. 4 benchmark) is also
+// provided: n̂_* = ln V_*0 / ln(1 − 1/m) on the full AND-join.
+#pragma once
+
+#include <span>
+
+#include "common/bitmap.hpp"
+#include "common/status.hpp"
+#include "core/linear_counting.hpp"
+
+namespace ptm {
+
+/// Estimate plus every intermediate the derivation uses, for diagnostics
+/// and tests of Eqs. 3-12.
+struct PointPersistentEstimate {
+  double n_star = 0.0;            ///< n̂_* - estimated common vehicles
+  EstimateOutcome outcome = EstimateOutcome::kOk;
+  std::size_t m = 0;              ///< joined bitmap size (max of inputs)
+  double v_a0 = 0.0;              ///< zero fraction of E_a
+  double v_b0 = 0.0;              ///< zero fraction of E_b
+  double v_star1 = 0.0;           ///< one fraction of E_*
+  double n_a = 0.0;               ///< abstract cardinality of E_a (Eq. 3)
+  double n_b = 0.0;               ///< abstract cardinality of E_b (Eq. 3)
+};
+
+/// Point persistent traffic estimator (Eq. 12).
+///
+/// Requirements on `records`: at least 2 bitmaps, every size a power of two.
+/// Outcomes:
+///  * kSaturated  - E_a or E_b is all ones (m far too small); the estimate
+///                  uses V0 clamped to one zero bit.
+///  * kDegenerate - the measured V_*1 + V_a0 + V_b0 − 1 <= 0, i.e. the join
+///                  has *fewer* ones than independence would explain and no
+///                  positive persistent volume fits; the estimate is clamped
+///                  to 0.  This happens with tiny bitmaps or zero common
+///                  vehicles, where sampling noise dominates.
+[[nodiscard]] Result<PointPersistentEstimate> estimate_point_persistent(
+    std::span<const Bitmap> records);
+
+/// Naive benchmark (paper §VI-B): linear counting directly on the AND-join
+/// of all records.  Same input requirements.
+[[nodiscard]] Result<CardinalityEstimate> estimate_point_persistent_naive(
+    std::span<const Bitmap> records);
+
+}  // namespace ptm

@@ -1,0 +1,31 @@
+#include "core/privacy.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ptm {
+
+PrivacyPoint privacy_point(double n_prime, double m_prime, std::size_t s) {
+  assert(n_prime >= 0.0 && m_prime >= 2.0 && s >= 1);
+  PrivacyPoint pt;
+  const double survive = std::pow(1.0 - 1.0 / m_prime, n_prime);
+  pt.noise = 1.0 - survive;                                   // Eq. 22
+  pt.information = survive / static_cast<double>(s);          // Eq. 23
+  pt.ratio = pt.information > 0.0
+                 ? pt.noise / pt.information                  // Eq. 24
+                 : std::numeric_limits<double>::infinity();
+  return pt;
+}
+
+double table2_noise(double f) {
+  assert(f > 0.0);
+  return privacy_point(kTable2NPrime, f * kTable2NPrime, 1).noise;
+}
+
+double table2_ratio(std::size_t s, double f) {
+  assert(f > 0.0 && s >= 1);
+  return privacy_point(kTable2NPrime, f * kTable2NPrime, s).ratio;
+}
+
+}  // namespace ptm

@@ -1,0 +1,77 @@
+#include "core/sliding_join.hpp"
+
+#include <cassert>
+
+#include "common/math.hpp"
+#include "core/expansion.hpp"
+
+namespace ptm {
+namespace {
+
+Bitmap all_ones(std::size_t bits) {
+  Bitmap b(bits);
+  for (std::size_t i = 0; i < bits; ++i) b.set(i);
+  return b;
+}
+
+}  // namespace
+
+SlidingAndJoin::SlidingAndJoin(std::size_t window, std::size_t capacity_bits)
+    : window_(window),
+      capacity_bits_(capacity_bits),
+      back_join_(all_ones(capacity_bits)) {
+  assert(window >= 1 && is_power_of_two(capacity_bits));
+}
+
+void SlidingAndJoin::flip_if_needed() {
+  if (!front_.empty() || back_.empty()) return;
+  // Move the back records into the front stack, newest first, so the
+  // oldest ends up on top (vector back) carrying the join of all of them.
+  front_.reserve(back_.size());
+  for (auto it = back_.rbegin(); it != back_.rend(); ++it) {
+    Bitmap join = *it;
+    if (!front_.empty()) {
+      const Status s = join.and_with(front_.back().second);
+      assert(s.is_ok());
+      (void)s;
+    }
+    front_.emplace_back(*it, std::move(join));
+  }
+  back_.clear();
+  back_join_ = all_ones(capacity_bits_);
+}
+
+Status SlidingAndJoin::push(const Bitmap& record) {
+  auto expanded = expand_to(record, capacity_bits_);
+  if (!expanded) return expanded.status();
+
+  if (size() == window_) {
+    flip_if_needed();
+    front_.pop_back();  // evict the oldest
+  }
+  if (Status s = back_join_.and_with(*expanded); !s.is_ok()) return s;
+  back_.push_back(std::move(*expanded));
+  return Status::ok();
+}
+
+Result<Bitmap> SlidingAndJoin::joined() const {
+  if (size() == 0) {
+    return Status{ErrorCode::kFailedPrecondition, "window is empty"};
+  }
+  if (front_.empty()) return back_join_;
+  Bitmap out = front_.back().second;
+  if (Status s = out.and_with(back_join_); !s.is_ok()) return s;
+  return out;
+}
+
+std::vector<Bitmap> SlidingAndJoin::window_records() const {
+  std::vector<Bitmap> out;
+  out.reserve(size());
+  for (auto it = front_.rbegin(); it != front_.rend(); ++it) {
+    out.push_back(it->first);
+  }
+  for (const Bitmap& b : back_) out.push_back(b);
+  return out;
+}
+
+}  // namespace ptm

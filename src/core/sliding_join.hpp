@@ -1,0 +1,63 @@
+// sliding_join.hpp - amortized O(1) sliding-window AND-join of records.
+//
+// Operational deployments ask rolling questions: "persistent traffic over
+// the LAST seven days", re-evaluated daily.  Recomputing the AND-join from
+// scratch costs O(w) bitmap ANDs per day; this class maintains it with
+// amortized O(1) ANDs per slide using the two-stack (SWAG / Kahan queue)
+// technique: a back stack accumulates new records' running join, a front
+// stack holds suffix joins of the old ones, and the window join is
+// front_top AND back_accumulator.  AND is associative, which is all the
+// trick needs.
+//
+// All records are expanded to a fixed capacity (a power of two >= every
+// record size) at push time, so joins are always size-aligned.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/status.hpp"
+
+namespace ptm {
+
+class SlidingAndJoin {
+ public:
+  /// `window` = number of most-recent records joined; `capacity_bits` =
+  /// the fixed expanded size (power of two, >= every pushed record's size).
+  SlidingAndJoin(std::size_t window, std::size_t capacity_bits);
+
+  [[nodiscard]] std::size_t window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return front_.size() + back_.size();
+  }
+  [[nodiscard]] std::size_t capacity_bits() const noexcept {
+    return capacity_bits_;
+  }
+
+  /// Pushes the newest record, evicting the oldest once the window is
+  /// full.  InvalidArgument if the record's size is not a power of two or
+  /// exceeds the capacity.
+  Status push(const Bitmap& record);
+
+  /// AND-join of the records currently in the window.
+  /// FailedPrecondition when empty.
+  [[nodiscard]] Result<Bitmap> joined() const;
+
+  /// The window's raw records, oldest first (for estimators that need the
+  /// split halves, e.g. Eq. 12, which wants records rather than the join).
+  [[nodiscard]] std::vector<Bitmap> window_records() const;
+
+ private:
+  void flip_if_needed();
+
+  std::size_t window_;
+  std::size_t capacity_bits_;
+  // Front stack: pairs of (record, suffix-join from this record to the
+  // front's oldest side).  Back stack: records plus one running join.
+  std::vector<std::pair<Bitmap, Bitmap>> front_;  // top = back() of vector
+  std::deque<Bitmap> back_;
+  Bitmap back_join_;  // AND of everything in back_; all-ones when empty
+};
+
+}  // namespace ptm

@@ -1,0 +1,408 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace ptm {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+void BigInt::trim() noexcept {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt::BigInt(std::uint64_t value) {
+  if (value != 0) limbs_.push_back(static_cast<std::uint32_t>(value));
+  if (value >> 32) limbs_.push_back(static_cast<std::uint32_t>(value >> 32));
+}
+
+BigInt BigInt::from_be_bytes(std::span<const std::uint8_t> bytes) {
+  BigInt out;
+  for (std::uint8_t b : bytes) {
+    // out = out * 256 + b, done limb-wise for efficiency.
+    std::uint64_t carry = b;
+    for (auto& limb : out.limbs_) {
+      const std::uint64_t v = (static_cast<std::uint64_t>(limb) << 8) | carry;
+      limb = static_cast<std::uint32_t>(v);
+      carry = v >> 32;
+    }
+    if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  }
+  out.trim();
+  return out;
+}
+
+std::vector<std::uint8_t> BigInt::to_be_bytes() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(limbs_.size() * 4);
+  for (auto it = limbs_.rbegin(); it != limbs_.rend(); ++it) {
+    out.push_back(static_cast<std::uint8_t>(*it >> 24));
+    out.push_back(static_cast<std::uint8_t>(*it >> 16));
+    out.push_back(static_cast<std::uint8_t>(*it >> 8));
+    out.push_back(static_cast<std::uint8_t>(*it));
+  }
+  // Strip leading zeros.
+  std::size_t first = 0;
+  while (first < out.size() && out[first] == 0) ++first;
+  out.erase(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(first));
+  return out;
+}
+
+BigInt BigInt::random_with_bits(std::size_t bits, Xoshiro256& rng) {
+  assert(bits >= 1);
+  BigInt out;
+  const std::size_t limbs = (bits + 31) / 32;
+  out.limbs_.resize(limbs);
+  for (auto& limb : out.limbs_) {
+    limb = static_cast<std::uint32_t>(rng.next());
+  }
+  const std::size_t top_bits = bits - (limbs - 1) * 32;  // 1..32
+  std::uint32_t& top = out.limbs_.back();
+  if (top_bits < 32) top &= (1U << top_bits) - 1;
+  top |= 1U << (top_bits - 1);  // force exact bit length
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::random_below(const BigInt& bound, Xoshiro256& rng) {
+  assert(!bound.is_zero());
+  const std::size_t bits = bound.bit_length();
+  // Rejection sampling over [0, 2^bits).
+  for (;;) {
+    BigInt candidate;
+    const std::size_t limbs = (bits + 31) / 32;
+    candidate.limbs_.resize(limbs);
+    for (auto& limb : candidate.limbs_) {
+      limb = static_cast<std::uint32_t>(rng.next());
+    }
+    const std::size_t top_bits = bits - (limbs - 1) * 32;
+    if (top_bits < 32) candidate.limbs_.back() &= (1U << top_bits) - 1;
+    candidate.trim();
+    if (candidate < bound) return candidate;
+  }
+}
+
+std::size_t BigInt::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  const std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  for (int i = 31; i >= 0; --i) {
+    if (top & (1U << i)) return bits + static_cast<std::size_t>(i) + 1;
+  }
+  return bits;  // unreachable: trim() removes zero top limbs
+}
+
+bool BigInt::bit(std::size_t i) const noexcept {
+  const std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1U;
+}
+
+std::uint64_t BigInt::low_u64() const noexcept {
+  std::uint64_t v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= static_cast<std::uint64_t>(limbs_[1]) << 32;
+  return v;
+}
+
+int BigInt::compare(const BigInt& a, const BigInt& b) noexcept {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::add(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  const std::size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  out.limbs_.resize(n);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.limbs_.size()) sum += a.limbs_[i];
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<std::uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+BigInt BigInt::sub(const BigInt& a, const BigInt& b) {
+  assert(compare(a, b) >= 0 && "BigInt::sub requires a >= b");
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a.limbs_[i]) - borrow;
+    if (i < b.limbs_.size()) diff -= b.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::mul(const BigInt& a, const BigInt& b) {
+  if (a.is_zero() || b.is_zero()) return {};
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    const std::uint64_t ai = a.limbs_[i];
+    for (std::size_t j = 0; j < b.limbs_.size(); ++j) {
+      const std::uint64_t cur =
+          out.limbs_[i + j] + ai * b.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.limbs_.size();
+    while (carry) {
+      const std::uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<std::uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shl(const BigInt& a, std::size_t bits) {
+  if (a.is_zero() || bits == 0) return a;
+  const std::size_t limb_shift = bits / 32;
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < a.limbs_.size(); ++i) {
+    const std::uint64_t v = static_cast<std::uint64_t>(a.limbs_[i])
+                            << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<std::uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shr(const BigInt& a, std::size_t bits) {
+  const std::size_t limb_shift = bits / 32;
+  if (limb_shift >= a.limbs_.size()) return {};
+  const std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    std::uint64_t v =
+        static_cast<std::uint64_t>(a.limbs_[i + limb_shift]) >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < a.limbs_.size()) {
+      v |= static_cast<std::uint64_t>(a.limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<std::uint32_t>(v);
+  }
+  out.trim();
+  return out;
+}
+
+BigIntDivMod BigInt::divmod(const BigInt& a, const BigInt& b) {
+  if (b.is_zero()) throw std::domain_error("BigInt division by zero");
+  if (compare(a, b) < 0) return {BigInt{}, a};
+  if (b.limbs_.size() == 1) {
+    // Fast path: single-limb divisor.
+    const std::uint64_t d = b.limbs_[0];
+    BigInt q;
+    q.limbs_.resize(a.limbs_.size());
+    std::uint64_t rem = 0;
+    for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | a.limbs_[i];
+      q.limbs_[i] = static_cast<std::uint32_t>(cur / d);
+      rem = cur % d;
+    }
+    q.trim();
+    return {q, BigInt(rem)};
+  }
+
+  // Knuth Algorithm D.  Normalize so the divisor's top limb has its high
+  // bit set, which bounds the quotient-digit guess error to 2.
+  const std::size_t shift = 32 - (b.bit_length() % 32 == 0
+                                      ? 32
+                                      : b.bit_length() % 32);
+  const BigInt u = shl(a, shift);
+  const BigInt v = shl(b, shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+
+  std::vector<std::uint32_t> un(u.limbs_);
+  un.push_back(0);  // u gets one extra high limb
+  const std::vector<std::uint32_t>& vn = v.limbs_;
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate the quotient digit from the top two/three limbs.
+    const std::uint64_t numerator =
+        (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+    std::uint64_t qhat = numerator / vn[n - 1];
+    std::uint64_t rhat = numerator % vn[n - 1];
+    while (qhat >= kBase ||
+           qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+      --qhat;
+      rhat += vn[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    std::int64_t borrow = 0;
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t p = qhat * vn[i] + carry;
+      carry = p >> 32;
+      const std::int64_t t = static_cast<std::int64_t>(un[i + j]) -
+                             static_cast<std::int64_t>(p & 0xffffffffULL) -
+                             borrow;
+      un[i + j] = static_cast<std::uint32_t>(t);
+      borrow = t < 0 ? 1 : 0;
+    }
+    const std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                           static_cast<std::int64_t>(carry) - borrow;
+    un[j + n] = static_cast<std::uint32_t>(t);
+
+    if (t < 0) {
+      // qhat was one too large: add v back.
+      --qhat;
+      std::uint64_t carry2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t sum =
+            static_cast<std::uint64_t>(un[i + j]) + vn[i] + carry2;
+        un[i + j] = static_cast<std::uint32_t>(sum);
+        carry2 = sum >> 32;
+      }
+      un[j + n] = static_cast<std::uint32_t>(un[j + n] + carry2);
+    }
+    q.limbs_[j] = static_cast<std::uint32_t>(qhat);
+  }
+
+  q.trim();
+  BigInt r;
+  r.limbs_.assign(un.begin(), un.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  return {q, shr(r, shift)};
+}
+
+BigInt BigInt::mod(const BigInt& a, const BigInt& m) {
+  return divmod(a, m).remainder;
+}
+
+BigInt BigInt::mulmod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return mod(mul(a, b), m);
+}
+
+BigInt BigInt::powmod(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!m.is_zero());
+  BigInt result(1);
+  BigInt acc = mod(base, m);
+  const std::size_t bits = exp.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mulmod(result, acc, m);
+    if (i + 1 < bits) acc = mulmod(acc, acc, m);
+  }
+  return result;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = mod(a, b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::modinv(const BigInt& a, const BigInt& m) {
+  // Extended Euclid tracking only the coefficient of `a`, with signs
+  // handled explicitly since BigInt is unsigned.
+  BigInt old_r = mod(a, m), r = m;
+  BigInt old_s(1), s{};
+  bool old_s_neg = false, s_neg = false;
+
+  while (!r.is_zero()) {
+    const BigIntDivMod dm = divmod(old_r, r);
+    // (old_r, r) <- (r, old_r - q*r)
+    BigInt new_r = dm.remainder;
+    old_r = std::move(r);
+    r = std::move(new_r);
+
+    // (old_s, s) <- (s, old_s - q*s) with sign bookkeeping.
+    BigInt qs = mul(dm.quotient, s);
+    BigInt new_s;
+    bool new_s_neg;
+    if (old_s_neg == s_neg) {
+      // same sign: old_s - q*s may flip sign
+      if (compare(old_s, qs) >= 0) {
+        new_s = sub(old_s, qs);
+        new_s_neg = old_s_neg;
+      } else {
+        new_s = sub(qs, old_s);
+        new_s_neg = !old_s_neg;
+      }
+    } else {
+      new_s = add(old_s, qs);
+      new_s_neg = old_s_neg;
+    }
+    old_s = std::move(s);
+    old_s_neg = s_neg;
+    s = std::move(new_s);
+    s_neg = new_s_neg;
+  }
+
+  if (!(old_r == BigInt(1))) return {};  // not invertible
+  if (old_s_neg) return sub(m, mod(old_s, m));
+  return mod(old_s, m);
+}
+
+std::uint32_t BigInt::mod_small(std::uint32_t divisor) const noexcept {
+  assert(divisor != 0);
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    rem = ((rem << 32) | limbs_[i]) % divisor;
+  }
+  return static_cast<std::uint32_t>(rem);
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 7; nib >= 0; --nib) {
+      out.push_back(kHex[(limbs_[i] >> (nib * 4)) & 0xF]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  BigInt out;
+  for (char ch : hex) {
+    std::uint32_t digit;
+    if (ch >= '0' && ch <= '9') digit = static_cast<std::uint32_t>(ch - '0');
+    else if (ch >= 'a' && ch <= 'f') digit = static_cast<std::uint32_t>(ch - 'a' + 10);
+    else if (ch >= 'A' && ch <= 'F') digit = static_cast<std::uint32_t>(ch - 'A' + 10);
+    else continue;  // permissive: skip separators
+    out = add(shl(out, 4), BigInt(digit));
+  }
+  return out;
+}
+
+}  // namespace ptm

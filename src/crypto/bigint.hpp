@@ -1,0 +1,113 @@
+// bigint.hpp - arbitrary-precision unsigned integers for the PKI substrate.
+//
+// The V2I protocol authenticates RSUs with public-key certificates (paper
+// §II-B).  We implement a small but real RSA over this bignum; 32-bit limbs
+// keep the schoolbook algorithms simple and fast enough for the 512-1024-bit
+// simulation keys.  Little-endian limb order; no negative numbers (RSA never
+// needs them - the one subtraction in keygen is guarded).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace ptm {
+
+class BigInt;
+
+/// Quotient/remainder pair returned by BigInt::divmod.
+struct BigIntDivMod;
+
+class BigInt {
+ public:
+  BigInt() = default;
+  /// From a machine word.
+  explicit BigInt(std::uint64_t value);
+
+  /// From big-endian bytes (leading zeros allowed), e.g. a SHA-256 digest.
+  [[nodiscard]] static BigInt from_be_bytes(std::span<const std::uint8_t> bytes);
+  /// Big-endian bytes, no leading zeros (empty for zero).
+  [[nodiscard]] std::vector<std::uint8_t> to_be_bytes() const;
+
+  /// Uniform random value with exactly `bits` bits (top bit set).
+  [[nodiscard]] static BigInt random_with_bits(std::size_t bits,
+                                               Xoshiro256& rng);
+  /// Uniform random value in [0, bound) for bound >= 1.
+  [[nodiscard]] static BigInt random_below(const BigInt& bound,
+                                           Xoshiro256& rng);
+
+  [[nodiscard]] bool is_zero() const noexcept { return limbs_.empty(); }
+  [[nodiscard]] bool is_odd() const noexcept {
+    return !limbs_.empty() && (limbs_[0] & 1U);
+  }
+  /// Number of significant bits (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const noexcept;
+  [[nodiscard]] bool bit(std::size_t i) const noexcept;
+
+  /// Value as uint64, truncating higher limbs (callers check bit_length).
+  [[nodiscard]] std::uint64_t low_u64() const noexcept;
+
+  /// Three-way compare: negative/zero/positive like memcmp.
+  [[nodiscard]] static int compare(const BigInt& a, const BigInt& b) noexcept;
+  friend bool operator==(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) == 0;
+  }
+  friend bool operator<(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) < 0;
+  }
+  friend bool operator<=(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) <= 0;
+  }
+  friend bool operator>(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) > 0;
+  }
+  friend bool operator>=(const BigInt& a, const BigInt& b) noexcept {
+    return compare(a, b) >= 0;
+  }
+
+  [[nodiscard]] static BigInt add(const BigInt& a, const BigInt& b);
+  /// Precondition: a >= b.
+  [[nodiscard]] static BigInt sub(const BigInt& a, const BigInt& b);
+  [[nodiscard]] static BigInt mul(const BigInt& a, const BigInt& b);
+  /// Schoolbook (Knuth D) division; divisor must be non-zero.
+  [[nodiscard]] static BigIntDivMod divmod(const BigInt& a, const BigInt& b);
+  [[nodiscard]] static BigInt mod(const BigInt& a, const BigInt& m);
+
+  /// (a * b) mod m and (base ^ exp) mod m, square-and-multiply.
+  [[nodiscard]] static BigInt mulmod(const BigInt& a, const BigInt& b,
+                                     const BigInt& m);
+  [[nodiscard]] static BigInt powmod(const BigInt& base, const BigInt& exp,
+                                     const BigInt& m);
+
+  [[nodiscard]] static BigInt gcd(BigInt a, BigInt b);
+  /// Modular inverse of a mod m (extended Euclid); errors (empty optional
+  /// semantics via is_zero result + `ok` flag) folded into Result-free API:
+  /// returns zero when no inverse exists - callers check gcd first.
+  [[nodiscard]] static BigInt modinv(const BigInt& a, const BigInt& m);
+
+  /// Shift helpers used by division and Miller-Rabin.
+  [[nodiscard]] static BigInt shl(const BigInt& a, std::size_t bits);
+  [[nodiscard]] static BigInt shr(const BigInt& a, std::size_t bits);
+
+  /// Remainder of division by a small value (trial division in keygen).
+  [[nodiscard]] std::uint32_t mod_small(std::uint32_t divisor) const noexcept;
+
+  /// Lowercase hex, "0" for zero (diagnostics/tests).
+  [[nodiscard]] std::string to_hex() const;
+  [[nodiscard]] static BigInt from_hex(std::string_view hex);
+
+ private:
+  void trim() noexcept;
+
+  std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+struct BigIntDivMod {
+  BigInt quotient;
+  BigInt remainder;
+};
+
+}  // namespace ptm

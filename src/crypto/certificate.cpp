@@ -1,0 +1,93 @@
+#include "crypto/certificate.hpp"
+
+#include "common/serialize.hpp"
+
+namespace ptm {
+
+std::vector<std::uint8_t> Certificate::tbs_bytes() const {
+  ByteWriter w;
+  w.str(subject);
+  w.u64(subject_id);
+  const auto key_bytes = subject_key.serialize();
+  w.bytes(key_bytes);
+  w.str(issuer);
+  w.u64(valid_from);
+  w.u64(valid_until);
+  return w.take();
+}
+
+std::vector<std::uint8_t> Certificate::serialize() const {
+  ByteWriter w;
+  const auto tbs = tbs_bytes();
+  w.bytes(tbs);
+  w.bytes(signature);
+  return w.take();
+}
+
+Result<Certificate> Certificate::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader outer(bytes);
+  auto tbs = outer.bytes();
+  if (!tbs) return tbs.status();
+  auto sig = outer.bytes();
+  if (!sig) return sig.status();
+
+  ByteReader r(*tbs);
+  Certificate cert;
+  auto subject = r.str();
+  if (!subject) return subject.status();
+  cert.subject = std::move(*subject);
+  auto subject_id = r.u64();
+  if (!subject_id) return subject_id.status();
+  cert.subject_id = *subject_id;
+  auto key_bytes = r.bytes();
+  if (!key_bytes) return key_bytes.status();
+  auto key = RsaPublicKey::deserialize(*key_bytes);
+  if (!key) return key.status();
+  cert.subject_key = std::move(*key);
+  auto issuer = r.str();
+  if (!issuer) return issuer.status();
+  cert.issuer = std::move(*issuer);
+  auto from = r.u64();
+  if (!from) return from.status();
+  cert.valid_from = *from;
+  auto until = r.u64();
+  if (!until) return until.status();
+  cert.valid_until = *until;
+  cert.signature = std::move(*sig);
+  return cert;
+}
+
+CertificateAuthority::CertificateAuthority(std::string name,
+                                           std::size_t modulus_bits,
+                                           Xoshiro256& rng)
+    : name_(std::move(name)), keys_(rsa_generate(modulus_bits, rng)) {}
+
+Certificate CertificateAuthority::issue(std::string subject,
+                                        std::uint64_t subject_id,
+                                        const RsaPublicKey& subject_key,
+                                        std::uint64_t valid_from,
+                                        std::uint64_t valid_until) const {
+  Certificate cert;
+  cert.subject = std::move(subject);
+  cert.subject_id = subject_id;
+  cert.subject_key = subject_key;
+  cert.issuer = name_;
+  cert.valid_from = valid_from;
+  cert.valid_until = valid_until;
+  cert.signature = rsa_sign(keys_, cert.tbs_bytes());
+  return cert;
+}
+
+Status verify_certificate(const Certificate& cert, const RsaPublicKey& ca_key,
+                          std::uint64_t period) {
+  if (period < cert.valid_from || period > cert.valid_until) {
+    return {ErrorCode::kAuthFailure, "certificate outside validity window"};
+  }
+  if (!rsa_verify(ca_key, cert.tbs_bytes(), cert.signature)) {
+    return {ErrorCode::kAuthFailure, "certificate signature invalid"};
+  }
+  return Status::ok();
+}
+
+}  // namespace ptm

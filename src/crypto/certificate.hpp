@@ -1,0 +1,73 @@
+// certificate.hpp - public-key certificates and the trusted third party
+// (paper §II-B).
+//
+// Each RSU carries a certificate binding its identity (location code) to its
+// public key, signed by a trusted third party whose public key is
+// pre-installed in every vehicle.  A vehicle verifies the certificate from a
+// beacon, then uses the RSU's key to authenticate the RSU itself; rogue RSUs
+// fail this chain and are ignored.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/status.hpp"
+#include "crypto/rsa.hpp"
+
+namespace ptm {
+
+struct Certificate {
+  std::string subject;        ///< e.g. "rsu:12" - bound identity
+  std::uint64_t subject_id = 0;  ///< numeric form (RSU location code)
+  RsaPublicKey subject_key;   ///< the certified public key
+  std::string issuer;         ///< CA name
+  std::uint64_t valid_from = 0;  ///< first valid measurement period
+  std::uint64_t valid_until = 0; ///< last valid measurement period
+  std::vector<std::uint8_t> signature;  ///< CA signature over tbs_bytes()
+
+  /// The to-be-signed serialization (everything except the signature).
+  [[nodiscard]] std::vector<std::uint8_t> tbs_bytes() const;
+
+  /// Full wire form including the signature.
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Result<Certificate> deserialize(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// The trusted third party.  Vehicles hold `public_key()`; RSUs hold
+/// certificates issued by `issue()`.
+class CertificateAuthority {
+ public:
+  /// Creates a CA with a fresh keypair of the given modulus size.
+  CertificateAuthority(std::string name, std::size_t modulus_bits,
+                       Xoshiro256& rng);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const RsaPublicKey& public_key() const noexcept {
+    return keys_.pub;
+  }
+
+  /// Issues a certificate for `subject_key` bound to the subject identity,
+  /// valid over the inclusive period range.
+  [[nodiscard]] Certificate issue(std::string subject,
+                                  std::uint64_t subject_id,
+                                  const RsaPublicKey& subject_key,
+                                  std::uint64_t valid_from,
+                                  std::uint64_t valid_until) const;
+
+ private:
+  std::string name_;
+  RsaKeyPair keys_;
+};
+
+/// Verifies `cert` against the CA public key and checks that `period` falls
+/// in the validity window.  Returns AuthFailure with a reason on any
+/// mismatch.
+[[nodiscard]] Status verify_certificate(const Certificate& cert,
+                                        const RsaPublicKey& ca_key,
+                                        std::uint64_t period);
+
+}  // namespace ptm

@@ -1,0 +1,167 @@
+#include "crypto/rsa.hpp"
+
+#include <array>
+#include <cassert>
+
+#include "common/serialize.hpp"
+#include "hash/sha256.hpp"
+
+namespace ptm {
+namespace {
+
+// Small primes for fast rejection before Miller-Rabin.
+constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+/// EMSA-PKCS1-v1_5-style encoding of a SHA-256 digest into `len` bytes:
+/// 0x00 0x01 0xFF..0xFF 0x00 <digest>.  Requires len >= digest + 11.
+std::vector<std::uint8_t> pad_digest(const Sha256Digest& digest,
+                                     std::size_t len) {
+  assert(len >= digest.size() + 11);
+  std::vector<std::uint8_t> out(len, 0xFF);
+  out[0] = 0x00;
+  out[1] = 0x01;
+  out[len - digest.size() - 1] = 0x00;
+  std::copy(digest.begin(), digest.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(len - digest.size()));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> RsaPublicKey::serialize() const {
+  ByteWriter w;
+  const auto n_bytes = n.to_be_bytes();
+  const auto e_bytes = e.to_be_bytes();
+  w.bytes(n_bytes);
+  w.bytes(e_bytes);
+  return w.take();
+}
+
+Result<RsaPublicKey> RsaPublicKey::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto n_bytes = r.bytes();
+  if (!n_bytes) return n_bytes.status();
+  auto e_bytes = r.bytes();
+  if (!e_bytes) return e_bytes.status();
+  RsaPublicKey pub;
+  pub.n = BigInt::from_be_bytes(*n_bytes);
+  pub.e = BigInt::from_be_bytes(*e_bytes);
+  if (pub.n.is_zero() || pub.e.is_zero()) {
+    return Status{ErrorCode::kParseError, "degenerate RSA public key"};
+  }
+  return pub;
+}
+
+bool is_probable_prime(const BigInt& candidate, Xoshiro256& rng, int rounds) {
+  if (candidate.bit_length() <= 10) {
+    const std::uint64_t v = candidate.low_u64();
+    if (v < 2) return false;
+    for (std::uint32_t p : kSmallPrimes) {
+      if (v == p) return true;
+      if (v % p == 0) return false;
+    }
+    // All composites below 257^2 have a factor in kSmallPrimes.
+    return true;
+  }
+  if (!candidate.is_odd()) return false;
+  for (std::uint32_t p : kSmallPrimes) {
+    if (candidate.mod_small(p) == 0) return false;
+  }
+
+  // Write candidate - 1 = d * 2^r.
+  const BigInt one(1);
+  const BigInt two(2);
+  const BigInt n_minus_1 = BigInt::sub(candidate, one);
+  BigInt d = n_minus_1;
+  std::size_t r = 0;
+  while (!d.is_odd()) {
+    d = BigInt::shr(d, 1);
+    ++r;
+  }
+
+  const BigInt three(3);
+  const BigInt n_minus_3 = BigInt::sub(candidate, three);
+  for (int round = 0; round < rounds; ++round) {
+    // Base in [2, candidate - 2].
+    const BigInt a = BigInt::add(BigInt::random_below(n_minus_3, rng), two);
+    BigInt x = BigInt::powmod(a, d, candidate);
+    if (x == one || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < r; ++i) {
+      x = BigInt::mulmod(x, x, candidate);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt generate_prime(std::size_t bits, Xoshiro256& rng) {
+  assert(bits >= 16);
+  for (;;) {
+    BigInt candidate = BigInt::random_with_bits(bits, rng);
+    if (!candidate.is_odd()) candidate = BigInt::add(candidate, BigInt(1));
+    if (is_probable_prime(candidate, rng)) return candidate;
+  }
+}
+
+RsaKeyPair rsa_generate(std::size_t modulus_bits, Xoshiro256& rng) {
+  assert(modulus_bits >= 128);
+  const BigInt e(65537);
+  const BigInt one(1);
+  for (;;) {
+    const std::size_t half = modulus_bits / 2;
+    const BigInt p = generate_prime(half, rng);
+    const BigInt q = generate_prime(modulus_bits - half, rng);
+    if (p == q) continue;
+    const BigInt n = BigInt::mul(p, q);
+    const BigInt phi =
+        BigInt::mul(BigInt::sub(p, one), BigInt::sub(q, one));
+    if (!(BigInt::gcd(e, phi) == one)) continue;
+    const BigInt d = BigInt::modinv(e, phi);
+    if (d.is_zero()) continue;
+    RsaKeyPair kp;
+    kp.pub.n = n;
+    kp.pub.e = e;
+    kp.d = d;
+    return kp;
+  }
+}
+
+std::vector<std::uint8_t> rsa_sign(const RsaKeyPair& key,
+                                   std::span<const std::uint8_t> message) {
+  const Sha256Digest digest = Sha256::digest(message);
+  const std::size_t len = (key.pub.modulus_bits() + 7) / 8;
+  const auto em = pad_digest(digest, len);
+  const BigInt m = BigInt::from_be_bytes(em);
+  const BigInt s = BigInt::powmod(m, key.d, key.pub.n);
+  // Fixed-width big-endian output so verify can round-trip exactly.
+  auto raw = s.to_be_bytes();
+  std::vector<std::uint8_t> out(len, 0);
+  std::copy(raw.begin(), raw.end(),
+            out.begin() + static_cast<std::ptrdiff_t>(len - raw.size()));
+  return out;
+}
+
+bool rsa_verify(const RsaPublicKey& pub, std::span<const std::uint8_t> message,
+                std::span<const std::uint8_t> signature) {
+  const std::size_t len = (pub.modulus_bits() + 7) / 8;
+  if (signature.size() != len) return false;
+  const BigInt s = BigInt::from_be_bytes(signature);
+  if (s >= pub.n) return false;
+  const BigInt m = BigInt::powmod(s, pub.e, pub.n);
+  const Sha256Digest digest = Sha256::digest(message);
+  const auto expected = pad_digest(digest, len);
+  const BigInt expected_int = BigInt::from_be_bytes(expected);
+  return m == expected_int;
+}
+
+}  // namespace ptm

@@ -1,0 +1,62 @@
+// rsa.hpp - simulation-grade RSA signatures for the V2I PKI (paper §II-B).
+//
+// RSUs present certificates signed by a trusted third party; vehicles verify
+// them before participating.  We implement textbook RSA keygen (Miller-Rabin
+// primes), and deterministic PKCS#1-v1.5-style signatures over SHA-256
+// digests.  Key sizes of 512-1024 bits keep keygen fast in tests; this is a
+// functional substrate for the protocol, NOT hardened production crypto
+// (see DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/status.hpp"
+#include "crypto/bigint.hpp"
+
+namespace ptm {
+
+struct RsaPublicKey {
+  BigInt n;  ///< modulus
+  BigInt e;  ///< public exponent (65537)
+
+  [[nodiscard]] std::size_t modulus_bits() const noexcept {
+    return n.bit_length();
+  }
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Result<RsaPublicKey> deserialize(
+      std::span<const std::uint8_t> bytes);
+  friend bool operator==(const RsaPublicKey& a,
+                         const RsaPublicKey& b) = default;
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  BigInt d;  ///< private exponent
+};
+
+/// Miller-Rabin primality test with `rounds` random bases.
+[[nodiscard]] bool is_probable_prime(const BigInt& candidate,
+                                     Xoshiro256& rng, int rounds = 24);
+
+/// Random prime with exactly `bits` bits.
+[[nodiscard]] BigInt generate_prime(std::size_t bits, Xoshiro256& rng);
+
+/// RSA keypair with a modulus of ~`modulus_bits` bits and e = 65537.
+/// Precondition: modulus_bits >= 128 (so padding fits).
+[[nodiscard]] RsaKeyPair rsa_generate(std::size_t modulus_bits,
+                                      Xoshiro256& rng);
+
+/// Signs message bytes: SHA-256 digest, PKCS#1-style pad to the modulus
+/// width, then s = pad(digest)^d mod n.
+[[nodiscard]] std::vector<std::uint8_t> rsa_sign(
+    const RsaKeyPair& key, std::span<const std::uint8_t> message);
+
+/// Verifies a signature produced by rsa_sign under `pub`.
+[[nodiscard]] bool rsa_verify(const RsaPublicKey& pub,
+                              std::span<const std::uint8_t> message,
+                              std::span<const std::uint8_t> signature);
+
+}  // namespace ptm

@@ -1,0 +1,34 @@
+#include "hash/hash_suite.hpp"
+
+#include <bit>
+
+#include "common/random.hpp"
+
+namespace ptm {
+
+std::string_view hash_family_name(HashFamily family) noexcept {
+  switch (family) {
+    case HashFamily::kMurmur3: return "murmur3";
+    case HashFamily::kXxHash: return "xxhash64";
+    case HashFamily::kSipHash: return "siphash24";
+  }
+  return "unknown";
+}
+
+double avalanche_score(HashFamily family, std::uint64_t seed, int trials) {
+  Xoshiro256 rng(0xA11A4C8EULL ^ seed);
+  std::uint64_t flipped_bits = 0;
+  std::uint64_t total_bits = 0;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t x = rng.next();
+    const std::uint64_t hx = hash64(family, x, seed);
+    for (int bit = 0; bit < 64; ++bit) {
+      const std::uint64_t hy = hash64(family, x ^ (1ULL << bit), seed);
+      flipped_bits += static_cast<std::uint64_t>(std::popcount(hx ^ hy));
+      total_bits += 64;
+    }
+  }
+  return static_cast<double>(flipped_bits) / static_cast<double>(total_bits);
+}
+
+}  // namespace ptm

@@ -1,0 +1,51 @@
+// hash_suite.hpp - pluggable instantiation of the paper's hash function H.
+//
+// §II-D only requires H to "provide good randomness"; the estimators'
+// correctness rests on H being uniform, not on any particular family.  The
+// suite exposes the three families implemented in this library behind one
+// switch so experiments (and tests) can confirm the results are
+// hash-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hash/murmur3.hpp"
+#include "hash/siphash.hpp"
+#include "hash/xxhash.hpp"
+
+namespace ptm {
+
+enum class HashFamily {
+  kMurmur3,  ///< MurmurHash3 x64_128 low half (default)
+  kXxHash,   ///< XXH64
+  kSipHash,  ///< SipHash-2-4 (keyed PRF; seed splits into the 128-bit key)
+};
+
+[[nodiscard]] std::string_view hash_family_name(HashFamily family) noexcept;
+
+/// 64-bit hash of a 64-bit value under the chosen family and seed.
+/// This is the `H` of the paper's encoding h_v = H(...) mod m.
+[[nodiscard]] inline std::uint64_t hash64(HashFamily family,
+                                          std::uint64_t value,
+                                          std::uint64_t seed) noexcept {
+  switch (family) {
+    case HashFamily::kMurmur3:
+      return murmur3_64(value, static_cast<std::uint32_t>(seed));
+    case HashFamily::kXxHash:
+      return xxhash64(value, seed);
+    case HashFamily::kSipHash:
+      // Derive a 128-bit key from the seed; SplitMix-style constants keep
+      // the two halves decorrelated.
+      return siphash24(value, seed, seed * 0x9e3779b97f4a7c15ULL + 1);
+  }
+  return 0;  // unreachable
+}
+
+/// Bit-mixing quality measure used by the hash property tests: flips each
+/// input bit of `trials` random values and returns the mean fraction of
+/// output bits that flip (ideal: 0.5).
+[[nodiscard]] double avalanche_score(HashFamily family, std::uint64_t seed,
+                                     int trials);
+
+}  // namespace ptm

@@ -1,0 +1,34 @@
+// murmur3.hpp - MurmurHash3 (Austin Appleby, public domain), 32-bit and
+// x64 128-bit variants.
+//
+// The paper's encoding function `H` only needs "good randomness" (§II-D);
+// MurmurHash3 is the default instantiation because it is fast, seedable and
+// has well-studied avalanche behaviour.  The implementation is from-scratch
+// but bit-compatible with the reference smhasher vectors (verified in
+// tests/hash_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace ptm {
+
+/// MurmurHash3_x86_32 over an arbitrary byte span.
+[[nodiscard]] std::uint32_t murmur3_32(std::span<const std::uint8_t> data,
+                                       std::uint32_t seed) noexcept;
+
+/// MurmurHash3_x64_128; returns the two 64-bit halves.
+[[nodiscard]] std::array<std::uint64_t, 2> murmur3_x64_128(
+    std::span<const std::uint8_t> data, std::uint32_t seed) noexcept;
+
+/// Convenience: 64-bit hash (low half of the 128-bit variant) of a span.
+[[nodiscard]] std::uint64_t murmur3_64(std::span<const std::uint8_t> data,
+                                       std::uint32_t seed) noexcept;
+
+/// 64-bit hash of a single 64-bit value (the common case in vehicle
+/// encoding, where inputs are XOR-combined words).
+[[nodiscard]] std::uint64_t murmur3_64(std::uint64_t value,
+                                       std::uint32_t seed) noexcept;
+
+}  // namespace ptm

@@ -1,0 +1,51 @@
+// sha256.hpp - SHA-256 (FIPS 180-4), from-scratch, plus HMAC-SHA256.
+//
+// The PKI substrate signs SHA-256 digests of certificates and messages;
+// HMAC-SHA256 backs key derivation in the protocol simulation.  Verified
+// against the NIST test vectors in tests/hash_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ptm {
+
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256.  Typical use:
+///   Sha256 h; h.update(a); h.update(b); Sha256Digest d = h.finish();
+/// `finish` may be called once; the object is then spent.
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept;
+  [[nodiscard]] Sha256Digest finish() noexcept;
+
+  /// One-shot digest of a byte span.
+  [[nodiscard]] static Sha256Digest digest(
+      std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Sha256Digest digest(std::string_view text) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::uint64_t total_bytes_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// HMAC-SHA256(key, message) per RFC 2104.
+[[nodiscard]] Sha256Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                       std::span<const std::uint8_t> message) noexcept;
+
+/// Hex string of a digest (lowercase, 64 chars).
+[[nodiscard]] std::string digest_hex(const Sha256Digest& d);
+
+}  // namespace ptm

@@ -1,0 +1,92 @@
+#include "hash/siphash.hpp"
+
+#include <cstring>
+
+namespace ptm {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  constexpr void sipround() noexcept {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+};
+
+std::uint64_t load64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::uint64_t siphash24(std::span<const std::uint8_t> data, std::uint64_t key0,
+                        std::uint64_t key1) noexcept {
+  SipState s{
+      key0 ^ 0x736f6d6570736575ULL,
+      key1 ^ 0x646f72616e646f6dULL,
+      key0 ^ 0x6c7967656e657261ULL,
+      key1 ^ 0x7465646279746573ULL,
+  };
+
+  const std::size_t full_blocks = data.size() / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = load64(data.data() + i * 8);
+    s.v3 ^= m;
+    s.sipround();
+    s.sipround();
+    s.v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t b = static_cast<std::uint64_t>(data.size() & 0xff) << 56;
+  const std::uint8_t* tail = data.data() + full_blocks * 8;
+  switch (data.size() & 7U) {
+    case 7: b |= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: b |= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: b |= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: b |= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: b |= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: b |= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1: b |= static_cast<std::uint64_t>(tail[0]); break;
+    case 0: break;
+  }
+  s.v3 ^= b;
+  s.sipround();
+  s.sipround();
+  s.v0 ^= b;
+
+  s.v2 ^= 0xff;
+  s.sipround();
+  s.sipround();
+  s.sipround();
+  s.sipround();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::uint64_t siphash24(std::uint64_t value, std::uint64_t key0,
+                        std::uint64_t key1) noexcept {
+  std::uint8_t buf[8];
+  std::memcpy(buf, &value, sizeof(buf));
+  return siphash24(std::span<const std::uint8_t>(buf, sizeof(buf)), key0, key1);
+}
+
+}  // namespace ptm

@@ -1,0 +1,22 @@
+// xxhash.hpp - XXH64 (Yann Collet, BSD), from-scratch implementation.
+//
+// Provided as an alternative instantiation of the paper's hash `H`; the
+// hash suite can swap it in to confirm the estimators are insensitive to the
+// particular hash family (any uniform hash works, per §II-D).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ptm {
+
+/// XXH64 over a byte span with the given seed (bit-compatible with the
+/// reference implementation; verified against published vectors in tests).
+[[nodiscard]] std::uint64_t xxhash64(std::span<const std::uint8_t> data,
+                                     std::uint64_t seed) noexcept;
+
+/// XXH64 of a single little-endian encoded 64-bit value.
+[[nodiscard]] std::uint64_t xxhash64(std::uint64_t value,
+                                     std::uint64_t seed) noexcept;
+
+}  // namespace ptm

@@ -1,0 +1,35 @@
+#include "net/channel.hpp"
+
+namespace ptm {
+
+std::vector<std::uint8_t> SimulatedChannel::maybe_corrupt(
+    std::span<const std::uint8_t> frame_bytes) {
+  std::vector<std::uint8_t> copy(frame_bytes.begin(), frame_bytes.end());
+  if (!copy.empty() && rng_.bernoulli(config_.corrupt_probability)) {
+    const std::size_t pos = static_cast<std::size_t>(rng_.below(copy.size()));
+    // Flip one random non-zero bit pattern so the byte always changes.
+    copy[pos] ^= static_cast<std::uint8_t>(1U << rng_.below(8));
+    ++stats_.corrupted;
+  }
+  return copy;
+}
+
+std::vector<std::vector<std::uint8_t>> SimulatedChannel::transmit(
+    std::span<const std::uint8_t> frame_bytes) {
+  ++stats_.sent;
+  std::vector<std::vector<std::uint8_t>> out;
+  if (rng_.bernoulli(config_.loss_probability)) {
+    ++stats_.lost;
+    return out;
+  }
+  out.push_back(maybe_corrupt(frame_bytes));
+  ++stats_.delivered;
+  if (rng_.bernoulli(config_.duplicate_probability)) {
+    out.push_back(maybe_corrupt(frame_bytes));
+    ++stats_.delivered;
+    ++stats_.duplicated;
+  }
+  return out;
+}
+
+}  // namespace ptm

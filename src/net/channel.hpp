@@ -1,0 +1,59 @@
+// channel.hpp - simulated DSRC wireless channel.
+//
+// The paper evaluates on IEEE 802.11p radios; our substitution is a lossy
+// byte-pipe with configurable loss, duplication, and corruption (DESIGN.md
+// §5).  The estimators consume only bitmaps, so the channel's effect on the
+// results is exactly "which vehicles got encoded" - with the default
+// zero-loss config every passing vehicle is encoded, matching the paper's
+// assumption; the failure-injection tests and the channel ablation raise the
+// knobs to show graceful degradation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace ptm {
+
+struct ChannelConfig {
+  double loss_probability = 0.0;       ///< frame silently dropped
+  double duplicate_probability = 0.0;  ///< frame delivered twice
+  double corrupt_probability = 0.0;    ///< one random byte flipped
+};
+
+struct ChannelStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t corrupted = 0;
+};
+
+/// A unidirectional lossy pipe.  `transmit` maps one encoded frame to zero,
+/// one, or two delivered byte vectors (possibly corrupted); framing and
+/// retransmission policy live above this layer.
+class SimulatedChannel {
+ public:
+  SimulatedChannel(ChannelConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> transmit(
+      std::span<const std::uint8_t> frame_bytes);
+
+  [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ChannelConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<std::uint8_t> maybe_corrupt(
+      std::span<const std::uint8_t> frame_bytes);
+
+  ChannelConfig config_;
+  Xoshiro256 rng_;
+  ChannelStats stats_;
+};
+
+}  // namespace ptm

@@ -1,0 +1,26 @@
+#include "net/mac.hpp"
+
+#include <cstdio>
+
+namespace ptm {
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((value >> 40) & 0xFF),
+                static_cast<unsigned>((value >> 32) & 0xFF),
+                static_cast<unsigned>((value >> 24) & 0xFF),
+                static_cast<unsigned>((value >> 16) & 0xFF),
+                static_cast<unsigned>((value >> 8) & 0xFF),
+                static_cast<unsigned>(value & 0xFF));
+  return buf;
+}
+
+MacAddress SpoofMacGenerator::next() {
+  std::uint64_t v = rng_.next() & 0xFFFFFFFFFFFFULL;
+  v |= 1ULL << 41;   // locally administered
+  v &= ~(1ULL << 40);  // unicast
+  return MacAddress{v};
+}
+
+}  // namespace ptm

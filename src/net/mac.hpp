@@ -1,0 +1,51 @@
+// mac.hpp - SpoofMAC-style anonymous link-layer addresses (paper §II-B).
+//
+// A fixed MAC address would let traffic records be joined with link-layer
+// logs to track vehicles, defeating the bitmap design.  The paper assumes an
+// anonymizing MAC protocol: before each RSU contact the vehicle draws a
+// one-time address from a large random space.  This module provides that
+// generator plus the 48-bit address type used by the simulated frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hpp"
+
+namespace ptm {
+
+/// 48-bit IEEE-802-style address stored in the low bits of a u64.
+struct MacAddress {
+  std::uint64_t value = 0;  // only low 48 bits used
+
+  [[nodiscard]] std::string to_string() const;  // "aa:bb:cc:dd:ee:ff"
+
+  /// Locally-administered bit (bit 1 of the first octet) - always set on
+  /// generated one-time addresses, distinguishing them from burned-in MACs.
+  [[nodiscard]] bool locally_administered() const noexcept {
+    return (value >> 41) & 1ULL;
+  }
+  /// Multicast bit (bit 0 of the first octet) - always clear.
+  [[nodiscard]] bool multicast() const noexcept { return (value >> 40) & 1ULL; }
+
+  friend bool operator==(const MacAddress&, const MacAddress&) = default;
+};
+
+/// Draws one-time MAC addresses: uniform 48-bit values with the
+/// locally-administered bit forced on and the multicast bit forced off.
+class SpoofMacGenerator {
+ public:
+  explicit SpoofMacGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] MacAddress next();
+
+ private:
+  Xoshiro256 rng_;
+};
+
+/// The broadcast address RSU beacons are sent to.
+[[nodiscard]] constexpr MacAddress broadcast_mac() noexcept {
+  return MacAddress{0xFFFFFFFFFFFFULL};
+}
+
+}  // namespace ptm

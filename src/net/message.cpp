@@ -1,0 +1,161 @@
+#include "net/message.hpp"
+
+#include "common/serialize.hpp"
+
+namespace ptm {
+
+MessageType Frame::type() const noexcept {
+  struct Visitor {
+    MessageType operator()(const Beacon&) const { return MessageType::kBeacon; }
+    MessageType operator()(const AuthRequest&) const {
+      return MessageType::kAuthRequest;
+    }
+    MessageType operator()(const AuthResponse&) const {
+      return MessageType::kAuthResponse;
+    }
+    MessageType operator()(const EncodeIndex&) const {
+      return MessageType::kEncodeIndex;
+    }
+    MessageType operator()(const EncodeAck&) const {
+      return MessageType::kEncodeAck;
+    }
+    MessageType operator()(const RecordUpload&) const {
+      return MessageType::kRecordUpload;
+    }
+  };
+  return std::visit(Visitor{}, body);
+}
+
+namespace {
+
+void encode_body(const MessageBody& body, ByteWriter& w) {
+  struct Visitor {
+    ByteWriter& w;
+    void operator()(const Beacon& b) const {
+      w.u64(b.location);
+      w.u64(b.period);
+      w.u64(b.bitmap_size);
+      const auto cert = b.certificate.serialize();
+      w.bytes(cert);
+    }
+    void operator()(const AuthRequest& m) const { w.u64(m.nonce); }
+    void operator()(const AuthResponse& m) const {
+      w.u64(m.nonce);
+      w.bytes(m.signature);
+    }
+    void operator()(const EncodeIndex& m) const { w.u64(m.index); }
+    void operator()(const EncodeAck&) const {}
+    void operator()(const RecordUpload& m) const {
+      const auto rec = m.record.serialize();
+      w.bytes(rec);
+    }
+  };
+  std::visit(Visitor{w}, body);
+}
+
+Result<MessageBody> decode_body(MessageType type, ByteReader& r) {
+  switch (type) {
+    case MessageType::kBeacon: {
+      Beacon b;
+      auto loc = r.u64();
+      if (!loc) return loc.status();
+      b.location = *loc;
+      auto per = r.u64();
+      if (!per) return per.status();
+      b.period = *per;
+      auto m = r.u64();
+      if (!m) return m.status();
+      b.bitmap_size = *m;
+      auto cert_bytes = r.bytes();
+      if (!cert_bytes) return cert_bytes.status();
+      auto cert = Certificate::deserialize(*cert_bytes);
+      if (!cert) return cert.status();
+      b.certificate = std::move(*cert);
+      return MessageBody{std::move(b)};
+    }
+    case MessageType::kAuthRequest: {
+      auto nonce = r.u64();
+      if (!nonce) return nonce.status();
+      return MessageBody{AuthRequest{*nonce}};
+    }
+    case MessageType::kAuthResponse: {
+      AuthResponse m;
+      auto nonce = r.u64();
+      if (!nonce) return nonce.status();
+      m.nonce = *nonce;
+      auto sig = r.bytes();
+      if (!sig) return sig.status();
+      m.signature = std::move(*sig);
+      return MessageBody{std::move(m)};
+    }
+    case MessageType::kEncodeIndex: {
+      auto index = r.u64();
+      if (!index) return index.status();
+      return MessageBody{EncodeIndex{*index}};
+    }
+    case MessageType::kEncodeAck:
+      return MessageBody{EncodeAck{}};
+    case MessageType::kRecordUpload: {
+      auto rec_bytes = r.bytes();
+      if (!rec_bytes) return rec_bytes.status();
+      auto rec = TrafficRecord::deserialize(*rec_bytes);
+      if (!rec) return rec.status();
+      return MessageBody{RecordUpload{std::move(*rec)}};
+    }
+  }
+  return Status{ErrorCode::kParseError, "unknown message type"};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(frame.type()));
+  w.u64(frame.src.value);
+  w.u64(frame.dst.value);
+  ByteWriter body;
+  encode_body(frame.body, body);
+  w.bytes(body.buffer());
+  return w.take();
+}
+
+Result<Frame> decode_frame(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto type_byte = r.u8();
+  if (!type_byte) return type_byte.status();
+  if (*type_byte < 1 || *type_byte > 6) {
+    return Status{ErrorCode::kParseError, "unknown frame type"};
+  }
+  Frame frame;
+  auto src = r.u64();
+  if (!src) return src.status();
+  frame.src.value = *src;
+  auto dst = r.u64();
+  if (!dst) return dst.status();
+  frame.dst.value = *dst;
+  auto payload = r.bytes();
+  if (!payload) return payload.status();
+  if (!r.exhausted()) {
+    return Status{ErrorCode::kParseError, "trailing bytes after frame"};
+  }
+  ByteReader body_reader(*payload);
+  auto body = decode_body(static_cast<MessageType>(*type_byte), body_reader);
+  if (!body) return body.status();
+  if (!body_reader.exhausted()) {
+    return Status{ErrorCode::kParseError, "trailing bytes in message body"};
+  }
+  frame.body = std::move(*body);
+  return frame;
+}
+
+std::vector<std::uint8_t> auth_transcript(std::uint64_t nonce,
+                                          std::uint64_t location,
+                                          std::uint64_t period) {
+  ByteWriter w;
+  w.u64(nonce);
+  w.u64(location);
+  w.u64(period);
+  return w.take();
+}
+
+}  // namespace ptm

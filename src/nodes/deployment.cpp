@@ -1,0 +1,121 @@
+#include "nodes/deployment.hpp"
+
+namespace ptm {
+
+const char* contact_outcome_name(ContactOutcome o) noexcept {
+  switch (o) {
+    case ContactOutcome::kEncoded: return "encoded";
+    case ContactOutcome::kBeaconLost: return "beacon-lost";
+    case ContactOutcome::kAuthLost: return "auth-lost";
+    case ContactOutcome::kAuthRejected: return "auth-rejected";
+  }
+  return "unknown";
+}
+
+Deployment::Deployment(Config config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      ca_(std::make_unique<CertificateAuthority>("trusted-third-party",
+                                                 config.ca_key_bits, rng_)),
+      channel_(config.channel, seed ^ 0xc4a22e1ULL),
+      server_(config.load_factor, config.encoding.s) {}
+
+Rsu& Deployment::add_rsu(std::uint64_t location,
+                         std::size_t initial_bitmap_size) {
+  RsaKeyPair keys = rsa_generate(config_.rsu_key_bits, rng_);
+  Certificate cert =
+      ca_->issue("rsu:" + std::to_string(location), location, keys.pub, 0,
+                 config_.cert_valid_until);
+  rsus_.push_back(std::make_unique<Rsu>(location, std::move(keys),
+                                        std::move(cert),
+                                        initial_bitmap_size));
+  return *rsus_.back();
+}
+
+Vehicle Deployment::make_vehicle(std::uint64_t vehicle_id) {
+  VehicleSecrets secrets =
+      VehicleSecrets::create(vehicle_id, config_.encoding.s, rng_);
+  return Vehicle(std::move(secrets), config_.encoding, ca_->public_key(),
+                 rng_.next());
+}
+
+Result<Frame> Deployment::transit(const Frame& frame) {
+  const auto wire = encode_frame(frame);
+  const auto deliveries = channel_.transmit(wire);
+  for (const auto& bytes : deliveries) {
+    auto decoded = decode_frame(bytes);
+    // A corrupted copy is dropped by the receiver's codec; a duplicate
+    // means the first good copy wins.
+    if (decoded) return decoded;
+  }
+  return Status{ErrorCode::kChannelError, "frame lost or corrupted"};
+}
+
+ContactOutcome Deployment::run_contact(Vehicle& vehicle, Rsu& rsu) {
+  // Leg 1: beacon broadcast.
+  auto beacon = transit(rsu.make_beacon());
+  if (!beacon) return ContactOutcome::kBeaconLost;
+  const auto* beacon_body = std::get_if<Beacon>(&beacon->body);
+  if (beacon_body == nullptr) return ContactOutcome::kBeaconLost;
+
+  // Leg 2: vehicle verifies the certificate and requests authentication.
+  auto auth_req = vehicle.handle_beacon(*beacon_body);
+  if (!auth_req) return ContactOutcome::kAuthRejected;
+  auto auth_req_rx = transit(*auth_req);
+  if (!auth_req_rx) {
+    vehicle.abort_contact();
+    return ContactOutcome::kAuthLost;
+  }
+
+  // Leg 3: RSU proves key possession.
+  auto auth_resp = rsu.handle_frame(*auth_req_rx);
+  if (!auth_resp) {
+    vehicle.abort_contact();
+    return ContactOutcome::kAuthLost;
+  }
+  auto auth_resp_rx = transit(*auth_resp);
+  if (!auth_resp_rx) {
+    vehicle.abort_contact();
+    return ContactOutcome::kAuthLost;
+  }
+  const auto* resp_body = std::get_if<AuthResponse>(&auth_resp_rx->body);
+  if (resp_body == nullptr) {
+    vehicle.abort_contact();
+    return ContactOutcome::kAuthLost;
+  }
+
+  // Leg 4: vehicle transmits h_v.
+  auto encode = vehicle.handle_auth_response(*resp_body);
+  if (!encode) return ContactOutcome::kAuthRejected;
+  auto encode_rx = transit(*encode);
+  if (!encode_rx) return ContactOutcome::kAuthLost;
+  auto ack = rsu.handle_frame(*encode_rx);
+  if (!ack) return ContactOutcome::kAuthLost;
+  return ContactOutcome::kEncoded;
+}
+
+Status Deployment::upload_period(Rsu& rsu) {
+  return upload_period_reliable(rsu, 1);
+}
+
+Status Deployment::upload_period_reliable(Rsu& rsu,
+                                          std::size_t max_attempts) {
+  // Ship the record first so the just-measured volume enters the server's
+  // history, then let the server plan the next period's size (Eq. 2).
+  Status ingest_status{ErrorCode::kChannelError, "no attempts made"};
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    auto upload_rx = transit(rsu.make_upload());
+    ingest_status =
+        upload_rx ? server_.ingest_frame(*upload_rx) : upload_rx.status();
+    // Retry only channel losses; a server-side rejection (duplicate,
+    // malformed) will not improve with retransmission.
+    if (ingest_status.code() != ErrorCode::kChannelError) break;
+  }
+  const std::size_t next_size = server_.plan_size(
+      rsu.location(), static_cast<double>(rsu.bitmap_size()) /
+                          config_.load_factor);
+  rsu.start_next_period(next_size);
+  return ingest_status;
+}
+
+}  // namespace ptm

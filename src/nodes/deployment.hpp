@@ -1,0 +1,94 @@
+// deployment.hpp - wiring helper: CA + RSUs + vehicles + lossy channel.
+//
+// Bundles the pieces a full-stack simulation needs and drives the
+// beacon/auth/encode exchange for one vehicle-RSU contact over a
+// SimulatedChannel, including the decode step (so corrupted frames are
+// rejected exactly as a real receiver would reject them).  Used by the
+// integration tests, the v2i_full_stack example, and the channel ablation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/status.hpp"
+#include "crypto/certificate.hpp"
+#include "net/channel.hpp"
+#include "nodes/rsu.hpp"
+#include "nodes/server.hpp"
+#include "nodes/vehicle.hpp"
+
+namespace ptm {
+
+/// Outcome of one attempted vehicle-RSU contact.
+enum class ContactOutcome {
+  kEncoded,        ///< vehicle authenticated and its bit was set
+  kBeaconLost,     ///< beacon never reached the vehicle
+  kAuthLost,       ///< a handshake frame was lost or corrupted
+  kAuthRejected,   ///< certificate/signature verification failed
+};
+
+[[nodiscard]] const char* contact_outcome_name(ContactOutcome o) noexcept;
+
+/// A V2I deployment: one trusted third party, any number of RSUs, a shared
+/// lossy channel, and a central server.
+class Deployment {
+ public:
+  struct Config {
+    std::size_t ca_key_bits = 512;     ///< simulation-grade (DESIGN.md §5)
+    std::size_t rsu_key_bits = 512;
+    double load_factor = 2.0;          ///< f of Eq. 2
+    EncodingParams encoding;           ///< shared s / hash family
+    ChannelConfig channel;             ///< default: lossless
+    std::uint64_t cert_valid_until = 1ULL << 40;
+  };
+
+  Deployment(Config config, std::uint64_t seed);
+
+  /// Installs an RSU at `location` with a fresh certified keypair and an
+  /// initial bitmap of `initial_bitmap_size` bits.
+  Rsu& add_rsu(std::uint64_t location, std::size_t initial_bitmap_size);
+
+  /// Mints a vehicle with fresh secrets.
+  Vehicle make_vehicle(std::uint64_t vehicle_id);
+
+  /// Runs the full beacon->auth->encode exchange between `vehicle` and
+  /// `rsu` across the lossy channel (each leg transits independently).
+  ContactOutcome run_contact(Vehicle& vehicle, Rsu& rsu);
+
+  /// Ends the period at `rsu`: plans the next size via the server's
+  /// history (Eq. 2), transmits the upload over the channel, and ingests it
+  /// at the server.  Returns ChannelError if the upload was lost (the
+  /// record is then gone, as it would be without an application-level
+  /// retry; callers that need reliability use the retrying variant).
+  Status upload_period(Rsu& rsu);
+
+  /// Reliable variant: retransmits the upload up to `max_attempts` times
+  /// before ending the period, so a record survives any channel whose loss
+  /// probability is below 1.  The period advances exactly once either way.
+  Status upload_period_reliable(Rsu& rsu, std::size_t max_attempts = 5);
+
+  [[nodiscard]] CentralServer& server() noexcept { return server_; }
+  [[nodiscard]] const CentralServer& server() const noexcept {
+    return server_;
+  }
+  [[nodiscard]] SimulatedChannel& channel() noexcept { return channel_; }
+  [[nodiscard]] const CertificateAuthority& ca() const noexcept {
+    return *ca_;
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  /// One channel transit: encode, transmit, decode first surviving copy.
+  [[nodiscard]] Result<Frame> transit(const Frame& frame);
+
+  Config config_;
+  Xoshiro256 rng_;
+  std::unique_ptr<CertificateAuthority> ca_;
+  std::vector<std::unique_ptr<Rsu>> rsus_;
+  SimulatedChannel channel_;
+  CentralServer server_;
+};
+
+}  // namespace ptm

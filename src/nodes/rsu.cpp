@@ -1,0 +1,86 @@
+#include "nodes/rsu.hpp"
+
+#include <cassert>
+
+#include "common/math.hpp"
+
+namespace ptm {
+
+Rsu::Rsu(std::uint64_t location, RsaKeyPair keys, Certificate certificate,
+         std::size_t initial_bitmap_size, std::uint64_t first_period)
+    : location_(location),
+      period_(first_period),
+      keys_(std::move(keys)),
+      certificate_(std::move(certificate)) {
+  assert(is_power_of_two(initial_bitmap_size) && initial_bitmap_size >= 2);
+  record_.location = location_;
+  record_.period = period_;
+  record_.bits = Bitmap(initial_bitmap_size);
+}
+
+Frame Rsu::make_beacon() const {
+  Frame frame;
+  frame.src = MacAddress{location_};  // RSUs are infrastructure: fixed MAC
+  frame.dst = broadcast_mac();
+  Beacon beacon;
+  beacon.location = location_;
+  beacon.period = period_;
+  beacon.bitmap_size = record_.bits.size();
+  beacon.certificate = certificate_;
+  frame.body = std::move(beacon);
+  return frame;
+}
+
+Result<Frame> Rsu::handle_frame(const Frame& frame) {
+  if (const auto* req = std::get_if<AuthRequest>(&frame.body)) {
+    Frame resp;
+    resp.src = MacAddress{location_};
+    resp.dst = frame.src;  // back to the vehicle's one-time MAC
+    AuthResponse body;
+    body.nonce = req->nonce;
+    body.signature =
+        rsa_sign(keys_, auth_transcript(req->nonce, location_, period_));
+    resp.body = std::move(body);
+    return resp;
+  }
+  if (const auto* enc = std::get_if<EncodeIndex>(&frame.body)) {
+    if (enc->index >= record_.bits.size()) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "encode index out of bitmap range"};
+    }
+    record_.bits.set(static_cast<std::size_t>(enc->index));
+    ++encodes_this_period_;
+    Frame ack;
+    ack.src = MacAddress{location_};
+    ack.dst = frame.src;
+    ack.body = EncodeAck{};
+    return ack;
+  }
+  return Status{ErrorCode::kFailedPrecondition,
+                "RSU received an unexpected frame type"};
+}
+
+Frame Rsu::make_upload() const {
+  Frame frame;
+  frame.src = MacAddress{location_};
+  frame.dst = broadcast_mac();  // "uplink" to the central server
+  frame.body = RecordUpload{record_};
+  return frame;
+}
+
+void Rsu::start_next_period(std::size_t next_bitmap_size) {
+  assert(is_power_of_two(next_bitmap_size) && next_bitmap_size >= 2);
+  ++period_;
+  record_.location = location_;
+  record_.period = period_;
+  record_.bits = Bitmap(next_bitmap_size);
+  encodes_this_period_ = 0;
+}
+
+Frame Rsu::end_period(std::size_t next_bitmap_size) {
+  Frame frame = make_upload();
+  start_next_period(next_bitmap_size);
+  return frame;
+}
+
+}  // namespace ptm

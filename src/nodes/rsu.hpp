@@ -1,0 +1,75 @@
+// rsu.hpp - the road-side unit (paper §II-B, §II-D).
+//
+// An RSU owns an RSA keypair certified by the trusted third party, an m-bit
+// traffic record for the current measurement period, and the period
+// lifecycle: beacon -> authenticate vehicles -> record their h_v indices ->
+// at period end, upload the record to the central server and reset.  The
+// bitmap size for each period comes from the server's planner (Eq. 2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/status.hpp"
+#include "core/traffic_record.hpp"
+#include "crypto/certificate.hpp"
+#include "net/message.hpp"
+
+namespace ptm {
+
+class Rsu {
+ public:
+  /// `certificate` must certify `keys.pub` with subject_id == location.
+  Rsu(std::uint64_t location, RsaKeyPair keys, Certificate certificate,
+      std::size_t initial_bitmap_size, std::uint64_t first_period = 0);
+
+  [[nodiscard]] std::uint64_t location() const noexcept { return location_; }
+  [[nodiscard]] std::uint64_t current_period() const noexcept {
+    return period_;
+  }
+  [[nodiscard]] std::size_t bitmap_size() const noexcept {
+    return record_.bits.size();
+  }
+
+  /// The periodic broadcast (§II-D): location, period, m, certificate.
+  [[nodiscard]] Frame make_beacon() const;
+
+  /// Handles one inbound frame.  AuthRequest -> AuthResponse;
+  /// EncodeIndex -> sets the bit and returns EncodeAck.  Returns
+  /// InvalidArgument for out-of-range indices and FailedPrecondition for
+  /// frame types an RSU never receives.
+  [[nodiscard]] Result<Frame> handle_frame(const Frame& frame);
+
+  /// The RecordUpload frame for the in-progress record.  Does not end the
+  /// period, so the server can ingest (and update its planning history)
+  /// before start_next_period() asks it for the Eq. 2 size.
+  [[nodiscard]] Frame make_upload() const;
+
+  /// Starts the next period with a fresh all-zero bitmap of
+  /// `next_bitmap_size` bits (the planner's Eq. 2 output).
+  void start_next_period(std::size_t next_bitmap_size);
+
+  /// make_upload() + start_next_period() in one step, for callers that
+  /// plan the next size from older history.
+  [[nodiscard]] Frame end_period(std::size_t next_bitmap_size);
+
+  /// Read-only view of the in-progress record (tests/diagnostics).
+  [[nodiscard]] const TrafficRecord& current_record() const noexcept {
+    return record_;
+  }
+
+  /// Number of EncodeIndex messages accepted this period (>= distinct bits).
+  [[nodiscard]] std::uint64_t encodes_this_period() const noexcept {
+    return encodes_this_period_;
+  }
+
+ private:
+  std::uint64_t location_;
+  std::uint64_t period_;
+  RsaKeyPair keys_;
+  Certificate certificate_;
+  TrafficRecord record_;
+  std::uint64_t encodes_this_period_ = 0;
+};
+
+}  // namespace ptm

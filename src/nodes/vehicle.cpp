@@ -1,0 +1,62 @@
+#include "nodes/vehicle.hpp"
+
+#include "common/math.hpp"
+
+namespace ptm {
+
+Result<Frame> Vehicle::handle_beacon(const Beacon& beacon) {
+  if (Status s = verify_certificate(beacon.certificate, ca_key_,
+                                    beacon.period);
+      !s.is_ok()) {
+    // Rogue or misconfigured RSU: the vehicle keeps silent (§II-B).
+    return s;
+  }
+  if (beacon.certificate.subject_id != beacon.location) {
+    return Status{ErrorCode::kAuthFailure,
+                  "beacon location does not match certificate subject"};
+  }
+  if (beacon.bitmap_size < 2 || !is_power_of_two(beacon.bitmap_size)) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "beacon advertises invalid bitmap size"};
+  }
+
+  PendingContact contact;
+  contact.beacon = beacon;
+  contact.nonce = nonce_rng_.next();
+  contact.mac = mac_gen_.next();
+  pending_ = contact;
+
+  Frame frame;
+  frame.src = contact.mac;
+  frame.dst = broadcast_mac();  // RSU address is implicit in the simulation
+  frame.body = AuthRequest{contact.nonce};
+  return frame;
+}
+
+Result<Frame> Vehicle::handle_auth_response(const AuthResponse& resp) {
+  if (!pending_) {
+    return Status{ErrorCode::kFailedPrecondition,
+                  "no contact awaiting an auth response"};
+  }
+  const PendingContact contact = *pending_;
+  if (resp.nonce != contact.nonce) {
+    return Status{ErrorCode::kAuthFailure, "auth response nonce mismatch"};
+  }
+  const auto transcript = auth_transcript(
+      contact.nonce, contact.beacon.location, contact.beacon.period);
+  if (!rsa_verify(contact.beacon.certificate.subject_key, transcript,
+                  resp.signature)) {
+    return Status{ErrorCode::kAuthFailure, "auth response signature invalid"};
+  }
+  pending_.reset();
+
+  Frame frame;
+  frame.src = contact.mac;
+  frame.dst = broadcast_mac();
+  frame.body = EncodeIndex{encoder_.bit_index(
+      secrets_, contact.beacon.location,
+      static_cast<std::size_t>(contact.beacon.bitmap_size))};
+  return frame;
+}
+
+}  // namespace ptm

@@ -1,0 +1,79 @@
+// vehicle.hpp - the vehicle-side protocol endpoint (paper §II-B, §II-D).
+//
+// A vehicle owns its secrets (ID, K_v, constants C) and the pre-installed
+// public key of the trusted third party.  On receiving a beacon it:
+//   1. verifies the RSU certificate against the CA key;
+//   2. draws a one-time MAC and sends an AuthRequest with a fresh nonce;
+//   3. verifies the RSU's signature over the nonce transcript;
+//   4. computes h_v for the beacon's (L, m) and sends EncodeIndex.
+// Nothing derived from the vehicle ID other than h_v ever leaves the class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/status.hpp"
+#include "core/encoding.hpp"
+#include "crypto/certificate.hpp"
+#include "net/mac.hpp"
+#include "net/message.hpp"
+
+namespace ptm {
+
+class Vehicle {
+ public:
+  /// `secrets` are minted by VehicleSecrets::create; `ca_key` is the trusted
+  /// third party's public key pre-installed in every vehicle (§II-B).
+  Vehicle(VehicleSecrets secrets, EncodingParams params, RsaPublicKey ca_key,
+          std::uint64_t mac_seed)
+      : secrets_(std::move(secrets)),
+        encoder_(params),
+        ca_key_(std::move(ca_key)),
+        mac_gen_(mac_seed),
+        nonce_rng_(mac_seed ^ 0xbeac04c0ffeeULL) {}
+
+  [[nodiscard]] std::uint64_t id() const noexcept { return secrets_.id; }
+
+  /// Step 1-2: processes a beacon.  On success returns the AuthRequest frame
+  /// to transmit and remembers the contact state; AuthFailure if the
+  /// certificate does not verify (rogue RSU) - the vehicle keeps silent.
+  [[nodiscard]] Result<Frame> handle_beacon(const Beacon& beacon);
+
+  /// Step 3-4: processes the RSU's AuthResponse for the pending contact.
+  /// On success returns the EncodeIndex frame carrying h_v.
+  /// AuthFailure if the signature or nonce does not match;
+  /// FailedPrecondition if there is no pending contact.
+  [[nodiscard]] Result<Frame> handle_auth_response(const AuthResponse& resp);
+
+  /// True while a contact awaits the RSU's AuthResponse.
+  [[nodiscard]] bool contact_pending() const noexcept {
+    return pending_.has_value();
+  }
+
+  /// Abandons the pending contact (e.g. response lost; the vehicle will
+  /// retry on the next beacon).
+  void abort_contact() noexcept { pending_.reset(); }
+
+  /// Direct (non-networked) encoding used by the pure-core simulation path;
+  /// integration tests assert both paths set identical bits.
+  [[nodiscard]] std::uint64_t bit_index_at(std::uint64_t location,
+                                           std::size_t m) const noexcept {
+    return encoder_.bit_index(secrets_, location, m);
+  }
+
+ private:
+  struct PendingContact {
+    Beacon beacon;
+    std::uint64_t nonce = 0;
+    MacAddress mac;  ///< one-time address used for this contact
+  };
+
+  VehicleSecrets secrets_;
+  VehicleEncoder encoder_;
+  RsaPublicKey ca_key_;
+  SpoofMacGenerator mac_gen_;
+  Xoshiro256 nonce_rng_;
+  std::optional<PendingContact> pending_;
+};
+
+}  // namespace ptm

@@ -1,0 +1,246 @@
+#include "sim/experiment.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/point_persistent.hpp"
+#include "core/traffic_record.hpp"
+#include "traffic/sioux_falls.hpp"
+#include "traffic/workload.hpp"
+
+namespace ptm {
+namespace {
+
+/// Deterministic per-(cell, run) stream so cells are independent of sweep
+/// order and run counts.
+Xoshiro256 trial_rng(std::uint64_t seed, std::uint64_t cell,
+                     std::uint64_t run) {
+  SplitMix64 sm(seed ^ (cell * 0x9E3779B97F4A7C15ULL) ^
+                (run * 0xC2B2AE3D27D4EB4FULL));
+  return Xoshiro256(sm.next());
+}
+
+std::uint64_t min_volume(const std::vector<std::uint64_t>& volumes) {
+  std::uint64_t lo = volumes.front();
+  for (std::uint64_t v : volumes) lo = std::min(lo, v);
+  return lo;
+}
+
+}  // namespace
+
+std::vector<PointSweepCell> run_point_persistent_sweep(
+    const PointSweepConfig& config) {
+  // Enumerate the sweep fractions, then evaluate the cells in parallel
+  // (each cell's trials are seeded from its index, so the result is
+  // identical to the sequential order).
+  std::vector<double> fractions;
+  for (double frac = config.frac_min; frac <= config.frac_max + 1e-9;
+       frac += config.frac_step) {
+    fractions.push_back(frac);
+  }
+  std::vector<PointSweepCell> cells(fractions.size());
+
+  parallel_for_indexed(fractions.size(), [&](std::size_t cell_index) {
+    const double frac = fractions[cell_index];
+    RunningStats actual_stats;
+    RunningStats err_proposed;
+    RunningStats err_naive;
+    std::size_t degenerate = 0;
+
+    for (std::size_t run = 0; run < config.runs; ++run) {
+      Xoshiro256 rng = trial_rng(config.seed, cell_index, run);
+      const auto volumes = draw_period_volumes(
+          config.t, config.volume_min, config.volume_max, rng);
+      const auto n_star = static_cast<std::size_t>(std::llround(
+          frac * static_cast<double>(min_volume(volumes))));
+      if (n_star == 0) continue;
+      const auto common = make_vehicles(n_star, config.encoding.s, rng);
+      const auto records =
+          generate_point_records(volumes, common, config.location, config.f,
+                                 config.encoding, rng);
+
+      const auto proposed = estimate_point_persistent(records);
+      const auto naive = estimate_point_persistent_naive(records);
+      assert(proposed && naive);
+      const double actual = static_cast<double>(n_star);
+      actual_stats.add(actual);
+      err_proposed.add(relative_error(proposed->n_star, actual));
+      err_naive.add(relative_error(naive->value, actual));
+      if (proposed->outcome == EstimateOutcome::kDegenerate) ++degenerate;
+    }
+
+    PointSweepCell& cell = cells[cell_index];
+    cell.fraction = frac;
+    cell.mean_actual = actual_stats.mean();
+    cell.mean_rel_err_proposed = err_proposed.mean();
+    cell.mean_rel_err_naive = err_naive.mean();
+    cell.degenerate_runs = degenerate;
+  });
+  return cells;
+}
+
+std::vector<ScatterPoint> run_point_scatter(const ScatterConfig& config) {
+  std::vector<ScatterPoint> points;
+  std::uint64_t cell_index = 0;
+  for (double frac = config.frac_min; frac <= config.frac_max + 1e-9;
+       frac += config.frac_step, ++cell_index) {
+    Xoshiro256 rng = trial_rng(config.seed, cell_index, 0);
+    const auto volumes = draw_period_volumes(config.t, config.volume_min,
+                                             config.volume_max, rng);
+    const auto n_star = static_cast<std::size_t>(
+        std::llround(frac * static_cast<double>(min_volume(volumes))));
+    if (n_star == 0) continue;
+    const auto common = make_vehicles(n_star, config.encoding.s, rng);
+    const auto records = generate_point_records(
+        volumes, common, 0xA110C, config.f, config.encoding, rng);
+    const auto est = estimate_point_persistent(records);
+    assert(est);
+    points.push_back({static_cast<double>(n_star), est->n_star});
+  }
+  return points;
+}
+
+std::vector<ScatterPoint> run_p2p_scatter(const ScatterConfig& config) {
+  std::vector<ScatterPoint> points;
+  std::uint64_t cell_index = 0;
+  for (double frac = config.frac_min; frac <= config.frac_max + 1e-9;
+       frac += config.frac_step, ++cell_index) {
+    Xoshiro256 rng = trial_rng(config.seed ^ 0xB0B, cell_index, 0);
+    const auto volumes_l = draw_period_volumes(config.t, config.volume_min,
+                                               config.volume_max, rng);
+    const auto volumes_lp = draw_period_volumes(config.t, config.volume_min,
+                                                config.volume_max, rng);
+    const std::uint64_t n_min =
+        std::min(min_volume(volumes_l), min_volume(volumes_lp));
+    const auto n_pp = static_cast<std::size_t>(
+        std::llround(frac * static_cast<double>(n_min)));
+    if (n_pp == 0) continue;
+    const auto common = make_vehicles(n_pp, config.encoding.s, rng);
+    const auto records = generate_p2p_records(
+        volumes_l, volumes_lp, common, 0xAAAA, 0xBBBB, config.f,
+        config.encoding, rng);
+    PointToPointOptions options;
+    options.s = config.encoding.s;
+    const auto est =
+        estimate_p2p_persistent(records.at_l, records.at_l_prime, options);
+    assert(est);
+    points.push_back({static_cast<double>(n_pp), est->n_double_prime});
+  }
+  return points;
+}
+
+Table1Result run_table1(const Table1Config& config) {
+  const SiouxFallsScenario& scenario = sioux_falls_scenario();
+  EncodingParams encoding = config.encoding;
+  encoding.s = scenario.s;
+
+  Table1Result result;
+  result.m_prime = plan_bitmap_size(
+      static_cast<double>(scenario.n_prime), scenario.f);
+
+  constexpr std::size_t kMaxT = 10;
+  const std::array<std::size_t, 4> t_values = {3, 5, 7, 10};
+
+  // Columns are independent; parallelize across them (trial RNGs are
+  // (column, run)-seeded, so results match the sequential order).
+  parallel_for_indexed(scenario.columns.size(), [&](std::size_t col) {
+    const SiouxFallsColumn& column = scenario.columns[col];
+    result.m[col] =
+        plan_bitmap_size(static_cast<double>(column.n), scenario.f);
+
+    std::array<RunningStats, 4> err_by_t;
+    RunningStats err_same_size;
+    const std::vector<std::uint64_t> volumes_l(kMaxT, column.n);
+    const std::vector<std::uint64_t> volumes_lp(kMaxT, scenario.n_prime);
+    const double actual = static_cast<double>(column.n_double_prime);
+
+    PointToPointOptions options;
+    options.s = scenario.s;
+
+    for (std::size_t run = 0; run < config.runs; ++run) {
+      Xoshiro256 rng = trial_rng(config.seed, col, run);
+      const auto common =
+          make_vehicles(column.n_double_prime, encoding.s, rng);
+
+      // One 10-period simulation serves every t row via prefixes.
+      const auto records = generate_p2p_records(
+          volumes_l, volumes_lp, common, 0x1000 + col, 0x2000, scenario.f,
+          encoding, rng);
+      for (std::size_t ti = 0; ti < t_values.size(); ++ti) {
+        const std::size_t t = t_values[ti];
+        const auto est = estimate_p2p_persistent(
+            std::span(records.at_l).subspan(0, t),
+            std::span(records.at_l_prime).subspan(0, t), options);
+        assert(est);
+        err_by_t[ti].add(relative_error(est->n_double_prime, actual));
+      }
+
+      // Same-size benchmark row (t = 5): plan m' from L's volume.
+      const std::vector<std::uint64_t> volumes_l5(5, column.n);
+      const std::vector<std::uint64_t> volumes_lp5(5, scenario.n_prime);
+      const auto same_size = generate_p2p_records(
+          volumes_l5, volumes_lp5, common, 0x1000 + col, 0x2000, scenario.f,
+          encoding, rng, /*same_size_benchmark=*/true);
+      const auto est_same = estimate_p2p_persistent(
+          same_size.at_l, same_size.at_l_prime, options);
+      assert(est_same);
+      err_same_size.add(relative_error(est_same->n_double_prime, actual));
+    }
+
+    result.rel_err_t3[col] = err_by_t[0].mean();
+    result.rel_err_t5[col] = err_by_t[1].mean();
+    result.rel_err_t7[col] = err_by_t[2].mean();
+    result.rel_err_t10[col] = err_by_t[3].mean();
+    result.rel_err_same_size_t5[col] = err_same_size.mean();
+  });
+  return result;
+}
+
+PrivacyAttackResult run_privacy_attack(const PrivacyAttackConfig& config) {
+  PrivacyAttackResult result;
+  const std::size_t m_prime = plan_bitmap_size(
+      static_cast<double>(config.n_prime), config.f);
+  result.m_prime = m_prime;
+  result.analytic = privacy_point(static_cast<double>(config.n_prime),
+                                  static_cast<double>(m_prime),
+                                  config.encoding.s);
+
+  const VehicleEncoder encoder(config.encoding);
+  constexpr std::uint64_t kLocationL = 0xAAAA;
+  constexpr std::uint64_t kLocationLPrime = 0xBBBB;
+
+  std::uint64_t hits_without_v = 0;
+  std::uint64_t hits_with_v = 0;
+  Xoshiro256 rng(config.seed ^ 0x5EC2E7ULL);
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    // Target vehicle: the adversary learned its bit index at L
+    // (out-of-band sighting, §V).
+    const VehicleSecrets target =
+        VehicleSecrets::create(rng.next(), config.encoding.s, rng);
+    const auto observed_index = static_cast<std::size_t>(
+        encoder.bit_index(target, kLocationL, m_prime));
+
+    // Build L''s record from n' unrelated vehicles.
+    Bitmap record(m_prime);
+    add_transient_traffic(record, config.n_prime, rng);
+    if (record.test(observed_index)) ++hits_without_v;
+
+    // Now the world where the target DID pass L'.
+    encoder.encode(target, kLocationLPrime, record);
+    if (record.test(observed_index)) ++hits_with_v;
+  }
+
+  const auto trials = static_cast<double>(config.trials);
+  result.p_hat = static_cast<double>(hits_without_v) / trials;
+  result.p_prime_hat = static_cast<double>(hits_with_v) / trials;
+  const double info = result.p_prime_hat - result.p_hat;
+  result.ratio_hat = info > 0.0 ? result.p_hat / info
+                                : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+}  // namespace ptm

@@ -1,0 +1,132 @@
+// experiment.hpp - multi-trial experiment runners for the paper's
+// evaluation (§VI).  One function per experiment family; the bench binaries
+// and the statistical tests share these so the numbers in EXPERIMENTS.md
+// come from the same code paths the tests validate.
+//
+// All runners are deterministic in their seed.  `runs` follows the paper's
+// protocol (1000 averaged runs) scaled down by default; benches read
+// PTM_RUNS to scale back up.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/encoding.hpp"
+#include "core/privacy.hpp"
+
+namespace ptm {
+
+// ---------------------------------------------------------------------------
+// Fig. 4 - point persistent relative error vs actual persistent volume.
+// ---------------------------------------------------------------------------
+
+struct PointSweepConfig {
+  std::size_t t = 5;              ///< measurement periods
+  double f = 2.0;                 ///< load factor (Eq. 2)
+  EncodingParams encoding;        ///< s = 3, murmur3 by default
+  std::uint64_t location = 0xA110C;
+  std::uint64_t volume_min = 2001;  ///< paper: (2000, 10000]
+  std::uint64_t volume_max = 10000;
+  double frac_min = 0.01;  ///< n* sweep: frac * n_min
+  double frac_max = 0.50;
+  double frac_step = 0.01;
+  std::size_t runs = 20;   ///< trials averaged per sweep point
+  std::uint64_t seed = 1;
+};
+
+/// One sweep point: the planted fraction, the mean actual volume across
+/// runs, and the mean relative errors of the proposed (Eq. 12) and naive
+/// (direct linear counting) estimators.
+struct PointSweepCell {
+  double fraction = 0.0;
+  double mean_actual = 0.0;
+  double mean_rel_err_proposed = 0.0;
+  double mean_rel_err_naive = 0.0;
+  std::size_t degenerate_runs = 0;  ///< proposed estimator gave up (clamped)
+};
+
+[[nodiscard]] std::vector<PointSweepCell> run_point_persistent_sweep(
+    const PointSweepConfig& config);
+
+// ---------------------------------------------------------------------------
+// Figs. 5-6 - scatter of estimated vs actual volume (point and p2p).
+// ---------------------------------------------------------------------------
+
+struct ScatterConfig {
+  std::size_t t = 5;
+  double f = 2.0;
+  EncodingParams encoding;
+  std::uint64_t volume_min = 2001;
+  std::uint64_t volume_max = 10000;
+  double frac_min = 0.01;
+  double frac_max = 0.50;
+  double frac_step = 0.01;
+  std::uint64_t seed = 1;
+};
+
+struct ScatterPoint {
+  double actual = 0.0;
+  double estimated = 0.0;
+};
+
+/// One (actual, estimated) pair per sweep fraction, point persistent.
+[[nodiscard]] std::vector<ScatterPoint> run_point_scatter(
+    const ScatterConfig& config);
+
+/// Same for point-to-point persistent (two locations, same volume model).
+[[nodiscard]] std::vector<ScatterPoint> run_p2p_scatter(
+    const ScatterConfig& config);
+
+// ---------------------------------------------------------------------------
+// Table I - Sioux Falls p2p persistent errors.
+// ---------------------------------------------------------------------------
+
+struct Table1Config {
+  std::size_t runs = 50;  ///< paper: 1000; mean stabilizes far earlier
+  std::uint64_t seed = 1;
+  EncodingParams encoding;  ///< s forced to the scenario's 3
+};
+
+/// Measured mean relative error per Table-I column, for each reported t and
+/// for the same-size-bitmap benchmark row, plus the planned sizes so the
+/// bench can print the paper's m and m'/m rows.
+struct Table1Result {
+  std::array<std::uint64_t, 8> m{};      ///< planned m per column (Eq. 2)
+  std::uint64_t m_prime = 0;             ///< planned m' (Eq. 2)
+  std::array<double, 8> rel_err_t3{};
+  std::array<double, 8> rel_err_t5{};
+  std::array<double, 8> rel_err_t7{};
+  std::array<double, 8> rel_err_t10{};
+  std::array<double, 8> rel_err_same_size_t5{};
+};
+
+[[nodiscard]] Table1Result run_table1(const Table1Config& config);
+
+// ---------------------------------------------------------------------------
+// Table II companion - empirical tracking attack vs the analytic formulas.
+// ---------------------------------------------------------------------------
+
+struct PrivacyAttackConfig {
+  std::uint64_t n_prime = 20'000;  ///< vehicles passing L'
+  double f = 2.0;
+  EncodingParams encoding;
+  std::size_t trials = 2000;
+  std::uint64_t seed = 1;
+};
+
+/// Empirical estimates of the §V probabilities from a simulated attack:
+/// the adversary knows the target's bit index at L and tests bit equality
+/// at L'.  `analytic` holds Eqs. 22-24 evaluated at the same (n', m', s).
+struct PrivacyAttackResult {
+  double p_hat = 0.0;        ///< empirical false-link probability
+  double p_prime_hat = 0.0;  ///< empirical true-link probability
+  double ratio_hat = 0.0;    ///< p̂ / (p̂' − p̂)
+  PrivacyPoint analytic;
+  std::uint64_t m_prime = 0;
+};
+
+[[nodiscard]] PrivacyAttackResult run_privacy_attack(
+    const PrivacyAttackConfig& config);
+
+}  // namespace ptm

@@ -1,0 +1,49 @@
+// trajectory_attack.hpp - an empirical trajectory-reconstruction attack.
+//
+// §V analyzes the two-location tracking question; a determined adversary
+// would go further: having linked a target vehicle to bit index i at one
+// intersection (an out-of-band sighting), scan EVERY intersection's record
+// for bit (i mod m_z) and call the set of hits the target's route.  This
+// module measures how well that works against trajectory ground truth from
+// the mobility model, as a function of the privacy knobs:
+//
+//   * TPR  - fraction of true on-route zones flagged (recall; the §V p'
+//            at route scale),
+//   * FPR  - fraction of off-route zones flagged (the noise p),
+//   * precision - how much of the "reconstructed route" is real.
+//
+// The paper's defense claims translate to: FPR stays comparable to TPR
+// (high deniability), and precision degrades toward the base rate as f
+// shrinks or s grows.  bench_ablation_trajectory sweeps both.
+#pragma once
+
+#include <cstdint>
+
+#include "core/encoding.hpp"
+
+namespace ptm {
+
+struct TrajectoryAttackConfig {
+  std::size_t zones = 24;
+  std::size_t commuters = 1500;      ///< persistent fleet (attack pool)
+  std::size_t transients = 10000;    ///< per-period one-off trips
+  double load_factor = 2.0;          ///< f - per-zone Eq. 2 sizing
+  EncodingParams encoding;           ///< s, hash family
+  std::size_t worlds = 3;            ///< independent road networks/records
+  std::size_t targets_per_world = 60;
+  std::uint64_t seed = 1;
+};
+
+struct TrajectoryAttackResult {
+  double tpr = 0.0;        ///< on-route zones flagged (excl. sighting zone)
+  double fpr = 0.0;        ///< off-route zones flagged
+  double precision = 0.0;  ///< flagged zones that are truly on-route
+  double mean_route_length = 0.0;
+  double mean_flagged = 0.0;  ///< zones flagged per target
+};
+
+/// Runs the attack over `worlds` independent record sets.
+[[nodiscard]] TrajectoryAttackResult run_trajectory_attack(
+    const TrajectoryAttackConfig& config);
+
+}  // namespace ptm

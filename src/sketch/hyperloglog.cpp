@@ -1,0 +1,68 @@
+#include "sketch/hyperloglog.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace ptm {
+namespace {
+
+double alpha_for(std::size_t m) {
+  // Flajolet et al.'s bias constants.
+  switch (m) {
+    case 16: return 0.673;
+    case 32: return 0.697;
+    case 64: return 0.709;
+    default: return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+}
+
+}  // namespace
+
+HyperLogLog::HyperLogLog(unsigned precision, HashFamily hash,
+                         std::uint64_t seed)
+    : precision_(precision),
+      hash_(hash),
+      seed_(seed),
+      registers_(1ULL << precision, 0) {
+  assert(precision >= 4 && precision <= 18);
+}
+
+void HyperLogLog::add(std::uint64_t item) noexcept {
+  const std::uint64_t h = hash64(hash_, item, seed_);
+  const std::size_t index = h >> (64 - precision_);
+  const std::uint64_t rest = (h << precision_) | (1ULL << (precision_ - 1));
+  // Rank = leading zeros of the remaining bits + 1; the injected low bit
+  // caps the rank so the shift above is branch-free and safe.
+  const auto rank = static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+double HyperLogLog::estimate() const noexcept {
+  const auto m = static_cast<double>(registers_.size());
+  double harmonic_sum = 0.0;
+  std::size_t zero_registers = 0;
+  for (std::uint8_t r : registers_) {
+    harmonic_sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zero_registers;
+  }
+  const double raw = alpha_for(registers_.size()) * m * m / harmonic_sum;
+
+  // Small-range regime: fall back to linear counting on the zero
+  // registers, exactly as in the original paper.
+  if (raw <= 2.5 * m && zero_registers > 0) {
+    return m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return raw;
+}
+
+void HyperLogLog::merge(const HyperLogLog& other) noexcept {
+  assert(other.precision_ == precision_ && other.hash_ == hash_ &&
+         other.seed_ == seed_);
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace ptm

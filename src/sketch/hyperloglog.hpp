@@ -1,0 +1,51 @@
+// hyperloglog.hpp - HyperLogLog (Flajolet et al. 2007), the modern
+// register-based cardinality sketch, implemented as the second baseline for
+// the sketch-comparison bench (see pcsa.hpp for why the paper's design
+// still wants plain bitmaps).
+//
+// Standard estimator with the small-range linear-counting correction; the
+// 32-bit large-range correction is unnecessary here because register values
+// come from a 64-bit hash.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_suite.hpp"
+
+namespace ptm {
+
+class HyperLogLog {
+ public:
+  /// `precision` p in [4, 18]: 2^p one-byte registers.
+  explicit HyperLogLog(unsigned precision,
+                       HashFamily hash = HashFamily::kMurmur3,
+                       std::uint64_t seed = 0x417ULL);
+
+  void add(std::uint64_t item) noexcept;
+
+  /// Bias-corrected harmonic-mean estimate with the linear-counting
+  /// small-range regime.
+  [[nodiscard]] double estimate() const noexcept;
+
+  [[nodiscard]] unsigned precision() const noexcept { return precision_; }
+  [[nodiscard]] std::size_t register_count() const noexcept {
+    return registers_.size();
+  }
+  /// Memory footprint in bits.
+  [[nodiscard]] std::size_t size_bits() const noexcept {
+    return registers_.size() * 8;
+  }
+
+  /// Merge = per-register max (set union).  Precondition: identical
+  /// precision/hash/seed.
+  void merge(const HyperLogLog& other) noexcept;
+
+ private:
+  unsigned precision_;
+  HashFamily hash_;
+  std::uint64_t seed_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace ptm

@@ -1,0 +1,47 @@
+#include "sketch/pcsa.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "common/math.hpp"
+
+namespace ptm {
+namespace {
+// Flajolet-Martin magic constant phi.
+constexpr double kPhi = 0.77351;
+}  // namespace
+
+PcsaSketch::PcsaSketch(std::size_t buckets, HashFamily hash,
+                       std::uint64_t seed)
+    : maps_(buckets, 0), hash_(hash), seed_(seed) {
+  assert(is_power_of_two(buckets) && buckets >= 1);
+}
+
+void PcsaSketch::add(std::uint64_t item) noexcept {
+  const std::uint64_t h = hash64(hash_, item, seed_);
+  const std::size_t bucket = h & (maps_.size() - 1);
+  const std::uint64_t rest = h >> std::countr_zero(maps_.size());
+  // Geometric position: index of the lowest set bit of the remaining hash
+  // (all-zero rest maps to the top position).
+  const int position = rest == 0 ? 63 : std::countr_zero(rest);
+  maps_[bucket] |= 1ULL << position;
+}
+
+double PcsaSketch::estimate() const noexcept {
+  // Mean index of the lowest ZERO bit across buckets.
+  double sum_r = 0.0;
+  for (std::uint64_t map : maps_) {
+    sum_r += static_cast<double>(std::countr_one(map));
+  }
+  const double k = static_cast<double>(maps_.size());
+  return k / kPhi * std::pow(2.0, sum_r / k);
+}
+
+void PcsaSketch::merge(const PcsaSketch& other) noexcept {
+  assert(other.maps_.size() == maps_.size() && other.hash_ == hash_ &&
+         other.seed_ == seed_);
+  for (std::size_t i = 0; i < maps_.size(); ++i) maps_[i] |= other.maps_[i];
+}
+
+}  // namespace ptm

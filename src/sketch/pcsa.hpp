@@ -1,0 +1,49 @@
+// pcsa.hpp - Probabilistic Counting with Stochastic Averaging
+// (Flajolet & Martin 1985), one of the classical cardinality sketches the
+// paper's linear-counting base [20]-[22] competes with.
+//
+// Provided as a baseline so the sketch-comparison bench can show WHY the
+// paper builds on plain bitmaps: linear counting is more accurate at the
+// load factors Eq. 2 plans for, and - decisive for this application - its
+// bitmaps support the AND/OR joins the persistent estimators require, which
+// register-based sketches do not.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_suite.hpp"
+
+namespace ptm {
+
+class PcsaSketch {
+ public:
+  /// `buckets` must be a power of two (stochastic averaging divides the
+  /// hash space evenly); typical values 64-1024.
+  explicit PcsaSketch(std::size_t buckets,
+                      HashFamily hash = HashFamily::kMurmur3,
+                      std::uint64_t seed = 0x9C5AULL);
+
+  /// Adds an item (by 64-bit id); duplicates are absorbed.
+  void add(std::uint64_t item) noexcept;
+
+  /// Flajolet-Martin estimate: buckets/φ · 2^(mean lowest-zero index).
+  [[nodiscard]] double estimate() const noexcept;
+
+  [[nodiscard]] std::size_t buckets() const noexcept { return maps_.size(); }
+  /// Memory footprint in bits (for the accuracy-per-bit comparison).
+  [[nodiscard]] std::size_t size_bits() const noexcept {
+    return maps_.size() * 64;
+  }
+
+  /// Merges another sketch (same configuration): bitwise OR of bucket
+  /// maps - set union.  Precondition: identical buckets/hash/seed.
+  void merge(const PcsaSketch& other) noexcept;
+
+ private:
+  std::vector<std::uint64_t> maps_;  // one FM bitmap per bucket
+  HashFamily hash_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ptm

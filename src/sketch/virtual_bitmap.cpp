@@ -1,0 +1,34 @@
+#include "sketch/virtual_bitmap.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ptm {
+
+VirtualBitmap::VirtualBitmap(std::size_t bits, double sampling,
+                             HashFamily hash, std::uint64_t seed)
+    : physical_(bits), sampling_(sampling), hash_(hash), seed_(seed) {
+  assert(bits >= 2 && sampling > 0.0 && sampling <= 1.0);
+  // Threshold on the 64-bit sampling hash; p = 1 admits everything.
+  sample_threshold_ =
+      sampling >= 1.0
+          ? ~0ULL
+          : static_cast<std::uint64_t>(
+                sampling * 18446744073709551616.0 /* 2^64 */);
+}
+
+void VirtualBitmap::add(std::uint64_t item) noexcept {
+  // Two independent hash roles: admission decision and bit placement.
+  const std::uint64_t admit = hash64(hash_, item, seed_);
+  if (admit >= sample_threshold_) return;
+  const std::uint64_t place = hash64(hash_, item, seed_ ^ 0xB1A5EDULL);
+  physical_.set(static_cast<std::size_t>(place % physical_.size()));
+}
+
+CardinalityEstimate VirtualBitmap::estimate() const {
+  CardinalityEstimate est = estimate_cardinality(physical_);
+  est.value /= sampling_;
+  return est;
+}
+
+}  // namespace ptm

@@ -1,0 +1,52 @@
+// virtual_bitmap.hpp - sampled linear counting (the "virtual bitmap" of
+// the compact-spread-estimation lineage the paper cites as [22]).
+//
+// When the population is far larger than the memory budget allows at
+// Eq. 2's f >= 1 sizing, a bitmap can still estimate it by SAMPLING: each
+// item is admitted with probability p (decided by a hash, so duplicates
+// sample consistently) and linear counting's answer is scaled by 1/p.
+// Included as the third baseline in the sketch ablation: it shows the
+// memory/accuracy path the paper chose not to take - sampling trades
+// accuracy exactly where persistent measurement needs it most (small
+// common-vehicle sets), and a sampled record no longer supports the
+// §III-A join property for the unsampled vehicles.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitmap.hpp"
+#include "core/linear_counting.hpp"
+#include "hash/hash_suite.hpp"
+
+namespace ptm {
+
+class VirtualBitmap {
+ public:
+  /// `bits` physical bitmap size (>= 2); `sampling` in (0, 1].
+  VirtualBitmap(std::size_t bits, double sampling,
+                HashFamily hash = HashFamily::kMurmur3,
+                std::uint64_t seed = 0x5A3DULL);
+
+  /// Adds an item; a given item is either always sampled or never
+  /// (hash-based), so duplicates cannot inflate the estimate.
+  void add(std::uint64_t item) noexcept;
+
+  /// 1/p-scaled linear-counting estimate of the DISTINCT items added.
+  [[nodiscard]] CardinalityEstimate estimate() const;
+
+  [[nodiscard]] double sampling_probability() const noexcept {
+    return sampling_;
+  }
+  [[nodiscard]] std::size_t size_bits() const noexcept {
+    return physical_.size();
+  }
+
+ private:
+  Bitmap physical_;
+  double sampling_;
+  HashFamily hash_;
+  std::uint64_t seed_;
+  std::uint64_t sample_threshold_;  ///< admit iff hash < threshold
+};
+
+}  // namespace ptm

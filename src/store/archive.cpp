@@ -1,0 +1,134 @@
+#include "store/archive.hpp"
+
+#include <cstdio>
+
+#include "store/record_log.hpp"
+
+namespace ptm {
+
+Result<RecordArchive> RecordArchive::open(std::string path,
+                                          ArchiveOptions options) {
+  RecordArchive archive(std::move(path), options);
+  // Ensure the log exists with a valid header (also validates magic).
+  auto writer = RecordLogWriter::open(archive.path_);
+  if (!writer) return writer.status();
+  auto contents = read_record_log(archive.path_);
+  if (!contents) return contents.status();
+  for (TrafficRecord& rec : contents->records) {
+    auto& at_location = archive.index_[rec.location];
+    if (!at_location.emplace(rec.period, std::move(rec.bits)).second) {
+      ++archive.dead_in_log_;  // duplicate on disk: keep the first
+    }
+  }
+  for (auto& [location, periods] : archive.index_) {
+    (void)periods;
+    archive.apply_retention(location);
+  }
+  if (contents->truncated_tail) {
+    // Heal immediately: appending after torn bytes would strand the new
+    // records beyond the reader's stop point.
+    if (auto compacted = archive.compact(); !compacted) {
+      return compacted.status();
+    }
+  }
+  return archive;
+}
+
+void RecordArchive::apply_retention(std::uint64_t location) {
+  if (options_.max_periods_per_location == 0) return;
+  auto& periods = index_[location];
+  while (periods.size() > options_.max_periods_per_location) {
+    periods.erase(periods.begin());  // oldest period first
+    ++dead_in_log_;
+  }
+}
+
+Status RecordArchive::append(const TrafficRecord& record) {
+  if (Status s = record.validate(); !s.is_ok()) return s;
+  auto at_location = index_.find(record.location);
+  if (at_location != index_.end() &&
+      at_location->second.contains(record.period)) {
+    return {ErrorCode::kFailedPrecondition,
+            "duplicate record for this location and period"};
+  }
+  auto writer = RecordLogWriter::open(path_);
+  if (!writer) return writer.status();
+  if (Status s = writer->append(record); !s.is_ok()) return s;
+  index_[record.location].emplace(record.period, record.bits);
+  apply_retention(record.location);
+  return Status::ok();
+}
+
+std::size_t RecordArchive::live_records() const {
+  std::size_t total = 0;
+  for (const auto& [location, periods] : index_) total += periods.size();
+  return total;
+}
+
+std::size_t RecordArchive::periods_at(std::uint64_t location) const {
+  const auto it = index_.find(location);
+  return it == index_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::uint64_t> RecordArchive::locations() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(index_.size());
+  for (const auto& [location, periods] : index_) {
+    if (!periods.empty()) out.push_back(location);
+  }
+  return out;
+}
+
+Result<std::vector<Bitmap>> RecordArchive::records_at(
+    std::uint64_t location) const {
+  const auto it = index_.find(location);
+  if (it == index_.end() || it->second.empty()) {
+    return Status{ErrorCode::kNotFound, "no live records for location"};
+  }
+  std::vector<Bitmap> out;
+  out.reserve(it->second.size());
+  for (const auto& [period, bits] : it->second) out.push_back(bits);
+  return out;
+}
+
+Result<std::vector<Bitmap>> RecordArchive::latest(std::uint64_t location,
+                                                  std::size_t window) const {
+  auto all = records_at(location);
+  if (!all) return all.status();
+  if (all->size() < window) {
+    return Status{ErrorCode::kNotFound,
+                  "fewer live periods than the requested window"};
+  }
+  return std::vector<Bitmap>(all->end() - static_cast<std::ptrdiff_t>(window),
+                             all->end());
+}
+
+Result<std::size_t> RecordArchive::compact() {
+  const std::string temp_path = path_ + ".compact";
+  std::remove(temp_path.c_str());
+  {
+    auto writer = RecordLogWriter::open(temp_path);
+    if (!writer) return writer.status();
+    for (const auto& [location, periods] : index_) {
+      for (const auto& [period, bits] : periods) {
+        TrafficRecord rec;
+        rec.location = location;
+        rec.period = period;
+        rec.bits = bits;
+        if (Status s = writer->append(rec); !s.is_ok()) {
+          std::remove(temp_path.c_str());
+          return s;
+        }
+      }
+    }
+  }
+  if (std::rename(temp_path.c_str(), path_.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return Status{ErrorCode::kInternal, "compaction rename failed"};
+  }
+  const std::size_t dropped = dead_in_log_;
+  dead_in_log_ = 0;
+  return dropped;
+}
+
+}  // namespace ptm

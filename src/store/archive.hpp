@@ -1,0 +1,76 @@
+// archive.hpp - the measurement archive: a record log plus an in-memory
+// index, a retention policy, and compaction.
+//
+// The raw RecordLog is append-only and unbounded; a long-lived deployment
+// wants (a) indexed access by location, (b) bounded storage ("keep the
+// last 90 periods per RSU"), and (c) a way to reclaim the space of
+// records that aged out.  RecordArchive layers those on the log: appends
+// go to disk immediately (crash-safe), the index tracks what is live,
+// retention drops the oldest periods per location from the index, and
+// compact() rewrites the log with only live records (atomically via a
+// temp file + rename).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/status.hpp"
+#include "core/traffic_record.hpp"
+
+namespace ptm {
+
+struct ArchiveOptions {
+  /// Retain at most this many most-recent periods per location
+  /// (0 = unlimited).
+  std::size_t max_periods_per_location = 0;
+};
+
+class RecordArchive {
+ public:
+  /// Opens (or creates) the archive at `path`, loading any existing log.
+  /// A torn log tail is tolerated (intact prefix loads); a non-log file
+  /// is FailedPrecondition.
+  [[nodiscard]] static Result<RecordArchive> open(std::string path,
+                                                  ArchiveOptions options);
+
+  /// Appends a record: durable write, then index update, then retention.
+  /// Duplicate (location, period) is FailedPrecondition.
+  Status append(const TrafficRecord& record);
+
+  /// Live (retained) record count / per-location period count.
+  [[nodiscard]] std::size_t live_records() const;
+  [[nodiscard]] std::size_t periods_at(std::uint64_t location) const;
+  [[nodiscard]] std::vector<std::uint64_t> locations() const;
+
+  /// All live bitmaps of a location, ordered by period (NotFound if none).
+  [[nodiscard]] Result<std::vector<Bitmap>> records_at(
+      std::uint64_t location) const;
+
+  /// The `window` most recent live bitmaps of a location, ordered by
+  /// period (NotFound when fewer exist).
+  [[nodiscard]] Result<std::vector<Bitmap>> latest(std::uint64_t location,
+                                                   std::size_t window) const;
+
+  /// Rewrites the on-disk log with only live records (temp file + rename).
+  /// Returns the number of dead records dropped.
+  [[nodiscard]] Result<std::size_t> compact();
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  RecordArchive(std::string path, ArchiveOptions options)
+      : path_(std::move(path)), options_(options) {}
+
+  void apply_retention(std::uint64_t location);
+
+  std::string path_;
+  ArchiveOptions options_;
+  // Live index: location -> period -> bitmap.  (The log may hold more.)
+  std::map<std::uint64_t, std::map<std::uint64_t, Bitmap>> index_;
+  std::size_t dead_in_log_ = 0;
+};
+
+}  // namespace ptm

@@ -1,0 +1,58 @@
+// record_log.hpp - durable storage for traffic records.
+//
+// The central server of §II-A accumulates one record per RSU per period,
+// indefinitely (persistent queries reach back weeks).  This module gives
+// that archive a crash-safe on-disk form: an append-only log of
+// length-prefixed, CRC-32-protected records.
+//
+//   file   := magic(8) record*
+//   magic  := "PTMRLOG1"
+//   record := u32 payload_length | payload | u32 crc32(payload)
+//
+// All integers little-endian.  A torn final record (crash mid-append) is
+// detected and reported; everything before it loads normally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/traffic_record.hpp"
+
+namespace ptm {
+
+/// Appends records to a log file, creating it (with the magic header) when
+/// absent.  Not concurrency-safe; one writer per file.
+class RecordLogWriter {
+ public:
+  /// Opens/creates the log.  FailedPrecondition if an existing file has
+  /// the wrong magic.
+  [[nodiscard]] static Result<RecordLogWriter> open(const std::string& path);
+
+  /// Appends one record (serialize + CRC) and flushes.
+  Status append(const TrafficRecord& record);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  explicit RecordLogWriter(std::string path) : path_(std::move(path)) {}
+
+  std::string path_;
+};
+
+/// Result of reading a log: the intact records, plus whether a torn /
+/// corrupt tail was skipped (and why).
+struct RecordLogContents {
+  std::vector<TrafficRecord> records;
+  bool truncated_tail = false;   ///< a trailing partial/corrupt entry existed
+  std::string tail_error;        ///< human-readable reason when truncated
+};
+
+/// Reads every intact record.  ParseError only for unreadable files or bad
+/// magic; mid-file corruption after intact records is reported via
+/// `truncated_tail` (the archive keeps what it can prove whole).
+[[nodiscard]] Result<RecordLogContents> read_record_log(
+    const std::string& path);
+
+}  // namespace ptm

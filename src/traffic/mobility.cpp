@@ -1,0 +1,110 @@
+#include "traffic/mobility.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ptm {
+
+MobilityModel::MobilityModel(const RoadNetwork& network,
+                             const TripTable& demand, std::size_t commuters,
+                             const EncodingParams& encoding, Xoshiro256& rng)
+    : network_(network), encoding_(encoding), zones_(network.zone_count()) {
+  assert(demand.zones() == network.zone_count());
+
+  // Cumulative off-diagonal demand for proportional OD sampling.
+  cumulative_demand_.reserve(zones_ * zones_);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < zones_; ++i) {
+    for (std::size_t j = 0; j < zones_; ++j) {
+      if (i != j) total += demand.demand(i, j);
+      cumulative_demand_.push_back(total);
+    }
+  }
+  assert(total > 0 && "trip table has no demand");
+
+  commuters_.reserve(commuters);
+  while (commuters_.size() < commuters) {
+    const auto [origin, destination] = sample_od(rng);
+    auto route = network_.shortest_path(origin, destination);
+    if (!route) continue;  // disconnected pair (generator prevents this)
+    Commuter c;
+    c.secrets = VehicleSecrets::create(rng.next(), encoding_.s, rng);
+    c.origin = origin;
+    c.destination = destination;
+    c.route = std::move(*route);
+    commuters_.push_back(std::move(c));
+  }
+}
+
+std::pair<std::size_t, std::size_t> MobilityModel::sample_od(
+    Xoshiro256& rng) const {
+  const std::uint64_t total = cumulative_demand_.back();
+  const std::uint64_t pick = rng.below(total) + 1;  // in [1, total]
+  const auto it = std::lower_bound(cumulative_demand_.begin(),
+                                   cumulative_demand_.end(), pick);
+  const auto flat =
+      static_cast<std::size_t>(it - cumulative_demand_.begin());
+  return {flat / zones_, flat % zones_};
+}
+
+PeriodTraffic MobilityModel::sample_period(std::size_t trips,
+                                           Xoshiro256& rng) const {
+  PeriodTraffic period;
+  period.transients.reserve(trips);
+  while (period.transients.size() < trips) {
+    const auto [origin, destination] = sample_od(rng);
+    auto route = network_.shortest_path(origin, destination);
+    if (!route) continue;
+    TransientTrip trip;
+    trip.secrets = VehicleSecrets::create(rng.next(), encoding_.s, rng);
+    trip.route = std::move(*route);
+    period.transients.push_back(std::move(trip));
+  }
+  return period;
+}
+
+std::size_t MobilityModel::commuters_through(std::size_t zone) const {
+  std::size_t count = 0;
+  for (const Commuter& c : commuters_) {
+    if (std::find(c.route.begin(), c.route.end(), zone) != c.route.end()) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t MobilityModel::commuters_through_both(std::size_t zone_a,
+                                                  std::size_t zone_b) const {
+  std::size_t count = 0;
+  for (const Commuter& c : commuters_) {
+    const bool through_a =
+        std::find(c.route.begin(), c.route.end(), zone_a) != c.route.end();
+    const bool through_b =
+        std::find(c.route.begin(), c.route.end(), zone_b) != c.route.end();
+    if (through_a && through_b) ++count;
+  }
+  return count;
+}
+
+std::vector<Bitmap> build_period_records(
+    const MobilityModel& model, const PeriodTraffic& period,
+    const std::vector<std::size_t>& record_sizes,
+    const EncodingParams& encoding) {
+  const VehicleEncoder encoder(encoding);
+  std::vector<Bitmap> records;
+  records.reserve(record_sizes.size());
+  for (std::size_t m : record_sizes) records.emplace_back(m);
+
+  auto drive = [&](const VehicleSecrets& secrets,
+                   const std::vector<std::size_t>& route) {
+    for (std::size_t zone : route) {
+      encoder.encode(secrets, static_cast<std::uint64_t>(zone),
+                     records[zone]);
+    }
+  };
+  for (const Commuter& c : model.commuters()) drive(c.secrets, c.route);
+  for (const TransientTrip& t : period.transients) drive(t.secrets, t.route);
+  return records;
+}
+
+}  // namespace ptm

@@ -1,0 +1,92 @@
+// mobility.hpp - trajectory-level traffic: who drives where, through which
+// RSUs.
+//
+// The estimator experiments (§VI) plant common vehicles directly; this
+// module generates the richer ground truth behind them: a fleet of
+// commuters with fixed home→work OD pairs who drive their shortest route
+// every period, plus per-period transient trips sampled from the trip
+// table.  Each trajectory is the exact sequence of zones (= RSUs) passed,
+// so experiments can ask "how many vehicles persistently traverse BOTH
+// zone 3 and zone 9?" with a known answer - including vehicles that pass
+// through intermediate zones they are neither origin nor destination of,
+// which the OD matrix alone cannot express.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/status.hpp"
+#include "core/encoding.hpp"
+#include "traffic/road_network.hpp"
+#include "traffic/trip_table.hpp"
+
+namespace ptm {
+
+/// One vehicle's fixed daily route.
+struct Commuter {
+  VehicleSecrets secrets;
+  std::size_t origin = 0;
+  std::size_t destination = 0;
+  std::vector<std::size_t> route;  ///< zones passed, endpoints included
+};
+
+/// A per-period trip by a one-off vehicle.
+struct TransientTrip {
+  VehicleSecrets secrets;
+  std::vector<std::size_t> route;
+};
+
+/// The daily traffic of one measurement period.
+struct PeriodTraffic {
+  std::vector<TransientTrip> transients;
+};
+
+/// Mobility model: a persistent commuter fleet + per-period transient
+/// trips, both routed over a road network.
+class MobilityModel {
+ public:
+  /// Samples `commuters` fleet members with OD pairs drawn proportionally
+  /// to the trip table's demands (table and network must have equal zone
+  /// counts; unreachable OD pairs are resampled).
+  MobilityModel(const RoadNetwork& network, const TripTable& demand,
+                std::size_t commuters, const EncodingParams& encoding,
+                Xoshiro256& rng);
+
+  [[nodiscard]] const std::vector<Commuter>& commuters() const noexcept {
+    return commuters_;
+  }
+
+  /// Samples one period's transient traffic: `trips` one-off vehicles with
+  /// trip-table-proportional OD pairs.
+  [[nodiscard]] PeriodTraffic sample_period(std::size_t trips,
+                                            Xoshiro256& rng) const;
+
+  /// Ground truth: commuters whose route passes through `zone`.
+  [[nodiscard]] std::size_t commuters_through(std::size_t zone) const;
+  /// Ground truth: commuters whose route passes through BOTH zones.
+  [[nodiscard]] std::size_t commuters_through_both(std::size_t zone_a,
+                                                   std::size_t zone_b) const;
+
+ private:
+  /// OD pair sampled with probability proportional to demand.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> sample_od(
+      Xoshiro256& rng) const;
+
+  const RoadNetwork& network_;
+  std::vector<Commuter> commuters_;
+  EncodingParams encoding_;
+  // Flattened cumulative demand for O(log) OD sampling.
+  std::vector<std::uint64_t> cumulative_demand_;
+  std::size_t zones_ = 0;
+};
+
+/// Builds one period's traffic records for every zone: each commuter and
+/// transient sets its bit at every RSU on its route.  `record_size(zone)`
+/// supplies each RSU's m (power of two).
+[[nodiscard]] std::vector<Bitmap> build_period_records(
+    const MobilityModel& model, const PeriodTraffic& period,
+    const std::vector<std::size_t>& record_sizes,
+    const EncodingParams& encoding);
+
+}  // namespace ptm

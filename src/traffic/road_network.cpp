@@ -1,0 +1,167 @@
+#include "traffic/road_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace ptm {
+
+RoadNetwork::RoadNetwork(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)), adjacency_(x_.size()) {
+  assert(x_.size() == y_.size() && x_.size() >= 2);
+}
+
+void RoadNetwork::add_road(std::size_t a, std::size_t b, double cost) {
+  assert(a < zone_count() && b < zone_count() && a != b && cost > 0.0);
+  // Idempotent: ignore an existing road between the same pair.
+  for (const RoadEdge& e : adjacency_[a]) {
+    if (e.to == b) return;
+  }
+  adjacency_[a].push_back({b, cost});
+  adjacency_[b].push_back({a, cost});
+  ++edge_count_;
+}
+
+bool RoadNetwork::connected() const {
+  std::vector<bool> seen(zone_count(), false);
+  std::vector<std::size_t> stack = {0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t zone = stack.back();
+    stack.pop_back();
+    for (const RoadEdge& e : adjacency_[zone]) {
+      if (!seen[e.to]) {
+        seen[e.to] = true;
+        ++visited;
+        stack.push_back(e.to);
+      }
+    }
+  }
+  return visited == zone_count();
+}
+
+Result<std::vector<std::size_t>> RoadNetwork::shortest_path(
+    std::size_t from, std::size_t to) const {
+  assert(from < zone_count() && to < zone_count());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(zone_count(), kInf);
+  std::vector<std::size_t> prev(zone_count(), SIZE_MAX);
+  using Entry = std::pair<double, std::size_t>;  // (dist, zone)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  dist[from] = 0.0;
+  frontier.emplace(0.0, from);
+
+  while (!frontier.empty()) {
+    const auto [d, zone] = frontier.top();
+    frontier.pop();
+    if (d > dist[zone]) continue;  // stale entry
+    if (zone == to) break;
+    for (const RoadEdge& e : adjacency_[zone]) {
+      const double candidate = d + e.cost;
+      if (candidate < dist[e.to]) {
+        dist[e.to] = candidate;
+        prev[e.to] = zone;
+        frontier.emplace(candidate, e.to);
+      }
+    }
+  }
+
+  if (dist[to] == kInf) {
+    return Status{ErrorCode::kNotFound, "zones not connected"};
+  }
+  std::vector<std::size_t> path;
+  for (std::size_t z = to; z != SIZE_MAX; z = prev[z]) {
+    path.push_back(z);
+    if (z == from) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Result<double> RoadNetwork::shortest_cost(std::size_t from,
+                                          std::size_t to) const {
+  auto path = shortest_path(from, to);
+  if (!path) return path.status();
+  double total = 0.0;
+  for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+    for (const RoadEdge& e : adjacency_[(*path)[i]]) {
+      if (e.to == (*path)[i + 1]) {
+        total += e.cost;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+RoadNetwork generate_road_network(std::size_t zones, std::size_t k,
+                                  std::uint64_t seed) {
+  assert(zones >= 2 && k >= 1);
+  Xoshiro256 rng(seed);
+  std::vector<double> x(zones), y(zones);
+  for (std::size_t i = 0; i < zones; ++i) {
+    x[i] = rng.uniform01();
+    y[i] = rng.uniform01();
+  }
+  RoadNetwork net(x, y);
+
+  auto distance = [&](std::size_t a, std::size_t b) {
+    const double dx = x[a] - x[b];
+    const double dy = y[a] - y[b];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+
+  // k-nearest-neighbour roads.
+  for (std::size_t a = 0; a < zones; ++a) {
+    std::vector<std::size_t> order;
+    for (std::size_t b = 0; b < zones; ++b) {
+      if (b != a) order.push_back(b);
+    }
+    std::sort(order.begin(), order.end(), [&](std::size_t p, std::size_t q) {
+      return distance(a, p) < distance(a, q);
+    });
+    for (std::size_t i = 0; i < std::min(k, order.size()); ++i) {
+      net.add_road(a, order[i], distance(a, order[i]));
+    }
+  }
+
+  // Patch to connectivity: while components remain, connect the closest
+  // cross-component pair.
+  while (!net.connected()) {
+    // Label components with a DFS from zone 0.
+    std::vector<bool> in_main(zones, false);
+    std::vector<std::size_t> stack = {0};
+    in_main[0] = true;
+    while (!stack.empty()) {
+      const std::size_t zone = stack.back();
+      stack.pop_back();
+      for (const RoadEdge& e : net.roads_from(zone)) {
+        if (!in_main[e.to]) {
+          in_main[e.to] = true;
+          stack.push_back(e.to);
+        }
+      }
+    }
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_a = 0, best_b = 1;
+    for (std::size_t a = 0; a < zones; ++a) {
+      if (!in_main[a]) continue;
+      for (std::size_t b = 0; b < zones; ++b) {
+        if (in_main[b]) continue;
+        const double d = distance(a, b);
+        if (d < best) {
+          best = d;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    net.add_road(best_a, best_b, best);
+  }
+  return net;
+}
+
+}  // namespace ptm

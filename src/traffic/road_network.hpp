@@ -1,0 +1,72 @@
+// road_network.hpp - a road graph over the trip-table zones.
+//
+// The trip table says how many vehicles travel between zone pairs; it says
+// nothing about the roads they use.  For trajectory-level experiments
+// (which RSUs does a commuter actually pass?) we need a graph: zones are
+// intersections with RSUs, edges are road segments with travel costs, and
+// vehicles follow shortest paths.  This module provides the graph, a
+// deterministic generator that produces a connected planar-ish network from
+// zone coordinates, and Dijkstra routing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/status.hpp"
+
+namespace ptm {
+
+struct RoadEdge {
+  std::size_t to = 0;
+  double cost = 0.0;  ///< travel time / length
+};
+
+class RoadNetwork {
+ public:
+  /// Graph with `zones` isolated nodes at the given coordinates.
+  RoadNetwork(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] std::size_t zone_count() const noexcept { return x_.size(); }
+  [[nodiscard]] double x_of(std::size_t zone) const { return x_.at(zone); }
+  [[nodiscard]] double y_of(std::size_t zone) const { return y_.at(zone); }
+
+  /// Adds an undirected road of the given cost (must be > 0).
+  void add_road(std::size_t a, std::size_t b, double cost);
+
+  [[nodiscard]] const std::vector<RoadEdge>& roads_from(
+      std::size_t zone) const {
+    return adjacency_.at(zone);
+  }
+  [[nodiscard]] std::size_t road_count() const noexcept {
+    return edge_count_;
+  }
+
+  /// True iff every zone can reach every other.
+  [[nodiscard]] bool connected() const;
+
+  /// Dijkstra shortest path from `from` to `to`, as the sequence of zones
+  /// visited INCLUDING both endpoints.  NotFound when unreachable.
+  [[nodiscard]] Result<std::vector<std::size_t>> shortest_path(
+      std::size_t from, std::size_t to) const;
+
+  /// Total cost of the shortest path (NotFound when unreachable).
+  [[nodiscard]] Result<double> shortest_cost(std::size_t from,
+                                             std::size_t to) const;
+
+ private:
+  std::vector<double> x_, y_;
+  std::vector<std::vector<RoadEdge>> adjacency_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Deterministic network generator: zones placed uniformly in the unit
+/// square (seeded), each connected to its `k` nearest neighbours with cost
+/// = Euclidean distance, then patched to connectivity by joining components
+/// at their closest pair.  k >= 2 gives a road-like planar-ish mesh.
+[[nodiscard]] RoadNetwork generate_road_network(std::size_t zones,
+                                                std::size_t k,
+                                                std::uint64_t seed);
+
+}  // namespace ptm

@@ -1,0 +1,38 @@
+#include "traffic/sioux_falls.hpp"
+
+namespace ptm {
+
+const SiouxFallsScenario& sioux_falls_scenario() {
+  // Table I of the paper: (L, n, n'', m, m'/m) with n' = 451,000 and
+  // m' = 2^20 = 1,048,576 (Eq. 2 with f = 2).
+  static const SiouxFallsScenario scenario{
+      451'000,
+      1'048'576,
+      3,
+      2.0,
+      {{
+          {1, 213'000, 40'000, 524'288, 2},
+          {2, 140'000, 20'000, 524'288, 2},
+          {3, 121'000, 19'000, 262'144, 4},
+          {4, 78'000, 8'000, 262'144, 4},
+          {5, 76'000, 8'000, 262'144, 4},
+          {6, 47'000, 7'000, 131'072, 8},
+          {7, 40'000, 6'000, 131'072, 8},
+          {8, 28'000, 3'000, 65'536, 16},
+      }}};
+  return scenario;
+}
+
+const SiouxFallsPaperErrors& sioux_falls_paper_errors() {
+  // Rows 6-10 of Table I as published.
+  static const SiouxFallsPaperErrors errors{
+      {0.0122, 0.0167, 0.0210, 0.0369, 0.0361, 0.0398, 0.0438, 0.0948},
+      {0.0101, 0.0144, 0.0169, 0.0252, 0.0267, 0.0284, 0.0265, 0.0585},
+      {0.0111, 0.0151, 0.0171, 0.0257, 0.0241, 0.0279, 0.0251, 0.0518},
+      {0.0104, 0.0139, 0.0172, 0.0258, 0.0256, 0.0261, 0.0234, 0.0497},
+      {0.0110, 0.0172, 0.0267, 0.0510, 0.0491, 0.1271, 0.1305, 1.3749},
+  };
+  return errors;
+}
+
+}  // namespace ptm

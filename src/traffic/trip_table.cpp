@@ -1,0 +1,115 @@
+#include "traffic/trip_table.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace ptm {
+
+TripTable::TripTable(std::size_t zones)
+    : zones_(zones), demand_(zones * zones, 0) {
+  assert(zones >= 2);
+}
+
+std::uint64_t TripTable::demand(std::size_t from, std::size_t to) const {
+  assert(from < zones_ && to < zones_);
+  return demand_[from * zones_ + to];
+}
+
+void TripTable::set_demand(std::size_t from, std::size_t to,
+                           std::uint64_t vehicles) {
+  assert(from < zones_ && to < zones_);
+  demand_[from * zones_ + to] = vehicles;
+}
+
+std::uint64_t TripTable::zone_volume(std::size_t zone) const {
+  assert(zone < zones_);
+  std::uint64_t total = 0;
+  for (std::size_t other = 0; other < zones_; ++other) {
+    total += demand(zone, other);
+    if (other != zone) total += demand(other, zone);
+  }
+  return total;
+}
+
+std::uint64_t TripTable::pair_volume(std::size_t a, std::size_t b) const {
+  assert(a < zones_ && b < zones_ && a != b);
+  return demand(a, b) + demand(b, a);
+}
+
+std::uint64_t TripTable::total_trips() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t d : demand_) total += d;
+  return total;
+}
+
+std::size_t TripTable::busiest_zone() const {
+  std::size_t best = 0;
+  std::uint64_t best_volume = 0;
+  for (std::size_t z = 0; z < zones_; ++z) {
+    const std::uint64_t v = zone_volume(z);
+    if (v > best_volume) {
+      best_volume = v;
+      best = z;
+    }
+  }
+  return best;
+}
+
+void TripTable::scale(double factor) {
+  assert(factor > 0.0);
+  for (auto& d : demand_) {
+    d = static_cast<std::uint64_t>(
+        std::llround(static_cast<double>(d) * factor));
+  }
+}
+
+TripTable gravity_model_table(std::size_t zones, std::uint64_t total_trips,
+                              std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  // Zone masses: log-uniform over [1, 100] so a few zones dominate, as in
+  // real city networks.
+  std::vector<double> mass(zones);
+  for (auto& m : mass) m = std::exp(rng.uniform01() * std::log(100.0));
+  // Zones placed uniformly on a unit square; "distance" is Euclidean.
+  std::vector<double> x(zones), y(zones);
+  for (std::size_t i = 0; i < zones; ++i) {
+    x[i] = rng.uniform01();
+    y[i] = rng.uniform01();
+  }
+
+  TripTable table(zones);
+  double weight_total = 0.0;
+  std::vector<double> weight(zones * zones, 0.0);
+  for (std::size_t i = 0; i < zones; ++i) {
+    for (std::size_t j = 0; j < zones; ++j) {
+      if (i == j) continue;
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      const double dist = std::sqrt(dx * dx + dy * dy);
+      const double w = mass[i] * mass[j] / (1.0 + dist);
+      weight[i * zones + j] = w;
+      weight_total += w;
+    }
+  }
+  for (std::size_t i = 0; i < zones; ++i) {
+    for (std::size_t j = 0; j < zones; ++j) {
+      if (i == j) continue;
+      const double share = weight[i * zones + j] / weight_total;
+      table.set_demand(i, j,
+                       static_cast<std::uint64_t>(std::llround(
+                           share * static_cast<double>(total_trips))));
+    }
+  }
+  return table;
+}
+
+TripTable sioux_falls_like_network() {
+  // Seed chosen once; the table is deterministic.  Scaled so the busiest
+  // zone's volume lands near the paper's n' = 451,000.
+  TripTable table = gravity_model_table(24, 1'500'000, 0x510FA115ULL);
+  const std::uint64_t busiest = table.zone_volume(table.busiest_zone());
+  table.scale(451'000.0 / static_cast<double>(busiest));
+  return table;
+}
+
+}  // namespace ptm

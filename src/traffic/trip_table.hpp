@@ -1,0 +1,67 @@
+// trip_table.hpp - origin-destination trip tables (paper §VI-A).
+//
+// The paper's real-data evaluation draws point-to-point volumes from the
+// Sioux Falls vehicle trip table (LeBlanc et al. 1975 [24]): entry (i, j) is
+// the number of vehicles traveling from zone i to zone j per measurement
+// period.  A location's total volume is the sum of all entries involving it;
+// the p2p volume between two locations comes from the pair's entries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "common/status.hpp"
+
+namespace ptm {
+
+class TripTable {
+ public:
+  /// All-zero table over `zones` zones.
+  explicit TripTable(std::size_t zones);
+
+  [[nodiscard]] std::size_t zones() const noexcept { return zones_; }
+
+  /// Demand from zone `from` to zone `to` (0-based).  Diagonal entries are
+  /// allowed (intra-zone trips) but excluded from pair volume.
+  [[nodiscard]] std::uint64_t demand(std::size_t from, std::size_t to) const;
+  void set_demand(std::size_t from, std::size_t to, std::uint64_t vehicles);
+
+  /// Total volume observed at a zone: all trips departing from or arriving
+  /// at it (the paper's n for a location).
+  [[nodiscard]] std::uint64_t zone_volume(std::size_t zone) const;
+
+  /// Point-to-point volume between two distinct zones: demand(a,b) +
+  /// demand(b,a) (the paper's n'' source for a location pair).
+  [[nodiscard]] std::uint64_t pair_volume(std::size_t a, std::size_t b) const;
+
+  /// Sum of every entry.
+  [[nodiscard]] std::uint64_t total_trips() const;
+
+  /// Zone with the largest zone_volume (the paper picks it as L').
+  [[nodiscard]] std::size_t busiest_zone() const;
+
+  /// Scales every entry by `factor` with rounding.
+  void scale(double factor);
+
+ private:
+  std::size_t zones_;
+  std::vector<std::uint64_t> demand_;  // row-major zones_ x zones_
+};
+
+/// Deterministic gravity-model OD table: zone "masses" are drawn
+/// log-uniformly and demand(i,j) ∝ mass_i * mass_j / (1 + dist(i,j)), then
+/// the table is scaled to ~`total_trips`.  This is the synthetic stand-in
+/// for road networks in examples and tests (see DESIGN.md §5 on why the
+/// Table-I reproduction instead uses the paper's own published volumes).
+[[nodiscard]] TripTable gravity_model_table(std::size_t zones,
+                                            std::uint64_t total_trips,
+                                            std::uint64_t seed);
+
+/// The 24-zone Sioux-Falls-like demo network used by the examples: a
+/// gravity-model table scaled so the busiest zone sees roughly the paper's
+/// n' = 451,000 vehicles.
+[[nodiscard]] TripTable sioux_falls_like_network();
+
+}  // namespace ptm

@@ -1,0 +1,129 @@
+#include "traffic/workload.hpp"
+
+#include <cassert>
+
+#include "core/traffic_record.hpp"
+
+namespace ptm {
+
+std::vector<std::uint64_t> draw_period_volumes(std::size_t t,
+                                               std::uint64_t volume_min,
+                                               std::uint64_t volume_max,
+                                               Xoshiro256& rng) {
+  assert(volume_min >= 1 && volume_min <= volume_max);
+  std::vector<std::uint64_t> volumes(t);
+  for (auto& v : volumes) v = rng.in_range(volume_min, volume_max);
+  return volumes;
+}
+
+std::vector<VehicleSecrets> make_vehicles(std::size_t n, std::size_t s,
+                                          Xoshiro256& rng) {
+  std::vector<std::uint64_t> ids = sample_distinct_ids(rng, n);
+  std::vector<VehicleSecrets> out;
+  out.reserve(n);
+  for (std::uint64_t id : ids) {
+    out.push_back(VehicleSecrets::create(id, s, rng));
+  }
+  return out;
+}
+
+void add_transient_traffic(Bitmap& record, std::uint64_t count,
+                           Xoshiro256& rng) {
+  const std::uint64_t m = record.size();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    record.set(static_cast<std::size_t>(rng.below(m)));
+  }
+}
+
+std::vector<Bitmap> generate_point_records(
+    const std::vector<std::uint64_t>& volumes,
+    const std::vector<VehicleSecrets>& common, std::uint64_t location,
+    double load_factor, const EncodingParams& encoding, Xoshiro256& rng) {
+  const VehicleEncoder encoder(encoding);
+  std::vector<Bitmap> records;
+  records.reserve(volumes.size());
+  for (std::uint64_t volume : volumes) {
+    assert(volume >= common.size());
+    const std::size_t m =
+        plan_bitmap_size(static_cast<double>(volume), load_factor);
+    Bitmap record(m);
+    for (const VehicleSecrets& vehicle : common) {
+      encoder.encode(vehicle, location, record);
+    }
+    add_transient_traffic(record, volume - common.size(), rng);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+P2PRecordSet generate_p2p_records(
+    const std::vector<std::uint64_t>& volumes_l,
+    const std::vector<std::uint64_t>& volumes_l_prime,
+    const std::vector<VehicleSecrets>& common, std::uint64_t location_l,
+    std::uint64_t location_l_prime, double load_factor,
+    const EncodingParams& encoding, Xoshiro256& rng,
+    bool same_size_benchmark) {
+  assert(volumes_l.size() == volumes_l_prime.size());
+  const VehicleEncoder encoder(encoding);
+  P2PRecordSet out;
+  out.at_l.reserve(volumes_l.size());
+  out.at_l_prime.reserve(volumes_l_prime.size());
+
+  for (std::size_t j = 0; j < volumes_l.size(); ++j) {
+    assert(volumes_l[j] >= common.size() &&
+           volumes_l_prime[j] >= common.size());
+    const std::size_t m =
+        plan_bitmap_size(static_cast<double>(volumes_l[j]), load_factor);
+    // Table I's "same-size bitmaps" row plans L' from L's volume, ensuring
+    // privacy for the smaller location at the cost of heavy mixing at the
+    // larger one (§VI-A).
+    const std::size_t m_prime =
+        same_size_benchmark
+            ? m
+            : plan_bitmap_size(static_cast<double>(volumes_l_prime[j]),
+                               load_factor);
+
+    Bitmap record_l(m);
+    Bitmap record_lp(m_prime);
+    for (const VehicleSecrets& vehicle : common) {
+      encoder.encode(vehicle, location_l, record_l);
+      encoder.encode(vehicle, location_l_prime, record_lp);
+    }
+    add_transient_traffic(record_l, volumes_l[j] - common.size(), rng);
+    add_transient_traffic(record_lp, volumes_l_prime[j] - common.size(), rng);
+    out.at_l.push_back(std::move(record_l));
+    out.at_l_prime.push_back(std::move(record_lp));
+  }
+  return out;
+}
+
+std::vector<std::vector<Bitmap>> generate_corridor_records(
+    std::span<const std::uint64_t> location_ids,
+    std::span<const std::vector<std::uint64_t>> volumes_per_location,
+    const std::vector<VehicleSecrets>& common, double load_factor,
+    const EncodingParams& encoding, Xoshiro256& rng) {
+  assert(location_ids.size() == volumes_per_location.size() &&
+         location_ids.size() >= 1);
+  const VehicleEncoder encoder(encoding);
+  std::vector<std::vector<Bitmap>> out(location_ids.size());
+
+  for (std::size_t loc = 0; loc < location_ids.size(); ++loc) {
+    const auto& volumes = volumes_per_location[loc];
+    assert(volumes.size() == volumes_per_location[0].size());
+    out[loc].reserve(volumes.size());
+    for (std::uint64_t volume : volumes) {
+      assert(volume >= common.size());
+      const std::size_t m =
+          plan_bitmap_size(static_cast<double>(volume), load_factor);
+      Bitmap record(m);
+      for (const VehicleSecrets& vehicle : common) {
+        encoder.encode(vehicle, location_ids[loc], record);
+      }
+      add_transient_traffic(record, volume - common.size(), rng);
+      out[loc].push_back(std::move(record));
+    }
+  }
+  return out;
+}
+
+}  // namespace ptm

@@ -1,0 +1,85 @@
+// workload.hpp - synthetic traffic generators matching the paper's
+// simulation setup (§VI).
+//
+// Ground truth in every experiment is a set of *common* vehicles planted at
+// one location (point persistent) or a pair of locations (p2p persistent),
+// plus per-period *transient* vehicles that never repeat.  Common vehicles
+// are encoded through the real VehicleEncoder so all cross-period /
+// cross-location hash structure is faithful.  Transient vehicles are fresh
+// every period, so their bit indices are i.i.d. uniform - the generator sets
+// uniform random bits directly instead of minting throwaway secrets, which
+// is distribution-identical and keeps the paper's 451,000-vehicle Sioux
+// Falls columns fast (the equivalence is property-tested).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bitmap.hpp"
+#include "common/random.hpp"
+#include "core/encoding.hpp"
+
+namespace ptm {
+
+/// Draws `t` per-period volumes uniformly from [volume_min, volume_max]
+/// (the paper's (2000, 10000] becomes [2001, 10000]).
+[[nodiscard]] std::vector<std::uint64_t> draw_period_volumes(
+    std::size_t t, std::uint64_t volume_min, std::uint64_t volume_max,
+    Xoshiro256& rng);
+
+/// Mints `n` vehicles with fresh secrets (the planted common set).
+[[nodiscard]] std::vector<VehicleSecrets> make_vehicles(std::size_t n,
+                                                        std::size_t s,
+                                                        Xoshiro256& rng);
+
+/// Sets `count` uniformly random bits in `record` - the statistical
+/// equivalent of encoding `count` fresh transient vehicles (distinct IDs,
+/// uniform hash outputs).
+void add_transient_traffic(Bitmap& record, std::uint64_t count,
+                           Xoshiro256& rng);
+
+/// Generates the t per-period records of one location for the point
+/// persistent experiment (§VI-B): per period j the bitmap has
+/// m_j = plan_bitmap_size(volumes[j], f) bits, carries every common vehicle
+/// (same bit each period) and volumes[j] - |common| fresh transients.
+/// Precondition: |common| <= min(volumes).
+[[nodiscard]] std::vector<Bitmap> generate_point_records(
+    const std::vector<std::uint64_t>& volumes,
+    const std::vector<VehicleSecrets>& common, std::uint64_t location,
+    double load_factor, const EncodingParams& encoding, Xoshiro256& rng);
+
+/// Record sets of the two locations in the p2p experiment.
+struct P2PRecordSet {
+  std::vector<Bitmap> at_l;
+  std::vector<Bitmap> at_l_prime;
+};
+
+/// Generates per-period records at L and L' (§VI-A/B): every common vehicle
+/// is encoded at BOTH locations every period; each location additionally
+/// receives volumes[j] - |common| fresh transients per period.
+/// `same_size_benchmark` reproduces Table I's last row: L''s bitmap is
+/// planned from L's volume instead of its own (m' = m), the simpler design
+/// the paper compares against.
+/// Preconditions: equal t at both locations, |common| <= every volume.
+[[nodiscard]] P2PRecordSet generate_p2p_records(
+    const std::vector<std::uint64_t>& volumes_l,
+    const std::vector<std::uint64_t>& volumes_l_prime,
+    const std::vector<VehicleSecrets>& common, std::uint64_t location_l,
+    std::uint64_t location_l_prime, double load_factor,
+    const EncodingParams& encoding, Xoshiro256& rng,
+    bool same_size_benchmark = false);
+
+/// Generates per-period records for a k-location corridor: every common
+/// vehicle is encoded at ALL locations every period; location j
+/// additionally receives volumes_per_location[j][period] - |common| fresh
+/// transients.  Result is indexed [location][period].
+/// Preconditions: one volume vector per location, equal period counts,
+/// every volume >= |common|.
+[[nodiscard]] std::vector<std::vector<Bitmap>> generate_corridor_records(
+    std::span<const std::uint64_t> location_ids,
+    std::span<const std::vector<std::uint64_t>> volumes_per_location,
+    const std::vector<VehicleSecrets>& common, double load_factor,
+    const EncodingParams& encoding, Xoshiro256& rng);
+
+}  // namespace ptm

@@ -1,0 +1,210 @@
+// Tests for crypto/bigint.hpp: arithmetic identities, division fuzz against
+// 128-bit hardware arithmetic, and the number theory RSA needs.
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace ptm {
+namespace {
+
+BigInt from_u128(__uint128_t v) {
+  std::uint8_t be[16];
+  for (int i = 0; i < 16; ++i) be[i] = static_cast<std::uint8_t>(v >> (8 * (15 - i)));
+  return BigInt::from_be_bytes({be, 16});
+}
+
+TEST(BigInt, ZeroAndBasicConstruction) {
+  const BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_hex(), "0");
+
+  const BigInt one(1);
+  EXPECT_FALSE(one.is_zero());
+  EXPECT_TRUE(one.is_odd());
+  EXPECT_EQ(one.bit_length(), 1u);
+
+  const BigInt big(0x1234567890ABCDEFULL);
+  EXPECT_EQ(big.to_hex(), "1234567890abcdef");
+  EXPECT_EQ(big.low_u64(), 0x1234567890ABCDEFULL);
+  EXPECT_EQ(big.bit_length(), 61u);
+}
+
+TEST(BigInt, HexRoundTrip) {
+  for (const char* hex :
+       {"0", "1", "ff", "100", "deadbeefcafebabe0123456789abcdef",
+        "8000000000000000000000000000000000000001"}) {
+    const BigInt v = BigInt::from_hex(hex);
+    EXPECT_EQ(v.to_hex(), hex);
+  }
+}
+
+TEST(BigInt, BeBytesRoundTrip) {
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt v = BigInt::random_with_bits(8 * (1 + i % 40), rng);
+    EXPECT_EQ(BigInt::from_be_bytes(v.to_be_bytes()), v);
+  }
+}
+
+TEST(BigInt, CompareOrders) {
+  const BigInt a(5), b(7), c = BigInt::from_hex("10000000000000000");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_GT(c, a);
+  EXPECT_LE(a, a);
+  EXPECT_GE(a, a);
+  EXPECT_EQ(BigInt::compare(a, a), 0);
+}
+
+TEST(BigInt, AddSubInverse) {
+  Xoshiro256 rng(10);
+  for (int i = 0; i < 200; ++i) {
+    const BigInt a = BigInt::random_with_bits(1 + rng.below(256), rng);
+    const BigInt b = BigInt::random_with_bits(1 + rng.below(256), rng);
+    const BigInt sum = BigInt::add(a, b);
+    EXPECT_EQ(BigInt::sub(sum, b), a);
+    EXPECT_EQ(BigInt::sub(sum, a), b);
+  }
+}
+
+TEST(BigInt, AddCarriesAcrossLimbs) {
+  const BigInt a = BigInt::from_hex("ffffffffffffffffffffffff");
+  const BigInt sum = BigInt::add(a, BigInt(1));
+  EXPECT_EQ(sum.to_hex(), "1000000000000000000000000");
+}
+
+TEST(BigInt, MulMatchesU128) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next();
+    const __uint128_t p = static_cast<__uint128_t>(a) * b;
+    EXPECT_EQ(BigInt::mul(BigInt(a), BigInt(b)), from_u128(p));
+  }
+}
+
+TEST(BigInt, MulByZeroAndOne) {
+  const BigInt v = BigInt::from_hex("abcdef0123456789");
+  EXPECT_TRUE(BigInt::mul(v, BigInt{}).is_zero());
+  EXPECT_EQ(BigInt::mul(v, BigInt(1)), v);
+}
+
+TEST(BigInt, DivModFuzzAgainstU128) {
+  Xoshiro256 rng(12);
+  for (int i = 0; i < 5000; ++i) {
+    const __uint128_t a =
+        (static_cast<__uint128_t>(rng.next()) << 64) | rng.next();
+    __uint128_t b;
+    switch (i % 3) {
+      case 0: b = rng.next() | 1; break;                      // 64-bit
+      case 1: b = (rng.next() & 0xFFFFFFFF) | 1; break;       // 32-bit
+      default:
+        b = ((static_cast<__uint128_t>(rng.next() & 0xFFFF) << 64) |
+             rng.next()) | 1;  // 80-bit: exercises Knuth D proper
+    }
+    const auto dm = BigInt::divmod(from_u128(a), from_u128(b));
+    EXPECT_EQ(dm.quotient, from_u128(a / b));
+    EXPECT_EQ(dm.remainder, from_u128(a % b));
+  }
+}
+
+TEST(BigInt, DivModReconstruction) {
+  // a == q*b + r and r < b, for wide random operands beyond 128 bits.
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 300; ++i) {
+    const BigInt a = BigInt::random_with_bits(1 + rng.below(512), rng);
+    const BigInt b = BigInt::random_with_bits(1 + rng.below(300), rng);
+    const auto dm = BigInt::divmod(a, b);
+    EXPECT_LT(dm.remainder, b);
+    EXPECT_EQ(BigInt::add(BigInt::mul(dm.quotient, b), dm.remainder), a);
+  }
+}
+
+TEST(BigInt, DivByZeroThrows) {
+  EXPECT_THROW((void)BigInt::divmod(BigInt(5), BigInt{}), std::domain_error);
+}
+
+TEST(BigInt, ShiftsMatchMultiplication) {
+  Xoshiro256 rng(14);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt v = BigInt::random_with_bits(1 + rng.below(200), rng);
+    const std::size_t k = rng.below(130);
+    BigInt pow2(1);
+    for (std::size_t j = 0; j < k; ++j) pow2 = BigInt::add(pow2, pow2);
+    EXPECT_EQ(BigInt::shl(v, k), BigInt::mul(v, pow2));
+    EXPECT_EQ(BigInt::shr(BigInt::shl(v, k), k), v);
+  }
+}
+
+TEST(BigInt, ModSmallMatchesDivmod) {
+  Xoshiro256 rng(15);
+  for (int i = 0; i < 200; ++i) {
+    const BigInt v = BigInt::random_with_bits(1 + rng.below(256), rng);
+    const std::uint32_t d = static_cast<std::uint32_t>(rng.next() | 1);
+    EXPECT_EQ(v.mod_small(d), BigInt::mod(v, BigInt(d)).low_u64());
+  }
+}
+
+TEST(BigInt, PowModSmallCases) {
+  // 3^5 mod 7 = 243 mod 7 = 5; x^0 = 1.
+  EXPECT_EQ(BigInt::powmod(BigInt(3), BigInt(5), BigInt(7)), BigInt(5));
+  EXPECT_EQ(BigInt::powmod(BigInt(10), BigInt{}, BigInt(7)), BigInt(1));
+  EXPECT_EQ(BigInt::powmod(BigInt(2), BigInt(10), BigInt(10000)),
+            BigInt(1024));
+}
+
+TEST(BigInt, PowModFermat) {
+  // a^(p-1) = 1 mod p for prime p not dividing a.
+  const BigInt p(1000000007ULL);
+  Xoshiro256 rng(16);
+  for (int i = 0; i < 20; ++i) {
+    const BigInt a = BigInt::add(BigInt::random_below(p, rng), BigInt(1));
+    EXPECT_EQ(BigInt::powmod(a, BigInt(1000000006ULL), p), BigInt(1));
+  }
+}
+
+TEST(BigInt, GcdKnownValues) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(31)), BigInt(1));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+}
+
+TEST(BigInt, ModInvIsInverse) {
+  Xoshiro256 rng(17);
+  const BigInt m(1000000007ULL);  // prime modulus: everything invertible
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = BigInt::add(BigInt::random_below(
+                                     BigInt::sub(m, BigInt(1)), rng),
+                                 BigInt(1));
+    const BigInt inv = BigInt::modinv(a, m);
+    ASSERT_FALSE(inv.is_zero());
+    EXPECT_EQ(BigInt::mulmod(a, inv, m), BigInt(1));
+  }
+}
+
+TEST(BigInt, ModInvOfNonInvertibleIsZero) {
+  EXPECT_TRUE(BigInt::modinv(BigInt(6), BigInt(9)).is_zero());
+}
+
+TEST(BigInt, RandomWithBitsHasExactLength) {
+  Xoshiro256 rng(18);
+  for (std::size_t bits : {1u, 2u, 31u, 32u, 33u, 64u, 65u, 255u, 256u, 257u}) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_EQ(BigInt::random_with_bits(bits, rng).bit_length(), bits);
+    }
+  }
+}
+
+TEST(BigInt, RandomBelowStaysBelow) {
+  Xoshiro256 rng(19);
+  const BigInt bound = BigInt::from_hex("1000000000000000000000001");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(BigInt::random_below(bound, rng), bound);
+  }
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,218 @@
+// Tests for common/bitmap.hpp: the physical traffic-record representation.
+#include "common/bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(Bitmap, StartsAllZero) {
+  const Bitmap b(128);
+  EXPECT_EQ(b.size(), 128u);
+  EXPECT_EQ(b.count_ones(), 0u);
+  EXPECT_EQ(b.count_zeros(), 128u);
+  EXPECT_DOUBLE_EQ(b.fraction_zeros(), 1.0);
+}
+
+TEST(Bitmap, SetTestReset) {
+  Bitmap b(70);  // deliberately not a multiple of 64
+  EXPECT_FALSE(b.test(0));
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count_ones(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count_ones(), 3u);
+}
+
+TEST(Bitmap, SetIsIdempotent) {
+  Bitmap b(32);
+  b.set(7);
+  b.set(7);
+  EXPECT_EQ(b.count_ones(), 1u);
+}
+
+TEST(Bitmap, ClearResetsEverything) {
+  Bitmap b(256);
+  for (std::size_t i = 0; i < 256; i += 3) b.set(i);
+  ASSERT_GT(b.count_ones(), 0u);
+  b.clear();
+  EXPECT_EQ(b.count_ones(), 0u);
+}
+
+TEST(Bitmap, FractionZeros) {
+  Bitmap b(8);
+  b.set(0);
+  b.set(1);
+  EXPECT_DOUBLE_EQ(b.fraction_zeros(), 0.75);
+  EXPECT_DOUBLE_EQ(b.fraction_ones(), 0.25);
+}
+
+TEST(Bitmap, AndWithMatchesManualComputation) {
+  Bitmap a(16), b(16);
+  a.set(1);
+  a.set(2);
+  a.set(3);
+  b.set(2);
+  b.set(3);
+  b.set(4);
+  ASSERT_TRUE(a.and_with(b).is_ok());
+  EXPECT_FALSE(a.test(1));
+  EXPECT_TRUE(a.test(2));
+  EXPECT_TRUE(a.test(3));
+  EXPECT_FALSE(a.test(4));
+}
+
+TEST(Bitmap, OrWithMatchesManualComputation) {
+  Bitmap a(16), b(16);
+  a.set(1);
+  b.set(4);
+  ASSERT_TRUE(a.or_with(b).is_ok());
+  EXPECT_TRUE(a.test(1));
+  EXPECT_TRUE(a.test(4));
+  EXPECT_EQ(a.count_ones(), 2u);
+}
+
+TEST(Bitmap, JoinSizeMismatchRejected) {
+  Bitmap a(16), b(32);
+  EXPECT_EQ(a.and_with(b).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(a.or_with(b).code(), ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(bitmap_and(a, b).has_value());
+  EXPECT_FALSE(bitmap_or(a, b).has_value());
+}
+
+TEST(Bitmap, FreeJoinsDoNotMutateInputs) {
+  Bitmap a(8), b(8);
+  a.set(0);
+  b.set(1);
+  auto j = bitmap_or(a, b);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(a.count_ones(), 1u);
+  EXPECT_EQ(b.count_ones(), 1u);
+  EXPECT_EQ(j->count_ones(), 2u);
+}
+
+TEST(Bitmap, ReplicateDoubles) {
+  Bitmap b(4);
+  b.set(1);
+  b.set(3);
+  auto e = b.replicate_to(8);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->size(), 8u);
+  // Pattern 0101 repeated: bits 1,3,5,7.
+  EXPECT_TRUE(e->test(1));
+  EXPECT_TRUE(e->test(3));
+  EXPECT_TRUE(e->test(5));
+  EXPECT_TRUE(e->test(7));
+  EXPECT_EQ(e->count_ones(), 4u);
+}
+
+TEST(Bitmap, ReplicatePreservesZeroFraction) {
+  Xoshiro256 rng(99);
+  Bitmap b(256);
+  for (int i = 0; i < 100; ++i) b.set(rng.below(256));
+  const double v0 = b.fraction_zeros();
+  auto e = b.replicate_to(4096);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_DOUBLE_EQ(e->fraction_zeros(), v0);
+}
+
+TEST(Bitmap, ReplicateWordAlignedLargeSizes) {
+  Xoshiro256 rng(7);
+  Bitmap b(1024);
+  for (int i = 0; i < 300; ++i) b.set(rng.below(1024));
+  auto e = b.replicate_to(8192);
+  ASSERT_TRUE(e.has_value());
+  for (std::size_t i = 0; i < 8192; ++i) {
+    EXPECT_EQ(e->test(i), b.test(i % 1024)) << "index " << i;
+  }
+}
+
+TEST(Bitmap, ReplicateRejectsNonMultiple) {
+  Bitmap b(8);
+  EXPECT_FALSE(b.replicate_to(12).has_value());
+  EXPECT_FALSE(b.replicate_to(0).has_value());
+  EXPECT_FALSE(b.replicate_to(4).has_value());  // shrink not allowed
+}
+
+TEST(Bitmap, ReplicateOfEmptyRejected) {
+  const Bitmap b;
+  EXPECT_EQ(b.replicate_to(8).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(Bitmap, SerializeRoundTrip) {
+  Xoshiro256 rng(5);
+  for (std::size_t size : {1u, 63u, 64u, 65u, 128u, 1000u}) {
+    Bitmap b(size);
+    for (std::size_t i = 0; i < size / 2; ++i) b.set(rng.below(size));
+    const auto bytes = b.serialize();
+    auto decoded = Bitmap::deserialize(bytes);
+    ASSERT_TRUE(decoded.has_value()) << "size " << size;
+    EXPECT_EQ(*decoded, b);
+  }
+}
+
+TEST(Bitmap, DeserializeRejectsTruncation) {
+  Bitmap b(128);
+  b.set(5);
+  auto bytes = b.serialize();
+  bytes.pop_back();
+  EXPECT_EQ(Bitmap::deserialize(bytes).status().code(),
+            ErrorCode::kParseError);
+}
+
+TEST(Bitmap, DeserializeRejectsShortHeader) {
+  const std::vector<std::uint8_t> bytes = {1, 2, 3};
+  EXPECT_EQ(Bitmap::deserialize(bytes).status().code(),
+            ErrorCode::kParseError);
+}
+
+TEST(Bitmap, DeserializeRejectsStrayTailBits) {
+  Bitmap b(60);  // 4 unused bits in the single word
+  auto bytes = b.serialize();
+  bytes.back() = 0xF0;  // set bits beyond index 59
+  EXPECT_EQ(Bitmap::deserialize(bytes).status().code(),
+            ErrorCode::kParseError);
+}
+
+TEST(Bitmap, EqualityComparesSizeAndContent) {
+  Bitmap a(8), b(8), c(16);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  b.set(3);
+  EXPECT_FALSE(a == b);
+}
+
+/// Property sweep: counting is consistent for random fills across sizes.
+class BitmapCountProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitmapCountProperty, OnesPlusZerosEqualsSize) {
+  const std::size_t size = GetParam();
+  Xoshiro256 rng(size * 2654435761u + 1);
+  Bitmap b(size);
+  std::size_t distinct = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::size_t idx = rng.below(size);
+    if (!b.test(idx)) ++distinct;
+    b.set(idx);
+  }
+  EXPECT_EQ(b.count_ones(), distinct);
+  EXPECT_EQ(b.count_ones() + b.count_zeros(), size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitmapCountProperty,
+                         ::testing::Values(1, 2, 31, 32, 33, 63, 64, 65, 127,
+                                           128, 129, 512, 4096, 65536));
+
+}  // namespace
+}  // namespace ptm

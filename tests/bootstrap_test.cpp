@@ -1,0 +1,116 @@
+// Tests for core/bootstrap.hpp: the bootstrap CI around Eq. 12.
+#include "core/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "traffic/workload.hpp"
+
+namespace ptm {
+namespace {
+
+std::vector<Bitmap> make_records(std::size_t t, std::size_t n_star,
+                                 std::uint64_t volume, Xoshiro256& rng) {
+  const EncodingParams encoding;
+  const auto common = make_vehicles(n_star, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(t, volume);
+  return generate_point_records(volumes, common, 0xC1, 2.0, encoding, rng);
+}
+
+TEST(Bootstrap, RejectsBadOptions) {
+  Xoshiro256 rng(1);
+  const auto records = make_records(4, 100, 4000, rng);
+  BootstrapOptions few;
+  few.resamples = 5;
+  EXPECT_FALSE(estimate_point_persistent_with_ci(records, few).has_value());
+  BootstrapOptions bad_conf;
+  bad_conf.confidence = 1.0;
+  EXPECT_FALSE(
+      estimate_point_persistent_with_ci(records, bad_conf).has_value());
+}
+
+TEST(Bootstrap, IntervalBracketsThePointEstimate) {
+  Xoshiro256 rng(2);
+  const auto records = make_records(5, 800, 7000, rng);
+  const auto interval = estimate_point_persistent_with_ci(records);
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_LE(interval->lower, interval->point.n_star + 1e-9);
+  EXPECT_GE(interval->upper, interval->point.n_star - 1e-9);
+  EXPECT_GT(interval->upper, interval->lower);
+}
+
+TEST(Bootstrap, DeterministicInSeed) {
+  Xoshiro256 rng(3);
+  const auto records = make_records(5, 500, 6000, rng);
+  const auto a = estimate_point_persistent_with_ci(records);
+  const auto b = estimate_point_persistent_with_ci(records);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_DOUBLE_EQ(a->lower, b->lower);
+  EXPECT_DOUBLE_EQ(a->upper, b->upper);
+}
+
+TEST(Bootstrap, WiderConfidenceWiderInterval) {
+  Xoshiro256 rng(4);
+  const auto records = make_records(5, 500, 6000, rng);
+  BootstrapOptions narrow, wide;
+  narrow.confidence = 0.80;
+  wide.confidence = 0.99;
+  narrow.resamples = wide.resamples = 400;
+  const auto n = estimate_point_persistent_with_ci(records, narrow);
+  const auto w = estimate_point_persistent_with_ci(records, wide);
+  ASSERT_TRUE(n.has_value() && w.has_value());
+  EXPECT_GE(w->upper - w->lower, n->upper - n->lower);
+}
+
+TEST(Bootstrap, CoverageIsRoughlyNominal) {
+  // Repeat the whole experiment 40 times; the 95% CI should contain the
+  // planted truth in the vast majority of trials.  (Exact coverage needs
+  // thousands of trials; >= 80% at 40 trials is a 5-sigma-safe floor for
+  // a working 95% interval, and catches gross under-coverage.)
+  constexpr std::size_t kNStar = 600;
+  int covered = 0;
+  constexpr int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Xoshiro256 rng(100 + trial);
+    const auto records = make_records(5, kNStar, 6000, rng);
+    BootstrapOptions options;
+    options.resamples = 150;
+    options.seed = 0xB007 + static_cast<std::uint64_t>(trial);
+    const auto interval =
+        estimate_point_persistent_with_ci(records, options);
+    ASSERT_TRUE(interval.has_value());
+    if (interval->lower <= kNStar && kNStar <= interval->upper) ++covered;
+  }
+  EXPECT_GE(covered, kTrials * 8 / 10) << covered << "/" << kTrials;
+}
+
+TEST(Bootstrap, IntervalScalesWithVolumeUncertainty) {
+  // Small persistent volume on a noisy background -> relatively wider CI
+  // than a large one.
+  Xoshiro256 rng(5);
+  const auto small = make_records(5, 80, 8000, rng);
+  const auto large = make_records(5, 3000, 8000, rng);
+  const auto ci_small = estimate_point_persistent_with_ci(small);
+  const auto ci_large = estimate_point_persistent_with_ci(large);
+  ASSERT_TRUE(ci_small.has_value() && ci_large.has_value());
+  const double rel_width_small =
+      (ci_small->upper - ci_small->lower) /
+      std::max(ci_small->point.n_star, 1.0);
+  const double rel_width_large =
+      (ci_large->upper - ci_large->lower) /
+      std::max(ci_large->point.n_star, 1.0);
+  EXPECT_GT(rel_width_small, rel_width_large);
+}
+
+TEST(Bootstrap, ZeroCommonProducesIntervalTouchingZero) {
+  Xoshiro256 rng(6);
+  const EncodingParams encoding;
+  const std::vector<std::uint64_t> volumes(5, 6000);
+  const auto records =
+      generate_point_records(volumes, {}, 0xC1, 2.0, encoding, rng);
+  const auto interval = estimate_point_persistent_with_ci(records);
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_LT(interval->lower, 50.0);  // effectively zero
+}
+
+}  // namespace
+}  // namespace ptm

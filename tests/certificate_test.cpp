@@ -1,0 +1,109 @@
+// Tests for crypto/certificate.hpp: the trusted-third-party chain that
+// gates all V2I participation (paper §II-B).
+#include "crypto/certificate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptm {
+namespace {
+
+class CertificateTest : public ::testing::Test {
+ protected:
+  CertificateTest() : rng_(77), ca_("dot-authority", 512, rng_) {}
+
+  Xoshiro256 rng_;
+  CertificateAuthority ca_;
+};
+
+TEST_F(CertificateTest, IssueAndVerify) {
+  const RsaKeyPair rsu_keys = rsa_generate(512, rng_);
+  const Certificate cert = ca_.issue("rsu:12", 12, rsu_keys.pub, 0, 100);
+  EXPECT_EQ(cert.subject, "rsu:12");
+  EXPECT_EQ(cert.subject_id, 12u);
+  EXPECT_EQ(cert.issuer, "dot-authority");
+  EXPECT_TRUE(verify_certificate(cert, ca_.public_key(), 50).is_ok());
+  EXPECT_TRUE(verify_certificate(cert, ca_.public_key(), 0).is_ok());
+  EXPECT_TRUE(verify_certificate(cert, ca_.public_key(), 100).is_ok());
+}
+
+TEST_F(CertificateTest, OutsideValidityWindowRejected) {
+  const RsaKeyPair keys = rsa_generate(512, rng_);
+  const Certificate cert = ca_.issue("rsu:1", 1, keys.pub, 10, 20);
+  EXPECT_EQ(verify_certificate(cert, ca_.public_key(), 9).code(),
+            ErrorCode::kAuthFailure);
+  EXPECT_EQ(verify_certificate(cert, ca_.public_key(), 21).code(),
+            ErrorCode::kAuthFailure);
+}
+
+TEST_F(CertificateTest, RogueCaRejected) {
+  // A rogue RSU presents a cert from a CA the vehicles do not trust.
+  Xoshiro256 rogue_rng(666);
+  const CertificateAuthority rogue("rogue-ca", 512, rogue_rng);
+  const RsaKeyPair keys = rsa_generate(512, rogue_rng);
+  const Certificate cert = rogue.issue("rsu:1", 1, keys.pub, 0, 100);
+  EXPECT_EQ(verify_certificate(cert, ca_.public_key(), 50).code(),
+            ErrorCode::kAuthFailure);
+}
+
+TEST_F(CertificateTest, TamperedFieldsRejected) {
+  const RsaKeyPair keys = rsa_generate(512, rng_);
+  const Certificate good = ca_.issue("rsu:5", 5, keys.pub, 0, 100);
+
+  Certificate subject_swap = good;
+  subject_swap.subject_id = 6;  // claim a different location
+  EXPECT_FALSE(
+      verify_certificate(subject_swap, ca_.public_key(), 50).is_ok());
+
+  Certificate key_swap = good;
+  key_swap.subject_key = rsa_generate(512, rng_).pub;  // substitute key
+  EXPECT_FALSE(verify_certificate(key_swap, ca_.public_key(), 50).is_ok());
+
+  Certificate window_stretch = good;
+  window_stretch.valid_until = 1000;  // extend validity
+  EXPECT_FALSE(
+      verify_certificate(window_stretch, ca_.public_key(), 500).is_ok());
+
+  Certificate sig_flip = good;
+  sig_flip.signature[0] ^= 1;
+  EXPECT_FALSE(verify_certificate(sig_flip, ca_.public_key(), 50).is_ok());
+}
+
+TEST_F(CertificateTest, SerializeRoundTrip) {
+  const RsaKeyPair keys = rsa_generate(512, rng_);
+  const Certificate cert = ca_.issue("rsu:3", 3, keys.pub, 7, 77);
+  const auto bytes = cert.serialize();
+  const auto decoded = Certificate::deserialize(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->subject, cert.subject);
+  EXPECT_EQ(decoded->subject_id, cert.subject_id);
+  EXPECT_EQ(decoded->subject_key, cert.subject_key);
+  EXPECT_EQ(decoded->issuer, cert.issuer);
+  EXPECT_EQ(decoded->valid_from, 7u);
+  EXPECT_EQ(decoded->valid_until, 77u);
+  EXPECT_EQ(decoded->signature, cert.signature);
+  // Round-tripped cert still verifies.
+  EXPECT_TRUE(verify_certificate(*decoded, ca_.public_key(), 10).is_ok());
+}
+
+TEST_F(CertificateTest, DeserializeRejectsTruncation) {
+  const RsaKeyPair keys = rsa_generate(512, rng_);
+  const Certificate cert = ca_.issue("rsu:3", 3, keys.pub, 0, 10);
+  auto bytes = cert.serialize();
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, bytes.size() / 2,
+                           bytes.size() - 1}) {
+    const std::span<const std::uint8_t> cut(bytes.data(), keep);
+    EXPECT_FALSE(Certificate::deserialize(cut).has_value())
+        << "kept " << keep;
+  }
+}
+
+TEST_F(CertificateTest, TbsBytesExcludeSignature) {
+  const RsaKeyPair keys = rsa_generate(512, rng_);
+  Certificate cert = ca_.issue("rsu:9", 9, keys.pub, 0, 10);
+  const auto tbs_before = cert.tbs_bytes();
+  cert.signature[0] ^= 0xFF;
+  EXPECT_EQ(cert.tbs_bytes(), tbs_before);
+}
+
+}  // namespace
+}  // namespace ptm

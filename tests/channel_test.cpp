@@ -1,0 +1,100 @@
+// Tests for net/channel.hpp: the simulated DSRC substitution.
+#include "net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptm {
+namespace {
+
+const std::vector<std::uint8_t> kFrame = {1, 2, 3, 4, 5, 6, 7, 8};
+
+TEST(Channel, LosslessDeliversExactlyOnce) {
+  SimulatedChannel ch({}, 1);
+  for (int i = 0; i < 100; ++i) {
+    const auto out = ch.transmit(kFrame);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], kFrame);
+  }
+  EXPECT_EQ(ch.stats().sent, 100u);
+  EXPECT_EQ(ch.stats().delivered, 100u);
+  EXPECT_EQ(ch.stats().lost, 0u);
+  EXPECT_EQ(ch.stats().corrupted, 0u);
+}
+
+TEST(Channel, FullLossDeliversNothing) {
+  SimulatedChannel ch({.loss_probability = 1.0}, 2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(ch.transmit(kFrame).empty());
+  }
+  EXPECT_EQ(ch.stats().lost, 50u);
+  EXPECT_EQ(ch.stats().delivered, 0u);
+}
+
+TEST(Channel, LossRateMatchesConfiguration) {
+  SimulatedChannel ch({.loss_probability = 0.3}, 3);
+  int lost = 0;
+  constexpr int kSends = 20000;
+  for (int i = 0; i < kSends; ++i) {
+    if (ch.transmit(kFrame).empty()) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kSends, 0.3, 0.02);
+}
+
+TEST(Channel, DuplicationDeliversTwoCopies) {
+  SimulatedChannel ch({.duplicate_probability = 1.0}, 4);
+  const auto out = ch.transmit(kFrame);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], kFrame);
+  EXPECT_EQ(out[1], kFrame);
+  EXPECT_EQ(ch.stats().duplicated, 1u);
+  EXPECT_EQ(ch.stats().delivered, 2u);
+}
+
+TEST(Channel, CorruptionFlipsExactlyOneBit) {
+  SimulatedChannel ch({.corrupt_probability = 1.0}, 5);
+  for (int i = 0; i < 100; ++i) {
+    const auto out = ch.transmit(kFrame);
+    ASSERT_EQ(out.size(), 1u);
+    ASSERT_EQ(out[0].size(), kFrame.size());
+    int diff_bits = 0;
+    for (std::size_t b = 0; b < kFrame.size(); ++b) {
+      diff_bits += __builtin_popcount(out[0][b] ^ kFrame[b]);
+    }
+    EXPECT_EQ(diff_bits, 1);
+  }
+}
+
+TEST(Channel, EmptyFrameSurvivesCorruptionConfig) {
+  SimulatedChannel ch({.corrupt_probability = 1.0}, 6);
+  const auto out = ch.transmit({});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].empty());
+  EXPECT_EQ(ch.stats().corrupted, 0u);  // nothing to corrupt
+}
+
+TEST(Channel, DeterministicPerSeed) {
+  const ChannelConfig config{.loss_probability = 0.5,
+                             .duplicate_probability = 0.2,
+                             .corrupt_probability = 0.2};
+  SimulatedChannel a(config, 7), b(config, 7);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.transmit(kFrame), b.transmit(kFrame));
+  }
+}
+
+TEST(Channel, StatsAccumulateAcrossModes) {
+  SimulatedChannel ch({.loss_probability = 0.2,
+                       .duplicate_probability = 0.3,
+                       .corrupt_probability = 0.1},
+                      8);
+  constexpr int kSends = 5000;
+  std::uint64_t delivered = 0;
+  for (int i = 0; i < kSends; ++i) delivered += ch.transmit(kFrame).size();
+  EXPECT_EQ(ch.stats().sent, static_cast<std::uint64_t>(kSends));
+  EXPECT_EQ(ch.stats().delivered, delivered);
+  EXPECT_EQ(ch.stats().lost + delivered - ch.stats().duplicated,
+            static_cast<std::uint64_t>(kSends));
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,107 @@
+// Tests for common/config.hpp: the scenario-file / CLI-flag substrate.
+#include "common/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ptm {
+namespace {
+
+TEST(Config, ParsesBasicPairs) {
+  const auto config = Config::parse("a = 1\nb=hello\n  c  =  2.5  \n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->size(), 3u);
+  EXPECT_EQ(config->get_string("a").value(), "1");
+  EXPECT_EQ(config->get_string("b").value(), "hello");
+  EXPECT_EQ(config->get_string("c").value(), "2.5");
+}
+
+TEST(Config, CommentsAndBlankLines) {
+  const auto config = Config::parse(
+      "# full-line comment\n"
+      "\n"
+      "key = value # trailing comment\n"
+      "   \n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->size(), 1u);
+  EXPECT_EQ(config->get_string("key").value(), "value");
+}
+
+TEST(Config, LaterKeysOverride) {
+  const auto config = Config::parse("x = 1\nx = 2\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get_u64("x").value(), 2u);
+}
+
+TEST(Config, MalformedLinesNameTheLine) {
+  const auto config = Config::parse("good = 1\nno equals sign here\n");
+  ASSERT_FALSE(config.has_value());
+  EXPECT_EQ(config.status().code(), ErrorCode::kParseError);
+  EXPECT_NE(config.status().message().find("line 2"), std::string::npos);
+
+  const auto empty_key = Config::parse("= value\n");
+  ASSERT_FALSE(empty_key.has_value());
+}
+
+TEST(Config, TypedGetters) {
+  const auto config =
+      Config::parse("n = 12345\nf = 2.5\nyes = true\nno = off\nbad = 12x\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get_u64("n").value(), 12345u);
+  EXPECT_DOUBLE_EQ(config->get_double("f").value(), 2.5);
+  EXPECT_DOUBLE_EQ(config->get_double("n").value(), 12345.0);
+  EXPECT_TRUE(config->get_bool("yes").value());
+  EXPECT_FALSE(config->get_bool("no").value());
+
+  EXPECT_EQ(config->get_u64("bad").status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(config->get_u64("missing").status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(config->get_bool("n").status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Config, GettersWithDefaults) {
+  const auto config = Config::parse("present = 7\nbad = zz\n");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get_u64_or("present", 1).value(), 7u);
+  EXPECT_EQ(config->get_u64_or("absent", 42).value(), 42u);
+  // Present-but-malformed is still an error, never silently defaulted.
+  EXPECT_FALSE(config->get_u64_or("bad", 42).has_value());
+  EXPECT_DOUBLE_EQ(config->get_double_or("absent", 1.5).value(), 1.5);
+  EXPECT_TRUE(config->get_bool_or("absent", true).value());
+  EXPECT_EQ(config->get_string_or("absent", "dft").value(), "dft");
+}
+
+TEST(Config, ProgrammaticSetOverrides) {
+  auto config = Config::parse("a = 1\n").value();
+  config.set("a", "9");
+  config.set("b", "new");
+  EXPECT_EQ(config.get_u64("a").value(), 9u);
+  EXPECT_EQ(config.get_string("b").value(), "new");
+}
+
+TEST(Config, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/ptm_config_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "seed = 99\nf = 3\n";
+  }
+  const auto config = Config::load(path);
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get_u64("seed").value(), 99u);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(Config::load("/nonexistent/ptm.cfg").status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(Config, NoFinalNewline) {
+  const auto config = Config::parse("k = v");
+  ASSERT_TRUE(config.has_value());
+  EXPECT_EQ(config->get_string("k").value(), "v");
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,172 @@
+// Tests for core/corridor_persistent.hpp: the k-location extension - its
+// B factor must reduce to the paper's Eq. 19 at k = 2, agree with the
+// pairwise estimator, and recover planted corridor volumes by simulation.
+#include "core/corridor_persistent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "core/p2p_persistent.hpp"
+#include "traffic/workload.hpp"
+
+namespace ptm {
+namespace {
+
+std::vector<std::vector<Bitmap>> make_corridor(
+    std::size_t k, std::size_t t, std::size_t n_corridor,
+    std::uint64_t volume, Xoshiro256& rng, const EncodingParams& encoding) {
+  const auto common = make_vehicles(n_corridor, encoding.s, rng);
+  std::vector<std::uint64_t> location_ids;
+  std::vector<std::vector<std::uint64_t>> volumes;
+  for (std::size_t j = 0; j < k; ++j) {
+    location_ids.push_back(0x1000 + j);
+    volumes.emplace_back(t, volume);
+  }
+  return generate_corridor_records(location_ids, volumes, common, 2.0,
+                                   encoding, rng);
+}
+
+TEST(Corridor, RejectsBadInputs) {
+  std::vector<std::vector<Bitmap>> one(1);
+  one[0].emplace_back(64);
+  EXPECT_FALSE(estimate_corridor_persistent(one, 3).has_value());
+
+  std::vector<std::vector<Bitmap>> nine(9);
+  for (auto& v : nine) v.emplace_back(64);
+  EXPECT_FALSE(estimate_corridor_persistent(nine, 3).has_value());
+
+  std::vector<std::vector<Bitmap>> with_empty(2);
+  with_empty[0].emplace_back(64);
+  EXPECT_FALSE(estimate_corridor_persistent(with_empty, 3).has_value());
+}
+
+TEST(Corridor, LogBReducesToEq19AtK2) {
+  // B = 1 + 1/(s·(m' − 1)) for two locations - the paper's factor.
+  for (std::size_t s : {1u, 2u, 3u, 5u}) {
+    for (std::size_t m2 : {1024u, 65536u, 1048576u}) {
+      for (std::size_t m1 : {std::size_t{256}, m2}) {
+        if (m1 > m2) continue;
+        const std::vector<std::size_t> sizes = {m1, m2};
+        const auto log_b = corridor_log_b(sizes, s);
+        ASSERT_TRUE(log_b.has_value());
+        EXPECT_NEAR(*log_b,
+                    std::log1p(1.0 / (static_cast<double>(s) *
+                                      (static_cast<double>(m2) - 1.0))),
+                    1e-12)
+            << "s=" << s << " m1=" << m1 << " m2=" << m2;
+      }
+    }
+  }
+}
+
+TEST(Corridor, LogBRejectsBadSizes) {
+  EXPECT_FALSE(corridor_log_b(std::vector<std::size_t>{100, 128}, 3)
+                   .has_value());  // not power of two
+  EXPECT_FALSE(corridor_log_b(std::vector<std::size_t>{256, 128}, 3)
+                   .has_value());  // not ascending
+  EXPECT_FALSE(corridor_log_b(std::vector<std::size_t>{128}, 3)
+                   .has_value());  // k = 1
+  // s^k explosion guarded.
+  EXPECT_FALSE(corridor_log_b(
+                   std::vector<std::size_t>(8, 1024), 64).has_value());
+}
+
+TEST(Corridor, LogBGrowsWithKAndShrinksWithS) {
+  // More locations = stronger per-vehicle signal (bigger B); more
+  // representatives = weaker (smaller B).
+  const std::vector<std::size_t> two = {4096, 4096};
+  const std::vector<std::size_t> four(4, 4096);
+  EXPECT_GT(*corridor_log_b(four, 3), *corridor_log_b(two, 3));
+  EXPECT_GT(*corridor_log_b(two, 2), *corridor_log_b(two, 5));
+}
+
+TEST(Corridor, MatchesPairwiseEstimatorAtK2) {
+  // Same records through both code paths: estimates should be close (the
+  // pairwise estimator uses the ln(1+x) ~ x shortcut, corridor the exact
+  // log, so equality is to ~1e-4 relative).
+  Xoshiro256 rng(1);
+  const EncodingParams encoding;
+  const auto records = make_corridor(2, 5, 500, 6000, rng, encoding);
+  const auto corridor = estimate_corridor_persistent(records, encoding.s);
+  PointToPointOptions options;
+  options.s = encoding.s;
+  options.exact_log = true;
+  const auto pairwise =
+      estimate_p2p_persistent(records[0], records[1], options);
+  ASSERT_TRUE(corridor.has_value() && pairwise.has_value());
+  EXPECT_NEAR(corridor->n_corridor, pairwise->n_double_prime,
+              std::max(1e-6 * pairwise->n_double_prime, 1e-6));
+}
+
+class CorridorAccuracy : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CorridorAccuracy, RecoversPlantedVolume) {
+  const std::size_t k = GetParam();
+  const EncodingParams encoding;
+  RunningStats err;
+  constexpr std::size_t kPlanted = 800;
+  for (int trial = 0; trial < 15; ++trial) {
+    Xoshiro256 rng(10 * k + static_cast<std::uint64_t>(trial));
+    const auto records = make_corridor(k, 5, kPlanted, 6000, rng, encoding);
+    const auto est = estimate_corridor_persistent(records, encoding.s);
+    ASSERT_TRUE(est.has_value());
+    err.add(relative_error(est->n_corridor, kPlanted));
+  }
+  EXPECT_LT(err.mean(), 0.15) << "k = " << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(RouteLengths, CorridorAccuracy,
+                         ::testing::Values(2, 3, 4, 5));
+
+TEST(Corridor, MixedVolumesAcrossLocations) {
+  // Locations with very different sizes (m ratios up to 16).
+  Xoshiro256 rng(2);
+  const EncodingParams encoding;
+  constexpr std::size_t kPlanted = 300;
+  const auto common = make_vehicles(kPlanted, encoding.s, rng);
+  const std::vector<std::uint64_t> ids = {0xA, 0xB, 0xC};
+  const std::vector<std::vector<std::uint64_t>> volumes = {
+      std::vector<std::uint64_t>(5, 2048),
+      std::vector<std::uint64_t>(5, 9000),
+      std::vector<std::uint64_t>(5, 32000)};
+  const auto records = generate_corridor_records(ids, volumes, common, 2.0,
+                                                 encoding, rng);
+  const auto est = estimate_corridor_persistent(records, encoding.s);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->m.front(), 4096u);
+  EXPECT_EQ(est->m.back(), 65536u);
+  EXPECT_NEAR(est->n_corridor, kPlanted, kPlanted * 0.35);
+}
+
+TEST(Corridor, ZeroCommonStaysSmall) {
+  Xoshiro256 rng(3);
+  const EncodingParams encoding;
+  RunningStats est_stats;
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto records = make_corridor(3, 5, 0, 6000, rng, encoding);
+    const auto est = estimate_corridor_persistent(records, encoding.s);
+    ASSERT_TRUE(est.has_value());
+    EXPECT_GE(est->n_corridor, 0.0);
+    est_stats.add(est->n_corridor);
+  }
+  EXPECT_LT(est_stats.mean(), 200.0);
+}
+
+TEST(Corridor, EstimateFiniteUnderSaturation) {
+  std::vector<std::vector<Bitmap>> records(3);
+  for (auto& loc : records) {
+    Bitmap full(4);
+    for (std::size_t i = 0; i < 4; ++i) full.set(i);
+    loc.push_back(std::move(full));
+  }
+  const auto est = estimate_corridor_persistent(records, 3);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->outcome, EstimateOutcome::kSaturated);
+  EXPECT_TRUE(std::isfinite(est->n_corridor));
+}
+
+}  // namespace
+}  // namespace ptm

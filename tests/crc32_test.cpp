@@ -1,0 +1,55 @@
+// Tests for common/crc32.hpp against the standard check values.
+#include "common/crc32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+namespace ptm {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32, StandardCheckValue) {
+  // The canonical CRC-32 check: crc32("123456789") = 0xCBF43926.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+  EXPECT_EQ(crc32(bytes_of("a")), 0xE8B7BE43u);
+  EXPECT_EQ(crc32(bytes_of("abc")), 0x352441C2u);
+  EXPECT_EQ(crc32(bytes_of("The quick brown fox jumps over the lazy dog")),
+            0x414FA339u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string_view msg = "persistent traffic measurement";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    std::uint32_t crc = crc32_init();
+    crc = crc32_update(crc, bytes_of(msg.substr(0, split)));
+    crc = crc32_update(crc, bytes_of(msg.substr(split)));
+    EXPECT_EQ(crc32_finish(crc), crc32(bytes_of(msg))) << "split " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(64);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  const std::uint32_t original = crc32(data);
+  for (std::size_t byte = 0; byte < data.size(); byte += 7) {
+    for (int bit = 0; bit < 8; bit += 3) {
+      auto copy = data;
+      copy[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_NE(crc32(copy), original) << byte << ":" << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,179 @@
+// Tests for core/encoding.hpp: the privacy-preserving vehicle encoding of
+// §II-D.  These pin down exactly the structural properties the estimators'
+// probabilistic analysis assumes.
+#include "core/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ptm {
+namespace {
+
+EncodingParams params_with_s(std::size_t s) {
+  EncodingParams p;
+  p.s = s;
+  return p;
+}
+
+TEST(VehicleSecrets, CreateMintsFreshMaterial) {
+  Xoshiro256 rng(1);
+  const auto a = VehicleSecrets::create(100, 3, rng);
+  const auto b = VehicleSecrets::create(101, 3, rng);
+  EXPECT_EQ(a.id, 100u);
+  EXPECT_EQ(a.constants.size(), 3u);
+  EXPECT_NE(a.private_key, b.private_key);
+  EXPECT_NE(a.constants, b.constants);
+}
+
+TEST(VehicleEncoder, SameLocationSameBitEveryPeriod) {
+  // The anchor property of point persistent measurement: at a fixed
+  // location a vehicle always produces the same h_v, period after period.
+  Xoshiro256 rng(2);
+  const VehicleEncoder encoder(params_with_s(3));
+  const auto v = VehicleSecrets::create(1, 3, rng);
+  const std::uint64_t first = encoder.bit_index(v, 0x10C, 65536);
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    EXPECT_EQ(encoder.bit_index(v, 0x10C, 65536), first);
+  }
+}
+
+TEST(VehicleEncoder, BitIndexIsRawHashModM) {
+  // §III-A's expansion proof needs: the bit at size l is (h_v mod l) for
+  // the SAME h_v at every power-of-two l.
+  Xoshiro256 rng(3);
+  const VehicleEncoder encoder(params_with_s(3));
+  for (int i = 0; i < 50; ++i) {
+    const auto v = VehicleSecrets::create(rng.next(), 3, rng);
+    const std::uint64_t raw = encoder.raw_hash(v, 0xAB);
+    for (std::size_t m : {64u, 256u, 65536u, 1048576u}) {
+      EXPECT_EQ(encoder.bit_index(v, 0xAB, m), raw % m);
+    }
+  }
+}
+
+TEST(VehicleEncoder, RepresentativeChoiceWithinS) {
+  Xoshiro256 rng(4);
+  for (std::size_t s : {1u, 2u, 3u, 5u, 8u}) {
+    const VehicleEncoder encoder(params_with_s(s));
+    for (int i = 0; i < 100; ++i) {
+      const auto v = VehicleSecrets::create(rng.next(), s, rng);
+      EXPECT_LT(encoder.representative_choice(v, rng.next()), s);
+    }
+  }
+}
+
+TEST(VehicleEncoder, RepresentativeChoiceUniformOverLocations) {
+  // i = H(L ⊕ v) mod s should hit each representative with probability
+  // ~1/s across locations (the 1/s factor in Eqs. 14 and 23).
+  Xoshiro256 rng(5);
+  constexpr std::size_t kS = 3;
+  const VehicleEncoder encoder(params_with_s(kS));
+  const auto v = VehicleSecrets::create(42, kS, rng);
+  std::map<std::size_t, int> counts;
+  constexpr int kLocations = 30000;
+  for (int loc = 0; loc < kLocations; ++loc) {
+    ++counts[encoder.representative_choice(v, static_cast<std::uint64_t>(loc))];
+  }
+  for (std::size_t i = 0; i < kS; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[i]) / kLocations, 1.0 / kS, 0.02);
+  }
+}
+
+TEST(VehicleEncoder, AtMostSDistinctRawHashesAcrossLocations) {
+  // A vehicle's bit at any location is one of its s representative hashes.
+  Xoshiro256 rng(6);
+  constexpr std::size_t kS = 4;
+  const VehicleEncoder encoder(params_with_s(kS));
+  const auto v = VehicleSecrets::create(7, kS, rng);
+  std::set<std::uint64_t> raws;
+  for (int loc = 0; loc < 1000; ++loc) {
+    raws.insert(encoder.raw_hash(v, static_cast<std::uint64_t>(loc)));
+  }
+  EXPECT_LE(raws.size(), kS);
+  EXPECT_GE(raws.size(), 2u);  // with 1000 locations all 4 almost surely hit
+  for (std::uint64_t raw : raws) {
+    bool found = false;
+    for (std::size_t i = 0; i < kS; ++i) {
+      found |= (encoder.representative_hash(v, i) == raw);
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(VehicleEncoder, SEquals1PinsOneBitEverywhere) {
+  // s = 1 removes location variation entirely (no privacy, max accuracy).
+  Xoshiro256 rng(7);
+  const VehicleEncoder encoder(params_with_s(1));
+  const auto v = VehicleSecrets::create(9, 1, rng);
+  const std::uint64_t raw = encoder.raw_hash(v, 0);
+  for (int loc = 1; loc < 100; ++loc) {
+    EXPECT_EQ(encoder.raw_hash(v, static_cast<std::uint64_t>(loc)), raw);
+  }
+}
+
+TEST(VehicleEncoder, DifferentVehiclesSpreadUniformly) {
+  // Bit indices across vehicles should be uniform over [0, m): chi-squared
+  // over 64 buckets with m = 4096 (each bucket = 64 indices).
+  Xoshiro256 rng(8);
+  const VehicleEncoder encoder(params_with_s(3));
+  constexpr std::size_t kM = 4096;
+  constexpr int kVehicles = 64000;
+  std::vector<int> buckets(64, 0);
+  for (int i = 0; i < kVehicles; ++i) {
+    const auto v = VehicleSecrets::create(rng.next(), 3, rng);
+    ++buckets[encoder.bit_index(v, 0x77, kM) * 64 / kM];
+  }
+  double chi2 = 0.0;
+  const double expected = kVehicles / 64.0;
+  for (int c : buckets) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 103.4);  // 99.9% critical value, 63 dof
+}
+
+TEST(VehicleEncoder, PrivateKeyMattersConstantsMatter) {
+  // Without K_v or C the index is not predictable: change either and the
+  // representative hash changes.
+  Xoshiro256 rng(9);
+  const VehicleEncoder encoder(params_with_s(3));
+  auto v = VehicleSecrets::create(5, 3, rng);
+  const std::uint64_t base = encoder.representative_hash(v, 0);
+  auto key_changed = v;
+  key_changed.private_key ^= 1;
+  EXPECT_NE(encoder.representative_hash(key_changed, 0), base);
+  auto const_changed = v;
+  const_changed.constants[0] ^= 1;
+  EXPECT_NE(encoder.representative_hash(const_changed, 0), base);
+}
+
+TEST(VehicleEncoder, EncodeSetsExactlyTheBitIndex) {
+  Xoshiro256 rng(10);
+  const VehicleEncoder encoder(params_with_s(3));
+  const auto v = VehicleSecrets::create(11, 3, rng);
+  Bitmap record(1024);
+  encoder.encode(v, 0xCC, record);
+  EXPECT_EQ(record.count_ones(), 1u);
+  EXPECT_TRUE(record.test(
+      static_cast<std::size_t>(encoder.bit_index(v, 0xCC, 1024))));
+}
+
+TEST(VehicleEncoder, HashFamiliesAllWork) {
+  Xoshiro256 rng(11);
+  for (HashFamily family : {HashFamily::kMurmur3, HashFamily::kXxHash,
+                            HashFamily::kSipHash}) {
+    EncodingParams p;
+    p.s = 3;
+    p.hash = family;
+    const VehicleEncoder encoder(p);
+    const auto v = VehicleSecrets::create(1, 3, rng);
+    const std::uint64_t a = encoder.bit_index(v, 1, 4096);
+    EXPECT_LT(a, 4096u);
+    EXPECT_EQ(encoder.bit_index(v, 1, 4096), a);  // deterministic
+  }
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,106 @@
+// Tests for sim/event_sim.hpp: the beacon-timing discrete-event model and
+// its closed-form coverage.
+#include "sim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ptm {
+namespace {
+
+TEST(EventSim, FastBeaconsCoverAlmostEveryone) {
+  // The paper's once-per-second assumption with ~8 s dwell: coverage
+  // should be near 1.
+  EventSimConfig config;  // defaults: I = 1, mu = 8, L = 0.05
+  Xoshiro256 rng(1);
+  const EventSimResult result = run_event_sim(config, rng);
+  EXPECT_GT(result.arrivals, 1000u);
+  EXPECT_GT(result.coverage, 0.9);
+  EXPECT_GT(analytic_coverage(config), 0.9);
+}
+
+TEST(EventSim, SlowBeaconsMissVehicles) {
+  EventSimConfig config;
+  config.beacon_interval = 30.0;  // one broadcast per 30 s, dwell ~8 s
+  Xoshiro256 rng(2);
+  const EventSimResult result = run_event_sim(config, rng);
+  EXPECT_LT(result.coverage, 0.4);
+}
+
+TEST(EventSim, CoverageMatchesClosedForm) {
+  // The core validation: simulation vs the analytic expression across a
+  // sweep of intervals.  Binomial noise at ~1800 arrivals is ~1.2% - use
+  // a 5-sigma band.
+  for (double interval : {0.5, 1.0, 4.0, 8.0, 16.0}) {
+    EventSimConfig config;
+    config.beacon_interval = interval;
+    config.period_duration = 7200.0;
+    Xoshiro256 rng(static_cast<std::uint64_t>(interval * 10) + 3);
+    const EventSimResult result = run_event_sim(config, rng);
+    const double expected = analytic_coverage(config);
+    const double sigma = std::sqrt(expected * (1 - expected) /
+                                   static_cast<double>(result.arrivals));
+    EXPECT_NEAR(result.coverage, expected, 5.0 * sigma + 1e-3)
+        << "interval " << interval;
+  }
+}
+
+TEST(EventSim, LatencyEatsIntoCoverage) {
+  EventSimConfig fast, slow;
+  fast.handshake_latency = 0.0;
+  slow.handshake_latency = 4.0;  // half the mean dwell
+  Xoshiro256 rng_a(4), rng_b(4);
+  const double cov_fast = run_event_sim(fast, rng_a).coverage;
+  const double cov_slow = run_event_sim(slow, rng_b).coverage;
+  EXPECT_GT(cov_fast, cov_slow + 0.2);
+  EXPECT_GT(analytic_coverage(fast), analytic_coverage(slow));
+}
+
+TEST(EventSim, EncodeLatencyIsAtLeastHandshake) {
+  EventSimConfig config;
+  config.handshake_latency = 0.25;
+  Xoshiro256 rng(5);
+  const EventSimResult result = run_event_sim(config, rng);
+  ASSERT_GT(result.encoded, 0u);
+  EXPECT_GE(result.mean_time_to_encode, config.handshake_latency);
+  // And can't exceed latency + one full beacon interval on average.
+  EXPECT_LE(result.mean_time_to_encode,
+            config.handshake_latency + config.beacon_interval);
+}
+
+TEST(EventSim, BeaconCountMatchesSchedule) {
+  EventSimConfig config;
+  config.period_duration = 100.0;
+  config.beacon_interval = 10.0;
+  Xoshiro256 rng(6);
+  const EventSimResult result = run_event_sim(config, rng);
+  EXPECT_EQ(result.beacons_sent, 9u);  // t = 10..90
+}
+
+TEST(EventSim, DeterministicPerSeed) {
+  EventSimConfig config;
+  Xoshiro256 a(7), b(7);
+  const EventSimResult ra = run_event_sim(config, a);
+  const EventSimResult rb = run_event_sim(config, b);
+  EXPECT_EQ(ra.arrivals, rb.arrivals);
+  EXPECT_EQ(ra.encoded, rb.encoded);
+  EXPECT_DOUBLE_EQ(ra.mean_time_to_encode, rb.mean_time_to_encode);
+}
+
+TEST(EventSim, ArrivalRateScalesArrivals) {
+  EventSimConfig low, high;
+  low.arrival_rate = 0.1;
+  high.arrival_rate = 1.0;
+  Xoshiro256 a(8), b(8);
+  const auto r_low = run_event_sim(low, a);
+  const auto r_high = run_event_sim(high, b);
+  // Poisson means 360 and 3600 over the hour; 6-sigma bands.
+  EXPECT_NEAR(static_cast<double>(r_low.arrivals), 360.0,
+              6.0 * std::sqrt(360.0));
+  EXPECT_NEAR(static_cast<double>(r_high.arrivals), 3600.0,
+              6.0 * std::sqrt(3600.0));
+}
+
+}  // namespace
+}  // namespace ptm

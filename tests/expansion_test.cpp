@@ -1,0 +1,158 @@
+// Tests for core/expansion.hpp: §III-A's replication-expansion and joins,
+// including a property-test of the paper's central lemma - after expanding
+// power-of-two bitmaps and AND-joining, every common vehicle's bit survives.
+#include "core/expansion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/encoding.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(Expansion, IdentityWhenSizesMatch) {
+  Bitmap b(64);
+  b.set(3);
+  const auto e = expand_to(b, 64);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(*e, b);
+}
+
+TEST(Expansion, RejectsBadInputs) {
+  Bitmap b(64);
+  EXPECT_FALSE(expand_to(b, 32).has_value());   // shrink
+  EXPECT_FALSE(expand_to(b, 96).has_value());   // non power of two
+  EXPECT_FALSE(expand_to(Bitmap(96), 192).has_value());  // bad source size
+  EXPECT_FALSE(expand_to(Bitmap{}, 64).has_value());     // empty
+}
+
+TEST(Expansion, Figure2Example) {
+  // Fig. 2 of the paper: an 8-bit B2 replicated once to 16 bits.
+  Bitmap b(8);
+  b.set(1);
+  b.set(6);
+  const auto e = expand_to(b, 16);
+  ASSERT_TRUE(e.has_value());
+  for (std::size_t i : {1u, 6u, 9u, 14u}) EXPECT_TRUE(e->test(i));
+  EXPECT_EQ(e->count_ones(), 4u);
+}
+
+TEST(Expansion, ModularBitProperty) {
+  // §III-A lemma, deterministic form: if bit (h mod l) is set in an l-bit
+  // map, then bit (h mod m) is set after expansion to m bits.
+  for (std::size_t l : {4u, 16u, 64u, 256u}) {
+    for (std::size_t m : {256u, 1024u}) {
+      for (std::uint64_t h :
+           {0ULL, 1ULL, 255ULL, 12345ULL, 0xFFFFFFFFFFFFULL}) {
+        Bitmap b(l);
+        b.set(h % l);
+        const auto e = expand_to(b, m);
+        ASSERT_TRUE(e.has_value());
+        EXPECT_TRUE(e->test(h % m)) << "l=" << l << " m=" << m << " h=" << h;
+      }
+    }
+  }
+}
+
+TEST(Expansion, MaxSize) {
+  std::vector<Bitmap> bitmaps;
+  bitmaps.emplace_back(64);
+  bitmaps.emplace_back(256);
+  bitmaps.emplace_back(128);
+  EXPECT_EQ(max_size(bitmaps), 256u);
+  EXPECT_EQ(max_size({}), 0u);
+}
+
+TEST(AndJoin, EmptyInputRejected) {
+  EXPECT_FALSE(and_join_expanded({}).has_value());
+}
+
+TEST(AndJoin, Figure1Example) {
+  // Fig. 1: equal-size AND keeps exactly the shared ones.
+  Bitmap b1(8), b2(8);
+  b1.set(1);
+  b1.set(3);
+  b1.set(5);
+  b2.set(3);
+  b2.set(5);
+  b2.set(7);
+  const auto joined = and_join_expanded(std::vector<Bitmap>{b1, b2});
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_FALSE(joined->test(1));
+  EXPECT_TRUE(joined->test(3));
+  EXPECT_TRUE(joined->test(5));
+  EXPECT_FALSE(joined->test(7));
+}
+
+TEST(OrJoin, UnionOfBits) {
+  Bitmap b1(8), b2(8);
+  b1.set(0);
+  b2.set(7);
+  const auto joined = or_join_expanded(std::vector<Bitmap>{b1, b2});
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_EQ(joined->count_ones(), 2u);
+}
+
+TEST(AndJoin, SingleBitmapIsItself) {
+  Bitmap b(16);
+  b.set(9);
+  const auto joined = and_join_expanded(std::vector<Bitmap>{b});
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_EQ(*joined, b);
+}
+
+TEST(AndJoin, MixedSizesRejectNonPowerOfTwo) {
+  std::vector<Bitmap> bitmaps;
+  bitmaps.emplace_back(64);
+  bitmaps.emplace_back(96);
+  EXPECT_FALSE(and_join_expanded(bitmaps).has_value());
+}
+
+/// The central property (paper §III-A): for ANY mix of power-of-two record
+/// sizes, a vehicle encoded in all of them has its bit set in the AND-join
+/// at index (raw_hash mod max_size).  Parameterized over size mixes.
+struct SizeMix {
+  std::vector<std::size_t> sizes;
+};
+
+class CommonBitSurvives : public ::testing::TestWithParam<SizeMix> {};
+
+TEST_P(CommonBitSurvives, AfterExpansionAndJoin) {
+  const auto& sizes = GetParam().sizes;
+  Xoshiro256 rng(1234);
+  const VehicleEncoder encoder(EncodingParams{});
+  constexpr std::uint64_t kLocation = 0x5150;
+
+  // 40 common vehicles present in every record, plus per-record noise.
+  std::vector<VehicleSecrets> common;
+  for (int i = 0; i < 40; ++i) {
+    common.push_back(VehicleSecrets::create(rng.next(), 3, rng));
+  }
+  std::vector<Bitmap> records;
+  for (std::size_t size : sizes) {
+    Bitmap b(size);
+    for (const auto& v : common) encoder.encode(v, kLocation, b);
+    for (int noise = 0; noise < 10; ++noise) b.set(rng.below(size));
+    records.push_back(std::move(b));
+  }
+
+  const auto joined = and_join_expanded(records);
+  ASSERT_TRUE(joined.has_value());
+  const std::size_t m = max_size(records);
+  EXPECT_EQ(joined->size(), m);
+  for (const auto& v : common) {
+    EXPECT_TRUE(
+        joined->test(static_cast<std::size_t>(encoder.raw_hash(v, kLocation) % m)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizeMixes, CommonBitSurvives,
+    ::testing::Values(SizeMix{{64, 64, 64}}, SizeMix{{64, 128}},
+                      SizeMix{{64, 128, 256, 512}}, SizeMix{{4096, 64}},
+                      SizeMix{{256, 1024, 256, 1024, 4096}},
+                      SizeMix{{1u << 16, 1u << 12, 1u << 14}},
+                      SizeMix{{128}}));
+
+}  // namespace
+}  // namespace ptm

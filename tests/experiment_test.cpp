@@ -1,0 +1,172 @@
+// Tests for sim/experiment.hpp: the runners behind every table and figure.
+// These assert the qualitative shapes the paper reports, with small run
+// counts and fixed seeds so they stay fast and deterministic; the full-size
+// sweeps live in bench/.
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "traffic/sioux_falls.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(PointSweep, ProposedBeatsNaiveAndShrinksWithVolume) {
+  PointSweepConfig config;
+  config.runs = 8;
+  config.frac_step = 0.07;  // 8 sweep points
+  config.seed = 101;
+  const auto cells = run_point_persistent_sweep(config);
+  ASSERT_GE(cells.size(), 7u);
+
+  // Fig. 4 shape 1: the proposed estimator beats the naive one at every
+  // sweep point.
+  for (const auto& cell : cells) {
+    EXPECT_LE(cell.mean_rel_err_proposed, cell.mean_rel_err_naive)
+        << "fraction " << cell.fraction;
+  }
+  // Fig. 4 shape 2: the benchmark's error explodes at small persistent
+  // volume, the regime the paper highlights.
+  EXPECT_GT(cells.front().mean_rel_err_naive,
+            5.0 * cells.back().mean_rel_err_naive);
+  // Actual volume tracks the swept fraction.
+  EXPECT_LT(cells.front().mean_actual, cells.back().mean_actual);
+}
+
+TEST(PointSweep, MorePeriodsReduceError) {
+  // Fig. 4 left (t = 5) vs right (t = 10).
+  PointSweepConfig t5, t10;
+  t5.runs = t10.runs = 8;
+  t5.frac_step = t10.frac_step = 0.12;
+  t5.seed = t10.seed = 102;
+  t5.t = 5;
+  t10.t = 10;
+  const auto cells5 = run_point_persistent_sweep(t5);
+  const auto cells10 = run_point_persistent_sweep(t10);
+  ASSERT_EQ(cells5.size(), cells10.size());
+  RunningStats err5, err10;
+  for (std::size_t i = 0; i < cells5.size(); ++i) {
+    err5.add(cells5[i].mean_rel_err_naive);
+    err10.add(cells10[i].mean_rel_err_naive);
+  }
+  // The AND of more bitmaps filters transient noise.
+  EXPECT_LT(err10.mean(), err5.mean());
+}
+
+TEST(PointScatter, HugsTheEqualityLine) {
+  // Fig. 5 left: slope ~1, intercept ~0, r² near 1.
+  ScatterConfig config;
+  config.seed = 103;
+  const auto points = run_point_scatter(config);
+  ASSERT_GT(points.size(), 40u);
+  std::vector<double> x, y;
+  for (const auto& p : points) {
+    x.push_back(p.actual);
+    y.push_back(p.estimated);
+  }
+  const LinearFit fit = least_squares(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 0.1);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(P2PScatter, HugsTheEqualityLine) {
+  // Fig. 5 right.
+  ScatterConfig config;
+  config.seed = 104;
+  const auto points = run_p2p_scatter(config);
+  ASSERT_GT(points.size(), 40u);
+  std::vector<double> x, y;
+  for (const auto& p : points) {
+    x.push_back(p.actual);
+    y.push_back(p.estimated);
+  }
+  const LinearFit fit = least_squares(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 0.15);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(Scatter, LargerLoadFactorTightensTheCloud) {
+  // Fig. 6 vs Fig. 5: f = 3 clusters closer to y = x than f = 2.
+  ScatterConfig f2, f3;
+  f2.seed = f3.seed = 105;
+  f2.f = 2.0;
+  f3.f = 3.0;
+  auto spread = [](const std::vector<ScatterPoint>& pts) {
+    RunningStats err;
+    for (const auto& p : pts) err.add(relative_error(p.estimated, p.actual));
+    return err.mean();
+  };
+  EXPECT_LT(spread(run_point_scatter(f3)), spread(run_point_scatter(f2)));
+}
+
+TEST(Table1, ReproducesPaperStructure) {
+  Table1Config config;
+  config.runs = 4;  // the bench uses more; shape is stable already
+  config.seed = 106;
+  const Table1Result result = run_table1(config);
+  const auto& scenario = sioux_falls_scenario();
+
+  // Planned sizes match the published m and m'/m rows exactly.
+  EXPECT_EQ(result.m_prime, scenario.expected_m_prime);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(result.m[c], scenario.columns[c].expected_m);
+  }
+  // Errors are small overall and the hardest column (L = 8) is the worst
+  // for the same-size benchmark by a wide margin - the paper's headline.
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_LT(result.rel_err_t5[c], 0.15) << "L=" << c + 1;
+    EXPECT_LT(result.rel_err_t10[c], 0.15) << "L=" << c + 1;
+  }
+  EXPECT_GT(result.rel_err_same_size_t5[7], 0.3);
+  EXPECT_GT(result.rel_err_same_size_t5[7], 5.0 * result.rel_err_t5[7]);
+  // Same-size never beats the proposed design meaningfully on any column.
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_GT(result.rel_err_same_size_t5[c], 0.5 * result.rel_err_t5[c]);
+  }
+}
+
+TEST(PrivacyAttack, EmpiricalMatchesAnalytic) {
+  // §V validation: the simulated tracker observes p and p' - p within
+  // binomial noise of Eqs. 22-23.
+  PrivacyAttackConfig config;
+  config.trials = 4000;
+  config.seed = 107;
+  const auto result = run_privacy_attack(config);
+  // Binomial stderr at p~0.26 over 4000 trials is ~0.007; 5 sigma.
+  EXPECT_NEAR(result.p_hat, result.analytic.noise, 0.035);
+  EXPECT_NEAR(result.p_prime_hat - result.p_hat, result.analytic.information,
+              0.035);
+  EXPECT_GT(result.ratio_hat, 0.5 * result.analytic.ratio);
+  EXPECT_LT(result.ratio_hat, 2.0 * result.analytic.ratio);
+}
+
+TEST(PrivacyAttack, SmallerLoadFactorMoreDeniability) {
+  PrivacyAttackConfig f1, f4;
+  f1.trials = f4.trials = 3000;
+  f1.seed = f4.seed = 108;
+  f1.f = 1.0;
+  f4.f = 4.0;
+  const auto low_f = run_privacy_attack(f1);
+  const auto high_f = run_privacy_attack(f4);
+  EXPECT_GT(low_f.p_hat, high_f.p_hat);          // smaller bitmap: more noise
+  EXPECT_GT(low_f.ratio_hat, high_f.ratio_hat);  // and better privacy
+}
+
+TEST(Runners, DeterministicInSeed) {
+  PointSweepConfig config;
+  config.runs = 3;
+  config.frac_step = 0.2;
+  config.seed = 109;
+  const auto a = run_point_persistent_sweep(config);
+  const auto b = run_point_persistent_sweep(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].mean_rel_err_proposed, b[i].mean_rel_err_proposed);
+    EXPECT_DOUBLE_EQ(a[i].mean_rel_err_naive, b[i].mean_rel_err_naive);
+  }
+}
+
+}  // namespace
+}  // namespace ptm

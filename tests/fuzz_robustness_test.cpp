@@ -1,0 +1,151 @@
+// Robustness fuzzing: every decoder that consumes bytes from across a
+// trust boundary must reject arbitrary garbage gracefully - no crashes, no
+// accepted-but-nonsense values.  Seeded random fuzz keeps the suite
+// deterministic.
+#include <gtest/gtest.h>
+
+#include "common/bitmap.hpp"
+#include "common/random.hpp"
+#include "core/traffic_record.hpp"
+#include "crypto/certificate.hpp"
+#include "crypto/rsa.hpp"
+#include "net/message.hpp"
+#include "store/record_log.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace ptm {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Xoshiro256& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+TEST(Fuzz, BitmapDeserializeNeverCrashes) {
+  Xoshiro256 rng(1);
+  int accepted = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto bytes = random_bytes(rng, 200);
+    const auto result = Bitmap::deserialize(bytes);
+    if (result) {
+      ++accepted;
+      // Anything accepted must be internally consistent.
+      EXPECT_EQ(result->count_ones() + result->count_zeros(), result->size());
+    }
+  }
+  // Random bytes occasionally form a valid header+body; that's fine, but
+  // it must be rare (the length check rejects nearly everything).
+  EXPECT_LT(accepted, 500);
+}
+
+TEST(Fuzz, TrafficRecordDeserializeNeverCrashes) {
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const auto bytes = random_bytes(rng, 300);
+    const auto result = TrafficRecord::deserialize(bytes);
+    if (result) {
+      EXPECT_TRUE(result->validate().is_ok());
+    }
+  }
+}
+
+TEST(Fuzz, FrameDecodeNeverCrashes) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto bytes = random_bytes(rng, 400);
+    (void)decode_frame(bytes);  // must not crash or leak; result irrelevant
+  }
+}
+
+TEST(Fuzz, MutatedValidFramesRejectedOrEquivalent) {
+  // Start from a real frame and flip random bytes: the decoder must either
+  // reject it or produce a structurally valid frame (never UB).
+  Xoshiro256 rng(4);
+  Frame frame{MacAddress{1}, MacAddress{2}, EncodeIndex{777}};
+  const auto wire = encode_frame(frame);
+  for (int i = 0; i < 5000; ++i) {
+    auto mutated = wire;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    const auto result = decode_frame(mutated);
+    if (result) {
+      (void)result->type();  // variant must be in a valid state
+    }
+  }
+}
+
+TEST(Fuzz, CertificateDeserializeNeverCrashes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 3000; ++i) {
+    const auto bytes = random_bytes(rng, 500);
+    (void)Certificate::deserialize(bytes);
+  }
+}
+
+TEST(Fuzz, MutatedCertificateNeverVerifies) {
+  // Byte-level mutations of a valid certificate must never verify against
+  // the CA key (the signature covers every TBS byte).
+  Xoshiro256 rng(6);
+  CertificateAuthority ca("ca", 512, rng);
+  const RsaKeyPair keys = rsa_generate(512, rng);
+  const Certificate cert = ca.issue("rsu:1", 1, keys.pub, 0, 100);
+  const auto wire = cert.serialize();
+  for (int i = 0; i < 300; ++i) {
+    auto mutated = wire;
+    mutated[rng.below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.below(255));
+    const auto decoded = Certificate::deserialize(mutated);
+    if (!decoded) continue;  // rejected at parse: good
+    if (decoded->tbs_bytes() == cert.tbs_bytes() &&
+        decoded->signature == cert.signature) {
+      continue;  // mutation hit padding-free equality (possible only if a
+                 // flipped byte round-tripped identically - skip)
+    }
+    EXPECT_FALSE(
+        verify_certificate(*decoded, ca.public_key(), 50).is_ok())
+        << "mutation " << i << " verified!";
+  }
+}
+
+TEST(Fuzz, RecordLogReaderSurvivesGarbageFiles) {
+  Xoshiro256 rng(7);
+  const std::string path = ::testing::TempDir() + "/ptm_fuzz_log.bin";
+  for (int i = 0; i < 200; ++i) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      // Half the time start with the valid magic so the body parser runs.
+      if (i % 2 == 0) out.write("PTMRLOG1", 8);
+      const auto bytes = random_bytes(rng, 600);
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    const auto result = read_record_log(path);
+    if (result) {
+      for (const TrafficRecord& rec : result->records) {
+        EXPECT_TRUE(rec.validate().is_ok());
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Fuzz, RsaVerifyRejectsRandomSignatures) {
+  Xoshiro256 rng(8);
+  const RsaKeyPair keys = rsa_generate(512, rng);
+  const std::vector<std::uint8_t> message = {1, 2, 3};
+  const std::size_t sig_len = (keys.pub.modulus_bits() + 7) / 8;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> fake(sig_len);
+    for (auto& b : fake) b = static_cast<std::uint8_t>(rng.next());
+    EXPECT_FALSE(rsa_verify(keys.pub, message, fake));
+  }
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,97 @@
+// Tests for hash/hash_suite.hpp: the pluggable H of the paper must be
+// uniform and well-mixed regardless of family (§II-D requires only "good
+// randomness"; these are the properties the estimator math consumes).
+#include "hash/hash_suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+#include "common/random.hpp"
+
+namespace ptm {
+namespace {
+
+class HashFamilyProperty : public ::testing::TestWithParam<HashFamily> {};
+
+TEST_P(HashFamilyProperty, Deterministic) {
+  const HashFamily family = GetParam();
+  for (std::uint64_t v : {0ULL, 1ULL, ~0ULL}) {
+    EXPECT_EQ(hash64(family, v, 7), hash64(family, v, 7));
+  }
+}
+
+TEST_P(HashFamilyProperty, SeedSeparatesStreams) {
+  const HashFamily family = GetParam();
+  int collisions = 0;
+  for (std::uint64_t v = 0; v < 1000; ++v) {
+    if (hash64(family, v, 1) == hash64(family, v, 2)) ++collisions;
+  }
+  EXPECT_EQ(collisions, 0);
+}
+
+TEST_P(HashFamilyProperty, LowBitsUniformAfterMod) {
+  // The encoder uses H(x) mod m with m a power of two, i.e. the low bits.
+  // Chi-squared over 64 buckets; 99.9% critical for 63 dof is ~103.4.
+  const HashFamily family = GetParam();
+  constexpr std::uint64_t kBuckets = 64;
+  constexpr int kDraws = 64000;
+  std::array<int, kBuckets> counts{};
+  Xoshiro256 rng(2024);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[hash64(family, rng.next(), 5) % kBuckets];
+  }
+  double chi2 = 0.0;
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 103.4) << hash_family_name(family);
+}
+
+TEST_P(HashFamilyProperty, AvalancheNearHalf) {
+  // Ideal avalanche flips 50% of output bits per input-bit flip; accept
+  // 49-51% over 200 trials x 64 bits.
+  const double score = avalanche_score(GetParam(), 99, 200);
+  EXPECT_GT(score, 0.49);
+  EXPECT_LT(score, 0.51);
+}
+
+TEST_P(HashFamilyProperty, NoCollisionsOnSequentialInputs) {
+  const HashFamily family = GetParam();
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t v = 0; v < 50000; ++v) {
+    seen.insert(hash64(family, v, 0));
+  }
+  EXPECT_EQ(seen.size(), 50000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, HashFamilyProperty,
+    ::testing::Values(HashFamily::kMurmur3, HashFamily::kXxHash,
+                      HashFamily::kSipHash),
+    [](const ::testing::TestParamInfo<HashFamily>& info) {
+      return std::string(hash_family_name(info.param));
+    });
+
+TEST(HashSuite, FamiliesDisagree) {
+  // Three genuinely different functions, not aliases.
+  const std::uint64_t v = 0x123456789ULL;
+  const std::uint64_t a = hash64(HashFamily::kMurmur3, v, 0);
+  const std::uint64_t b = hash64(HashFamily::kXxHash, v, 0);
+  const std::uint64_t c = hash64(HashFamily::kSipHash, v, 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+}
+
+TEST(HashSuite, NamesAreStable) {
+  EXPECT_EQ(hash_family_name(HashFamily::kMurmur3), "murmur3");
+  EXPECT_EQ(hash_family_name(HashFamily::kXxHash), "xxhash64");
+  EXPECT_EQ(hash_family_name(HashFamily::kSipHash), "siphash24");
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,202 @@
+// End-to-end integration: the complete paper pipeline on the full stack.
+// Vehicles authenticate against a real PKI, transmit h_v over the simulated
+// channel, RSUs build records and upload them, and the central server's
+// persistent-traffic answers land within the estimators' statistical bands.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/math.hpp"
+#include "nodes/deployment.hpp"
+#include "nodes/server.hpp"
+#include "traffic/trip_table.hpp"
+#include "traffic/workload.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(EndToEnd, PersistentPointTrafficThroughTheFullStack) {
+  Deployment::Config config;
+  config.ca_key_bits = 512;
+  config.rsu_key_bits = 512;
+  Deployment dep(config, 2024);
+  constexpr std::uint64_t kLocation = 77;
+  Rsu& rsu = dep.add_rsu(kLocation, 4096);
+
+  // 400 persistent commuters + fresh transients each period.
+  std::vector<Vehicle> commuters;
+  for (int i = 0; i < 400; ++i) {
+    commuters.push_back(dep.make_vehicle(static_cast<std::uint64_t>(i)));
+  }
+  constexpr int kPeriods = 4;
+  std::uint64_t next_transient_id = 1000000;
+  for (int period = 0; period < kPeriods; ++period) {
+    for (Vehicle& v : commuters) {
+      ASSERT_EQ(dep.run_contact(v, rsu), ContactOutcome::kEncoded);
+    }
+    for (int i = 0; i < 1200; ++i) {
+      Vehicle transient = dep.make_vehicle(next_transient_id++);
+      ASSERT_EQ(dep.run_contact(transient, rsu), ContactOutcome::kEncoded);
+    }
+    ASSERT_TRUE(dep.upload_period(rsu).is_ok());
+  }
+
+  std::vector<std::uint64_t> periods(kPeriods);
+  for (int p = 0; p < kPeriods; ++p) periods[static_cast<std::size_t>(p)] = p;
+
+  // Point volume per period ~1600.
+  const auto point = dep.server().query_point_volume(kLocation, 0);
+  ASSERT_TRUE(point.has_value());
+  EXPECT_NEAR(point->value, 1600.0, 1600.0 * 0.1);
+
+  // Persistent volume ~400 (the commuters).
+  const auto persistent =
+      dep.server().query_point_persistent(kLocation, periods);
+  ASSERT_TRUE(persistent.has_value());
+  EXPECT_NEAR(persistent->n_star, 400.0, 400.0 * 0.3);
+}
+
+TEST(EndToEnd, P2PPersistentAcrossTwoIntersections) {
+  Deployment::Config config;
+  config.ca_key_bits = 512;
+  config.rsu_key_bits = 512;
+  Deployment dep(config, 2025);
+  Rsu& rsu_a = dep.add_rsu(1, 4096);
+  Rsu& rsu_b = dep.add_rsu(2, 8192);
+
+  // 300 vehicles commute A -> B every period; A and B each also see their
+  // own one-period-only traffic.
+  std::vector<Vehicle> commuters;
+  for (int i = 0; i < 300; ++i) {
+    commuters.push_back(dep.make_vehicle(static_cast<std::uint64_t>(i)));
+  }
+  std::uint64_t next_id = 500000;
+  constexpr int kPeriods = 3;
+  for (int period = 0; period < kPeriods; ++period) {
+    for (Vehicle& v : commuters) {
+      ASSERT_EQ(dep.run_contact(v, rsu_a), ContactOutcome::kEncoded);
+      ASSERT_EQ(dep.run_contact(v, rsu_b), ContactOutcome::kEncoded);
+    }
+    for (int i = 0; i < 700; ++i) {
+      Vehicle t = dep.make_vehicle(next_id++);
+      ASSERT_EQ(dep.run_contact(t, rsu_a), ContactOutcome::kEncoded);
+    }
+    for (int i = 0; i < 2000; ++i) {
+      Vehicle t = dep.make_vehicle(next_id++);
+      ASSERT_EQ(dep.run_contact(t, rsu_b), ContactOutcome::kEncoded);
+    }
+    ASSERT_TRUE(dep.upload_period(rsu_a).is_ok());
+    ASSERT_TRUE(dep.upload_period(rsu_b).is_ok());
+  }
+
+  const std::vector<std::uint64_t> periods = {0, 1, 2};
+  const auto est = dep.server().query_p2p_persistent(1, 2, periods);
+  ASSERT_TRUE(est.has_value());
+  // p2p estimation has higher variance than point estimation (Eq. 21's
+  // s·m' amplification); accept a generous band around the planted 300.
+  EXPECT_GT(est->n_double_prime, 100.0);
+  EXPECT_LT(est->n_double_prime, 650.0);
+}
+
+TEST(EndToEnd, WorkdayVersusSaturdayPersistence) {
+  // The paper's §I motivating example: "persistent traffic over the
+  // workdays of a week, over the Saturdays of several weeks."  Periods are
+  // arbitrary subsets of the stored records - the server's period-list
+  // query handles both questions on the same archive.
+  const EncodingParams encoding;
+  CentralServer server(2.0, encoding.s);
+  Xoshiro256 rng(0x5A7);
+
+  constexpr std::uint64_t kLocation = 88;
+  constexpr std::size_t kWeekdayCommuters = 900;   // Mon-Fri regulars
+  constexpr std::size_t kWeekendRegulars = 250;    // Saturday market-goers
+  const auto weekday_fleet =
+      make_vehicles(kWeekdayCommuters, encoding.s, rng);
+  const auto weekend_fleet = make_vehicles(kWeekendRegulars, encoding.s, rng);
+
+  // Three weeks of daily records: period = week*7 + day (0 = Monday).
+  const VehicleEncoder encoder(encoding);
+  for (std::uint64_t week = 0; week < 3; ++week) {
+    for (std::uint64_t day = 0; day < 7; ++day) {
+      const bool weekday = day < 5;
+      const bool saturday = day == 5;
+      const std::uint64_t volume = weekday ? 6000 : 3500;
+      TrafficRecord rec;
+      rec.location = kLocation;
+      rec.period = week * 7 + day;
+      rec.bits = Bitmap(plan_bitmap_size(static_cast<double>(volume), 2.0));
+      std::size_t regulars = 0;
+      if (weekday) {
+        for (const auto& v : weekday_fleet) encoder.encode(v, kLocation, rec.bits);
+        regulars = weekday_fleet.size();
+      }
+      if (saturday) {
+        for (const auto& v : weekend_fleet) encoder.encode(v, kLocation, rec.bits);
+        regulars = weekend_fleet.size();
+      }
+      add_transient_traffic(rec.bits, volume - regulars, rng);
+      ASSERT_TRUE(server.ingest(rec).is_ok());
+    }
+  }
+
+  // Workdays of week 0: Mon-Fri.
+  const std::vector<std::uint64_t> workdays = {0, 1, 2, 3, 4};
+  const auto weekday_est = server.query_point_persistent(kLocation, workdays);
+  ASSERT_TRUE(weekday_est.has_value());
+  EXPECT_NEAR(weekday_est->n_star, kWeekdayCommuters,
+              kWeekdayCommuters * 0.2);
+
+  // Saturdays of three consecutive weeks.
+  const std::vector<std::uint64_t> saturdays = {5, 12, 19};
+  const auto saturday_est =
+      server.query_point_persistent(kLocation, saturdays);
+  ASSERT_TRUE(saturday_est.has_value());
+  EXPECT_NEAR(saturday_est->n_star, kWeekendRegulars,
+              kWeekendRegulars * 0.35);
+
+  // Mixing a Sunday in (no regulars present every period) collapses the
+  // persistent volume toward zero.
+  const std::vector<std::uint64_t> mixed = {0, 1, 6};
+  const auto mixed_est = server.query_point_persistent(kLocation, mixed);
+  ASSERT_TRUE(mixed_est.has_value());
+  EXPECT_LT(mixed_est->n_star, 200.0);
+}
+
+TEST(EndToEnd, TripTableDrivenNetworkStudy) {
+  // A miniature of the examples' Sioux-Falls study: take two zones from the
+  // deterministic demo network, scale them down, run the pipeline, and
+  // check both point estimates.
+  const TripTable network = gravity_model_table(6, 30000, 99);
+  const std::size_t zone_a = network.busiest_zone();
+  const std::size_t zone_b = (zone_a + 1) % network.zones();
+  const double volume_a = static_cast<double>(network.zone_volume(zone_a)) / 10.0;
+  const double volume_b = static_cast<double>(network.zone_volume(zone_b)) / 10.0;
+
+  Deployment::Config config;
+  config.ca_key_bits = 512;
+  config.rsu_key_bits = 512;
+  Deployment dep(config, 2026);
+  Rsu& rsu_a = dep.add_rsu(zone_a, plan_bitmap_size(volume_a, 2.0));
+  Rsu& rsu_b = dep.add_rsu(zone_b, plan_bitmap_size(volume_b, 2.0));
+
+  std::uint64_t next_id = 0;
+  for (int i = 0; i < static_cast<int>(volume_a); ++i) {
+    Vehicle v = dep.make_vehicle(next_id++);
+    ASSERT_EQ(dep.run_contact(v, rsu_a), ContactOutcome::kEncoded);
+  }
+  for (int i = 0; i < static_cast<int>(volume_b); ++i) {
+    Vehicle v = dep.make_vehicle(next_id++);
+    ASSERT_EQ(dep.run_contact(v, rsu_b), ContactOutcome::kEncoded);
+  }
+  ASSERT_TRUE(dep.upload_period(rsu_a).is_ok());
+  ASSERT_TRUE(dep.upload_period(rsu_b).is_ok());
+
+  const auto est_a = dep.server().query_point_volume(zone_a, 0);
+  const auto est_b = dep.server().query_point_volume(zone_b, 0);
+  ASSERT_TRUE(est_a.has_value() && est_b.has_value());
+  EXPECT_LT(relative_error(est_a->value, volume_a), 0.1);
+  EXPECT_LT(relative_error(est_b->value, volume_b), 0.1);
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,143 @@
+// Tests for core/kway_persistent.hpp: the generalized split, including the
+// property that g = 2 reduces exactly to the paper's Eq. 12.
+#include "core/kway_persistent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "core/point_persistent.hpp"
+#include "core/traffic_record.hpp"
+#include "traffic/workload.hpp"
+
+namespace ptm {
+namespace {
+
+std::vector<Bitmap> make_records(std::size_t t, std::size_t n_star,
+                                 std::uint64_t volume, Xoshiro256& rng) {
+  const EncodingParams encoding;
+  const auto common = make_vehicles(n_star, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(t, volume);
+  return generate_point_records(volumes, common, 0xFA57, 2.0, encoding, rng);
+}
+
+TEST(KwayPersistent, RejectsBadArguments) {
+  std::vector<Bitmap> records(4, Bitmap(64));
+  EXPECT_FALSE(estimate_point_persistent_kway(records, 1).has_value());
+  EXPECT_FALSE(estimate_point_persistent_kway(records, 5).has_value());
+  std::vector<Bitmap> bad;
+  bad.emplace_back(100);
+  bad.emplace_back(64);
+  EXPECT_FALSE(estimate_point_persistent_kway(bad, 2).has_value());
+}
+
+TEST(KwayPersistent, TwoWayMatchesEq12ClosedForm) {
+  // The bisection solver at g = 2 must agree with the paper's closed form
+  // to solver precision, on many random instances.
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto n_star = static_cast<std::size_t>(50 + rng.below(2000));
+    const auto records = make_records(4 + rng.below(4), n_star,
+                                      4000 + rng.below(5000), rng);
+    const auto closed = estimate_point_persistent(records);
+    const auto kway = estimate_point_persistent_kway(records, 2);
+    ASSERT_TRUE(closed.has_value() && kway.has_value());
+    if (closed->outcome == EstimateOutcome::kDegenerate) {
+      EXPECT_EQ(kway->outcome, EstimateOutcome::kDegenerate);
+      continue;
+    }
+    EXPECT_NEAR(kway->n_star, closed->n_star,
+                std::max(1e-6 * closed->n_star, 1e-5))
+        << "trial " << trial;
+  }
+}
+
+TEST(KwayPersistent, DiagnosticsShapeAndBounds) {
+  Xoshiro256 rng(2);
+  const auto records = make_records(9, 700, 7000, rng);
+  const auto est = estimate_point_persistent_kway(records, 3);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->groups, 3u);
+  EXPECT_EQ(est->group_v0.size(), 3u);
+  for (double v0 : est->group_v0) {
+    EXPECT_GT(v0, 0.0);
+    EXPECT_LT(v0, 1.0);
+  }
+  EXPECT_GE(est->q, *std::max_element(est->group_v0.begin(),
+                                      est->group_v0.end()));
+  EXPECT_LE(est->q, 1.0);
+  EXPECT_NEAR(est->n_star, 700.0, 700.0 * 0.25);
+}
+
+class KwayAccuracy : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KwayAccuracy, EstimatesWithinBand) {
+  const std::size_t groups = GetParam();
+  RunningStats err;
+  constexpr std::size_t kNStar = 600;
+  for (int trial = 0; trial < 25; ++trial) {
+    Xoshiro256 rng(100 * groups + static_cast<std::uint64_t>(trial));
+    const auto records = make_records(12, kNStar, 7000, rng);
+    const auto est = estimate_point_persistent_kway(records, groups);
+    ASSERT_TRUE(est.has_value());
+    err.add(relative_error(est->n_star, kNStar));
+  }
+  EXPECT_LT(err.mean(), 0.15) << "groups = " << groups;
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, KwayAccuracy,
+                         ::testing::Values(2, 3, 4, 6));
+
+TEST(KwayPersistent, UnevenGroupSizesWork) {
+  // 7 records into 3 groups -> sizes 3/2/2.
+  Xoshiro256 rng(3);
+  const auto records = make_records(7, 400, 6000, rng);
+  const auto est = estimate_point_persistent_kway(records, 3);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->n_star, 400.0, 400.0 * 0.3);
+}
+
+TEST(KwayPersistent, ZeroCommonDegeneratesOrSmall) {
+  Xoshiro256 rng(4);
+  const EncodingParams encoding;
+  const std::vector<std::uint64_t> volumes(6, 8000);
+  const auto records =
+      generate_point_records(volumes, {}, 0xFA57, 2.0, encoding, rng);
+  const auto est = estimate_point_persistent_kway(records, 3);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LT(est->n_star, 300.0);
+}
+
+TEST(KwayPersistent, SaturatedGroupFlagged) {
+  std::vector<Bitmap> records;
+  for (int j = 0; j < 4; ++j) {
+    Bitmap b(2);
+    b.set(0);
+    b.set(1);
+    records.push_back(std::move(b));
+  }
+  const auto est = estimate_point_persistent_kway(records, 2);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->outcome, EstimateOutcome::kSaturated);
+  EXPECT_TRUE(std::isfinite(est->n_star));
+}
+
+TEST(KwayPersistent, MixedRecordSizesExpand) {
+  Xoshiro256 rng(5);
+  const EncodingParams encoding;
+  const auto common = make_vehicles(300, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes = {2500, 9000, 4000, 7000, 3000,
+                                              8000};
+  const auto records = generate_point_records(volumes, common, 0xFA57, 2.0,
+                                              encoding, rng);
+  const auto est = estimate_point_persistent_kway(records, 3);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->m, plan_bitmap_size(9000, 2.0));
+  EXPECT_GT(est->n_star, 0.0);
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,135 @@
+// Tests for core/linear_counting.hpp: Eq. 1/3, the base estimator, and its
+// error model.  Statistical assertions use tolerance bands derived from the
+// estimator's own stderr formula with fixed seeds, so they are deterministic.
+#include "core/linear_counting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+
+namespace ptm {
+namespace {
+
+Bitmap random_fill(std::size_t m, std::size_t n, Xoshiro256& rng) {
+  Bitmap b(m);
+  for (std::size_t i = 0; i < n; ++i) b.set(rng.below(m));
+  return b;
+}
+
+TEST(LinearCounting, EmptyBitmapEstimatesZero) {
+  const Bitmap b(1024);
+  const auto est = estimate_cardinality(b);
+  EXPECT_EQ(est.outcome, EstimateOutcome::kOk);
+  EXPECT_DOUBLE_EQ(est.value, 0.0);
+  EXPECT_DOUBLE_EQ(est.fraction_zeros, 1.0);
+}
+
+TEST(LinearCounting, SingleBitEstimatesOne) {
+  Bitmap b(1024);
+  b.set(7);
+  const auto est = estimate_cardinality(b);
+  // ln((m-1)/m) / ln(1-1/m) = 1 exactly.
+  EXPECT_NEAR(est.value, 1.0, 1e-9);
+}
+
+TEST(LinearCounting, KnownZeroFraction) {
+  // With V0 = 0.5 and m = 2^16: n̂ = ln(0.5)/ln(1-1/m) ≈ m·ln 2.
+  Bitmap b(65536);
+  for (std::size_t i = 0; i < 65536; i += 2) b.set(i);
+  const auto est = estimate_cardinality(b);
+  EXPECT_NEAR(est.value, 65536.0 * std::log(2.0), 65536.0 * 1e-4);
+}
+
+TEST(LinearCounting, SaturatedBitmapFlagsAndClamps) {
+  Bitmap b(64);
+  for (std::size_t i = 0; i < 64; ++i) b.set(i);
+  const auto est = estimate_cardinality(b);
+  EXPECT_EQ(est.outcome, EstimateOutcome::kSaturated);
+  EXPECT_DOUBLE_EQ(est.fraction_zeros, 1.0 / 64.0);
+  // Clamped estimate: ln(1/m)/ln(1-1/m) ≈ m ln m.
+  EXPECT_GT(est.value, 64.0);
+  EXPECT_TRUE(std::isfinite(est.value));
+}
+
+TEST(LinearCounting, ApproxFormCloseToExactForLargeM) {
+  Xoshiro256 rng(1);
+  const Bitmap b = random_fill(1 << 20, 500'000, rng);
+  const double exact = estimate_cardinality(b).value;
+  const double approx = estimate_cardinality_approx(b).value;
+  EXPECT_NEAR(approx / exact, 1.0, 1e-5);
+}
+
+TEST(LinearCounting, ApproxFormDivergesForTinyM) {
+  // At m = 4 the -m ln V0 shortcut visibly OVERestimates vs the exact
+  // form: |ln(1 - 1/m)| > 1/m, so dividing by the exact log shrinks the
+  // estimate relative to multiplying by m.
+  Bitmap b(4);
+  b.set(0);
+  b.set(1);
+  const double exact = estimate_cardinality(b).value;
+  const double approx = estimate_cardinality_approx(b).value;
+  EXPECT_LT(exact, approx);
+  EXPECT_GT(approx - exact, 0.1);
+}
+
+TEST(LinearCounting, UnbiasedWithinStderrBand) {
+  // Mean over 200 trials should sit within 5 standard errors of truth.
+  Xoshiro256 rng(2);
+  constexpr std::size_t kM = 16384;
+  constexpr std::size_t kN = 8000;  // load factor ~2, the paper's f
+  RunningStats est_stats;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Bitmap b = random_fill(kM, kN, rng);
+    est_stats.add(estimate_cardinality(b).value);
+  }
+  const double rel_stderr =
+      linear_counting_relative_stderr(kN, kM) / std::sqrt(200.0);
+  EXPECT_NEAR(est_stats.mean() / kN, 1.0, 5.0 * rel_stderr);
+}
+
+/// Accuracy envelope across load factors: observed relative error of a
+/// single estimate stays within 6x the analytic stderr (a generous but
+/// failing-is-a-bug band).
+class LinearCountingLoad : public ::testing::TestWithParam<double> {};
+
+TEST_P(LinearCountingLoad, ErrorWithinAnalyticEnvelope) {
+  const double load = GetParam();  // n/m
+  constexpr std::size_t kM = 65536;
+  const auto n = static_cast<std::size_t>(load * kM);
+  Xoshiro256 rng(static_cast<std::uint64_t>(load * 1000) + 3);
+  const double band = 6.0 * linear_counting_relative_stderr(
+                                static_cast<double>(n), kM);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bitmap b = random_fill(kM, n, rng);
+    const auto est = estimate_cardinality(b);
+    EXPECT_EQ(est.outcome, EstimateOutcome::kOk);
+    EXPECT_LT(relative_error(est.value, static_cast<double>(n)), band)
+        << "load " << load;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, LinearCountingLoad,
+                         ::testing::Values(0.05, 0.1, 0.25, 0.5, 1.0, 2.0));
+
+TEST(LinearCounting, StderrFormulaSanity) {
+  // Error grows with load factor; more bits help at fixed load.
+  EXPECT_LT(linear_counting_relative_stderr(1000, 4096),
+            linear_counting_relative_stderr(4000, 4096));
+  EXPECT_LT(linear_counting_relative_stderr(4000, 16384),
+            linear_counting_relative_stderr(1000, 1024));
+}
+
+TEST(LinearCounting, OutcomeNames) {
+  EXPECT_STREQ(estimate_outcome_name(EstimateOutcome::kOk), "ok");
+  EXPECT_STREQ(estimate_outcome_name(EstimateOutcome::kSaturated),
+               "saturated");
+  EXPECT_STREQ(estimate_outcome_name(EstimateOutcome::kDegenerate),
+               "degenerate");
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,53 @@
+// Tests for net/mac.hpp: the SpoofMAC anonymity substrate (paper §II-B).
+#include "net/mac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ptm {
+namespace {
+
+TEST(MacAddress, ToStringFormat) {
+  const MacAddress mac{0x0123456789ABULL};
+  EXPECT_EQ(mac.to_string(), "01:23:45:67:89:ab");
+  EXPECT_EQ(MacAddress{0}.to_string(), "00:00:00:00:00:00");
+  EXPECT_EQ(broadcast_mac().to_string(), "ff:ff:ff:ff:ff:ff");
+}
+
+TEST(MacAddress, FlagBits) {
+  // 0x02 in the first octet = locally administered, unicast.
+  const MacAddress local{0x020000000000ULL};
+  EXPECT_TRUE(local.locally_administered());
+  EXPECT_FALSE(local.multicast());
+  const MacAddress mcast{0x010000000000ULL};
+  EXPECT_TRUE(mcast.multicast());
+}
+
+TEST(SpoofMacGenerator, AlwaysLocallyAdministeredUnicast) {
+  SpoofMacGenerator gen(1);
+  for (int i = 0; i < 1000; ++i) {
+    const MacAddress mac = gen.next();
+    EXPECT_TRUE(mac.locally_administered());
+    EXPECT_FALSE(mac.multicast());
+    EXPECT_EQ(mac.value >> 48, 0u) << "only 48 bits may be used";
+  }
+}
+
+TEST(SpoofMacGenerator, AddressesAreOneTime) {
+  // 10k draws from a 46-bit effective space: collisions ~ 7e-4 expected;
+  // assert all-distinct with a fixed seed known to be collision-free.
+  SpoofMacGenerator gen(42);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) seen.insert(gen.next().value);
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(SpoofMacGenerator, DeterministicPerSeed) {
+  SpoofMacGenerator a(7), b(7), c(8);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,96 @@
+// Tests for common/math.hpp: power-of-two and clamped-log helpers that the
+// estimators lean on.
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ptm {
+namespace {
+
+TEST(Math, IsPowerOfTwo) {
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_TRUE(is_power_of_two(1ULL << 40));
+  EXPECT_FALSE(is_power_of_two((1ULL << 40) + 1));
+  EXPECT_TRUE(is_power_of_two(1ULL << 63));
+}
+
+TEST(Math, NextPowerOfTwo) {
+  EXPECT_EQ(next_power_of_two(0), 1u);
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(2), 2u);
+  EXPECT_EQ(next_power_of_two(3), 4u);
+  EXPECT_EQ(next_power_of_two(4), 4u);
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(902000), 1048576u);  // the paper's m'
+  EXPECT_EQ(next_power_of_two((1ULL << 62) + 1), 1ULL << 63);
+}
+
+TEST(Math, FloorCeilLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+}
+
+TEST(Math, PowerOfTwoIdentities) {
+  for (std::uint64_t x = 1; x < 100000; x = x * 3 + 1) {
+    const std::uint64_t p = next_power_of_two(x);
+    EXPECT_TRUE(is_power_of_two(p));
+    EXPECT_GE(p, x);
+    if (p > 1) {
+      EXPECT_LT(p / 2, x);
+    }
+    EXPECT_EQ(p, 1ULL << ceil_log2(x));
+  }
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+TEST(Math, ClampedLog) {
+  EXPECT_DOUBLE_EQ(clamped_log(1.0, 1e-9), 0.0);
+  EXPECT_DOUBLE_EQ(clamped_log(2.0, 1e-9), 0.0);           // clamped above
+  EXPECT_DOUBLE_EQ(clamped_log(0.0, 0.5), std::log(0.5));  // clamped below
+  EXPECT_DOUBLE_EQ(clamped_log(0.25, 1e-9), std::log(0.25));
+}
+
+TEST(Math, LogOneMinusInvMatchesDirectForm) {
+  for (double m : {2.0, 16.0, 1024.0, 1048576.0}) {
+    EXPECT_NEAR(log_one_minus_inv(m), std::log(1.0 - 1.0 / m), 1e-15);
+  }
+  // log1p keeps precision where the direct form loses it.
+  EXPECT_LT(log_one_minus_inv(1e15), 0.0);
+}
+
+TEST(Math, RelativeError) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(relative_error(1.0, 0.0)));
+}
+
+TEST(Math, AlmostEqual) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0));
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(1e20, 1e20 * (1 + 1e-12)));
+}
+
+}  // namespace
+}  // namespace ptm

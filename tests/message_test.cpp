@@ -1,0 +1,151 @@
+// Tests for net/message.hpp: every V2I message round-trips through the wire
+// codec and malformed frames are rejected (they cross the trust boundary).
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptm {
+namespace {
+
+class MessageTest : public ::testing::Test {
+ protected:
+  MessageTest() : rng_(55), ca_("ca", 512, rng_) {}
+
+  Certificate make_cert(std::uint64_t location) {
+    const RsaKeyPair keys = rsa_generate(512, rng_);
+    return ca_.issue("rsu:" + std::to_string(location), location, keys.pub,
+                     0, 1000);
+  }
+
+  Xoshiro256 rng_;
+  CertificateAuthority ca_;
+};
+
+TEST_F(MessageTest, BeaconRoundTrip) {
+  Frame frame;
+  frame.src = MacAddress{0x42};
+  frame.dst = broadcast_mac();
+  Beacon beacon;
+  beacon.location = 7;
+  beacon.period = 3;
+  beacon.bitmap_size = 65536;
+  beacon.certificate = make_cert(7);
+  frame.body = beacon;
+
+  const auto wire = encode_frame(frame);
+  const auto decoded = decode_frame(wire);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type(), MessageType::kBeacon);
+  EXPECT_EQ(decoded->src.value, 0x42u);
+  EXPECT_EQ(decoded->dst, broadcast_mac());
+  const auto& b = std::get<Beacon>(decoded->body);
+  EXPECT_EQ(b.location, 7u);
+  EXPECT_EQ(b.period, 3u);
+  EXPECT_EQ(b.bitmap_size, 65536u);
+  EXPECT_TRUE(
+      verify_certificate(b.certificate, ca_.public_key(), 3).is_ok());
+}
+
+TEST_F(MessageTest, AuthRequestRoundTrip) {
+  Frame frame{MacAddress{1}, MacAddress{2}, AuthRequest{0xDEADBEEFCAFEULL}};
+  const auto decoded = decode_frame(encode_frame(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<AuthRequest>(decoded->body).nonce, 0xDEADBEEFCAFEULL);
+}
+
+TEST_F(MessageTest, AuthResponseRoundTrip) {
+  AuthResponse resp;
+  resp.nonce = 99;
+  resp.signature = {1, 2, 3, 4, 5};
+  Frame frame{MacAddress{1}, MacAddress{2}, resp};
+  const auto decoded = decode_frame(encode_frame(frame));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& r = std::get<AuthResponse>(decoded->body);
+  EXPECT_EQ(r.nonce, 99u);
+  EXPECT_EQ(r.signature, resp.signature);
+}
+
+TEST_F(MessageTest, EncodeIndexRoundTrip) {
+  Frame frame{MacAddress{1}, MacAddress{2}, EncodeIndex{123456}};
+  const auto decoded = decode_frame(encode_frame(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<EncodeIndex>(decoded->body).index, 123456u);
+}
+
+TEST_F(MessageTest, EncodeAckRoundTrip) {
+  Frame frame{MacAddress{1}, MacAddress{2}, EncodeAck{}};
+  const auto decoded = decode_frame(encode_frame(frame));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type(), MessageType::kEncodeAck);
+}
+
+TEST_F(MessageTest, RecordUploadRoundTrip) {
+  TrafficRecord rec;
+  rec.location = 5;
+  rec.period = 9;
+  rec.bits = Bitmap(256);
+  rec.bits.set(17);
+  rec.bits.set(200);
+  Frame frame{MacAddress{5}, broadcast_mac(), RecordUpload{rec}};
+  const auto decoded = decode_frame(encode_frame(frame));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& up = std::get<RecordUpload>(decoded->body);
+  EXPECT_EQ(up.record, rec);
+}
+
+TEST_F(MessageTest, EmptyInputRejected) {
+  EXPECT_FALSE(decode_frame({}).has_value());
+}
+
+TEST_F(MessageTest, UnknownTypeRejected) {
+  Frame frame{MacAddress{1}, MacAddress{2}, EncodeAck{}};
+  auto wire = encode_frame(frame);
+  wire[0] = 99;  // invalid type byte
+  EXPECT_EQ(decode_frame(wire).status().code(), ErrorCode::kParseError);
+  wire[0] = 0;
+  EXPECT_EQ(decode_frame(wire).status().code(), ErrorCode::kParseError);
+}
+
+TEST_F(MessageTest, TruncationAtEveryBoundaryRejected) {
+  Frame frame{MacAddress{1}, MacAddress{2}, EncodeIndex{7}};
+  const auto wire = encode_frame(frame);
+  for (std::size_t keep = 0; keep < wire.size(); ++keep) {
+    const std::span<const std::uint8_t> cut(wire.data(), keep);
+    EXPECT_FALSE(decode_frame(cut).has_value()) << "kept " << keep;
+  }
+}
+
+TEST_F(MessageTest, TrailingGarbageRejected) {
+  Frame frame{MacAddress{1}, MacAddress{2}, EncodeAck{}};
+  auto wire = encode_frame(frame);
+  wire.push_back(0xAA);
+  EXPECT_EQ(decode_frame(wire).status().code(), ErrorCode::kParseError);
+}
+
+TEST_F(MessageTest, CorruptedBeaconCertificateRejected) {
+  Frame frame;
+  frame.src = MacAddress{1};
+  frame.dst = broadcast_mac();
+  Beacon beacon;
+  beacon.location = 1;
+  beacon.period = 1;
+  beacon.bitmap_size = 16;
+  beacon.certificate = make_cert(1);
+  frame.body = beacon;
+  auto wire = encode_frame(frame);
+  // Chop bytes out of the middle of the certificate region.
+  wire.resize(wire.size() - 10);
+  EXPECT_FALSE(decode_frame(wire).has_value());
+}
+
+TEST_F(MessageTest, AuthTranscriptIsInjectiveInFields) {
+  const auto base = auth_transcript(1, 2, 3);
+  EXPECT_NE(base, auth_transcript(9, 2, 3));
+  EXPECT_NE(base, auth_transcript(1, 9, 3));
+  EXPECT_NE(base, auth_transcript(1, 2, 9));
+  // Field swap must not collide (fixed-width encoding).
+  EXPECT_NE(auth_transcript(2, 1, 3), auth_transcript(1, 2, 3));
+}
+
+}  // namespace
+}  // namespace ptm

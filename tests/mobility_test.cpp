@@ -1,0 +1,176 @@
+// Tests for traffic/mobility.hpp: trajectory-level ground truth and the
+// record-building path over a road network.
+#include "traffic/mobility.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/math.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/point_persistent.hpp"
+#include "core/traffic_record.hpp"
+
+namespace ptm {
+namespace {
+
+class MobilityTest : public ::testing::Test {
+ protected:
+  MobilityTest()
+      : network_(generate_road_network(16, 2, 11)),
+        demand_(gravity_model_table(16, 200000, 12)),
+        rng_(13) {}
+
+  RoadNetwork network_;
+  TripTable demand_;
+  EncodingParams encoding_;
+  Xoshiro256 rng_;
+};
+
+TEST_F(MobilityTest, CommuterFleetShape) {
+  const MobilityModel model(network_, demand_, 200, encoding_, rng_);
+  ASSERT_EQ(model.commuters().size(), 200u);
+  for (const Commuter& c : model.commuters()) {
+    EXPECT_NE(c.origin, c.destination);
+    EXPECT_EQ(c.route.front(), c.origin);
+    EXPECT_EQ(c.route.back(), c.destination);
+    EXPECT_GE(c.route.size(), 2u);
+    EXPECT_EQ(c.secrets.constants.size(), encoding_.s);
+  }
+}
+
+TEST_F(MobilityTest, OdSamplingFollowsDemand) {
+  // The busiest zone should host far more commuter endpoints than the
+  // median zone.
+  const MobilityModel model(network_, demand_, 2000, encoding_, rng_);
+  std::vector<std::size_t> endpoint_counts(network_.zone_count(), 0);
+  for (const Commuter& c : model.commuters()) {
+    ++endpoint_counts[c.origin];
+    ++endpoint_counts[c.destination];
+  }
+  const std::size_t busiest = demand_.busiest_zone();
+  std::vector<std::size_t> sorted = endpoint_counts;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(endpoint_counts[busiest], sorted[sorted.size() / 2]);
+}
+
+TEST_F(MobilityTest, GroundTruthCountsAreConsistent) {
+  const MobilityModel model(network_, demand_, 300, encoding_, rng_);
+  for (std::size_t zone = 0; zone < network_.zone_count(); ++zone) {
+    EXPECT_LE(model.commuters_through(zone), 300u);
+  }
+  // Pairwise counts can never exceed either single count.
+  const std::size_t a = 0, b = network_.zone_count() - 1;
+  EXPECT_LE(model.commuters_through_both(a, b), model.commuters_through(a));
+  EXPECT_LE(model.commuters_through_both(a, b), model.commuters_through(b));
+  // Origins always count.
+  std::size_t total_through_origins = 0;
+  for (const Commuter& c : model.commuters()) {
+    total_through_origins +=
+        (std::find(c.route.begin(), c.route.end(), c.origin) !=
+         c.route.end());
+  }
+  EXPECT_EQ(total_through_origins, 300u);
+}
+
+TEST_F(MobilityTest, PeriodSamplingIsFreshEachCall) {
+  const MobilityModel model(network_, demand_, 10, encoding_, rng_);
+  const PeriodTraffic day1 = model.sample_period(50, rng_);
+  const PeriodTraffic day2 = model.sample_period(50, rng_);
+  ASSERT_EQ(day1.transients.size(), 50u);
+  ASSERT_EQ(day2.transients.size(), 50u);
+  // Transients are one-off: no ID reuse across periods.
+  std::size_t shared = 0;
+  for (const auto& t1 : day1.transients) {
+    for (const auto& t2 : day2.transients) {
+      shared += (t1.secrets.id == t2.secrets.id);
+    }
+  }
+  EXPECT_EQ(shared, 0u);
+}
+
+TEST_F(MobilityTest, RecordsContainEveryRouteVehicle) {
+  const MobilityModel model(network_, demand_, 100, encoding_, rng_);
+  const PeriodTraffic day = model.sample_period(200, rng_);
+  std::vector<std::size_t> sizes(network_.zone_count(), 4096);
+  const auto records = build_period_records(model, day, sizes, encoding_);
+  ASSERT_EQ(records.size(), network_.zone_count());
+
+  const VehicleEncoder encoder(encoding_);
+  for (const Commuter& c : model.commuters()) {
+    for (std::size_t zone : c.route) {
+      EXPECT_TRUE(records[zone].test(static_cast<std::size_t>(
+          encoder.bit_index(c.secrets, zone, 4096))));
+    }
+  }
+  for (const TransientTrip& t : day.transients) {
+    for (std::size_t zone : t.route) {
+      EXPECT_TRUE(records[zone].test(static_cast<std::size_t>(
+          encoder.bit_index(t.secrets, zone, 4096))));
+    }
+  }
+}
+
+TEST_F(MobilityTest, EndToEndPersistentEstimationOnTrajectories) {
+  // The full §II pipeline on trajectory ground truth: 5 periods of records
+  // from a commuter fleet + fresh transients; the point persistent
+  // estimate at a hub must track commuters_through(hub) - including
+  // pass-through traffic the OD matrix can't see.
+  const MobilityModel model(network_, demand_, 400, encoding_, rng_);
+
+  // Pick the zone the most commuters traverse as the measurement point.
+  std::size_t hub = 0;
+  for (std::size_t z = 1; z < network_.zone_count(); ++z) {
+    if (model.commuters_through(z) > model.commuters_through(hub)) hub = z;
+  }
+  const auto truth = static_cast<double>(model.commuters_through(hub));
+  ASSERT_GT(truth, 50.0);
+
+  std::vector<std::size_t> sizes(network_.zone_count(), 16384);
+  std::vector<Bitmap> hub_records;
+  for (int period = 0; period < 5; ++period) {
+    const PeriodTraffic day = model.sample_period(2000, rng_);
+    auto records = build_period_records(model, day, sizes, encoding_);
+    hub_records.push_back(std::move(records[hub]));
+  }
+  const auto est = estimate_point_persistent(hub_records);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LT(relative_error(est->n_star, truth), 0.25)
+      << "hub " << hub << " truth " << truth << " est " << est->n_star;
+}
+
+TEST_F(MobilityTest, P2PEstimationBetweenRouteZones) {
+  const MobilityModel model(network_, demand_, 500, encoding_, rng_);
+  // Use the two most-traversed zones; their pairwise persistent truth is
+  // known exactly from the routes.
+  std::vector<std::pair<std::size_t, std::size_t>> ranked;
+  for (std::size_t z = 0; z < network_.zone_count(); ++z) {
+    ranked.emplace_back(model.commuters_through(z), z);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  const std::size_t zone_a = ranked[0].second;
+  const std::size_t zone_b = ranked[1].second;
+  const auto truth =
+      static_cast<double>(model.commuters_through_both(zone_a, zone_b));
+  ASSERT_GT(truth, 20.0);
+
+  std::vector<std::size_t> sizes(network_.zone_count(), 16384);
+  std::vector<Bitmap> records_a, records_b;
+  for (int period = 0; period < 5; ++period) {
+    const PeriodTraffic day = model.sample_period(1500, rng_);
+    auto records = build_period_records(model, day, sizes, encoding_);
+    records_a.push_back(std::move(records[zone_a]));
+    records_b.push_back(std::move(records[zone_b]));
+  }
+  PointToPointOptions options;
+  options.s = encoding_.s;
+  const auto est = estimate_p2p_persistent(records_a, records_b, options);
+  ASSERT_TRUE(est.has_value());
+  // p2p over small bitmaps is noisy; assert the estimate is in the right
+  // ballpark (well above zero, well below the fleet size).
+  EXPECT_GT(est->n_double_prime, truth * 0.4);
+  EXPECT_LT(est->n_double_prime, truth * 1.9);
+}
+
+}  // namespace
+}  // namespace ptm

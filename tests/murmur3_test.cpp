@@ -1,0 +1,78 @@
+// Tests for hash/murmur3.hpp against the reference smhasher vectors plus
+// structural properties the encoder relies on.
+#include "hash/murmur3.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string_view>
+
+namespace ptm {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Murmur3x86_32, ReferenceVectors) {
+  EXPECT_EQ(murmur3_32({}, 0), 0u);
+  EXPECT_EQ(murmur3_32({}, 1), 0x514E28B7u);
+  EXPECT_EQ(murmur3_32({}, 0xFFFFFFFFu), 0x81F16F39u);
+  EXPECT_EQ(murmur3_32(bytes_of("test"), 0), 0xBA6BD213u);
+  EXPECT_EQ(murmur3_32(bytes_of("Hello, world!"), 0), 0xC0363E43u);
+}
+
+TEST(Murmur3x64_128, ReferenceVector) {
+  const auto h = murmur3_x64_128(bytes_of("hello"), 0);
+  EXPECT_EQ(h[0], 0xCBD8A7B341BD9B02ULL);
+  EXPECT_EQ(h[1], 0x5B1E906A48AE1D19ULL);
+}
+
+TEST(Murmur3x64_128, EmptyInputSeedZeroIsZero) {
+  const auto h = murmur3_x64_128({}, 0);
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[1], 0u);
+}
+
+TEST(Murmur3, AllTailLengthsProduceDistinctHashes) {
+  // Exercise every tail-switch branch (1..16 residual bytes).
+  std::uint8_t buf[48];
+  for (int i = 0; i < 48; ++i) buf[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  std::set<std::uint64_t> seen;
+  for (std::size_t len = 0; len <= 48; ++len) {
+    seen.insert(murmur3_64(std::span<const std::uint8_t>(buf, len), 42));
+  }
+  EXPECT_EQ(seen.size(), 49u);
+}
+
+TEST(Murmur3, SeedChangesOutput) {
+  const std::uint64_t a = murmur3_64(std::uint64_t{12345}, 0);
+  const std::uint64_t b = murmur3_64(std::uint64_t{12345}, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Murmur3, DeterministicAcrossCalls) {
+  for (std::uint64_t v : {0ULL, 1ULL, ~0ULL, 0xDEADBEEFULL}) {
+    EXPECT_EQ(murmur3_64(v, 7), murmur3_64(v, 7));
+  }
+}
+
+TEST(Murmur3, U64OverloadMatchesByteSpan) {
+  const std::uint64_t value = 0x0123456789ABCDEFULL;
+  std::uint8_t le[8];
+  std::memcpy(le, &value, 8);
+  EXPECT_EQ(murmur3_64(value, 99),
+            murmur3_64(std::span<const std::uint8_t>(le, 8), 99));
+}
+
+TEST(Murmur3, NoTrivialCollisionsOnSequentialInputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t v = 0; v < 100000; ++v) {
+    seen.insert(murmur3_64(v, 0));
+  }
+  EXPECT_EQ(seen.size(), 100000u);  // 64-bit collisions would be astronomical
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,167 @@
+// Extreme-value numerics across the estimator stack: the regimes a
+// deployment hits when planning goes wrong (bitmaps far too small or far
+// too large, persistent fraction near 1, a single vehicle, giant m').
+// Every estimate must stay finite, non-negative, and - where the input is
+// informative - sane.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "core/corridor_persistent.hpp"
+#include "core/kway_persistent.hpp"
+#include "core/linear_counting.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/point_persistent.hpp"
+#include "core/privacy.hpp"
+#include "core/traffic_record.hpp"
+#include "traffic/workload.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(Numerics, LinearCountingMinimumBitmap) {
+  // m = 2, every state.
+  Bitmap empty(2);
+  EXPECT_DOUBLE_EQ(estimate_cardinality(empty).value, 0.0);
+  Bitmap one(2);
+  one.set(0);
+  EXPECT_NEAR(estimate_cardinality(one).value, 1.0, 1e-9);
+  Bitmap full(2);
+  full.set(0);
+  full.set(1);
+  const auto saturated = estimate_cardinality(full);
+  EXPECT_EQ(saturated.outcome, EstimateOutcome::kSaturated);
+  EXPECT_TRUE(std::isfinite(saturated.value));
+}
+
+TEST(Numerics, LinearCountingHugeSparseBitmap) {
+  // 2^24 bits, 10 ones: the log1p path must not lose the tiny signal.
+  Bitmap b(1 << 24);
+  for (std::size_t i = 0; i < 10; ++i) b.set(i * 997);
+  EXPECT_NEAR(estimate_cardinality(b).value, 10.0, 0.01);
+}
+
+TEST(Numerics, PointPersistentFractionNearOne) {
+  // Nearly ALL traffic is persistent (n* = volume): V_*1 is large and the
+  // Eq. 12 log argument approaches V_a0 + V_b0 - small; must stay stable.
+  Xoshiro256 rng(1);
+  const EncodingParams encoding;
+  constexpr std::size_t kNStar = 4000;
+  const auto common = make_vehicles(kNStar, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(5, 4000);  // zero transients
+  const auto records =
+      generate_point_records(volumes, common, 0xA, 2.0, encoding, rng);
+  const auto est = estimate_point_persistent(records);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_TRUE(std::isfinite(est->n_star));
+  EXPECT_NEAR(est->n_star, kNStar, kNStar * 0.05);
+}
+
+TEST(Numerics, PointPersistentSingleVehicle) {
+  Xoshiro256 rng(2);
+  const EncodingParams encoding;
+  const auto common = make_vehicles(1, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(4, 3000);
+  const auto records =
+      generate_point_records(volumes, common, 0xA, 2.0, encoding, rng);
+  const auto est = estimate_point_persistent(records);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GE(est->n_star, 0.0);
+  EXPECT_LT(est->n_star, 100.0);  // 1 vehicle, noise-dominated but bounded
+}
+
+TEST(Numerics, PointPersistentUnderplannedBitmaps) {
+  // f = 0.25: bitmaps 4x too small - heavy collision territory.  Estimates
+  // may be rough but must be finite, non-negative, and flagged at worst.
+  Xoshiro256 rng(3);
+  const EncodingParams encoding;
+  const auto common = make_vehicles(500, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(5, 8000);
+  const auto records =
+      generate_point_records(volumes, common, 0xA, 0.25, encoding, rng);
+  const auto est = estimate_point_persistent(records);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_TRUE(std::isfinite(est->n_star));
+  EXPECT_GE(est->n_star, 0.0);
+}
+
+TEST(Numerics, P2PGiantMPrime) {
+  // m' = 2^22 with modest traffic: Eq. 21's s·m' multiplier is ~1.2e7 -
+  // the log difference is tiny and must not collapse to 0 or blow up.
+  Xoshiro256 rng(4);
+  const EncodingParams encoding;
+  constexpr std::size_t kNpp = 2000;
+  const auto common = make_vehicles(kNpp, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes_l(5, 4000);
+  const std::vector<std::uint64_t> volumes_lp(5, 1'500'000);
+  const auto records =
+      generate_p2p_records(volumes_l, volumes_lp, common, 0xA, 0xB, 2.0,
+                           encoding, rng);
+  PointToPointOptions options;
+  options.s = encoding.s;
+  const auto est = estimate_p2p_persistent(records.at_l,
+                                           records.at_l_prime, options);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->m_prime, 1u << 22);
+  EXPECT_TRUE(std::isfinite(est->n_double_prime));
+  EXPECT_NEAR(est->n_double_prime, kNpp, kNpp * 0.5);
+}
+
+TEST(Numerics, KwayBisectionConvergesOnFlatObjective) {
+  // All records identical -> every group join identical -> the objective
+  // is extremely flat near the root; bisection must still terminate and
+  // produce a finite estimate.
+  Bitmap b(1024);
+  for (std::size_t i = 0; i < 300; ++i) b.set((i * 7919) % 1024);
+  const std::vector<Bitmap> records(6, b);
+  const auto est = estimate_point_persistent_kway(records, 3);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_TRUE(std::isfinite(est->n_star));
+}
+
+TEST(Numerics, CorridorWithExtremeSizeSpread) {
+  // m from 2^6 to 2^20 in one corridor.
+  std::vector<std::size_t> sizes = {64, 4096, 1u << 20};
+  const auto log_b = corridor_log_b(sizes, 3);
+  ASSERT_TRUE(log_b.has_value());
+  EXPECT_GT(*log_b, 0.0);
+  EXPECT_TRUE(std::isfinite(*log_b));
+}
+
+TEST(Numerics, PrivacyExtremes) {
+  // Saturating traffic: the survive probability underflows to 0, noise -> 1
+  // and information -> 0; the documented contract is ratio = +infinity
+  // (perfect deniability - every bit is set regardless of the target).
+  const PrivacyPoint heavy = privacy_point(1e7, 1024, 3);
+  EXPECT_GT(heavy.noise, 0.999);
+  EXPECT_TRUE(std::isinf(heavy.ratio));
+  // One vehicle, huge bitmap: noise ~ 1/m', ratio ~ s/m' - tiny.
+  const PrivacyPoint light = privacy_point(1, 1 << 20, 3);
+  EXPECT_LT(light.ratio, 1e-4);
+  EXPECT_GT(light.ratio, 0.0);
+}
+
+TEST(Numerics, PlannerBoundaries) {
+  EXPECT_EQ(plan_bitmap_size(1.0, 1.0), 1u);
+  EXPECT_EQ(plan_bitmap_size(1.0, 0.001), 1u);
+  // Exact powers of two stay put; +epsilon doubles.
+  EXPECT_EQ(plan_bitmap_size(1 << 20, 1.0), 1u << 20);
+  EXPECT_EQ(plan_bitmap_size((1 << 20) + 1, 1.0), 1u << 21);
+}
+
+TEST(Numerics, RelativeStderrModelExtremes) {
+  // Light-load limit: e^t − t − 1 -> t²/2, so the relative stderr tends to
+  // 1/sqrt(2m) - linear counting is RELATIVELY most accurate when sparse.
+  const double m = 1 << 20;
+  EXPECT_NEAR(linear_counting_relative_stderr(1.0, m),
+              1.0 / std::sqrt(2.0 * m), 1e-6);
+  // It grows monotonically with load at fixed m...
+  EXPECT_LT(linear_counting_relative_stderr(1e4, m),
+            linear_counting_relative_stderr(1e6, m));
+  // ...and stays finite well past the planning point.
+  EXPECT_TRUE(std::isfinite(linear_counting_relative_stderr(5e6, m)));
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,299 @@
+// Tests for core/p2p_persistent.hpp: the Eq. 21 estimator (paper §IV).
+#include "core/p2p_persistent.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/stats.hpp"
+#include "traffic/workload.hpp"
+
+namespace ptm {
+namespace {
+
+constexpr std::uint64_t kL = 0xAAA;
+constexpr std::uint64_t kLPrime = 0xBBB;
+
+P2PRecordSet make_records(std::size_t t, std::size_t n_pp,
+                          std::uint64_t volume_l, std::uint64_t volume_lp,
+                          double f, Xoshiro256& rng,
+                          bool same_size = false) {
+  const EncodingParams encoding;
+  const auto common = make_vehicles(n_pp, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes_l(t, volume_l);
+  const std::vector<std::uint64_t> volumes_lp(t, volume_lp);
+  return generate_p2p_records(volumes_l, volumes_lp, common, kL, kLPrime, f,
+                              encoding, rng, same_size);
+}
+
+PointToPointOptions default_options() {
+  PointToPointOptions o;
+  o.s = EncodingParams{}.s;
+  return o;
+}
+
+TEST(P2PPersistent, RejectsEmptyInputs) {
+  std::vector<Bitmap> some;
+  some.emplace_back(64);
+  EXPECT_FALSE(estimate_p2p_persistent({}, some, default_options()).has_value());
+  EXPECT_FALSE(estimate_p2p_persistent(some, {}, default_options()).has_value());
+}
+
+TEST(P2PPersistent, RejectsBadSizesAndS) {
+  std::vector<Bitmap> good, bad;
+  good.emplace_back(64);
+  bad.emplace_back(100);
+  EXPECT_FALSE(
+      estimate_p2p_persistent(good, bad, default_options()).has_value());
+  PointToPointOptions zero_s;
+  zero_s.s = 0;
+  EXPECT_FALSE(estimate_p2p_persistent(good, good, zero_s).has_value());
+}
+
+TEST(P2PPersistent, DiagnosticsPopulatedAndOrdered) {
+  Xoshiro256 rng(1);
+  const auto records = make_records(5, 400, 3000, 9000, 2.0, rng);
+  const auto est = estimate_p2p_persistent(records.at_l,
+                                           records.at_l_prime,
+                                           default_options());
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LE(est->m, est->m_prime);            // normalized m <= m'
+  EXPECT_EQ(est->m, 8192u);                   // plan(3000, 2)
+  EXPECT_EQ(est->m_prime, 32768u);            // plan(9000, 2)
+  EXPECT_GT(est->v0, 0.0);
+  EXPECT_GT(est->v0_prime, 0.0);
+  // OR only adds ones: V''_0 <= min(V_0, V'_0).
+  EXPECT_LE(est->v0_double_prime, est->v0 + 1e-12);
+  EXPECT_LE(est->v0_double_prime, est->v0_prime + 1e-12);
+  EXPECT_GT(est->n, 0.0);
+  EXPECT_GT(est->n_prime, 0.0);
+}
+
+TEST(P2PPersistent, AccurateAtModerateVolumes) {
+  Xoshiro256 rng(2);
+  RunningStats err;
+  constexpr std::size_t kNpp = 1000;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto records = make_records(5, kNpp, 6000, 6000, 2.0, rng);
+    const auto est = estimate_p2p_persistent(records.at_l,
+                                             records.at_l_prime,
+                                             default_options());
+    ASSERT_TRUE(est.has_value());
+    err.add(relative_error(est->n_double_prime, kNpp));
+  }
+  EXPECT_LT(err.mean(), 0.10);
+}
+
+TEST(P2PPersistent, SymmetricUnderLocationSwap) {
+  // m <= m' normalization: swapping the argument order changes nothing.
+  Xoshiro256 rng(3);
+  const auto records = make_records(5, 600, 3000, 9000, 2.0, rng);
+  const auto a = estimate_p2p_persistent(records.at_l, records.at_l_prime,
+                                         default_options());
+  const auto b = estimate_p2p_persistent(records.at_l_prime, records.at_l,
+                                         default_options());
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_DOUBLE_EQ(a->n_double_prime, b->n_double_prime);
+  EXPECT_EQ(a->m, b->m);
+  EXPECT_EQ(a->m_prime, b->m_prime);
+}
+
+TEST(P2PPersistent, ZeroCommonStaysSmall) {
+  Xoshiro256 rng(4);
+  RunningStats est_stats;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto records = make_records(5, 0, 6000, 6000, 2.0, rng);
+    const auto est = estimate_p2p_persistent(records.at_l,
+                                             records.at_l_prime,
+                                             default_options());
+    ASSERT_TRUE(est.has_value());
+    EXPECT_GE(est->n_double_prime, 0.0);
+    est_stats.add(est->n_double_prime);
+  }
+  EXPECT_LT(est_stats.mean(), 300.0);  // small vs the 6000 per-period flow
+}
+
+TEST(P2PPersistent, ExactLogOptionAgreesForLargeM) {
+  Xoshiro256 rng(5);
+  const auto records = make_records(5, 800, 8000, 8000, 2.0, rng);
+  PointToPointOptions approx = default_options();
+  PointToPointOptions exact = default_options();
+  exact.exact_log = true;
+  const auto a = estimate_p2p_persistent(records.at_l, records.at_l_prime,
+                                         approx);
+  const auto b = estimate_p2p_persistent(records.at_l, records.at_l_prime,
+                                         exact);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  // ln(1+x) ≈ x at x ~ 1/(3·32768): agreement to ~x/2 relative.
+  EXPECT_NEAR(a->n_double_prime / b->n_double_prime, 1.0, 1e-4);
+}
+
+TEST(P2PPersistent, SameSizeBenchmarkDegradesWhenVolumesDiffer) {
+  // Table I last row: forcing m' = m at a much busier L' wrecks accuracy.
+  Xoshiro256 rng(6);
+  RunningStats err_planned, err_same;
+  constexpr std::size_t kNpp = 300;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto planned = make_records(5, kNpp, 2500, 40000, 2.0, rng);
+    const auto est_planned = estimate_p2p_persistent(
+        planned.at_l, planned.at_l_prime, default_options());
+    const auto same = make_records(5, kNpp, 2500, 40000, 2.0, rng, true);
+    const auto est_same = estimate_p2p_persistent(
+        same.at_l, same.at_l_prime, default_options());
+    ASSERT_TRUE(est_planned.has_value() && est_same.has_value());
+    err_planned.add(relative_error(est_planned->n_double_prime, kNpp));
+    err_same.add(relative_error(est_same->n_double_prime, kNpp));
+  }
+  EXPECT_LT(err_planned.mean(), 0.25);
+  EXPECT_GT(err_same.mean(), 2.0 * err_planned.mean());
+}
+
+TEST(P2PPersistent, UnequalBitmapSizesHandledViaSecondLevelExpansion) {
+  // m'/m up to 16 as in Table I's last column.
+  Xoshiro256 rng(7);
+  RunningStats err;
+  constexpr std::size_t kNpp = 150;
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto records = make_records(6, kNpp, 2048, 32000, 2.0, rng);
+    const auto est = estimate_p2p_persistent(records.at_l,
+                                             records.at_l_prime,
+                                             default_options());
+    ASSERT_TRUE(est.has_value());
+    EXPECT_EQ(est->m_prime / est->m, 16u);
+    err.add(relative_error(est->n_double_prime, kNpp));
+  }
+  EXPECT_LT(err.mean(), 0.35);
+}
+
+TEST(P2PPersistent, EstimateNeverNegativeOrNan) {
+  Xoshiro256 rng(8);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto records = make_records(3, 2, 64, 64, 1.0, rng);
+    const auto est = estimate_p2p_persistent(records.at_l,
+                                             records.at_l_prime,
+                                             default_options());
+    ASSERT_TRUE(est.has_value());
+    EXPECT_GE(est->n_double_prime, 0.0);
+    EXPECT_TRUE(std::isfinite(est->n_double_prime));
+  }
+}
+
+TEST(P2PPersistent, SaturatedFirstLevelFlagged) {
+  std::vector<Bitmap> saturated, normal;
+  Bitmap full(4);
+  for (std::size_t i = 0; i < 4; ++i) full.set(i);
+  saturated.push_back(full);
+  Bitmap half(8);
+  half.set(0);
+  normal.push_back(half);
+  const auto est =
+      estimate_p2p_persistent(saturated, normal, default_options());
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->outcome, EstimateOutcome::kSaturated);
+  EXPECT_TRUE(std::isfinite(est->n_double_prime));
+}
+
+/// Property grid: the estimator stays sane (non-negative, finite, roughly
+/// calibrated) across the full (volume ratio, s, t) parameter space.
+struct P2PGridCase {
+  std::uint64_t volume_l;
+  std::uint64_t volume_lp;
+  std::size_t s;
+  std::size_t t;
+};
+
+class P2PGrid : public ::testing::TestWithParam<P2PGridCase> {};
+
+TEST_P(P2PGrid, CalibratedAcrossParameterSpace) {
+  const P2PGridCase& c = GetParam();
+  EncodingParams encoding;
+  encoding.s = c.s;
+  PointToPointOptions options;
+  options.s = c.s;
+  const auto n_pp = static_cast<std::size_t>(
+      std::min(c.volume_l, c.volume_lp) / 5);
+  RunningStats err;
+  for (int trial = 0; trial < 15; ++trial) {
+    Xoshiro256 rng(static_cast<std::uint64_t>(
+        c.volume_l * 131 + c.volume_lp * 31 + c.s * 7 + c.t +
+        static_cast<std::uint64_t>(trial) * 104729));
+    const auto common = make_vehicles(n_pp, c.s, rng);
+    const std::vector<std::uint64_t> volumes_l(c.t, c.volume_l);
+    const std::vector<std::uint64_t> volumes_lp(c.t, c.volume_lp);
+    const auto records = generate_p2p_records(volumes_l, volumes_lp, common,
+                                              kL, kLPrime, 2.0, encoding,
+                                              rng);
+    const auto est = estimate_p2p_persistent(records.at_l,
+                                             records.at_l_prime, options);
+    ASSERT_TRUE(est.has_value());
+    ASSERT_GE(est->n_double_prime, 0.0);
+    ASSERT_TRUE(std::isfinite(est->n_double_prime));
+    err.add(relative_error(est->n_double_prime, static_cast<double>(n_pp)));
+  }
+  // Calibration band: generous but failing-is-a-bug (20% of n'' at these
+  // volumes covers every cell with margin; typical cells sit under 10%).
+  EXPECT_LT(err.mean(), 0.35)
+      << "vol=" << c.volume_l << "/" << c.volume_lp << " s=" << c.s
+      << " t=" << c.t;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterSpace, P2PGrid,
+    ::testing::Values(P2PGridCase{4000, 4000, 3, 5},
+                      P2PGridCase{2048, 32000, 3, 5},   // m'/m = 16
+                      P2PGridCase{4000, 4000, 1, 5},    // no privacy
+                      P2PGridCase{4000, 4000, 8, 5},    // heavy privacy
+                      P2PGridCase{4000, 4000, 3, 1},    // single period
+                      P2PGridCase{4000, 4000, 3, 12},   // long horizon
+                      P2PGridCase{9000, 3000, 5, 7},
+                      P2PGridCase{2100, 2100, 2, 3}));
+
+TEST(P2PPersistent, SinglePeriodIsThePriorArtProblem) {
+  // t = 1 is exactly the prior point-to-point measurement problem
+  // ([15], [16]): no persistence filtering, just the cross-location join.
+  Xoshiro256 rng(99);
+  RunningStats err;
+  constexpr std::size_t kNpp = 1500;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto records = make_records(1, kNpp, 8000, 8000, 2.0, rng);
+    const auto est = estimate_p2p_persistent(records.at_l,
+                                             records.at_l_prime,
+                                             default_options());
+    ASSERT_TRUE(est.has_value());
+    err.add(relative_error(est->n_double_prime, kNpp));
+  }
+  // Single-period p2p carries Eq. 21's full s*m' noise amplification
+  // (no AND filtering), so the band is wider than the t = 5 cases.
+  EXPECT_LT(err.mean(), 0.20);
+}
+
+TEST(P2PPersistent, LargerSMeansNoisierEstimate) {
+  // Ablation of the s tradeoff (§VI-C): estimation degrades as s grows
+  // because cross-location bit agreement weakens.
+  RunningStats err_s2, err_s8;
+  constexpr std::size_t kNpp = 200;
+  for (int trial = 0; trial < 40; ++trial) {
+    for (std::size_t s : {2u, 8u}) {
+      Xoshiro256 rng(9000 + trial);  // same traffic, different s
+      EncodingParams encoding;
+      encoding.s = s;
+      const auto common = make_vehicles(kNpp, s, rng);
+      const std::vector<std::uint64_t> volumes(5, 6000);
+      const auto records = generate_p2p_records(
+          volumes, volumes, common, kL, kLPrime, 2.0, encoding, rng);
+      PointToPointOptions options;
+      options.s = s;
+      const auto est = estimate_p2p_persistent(records.at_l,
+                                               records.at_l_prime, options);
+      ASSERT_TRUE(est.has_value());
+      (s == 2 ? err_s2 : err_s8)
+          .add(relative_error(est->n_double_prime, kNpp));
+    }
+  }
+  EXPECT_LT(err_s2.mean(), err_s8.mean());
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,110 @@
+// Tests for core/privacy.hpp: Eqs. 22-24 and the published Table II values.
+#include "core/privacy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ptm {
+namespace {
+
+TEST(Privacy, NoiseFormulaEq22) {
+  // p = 1 - (1 - 1/m')^{n'}.
+  const PrivacyPoint pt = privacy_point(1000, 2000, 3);
+  EXPECT_NEAR(pt.noise, 1.0 - std::pow(1.0 - 1.0 / 2000.0, 1000), 1e-12);
+}
+
+TEST(Privacy, InformationFormulaEq23) {
+  // p' - p = (1 - p)/s.
+  for (std::size_t s : {1u, 2u, 3u, 5u}) {
+    const PrivacyPoint pt = privacy_point(5000, 16384, s);
+    EXPECT_NEAR(pt.information, (1.0 - pt.noise) / static_cast<double>(s),
+                1e-12);
+  }
+}
+
+TEST(Privacy, RatioIsNoiseOverInformation) {
+  const PrivacyPoint pt = privacy_point(8000, 16384, 3);
+  EXPECT_NEAR(pt.ratio, pt.noise / pt.information, 1e-12);
+}
+
+TEST(Privacy, ZeroTrafficMeansZeroNoise) {
+  const PrivacyPoint pt = privacy_point(0, 1024, 3);
+  EXPECT_DOUBLE_EQ(pt.noise, 0.0);
+  EXPECT_DOUBLE_EQ(pt.ratio, 0.0);
+}
+
+TEST(Privacy, MonotoneInParameters) {
+  // More traffic at L' -> more noise -> better privacy; bigger bitmap ->
+  // less noise; bigger s -> less information -> better ratio.
+  EXPECT_LT(privacy_point(1000, 16384, 3).ratio,
+            privacy_point(8000, 16384, 3).ratio);
+  EXPECT_GT(privacy_point(8000, 16384, 3).ratio,
+            privacy_point(8000, 65536, 3).ratio);
+  EXPECT_LT(privacy_point(8000, 16384, 2).ratio,
+            privacy_point(8000, 16384, 5).ratio);
+}
+
+TEST(Privacy, Table2NoiseRow) {
+  // The published p row: depends only on f.
+  EXPECT_NEAR(table2_noise(1.0), 0.6321, 5e-5);
+  EXPECT_NEAR(table2_noise(1.5), 0.4866, 5e-5);
+  EXPECT_NEAR(table2_noise(2.0), 0.3935, 5e-5);
+  EXPECT_NEAR(table2_noise(2.5), 0.3297, 5e-5);
+  EXPECT_NEAR(table2_noise(3.0), 0.2835, 5e-5);
+  EXPECT_NEAR(table2_noise(3.5), 0.2485, 5e-5);
+  EXPECT_NEAR(table2_noise(4.0), 0.2212, 5e-5);
+}
+
+TEST(Privacy, Table2RatioGrid) {
+  // All 28 published cells of Table II, to the table's 4 decimals.
+  const double expected[4][7] = {
+      {3.4368, 1.8956, 1.2975, 0.9837, 0.7912, 0.6614, 0.5681},
+      {5.1553, 2.8433, 1.9462, 1.4755, 1.1869, 0.9922, 0.8520},
+      {6.8737, 3.7911, 2.5950, 1.9673, 1.5825, 1.3229, 1.1361},
+      {8.5921, 4.7389, 3.2437, 2.4592, 1.9781, 1.6536, 1.4201}};
+  const double f_values[7] = {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
+  for (int si = 0; si < 4; ++si) {
+    const std::size_t s = static_cast<std::size_t>(si + 2);
+    for (int fi = 0; fi < 7; ++fi) {
+      // Tolerance: the paper prints 4 decimals (one cell, 0.852, only 3).
+      EXPECT_NEAR(table2_ratio(s, f_values[fi]), expected[si][fi], 1e-4)
+          << "s=" << s << " f=" << f_values[fi];
+    }
+  }
+}
+
+TEST(Privacy, Table2RatioScalesLinearlyInS) {
+  for (double f : {1.0, 2.0, 4.0}) {
+    EXPECT_NEAR(table2_ratio(4, f), 2.0 * table2_ratio(2, f), 1e-12);
+  }
+}
+
+TEST(Privacy, Table2IsEq24AtTheSyntheticWorkloadScale) {
+  // The published table is Eq. 24 evaluated at n' = 10000, m' = f·n' (the
+  // §VI-B workload's maximum volume) - table2_* must agree with
+  // privacy_point exactly, and approach the closed form s·(e^{1/f} − 1)
+  // from above as n' grows.
+  const double f = 2.0;
+  const PrivacyPoint at_table_scale =
+      privacy_point(kTable2NPrime, f * kTable2NPrime, 3);
+  EXPECT_DOUBLE_EQ(table2_ratio(3, f), at_table_scale.ratio);
+  EXPECT_DOUBLE_EQ(table2_noise(f), table2_noise(f));
+
+  const double closed_form = 3.0 * (std::exp(1.0 / f) - 1.0);
+  EXPECT_GT(table2_ratio(3, f), closed_form);
+  EXPECT_NEAR(table2_ratio(3, f), closed_form, closed_form * 1e-4);
+  const PrivacyPoint huge = privacy_point(1e8, f * 1e8, 3);
+  EXPECT_NEAR(huge.ratio, closed_form, closed_form * 1e-7);
+}
+
+TEST(Privacy, PaperOperatingPointHasRatioAboveOne) {
+  // The paper recommends f = 2, s = 3 with ratio ~1.95 and p ~0.39: noise
+  // outweighs information 2:1.
+  EXPECT_GT(table2_ratio(3, 2.0), 1.9);
+  EXPECT_LT(table2_ratio(3, 2.0), 2.0);
+  EXPECT_NEAR(table2_noise(2.0), 0.3935, 1e-4);
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,168 @@
+// Tests for store/record_log.hpp: the on-disk archive, including torn-tail
+// and corruption recovery.
+#include "store/record_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.hpp"
+
+namespace ptm {
+namespace {
+
+class RecordLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ptm_record_log_" +
+            std::to_string(counter_++) + ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  static TrafficRecord make_record(std::uint64_t location,
+                                   std::uint64_t period, std::size_t m,
+                                   std::uint64_t seed) {
+    TrafficRecord rec;
+    rec.location = location;
+    rec.period = period;
+    rec.bits = Bitmap(m);
+    Xoshiro256 rng(seed);
+    for (std::size_t i = 0; i < m / 4; ++i) {
+      rec.bits.set(rng.below(m));
+    }
+    return rec;
+  }
+
+  std::string path_;
+  static int counter_;
+};
+
+int RecordLogTest::counter_ = 0;
+
+TEST_F(RecordLogTest, WriteThenReadRoundTrip) {
+  auto writer = RecordLogWriter::open(path_);
+  ASSERT_TRUE(writer.has_value());
+  std::vector<TrafficRecord> originals;
+  for (int i = 0; i < 10; ++i) {
+    originals.push_back(make_record(7, static_cast<std::uint64_t>(i),
+                                    1u << (6 + i % 4),
+                                    static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(writer->append(originals.back()).is_ok());
+  }
+  const auto contents = read_record_log(path_);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_FALSE(contents->truncated_tail);
+  ASSERT_EQ(contents->records.size(), originals.size());
+  for (std::size_t i = 0; i < originals.size(); ++i) {
+    EXPECT_EQ(contents->records[i], originals[i]);
+  }
+}
+
+TEST_F(RecordLogTest, ReopenAppendsAfterExistingRecords) {
+  {
+    auto writer = RecordLogWriter::open(path_);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->append(make_record(1, 0, 64, 1)).is_ok());
+  }
+  {
+    auto writer = RecordLogWriter::open(path_);
+    ASSERT_TRUE(writer.has_value());
+    ASSERT_TRUE(writer->append(make_record(1, 1, 64, 2)).is_ok());
+  }
+  const auto contents = read_record_log(path_);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[1].period, 1u);
+}
+
+TEST_F(RecordLogTest, RejectsInvalidRecords) {
+  auto writer = RecordLogWriter::open(path_);
+  ASSERT_TRUE(writer.has_value());
+  TrafficRecord bad;
+  bad.bits = Bitmap(100);  // not a power of two
+  EXPECT_EQ(writer->append(bad).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RecordLogTest, MissingFileIsNotFound) {
+  EXPECT_EQ(read_record_log(path_).status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RecordLogTest, WrongMagicRejectedByReaderAndWriter) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "NOTALOG1 and some bytes";
+  }
+  EXPECT_EQ(read_record_log(path_).status().code(), ErrorCode::kParseError);
+  EXPECT_EQ(RecordLogWriter::open(path_).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(RecordLogTest, TornTailKeepsIntactPrefix) {
+  auto writer = RecordLogWriter::open(path_);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->append(make_record(1, 0, 128, 1)).is_ok());
+  ASSERT_TRUE(writer->append(make_record(1, 1, 128, 2)).is_ok());
+
+  // Simulate a crash mid-append: chop bytes off the end.
+  std::ifstream in(path_, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.close();
+  std::vector<char> bytes(size);
+  std::ifstream(path_, std::ios::binary).read(bytes.data(),
+                                              static_cast<std::streamsize>(size));
+  std::ofstream(path_, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(size - 5));
+
+  const auto contents = read_record_log(path_);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_TRUE(contents->truncated_tail);
+  EXPECT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0].period, 0u);
+}
+
+TEST_F(RecordLogTest, CrcCatchesPayloadCorruption) {
+  auto writer = RecordLogWriter::open(path_);
+  ASSERT_TRUE(writer.has_value());
+  ASSERT_TRUE(writer->append(make_record(1, 0, 128, 1)).is_ok());
+
+  // Flip one byte in the middle of the payload.
+  std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+  file.seekp(30);
+  char byte;
+  file.seekg(30);
+  file.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  file.seekp(30);
+  file.write(&byte, 1);
+  file.close();
+
+  const auto contents = read_record_log(path_);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_TRUE(contents->truncated_tail);
+  EXPECT_EQ(contents->tail_error, "crc mismatch");
+  EXPECT_TRUE(contents->records.empty());
+}
+
+TEST_F(RecordLogTest, EmptyLogReadsEmpty) {
+  ASSERT_TRUE(RecordLogWriter::open(path_).has_value());
+  const auto contents = read_record_log(path_);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_TRUE(contents->records.empty());
+  EXPECT_FALSE(contents->truncated_tail);
+}
+
+TEST_F(RecordLogTest, LargeRecordsSurvive) {
+  auto writer = RecordLogWriter::open(path_);
+  ASSERT_TRUE(writer.has_value());
+  const TrafficRecord big = make_record(9, 0, 1u << 20, 3);
+  ASSERT_TRUE(writer->append(big).is_ok());
+  const auto contents = read_record_log(path_);
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_EQ(contents->records.size(), 1u);
+  EXPECT_EQ(contents->records[0], big);
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,143 @@
+// Tests for traffic/road_network.hpp: graph invariants and Dijkstra
+// correctness (checked against brute-force Bellman-Ford on random graphs).
+#include "traffic/road_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ptm {
+namespace {
+
+RoadNetwork line_of(std::size_t n) {
+  std::vector<double> x(n), y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i);
+  RoadNetwork net(x, y);
+  for (std::size_t i = 0; i + 1 < n; ++i) net.add_road(i, i + 1, 1.0);
+  return net;
+}
+
+TEST(RoadNetwork, BasicShape) {
+  const RoadNetwork net = line_of(5);
+  EXPECT_EQ(net.zone_count(), 5u);
+  EXPECT_EQ(net.road_count(), 4u);
+  EXPECT_TRUE(net.connected());
+  EXPECT_EQ(net.roads_from(0).size(), 1u);
+  EXPECT_EQ(net.roads_from(2).size(), 2u);
+}
+
+TEST(RoadNetwork, DuplicateRoadsIgnored) {
+  RoadNetwork net({0, 1}, {0, 0});
+  net.add_road(0, 1, 1.0);
+  net.add_road(0, 1, 5.0);
+  net.add_road(1, 0, 9.0);
+  EXPECT_EQ(net.road_count(), 1u);
+  EXPECT_DOUBLE_EQ(net.shortest_cost(0, 1).value(), 1.0);
+}
+
+TEST(RoadNetwork, DisconnectedDetected) {
+  RoadNetwork net({0, 1, 2, 3}, {0, 0, 0, 0});
+  net.add_road(0, 1, 1.0);
+  net.add_road(2, 3, 1.0);
+  EXPECT_FALSE(net.connected());
+  EXPECT_EQ(net.shortest_path(0, 3).status().code(), ErrorCode::kNotFound);
+}
+
+TEST(RoadNetwork, ShortestPathOnLine) {
+  const RoadNetwork net = line_of(6);
+  const auto path = net.shortest_path(1, 4);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<std::size_t>{1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(net.shortest_cost(1, 4).value(), 3.0);
+}
+
+TEST(RoadNetwork, TrivialPathToSelf) {
+  const RoadNetwork net = line_of(3);
+  const auto path = net.shortest_path(1, 1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<std::size_t>{1}));
+  EXPECT_DOUBLE_EQ(net.shortest_cost(1, 1).value(), 0.0);
+}
+
+TEST(RoadNetwork, PrefersCheaperDetour) {
+  // Triangle: direct 0-2 costs 10, via 1 costs 2+3 = 5.
+  RoadNetwork net({0, 1, 2}, {0, 1, 0});
+  net.add_road(0, 2, 10.0);
+  net.add_road(0, 1, 2.0);
+  net.add_road(1, 2, 3.0);
+  const auto path = net.shortest_path(0, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(net.shortest_cost(0, 2).value(), 5.0);
+}
+
+TEST(RoadNetwork, DijkstraMatchesBellmanFord) {
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 10; ++trial) {
+    const RoadNetwork net = generate_road_network(20, 3, rng.next());
+    // Bellman-Ford distances from node 0.
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(net.zone_count(), kInf);
+    dist[0] = 0.0;
+    for (std::size_t pass = 0; pass < net.zone_count(); ++pass) {
+      for (std::size_t u = 0; u < net.zone_count(); ++u) {
+        if (dist[u] == kInf) continue;
+        for (const RoadEdge& e : net.roads_from(u)) {
+          dist[e.to] = std::min(dist[e.to], dist[u] + e.cost);
+        }
+      }
+    }
+    for (std::size_t v = 0; v < net.zone_count(); ++v) {
+      const auto cost = net.shortest_cost(0, v);
+      ASSERT_TRUE(cost.has_value());
+      EXPECT_NEAR(*cost, dist[v], 1e-9) << "trial " << trial << " v " << v;
+    }
+  }
+}
+
+TEST(RoadNetwork, PathEndpointsAndContiguity) {
+  const RoadNetwork net = generate_road_network(30, 2, 7);
+  Xoshiro256 rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t a = rng.below(30);
+    const std::size_t b = rng.below(30);
+    const auto path = net.shortest_path(a, b);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->front(), a);
+    EXPECT_EQ(path->back(), b);
+    // Consecutive zones share a road.
+    for (std::size_t i = 0; i + 1 < path->size(); ++i) {
+      bool adjacent = false;
+      for (const RoadEdge& e : net.roads_from((*path)[i])) {
+        adjacent |= (e.to == (*path)[i + 1]);
+      }
+      EXPECT_TRUE(adjacent);
+    }
+  }
+}
+
+TEST(GenerateRoadNetwork, AlwaysConnectedAndDeterministic) {
+  for (std::uint64_t seed : {1ULL, 2ULL, 99ULL}) {
+    const RoadNetwork a = generate_road_network(24, 2, seed);
+    EXPECT_TRUE(a.connected());
+    const RoadNetwork b = generate_road_network(24, 2, seed);
+    EXPECT_EQ(a.road_count(), b.road_count());
+    EXPECT_DOUBLE_EQ(a.shortest_cost(0, 23).value(),
+                     b.shortest_cost(0, 23).value());
+  }
+}
+
+TEST(GenerateRoadNetwork, EdgeCostsAreEuclidean) {
+  const RoadNetwork net = generate_road_network(10, 2, 5);
+  for (std::size_t zone = 0; zone < net.zone_count(); ++zone) {
+    for (const RoadEdge& e : net.roads_from(zone)) {
+      const double dx = net.x_of(zone) - net.x_of(e.to);
+      const double dy = net.y_of(zone) - net.y_of(e.to);
+      EXPECT_NEAR(e.cost, std::sqrt(dx * dx + dy * dy), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptm

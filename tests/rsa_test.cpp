@@ -1,0 +1,147 @@
+// Tests for crypto/rsa.hpp: primality, keygen, and the sign/verify pair the
+// V2I authentication rides on.
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "common/serialize.hpp"
+
+namespace ptm {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(MillerRabin, SmallKnownPrimesAndComposites) {
+  Xoshiro256 rng(1);
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 97ULL, 251ULL, 65537ULL,
+                          1000000007ULL}) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng)) << p;
+  }
+  for (std::uint64_t c : {0ULL, 1ULL, 4ULL, 9ULL, 15ULL, 91ULL, 65535ULL,
+                          1000000008ULL}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(MillerRabin, CarmichaelNumbersRejected) {
+  // Fermat pseudoprimes that fool a^(n-1) tests: 561, 1105, 1729, 41041,
+  // and 825265 (smallest with 5 factors).
+  Xoshiro256 rng(2);
+  for (std::uint64_t c : {561ULL, 1105ULL, 1729ULL, 41041ULL, 825265ULL}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(MillerRabin, LargeKnownPrime) {
+  // 2^89 - 1 is a Mersenne prime; 2^87 - 1 = 3 * ... is composite.
+  Xoshiro256 rng(3);
+  const BigInt m89 = BigInt::sub(BigInt::shl(BigInt(1), 89), BigInt(1));
+  EXPECT_TRUE(is_probable_prime(m89, rng));
+  const BigInt m87 = BigInt::sub(BigInt::shl(BigInt(1), 87), BigInt(1));
+  EXPECT_FALSE(is_probable_prime(m87, rng));
+}
+
+TEST(GeneratePrime, ExactBitLengthAndPrime) {
+  Xoshiro256 rng(4);
+  for (std::size_t bits : {64u, 128u, 256u}) {
+    const BigInt p = generate_prime(bits, rng);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(RsaGenerate, KeyStructure) {
+  Xoshiro256 rng(5);
+  const RsaKeyPair kp = rsa_generate(512, rng);
+  EXPECT_EQ(kp.pub.e, BigInt(65537));
+  EXPECT_GE(kp.pub.modulus_bits(), 511u);
+  EXPECT_LE(kp.pub.modulus_bits(), 512u);
+  EXPECT_FALSE(kp.d.is_zero());
+}
+
+TEST(RsaSignVerify, RoundTrip) {
+  Xoshiro256 rng(6);
+  const RsaKeyPair kp = rsa_generate(512, rng);
+  const auto msg = bytes_of("beacon: L=7 period=12");
+  const auto sig = rsa_sign(kp, msg);
+  EXPECT_EQ(sig.size(), (kp.pub.modulus_bits() + 7) / 8);
+  EXPECT_TRUE(rsa_verify(kp.pub, msg, sig));
+}
+
+TEST(RsaSignVerify, TamperedMessageRejected) {
+  Xoshiro256 rng(7);
+  const RsaKeyPair kp = rsa_generate(512, rng);
+  const auto sig = rsa_sign(kp, bytes_of("original"));
+  EXPECT_FALSE(rsa_verify(kp.pub, bytes_of("0riginal"), sig));
+}
+
+TEST(RsaSignVerify, TamperedSignatureRejected) {
+  Xoshiro256 rng(8);
+  const RsaKeyPair kp = rsa_generate(512, rng);
+  const auto msg = bytes_of("message");
+  auto sig = rsa_sign(kp, msg);
+  for (std::size_t pos : {std::size_t{0}, sig.size() / 2, sig.size() - 1}) {
+    auto bad = sig;
+    bad[pos] ^= 0x01;
+    EXPECT_FALSE(rsa_verify(kp.pub, msg, bad)) << "flip at " << pos;
+  }
+}
+
+TEST(RsaSignVerify, WrongKeyRejected) {
+  Xoshiro256 rng(9);
+  const RsaKeyPair kp1 = rsa_generate(512, rng);
+  const RsaKeyPair kp2 = rsa_generate(512, rng);
+  const auto msg = bytes_of("message");
+  EXPECT_FALSE(rsa_verify(kp2.pub, msg, rsa_sign(kp1, msg)));
+}
+
+TEST(RsaSignVerify, WrongLengthSignatureRejected) {
+  Xoshiro256 rng(10);
+  const RsaKeyPair kp = rsa_generate(512, rng);
+  const auto msg = bytes_of("message");
+  auto sig = rsa_sign(kp, msg);
+  sig.pop_back();
+  EXPECT_FALSE(rsa_verify(kp.pub, msg, sig));
+}
+
+TEST(RsaSignVerify, DeterministicSignature) {
+  // PKCS#1-v1.5-style signing is deterministic: same key + message -> same
+  // signature (lets the protocol tests compare bytes).
+  Xoshiro256 rng(11);
+  const RsaKeyPair kp = rsa_generate(512, rng);
+  const auto msg = bytes_of("deterministic");
+  EXPECT_EQ(rsa_sign(kp, msg), rsa_sign(kp, msg));
+}
+
+TEST(RsaSignVerify, LargerKeysWork) {
+  Xoshiro256 rng(12);
+  const RsaKeyPair kp = rsa_generate(1024, rng);
+  const auto msg = bytes_of("1024-bit modulus");
+  EXPECT_TRUE(rsa_verify(kp.pub, msg, rsa_sign(kp, msg)));
+}
+
+TEST(RsaPublicKey, SerializeRoundTrip) {
+  Xoshiro256 rng(13);
+  const RsaKeyPair kp = rsa_generate(512, rng);
+  const auto bytes = kp.pub.serialize();
+  const auto decoded = RsaPublicKey::deserialize(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, kp.pub);
+}
+
+TEST(RsaPublicKey, DeserializeRejectsGarbage) {
+  const std::vector<std::uint8_t> garbage = {1, 2, 3};
+  EXPECT_FALSE(RsaPublicKey::deserialize(garbage).has_value());
+  // Structurally valid but zero modulus.
+  ByteWriter w;
+  w.bytes({});
+  w.bytes({});
+  EXPECT_FALSE(RsaPublicKey::deserialize(w.buffer()).has_value());
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,133 @@
+// Tests for nodes/rsu.hpp: beaconing, auth service, bit recording, and the
+// period lifecycle.
+#include "nodes/rsu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptm {
+namespace {
+
+class RsuTest : public ::testing::Test {
+ protected:
+  RsuTest() : rng_(9), ca_("ca", 512, rng_) {}
+
+  Rsu make_rsu(std::uint64_t location = 7, std::size_t m = 1024) {
+    RsaKeyPair keys = rsa_generate(512, rng_);
+    Certificate cert = ca_.issue("rsu:" + std::to_string(location), location,
+                                 keys.pub, 0, 1000);
+    return Rsu(location, std::move(keys), std::move(cert), m);
+  }
+
+  Xoshiro256 rng_;
+  CertificateAuthority ca_;
+};
+
+TEST_F(RsuTest, BeaconCarriesProtocolParameters) {
+  Rsu rsu = make_rsu(7, 2048);
+  const Frame beacon = rsu.make_beacon();
+  EXPECT_EQ(beacon.dst, broadcast_mac());
+  const auto& b = std::get<Beacon>(beacon.body);
+  EXPECT_EQ(b.location, 7u);
+  EXPECT_EQ(b.period, 0u);
+  EXPECT_EQ(b.bitmap_size, 2048u);
+  EXPECT_TRUE(verify_certificate(b.certificate, ca_.public_key(), 0).is_ok());
+}
+
+TEST_F(RsuTest, AuthRequestGetsValidSignature) {
+  Rsu rsu = make_rsu();
+  Frame req{MacAddress{0x999}, broadcast_mac(), AuthRequest{12345}};
+  const auto resp = rsu.handle_frame(req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->dst.value, 0x999u);  // addressed back to the one-time MAC
+  const auto& body = std::get<AuthResponse>(resp->body);
+  EXPECT_EQ(body.nonce, 12345u);
+  const Frame beacon = rsu.make_beacon();
+  const auto& cert = std::get<Beacon>(beacon.body).certificate;
+  EXPECT_TRUE(rsa_verify(cert.subject_key, auth_transcript(12345, 7, 0),
+                         body.signature));
+}
+
+TEST_F(RsuTest, EncodeIndexSetsBitAndAcks) {
+  Rsu rsu = make_rsu(7, 1024);
+  Frame enc{MacAddress{0x5}, broadcast_mac(), EncodeIndex{100}};
+  const auto ack = rsu.handle_frame(enc);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(ack->type(), MessageType::kEncodeAck);
+  EXPECT_TRUE(rsu.current_record().bits.test(100));
+  EXPECT_EQ(rsu.encodes_this_period(), 1u);
+}
+
+TEST_F(RsuTest, OutOfRangeIndexRejected) {
+  Rsu rsu = make_rsu(7, 1024);
+  Frame enc{MacAddress{0x5}, broadcast_mac(), EncodeIndex{1024}};
+  EXPECT_EQ(rsu.handle_frame(enc).status().code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(rsu.current_record().bits.count_ones(), 0u);
+}
+
+TEST_F(RsuTest, UnexpectedFrameTypesRejected) {
+  Rsu rsu = make_rsu();
+  Frame beacon_frame = rsu.make_beacon();
+  EXPECT_EQ(rsu.handle_frame(beacon_frame).status().code(),
+            ErrorCode::kFailedPrecondition);
+  Frame ack{MacAddress{1}, MacAddress{2}, EncodeAck{}};
+  EXPECT_FALSE(rsu.handle_frame(ack).has_value());
+}
+
+TEST_F(RsuTest, EndPeriodUploadsAndResets) {
+  Rsu rsu = make_rsu(7, 1024);
+  (void)rsu.handle_frame({MacAddress{1}, broadcast_mac(), EncodeIndex{3}});
+  (void)rsu.handle_frame({MacAddress{2}, broadcast_mac(), EncodeIndex{9}});
+
+  const Frame upload = rsu.end_period(2048);
+  const auto& up = std::get<RecordUpload>(upload.body);
+  EXPECT_EQ(up.record.location, 7u);
+  EXPECT_EQ(up.record.period, 0u);
+  EXPECT_EQ(up.record.bits.size(), 1024u);
+  EXPECT_TRUE(up.record.bits.test(3));
+  EXPECT_TRUE(up.record.bits.test(9));
+  EXPECT_EQ(up.record.bits.count_ones(), 2u);
+
+  // Next period: fresh zeroed bitmap with the planned size.
+  EXPECT_EQ(rsu.current_period(), 1u);
+  EXPECT_EQ(rsu.bitmap_size(), 2048u);
+  EXPECT_EQ(rsu.current_record().bits.count_ones(), 0u);
+  EXPECT_EQ(rsu.encodes_this_period(), 0u);
+  EXPECT_EQ(std::get<Beacon>(rsu.make_beacon().body).period, 1u);
+}
+
+TEST_F(RsuTest, UploadSurvivesSerialization) {
+  Rsu rsu = make_rsu(3, 512);
+  (void)rsu.handle_frame({MacAddress{1}, broadcast_mac(), EncodeIndex{7}});
+  const Frame upload = rsu.end_period(512);
+  const auto decoded = decode_frame(encode_frame(upload));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& rec = std::get<RecordUpload>(decoded->body).record;
+  EXPECT_EQ(rec.location, 3u);
+  EXPECT_TRUE(rec.bits.test(7));
+}
+
+TEST_F(RsuTest, DuplicateEncodesAreIdempotentOnBits) {
+  Rsu rsu = make_rsu(7, 256);
+  for (int i = 0; i < 5; ++i) {
+    (void)rsu.handle_frame({MacAddress{1}, broadcast_mac(), EncodeIndex{42}});
+  }
+  EXPECT_EQ(rsu.current_record().bits.count_ones(), 1u);
+  EXPECT_EQ(rsu.encodes_this_period(), 5u);
+}
+
+TEST_F(RsuTest, MultiplePeriodsAccumulateIndependentRecords) {
+  Rsu rsu = make_rsu(7, 256);
+  for (std::uint64_t period = 0; period < 3; ++period) {
+    (void)rsu.handle_frame(
+        {MacAddress{1}, broadcast_mac(), EncodeIndex{period}});
+    const Frame upload = rsu.end_period(256);
+    const auto& rec = std::get<RecordUpload>(upload.body).record;
+    EXPECT_EQ(rec.period, period);
+    EXPECT_EQ(rec.bits.count_ones(), 1u);
+    EXPECT_TRUE(rec.bits.test(static_cast<std::size_t>(period)));
+  }
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,105 @@
+// Tests for common/serialize.hpp: the wire codec under all message types.
+#include "common/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ptm {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.f64(3.141592653589793);
+
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16().value(), 0xBEEF);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.141592653589793);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.buffer()[0], 0x04);
+  EXPECT_EQ(w.buffer()[1], 0x03);
+  EXPECT_EQ(w.buffer()[2], 0x02);
+  EXPECT_EQ(w.buffer()[3], 0x01);
+}
+
+TEST(Serialize, BytesAndStringRoundTrip) {
+  ByteWriter w;
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 255};
+  w.bytes(blob);
+  w.str("hello v2i");
+  w.str("");  // empty string is legal
+
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.bytes().value(), blob);
+  EXPECT_EQ(r.str().value(), "hello v2i");
+  EXPECT_EQ(r.str().value(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, RawReadExactBytes) {
+  ByteWriter w;
+  w.u8(9);
+  w.u8(8);
+  w.u8(7);
+  ByteReader r(w.buffer());
+  const auto got = r.raw(2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got)[0], 9);
+  EXPECT_EQ((*got)[1], 8);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Serialize, UnderrunReportsParseError) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.buffer());
+  EXPECT_TRUE(r.u8().has_value());
+  EXPECT_TRUE(r.u8().has_value());
+  EXPECT_EQ(r.u8().status().code(), ErrorCode::kParseError);
+  EXPECT_EQ(r.u64().status().code(), ErrorCode::kParseError);
+}
+
+TEST(Serialize, TruncatedLengthPrefixedBlob) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8(1);     // only one does
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.bytes().status().code(), ErrorCode::kParseError);
+}
+
+TEST(Serialize, SpecialDoublesRoundTrip) {
+  ByteWriter w;
+  w.f64(0.0);
+  w.f64(-0.0);
+  w.f64(std::numeric_limits<double>::infinity());
+  w.f64(std::numeric_limits<double>::denorm_min());
+  ByteReader r(w.buffer());
+  EXPECT_DOUBLE_EQ(r.f64().value(), 0.0);
+  EXPECT_TRUE(std::signbit(r.f64().value()));
+  EXPECT_TRUE(std::isinf(r.f64().value()));
+  EXPECT_DOUBLE_EQ(r.f64().value(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Serialize, TakeMovesBufferOut) {
+  ByteWriter w;
+  w.u8(5);
+  const auto buf = w.take();
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,188 @@
+// Tests for nodes/server.hpp: record store, Eq. 2 planning from history,
+// and the three query types.
+#include "nodes/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "traffic/workload.hpp"
+
+namespace ptm {
+namespace {
+
+TrafficRecord make_record(std::uint64_t location, std::uint64_t period,
+                          std::size_t m, std::initializer_list<std::size_t> bits) {
+  TrafficRecord rec;
+  rec.location = location;
+  rec.period = period;
+  rec.bits = Bitmap(m);
+  for (std::size_t b : bits) rec.bits.set(b);
+  return rec;
+}
+
+TEST(Server, IngestAndLookup) {
+  CentralServer server(2.0, 3);
+  EXPECT_TRUE(server.ingest(make_record(1, 0, 64, {3})).is_ok());
+  EXPECT_EQ(server.record_count(), 1u);
+  EXPECT_TRUE(server.has_record(1, 0));
+  EXPECT_FALSE(server.has_record(1, 1));
+  EXPECT_FALSE(server.has_record(2, 0));
+}
+
+TEST(Server, RejectsDuplicates) {
+  CentralServer server(2.0, 3);
+  ASSERT_TRUE(server.ingest(make_record(1, 0, 64, {})).is_ok());
+  EXPECT_EQ(server.ingest(make_record(1, 0, 64, {})).code(),
+            ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(server.record_count(), 1u);
+}
+
+TEST(Server, RejectsInvalidRecords) {
+  CentralServer server(2.0, 3);
+  TrafficRecord bad;
+  bad.bits = Bitmap(100);  // not a power of two
+  EXPECT_EQ(server.ingest(bad).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Server, IngestFrameAcceptsOnlyUploads) {
+  CentralServer server(2.0, 3);
+  Frame upload{MacAddress{1}, broadcast_mac(),
+               RecordUpload{make_record(1, 0, 64, {5})}};
+  EXPECT_TRUE(server.ingest_frame(upload).is_ok());
+  Frame not_upload{MacAddress{1}, broadcast_mac(), EncodeAck{}};
+  EXPECT_EQ(server.ingest_frame(not_upload).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(Server, QueryPointVolume) {
+  CentralServer server(2.0, 3);
+  Xoshiro256 rng(5);
+  TrafficRecord rec;
+  rec.location = 9;
+  rec.period = 2;
+  rec.bits = Bitmap(8192);
+  add_transient_traffic(rec.bits, 4000, rng);
+  ASSERT_TRUE(server.ingest(rec).is_ok());
+  const auto est = server.query_point_volume(9, 2);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->value, 4000.0, 4000.0 * 0.05);
+  EXPECT_EQ(server.query_point_volume(9, 3).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(Server, PlansSizeFromHistory) {
+  CentralServer server(2.0, 3);
+  // No history yet: falls back to the provided default volume.
+  EXPECT_EQ(server.plan_size(1, 1000.0), plan_bitmap_size(1000.0, 2.0));
+
+  // Ingest a record carrying ~4000 vehicles; the plan should now track it.
+  Xoshiro256 rng(6);
+  TrafficRecord rec;
+  rec.location = 1;
+  rec.period = 0;
+  rec.bits = Bitmap(16384);
+  add_transient_traffic(rec.bits, 4000, rng);
+  ASSERT_TRUE(server.ingest(rec).is_ok());
+  const std::size_t planned = server.plan_size(1);
+  EXPECT_EQ(planned, 8192u);  // 2^ceil(log2(~4000 * 2))
+}
+
+TEST(Server, PlanAveragesAcrossPeriods) {
+  CentralServer server(2.0, 3);
+  Xoshiro256 rng(7);
+  for (std::uint64_t period = 0; period < 4; ++period) {
+    TrafficRecord rec;
+    rec.location = 2;
+    rec.period = period;
+    rec.bits = Bitmap(32768);
+    add_transient_traffic(rec.bits, period < 2 ? 3000 : 5000, rng);
+    ASSERT_TRUE(server.ingest(rec).is_ok());
+  }
+  // History mean ~4000 -> m = 8192.
+  EXPECT_EQ(server.plan_size(2), 8192u);
+}
+
+TEST(Server, QueryPointPersistentEndToEnd) {
+  const EncodingParams encoding;
+  CentralServer server(2.0, encoding.s);
+  Xoshiro256 rng(8);
+  constexpr std::size_t kNStar = 600;
+  const auto common = make_vehicles(kNStar, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(5, 5000);
+  const auto bitmaps = generate_point_records(volumes, common, 4, 2.0,
+                                              encoding, rng);
+  for (std::size_t period = 0; period < bitmaps.size(); ++period) {
+    TrafficRecord rec;
+    rec.location = 4;
+    rec.period = period;
+    rec.bits = bitmaps[period];
+    ASSERT_TRUE(server.ingest(rec).is_ok());
+  }
+  const std::vector<std::uint64_t> periods = {0, 1, 2, 3, 4};
+  const auto est = server.query_point_persistent(4, periods);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->n_star, kNStar, kNStar * 0.2);
+
+  const std::vector<std::uint64_t> with_missing = {0, 1, 7};
+  EXPECT_EQ(server.query_point_persistent(4, with_missing).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(Server, QueryPointPersistentRecentWindow) {
+  const EncodingParams encoding;
+  CentralServer server(2.0, encoding.s);
+  Xoshiro256 rng(18);
+  constexpr std::size_t kNStar = 500;
+  const auto common = make_vehicles(kNStar, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(8, 5000);
+  const auto bitmaps = generate_point_records(volumes, common, 6, 2.0,
+                                              encoding, rng);
+  // Not enough periods yet.
+  TrafficRecord first{6, 0, bitmaps[0]};
+  ASSERT_TRUE(server.ingest(first).is_ok());
+  EXPECT_EQ(server.query_point_persistent_recent(6, 3).status().code(),
+            ErrorCode::kNotFound);
+
+  for (std::size_t period = 1; period < bitmaps.size(); ++period) {
+    ASSERT_TRUE(server.ingest({6, period, bitmaps[period]}).is_ok());
+  }
+  // Window of 3 = last three periods; must match the explicit-period query.
+  const auto recent = server.query_point_persistent_recent(6, 3);
+  ASSERT_TRUE(recent.has_value());
+  const std::vector<std::uint64_t> last_three = {5, 6, 7};
+  const auto explicit_q = server.query_point_persistent(6, last_three);
+  ASSERT_TRUE(explicit_q.has_value());
+  EXPECT_DOUBLE_EQ(recent->n_star, explicit_q->n_star);
+  EXPECT_NEAR(recent->n_star, kNStar, kNStar * 0.25);
+
+  // Unknown location.
+  EXPECT_EQ(server.query_point_persistent_recent(99, 2).status().code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(Server, QueryP2PPersistentEndToEnd) {
+  const EncodingParams encoding;
+  CentralServer server(2.0, encoding.s);
+  Xoshiro256 rng(9);
+  constexpr std::size_t kNpp = 500;
+  const auto common = make_vehicles(kNpp, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(5, 6000);
+  const auto records = generate_p2p_records(volumes, volumes, common, 10, 11,
+                                            2.0, encoding, rng);
+  for (std::size_t period = 0; period < 5; ++period) {
+    TrafficRecord rec_l{10, period, records.at_l[period]};
+    TrafficRecord rec_lp{11, period, records.at_l_prime[period]};
+    ASSERT_TRUE(server.ingest(rec_l).is_ok());
+    ASSERT_TRUE(server.ingest(rec_lp).is_ok());
+  }
+  const std::vector<std::uint64_t> periods = {0, 1, 2, 3, 4};
+  const auto est = server.query_p2p_persistent(10, 11, periods);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->n_double_prime, kNpp, kNpp * 0.25);
+
+  EXPECT_EQ(server.query_p2p_persistent(10, 99, periods).status().code(),
+            ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ptm

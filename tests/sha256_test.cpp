@@ -1,0 +1,115 @@
+// Tests for hash/sha256.hpp against FIPS 180-4 / RFC 4231 vectors.
+#include "hash/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ptm {
+namespace {
+
+TEST(Sha256, Fips180Vectors) {
+  EXPECT_EQ(digest_hex(Sha256::digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(digest_hex(Sha256::digest("")),
+            "e3b0c44298fc1c149afbf4c8996fb924"
+            "27ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(digest_hex(Sha256::digest(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039"
+            "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  // FIPS 180-4 long vector: one million 'a' characters.
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(digest_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67"
+            "f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(digest_hex(h.finish()), digest_hex(Sha256::digest(msg)))
+        << "split at " << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaryLengths) {
+  // Lengths that straddle the 55/56/63/64-byte padding edges must all be
+  // distinct and reproducible.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string a(len, 'x');
+    EXPECT_EQ(digest_hex(Sha256::digest(a)), digest_hex(Sha256::digest(a)));
+    const std::string b(len + 1, 'x');
+    EXPECT_NE(digest_hex(Sha256::digest(a)), digest_hex(Sha256::digest(b)));
+  }
+}
+
+TEST(Sha256, ResetReusesObject) {
+  Sha256 h;
+  h.update("garbage");
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(digest_hex(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223"
+            "b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(HmacSha256, Rfc4231TestCase1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const std::string data = "Hi There";
+  const auto mac = hmac_sha256(
+      key, {reinterpret_cast<const std::uint8_t*>(data.data()), data.size()});
+  EXPECT_EQ(digest_hex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b"
+            "881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231TestCase2) {
+  const std::string key = "Jefe";
+  const std::string data = "what do ya want for nothing?";
+  const auto mac = hmac_sha256(
+      {reinterpret_cast<const std::uint8_t*>(key.data()), key.size()},
+      {reinterpret_cast<const std::uint8_t*>(data.data()), data.size()});
+  EXPECT_EQ(digest_hex(mac),
+            "5bdcc146bf60754e6a042426089575c7"
+            "5a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const auto mac = hmac_sha256(
+      key, {reinterpret_cast<const std::uint8_t*>(data.data()), data.size()});
+  EXPECT_EQ(digest_hex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f"
+            "8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeyMattersDataMatters) {
+  const std::vector<std::uint8_t> k1(16, 1), k2(16, 2);
+  const std::vector<std::uint8_t> d1 = {1, 2, 3}, d2 = {1, 2, 4};
+  EXPECT_NE(digest_hex(hmac_sha256(k1, d1)), digest_hex(hmac_sha256(k2, d1)));
+  EXPECT_NE(digest_hex(hmac_sha256(k1, d1)), digest_hex(hmac_sha256(k1, d2)));
+}
+
+TEST(DigestHex, Is64LowercaseChars) {
+  const auto hex = digest_hex(Sha256::digest("abc"));
+  EXPECT_EQ(hex.size(), 64u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,71 @@
+// Tests for traffic/sioux_falls.hpp: the embedded Table-I scenario must
+// match the published numbers exactly (it IS the published numbers) and be
+// internally consistent with the Eq. 2 planner.
+#include "traffic/sioux_falls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/traffic_record.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(SiouxFalls, ScenarioHeaderMatchesPaper) {
+  const auto& sc = sioux_falls_scenario();
+  EXPECT_EQ(sc.n_prime, 451000u);
+  EXPECT_EQ(sc.expected_m_prime, 1048576u);
+  EXPECT_EQ(sc.s, 3u);
+  EXPECT_DOUBLE_EQ(sc.f, 2.0);
+  EXPECT_EQ(sc.columns.size(), 8u);
+}
+
+TEST(SiouxFalls, ColumnsMatchTable1) {
+  const auto& sc = sioux_falls_scenario();
+  const std::uint64_t expected_n[8] = {213000, 140000, 121000, 78000,
+                                       76000,  47000,  40000,  28000};
+  const std::uint64_t expected_npp[8] = {40000, 20000, 19000, 8000,
+                                         8000,  7000,  6000,  3000};
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(sc.columns[c].location_label, c + 1);
+    EXPECT_EQ(sc.columns[c].n, expected_n[c]);
+    EXPECT_EQ(sc.columns[c].n_double_prime, expected_npp[c]);
+  }
+}
+
+TEST(SiouxFalls, PlannerReproducesPublishedSizes) {
+  // The m and m'/m rows of Table I are derivable from n and f via Eq. 2;
+  // assert the embedded expectations and the planner agree.
+  const auto& sc = sioux_falls_scenario();
+  EXPECT_EQ(plan_bitmap_size(static_cast<double>(sc.n_prime), sc.f),
+            sc.expected_m_prime);
+  for (const auto& col : sc.columns) {
+    const std::size_t m = plan_bitmap_size(static_cast<double>(col.n), sc.f);
+    EXPECT_EQ(m, col.expected_m) << "L=" << col.location_label;
+    EXPECT_EQ(sc.expected_m_prime / m, col.expected_ratio)
+        << "L=" << col.location_label;
+  }
+}
+
+TEST(SiouxFalls, CommonVolumeIsFeasible) {
+  const auto& sc = sioux_falls_scenario();
+  for (const auto& col : sc.columns) {
+    EXPECT_LT(col.n_double_prime, col.n);
+    EXPECT_LT(col.n_double_prime, sc.n_prime);
+  }
+}
+
+TEST(SiouxFalls, PaperErrorsShapeChecks) {
+  // Structural facts the reproduction is judged against: errors grow as n''
+  // shrinks (columns left to right at t = 5), and the same-size benchmark
+  // is never better than the proposed design.
+  const auto& errors = sioux_falls_paper_errors();
+  EXPECT_LT(errors.t5[0], errors.t5[7]);
+  for (std::size_t c = 0; c < 8; ++c) {
+    EXPECT_GE(errors.same_size_t5[c], errors.t5[c] * 0.99) << "L=" << c + 1;
+  }
+  // The famous last cell: same-size at L=8 is catastrophically worse.
+  EXPECT_GT(errors.same_size_t5[7] / errors.t5[7], 20.0);
+}
+
+}  // namespace
+}  // namespace ptm

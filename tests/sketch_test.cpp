@@ -1,0 +1,211 @@
+// Tests for sketch/pcsa.hpp and sketch/hyperloglog.hpp: the baseline
+// cardinality sketches the comparison bench pits against linear counting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/random.hpp"
+#include "common/stats.hpp"
+#include "sketch/hyperloglog.hpp"
+#include "sketch/pcsa.hpp"
+#include "sketch/virtual_bitmap.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(Pcsa, EmptyEstimatesSmall) {
+  const PcsaSketch sketch(64);
+  EXPECT_LT(sketch.estimate(), 100.0);
+}
+
+TEST(Pcsa, DuplicatesAbsorbed) {
+  PcsaSketch a(64), b(64);
+  for (int i = 0; i < 1000; ++i) {
+    a.add(42);
+    b.add(42);
+  }
+  b.add(42);
+  EXPECT_DOUBLE_EQ(a.estimate(), b.estimate());
+}
+
+TEST(Pcsa, AccuracyWithinFmBand) {
+  // FM error is ~0.78/sqrt(k); with k = 256 that's ~5%.  Average over a
+  // few seeds and accept 3x the band.
+  Xoshiro256 rng(1);
+  RunningStats rel;
+  constexpr std::size_t kN = 100000;
+  for (int trial = 0; trial < 5; ++trial) {
+    PcsaSketch sketch(256, HashFamily::kMurmur3, rng.next());
+    for (std::size_t i = 0; i < kN; ++i) sketch.add(rng.next());
+    rel.add(relative_error(sketch.estimate(), kN));
+  }
+  EXPECT_LT(rel.mean(), 3.0 * 0.78 / std::sqrt(256.0));
+}
+
+TEST(Pcsa, EstimateGrowsWithCardinality) {
+  Xoshiro256 rng(2);
+  PcsaSketch sketch(128);
+  double last = sketch.estimate();
+  for (int decade = 0; decade < 3; ++decade) {
+    for (int i = 0; i < 30000; ++i) sketch.add(rng.next());
+    const double now = sketch.estimate();
+    EXPECT_GT(now, last);
+    last = now;
+  }
+}
+
+TEST(Pcsa, MergeEqualsUnion) {
+  Xoshiro256 rng(3);
+  PcsaSketch a(128), b(128), combined(128);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t item = rng.next();
+    if (i % 2 == 0) a.add(item); else b.add(item);
+    combined.add(item);
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.estimate(), combined.estimate());
+}
+
+TEST(Hll, EmptyEstimatesZero) {
+  const HyperLogLog hll(10);
+  EXPECT_DOUBLE_EQ(hll.estimate(), 0.0);
+}
+
+TEST(Hll, DuplicatesAbsorbed) {
+  HyperLogLog a(10), b(10);
+  a.add(7);
+  for (int i = 0; i < 100; ++i) b.add(7);
+  EXPECT_DOUBLE_EQ(a.estimate(), b.estimate());
+}
+
+TEST(Hll, SmallRangeUsesLinearCounting) {
+  // With 2^12 registers and 100 items the small-range branch fires and is
+  // very accurate.
+  Xoshiro256 rng(4);
+  HyperLogLog hll(12);
+  for (int i = 0; i < 100; ++i) hll.add(rng.next());
+  EXPECT_NEAR(hll.estimate(), 100.0, 5.0);
+}
+
+TEST(Hll, AccuracyWithinHllBand) {
+  // HLL stderr is ~1.04/sqrt(m); p = 12 gives ~1.6%.  Accept 4x.
+  Xoshiro256 rng(5);
+  RunningStats rel;
+  constexpr std::size_t kN = 200000;
+  for (int trial = 0; trial < 5; ++trial) {
+    HyperLogLog hll(12, HashFamily::kMurmur3, rng.next());
+    for (std::size_t i = 0; i < kN; ++i) hll.add(rng.next());
+    rel.add(relative_error(hll.estimate(), kN));
+  }
+  EXPECT_LT(rel.mean(), 4.0 * 1.04 / std::sqrt(4096.0));
+}
+
+TEST(Hll, MergeEqualsUnion) {
+  Xoshiro256 rng(6);
+  HyperLogLog a(10), b(10), combined(10);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t item = rng.next();
+    if (i % 3 == 0) a.add(item); else b.add(item);
+    combined.add(item);
+  }
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.estimate(), combined.estimate());
+}
+
+TEST(Hll, PrecisionControlsMemoryAndAccuracy) {
+  Xoshiro256 rng(7);
+  constexpr std::size_t kN = 100000;
+  RunningStats err_small, err_large;
+  for (int trial = 0; trial < 4; ++trial) {
+    HyperLogLog small(6, HashFamily::kMurmur3, rng.next());
+    HyperLogLog large(14, HashFamily::kMurmur3, rng.next());
+    Xoshiro256 items(100 + trial);
+    for (std::size_t i = 0; i < kN; ++i) {
+      const std::uint64_t item = items.next();
+      small.add(item);
+      large.add(item);
+    }
+    err_small.add(relative_error(small.estimate(), kN));
+    err_large.add(relative_error(large.estimate(), kN));
+  }
+  EXPECT_LT(err_large.mean(), err_small.mean());
+  EXPECT_LT(HyperLogLog(6).size_bits(), HyperLogLog(14).size_bits());
+}
+
+TEST(VirtualBitmap, FullSamplingMatchesLinearCounting) {
+  // p = 1 is plain linear counting on the same physical bitmap.
+  Xoshiro256 rng(20);
+  VirtualBitmap vb(8192, 1.0);
+  constexpr std::size_t kN = 4000;
+  for (std::size_t i = 0; i < kN; ++i) vb.add(rng.next());
+  const auto est = vb.estimate();
+  EXPECT_NEAR(est.value, kN, kN * 0.05);
+}
+
+TEST(VirtualBitmap, DuplicatesAreConsistentlySampled) {
+  VirtualBitmap a(1024, 0.3), b(1024, 0.3);
+  for (int i = 0; i < 500; ++i) a.add(77);
+  b.add(77);
+  EXPECT_DOUBLE_EQ(a.estimate().value, b.estimate().value);
+}
+
+TEST(VirtualBitmap, SamplingExtendsRangeBeyondPhysicalBits) {
+  // 4096 physical bits estimating 200k distinct items at p = 1/64: a plain
+  // 4096-bit linear counter would saturate; the virtual bitmap tracks it.
+  Xoshiro256 rng(21);
+  VirtualBitmap vb(4096, 1.0 / 64.0);
+  constexpr std::size_t kN = 200000;
+  for (std::size_t i = 0; i < kN; ++i) vb.add(rng.next());
+  const auto est = vb.estimate();
+  EXPECT_EQ(est.outcome, EstimateOutcome::kOk);
+  EXPECT_NEAR(est.value, kN, kN * 0.15);
+
+  Bitmap plain(4096);
+  Xoshiro256 rng2(21);
+  for (std::size_t i = 0; i < kN; ++i) plain.set(rng2.below(4096));
+  EXPECT_EQ(estimate_cardinality(plain).outcome, EstimateOutcome::kSaturated);
+}
+
+TEST(VirtualBitmap, SamplingNoiseGrowsAsPShrinks) {
+  // The tradeoff the paper avoids: at small n, heavy sampling hurts.
+  Xoshiro256 rng(22);
+  RunningStats err_full, err_sampled;
+  constexpr std::size_t kN = 2000;
+  for (int trial = 0; trial < 30; ++trial) {
+    VirtualBitmap full(8192, 1.0, HashFamily::kMurmur3, rng.next());
+    VirtualBitmap sampled(8192, 0.05, HashFamily::kMurmur3, rng.next());
+    Xoshiro256 items(1000 + trial);
+    for (std::size_t i = 0; i < kN; ++i) {
+      const std::uint64_t item = items.next();
+      full.add(item);
+      sampled.add(item);
+    }
+    err_full.add(relative_error(full.estimate().value, kN));
+    err_sampled.add(relative_error(sampled.estimate().value, kN));
+  }
+  EXPECT_LT(err_full.mean(), err_sampled.mean());
+}
+
+TEST(Sketches, HashFamilyAgnostic) {
+  Xoshiro256 rng(8);
+  for (HashFamily family : {HashFamily::kMurmur3, HashFamily::kXxHash,
+                            HashFamily::kSipHash}) {
+    PcsaSketch pcsa(128, family);
+    HyperLogLog hll(10, family);
+    Xoshiro256 items(9);
+    constexpr std::size_t kN = 50000;
+    for (std::size_t i = 0; i < kN; ++i) {
+      const std::uint64_t item = items.next();
+      pcsa.add(item);
+      hll.add(item);
+    }
+    EXPECT_LT(relative_error(pcsa.estimate(), kN), 0.3)
+        << hash_family_name(family);
+    EXPECT_LT(relative_error(hll.estimate(), kN), 0.1)
+        << hash_family_name(family);
+  }
+}
+
+}  // namespace
+}  // namespace ptm

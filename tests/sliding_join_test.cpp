@@ -1,0 +1,126 @@
+// Tests for core/sliding_join.hpp: the two-stack windowed AND-join,
+// validated against brute-force recomputation.
+#include "core/sliding_join.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hpp"
+#include "core/expansion.hpp"
+
+namespace ptm {
+namespace {
+
+Bitmap random_bitmap(std::size_t bits, std::size_t ones, Xoshiro256& rng) {
+  Bitmap b(bits);
+  for (std::size_t i = 0; i < ones; ++i) b.set(rng.below(bits));
+  return b;
+}
+
+TEST(SlidingJoin, EmptyWindowRefusesJoin) {
+  const SlidingAndJoin window(3, 64);
+  EXPECT_EQ(window.joined().status().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(window.size(), 0u);
+}
+
+TEST(SlidingJoin, SingleRecordIsItself) {
+  SlidingAndJoin window(3, 64);
+  Xoshiro256 rng(1);
+  const Bitmap b = random_bitmap(64, 20, rng);
+  ASSERT_TRUE(window.push(b).is_ok());
+  const auto joined = window.joined();
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_EQ(*joined, b);
+}
+
+TEST(SlidingJoin, RejectsBadRecordSizes) {
+  SlidingAndJoin window(3, 64);
+  EXPECT_FALSE(window.push(Bitmap(100)).is_ok());   // not a power of two
+  EXPECT_FALSE(window.push(Bitmap(128)).is_ok());   // exceeds capacity
+  EXPECT_EQ(window.size(), 0u);
+}
+
+TEST(SlidingJoin, SmallerRecordsAreExpanded) {
+  SlidingAndJoin window(2, 16);
+  Bitmap small(8);
+  small.set(3);
+  ASSERT_TRUE(window.push(small).is_ok());
+  const auto joined = window.joined();
+  ASSERT_TRUE(joined.has_value());
+  EXPECT_EQ(joined->size(), 16u);
+  EXPECT_TRUE(joined->test(3));
+  EXPECT_TRUE(joined->test(11));  // the replicated copy
+}
+
+TEST(SlidingJoin, MatchesBruteForceAcrossLongStream) {
+  // The core property: after every push, joined() equals the AND of the
+  // last `window` records computed from scratch.
+  constexpr std::size_t kWindow = 7;
+  constexpr std::size_t kBits = 256;
+  SlidingAndJoin window(kWindow, kBits);
+  Xoshiro256 rng(2);
+  std::vector<Bitmap> history;
+
+  for (int step = 0; step < 100; ++step) {
+    const Bitmap record = random_bitmap(kBits, 150, rng);
+    history.push_back(record);
+    ASSERT_TRUE(window.push(record).is_ok());
+
+    const std::size_t have = std::min(history.size(), kWindow);
+    EXPECT_EQ(window.size(), have);
+    const std::span<const Bitmap> last(history.data() + history.size() - have,
+                                       have);
+    const auto expected = and_join_expanded(last);
+    ASSERT_TRUE(expected.has_value());
+    const auto actual = window.joined();
+    ASSERT_TRUE(actual.has_value());
+    EXPECT_EQ(*actual, *expected) << "step " << step;
+  }
+}
+
+TEST(SlidingJoin, WindowRecordsAreOldestFirst) {
+  SlidingAndJoin window(3, 64);
+  Xoshiro256 rng(3);
+  std::vector<Bitmap> pushed;
+  for (int i = 0; i < 5; ++i) {
+    pushed.push_back(random_bitmap(64, 10, rng));
+    ASSERT_TRUE(window.push(pushed.back()).is_ok());
+  }
+  const auto records = window.window_records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], pushed[2]);
+  EXPECT_EQ(records[1], pushed[3]);
+  EXPECT_EQ(records[2], pushed[4]);
+}
+
+TEST(SlidingJoin, WindowOfOneTracksLatest) {
+  SlidingAndJoin window(1, 64);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const Bitmap b = random_bitmap(64, 30, rng);
+    ASSERT_TRUE(window.push(b).is_ok());
+    EXPECT_EQ(window.size(), 1u);
+    EXPECT_EQ(*window.joined(), b);
+  }
+}
+
+TEST(SlidingJoin, MixedSizesWithinCapacity) {
+  constexpr std::size_t kCapacity = 512;
+  SlidingAndJoin window(4, kCapacity);
+  Xoshiro256 rng(5);
+  std::vector<Bitmap> history;
+  for (std::size_t bits : {64u, 512u, 128u, 256u, 512u, 64u, 256u}) {
+    const Bitmap record = random_bitmap(bits, bits / 2, rng);
+    history.push_back(record);
+    ASSERT_TRUE(window.push(record).is_ok());
+  }
+  // Brute force with explicit expansion to capacity.
+  Bitmap expected = *expand_to(history[history.size() - 4], kCapacity);
+  for (std::size_t i = history.size() - 3; i < history.size(); ++i) {
+    ASSERT_TRUE(
+        expected.and_with(*expand_to(history[i], kCapacity)).is_ok());
+  }
+  EXPECT_EQ(*window.joined(), expected);
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,90 @@
+// Tests for common/status.hpp and common/env.hpp (small shared utilities).
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/env.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.to_string(), "Ok");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  const Status s(ErrorCode::kParseError, "bad frame");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kParseError);
+  EXPECT_EQ(s.message(), "bad frame");
+  EXPECT_EQ(s.to_string(), "ParseError: bad frame");
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_FALSE(error_code_name(static_cast<ErrorCode>(c)).empty());
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().is_ok());
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(ErrorCode::kNotFound, "missing");
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, MoveOnlyValueSupported) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.has_value());
+  auto taken = std::move(r).value();
+  EXPECT_EQ(*taken, 5);
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Env, StringUnsetReturnsNullopt) {
+  ::unsetenv("PTM_TEST_UNSET_VAR");
+  EXPECT_FALSE(env_string("PTM_TEST_UNSET_VAR").has_value());
+}
+
+TEST(Env, U64ParsesAndFallsBack) {
+  ::setenv("PTM_TEST_NUM", "123", 1);
+  EXPECT_EQ(env_u64("PTM_TEST_NUM", 7), 123u);
+  ::setenv("PTM_TEST_NUM", "garbage", 1);
+  EXPECT_EQ(env_u64("PTM_TEST_NUM", 7), 7u);
+  ::setenv("PTM_TEST_NUM", "", 1);
+  EXPECT_EQ(env_u64("PTM_TEST_NUM", 7), 7u);
+  ::unsetenv("PTM_TEST_NUM");
+  EXPECT_EQ(env_u64("PTM_TEST_NUM", 7), 7u);
+}
+
+TEST(Env, BenchRunsHonorsOverride) {
+  ::setenv("PTM_RUNS", "77", 1);
+  EXPECT_EQ(bench_runs(10), 77u);
+  ::unsetenv("PTM_RUNS");
+  EXPECT_EQ(bench_runs(10), 10u);
+}
+
+TEST(Env, DefaultSeedIsStable) {
+  ::unsetenv("PTM_SEED");
+  EXPECT_EQ(bench_seed(), 20170605ULL);
+}
+
+}  // namespace
+}  // namespace ptm

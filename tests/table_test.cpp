@@ -1,0 +1,48 @@
+// Tests for common/table.hpp: the bench output formatter.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ptm {
+namespace {
+
+TEST(TableWriter, PrintsAlignedTable) {
+  TableWriter t({"L", "relative error"});
+  t.add_row({"1", "0.0122"});
+  t.add_row({"8", "0.0948"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("relative error"), std::string::npos);
+  EXPECT_NE(out.find("0.0122"), std::string::npos);
+  EXPECT_NE(out.find("0.0948"), std::string::npos);
+  // 1 header + 3 rules + 2 data lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 6);
+}
+
+TEST(TableWriter, FormatsDoublesWithPrecision) {
+  EXPECT_EQ(TableWriter::fmt(0.01234567, 4), "0.0123");
+  EXPECT_EQ(TableWriter::fmt(1.0, 2), "1.00");
+  EXPECT_EQ(TableWriter::fmt(std::uint64_t{1048576}), "1048576");
+}
+
+TEST(TableWriter, CsvOutput) {
+  TableWriter t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"x,y", "quote\"inside"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n\"x,y\",\"quote\"\"inside\"\n");
+}
+
+TEST(TableWriter, RowCount) {
+  TableWriter t({"only"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"r"});
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ptm

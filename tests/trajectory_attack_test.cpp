@@ -1,0 +1,83 @@
+// Tests for sim/trajectory_attack.hpp: the route-reconstruction attack's
+// metrics must obey the §V structure.
+#include "sim/trajectory_attack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptm {
+namespace {
+
+TrajectoryAttackConfig small_config() {
+  TrajectoryAttackConfig config;
+  config.zones = 16;
+  config.commuters = 600;
+  config.transients = 4000;
+  config.worlds = 2;
+  config.targets_per_world = 40;
+  config.seed = 11;
+  return config;
+}
+
+TEST(TrajectoryAttack, MetricsAreProbabilities) {
+  const auto result = run_trajectory_attack(small_config());
+  EXPECT_GE(result.tpr, 0.0);
+  EXPECT_LE(result.tpr, 1.0);
+  EXPECT_GE(result.fpr, 0.0);
+  EXPECT_LE(result.fpr, 1.0);
+  EXPECT_GE(result.precision, 0.0);
+  EXPECT_LE(result.precision, 1.0);
+  EXPECT_GT(result.mean_route_length, 1.0);
+  EXPECT_GT(result.mean_flagged, 0.0);
+}
+
+TEST(TrajectoryAttack, SEquals1TracksPerfectly) {
+  // With one representative bit the target sets the SAME raw index at
+  // every location: every on-route zone must be flagged.
+  TrajectoryAttackConfig config = small_config();
+  config.encoding.s = 1;
+  const auto result = run_trajectory_attack(config);
+  EXPECT_DOUBLE_EQ(result.tpr, 1.0);
+}
+
+TEST(TrajectoryAttack, LargerSReducesTpr) {
+  TrajectoryAttackConfig s2 = small_config(), s5 = small_config();
+  s2.encoding.s = 2;
+  s5.encoding.s = 5;
+  const auto r2 = run_trajectory_attack(s2);
+  const auto r5 = run_trajectory_attack(s5);
+  EXPECT_GT(r2.tpr, r5.tpr);
+  // FPR is s-independent (noise comes from other vehicles): within noise.
+  EXPECT_NEAR(r2.fpr, r5.fpr, 0.08);
+}
+
+TEST(TrajectoryAttack, LargerFReducesFalseHits) {
+  TrajectoryAttackConfig f1 = small_config(), f4 = small_config();
+  f1.load_factor = 1.0;
+  f4.load_factor = 4.0;
+  const auto r1 = run_trajectory_attack(f1);
+  const auto r4 = run_trajectory_attack(f4);
+  EXPECT_GT(r1.fpr, r4.fpr);          // denser bitmaps = more noise
+  EXPECT_GT(r4.precision, r1.precision);  // which is what protects privacy
+}
+
+TEST(TrajectoryAttack, TprAlwaysExceedsFpr) {
+  // The records do carry SOME information (p' > p); the attack is never
+  // worse than chance.
+  for (std::size_t s : {2u, 3u, 5u}) {
+    TrajectoryAttackConfig config = small_config();
+    config.encoding.s = s;
+    const auto result = run_trajectory_attack(config);
+    EXPECT_GT(result.tpr, result.fpr) << "s = " << s;
+  }
+}
+
+TEST(TrajectoryAttack, DeterministicInSeed) {
+  const auto a = run_trajectory_attack(small_config());
+  const auto b = run_trajectory_attack(small_config());
+  EXPECT_DOUBLE_EQ(a.tpr, b.tpr);
+  EXPECT_DOUBLE_EQ(a.fpr, b.fpr);
+  EXPECT_DOUBLE_EQ(a.precision, b.precision);
+}
+
+}  // namespace
+}  // namespace ptm

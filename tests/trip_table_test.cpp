@@ -1,0 +1,112 @@
+// Tests for traffic/trip_table.hpp: OD-matrix bookkeeping and the synthetic
+// network generators.
+#include "traffic/trip_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ptm {
+namespace {
+
+TEST(TripTable, StartsEmpty) {
+  const TripTable t(4);
+  EXPECT_EQ(t.zones(), 4u);
+  EXPECT_EQ(t.total_trips(), 0u);
+  EXPECT_EQ(t.zone_volume(0), 0u);
+}
+
+TEST(TripTable, DemandSetGet) {
+  TripTable t(4);
+  t.set_demand(0, 1, 100);
+  t.set_demand(1, 0, 50);
+  EXPECT_EQ(t.demand(0, 1), 100u);
+  EXPECT_EQ(t.demand(1, 0), 50u);
+  EXPECT_EQ(t.demand(0, 2), 0u);
+}
+
+TEST(TripTable, ZoneVolumeCountsBothDirections) {
+  TripTable t(3);
+  t.set_demand(0, 1, 100);  // leaves 0, arrives 1
+  t.set_demand(2, 0, 30);   // leaves 2, arrives 0
+  t.set_demand(1, 2, 7);
+  EXPECT_EQ(t.zone_volume(0), 130u);
+  EXPECT_EQ(t.zone_volume(1), 107u);
+  EXPECT_EQ(t.zone_volume(2), 37u);
+}
+
+TEST(TripTable, IntraZoneTripsCountOnce) {
+  TripTable t(3);
+  t.set_demand(0, 0, 10);
+  EXPECT_EQ(t.zone_volume(0), 10u);
+}
+
+TEST(TripTable, PairVolumeSumsBothDirections) {
+  TripTable t(3);
+  t.set_demand(0, 1, 100);
+  t.set_demand(1, 0, 40);
+  EXPECT_EQ(t.pair_volume(0, 1), 140u);
+  EXPECT_EQ(t.pair_volume(1, 0), 140u);
+  EXPECT_EQ(t.pair_volume(0, 2), 0u);
+}
+
+TEST(TripTable, TotalAndBusiest) {
+  TripTable t(3);
+  t.set_demand(0, 1, 10);
+  t.set_demand(1, 2, 300);
+  t.set_demand(2, 1, 5);
+  EXPECT_EQ(t.total_trips(), 315u);
+  EXPECT_EQ(t.busiest_zone(), 1u);  // volume 315 at zone 1
+}
+
+TEST(TripTable, ScaleRounds) {
+  TripTable t(2);
+  t.set_demand(0, 1, 10);
+  t.set_demand(1, 0, 3);
+  t.scale(1.5);
+  EXPECT_EQ(t.demand(0, 1), 15u);
+  EXPECT_EQ(t.demand(1, 0), 5u);  // 4.5 rounds to 5 (llround half-up)
+}
+
+TEST(GravityModel, DeterministicAndRoughlyScaled) {
+  const TripTable a = gravity_model_table(10, 100000, 7);
+  const TripTable b = gravity_model_table(10, 100000, 7);
+  EXPECT_EQ(a.total_trips(), b.total_trips());
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.zone_volume(i), b.zone_volume(i));
+  }
+  // Per-cell rounding drift stays small.
+  EXPECT_NEAR(static_cast<double>(a.total_trips()), 100000.0, 100.0);
+  // No self-trips in the gravity model.
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(a.demand(i, i), 0u);
+}
+
+TEST(GravityModel, DifferentSeedsDiffer) {
+  const TripTable a = gravity_model_table(10, 100000, 7);
+  const TripTable b = gravity_model_table(10, 100000, 8);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 10 && !any_diff; ++i) {
+    for (std::size_t j = 0; j < 10 && !any_diff; ++j) {
+      any_diff = a.demand(i, j) != b.demand(i, j);
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SiouxFallsLike, MatchesPaperScale) {
+  const TripTable t = sioux_falls_like_network();
+  EXPECT_EQ(t.zones(), 24u);
+  const std::uint64_t busiest = t.zone_volume(t.busiest_zone());
+  // Scaled so the busiest zone lands near the paper's n' = 451,000
+  // (within per-cell rounding).
+  EXPECT_NEAR(static_cast<double>(busiest), 451000.0, 2000.0);
+  // A real network: plenty of nonzero pairs with dispersion across zones.
+  std::size_t nonzero_pairs = 0;
+  for (std::size_t i = 0; i < 24; ++i) {
+    for (std::size_t j = i + 1; j < 24; ++j) {
+      if (t.pair_volume(i, j) > 0) ++nonzero_pairs;
+    }
+  }
+  EXPECT_GT(nonzero_pairs, 200u);
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,192 @@
+// Tests for nodes/vehicle.hpp: the vehicle-side protocol state machine
+// (paper §II-B/§II-D) - certificate gating, nonce handling, and the privacy
+// guarantee that only h_v ever leaves the vehicle.
+#include "nodes/vehicle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ptm {
+namespace {
+
+class VehicleTest : public ::testing::Test {
+ protected:
+  VehicleTest() : rng_(42), ca_("ca", 512, rng_), rsu_keys_(rsa_generate(512, rng_)) {}
+
+  Vehicle make_vehicle(std::uint64_t id = 1) {
+    return Vehicle(VehicleSecrets::create(id, params_.s, rng_), params_,
+                   ca_.public_key(), rng_.next());
+  }
+
+  Beacon make_beacon(std::uint64_t location = 7, std::uint64_t period = 3,
+                     std::uint64_t m = 65536) {
+    Beacon b;
+    b.location = location;
+    b.period = period;
+    b.bitmap_size = m;
+    b.certificate = ca_.issue("rsu:" + std::to_string(location), location,
+                              rsu_keys_.pub, 0, 1000);
+    return b;
+  }
+
+  AuthResponse sign_response(const AuthRequest& req, std::uint64_t location,
+                             std::uint64_t period) {
+    AuthResponse resp;
+    resp.nonce = req.nonce;
+    resp.signature =
+        rsa_sign(rsu_keys_, auth_transcript(req.nonce, location, period));
+    return resp;
+  }
+
+  EncodingParams params_;
+  Xoshiro256 rng_;
+  CertificateAuthority ca_;
+  RsaKeyPair rsu_keys_;
+};
+
+TEST_F(VehicleTest, FullHandshakeProducesBitIndex) {
+  Vehicle v = make_vehicle();
+  const Beacon beacon = make_beacon();
+
+  const auto auth_req = v.handle_beacon(beacon);
+  ASSERT_TRUE(auth_req.has_value());
+  EXPECT_TRUE(v.contact_pending());
+  const auto& req = std::get<AuthRequest>(auth_req->body);
+
+  const auto encode = v.handle_auth_response(sign_response(req, 7, 3));
+  ASSERT_TRUE(encode.has_value());
+  EXPECT_FALSE(v.contact_pending());
+  const auto& idx = std::get<EncodeIndex>(encode->body);
+  EXPECT_LT(idx.index, beacon.bitmap_size);
+  EXPECT_EQ(idx.index, v.bit_index_at(7, 65536));
+}
+
+TEST_F(VehicleTest, RejectsRogueCertificate) {
+  Xoshiro256 rogue_rng(13);
+  const CertificateAuthority rogue("rogue", 512, rogue_rng);
+  Beacon beacon = make_beacon();
+  beacon.certificate =
+      rogue.issue("rsu:7", 7, rsu_keys_.pub, 0, 1000);  // untrusted issuer
+  Vehicle v = make_vehicle();
+  EXPECT_EQ(v.handle_beacon(beacon).status().code(), ErrorCode::kAuthFailure);
+  EXPECT_FALSE(v.contact_pending());
+}
+
+TEST_F(VehicleTest, RejectsLocationMismatch) {
+  // Certificate for location 7 presented in a beacon claiming location 8.
+  Beacon beacon = make_beacon(7);
+  beacon.location = 8;
+  Vehicle v = make_vehicle();
+  EXPECT_EQ(v.handle_beacon(beacon).status().code(), ErrorCode::kAuthFailure);
+}
+
+TEST_F(VehicleTest, RejectsExpiredCertificate) {
+  Beacon beacon = make_beacon(7, /*period=*/2000);  // cert valid to 1000
+  Vehicle v = make_vehicle();
+  EXPECT_EQ(v.handle_beacon(beacon).status().code(), ErrorCode::kAuthFailure);
+}
+
+TEST_F(VehicleTest, RejectsBadBitmapSize) {
+  Vehicle v = make_vehicle();
+  Beacon beacon = make_beacon(7, 3, 1000);  // not a power of two
+  EXPECT_EQ(v.handle_beacon(beacon).status().code(),
+            ErrorCode::kInvalidArgument);
+  beacon = make_beacon(7, 3, 0);
+  EXPECT_FALSE(v.handle_beacon(beacon).has_value());
+}
+
+TEST_F(VehicleTest, RejectsWrongNonce) {
+  Vehicle v = make_vehicle();
+  const auto auth_req = v.handle_beacon(make_beacon());
+  ASSERT_TRUE(auth_req.has_value());
+  auto req = std::get<AuthRequest>(auth_req->body);
+  req.nonce ^= 1;  // attacker replays with a different nonce
+  EXPECT_EQ(v.handle_auth_response(sign_response(req, 7, 3)).status().code(),
+            ErrorCode::kAuthFailure);
+  EXPECT_TRUE(v.contact_pending());  // still waiting for the real response
+}
+
+TEST_F(VehicleTest, RejectsSignatureFromWrongKey) {
+  Vehicle v = make_vehicle();
+  const auto auth_req = v.handle_beacon(make_beacon());
+  ASSERT_TRUE(auth_req.has_value());
+  const auto& req = std::get<AuthRequest>(auth_req->body);
+  const RsaKeyPair other = rsa_generate(512, rng_);
+  AuthResponse resp;
+  resp.nonce = req.nonce;
+  resp.signature = rsa_sign(other, auth_transcript(req.nonce, 7, 3));
+  EXPECT_EQ(v.handle_auth_response(resp).status().code(),
+            ErrorCode::kAuthFailure);
+}
+
+TEST_F(VehicleTest, RejectsTranscriptFieldSubstitution) {
+  // Signature over a different location/period must not validate.
+  Vehicle v = make_vehicle();
+  const auto auth_req = v.handle_beacon(make_beacon(7, 3));
+  ASSERT_TRUE(auth_req.has_value());
+  const auto& req = std::get<AuthRequest>(auth_req->body);
+  EXPECT_FALSE(v.handle_auth_response(sign_response(req, 8, 3)).has_value());
+}
+
+TEST_F(VehicleTest, ResponseWithoutContactRejected) {
+  Vehicle v = make_vehicle();
+  AuthResponse resp;
+  resp.nonce = 1;
+  EXPECT_EQ(v.handle_auth_response(resp).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(VehicleTest, AbortClearsPendingContact) {
+  Vehicle v = make_vehicle();
+  ASSERT_TRUE(v.handle_beacon(make_beacon()).has_value());
+  v.abort_contact();
+  EXPECT_FALSE(v.contact_pending());
+}
+
+TEST_F(VehicleTest, FreshMacAndNoncePerContact) {
+  Vehicle v = make_vehicle();
+  std::set<std::uint64_t> macs, nonces;
+  for (int contact = 0; contact < 50; ++contact) {
+    const auto auth_req = v.handle_beacon(make_beacon());
+    ASSERT_TRUE(auth_req.has_value());
+    macs.insert(auth_req->src.value);
+    nonces.insert(std::get<AuthRequest>(auth_req->body).nonce);
+    v.abort_contact();
+  }
+  EXPECT_EQ(macs.size(), 50u);    // one-time MACs (SpoofMAC)
+  EXPECT_EQ(nonces.size(), 50u);  // fresh nonces
+}
+
+TEST_F(VehicleTest, NothingIdentifyingOnTheWire) {
+  // The privacy core: neither frame carries the vehicle ID or key, and the
+  // only payload derived from them is the single index h_v.
+  Vehicle v = make_vehicle(0x123456789ULL);
+  const auto auth_req = v.handle_beacon(make_beacon());
+  ASSERT_TRUE(auth_req.has_value());
+  EXPECT_NE(auth_req->src.value, 0x123456789ULL);
+  const auto& req = std::get<AuthRequest>(auth_req->body);
+  const auto encode = v.handle_auth_response(sign_response(req, 7, 3));
+  ASSERT_TRUE(encode.has_value());
+  EXPECT_NE(encode->src.value, 0x123456789ULL);
+  EXPECT_LT(std::get<EncodeIndex>(encode->body).index, 65536u);
+}
+
+TEST_F(VehicleTest, SameLocationSameIndexAcrossContacts) {
+  // Repeat contacts at one location produce the same h_v (the persistence
+  // property), while a different location may differ.
+  Vehicle v = make_vehicle();
+  std::set<std::uint64_t> indices_at_7;
+  for (int day = 0; day < 5; ++day) {
+    const auto auth_req = v.handle_beacon(make_beacon(7, day));
+    ASSERT_TRUE(auth_req.has_value());
+    const auto& req = std::get<AuthRequest>(auth_req->body);
+    const auto encode = v.handle_auth_response(sign_response(req, 7, day));
+    ASSERT_TRUE(encode.has_value());
+    indices_at_7.insert(std::get<EncodeIndex>(encode->body).index);
+  }
+  EXPECT_EQ(indices_at_7.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,157 @@
+// Tests for traffic/workload.hpp: the §VI synthetic generators, including
+// the property that transient traffic modeled as uniform random bits is
+// distribution-identical to encoding fresh vehicles.
+#include "traffic/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/stats.hpp"
+#include "core/traffic_record.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(Workload, DrawPeriodVolumesRespectsRange) {
+  Xoshiro256 rng(1);
+  const auto volumes = draw_period_volumes(1000, 2001, 10000, rng);
+  ASSERT_EQ(volumes.size(), 1000u);
+  for (std::uint64_t v : volumes) {
+    EXPECT_GE(v, 2001u);
+    EXPECT_LE(v, 10000u);
+  }
+  // Mean of U[2001,10000] is ~6000.5; stderr ~73.
+  RunningStats stats;
+  for (std::uint64_t v : volumes) stats.add(static_cast<double>(v));
+  EXPECT_NEAR(stats.mean(), 6000.5, 400.0);
+}
+
+TEST(Workload, MakeVehiclesDistinctIdsAndFullSecrets) {
+  Xoshiro256 rng(2);
+  const auto vehicles = make_vehicles(500, 4, rng);
+  ASSERT_EQ(vehicles.size(), 500u);
+  std::set<std::uint64_t> ids;
+  for (const auto& v : vehicles) {
+    ids.insert(v.id);
+    EXPECT_EQ(v.constants.size(), 4u);
+  }
+  EXPECT_EQ(ids.size(), 500u);
+}
+
+TEST(Workload, TransientEquivalenceToFreshVehicleEncoding) {
+  // The generator's core shortcut: `count` uniform bits produce the same
+  // zero-fraction distribution as encoding `count` fresh vehicles.  Compare
+  // mean fraction of zeros across trials; they must agree within combined
+  // noise (this is what licenses the fast Table-I simulation).
+  const EncodingParams encoding;
+  const VehicleEncoder encoder(encoding);
+  constexpr std::size_t kM = 8192;
+  constexpr std::uint64_t kCount = 4000;
+  constexpr int kTrials = 60;
+
+  Xoshiro256 rng(3);
+  RunningStats uniform_zeros, encoded_zeros;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Bitmap uniform(kM);
+    add_transient_traffic(uniform, kCount, rng);
+    uniform_zeros.add(uniform.fraction_zeros());
+
+    Bitmap encoded(kM);
+    for (std::uint64_t i = 0; i < kCount; ++i) {
+      const auto v = VehicleSecrets::create(rng.next(), encoding.s, rng);
+      encoder.encode(v, 0xF00D, encoded);
+    }
+    encoded_zeros.add(encoded.fraction_zeros());
+  }
+  const double combined_stderr = std::sqrt(
+      uniform_zeros.stderr_mean() * uniform_zeros.stderr_mean() +
+      encoded_zeros.stderr_mean() * encoded_zeros.stderr_mean());
+  EXPECT_NEAR(uniform_zeros.mean(), encoded_zeros.mean(),
+              5.0 * combined_stderr);
+}
+
+TEST(Workload, PointRecordsShapeAndSizes) {
+  Xoshiro256 rng(4);
+  const EncodingParams encoding;
+  const auto common = make_vehicles(100, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes = {2500, 9000, 4000};
+  const auto records =
+      generate_point_records(volumes, common, 0xA, 2.0, encoding, rng);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].size(), plan_bitmap_size(2500, 2.0));
+  EXPECT_EQ(records[1].size(), plan_bitmap_size(9000, 2.0));
+  EXPECT_EQ(records[2].size(), plan_bitmap_size(4000, 2.0));
+  // Ones bounded by volume (collisions only reduce).
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_LE(records[j].count_ones(), volumes[j]);
+    EXPECT_GT(records[j].count_ones(), volumes[j] / 2);
+  }
+}
+
+TEST(Workload, CommonVehiclesPresentInEveryPointRecord) {
+  Xoshiro256 rng(5);
+  const EncodingParams encoding;
+  const VehicleEncoder encoder(encoding);
+  const auto common = make_vehicles(50, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes = {2100, 5000, 9000, 3000};
+  constexpr std::uint64_t kLocation = 0xB;
+  const auto records = generate_point_records(volumes, common, kLocation,
+                                              2.0, encoding, rng);
+  for (const auto& record : records) {
+    for (const auto& v : common) {
+      EXPECT_TRUE(record.test(static_cast<std::size_t>(
+          encoder.bit_index(v, kLocation, record.size()))));
+    }
+  }
+}
+
+TEST(Workload, P2PRecordsCommonAtBothLocations) {
+  Xoshiro256 rng(6);
+  const EncodingParams encoding;
+  const VehicleEncoder encoder(encoding);
+  const auto common = make_vehicles(40, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes_l = {2500, 2500};
+  const std::vector<std::uint64_t> volumes_lp = {8000, 8000};
+  const auto records = generate_p2p_records(volumes_l, volumes_lp, common,
+                                            0xA, 0xB, 2.0, encoding, rng);
+  ASSERT_EQ(records.at_l.size(), 2u);
+  ASSERT_EQ(records.at_l_prime.size(), 2u);
+  EXPECT_EQ(records.at_l[0].size(), plan_bitmap_size(2500, 2.0));
+  EXPECT_EQ(records.at_l_prime[0].size(), plan_bitmap_size(8000, 2.0));
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (const auto& v : common) {
+      EXPECT_TRUE(records.at_l[j].test(static_cast<std::size_t>(
+          encoder.bit_index(v, 0xA, records.at_l[j].size()))));
+      EXPECT_TRUE(records.at_l_prime[j].test(static_cast<std::size_t>(
+          encoder.bit_index(v, 0xB, records.at_l_prime[j].size()))));
+    }
+  }
+}
+
+TEST(Workload, SameSizeBenchmarkForcesEqualSizes) {
+  Xoshiro256 rng(7);
+  const EncodingParams encoding;
+  const auto common = make_vehicles(10, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes_l = {2500};
+  const std::vector<std::uint64_t> volumes_lp = {40000};
+  const auto records =
+      generate_p2p_records(volumes_l, volumes_lp, common, 0xA, 0xB, 2.0,
+                           encoding, rng, /*same_size_benchmark=*/true);
+  EXPECT_EQ(records.at_l[0].size(), records.at_l_prime[0].size());
+  EXPECT_EQ(records.at_l[0].size(), plan_bitmap_size(2500, 2.0));
+}
+
+TEST(Workload, ZeroCommonIsPureTransientNoise) {
+  Xoshiro256 rng(8);
+  const EncodingParams encoding;
+  const std::vector<std::uint64_t> volumes = {3000};
+  const auto records =
+      generate_point_records(volumes, {}, 0xC, 2.0, encoding, rng);
+  EXPECT_LE(records[0].count_ones(), 3000u);
+  EXPECT_GT(records[0].count_ones(), 2000u);
+}
+
+}  // namespace
+}  // namespace ptm

@@ -1,0 +1,67 @@
+// Tests for hash/xxhash.hpp against published XXH64 vectors and structural
+// properties.
+#include "hash/xxhash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string_view>
+#include <vector>
+
+namespace ptm {
+namespace {
+
+std::span<const std::uint8_t> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(XxHash64, ReferenceVectors) {
+  EXPECT_EQ(xxhash64(std::span<const std::uint8_t>{}, 0),
+            0xEF46DB3751D8E999ULL);
+  EXPECT_EQ(xxhash64(bytes_of("xxhash"), 0), 0x32DD38952C4BC720ULL);
+}
+
+TEST(XxHash64, SeedChangesOutput) {
+  EXPECT_NE(xxhash64(bytes_of("xxhash"), 0), xxhash64(bytes_of("xxhash"), 1));
+}
+
+TEST(XxHash64, EveryLengthBranchCovered) {
+  // < 4, < 8, < 32, >= 32, and multi-stripe (> 64) inputs all distinct.
+  std::vector<std::uint8_t> buf(100);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 13 + 5);
+  }
+  std::set<std::uint64_t> seen;
+  for (std::size_t len : {0u, 1u, 3u, 4u, 7u, 8u, 15u, 31u, 32u, 33u, 63u,
+                          64u, 65u, 100u}) {
+    seen.insert(xxhash64(std::span<const std::uint8_t>(buf.data(), len), 7));
+  }
+  EXPECT_EQ(seen.size(), 14u);
+}
+
+TEST(XxHash64, PrefixIsNotHashPrefix) {
+  // Extending the input by one byte must rehash, not append.
+  std::uint8_t buf[9] = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::uint64_t h8 = xxhash64(std::span<const std::uint8_t>(buf, 8), 0);
+  const std::uint64_t h9 = xxhash64(std::span<const std::uint8_t>(buf, 9), 0);
+  EXPECT_NE(h8, h9);
+  EXPECT_NE(h8 >> 8, h9 >> 8);
+}
+
+TEST(XxHash64, U64OverloadMatchesByteSpan) {
+  const std::uint64_t value = 0xFEDCBA9876543210ULL;
+  std::uint8_t le[8];
+  std::memcpy(le, &value, 8);
+  EXPECT_EQ(xxhash64(value, 3),
+            xxhash64(std::span<const std::uint8_t>(le, 8), 3));
+}
+
+TEST(XxHash64, NoTrivialCollisionsOnSequentialInputs) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t v = 0; v < 100000; ++v) seen.insert(xxhash64(v, 0));
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace ptm

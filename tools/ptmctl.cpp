@@ -1,0 +1,17 @@
+// ptmctl - command-line front end for the ptm library (see src/cli/cli.hpp
+// for the command set; all logic lives there so it is unit-tested).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  const ptm::Status status = ptm::run_cli(args, std::cout);
+  if (!status.is_ok()) {
+    std::cerr << "ptmctl: " << status.to_string() << "\n";
+    return 1;
+  }
+  return 0;
+}
