@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kway.dir/bench_ablation_kway.cpp.o"
+  "CMakeFiles/bench_ablation_kway.dir/bench_ablation_kway.cpp.o.d"
+  "bench_ablation_kway"
+  "bench_ablation_kway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_corridor.dir/bench_ext_corridor.cpp.o"
+  "CMakeFiles/bench_ext_corridor.dir/bench_ext_corridor.cpp.o.d"
+  "bench_ext_corridor"
+  "bench_ext_corridor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_corridor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_point_persistent.dir/bench_fig4_point_persistent.cpp.o"
+  "CMakeFiles/bench_fig4_point_persistent.dir/bench_fig4_point_persistent.cpp.o.d"
+  "bench_fig4_point_persistent"
+  "bench_fig4_point_persistent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_point_persistent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_privacy.dir/bench_table2_privacy.cpp.o"
+  "CMakeFiles/bench_table2_privacy.dir/bench_table2_privacy.cpp.o.d"
+  "bench_table2_privacy"
+  "bench_table2_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

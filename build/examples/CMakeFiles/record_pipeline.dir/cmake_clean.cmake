@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_pipeline.dir/record_pipeline.cpp.o"
+  "CMakeFiles/record_pipeline.dir/record_pipeline.cpp.o.d"
+  "record_pipeline"
+  "record_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_study.dir/trajectory_study.cpp.o"
+  "CMakeFiles/trajectory_study.dir/trajectory_study.cpp.o.d"
+  "trajectory_study"
+  "trajectory_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

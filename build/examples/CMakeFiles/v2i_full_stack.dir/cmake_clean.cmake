@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v2i_full_stack.dir/v2i_full_stack.cpp.o"
+  "CMakeFiles/v2i_full_stack.dir/v2i_full_stack.cpp.o.d"
+  "v2i_full_stack"
+  "v2i_full_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v2i_full_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("hash")
+subdirs("crypto")
+subdirs("core")
+subdirs("sketch")
+subdirs("store")
+subdirs("net")
+subdirs("nodes")
+subdirs("traffic")
+subdirs("sim")
+subdirs("cli")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_cli.dir/cli.cpp.o"
+  "CMakeFiles/ptm_cli.dir/cli.cpp.o.d"
+  "libptm_cli.a"
+  "libptm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_common.dir/bitmap.cpp.o"
+  "CMakeFiles/ptm_common.dir/bitmap.cpp.o.d"
+  "CMakeFiles/ptm_common.dir/config.cpp.o"
+  "CMakeFiles/ptm_common.dir/config.cpp.o.d"
+  "CMakeFiles/ptm_common.dir/crc32.cpp.o"
+  "CMakeFiles/ptm_common.dir/crc32.cpp.o.d"
+  "CMakeFiles/ptm_common.dir/env.cpp.o"
+  "CMakeFiles/ptm_common.dir/env.cpp.o.d"
+  "CMakeFiles/ptm_common.dir/parallel.cpp.o"
+  "CMakeFiles/ptm_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/ptm_common.dir/random.cpp.o"
+  "CMakeFiles/ptm_common.dir/random.cpp.o.d"
+  "CMakeFiles/ptm_common.dir/serialize.cpp.o"
+  "CMakeFiles/ptm_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/ptm_common.dir/stats.cpp.o"
+  "CMakeFiles/ptm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ptm_common.dir/status.cpp.o"
+  "CMakeFiles/ptm_common.dir/status.cpp.o.d"
+  "CMakeFiles/ptm_common.dir/table.cpp.o"
+  "CMakeFiles/ptm_common.dir/table.cpp.o.d"
+  "libptm_common.a"
+  "libptm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bootstrap.cpp" "src/core/CMakeFiles/ptm_core.dir/bootstrap.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/core/corridor_persistent.cpp" "src/core/CMakeFiles/ptm_core.dir/corridor_persistent.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/corridor_persistent.cpp.o.d"
+  "/root/repo/src/core/encoding.cpp" "src/core/CMakeFiles/ptm_core.dir/encoding.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/encoding.cpp.o.d"
+  "/root/repo/src/core/expansion.cpp" "src/core/CMakeFiles/ptm_core.dir/expansion.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/expansion.cpp.o.d"
+  "/root/repo/src/core/kway_persistent.cpp" "src/core/CMakeFiles/ptm_core.dir/kway_persistent.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/kway_persistent.cpp.o.d"
+  "/root/repo/src/core/linear_counting.cpp" "src/core/CMakeFiles/ptm_core.dir/linear_counting.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/linear_counting.cpp.o.d"
+  "/root/repo/src/core/p2p_persistent.cpp" "src/core/CMakeFiles/ptm_core.dir/p2p_persistent.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/p2p_persistent.cpp.o.d"
+  "/root/repo/src/core/point_persistent.cpp" "src/core/CMakeFiles/ptm_core.dir/point_persistent.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/point_persistent.cpp.o.d"
+  "/root/repo/src/core/privacy.cpp" "src/core/CMakeFiles/ptm_core.dir/privacy.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/privacy.cpp.o.d"
+  "/root/repo/src/core/sliding_join.cpp" "src/core/CMakeFiles/ptm_core.dir/sliding_join.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/sliding_join.cpp.o.d"
+  "/root/repo/src/core/traffic_record.cpp" "src/core/CMakeFiles/ptm_core.dir/traffic_record.cpp.o" "gcc" "src/core/CMakeFiles/ptm_core.dir/traffic_record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ptm_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_core.dir/bootstrap.cpp.o"
+  "CMakeFiles/ptm_core.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/corridor_persistent.cpp.o"
+  "CMakeFiles/ptm_core.dir/corridor_persistent.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/encoding.cpp.o"
+  "CMakeFiles/ptm_core.dir/encoding.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/expansion.cpp.o"
+  "CMakeFiles/ptm_core.dir/expansion.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/kway_persistent.cpp.o"
+  "CMakeFiles/ptm_core.dir/kway_persistent.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/linear_counting.cpp.o"
+  "CMakeFiles/ptm_core.dir/linear_counting.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/p2p_persistent.cpp.o"
+  "CMakeFiles/ptm_core.dir/p2p_persistent.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/point_persistent.cpp.o"
+  "CMakeFiles/ptm_core.dir/point_persistent.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/privacy.cpp.o"
+  "CMakeFiles/ptm_core.dir/privacy.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/sliding_join.cpp.o"
+  "CMakeFiles/ptm_core.dir/sliding_join.cpp.o.d"
+  "CMakeFiles/ptm_core.dir/traffic_record.cpp.o"
+  "CMakeFiles/ptm_core.dir/traffic_record.cpp.o.d"
+  "libptm_core.a"
+  "libptm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

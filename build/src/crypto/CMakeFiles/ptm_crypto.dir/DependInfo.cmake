@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/bigint.cpp" "src/crypto/CMakeFiles/ptm_crypto.dir/bigint.cpp.o" "gcc" "src/crypto/CMakeFiles/ptm_crypto.dir/bigint.cpp.o.d"
+  "/root/repo/src/crypto/certificate.cpp" "src/crypto/CMakeFiles/ptm_crypto.dir/certificate.cpp.o" "gcc" "src/crypto/CMakeFiles/ptm_crypto.dir/certificate.cpp.o.d"
+  "/root/repo/src/crypto/rsa.cpp" "src/crypto/CMakeFiles/ptm_crypto.dir/rsa.cpp.o" "gcc" "src/crypto/CMakeFiles/ptm_crypto.dir/rsa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ptm_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/ptm_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/ptm_crypto.dir/certificate.cpp.o"
+  "CMakeFiles/ptm_crypto.dir/certificate.cpp.o.d"
+  "CMakeFiles/ptm_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/ptm_crypto.dir/rsa.cpp.o.d"
+  "libptm_crypto.a"
+  "libptm_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

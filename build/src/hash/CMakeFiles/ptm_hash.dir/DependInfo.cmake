@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hash/hash_suite.cpp" "src/hash/CMakeFiles/ptm_hash.dir/hash_suite.cpp.o" "gcc" "src/hash/CMakeFiles/ptm_hash.dir/hash_suite.cpp.o.d"
+  "/root/repo/src/hash/murmur3.cpp" "src/hash/CMakeFiles/ptm_hash.dir/murmur3.cpp.o" "gcc" "src/hash/CMakeFiles/ptm_hash.dir/murmur3.cpp.o.d"
+  "/root/repo/src/hash/sha256.cpp" "src/hash/CMakeFiles/ptm_hash.dir/sha256.cpp.o" "gcc" "src/hash/CMakeFiles/ptm_hash.dir/sha256.cpp.o.d"
+  "/root/repo/src/hash/siphash.cpp" "src/hash/CMakeFiles/ptm_hash.dir/siphash.cpp.o" "gcc" "src/hash/CMakeFiles/ptm_hash.dir/siphash.cpp.o.d"
+  "/root/repo/src/hash/xxhash.cpp" "src/hash/CMakeFiles/ptm_hash.dir/xxhash.cpp.o" "gcc" "src/hash/CMakeFiles/ptm_hash.dir/xxhash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_hash.dir/hash_suite.cpp.o"
+  "CMakeFiles/ptm_hash.dir/hash_suite.cpp.o.d"
+  "CMakeFiles/ptm_hash.dir/murmur3.cpp.o"
+  "CMakeFiles/ptm_hash.dir/murmur3.cpp.o.d"
+  "CMakeFiles/ptm_hash.dir/sha256.cpp.o"
+  "CMakeFiles/ptm_hash.dir/sha256.cpp.o.d"
+  "CMakeFiles/ptm_hash.dir/siphash.cpp.o"
+  "CMakeFiles/ptm_hash.dir/siphash.cpp.o.d"
+  "CMakeFiles/ptm_hash.dir/xxhash.cpp.o"
+  "CMakeFiles/ptm_hash.dir/xxhash.cpp.o.d"
+  "libptm_hash.a"
+  "libptm_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

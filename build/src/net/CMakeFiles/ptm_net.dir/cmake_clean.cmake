@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_net.dir/channel.cpp.o"
+  "CMakeFiles/ptm_net.dir/channel.cpp.o.d"
+  "CMakeFiles/ptm_net.dir/mac.cpp.o"
+  "CMakeFiles/ptm_net.dir/mac.cpp.o.d"
+  "CMakeFiles/ptm_net.dir/message.cpp.o"
+  "CMakeFiles/ptm_net.dir/message.cpp.o.d"
+  "libptm_net.a"
+  "libptm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

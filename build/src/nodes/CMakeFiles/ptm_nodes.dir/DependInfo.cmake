@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nodes/deployment.cpp" "src/nodes/CMakeFiles/ptm_nodes.dir/deployment.cpp.o" "gcc" "src/nodes/CMakeFiles/ptm_nodes.dir/deployment.cpp.o.d"
+  "/root/repo/src/nodes/rsu.cpp" "src/nodes/CMakeFiles/ptm_nodes.dir/rsu.cpp.o" "gcc" "src/nodes/CMakeFiles/ptm_nodes.dir/rsu.cpp.o.d"
+  "/root/repo/src/nodes/server.cpp" "src/nodes/CMakeFiles/ptm_nodes.dir/server.cpp.o" "gcc" "src/nodes/CMakeFiles/ptm_nodes.dir/server.cpp.o.d"
+  "/root/repo/src/nodes/vehicle.cpp" "src/nodes/CMakeFiles/ptm_nodes.dir/vehicle.cpp.o" "gcc" "src/nodes/CMakeFiles/ptm_nodes.dir/vehicle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ptm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ptm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ptm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ptm_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_nodes.dir/deployment.cpp.o"
+  "CMakeFiles/ptm_nodes.dir/deployment.cpp.o.d"
+  "CMakeFiles/ptm_nodes.dir/rsu.cpp.o"
+  "CMakeFiles/ptm_nodes.dir/rsu.cpp.o.d"
+  "CMakeFiles/ptm_nodes.dir/server.cpp.o"
+  "CMakeFiles/ptm_nodes.dir/server.cpp.o.d"
+  "CMakeFiles/ptm_nodes.dir/vehicle.cpp.o"
+  "CMakeFiles/ptm_nodes.dir/vehicle.cpp.o.d"
+  "libptm_nodes.a"
+  "libptm_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

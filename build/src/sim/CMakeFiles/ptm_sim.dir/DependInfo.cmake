@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/ptm_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/ptm_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/ptm_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/ptm_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/trajectory_attack.cpp" "src/sim/CMakeFiles/ptm_sim.dir/trajectory_attack.cpp.o" "gcc" "src/sim/CMakeFiles/ptm_sim.dir/trajectory_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ptm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ptm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ptm_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

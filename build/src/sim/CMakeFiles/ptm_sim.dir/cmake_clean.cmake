@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/ptm_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/ptm_sim.dir/experiment.cpp.o"
+  "CMakeFiles/ptm_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/ptm_sim.dir/trajectory_attack.cpp.o"
+  "CMakeFiles/ptm_sim.dir/trajectory_attack.cpp.o.d"
+  "libptm_sim.a"
+  "libptm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/hyperloglog.cpp" "src/sketch/CMakeFiles/ptm_sketch.dir/hyperloglog.cpp.o" "gcc" "src/sketch/CMakeFiles/ptm_sketch.dir/hyperloglog.cpp.o.d"
+  "/root/repo/src/sketch/pcsa.cpp" "src/sketch/CMakeFiles/ptm_sketch.dir/pcsa.cpp.o" "gcc" "src/sketch/CMakeFiles/ptm_sketch.dir/pcsa.cpp.o.d"
+  "/root/repo/src/sketch/virtual_bitmap.cpp" "src/sketch/CMakeFiles/ptm_sketch.dir/virtual_bitmap.cpp.o" "gcc" "src/sketch/CMakeFiles/ptm_sketch.dir/virtual_bitmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ptm_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

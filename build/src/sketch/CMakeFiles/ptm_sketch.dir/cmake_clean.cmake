@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_sketch.dir/hyperloglog.cpp.o"
+  "CMakeFiles/ptm_sketch.dir/hyperloglog.cpp.o.d"
+  "CMakeFiles/ptm_sketch.dir/pcsa.cpp.o"
+  "CMakeFiles/ptm_sketch.dir/pcsa.cpp.o.d"
+  "CMakeFiles/ptm_sketch.dir/virtual_bitmap.cpp.o"
+  "CMakeFiles/ptm_sketch.dir/virtual_bitmap.cpp.o.d"
+  "libptm_sketch.a"
+  "libptm_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libptm_sketch.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_store.dir/archive.cpp.o"
+  "CMakeFiles/ptm_store.dir/archive.cpp.o.d"
+  "CMakeFiles/ptm_store.dir/record_log.cpp.o"
+  "CMakeFiles/ptm_store.dir/record_log.cpp.o.d"
+  "libptm_store.a"
+  "libptm_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/mobility.cpp" "src/traffic/CMakeFiles/ptm_traffic.dir/mobility.cpp.o" "gcc" "src/traffic/CMakeFiles/ptm_traffic.dir/mobility.cpp.o.d"
+  "/root/repo/src/traffic/road_network.cpp" "src/traffic/CMakeFiles/ptm_traffic.dir/road_network.cpp.o" "gcc" "src/traffic/CMakeFiles/ptm_traffic.dir/road_network.cpp.o.d"
+  "/root/repo/src/traffic/sioux_falls.cpp" "src/traffic/CMakeFiles/ptm_traffic.dir/sioux_falls.cpp.o" "gcc" "src/traffic/CMakeFiles/ptm_traffic.dir/sioux_falls.cpp.o.d"
+  "/root/repo/src/traffic/trip_table.cpp" "src/traffic/CMakeFiles/ptm_traffic.dir/trip_table.cpp.o" "gcc" "src/traffic/CMakeFiles/ptm_traffic.dir/trip_table.cpp.o.d"
+  "/root/repo/src/traffic/workload.cpp" "src/traffic/CMakeFiles/ptm_traffic.dir/workload.cpp.o" "gcc" "src/traffic/CMakeFiles/ptm_traffic.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ptm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ptm_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

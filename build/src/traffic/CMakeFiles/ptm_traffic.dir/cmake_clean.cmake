@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptm_traffic.dir/mobility.cpp.o"
+  "CMakeFiles/ptm_traffic.dir/mobility.cpp.o.d"
+  "CMakeFiles/ptm_traffic.dir/road_network.cpp.o"
+  "CMakeFiles/ptm_traffic.dir/road_network.cpp.o.d"
+  "CMakeFiles/ptm_traffic.dir/sioux_falls.cpp.o"
+  "CMakeFiles/ptm_traffic.dir/sioux_falls.cpp.o.d"
+  "CMakeFiles/ptm_traffic.dir/trip_table.cpp.o"
+  "CMakeFiles/ptm_traffic.dir/trip_table.cpp.o.d"
+  "CMakeFiles/ptm_traffic.dir/workload.cpp.o"
+  "CMakeFiles/ptm_traffic.dir/workload.cpp.o.d"
+  "libptm_traffic.a"
+  "libptm_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptm_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

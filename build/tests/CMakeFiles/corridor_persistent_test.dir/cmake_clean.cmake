@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corridor_persistent_test.dir/corridor_persistent_test.cpp.o"
+  "CMakeFiles/corridor_persistent_test.dir/corridor_persistent_test.cpp.o.d"
+  "corridor_persistent_test"
+  "corridor_persistent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corridor_persistent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

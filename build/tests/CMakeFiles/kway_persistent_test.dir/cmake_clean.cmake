@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kway_persistent_test.dir/kway_persistent_test.cpp.o"
+  "CMakeFiles/kway_persistent_test.dir/kway_persistent_test.cpp.o.d"
+  "kway_persistent_test"
+  "kway_persistent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kway_persistent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_counting_test.dir/linear_counting_test.cpp.o"
+  "CMakeFiles/linear_counting_test.dir/linear_counting_test.cpp.o.d"
+  "linear_counting_test"
+  "linear_counting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

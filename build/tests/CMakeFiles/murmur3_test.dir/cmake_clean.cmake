@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/murmur3_test.dir/murmur3_test.cpp.o"
+  "CMakeFiles/murmur3_test.dir/murmur3_test.cpp.o.d"
+  "murmur3_test"
+  "murmur3_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/murmur3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/point_persistent_test.dir/point_persistent_test.cpp.o"
+  "CMakeFiles/point_persistent_test.dir/point_persistent_test.cpp.o.d"
+  "point_persistent_test"
+  "point_persistent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/point_persistent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsu_test.dir/rsu_test.cpp.o"
+  "CMakeFiles/rsu_test.dir/rsu_test.cpp.o.d"
+  "rsu_test"
+  "rsu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

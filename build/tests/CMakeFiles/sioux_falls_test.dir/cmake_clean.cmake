@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sioux_falls_test.dir/sioux_falls_test.cpp.o"
+  "CMakeFiles/sioux_falls_test.dir/sioux_falls_test.cpp.o.d"
+  "sioux_falls_test"
+  "sioux_falls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sioux_falls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sliding_join_test.dir/sliding_join_test.cpp.o"
+  "CMakeFiles/sliding_join_test.dir/sliding_join_test.cpp.o.d"
+  "sliding_join_test"
+  "sliding_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sliding_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

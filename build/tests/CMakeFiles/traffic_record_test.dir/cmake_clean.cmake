@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_record_test.dir/traffic_record_test.cpp.o"
+  "CMakeFiles/traffic_record_test.dir/traffic_record_test.cpp.o.d"
+  "traffic_record_test"
+  "traffic_record_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trajectory_attack_test.cpp" "tests/CMakeFiles/trajectory_attack_test.dir/trajectory_attack_test.cpp.o" "gcc" "tests/CMakeFiles/trajectory_attack_test.dir/trajectory_attack_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/ptm_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/nodes/CMakeFiles/ptm_nodes.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ptm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ptm_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ptm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/ptm_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/ptm_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/ptm_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ptm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/ptm_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ptm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_attack_test.dir/trajectory_attack_test.cpp.o"
+  "CMakeFiles/trajectory_attack_test.dir/trajectory_attack_test.cpp.o.d"
+  "trajectory_attack_test"
+  "trajectory_attack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_attack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

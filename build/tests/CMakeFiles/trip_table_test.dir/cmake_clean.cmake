@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trip_table_test.dir/trip_table_test.cpp.o"
+  "CMakeFiles/trip_table_test.dir/trip_table_test.cpp.o.d"
+  "trip_table_test"
+  "trip_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trip_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

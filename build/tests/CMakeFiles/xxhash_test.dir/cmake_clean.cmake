@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xxhash_test.dir/xxhash_test.cpp.o"
+  "CMakeFiles/xxhash_test.dir/xxhash_test.cpp.o.d"
+  "xxhash_test"
+  "xxhash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xxhash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

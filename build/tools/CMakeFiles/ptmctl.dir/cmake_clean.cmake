@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptmctl.dir/ptmctl.cpp.o"
+  "CMakeFiles/ptmctl.dir/ptmctl.cpp.o.d"
+  "ptmctl"
+  "ptmctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptmctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
