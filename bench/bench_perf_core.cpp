@@ -15,6 +15,7 @@
 #include "core/point_persistent.hpp"
 #include "hash/hash_suite.hpp"
 #include "nodes/deployment.hpp"
+#include "query/query_service.hpp"
 #include "traffic/workload.hpp"
 
 namespace {
@@ -161,6 +162,106 @@ void BM_GeneratePeriodRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GeneratePeriodRecord);
+
+/// Shared store for the batched-query benchmarks: 64 locations x 8
+/// periods, plus a mixed request list (point volume, point persistent,
+/// rolling persistent, p2p) cycled to batch size 4096 - a planner
+/// dashboard refresh.  Built once per process.
+struct QueryBenchFixture {
+  QueryService service{
+      QueryServiceOptions{.load_factor = 2.0, .s = 3, .n_shards = 32}};
+  std::vector<QueryRequest> requests;
+
+  QueryBenchFixture() {
+    constexpr std::size_t kLocations = 64;
+    constexpr std::size_t kPeriods = 8;
+    const EncodingParams encoding;
+    std::vector<std::uint64_t> periods(kPeriods);
+    for (std::size_t p = 0; p < kPeriods; ++p) periods[p] = p;
+
+    for (std::size_t loc = 1; loc <= kLocations; ++loc) {
+      Xoshiro256 rng(loc);
+      const auto fleet = make_vehicles(400, encoding.s, rng);
+      const std::vector<std::uint64_t> volumes(kPeriods, 6000);
+      const auto bitmaps =
+          generate_point_records(volumes, fleet, loc, 2.0, encoding, rng);
+      for (std::size_t period = 0; period < bitmaps.size(); ++period) {
+        TrafficRecord rec{loc, period, bitmaps[period]};
+        if (!service.ingest(rec).is_ok()) std::abort();
+      }
+    }
+
+    std::vector<QueryRequest> shapes;
+    for (std::size_t loc = 1; loc <= kLocations; ++loc) {
+      shapes.emplace_back(PointVolumeQuery{loc, kPeriods / 2});
+      shapes.emplace_back(PointPersistentQuery{loc, periods});
+      shapes.emplace_back(RecentPersistentQuery{loc, kPeriods});
+    }
+    for (std::size_t loc = 1; loc + 1 <= kLocations; loc += 2) {
+      shapes.emplace_back(P2PPersistentQuery{loc, loc + 1, periods});
+    }
+    requests.reserve(4096);
+    for (std::size_t i = 0; i < 4096; ++i) {
+      requests.push_back(shapes[i % shapes.size()]);
+    }
+  }
+};
+
+const QueryBenchFixture& query_fixture() {
+  static QueryBenchFixture fixture;
+  return fixture;
+}
+
+/// Batched query dispatch at `threads` workers; threads == 0 measures the
+/// sequential baseline (one run() per request on the calling thread).
+/// run_batch at 8 workers vs the baseline is the headline throughput
+/// ratio of the sharded QueryService (>= 3x on 8 hardware threads).
+void BM_QueryServiceBatch(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const QueryBenchFixture& fixture = query_fixture();
+  for (auto _ : state) {
+    if (threads == 0) {
+      for (const QueryRequest& request : fixture.requests) {
+        benchmark::DoNotOptimize(fixture.service.run(request));
+      }
+    } else {
+      benchmark::DoNotOptimize(
+          fixture.service.run_batch(fixture.requests, threads));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(fixture.requests.size()));
+}
+BENCHMARK(BM_QueryServiceBatch)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Concurrent ingest while a reader hammers rolling queries - the
+/// many-writer/many-reader shape the sharded locks exist for.  Measures
+/// ingest throughput under read pressure.
+void BM_QueryServiceIngest(benchmark::State& state) {
+  Xoshiro256 rng(11);
+  const EncodingParams encoding;
+  const auto fleet = make_vehicles(200, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(1, 4000);
+  std::vector<TrafficRecord> uploads;
+  for (std::size_t i = 0; i < 512; ++i) {
+    const auto bitmaps = generate_point_records(
+        volumes, fleet, (i % 64) + 1, 2.0, encoding, rng);
+    uploads.push_back(TrafficRecord{(i % 64) + 1, i / 64, bitmaps[0]});
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    QueryService service(
+        QueryServiceOptions{.load_factor = 2.0, .s = 3, .n_shards = 32});
+    state.ResumeTiming();
+    for (const TrafficRecord& rec : uploads) {
+      benchmark::DoNotOptimize(service.ingest(rec));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(uploads.size()));
+}
+BENCHMARK(BM_QueryServiceIngest);
 
 void BM_FullStackContact(benchmark::State& state) {
   // One complete beacon/auth/encode exchange over the (lossless) simulated

@@ -69,22 +69,26 @@ int main() {
               100.0 * static_cast<double>(after.lost - before.lost) /
                   static_cast<double>(after.sent - before.sent));
 
-  // The transportation authority's queries.
+  // The transportation authority's queries, batched through the unified
+  // QueryService API: one request vector, one call, uniform summaries.
   const std::vector<std::uint64_t> days = {0, 1, 2};
-  if (const auto point = dep.server().query_point_volume(101, 0)) {
-    std::printf("point volume at 101, day 0: ~%.0f vehicles "
-                "(true ~1750 minus radio losses)\n",
-                point->value);
+  const std::vector<QueryRequest> requests = {
+      PointVolumeQuery{101, 0},
+      PointPersistentQuery{101, days},
+      P2PPersistentQuery{101, 202, days},
+  };
+  const std::vector<const char*> truths = {
+      "true ~1750 minus radio losses", "true: 250 commuters minus losses",
+      "true: 250 minus losses"};
+  const auto responses = dep.server().queries().run_batch(requests);
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].ok()) continue;
+    std::printf("%s: %s (%s)\n", query_kind_name(requests[i]),
+                format_estimate_summary(responses[i].summary).c_str(),
+                truths[i]);
   }
-  if (const auto persistent = dep.server().query_point_persistent(101, days)) {
-    std::printf("persistent at 101 over 3 days: ~%.0f (true: 250 commuters "
-                "minus losses)\n",
-                persistent->n_star);
-  }
-  if (const auto p2p = dep.server().query_p2p_persistent(101, 202, days)) {
-    std::printf("p2p persistent 101<->202: ~%.0f (true: 250 minus losses)\n\n",
-                p2p->n_double_prime);
-  }
+  std::printf("\nserver-side query metrics after the batch:\n%s\n",
+              dep.server().queries().metrics().to_string().c_str());
 
   // A rogue RSU with a self-signed certificate gets the silent treatment.
   Xoshiro256 rogue_rng(666);

@@ -14,6 +14,7 @@
 #include "core/point_persistent.hpp"
 #include "core/privacy.hpp"
 #include "core/traffic_record.hpp"
+#include "query/query_service.hpp"
 #include "store/archive.hpp"
 #include "store/record_log.hpp"
 #include "traffic/workload.hpp"
@@ -36,6 +37,26 @@ Result<std::vector<Bitmap>> bitmaps_at(const std::vector<TrafficRecord>& all,
   out.reserve(by_period.size());
   for (auto& [period, bits] : by_period) out.push_back(std::move(bits));
   return out;
+}
+
+/// Feeds every record of a log into the service.  Duplicate
+/// (location, period) pairs are skipped - a log may legitimately contain
+/// them after partial rewrites, and the pre-QueryService CLI silently kept
+/// the first occurrence too.
+Status ingest_log(QueryService& service,
+                  const std::vector<TrafficRecord>& records) {
+  for (const TrafficRecord& rec : records) {
+    const Status st = service.ingest(rec);
+    if (!st.is_ok() && st.code() != ErrorCode::kFailedPrecondition) return st;
+  }
+  return Status::ok();
+}
+
+/// Loads a record log into a fresh QueryService (the CLI's query backend).
+Status load_service(const std::string& log_path, QueryService& service) {
+  auto contents = read_record_log(log_path);
+  if (!contents) return contents.status();
+  return ingest_log(service, contents->records);
 }
 
 Status cmd_generate(const Config& flags, std::ostream& out) {
@@ -145,19 +166,14 @@ Status cmd_volume(const Config& flags, std::ostream& out) {
   auto period = flags.get_u64("period");
   if (!period) return period.status();
 
-  auto contents = read_record_log(*log_path);
-  if (!contents) return contents.status();
-  for (const TrafficRecord& rec : contents->records) {
-    if (rec.location == *location && rec.period == *period) {
-      const CardinalityEstimate est = estimate_cardinality(rec.bits);
-      out << "point volume at location " << *location << ", period "
-          << *period << ": " << TableWriter::fmt(est.value, 1) << " ("
-          << estimate_outcome_name(est.outcome) << ", m = " << rec.m()
-          << ")\n";
-      return Status::ok();
-    }
-  }
-  return {ErrorCode::kNotFound, "no record for that location/period"};
+  QueryService service;
+  if (Status st = load_service(*log_path, service); !st.is_ok()) return st;
+  const QueryResponse resp =
+      service.run(QueryRequest{PointVolumeQuery{*location, *period}});
+  if (!resp.ok()) return resp.status;
+  out << "point volume at location " << *location << ", period " << *period
+      << ": " << format_estimate_summary(resp.summary) << "\n";
+  return Status::ok();
 }
 
 Status cmd_persistent(const Config& flags, std::ostream& out) {
@@ -170,21 +186,29 @@ Status cmd_persistent(const Config& flags, std::ostream& out) {
 
   auto contents = read_record_log(*log_path);
   if (!contents) return contents.status();
-  auto bitmaps = bitmaps_at(contents->records, *location);
-  if (!bitmaps) return bitmaps.status();
+  QueryService service;
+  if (Status st = ingest_log(service, contents->records); !st.is_ok()) {
+    return st;
+  }
+  const std::vector<std::uint64_t> periods = service.periods_at(*location);
+  if (periods.empty()) {
+    return {ErrorCode::kNotFound,
+            "no records for location " + std::to_string(*location)};
+  }
 
   auto ci_resamples = flags.get_u64_or("ci", 0);  // 0 = no interval
   if (!ci_resamples) return ci_resamples.status();
 
   if (*groups == 2) {
-    auto est = estimate_point_persistent(*bitmaps);
-    if (!est) return est.status();
+    const QueryResponse resp =
+        service.run(QueryRequest{PointPersistentQuery{*location, periods}});
+    if (!resp.ok()) return resp.status;
     out << "point persistent at location " << *location << " over "
-        << bitmaps->size() << " periods: "
-        << TableWriter::fmt(est->n_star, 1) << " ("
-        << estimate_outcome_name(est->outcome) << ", m = " << est->m
-        << ")\n";
+        << periods.size()
+        << " periods: " << format_estimate_summary(resp.summary) << "\n";
     if (*ci_resamples > 0) {
+      auto bitmaps = bitmaps_at(contents->records, *location);
+      if (!bitmaps) return bitmaps.status();
       BootstrapOptions boot;
       boot.resamples = static_cast<std::size_t>(*ci_resamples);
       auto interval = estimate_point_persistent_with_ci(*bitmaps, boot);
@@ -195,14 +219,16 @@ Status cmd_persistent(const Config& flags, std::ostream& out) {
           << boot.resamples << " resamples)\n";
     }
   } else {
+    // The k-way split is an estimator-level ablation, not one of the
+    // service's query shapes; it still prints through the one formatter.
+    auto bitmaps = bitmaps_at(contents->records, *location);
+    if (!bitmaps) return bitmaps.status();
     auto est = estimate_point_persistent_kway(
         *bitmaps, static_cast<std::size_t>(*groups));
     if (!est) return est.status();
     out << "point persistent at location " << *location << " over "
-        << bitmaps->size() << " periods (" << *groups
-        << "-way split): " << TableWriter::fmt(est->n_star, 1) << " ("
-        << estimate_outcome_name(est->outcome) << ", m = " << est->m
-        << ")\n";
+        << bitmaps->size() << " periods (" << *groups << "-way split): "
+        << format_estimate_summary(summarize_estimate(*est)) << "\n";
   }
   return Status::ok();
 }
@@ -217,22 +243,26 @@ Status cmd_p2p(const Config& flags, std::ostream& out) {
   auto s = flags.get_u64_or("s", 3);
   if (!s) return s.status();
 
-  auto contents = read_record_log(*log_path);
-  if (!contents) return contents.status();
-  auto bitmaps_a = bitmaps_at(contents->records, *from);
-  if (!bitmaps_a) return bitmaps_a.status();
-  auto bitmaps_b = bitmaps_at(contents->records, *to);
-  if (!bitmaps_b) return bitmaps_b.status();
+  QueryServiceOptions service_options;
+  service_options.s = static_cast<std::size_t>(*s);
+  QueryService service(service_options);
+  if (Status st = load_service(*log_path, service); !st.is_ok()) return st;
+  const std::vector<std::uint64_t> periods = service.periods_at(*from);
+  if (periods.empty()) {
+    return {ErrorCode::kNotFound,
+            "no records for location " + std::to_string(*from)};
+  }
 
-  PointToPointOptions options;
-  options.s = static_cast<std::size_t>(*s);
-  auto est = estimate_p2p_persistent(*bitmaps_a, *bitmaps_b, options);
-  if (!est) return est.status();
+  P2PPersistentQuery query;
+  query.location_a = *from;
+  query.location_b = *to;
+  query.periods = periods;
+  const QueryResponse resp = service.run(QueryRequest{std::move(query)});
+  if (!resp.ok()) return resp.status;
   out << "p2p persistent between " << *from << " and " << *to << " over "
-      << bitmaps_a->size() << " periods: "
-      << TableWriter::fmt(est->n_double_prime, 1) << " ("
-      << estimate_outcome_name(est->outcome) << ", m = " << est->m
-      << ", m' = " << est->m_prime << ", s = " << *s << ")\n";
+      << periods.size()
+      << " periods: " << format_estimate_summary(resp.summary)
+      << " [s = " << *s << "]\n";
   return Status::ok();
 }
 
@@ -266,22 +296,26 @@ Status cmd_corridor(const Config& flags, std::ostream& out) {
             "corridor needs at least two --locations"};
   }
 
-  auto contents = read_record_log(*log_path);
-  if (!contents) return contents.status();
-  std::vector<std::vector<Bitmap>> per_location;
-  for (std::uint64_t location : locations) {
-    auto bitmaps = bitmaps_at(contents->records, location);
-    if (!bitmaps) return bitmaps.status();
-    per_location.push_back(std::move(*bitmaps));
+  QueryServiceOptions service_options;
+  service_options.s = static_cast<std::size_t>(*s);
+  QueryService service(service_options);
+  if (Status st = load_service(*log_path, service); !st.is_ok()) return st;
+  const std::vector<std::uint64_t> periods =
+      service.periods_at(locations.front());
+  if (periods.empty()) {
+    return {ErrorCode::kNotFound,
+            "no records for location " + std::to_string(locations.front())};
   }
 
-  auto est = estimate_corridor_persistent(per_location,
-                                          static_cast<std::size_t>(*s));
-  if (!est) return est.status();
+  CorridorQuery query;
+  query.locations = locations;
+  query.periods = periods;
+  const QueryResponse resp = service.run(QueryRequest{std::move(query)});
+  if (!resp.ok()) return resp.status;
+  const auto est = resp.as<CorridorPersistentEstimate>();
   out << "corridor persistent through " << locations.size()
-      << " locations: " << TableWriter::fmt(est->n_corridor, 1) << " ("
-      << estimate_outcome_name(est->outcome)
-      << ", ln B = " << TableWriter::fmt(est->log_b, 8) << ")\n";
+      << " locations: " << format_estimate_summary(resp.summary)
+      << " [ln B = " << TableWriter::fmt(est->log_b, 8) << "]\n";
   return Status::ok();
 }
 
@@ -342,6 +376,50 @@ Status cmd_privacy(const Config& flags, std::ostream& out) {
   return Status::ok();
 }
 
+Status cmd_stats(const Config& flags, std::ostream& out) {
+  auto log_path = flags.get_string("log");
+  if (!log_path) return log_path.status();
+  auto shards = flags.get_u64_or("shards", 16);
+  if (!shards) return shards.status();
+  auto s = flags.get_u64_or("s", 3);
+  if (!s) return s.status();
+  if (*shards < 1) {
+    return {ErrorCode::kInvalidArgument, "stats: need shards >= 1"};
+  }
+
+  QueryServiceOptions service_options;
+  service_options.s = static_cast<std::size_t>(*s);
+  service_options.n_shards = static_cast<std::size_t>(*shards);
+  QueryService service(service_options);
+  if (Status st = load_service(*log_path, service); !st.is_ok()) return st;
+
+  // Exercise the batched query path once so the latency histogram and the
+  // per-shard query counters have something to show: one point-volume
+  // query per record, plus a rolling persistent query per location that
+  // holds at least two periods.
+  std::vector<QueryRequest> requests;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> by_location;
+  auto contents = read_record_log(*log_path);
+  if (!contents) return contents.status();
+  for (const TrafficRecord& rec : contents->records) {
+    requests.emplace_back(PointVolumeQuery{rec.location, rec.period});
+    by_location[rec.location].push_back(rec.period);
+  }
+  for (const auto& [location, periods] : by_location) {
+    if (periods.size() >= 2) {
+      requests.emplace_back(RecentPersistentQuery{location, 2});
+    }
+  }
+  const auto responses = service.run_batch(requests);
+  std::size_t ok = 0;
+  for (const QueryResponse& resp : responses) ok += resp.ok() ? 1 : 0;
+
+  out << "query service stats for " << *log_path << " (" << ok << "/"
+      << responses.size() << " probe queries ok)\n"
+      << service.metrics().to_string();
+  return Status::ok();
+}
+
 }  // namespace
 
 Result<Config> parse_cli_flags(const std::vector<std::string>& args) {
@@ -395,6 +473,8 @@ commands:
   compact     rewrite a log in place      --log FILE [--keep N]
                                           (keep = last N periods/location)
   privacy     Eq. 22-24 analysis          [--n N] [--f X] [--s N]
+  stats       query-service snapshot      --log FILE [--shards N] [--s N]
+                                          (sharded store + latency metrics)
   help        this text
 )";
 }
@@ -416,6 +496,7 @@ Status run_cli(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "corridor") return cmd_corridor(*flags, out);
   if (command == "compact") return cmd_compact(*flags, out);
   if (command == "privacy") return cmd_privacy(*flags, out);
+  if (command == "stats") return cmd_stats(*flags, out);
   return {ErrorCode::kInvalidArgument,
           "unknown command: " + command + " (try `ptmctl help`)"};
 }

@@ -2,19 +2,11 @@
 
 namespace ptm {
 
-Status CentralServer::ingest(const TrafficRecord& record) {
-  if (Status s = record.validate(); !s.is_ok()) return s;
-  const auto key = std::make_pair(record.location, record.period);
-  if (records_.contains(key)) {
-    return {ErrorCode::kFailedPrecondition,
-            "duplicate record for this location and period"};
-  }
-  records_.emplace(key, record);
-  // Update the historical average that plans future bitmap sizes (Eq. 2).
-  const CardinalityEstimate est = estimate_cardinality(record.bits);
-  history_[record.location].add(est.value);
-  return Status::ok();
-}
+// The deprecated wrappers below intentionally call each other's underlying
+// machinery; silence the self-referential deprecation warnings for their
+// definitions only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 Status CentralServer::ingest_frame(const Frame& frame) {
   const auto* upload = std::get_if<RecordUpload>(&frame.body);
@@ -22,84 +14,41 @@ Status CentralServer::ingest_frame(const Frame& frame) {
     return {ErrorCode::kInvalidArgument,
             "server ingest expects a RecordUpload frame"};
   }
-  return ingest(upload->record);
-}
-
-bool CentralServer::has_record(std::uint64_t location,
-                               std::uint64_t period) const {
-  return records_.contains(std::make_pair(location, period));
-}
-
-std::size_t CentralServer::plan_size(std::uint64_t location,
-                                     double default_volume) const {
-  const auto it = history_.find(location);
-  const double expected =
-      (it != history_.end() && it->second.count > 0 && it->second.mean >= 1.0)
-          ? it->second.mean
-          : default_volume;
-  return plan_bitmap_size(expected, load_factor_);
+  return service_.ingest(upload->record);
 }
 
 Result<CardinalityEstimate> CentralServer::query_point_volume(
     std::uint64_t location, std::uint64_t period) const {
-  const auto it = records_.find(std::make_pair(location, period));
-  if (it == records_.end()) {
-    return Status{ErrorCode::kNotFound, "no record for location/period"};
-  }
-  return estimate_cardinality(it->second.bits);
-}
-
-Result<std::vector<Bitmap>> CentralServer::collect_bitmaps(
-    std::uint64_t location, std::span<const std::uint64_t> periods) const {
-  std::vector<Bitmap> out;
-  out.reserve(periods.size());
-  for (std::uint64_t period : periods) {
-    const auto it = records_.find(std::make_pair(location, period));
-    if (it == records_.end()) {
-      return Status{ErrorCode::kNotFound,
-                    "missing record for a requested period"};
-    }
-    out.push_back(it->second.bits);
-  }
-  return out;
+  return service_.run(QueryRequest{PointVolumeQuery{location, period}})
+      .as<CardinalityEstimate>();
 }
 
 Result<PointPersistentEstimate> CentralServer::query_point_persistent(
     std::uint64_t location, std::span<const std::uint64_t> periods) const {
-  auto bitmaps = collect_bitmaps(location, periods);
-  if (!bitmaps) return bitmaps.status();
-  return estimate_point_persistent(*bitmaps);
+  PointPersistentQuery query;
+  query.location = location;
+  query.periods.assign(periods.begin(), periods.end());
+  return service_.run(QueryRequest{std::move(query)})
+      .as<PointPersistentEstimate>();
 }
 
 Result<PointPersistentEstimate> CentralServer::query_point_persistent_recent(
     std::uint64_t location, std::size_t window) const {
-  // records_ is ordered by (location, period), so the location's records
-  // form a contiguous, period-sorted range.
-  std::vector<Bitmap> bitmaps;
-  const auto begin = records_.lower_bound(std::make_pair(location, 0ULL));
-  for (auto it = begin; it != records_.end() && it->first.first == location;
-       ++it) {
-    bitmaps.push_back(it->second.bits);
-  }
-  if (bitmaps.size() < window) {
-    return Status{ErrorCode::kNotFound,
-                  "fewer stored periods than the requested window"};
-  }
-  const std::span<const Bitmap> recent(
-      bitmaps.data() + (bitmaps.size() - window), window);
-  return estimate_point_persistent(recent);
+  return service_.run(QueryRequest{RecentPersistentQuery{location, window}})
+      .as<PointPersistentEstimate>();
 }
 
 Result<PointToPointPersistentEstimate> CentralServer::query_p2p_persistent(
     std::uint64_t location_a, std::uint64_t location_b,
     std::span<const std::uint64_t> periods) const {
-  auto bitmaps_a = collect_bitmaps(location_a, periods);
-  if (!bitmaps_a) return bitmaps_a.status();
-  auto bitmaps_b = collect_bitmaps(location_b, periods);
-  if (!bitmaps_b) return bitmaps_b.status();
-  PointToPointOptions options;
-  options.s = s_;
-  return estimate_p2p_persistent(*bitmaps_a, *bitmaps_b, options);
+  P2PPersistentQuery query;
+  query.location_a = location_a;
+  query.location_b = location_b;
+  query.periods.assign(periods.begin(), periods.end());
+  return service_.run(QueryRequest{std::move(query)})
+      .as<PointToPointPersistentEstimate>();
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace ptm

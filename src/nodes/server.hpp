@@ -2,14 +2,15 @@
 //
 // The server collects every RSU's per-period traffic record, maintains the
 // historical volume averages that drive bitmap sizing (Eq. 2), and answers
-// the three query types the paper defines:
-//   * point traffic          - linear counting on one record (Eq. 1/3);
-//   * point persistent       - Eq. 12 over records of one location;
-//   * point-to-point persistent - Eq. 21 over records of two locations.
+// the paper's query types.  Since the ptm_query subsystem landed, all
+// storage and query execution lives in the sharded, thread-safe
+// QueryService (query/query_service.hpp); CentralServer is the V2I-facing
+// shell that adds frame handling and keeps the original typed query
+// methods alive as thin wrappers.  New code should build a QueryRequest
+// and call `queries().run(...)` (or `run_batch`) directly.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "core/point_persistent.hpp"
 #include "core/traffic_record.hpp"
 #include "net/message.hpp"
+#include "query/query_service.hpp"
 
 namespace ptm {
 
@@ -27,72 +29,86 @@ class CentralServer {
   /// `load_factor` is the system-wide f of Eq. 2; `s` must match the
   /// deployment's encoding parameter (needed by the p2p estimator).
   CentralServer(double load_factor, std::size_t s)
-      : load_factor_(load_factor), s_(s) {}
+      : service_(QueryServiceOptions{.load_factor = load_factor, .s = s}) {}
 
-  [[nodiscard]] double load_factor() const noexcept { return load_factor_; }
-  [[nodiscard]] std::size_t s() const noexcept { return s_; }
+  [[nodiscard]] double load_factor() const noexcept {
+    return service_.options().load_factor;
+  }
+  [[nodiscard]] std::size_t s() const noexcept {
+    return service_.options().s;
+  }
+
+  /// The underlying query engine: the unified QueryRequest/QueryResponse
+  /// API, batched execution, and the ServiceMetrics snapshot.
+  [[nodiscard]] QueryService& queries() noexcept { return service_; }
+  [[nodiscard]] const QueryService& queries() const noexcept {
+    return service_;
+  }
 
   /// Ingests an uploaded record.  Rejects duplicates for the same
   /// (location, period) and structurally invalid records.  On success the
   /// record's estimated point volume updates the location's historical
-  /// average used for future planning.
-  Status ingest(const TrafficRecord& record);
+  /// average used for future planning.  Thread-safe.
+  Status ingest(const TrafficRecord& record) { return service_.ingest(record); }
 
   /// Convenience: accepts a RecordUpload frame (the RSU uplink).
   Status ingest_frame(const Frame& frame);
 
   [[nodiscard]] std::size_t record_count() const noexcept {
-    return records_.size();
+    return service_.record_count();
   }
   [[nodiscard]] bool has_record(std::uint64_t location,
-                                std::uint64_t period) const;
+                                std::uint64_t period) const {
+    return service_.has_record(location, period);
+  }
 
   /// Eq. 2 with the location's historical average volume.  Falls back to
   /// `default_volume` for locations with no history yet.
   [[nodiscard]] std::size_t plan_size(std::uint64_t location,
-                                      double default_volume = 1024.0) const;
+                                      double default_volume = 1024.0) const {
+    return service_.plan_size(location, default_volume);
+  }
+
+  // -- Deprecated typed query wrappers ------------------------------------
+  //
+  // Each wrapper builds the corresponding QueryRequest and delegates to
+  // QueryService::run, so there is exactly one query execution path.  They
+  // remain for source compatibility with pre-ptm_query callers and will be
+  // removed once nothing links against them.
 
   /// Point traffic volume for one (location, period) - Eq. 3 exact form.
+  /// \deprecated Use queries().run(PointVolumeQuery{...}) instead.
+  [[deprecated("build a PointVolumeQuery and call queries().run()")]]
   [[nodiscard]] Result<CardinalityEstimate> query_point_volume(
       std::uint64_t location, std::uint64_t period) const;
 
   /// Point persistent traffic over the given periods at one location
   /// (Eq. 12).  NotFound if any record is missing.
+  /// \deprecated Use queries().run(PointPersistentQuery{...}) instead.
+  [[deprecated("build a PointPersistentQuery and call queries().run()")]]
   [[nodiscard]] Result<PointPersistentEstimate> query_point_persistent(
       std::uint64_t location, std::span<const std::uint64_t> periods) const;
 
   /// Rolling form: point persistent traffic over the `window` most recent
   /// periods stored for the location ("the last 7 days", re-askable after
-  /// every upload).  NotFound when fewer than `window` records exist.
+  /// every upload).  InvalidArgument when window == 0; NotFound when fewer
+  /// than `window` records exist.
+  /// \deprecated Use queries().run(RecentPersistentQuery{...}) instead.
+  [[deprecated("build a RecentPersistentQuery and call queries().run()")]]
   [[nodiscard]] Result<PointPersistentEstimate>
   query_point_persistent_recent(std::uint64_t location,
                                 std::size_t window) const;
 
   /// Point-to-point persistent traffic between two locations over the given
   /// periods (Eq. 21).  NotFound if any record is missing.
+  /// \deprecated Use queries().run(P2PPersistentQuery{...}) instead.
+  [[deprecated("build a P2PPersistentQuery and call queries().run()")]]
   [[nodiscard]] Result<PointToPointPersistentEstimate>
   query_p2p_persistent(std::uint64_t location_a, std::uint64_t location_b,
                        std::span<const std::uint64_t> periods) const;
 
  private:
-  [[nodiscard]] Result<std::vector<Bitmap>> collect_bitmaps(
-      std::uint64_t location, std::span<const std::uint64_t> periods) const;
-
-  /// Minimal history accumulator (count + mean), kept local so the header
-  /// does not pull in the stats library for one pair of fields.
-  struct VolumeHistory {
-    std::uint64_t count = 0;
-    double mean = 0.0;
-    void add(double x) noexcept {
-      ++count;
-      mean += (x - mean) / static_cast<double>(count);
-    }
-  };
-
-  double load_factor_;
-  std::size_t s_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, TrafficRecord> records_;
-  std::map<std::uint64_t, VolumeHistory> history_;
+  QueryService service_;
 };
 
 }  // namespace ptm

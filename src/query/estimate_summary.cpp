@@ -1,0 +1,95 @@
+#include "query/estimate_summary.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace ptm {
+namespace {
+
+/// Whang's bound, defined only where the theory is (n > 0, m >= 2).
+std::optional<double> stderr_if_defined(double n, double m) {
+  if (n <= 0.0 || m < 2.0) return std::nullopt;
+  return linear_counting_relative_stderr(n, m);
+}
+
+/// Densest join = lowest zero fraction among the measured joins.
+double fill_from_zero_fractions(std::initializer_list<double> zeros) {
+  double min_zero = 1.0;
+  for (double z : zeros) min_zero = std::min(min_zero, z);
+  return 1.0 - min_zero;
+}
+
+}  // namespace
+
+EstimateSummary summarize_estimate(const CardinalityEstimate& e,
+                                   std::size_t m) {
+  EstimateSummary s;
+  s.kind = "point volume";
+  s.value = e.value;
+  s.outcome = e.outcome;
+  s.m = m;
+  s.fill = 1.0 - e.fraction_zeros;
+  s.relative_stderr = stderr_if_defined(e.value, static_cast<double>(m));
+  return s;
+}
+
+EstimateSummary summarize_estimate(const PointPersistentEstimate& e) {
+  EstimateSummary s;
+  s.kind = "point persistent";
+  s.value = e.n_star;
+  s.outcome = e.outcome;
+  s.m = e.m;
+  s.fill = fill_from_zero_fractions({e.v_a0, e.v_b0});
+  return s;
+}
+
+EstimateSummary summarize_estimate(const PointToPointPersistentEstimate& e) {
+  EstimateSummary s;
+  s.kind = "p2p persistent";
+  s.value = e.n_double_prime;
+  s.outcome = e.outcome;
+  s.m = e.m_prime;
+  s.fill = fill_from_zero_fractions({e.v0, e.v0_prime});
+  return s;
+}
+
+EstimateSummary summarize_estimate(const CorridorPersistentEstimate& e) {
+  EstimateSummary s;
+  s.kind = "corridor persistent";
+  s.value = e.n_corridor;
+  s.outcome = e.outcome;
+  s.m = e.m.empty() ? 0 : e.m.back();
+  double min_zero = 1.0;
+  for (double z : e.v0) min_zero = std::min(min_zero, z);
+  s.fill = 1.0 - min_zero;
+  return s;
+}
+
+EstimateSummary summarize_estimate(const KwayPersistentEstimate& e) {
+  EstimateSummary s;
+  s.kind = "k-way persistent";
+  s.value = e.n_star;
+  s.outcome = e.outcome;
+  s.m = e.m;
+  double min_zero = 1.0;
+  for (double z : e.group_v0) min_zero = std::min(min_zero, z);
+  s.fill = 1.0 - min_zero;
+  return s;
+}
+
+std::string format_estimate_summary(const EstimateSummary& s) {
+  std::ostringstream out;
+  out << TableWriter::fmt(s.value, 1) << " ("
+      << estimate_outcome_name(s.outcome) << ", m = " << s.m << ", fill "
+      << TableWriter::fmt(s.fill * 100.0, 1) << "%";
+  if (s.relative_stderr) {
+    out << ", ±" << TableWriter::fmt(*s.relative_stderr * 100.0, 2)
+        << "% expected";
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace ptm

@@ -1,0 +1,58 @@
+// estimate_summary.hpp - one view over every estimator's result type.
+//
+// The estimators each return a rich struct carrying their derivation's
+// intermediates (CardinalityEstimate, PointPersistentEstimate,
+// PointToPointPersistentEstimate, CorridorPersistentEstimate,
+// KwayPersistentEstimate).  Callers that only present results - ptmctl,
+// the benches, the batched query API - need the common subset: the value,
+// the outcome, how big the joined bitmaps were, how full they ran, and an
+// analytic error bound when the theory provides one.  EstimateSummary is
+// that subset, and format_estimate_summary is the single formatter every
+// front end prints through.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/corridor_persistent.hpp"
+#include "core/kway_persistent.hpp"
+#include "core/linear_counting.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/point_persistent.hpp"
+
+namespace ptm {
+
+struct EstimateSummary {
+  std::string_view kind;  ///< "point volume", "point persistent", ...
+  double value = 0.0;     ///< the estimate itself (n̂, n̂_*, n̂'', ...)
+  EstimateOutcome outcome = EstimateOutcome::kOk;
+  std::size_t m = 0;      ///< (largest) bitmap size the estimate used
+  /// One-fraction of the densest bitmap/join the estimator measured - the
+  /// saturation early-warning (near 1.0 means m was planned too small).
+  double fill = 0.0;
+  /// Analytic relative standard error, when the estimator's theory gives
+  /// one (linear counting's Whang bound); nullopt otherwise.
+  std::optional<double> relative_stderr;
+};
+
+/// Summaries for each estimator result.  `m` accompanies the plain
+/// cardinality estimate because CardinalityEstimate does not carry the
+/// bitmap size it was measured on.
+[[nodiscard]] EstimateSummary summarize_estimate(const CardinalityEstimate& e,
+                                                 std::size_t m);
+[[nodiscard]] EstimateSummary summarize_estimate(
+    const PointPersistentEstimate& e);
+[[nodiscard]] EstimateSummary summarize_estimate(
+    const PointToPointPersistentEstimate& e);
+[[nodiscard]] EstimateSummary summarize_estimate(
+    const CorridorPersistentEstimate& e);
+[[nodiscard]] EstimateSummary summarize_estimate(
+    const KwayPersistentEstimate& e);
+
+/// "<value> (<outcome>, m = <m>, fill <pct>%[, ±<pct>% expected])".
+/// Starts with the numeric value so existing "...: <value>" call sites
+/// stay machine-parseable.
+[[nodiscard]] std::string format_estimate_summary(const EstimateSummary& s);
+
+}  // namespace ptm

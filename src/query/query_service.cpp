@@ -1,0 +1,329 @@
+#include "query/query_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "common/parallel.hpp"
+#include "core/linear_counting.hpp"
+
+namespace ptm {
+namespace {
+
+/// splitmix64 finalizer - cheap, well-mixed location -> shard hash (the
+/// low bits of raw location codes are far from uniform).
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* query_kind_name(const QueryRequest& request) noexcept {
+  struct Namer {
+    const char* operator()(const PointVolumeQuery&) { return "point-volume"; }
+    const char* operator()(const PointPersistentQuery&) {
+      return "point-persistent";
+    }
+    const char* operator()(const RecentPersistentQuery&) {
+      return "recent-persistent";
+    }
+    const char* operator()(const P2PPersistentQuery&) {
+      return "p2p-persistent";
+    }
+    const char* operator()(const CorridorQuery&) { return "corridor"; }
+  };
+  return std::visit(Namer{}, request);
+}
+
+QueryService::QueryService(QueryServiceOptions options)
+    : options_(options) {
+  options_.n_shards = std::max<std::size_t>(options_.n_shards, 1);
+  shards_ = std::make_unique<Shard[]>(options_.n_shards);
+}
+
+QueryService::Shard& QueryService::shard_for(
+    std::uint64_t location) const noexcept {
+  return shards_[mix64(location) % options_.n_shards];
+}
+
+Status QueryService::ingest(const TrafficRecord& record) {
+  Shard& shard = shard_for(record.location);
+  if (Status s = record.validate(); !s.is_ok()) {
+    shard.ingest_rejected.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+  // The volume estimate feeding the Eq. 2 history only reads the caller's
+  // record, so it runs before the exclusive section.
+  const CardinalityEstimate est = estimate_cardinality(record.bits);
+  const auto key = std::make_pair(record.location, record.period);
+  {
+    std::unique_lock lock(shard.mutex);
+    if (shard.records.contains(key)) {
+      lock.unlock();
+      shard.ingest_rejected.fetch_add(1, std::memory_order_relaxed);
+      return {ErrorCode::kFailedPrecondition,
+              "duplicate record for this location and period"};
+    }
+    shard.records.emplace(key, record);
+    shard.history[record.location].add(est.value);
+  }
+  shard.ingest_ok.fetch_add(1, std::memory_order_relaxed);
+  return Status::ok();
+}
+
+std::size_t QueryService::record_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < options_.n_shards; ++i) {
+    std::shared_lock lock(shards_[i].mutex);
+    total += shards_[i].records.size();
+  }
+  return total;
+}
+
+bool QueryService::has_record(std::uint64_t location,
+                              std::uint64_t period) const {
+  const Shard& shard = shard_for(location);
+  std::shared_lock lock(shard.mutex);
+  return shard.records.contains(std::make_pair(location, period));
+}
+
+std::vector<std::uint64_t> QueryService::periods_at(
+    std::uint64_t location) const {
+  const Shard& shard = shard_for(location);
+  std::vector<std::uint64_t> periods;
+  std::shared_lock lock(shard.mutex);
+  // The map is ordered by (location, period): one contiguous, sorted range.
+  for (auto it = shard.records.lower_bound(std::make_pair(location, 0ULL));
+       it != shard.records.end() && it->first.first == location; ++it) {
+    periods.push_back(it->first.second);
+  }
+  return periods;
+}
+
+std::size_t QueryService::plan_size(std::uint64_t location,
+                                    double default_volume) const {
+  const Shard& shard = shard_for(location);
+  double expected = default_volume;
+  {
+    std::shared_lock lock(shard.mutex);
+    const auto it = shard.history.find(location);
+    if (it != shard.history.end() && it->second.count > 0 &&
+        it->second.mean >= 1.0) {
+      expected = it->second.mean;
+    }
+  }
+  return plan_bitmap_size(expected, options_.load_factor);
+}
+
+Result<std::vector<Bitmap>> QueryService::collect_bitmaps(
+    std::uint64_t location, std::span<const std::uint64_t> periods) const {
+  const Shard& shard = shard_for(location);
+  std::vector<Bitmap> out;
+  out.reserve(periods.size());
+  std::shared_lock lock(shard.mutex);
+  for (std::uint64_t period : periods) {
+    const auto it = shard.records.find(std::make_pair(location, period));
+    if (it == shard.records.end()) {
+      return Status{ErrorCode::kNotFound,
+                    "missing record for a requested period"};
+    }
+    out.push_back(it->second.bits);
+  }
+  return out;
+}
+
+QueryResponse QueryService::handle(const PointVolumeQuery& q) const {
+  const Shard& shard = shard_for(q.location);
+  shard.queries.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse response;
+  Bitmap bits;
+  {
+    std::shared_lock lock(shard.mutex);
+    const auto it =
+        shard.records.find(std::make_pair(q.location, q.period));
+    if (it == shard.records.end()) {
+      response.status =
+          Status{ErrorCode::kNotFound, "no record for location/period"};
+      return response;
+    }
+    bits = it->second.bits;
+  }
+  const CardinalityEstimate est = estimate_cardinality(bits);
+  response.result = est;
+  response.summary = summarize_estimate(est, bits.size());
+  return response;
+}
+
+QueryResponse QueryService::handle(const PointPersistentQuery& q) const {
+  shard_for(q.location).queries.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse response;
+  auto bitmaps = collect_bitmaps(q.location, q.periods);
+  if (!bitmaps) {
+    response.status = bitmaps.status();
+    return response;
+  }
+  auto est = estimate_point_persistent(*bitmaps);
+  if (!est) {
+    response.status = est.status();
+    return response;
+  }
+  response.result = *est;
+  response.summary = summarize_estimate(*est);
+  return response;
+}
+
+QueryResponse QueryService::handle(const RecentPersistentQuery& q) const {
+  shard_for(q.location).queries.fetch_add(1, std::memory_order_relaxed);
+  QueryResponse response;
+  if (q.window == 0) {
+    response.status = Status{ErrorCode::kInvalidArgument,
+                             "recent window must be at least 1 period"};
+    return response;
+  }
+  const Shard& shard = shard_for(q.location);
+  std::vector<Bitmap> bitmaps;
+  {
+    std::shared_lock lock(shard.mutex);
+    for (auto it =
+             shard.records.lower_bound(std::make_pair(q.location, 0ULL));
+         it != shard.records.end() && it->first.first == q.location; ++it) {
+      bitmaps.push_back(it->second.bits);
+    }
+  }
+  if (bitmaps.size() < q.window) {
+    response.status = Status{ErrorCode::kNotFound,
+                             "fewer stored periods than the requested window"};
+    return response;
+  }
+  // Safe: the check above guarantees window <= size, so the slice's start
+  // offset cannot underflow.
+  const std::span<const Bitmap> recent(
+      bitmaps.data() + (bitmaps.size() - q.window), q.window);
+  auto est = estimate_point_persistent(recent);
+  if (!est) {
+    response.status = est.status();
+    return response;
+  }
+  response.result = *est;
+  response.summary = summarize_estimate(*est);
+  return response;
+}
+
+QueryResponse QueryService::handle(const P2PPersistentQuery& q) const {
+  Shard& shard_a = shard_for(q.location_a);
+  Shard& shard_b = shard_for(q.location_b);
+  shard_a.queries.fetch_add(1, std::memory_order_relaxed);
+  if (&shard_b != &shard_a) {
+    shard_b.queries.fetch_add(1, std::memory_order_relaxed);
+  }
+  QueryResponse response;
+  auto bitmaps_a = collect_bitmaps(q.location_a, q.periods);
+  if (!bitmaps_a) {
+    response.status = bitmaps_a.status();
+    return response;
+  }
+  auto bitmaps_b = collect_bitmaps(q.location_b, q.periods);
+  if (!bitmaps_b) {
+    response.status = bitmaps_b.status();
+    return response;
+  }
+  PointToPointOptions estimator_options;
+  estimator_options.s = options_.s;
+  auto est = estimate_p2p_persistent(*bitmaps_a, *bitmaps_b,
+                                     estimator_options);
+  if (!est) {
+    response.status = est.status();
+    return response;
+  }
+  response.result = *est;
+  response.summary = summarize_estimate(*est);
+  return response;
+}
+
+QueryResponse QueryService::handle(const CorridorQuery& q) const {
+  // Count the query once per distinct shard it touches.
+  std::vector<const Shard*> touched;
+  for (std::uint64_t location : q.locations) {
+    const Shard* shard = &shard_for(location);
+    if (std::find(touched.begin(), touched.end(), shard) == touched.end()) {
+      touched.push_back(shard);
+      shard->queries.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  QueryResponse response;
+  std::vector<std::vector<Bitmap>> per_location;
+  per_location.reserve(q.locations.size());
+  for (std::uint64_t location : q.locations) {
+    auto bitmaps = collect_bitmaps(location, q.periods);
+    if (!bitmaps) {
+      response.status = bitmaps.status();
+      return response;
+    }
+    per_location.push_back(std::move(*bitmaps));
+  }
+  auto est = estimate_corridor_persistent(per_location, options_.s);
+  if (!est) {
+    response.status = est.status();
+    return response;
+  }
+  response.summary = summarize_estimate(*est);
+  response.result = std::move(*est);
+  return response;
+}
+
+QueryResponse QueryService::dispatch(const QueryRequest& request) const {
+  return std::visit([this](const auto& q) { return handle(q); }, request);
+}
+
+QueryResponse QueryService::run(const QueryRequest& request) const {
+  const auto start = std::chrono::steady_clock::now();
+  QueryResponse response = dispatch(request);
+  response.latency_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  latency_.record(response.latency_ns);
+  queries_total_.fetch_add(1, std::memory_order_relaxed);
+  if (!response.ok()) {
+    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return response;
+}
+
+std::vector<QueryResponse> QueryService::run_batch(
+    std::span<const QueryRequest> requests, std::size_t threads) const {
+  std::vector<QueryResponse> responses(requests.size());
+  parallel_for_indexed(
+      requests.size(),
+      [&](std::size_t i) { responses[i] = run(requests[i]); }, threads);
+  return responses;
+}
+
+ServiceMetrics QueryService::metrics() const {
+  ServiceMetrics out;
+  out.shards.reserve(options_.n_shards);
+  for (std::size_t i = 0; i < options_.n_shards; ++i) {
+    const Shard& shard = shards_[i];
+    ShardMetrics sm;
+    {
+      std::shared_lock lock(shard.mutex);
+      sm.records = shard.records.size();
+    }
+    sm.ingest_ok = shard.ingest_ok.load(std::memory_order_relaxed);
+    sm.ingest_rejected = shard.ingest_rejected.load(std::memory_order_relaxed);
+    sm.queries = shard.queries.load(std::memory_order_relaxed);
+    out.records_total += sm.records;
+    out.ingest_ok_total += sm.ingest_ok;
+    out.ingest_rejected_total += sm.ingest_rejected;
+    out.shards.push_back(sm);
+  }
+  out.queries_total = queries_total_.load(std::memory_order_relaxed);
+  out.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  out.latency = latency_.snapshot();
+  return out;
+}
+
+}  // namespace ptm

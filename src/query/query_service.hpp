@@ -1,0 +1,123 @@
+// query_service.hpp - sharded, thread-safe record store + query engine.
+//
+// The paper's central server (§II-A, §II-D) is a single logical store of
+// per-(location, period) traffic records, but a deployment ingests from
+// many RSUs while answering planner queries - a many-writer/many-reader
+// workload.  QueryService shards the record map by hash(location) %
+// n_shards, guarding each shard with a std::shared_mutex: ingests take one
+// shard's exclusive lock, queries take shared locks, and queries for
+// different locations proceed fully in parallel.  All records of one
+// location land in one shard, so every single-location query locks exactly
+// one shard; cross-location queries (p2p, corridor) lock shards one at a
+// time and never hold two locks at once (no lock-order concerns).
+//
+// Queries arrive as the unified QueryRequest variant (query_types.hpp) and
+// are answered through exactly one execution path, `run`; `run_batch` fans
+// a span of requests across a worker pool (common/parallel.hpp).  The
+// service keeps per-shard ingest/query counters and a global latency
+// histogram, exposed as a ServiceMetrics snapshot.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/traffic_record.hpp"
+#include "query/query_types.hpp"
+#include "query/service_metrics.hpp"
+
+namespace ptm {
+
+struct QueryServiceOptions {
+  double load_factor = 2.0;  ///< system-wide f of Eq. 2
+  std::size_t s = 3;         ///< encoding representative count (p2p/corridor)
+  std::size_t n_shards = 16; ///< record-store shards; >= 1
+};
+
+class QueryService {
+ public:
+  explicit QueryService(QueryServiceOptions options = {});
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  [[nodiscard]] const QueryServiceOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Ingests an uploaded record.  Rejects duplicates for the same
+  /// (location, period) and structurally invalid records.  On success the
+  /// record's estimated point volume updates the location's historical
+  /// average used by plan_size (Eq. 2).  Thread-safe.
+  Status ingest(const TrafficRecord& record);
+
+  [[nodiscard]] std::size_t record_count() const;
+  [[nodiscard]] bool has_record(std::uint64_t location,
+                                std::uint64_t period) const;
+  /// Periods stored for `location`, ascending.  Empty when unknown.
+  [[nodiscard]] std::vector<std::uint64_t> periods_at(
+      std::uint64_t location) const;
+
+  /// Eq. 2 with the location's historical average volume; `default_volume`
+  /// for locations with no history yet.
+  [[nodiscard]] std::size_t plan_size(std::uint64_t location,
+                                      double default_volume = 1024.0) const;
+
+  /// Executes one request of any shape - the single query execution path.
+  [[nodiscard]] QueryResponse run(const QueryRequest& request) const;
+
+  /// Executes a batch concurrently across up to `threads` workers (0 =
+  /// default_parallelism()).  Responses align index-for-index with the
+  /// requests and are identical to issuing each through `run`.
+  [[nodiscard]] std::vector<QueryResponse> run_batch(
+      std::span<const QueryRequest> requests, std::size_t threads = 0) const;
+
+  /// Point-in-time counters + latency histogram ("/stats").
+  [[nodiscard]] ServiceMetrics metrics() const;
+
+ private:
+  /// Minimal history accumulator (count + mean) planning Eq. 2 sizes.
+  struct VolumeHistory {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    void add(double x) noexcept {
+      ++count;
+      mean += (x - mean) / static_cast<double>(count);
+    }
+  };
+
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, TrafficRecord> records;
+    std::map<std::uint64_t, VolumeHistory> history;
+    mutable std::atomic<std::uint64_t> ingest_ok{0};
+    mutable std::atomic<std::uint64_t> ingest_rejected{0};
+    mutable std::atomic<std::uint64_t> queries{0};
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t location) const noexcept;
+
+  /// Copies of the location's bitmaps for the given periods, taken under
+  /// the shard's shared lock.  NotFound if any period is missing.
+  [[nodiscard]] Result<std::vector<Bitmap>> collect_bitmaps(
+      std::uint64_t location, std::span<const std::uint64_t> periods) const;
+
+  [[nodiscard]] QueryResponse dispatch(const QueryRequest& request) const;
+  [[nodiscard]] QueryResponse handle(const PointVolumeQuery& q) const;
+  [[nodiscard]] QueryResponse handle(const PointPersistentQuery& q) const;
+  [[nodiscard]] QueryResponse handle(const RecentPersistentQuery& q) const;
+  [[nodiscard]] QueryResponse handle(const P2PPersistentQuery& q) const;
+  [[nodiscard]] QueryResponse handle(const CorridorQuery& q) const;
+
+  QueryServiceOptions options_;
+  std::unique_ptr<Shard[]> shards_;
+  mutable LatencyRecorder latency_;
+  mutable std::atomic<std::uint64_t> queries_total_{0};
+  mutable std::atomic<std::uint64_t> queries_failed_{0};
+};
+
+}  // namespace ptm

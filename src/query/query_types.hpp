@@ -1,0 +1,91 @@
+// query_types.hpp - the unified query API of the ptm_query subsystem.
+//
+// The paper's server answers several query shapes over the same record
+// store (§II-A): point volume (Eq. 3), point persistent (Eq. 12), its
+// rolling "last w periods" form, point-to-point persistent (Eq. 21), and
+// the corridor extension.  Instead of one entry point per shape, every
+// front end (CLI, examples, benches, batch API) speaks one variant-based
+// QueryRequest/QueryResponse pair; QueryService::run is the single
+// execution path that interprets them.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+#include "core/corridor_persistent.hpp"
+#include "core/linear_counting.hpp"
+#include "core/p2p_persistent.hpp"
+#include "core/point_persistent.hpp"
+#include "query/estimate_summary.hpp"
+
+namespace ptm {
+
+/// Point traffic volume at one (location, period) - Eq. 3.
+struct PointVolumeQuery {
+  std::uint64_t location = 0;
+  std::uint64_t period = 0;
+};
+
+/// Point persistent traffic at one location over explicit periods - Eq. 12.
+struct PointPersistentQuery {
+  std::uint64_t location = 0;
+  std::vector<std::uint64_t> periods;
+};
+
+/// Rolling form of Eq. 12: the `window` most recent periods stored for the
+/// location.  window == 0 is InvalidArgument; fewer stored periods than
+/// `window` is NotFound.
+struct RecentPersistentQuery {
+  std::uint64_t location = 0;
+  std::size_t window = 0;
+};
+
+/// Point-to-point persistent traffic between two locations over explicit
+/// periods - Eq. 21.  Both locations must hold every requested period.
+struct P2PPersistentQuery {
+  std::uint64_t location_a = 0;
+  std::uint64_t location_b = 0;
+  std::vector<std::uint64_t> periods;
+};
+
+/// Corridor persistent traffic through k >= 2 locations over explicit
+/// periods (the k-location generalization of Eq. 21).
+struct CorridorQuery {
+  std::vector<std::uint64_t> locations;
+  std::vector<std::uint64_t> periods;
+};
+
+/// One request, any shape.
+using QueryRequest =
+    std::variant<PointVolumeQuery, PointPersistentQuery,
+                 RecentPersistentQuery, P2PPersistentQuery, CorridorQuery>;
+
+/// The typed payload of a successful response; monostate while failed.
+using QueryResult =
+    std::variant<std::monostate, CardinalityEstimate, PointPersistentEstimate,
+                 PointToPointPersistentEstimate, CorridorPersistentEstimate>;
+
+struct QueryResponse {
+  Status status;        ///< ok iff `result` holds an estimate
+  QueryResult result;   ///< shape matches the request's query kind
+  EstimateSummary summary;  ///< unified view; valid only when status is ok
+  std::uint64_t latency_ns = 0;  ///< service-side execution time
+
+  [[nodiscard]] bool ok() const noexcept { return status.is_ok(); }
+
+  /// Typed accessor: the contained estimate, or the failure Status.
+  /// Precondition when ok(): the response actually holds a T (i.e. T
+  /// corresponds to the request shape that produced this response).
+  template <typename T>
+  [[nodiscard]] Result<T> as() const {
+    if (!status.is_ok()) return status;
+    return std::get<T>(result);
+  }
+};
+
+/// Short human-readable name of a request's shape ("point-volume", ...).
+[[nodiscard]] const char* query_kind_name(const QueryRequest& request) noexcept;
+
+}  // namespace ptm

@@ -1,0 +1,96 @@
+#include "query/service_metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace ptm {
+namespace {
+
+/// Pretty-prints a nanosecond quantity with a unit that keeps the mantissa
+/// short (ns / us / ms / s).
+std::string format_nanos(std::uint64_t nanos) {
+  const double ns = static_cast<double>(nanos);
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  if (nanos < 1'000ULL) {
+    out << nanos << "ns";
+  } else if (nanos < 1'000'000ULL) {
+    out << ns / 1e3 << "us";
+  } else if (nanos < 1'000'000'000ULL) {
+    out << ns / 1e6 << "ms";
+  } else {
+    out << ns / 1e9 << "s";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::uint64_t LatencyHistogramSnapshot::percentile_ns(double p) const noexcept {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested percentile, 1-based (p = 100 -> rank = count).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= std::max<std::uint64_t>(rank, 1)) {
+      // Upper edge of bucket b (the final bucket is effectively open-ended,
+      // but its nominal edge still orders correctly).
+      return (1ULL << (b + 1)) - 1;
+    }
+  }
+  return ~0ULL;  // unreachable while count > 0
+}
+
+void LatencyRecorder::record(std::uint64_t nanos) noexcept {
+  const std::size_t bucket = std::min<std::size_t>(
+      nanos == 0 ? 0 : static_cast<std::size_t>(std::bit_width(nanos)) - 1,
+      LatencyHistogramSnapshot::kBuckets - 1);
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+LatencyHistogramSnapshot LatencyRecorder::snapshot() const noexcept {
+  LatencyHistogramSnapshot snap;
+  for (std::size_t b = 0; b < LatencyHistogramSnapshot::kBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    snap.count += snap.buckets[b];
+  }
+  return snap;
+}
+
+std::string ServiceMetrics::to_string() const {
+  std::size_t min_records = 0;
+  std::size_t max_records = 0;
+  std::size_t occupied = 0;
+  for (const ShardMetrics& shard : shards) {
+    if (shard.records > 0) ++occupied;
+    max_records = std::max(max_records, shard.records);
+  }
+  if (!shards.empty()) {
+    min_records = shards.front().records;
+    for (const ShardMetrics& shard : shards) {
+      min_records = std::min(min_records, shard.records);
+    }
+  }
+
+  std::ostringstream out;
+  out << "records: " << records_total << " across " << shards.size()
+      << " shards (" << occupied << " occupied, min " << min_records
+      << " / max " << max_records << " per shard)\n"
+      << "ingest:  " << ingest_ok_total << " ok, " << ingest_rejected_total
+      << " rejected\n"
+      << "queries: " << queries_total << " total, " << queries_failed
+      << " failed\n"
+      << "latency: p50 <= " << format_nanos(latency.percentile_ns(50))
+      << ", p90 <= " << format_nanos(latency.percentile_ns(90))
+      << ", p99 <= " << format_nanos(latency.percentile_ns(99)) << " ("
+      << latency.count << " samples)\n";
+  return out.str();
+}
+
+}  // namespace ptm

@@ -190,6 +190,18 @@ TEST_F(CliTest, PrivacyCommandPrintsBothConventions) {
   EXPECT_NE(out.find("1.9462"), std::string::npos);
 }
 
+TEST_F(CliTest, StatsPrintsServiceSnapshot) {
+  run_ok({"generate", "--out", log_path_, "--t", "4", "--common", "100",
+          "--location", "3", "--seed", "29"});
+  const std::string out =
+      run_ok({"stats", "--log", log_path_, "--shards", "4"});
+  EXPECT_NE(out.find("4 shards"), std::string::npos);
+  EXPECT_NE(out.find("records: 4"), std::string::npos);
+  // 4 point-volume probes + 1 rolling persistent probe, all answerable.
+  EXPECT_NE(out.find("(5/5 probe queries ok)"), std::string::npos);
+  EXPECT_NE(out.find("latency: p50 <= "), std::string::npos);
+}
+
 TEST_F(CliTest, PrivacyWarnsWhenRatioBelowOne) {
   const std::string out =
       run_ok({"privacy", "--n", "10000", "--f", "4", "--s", "2"});

@@ -1,0 +1,321 @@
+// Tests for query/query_service.hpp: the unified QueryRequest API, the
+// sharded store's equivalence with the single-threaded CentralServer, the
+// batched execution path, metrics, and - the load-bearing one - a
+// multi-threaded ingest/query stress test that runs under ThreadSanitizer
+// in the -DPTM_SANITIZE=thread build.
+#include "query/query_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "nodes/server.hpp"
+#include "traffic/workload.hpp"
+
+// This file deliberately exercises the deprecated CentralServer wrappers:
+// they are the reference the QueryService answers must match bit-for-bit.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace ptm {
+namespace {
+
+constexpr std::size_t kLocations = 8;
+constexpr std::size_t kPeriods = 5;
+constexpr std::size_t kCommon = 120;
+
+/// Per-location synthetic workloads: records[loc][period].  Location codes
+/// are loc + 1 (location 0 stays unused/unknown).
+std::vector<std::vector<TrafficRecord>> make_workload() {
+  const EncodingParams encoding;
+  std::vector<std::vector<TrafficRecord>> records(kLocations);
+  for (std::size_t loc = 0; loc < kLocations; ++loc) {
+    Xoshiro256 rng(1000 + loc);
+    const auto fleet = make_vehicles(kCommon, encoding.s, rng);
+    const std::vector<std::uint64_t> volumes(kPeriods, 600);
+    const auto bitmaps = generate_point_records(volumes, fleet, loc + 1, 2.0,
+                                                encoding, rng);
+    for (std::size_t period = 0; period < bitmaps.size(); ++period) {
+      records[loc].push_back(TrafficRecord{loc + 1, period, bitmaps[period]});
+    }
+  }
+  return records;
+}
+
+std::vector<std::uint64_t> all_periods() {
+  std::vector<std::uint64_t> periods(kPeriods);
+  for (std::size_t p = 0; p < kPeriods; ++p) periods[p] = p;
+  return periods;
+}
+
+/// The mixed batch the stress readers (and the equivalence test) issue:
+/// every shape the unified API speaks.
+std::vector<QueryRequest> mixed_requests() {
+  const auto periods = all_periods();
+  std::vector<QueryRequest> requests;
+  for (std::size_t loc = 0; loc < kLocations; ++loc) {
+    requests.emplace_back(PointVolumeQuery{loc + 1, kPeriods / 2});
+    requests.emplace_back(PointPersistentQuery{loc + 1, periods});
+    requests.emplace_back(RecentPersistentQuery{loc + 1, kPeriods});
+  }
+  requests.emplace_back(P2PPersistentQuery{1, 2, periods});
+  requests.emplace_back(P2PPersistentQuery{3, 4, periods});
+  requests.emplace_back(CorridorQuery{{1, 2, 3}, periods});
+  return requests;
+}
+
+/// Asserts one response against the single-threaded CentralServer answer,
+/// bit-for-bit.  `require_ok` demands success; otherwise a NotFound (some
+/// records not ingested yet) is acceptable and skipped.
+void check_against_server(const CentralServer& server,
+                          const QueryRequest& request,
+                          const QueryResponse& response, bool require_ok) {
+  if (!response.ok()) {
+    EXPECT_FALSE(require_ok) << query_kind_name(request) << ": "
+                             << response.status.to_string();
+    EXPECT_EQ(response.status.code(), ErrorCode::kNotFound);
+    return;
+  }
+  if (const auto* q = std::get_if<PointVolumeQuery>(&request)) {
+    const auto expected = server.query_point_volume(q->location, q->period);
+    ASSERT_TRUE(expected.has_value());
+    const auto& got = std::get<CardinalityEstimate>(response.result);
+    EXPECT_EQ(got.value, expected->value);
+    EXPECT_EQ(got.fraction_zeros, expected->fraction_zeros);
+  } else if (const auto* q = std::get_if<PointPersistentQuery>(&request)) {
+    const auto expected =
+        server.query_point_persistent(q->location, q->periods);
+    ASSERT_TRUE(expected.has_value());
+    const auto& got = std::get<PointPersistentEstimate>(response.result);
+    EXPECT_EQ(got.n_star, expected->n_star);
+    EXPECT_EQ(got.v_a0, expected->v_a0);
+    EXPECT_EQ(got.v_b0, expected->v_b0);
+  } else if (const auto* q = std::get_if<RecentPersistentQuery>(&request)) {
+    const auto expected =
+        server.query_point_persistent_recent(q->location, q->window);
+    ASSERT_TRUE(expected.has_value());
+    const auto& got = std::get<PointPersistentEstimate>(response.result);
+    EXPECT_EQ(got.n_star, expected->n_star);
+  } else if (const auto* q = std::get_if<P2PPersistentQuery>(&request)) {
+    const auto expected = server.query_p2p_persistent(
+        q->location_a, q->location_b, q->periods);
+    ASSERT_TRUE(expected.has_value());
+    const auto& got =
+        std::get<PointToPointPersistentEstimate>(response.result);
+    EXPECT_EQ(got.n_double_prime, expected->n_double_prime);
+    EXPECT_EQ(got.v0_double_prime, expected->v0_double_prime);
+  }
+  // CorridorQuery has no CentralServer counterpart; covered by the
+  // dedicated equivalence test against the estimator.
+}
+
+TEST(QueryService, AnswersMatchCentralServerBitForBit) {
+  const auto workload = make_workload();
+  QueryService service(QueryServiceOptions{.load_factor = 2.0, .s = 3});
+  CentralServer server(2.0, 3);
+  for (const auto& location_records : workload) {
+    for (const TrafficRecord& rec : location_records) {
+      ASSERT_TRUE(service.ingest(rec).is_ok());
+      ASSERT_TRUE(server.ingest(rec).is_ok());
+    }
+  }
+  EXPECT_EQ(service.record_count(), server.record_count());
+  for (std::size_t loc = 0; loc < kLocations; ++loc) {
+    EXPECT_EQ(service.plan_size(loc + 1), server.plan_size(loc + 1));
+  }
+
+  const auto requests = mixed_requests();
+  for (const QueryRequest& request : requests) {
+    check_against_server(server, request, service.run(request),
+                         /*require_ok=*/true);
+  }
+
+  // Corridor equivalence against the estimator directly.
+  const auto periods = all_periods();
+  std::vector<std::vector<Bitmap>> per_location;
+  for (std::uint64_t loc : {1, 2, 3}) {
+    std::vector<Bitmap> bitmaps;
+    for (const TrafficRecord& rec : workload[loc - 1]) {
+      bitmaps.push_back(rec.bits);
+    }
+    per_location.push_back(std::move(bitmaps));
+  }
+  const auto expected = estimate_corridor_persistent(per_location, 3);
+  ASSERT_TRUE(expected.has_value());
+  const auto response =
+      service.run(QueryRequest{CorridorQuery{{1, 2, 3}, periods}});
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(std::get<CorridorPersistentEstimate>(response.result).n_corridor,
+            expected->n_corridor);
+}
+
+TEST(QueryService, RunBatchMatchesSequentialRun) {
+  const auto workload = make_workload();
+  QueryService service;
+  for (const auto& location_records : workload) {
+    for (const TrafficRecord& rec : location_records) {
+      ASSERT_TRUE(service.ingest(rec).is_ok());
+    }
+  }
+  const auto requests = mixed_requests();
+  const auto batched = service.run_batch(requests, 4);
+  ASSERT_EQ(batched.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const QueryResponse sequential = service.run(requests[i]);
+    EXPECT_EQ(batched[i].ok(), sequential.ok()) << i;
+    EXPECT_EQ(batched[i].summary.value, sequential.summary.value) << i;
+    EXPECT_EQ(batched[i].summary.m, sequential.summary.m) << i;
+  }
+}
+
+TEST(QueryService, RecentWindowZeroIsInvalidArgument) {
+  QueryService service;
+  const auto response =
+      service.run(QueryRequest{RecentPersistentQuery{7, 0}});
+  EXPECT_EQ(response.status.code(), ErrorCode::kInvalidArgument);
+
+  // The deprecated CentralServer wrapper routes through the same path.
+  CentralServer server(2.0, 3);
+  EXPECT_EQ(server.query_point_persistent_recent(7, 0).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(QueryService, RecentWindowBeyondHistoryIsNotFound) {
+  const auto workload = make_workload();
+  QueryService service;
+  for (const TrafficRecord& rec : workload[0]) {
+    ASSERT_TRUE(service.ingest(rec).is_ok());
+  }
+  const std::uint64_t location = workload[0].front().location;
+  EXPECT_EQ(service.run(QueryRequest{RecentPersistentQuery{location,
+                                                           kPeriods + 1}})
+                .status.code(),
+            ErrorCode::kNotFound);
+  EXPECT_TRUE(
+      service.run(QueryRequest{RecentPersistentQuery{location, kPeriods}})
+          .ok());
+}
+
+TEST(QueryService, RejectsDuplicatesAndInvalidRecords) {
+  const auto workload = make_workload();
+  QueryService service;
+  ASSERT_TRUE(service.ingest(workload[0][0]).is_ok());
+  EXPECT_EQ(service.ingest(workload[0][0]).code(),
+            ErrorCode::kFailedPrecondition);
+  TrafficRecord bad;
+  bad.bits = Bitmap(100);  // not a power of two
+  EXPECT_EQ(service.ingest(bad).code(), ErrorCode::kInvalidArgument);
+  const auto metrics = service.metrics();
+  EXPECT_EQ(metrics.ingest_ok_total, 1u);
+  EXPECT_EQ(metrics.ingest_rejected_total, 2u);
+  EXPECT_EQ(metrics.records_total, 1u);
+}
+
+TEST(QueryService, MetricsTrackQueriesAndLatency) {
+  const auto workload = make_workload();
+  QueryService service(QueryServiceOptions{.load_factor = 2.0, .s = 3,
+                                           .n_shards = 4});
+  for (const auto& location_records : workload) {
+    for (const TrafficRecord& rec : location_records) {
+      ASSERT_TRUE(service.ingest(rec).is_ok());
+    }
+  }
+  const auto requests = mixed_requests();
+  (void)service.run_batch(requests, 2);
+  (void)service.run(QueryRequest{PointVolumeQuery{9999, 0}});  // fails
+
+  const auto metrics = service.metrics();
+  EXPECT_EQ(metrics.shards.size(), 4u);
+  EXPECT_EQ(metrics.records_total, kLocations * kPeriods);
+  EXPECT_EQ(metrics.queries_total, requests.size() + 1);
+  EXPECT_EQ(metrics.queries_failed, 1u);
+  EXPECT_EQ(metrics.latency.count, requests.size() + 1);
+  EXPECT_GE(metrics.latency.percentile_ns(99),
+            metrics.latency.percentile_ns(50));
+  std::uint64_t shard_queries = 0;
+  for (const ShardMetrics& shard : metrics.shards) {
+    shard_queries += shard.queries;
+  }
+  EXPECT_GE(shard_queries, metrics.queries_total);
+  EXPECT_NE(metrics.to_string().find("queries:"), std::string::npos);
+}
+
+// The headline concurrency test: M writer threads ingest disjoint
+// location sets while K reader threads issue mixed batched queries.  A
+// full-period query either sees the location complete or misses a record
+// (NotFound) - so every successful mid-flight answer must already equal
+// the single-threaded CentralServer answer bit-for-bit, and after the
+// writers join, every query must succeed and match.  Run under
+// -DPTM_SANITIZE=thread this is the data-race detector for the whole
+// concurrent query path.
+TEST(QueryService, StressConcurrentIngestAndBatchedQueries) {
+  const auto workload = make_workload();
+  CentralServer reference(2.0, 3);
+  for (const auto& location_records : workload) {
+    for (const TrafficRecord& rec : location_records) {
+      ASSERT_TRUE(reference.ingest(rec).is_ok());
+    }
+  }
+
+  QueryService service(QueryServiceOptions{.load_factor = 2.0, .s = 3,
+                                           .n_shards = 8});
+  constexpr std::size_t kWriters = 4;
+  static_assert(kLocations % kWriters == 0);
+  constexpr std::size_t kReaders = 3;
+  std::atomic<bool> writers_done{false};
+
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      // Writer w owns locations w, w + kWriters, ... and ingests each
+      // location's periods in order (the history mean is order-dependent).
+      for (std::size_t loc = w; loc < kLocations; loc += kWriters) {
+        for (const TrafficRecord& rec : workload[loc]) {
+          ASSERT_TRUE(service.ingest(rec).is_ok());
+        }
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  const auto requests = mixed_requests();
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      do {
+        const auto responses = service.run_batch(requests, 2);
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+          if (std::holds_alternative<CorridorQuery>(requests[i])) continue;
+          check_against_server(reference, requests[i], responses[i],
+                               /*require_ok=*/false);
+        }
+      } while (!writers_done.load(std::memory_order_acquire));
+    });
+  }
+
+  for (std::thread& t : writers) t.join();
+  writers_done.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  // Steady state: everything present, every answer exact.
+  EXPECT_EQ(service.record_count(), reference.record_count());
+  const auto responses = service.run_batch(requests);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (std::holds_alternative<CorridorQuery>(requests[i])) {
+      EXPECT_TRUE(responses[i].ok());
+      continue;
+    }
+    check_against_server(reference, requests[i], responses[i],
+                         /*require_ok=*/true);
+  }
+  for (std::size_t loc = 0; loc < kLocations; ++loc) {
+    EXPECT_EQ(service.plan_size(loc + 1), reference.plan_size(loc + 1));
+  }
+  const auto metrics = service.metrics();
+  EXPECT_EQ(metrics.ingest_ok_total, kLocations * kPeriods);
+  EXPECT_EQ(metrics.ingest_rejected_total, 0u);
+  EXPECT_GT(metrics.queries_total, 0u);
+}
+
+}  // namespace
+}  // namespace ptm
