@@ -14,12 +14,32 @@ std::vector<std::uint8_t> SimulatedChannel::maybe_corrupt(
   return copy;
 }
 
+double SimulatedChannel::step_loss_probability() {
+  const GilbertElliottConfig& ge = config_.gilbert_elliott;
+  if (!ge.enabled) return config_.loss_probability;
+  // Transition first, then sample: a burst begins with the frame that
+  // flipped the chain into the bad state.
+  if (ge_bad_) {
+    if (rng_.bernoulli(ge.p_bad_to_good)) ge_bad_ = false;
+  } else {
+    if (rng_.bernoulli(ge.p_good_to_bad)) ge_bad_ = true;
+  }
+  return ge_bad_ ? ge.loss_bad : ge.loss_good;
+}
+
 std::vector<std::vector<std::uint8_t>> SimulatedChannel::transmit(
     std::span<const std::uint8_t> frame_bytes) {
   ++stats_.sent;
   std::vector<std::vector<std::uint8_t>> out;
-  if (rng_.bernoulli(config_.loss_probability)) {
+  if (plan_.channel_down_at(now_)) {
     ++stats_.lost;
+    ++stats_.outage_lost;
+    return out;
+  }
+  const double loss_probability = step_loss_probability();
+  if (rng_.bernoulli(loss_probability)) {
+    ++stats_.lost;
+    if (config_.gilbert_elliott.enabled && ge_bad_) ++stats_.burst_lost;
     return out;
   }
   out.push_back(maybe_corrupt(frame_bytes));

@@ -7,6 +7,15 @@
 // zero-loss config every passing vehicle is encoded, matching the paper's
 // assumption; the failure-injection tests and the channel ablation raise the
 // knobs to show graceful degradation.
+//
+// Two time-varying fault models layer on top of the i.i.d. knobs:
+//
+//   * Gilbert-Elliott bursty loss: a two-state Markov chain (good/bad)
+//     advanced once per transmitted frame; each state has its own loss
+//     probability, so losses cluster into bursts the way fading does.
+//   * Scheduled outages: a FaultPlan's channel_outages, checked against the
+//     channel's logical clock (advance_to); every frame sent inside an open
+//     window is lost.
 #pragma once
 
 #include <cstdint>
@@ -14,19 +23,34 @@
 #include <vector>
 
 #include "common/random.hpp"
+#include "net/fault_plan.hpp"
 
 namespace ptm {
 
+/// Two-state Markov loss model (Gilbert-Elliott).  State transitions happen
+/// once per transmitted frame; `loss_probability` in ChannelConfig is
+/// ignored while this is enabled.
+struct GilbertElliottConfig {
+  bool enabled = false;
+  double p_good_to_bad = 0.0;  ///< per-frame P(good -> bad)
+  double p_bad_to_good = 0.2;  ///< per-frame P(bad -> good); mean burst 1/p
+  double loss_good = 0.0;      ///< loss probability in the good state
+  double loss_bad = 1.0;       ///< loss probability in the bad state
+};
+
 struct ChannelConfig {
-  double loss_probability = 0.0;       ///< frame silently dropped
+  double loss_probability = 0.0;       ///< frame silently dropped (i.i.d.)
   double duplicate_probability = 0.0;  ///< frame delivered twice
   double corrupt_probability = 0.0;    ///< one random byte flipped
+  GilbertElliottConfig gilbert_elliott;///< bursty-loss overlay
 };
 
 struct ChannelStats {
   std::uint64_t sent = 0;
   std::uint64_t delivered = 0;
-  std::uint64_t lost = 0;
+  std::uint64_t lost = 0;         ///< all losses (random + burst + outage)
+  std::uint64_t burst_lost = 0;   ///< lost while the GE chain was bad
+  std::uint64_t outage_lost = 0;  ///< lost inside a scheduled outage window
   std::uint64_t duplicated = 0;
   std::uint64_t corrupted = 0;
 };
@@ -42,6 +66,20 @@ class SimulatedChannel {
   [[nodiscard]] std::vector<std::vector<std::uint8_t>> transmit(
       std::span<const std::uint8_t> frame_bytes);
 
+  /// Installs the scripted outage schedule (only channel_outages are
+  /// consulted here; the deployment interprets the rest of the plan).
+  void set_fault_plan(FaultPlan plan) { plan_ = std::move(plan); }
+
+  /// Moves the logical clock used to evaluate outage windows.  Time only
+  /// moves forward; calls with an earlier step are ignored.
+  void advance_to(std::uint64_t step) noexcept {
+    if (step > now_) now_ = step;
+  }
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+
+  /// True while the Gilbert-Elliott chain sits in the bad state.
+  [[nodiscard]] bool in_burst() const noexcept { return ge_bad_; }
+
   [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const ChannelConfig& config() const noexcept {
     return config_;
@@ -50,10 +88,16 @@ class SimulatedChannel {
  private:
   [[nodiscard]] std::vector<std::uint8_t> maybe_corrupt(
       std::span<const std::uint8_t> frame_bytes);
+  /// Advances the GE chain one frame and returns this frame's loss
+  /// probability under the active loss model.
+  [[nodiscard]] double step_loss_probability();
 
   ChannelConfig config_;
   Xoshiro256 rng_;
   ChannelStats stats_;
+  FaultPlan plan_;
+  std::uint64_t now_ = 0;
+  bool ge_bad_ = false;
 };
 
 }  // namespace ptm

@@ -1,0 +1,40 @@
+#include "net/fault_plan.hpp"
+
+#include <algorithm>
+
+namespace ptm {
+namespace {
+
+bool any_contains(const std::vector<FaultWindow>& windows,
+                  std::uint64_t step) noexcept {
+  return std::any_of(windows.begin(), windows.end(),
+                     [step](const FaultWindow& w) { return w.contains(step); });
+}
+
+}  // namespace
+
+bool FaultPlan::channel_down_at(std::uint64_t step) const noexcept {
+  return any_contains(channel_outages, step);
+}
+
+bool FaultPlan::server_unreachable_at(std::uint64_t step) const noexcept {
+  return any_contains(server_outages, step);
+}
+
+bool FaultPlan::rsu_down_at(std::uint64_t location,
+                            std::uint64_t step) const noexcept {
+  const auto it = rsu_outages.find(location);
+  return it != rsu_outages.end() && any_contains(it->second, step);
+}
+
+bool FaultPlan::rsu_crash_between(std::uint64_t location, std::uint64_t from,
+                                  std::uint64_t to) const noexcept {
+  const auto it = rsu_crashes.find(location);
+  if (it == rsu_crashes.end()) return false;
+  return std::any_of(it->second.begin(), it->second.end(),
+                     [from, to](std::uint64_t s) {
+                       return s >= from && s < to;
+                     });
+}
+
+}  // namespace ptm

@@ -1,0 +1,57 @@
+// fault_plan.hpp - scripted failure sequences for the simulated deployment.
+//
+// The i.i.d. knobs in ChannelConfig model steady-state radio noise; real
+// outages are bursty and correlated (a truck parks in front of the RSU, a
+// backhaul link flaps, a unit reboots).  A FaultPlan scripts those events
+// against the deployment's logical step clock so chaos tests and ablations
+// can replay the exact same failure sequence run after run:
+//
+//   * channel outages  - the shared radio medium is dead (every frame lost);
+//   * server outages   - the RSU->server backhaul is unreachable (uploads
+//                        and acks lost; vehicle contacts unaffected);
+//   * RSU outages      - one RSU's radio is off (its contacts and uploads
+//                        fail while the window is open);
+//   * RSU crashes      - at a trigger step the RSU loses volatile state and
+//                        restarts from its journal + outbox.
+//
+// Windows are half-open [start, end) in deployment steps.  The plan is a
+// passive schedule: SimulatedChannel consults the channel outages itself;
+// Deployment consults the rest.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ptm {
+
+/// Half-open window [start, end) on the deployment's logical step clock.
+struct FaultWindow {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] bool contains(std::uint64_t step) const noexcept {
+    return step >= start && step < end;
+  }
+};
+
+/// A scripted failure sequence.  Default-constructed plans inject nothing.
+struct FaultPlan {
+  std::vector<FaultWindow> channel_outages;  ///< shared medium dead
+  std::vector<FaultWindow> server_outages;   ///< backhaul unreachable
+  /// Per-RSU (by location) radio-off windows.
+  std::map<std::uint64_t, std::vector<FaultWindow>> rsu_outages;
+  /// Per-RSU (by location) crash trigger steps, ascending.
+  std::map<std::uint64_t, std::vector<std::uint64_t>> rsu_crashes;
+
+  [[nodiscard]] bool channel_down_at(std::uint64_t step) const noexcept;
+  [[nodiscard]] bool server_unreachable_at(std::uint64_t step) const noexcept;
+  [[nodiscard]] bool rsu_down_at(std::uint64_t location,
+                                 std::uint64_t step) const noexcept;
+  /// True if a crash trigger for `location` lies in [from, to).
+  [[nodiscard]] bool rsu_crash_between(std::uint64_t location,
+                                       std::uint64_t from,
+                                       std::uint64_t to) const noexcept;
+};
+
+}  // namespace ptm

@@ -22,6 +22,9 @@ MessageType Frame::type() const noexcept {
     MessageType operator()(const RecordUpload&) const {
       return MessageType::kRecordUpload;
     }
+    MessageType operator()(const UploadAck&) const {
+      return MessageType::kUploadAck;
+    }
   };
   return std::visit(Visitor{}, body);
 }
@@ -48,6 +51,10 @@ void encode_body(const MessageBody& body, ByteWriter& w) {
     void operator()(const RecordUpload& m) const {
       const auto rec = m.record.serialize();
       w.bytes(rec);
+    }
+    void operator()(const UploadAck& m) const {
+      w.u64(m.location);
+      w.u64(m.period);
     }
   };
   std::visit(Visitor{w}, body);
@@ -102,6 +109,16 @@ Result<MessageBody> decode_body(MessageType type, ByteReader& r) {
       if (!rec) return rec.status();
       return MessageBody{RecordUpload{std::move(*rec)}};
     }
+    case MessageType::kUploadAck: {
+      UploadAck m;
+      auto loc = r.u64();
+      if (!loc) return loc.status();
+      m.location = *loc;
+      auto per = r.u64();
+      if (!per) return per.status();
+      m.period = *per;
+      return MessageBody{m};
+    }
   }
   return Status{ErrorCode::kParseError, "unknown message type"};
 }
@@ -123,7 +140,7 @@ Result<Frame> decode_frame(std::span<const std::uint8_t> bytes) {
   ByteReader r(bytes);
   auto type_byte = r.u8();
   if (!type_byte) return type_byte.status();
-  if (*type_byte < 1 || *type_byte > 6) {
+  if (*type_byte < 1 || *type_byte > 7) {
     return Status{ErrorCode::kParseError, "unknown frame type"};
   }
   Frame frame;

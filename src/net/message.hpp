@@ -8,9 +8,11 @@
 //   Veh  --EncodeIndex-->   the single value h_v (NEVER the vehicle ID)
 //   RSU  --EncodeAck-->     optional acknowledgment
 //
-// and RSU -> central server at period end:
+// and RSU <-> central server at period end:
 //
-//   RSU  --RecordUpload-->  the serialized TrafficRecord.
+//   RSU  --RecordUpload-->  the serialized TrafficRecord
+//   Srv  --UploadAck-->     (location, period) accepted; the RSU may drop
+//                           the record from its retransmission outbox
 //
 // Messages are framed with a type byte, source/destination MACs, and a
 // length-prefixed payload.  Codecs are bounds-checked (ParseError on any
@@ -37,6 +39,7 @@ enum class MessageType : std::uint8_t {
   kEncodeIndex = 4,
   kEncodeAck = 5,
   kRecordUpload = 6,
+  kUploadAck = 7,
 };
 
 /// Broadcast by the RSU in preset intervals (§II-D).
@@ -74,8 +77,17 @@ struct RecordUpload {
   TrafficRecord record;
 };
 
+/// Central server -> RSU: the upload for (location, period) was ingested
+/// (or was an identical re-delivery).  Clears the RSU's outbox entry; an
+/// upload that never earns an ack is retransmitted with backoff.
+struct UploadAck {
+  std::uint64_t location = 0;
+  std::uint64_t period = 0;
+};
+
 using MessageBody = std::variant<Beacon, AuthRequest, AuthResponse,
-                                 EncodeIndex, EncodeAck, RecordUpload>;
+                                 EncodeIndex, EncodeAck, RecordUpload,
+                                 UploadAck>;
 
 /// A link-layer frame: addressing plus one message.
 struct Frame {

@@ -1,5 +1,8 @@
 #include "nodes/deployment.hpp"
 
+#include <algorithm>
+#include <utility>
+
 namespace ptm {
 
 const char* contact_outcome_name(ContactOutcome o) noexcept {
@@ -39,6 +42,26 @@ Vehicle Deployment::make_vehicle(std::uint64_t vehicle_id) {
                  rng_.next());
 }
 
+void Deployment::set_fault_plan(FaultPlan plan) {
+  plan_ = std::move(plan);
+  channel_.set_fault_plan(plan_);
+}
+
+void Deployment::advance_time(std::uint64_t dt) {
+  const std::uint64_t from = now_;
+  now_ += dt;
+  channel_.advance_to(now_);
+  // Fire any crash trigger scripted strictly after `from` and at or before
+  // the new now.  A bare (non-durable) RSU has no files to restart from, so
+  // a scripted crash for it is meaningless and skipped.
+  for (auto& rsu : rsus_) {
+    if (!rsu->durable()) continue;
+    if (plan_.rsu_crash_between(rsu->location(), from + 1, now_ + 1)) {
+      (void)rsu->crash_and_restart();
+    }
+  }
+}
+
 Result<Frame> Deployment::transit(const Frame& frame) {
   const auto wire = encode_frame(frame);
   const auto deliveries = channel_.transmit(wire);
@@ -51,9 +74,23 @@ Result<Frame> Deployment::transit(const Frame& frame) {
   return Status{ErrorCode::kChannelError, "frame lost or corrupted"};
 }
 
+Result<Frame> Deployment::transit_leg(const Frame& frame) {
+  Result<Frame> rx = transit(frame);
+  for (std::size_t retry = 0; retry < config_.contact_leg_retries && !rx;
+       ++retry) {
+    rx = transit(frame);
+  }
+  return rx;
+}
+
 ContactOutcome Deployment::run_contact(Vehicle& vehicle, Rsu& rsu) {
+  // An RSU inside a scripted outage window transmits nothing.
+  if (plan_.rsu_down_at(rsu.location(), now_)) {
+    return ContactOutcome::kBeaconLost;
+  }
+
   // Leg 1: beacon broadcast.
-  auto beacon = transit(rsu.make_beacon());
+  auto beacon = transit_leg(rsu.make_beacon());
   if (!beacon) return ContactOutcome::kBeaconLost;
   const auto* beacon_body = std::get_if<Beacon>(&beacon->body);
   if (beacon_body == nullptr) return ContactOutcome::kBeaconLost;
@@ -61,7 +98,7 @@ ContactOutcome Deployment::run_contact(Vehicle& vehicle, Rsu& rsu) {
   // Leg 2: vehicle verifies the certificate and requests authentication.
   auto auth_req = vehicle.handle_beacon(*beacon_body);
   if (!auth_req) return ContactOutcome::kAuthRejected;
-  auto auth_req_rx = transit(*auth_req);
+  auto auth_req_rx = transit_leg(*auth_req);
   if (!auth_req_rx) {
     vehicle.abort_contact();
     return ContactOutcome::kAuthLost;
@@ -73,7 +110,7 @@ ContactOutcome Deployment::run_contact(Vehicle& vehicle, Rsu& rsu) {
     vehicle.abort_contact();
     return ContactOutcome::kAuthLost;
   }
-  auto auth_resp_rx = transit(*auth_resp);
+  auto auth_resp_rx = transit_leg(*auth_resp);
   if (!auth_resp_rx) {
     vehicle.abort_contact();
     return ContactOutcome::kAuthLost;
@@ -87,11 +124,81 @@ ContactOutcome Deployment::run_contact(Vehicle& vehicle, Rsu& rsu) {
   // Leg 4: vehicle transmits h_v.
   auto encode = vehicle.handle_auth_response(*resp_body);
   if (!encode) return ContactOutcome::kAuthRejected;
-  auto encode_rx = transit(*encode);
+  auto encode_rx = transit_leg(*encode);
   if (!encode_rx) return ContactOutcome::kAuthLost;
   auto ack = rsu.handle_frame(*encode_rx);
   if (!ack) return ContactOutcome::kAuthLost;
   return ContactOutcome::kEncoded;
+}
+
+void Deployment::attempt_delivery(Rsu& rsu, std::uint64_t period,
+                                  PumpResult& result) {
+  // Re-find on every step: acknowledge() mutates the deque, so pointers
+  // snapshotted before an earlier entry's delivery may be stale.
+  UploadOutbox::Entry* entry = rsu.outbox().find(rsu.location(), period);
+  if (entry == nullptr) return;
+  ++result.attempted;
+
+  Frame upload;
+  upload.src = MacAddress{rsu.location()};
+  upload.dst = broadcast_mac();  // "uplink" to the central server
+  upload.body = RecordUpload{entry->record};
+
+  // The backhaul: either leg can be lost; a server outage swallows the
+  // upload the same way a lost frame would.
+  auto upload_rx =
+      plan_.server_unreachable_at(now_)
+          ? Result<Frame>{Status{ErrorCode::kChannelError,
+                                 "server unreachable"}}
+          : transit(upload);
+  if (!upload_rx) {
+    UploadOutbox::schedule_retry(*entry, now_, config_.backoff_base,
+                                 config_.backoff_cap, rng_);
+    return;
+  }
+
+  auto ack = server_.ingest_frame_acked(*upload_rx);
+  if (!ack) {
+    // The server refused the record (conflicting bytes, malformed).
+    // Retransmission can never fix that: drop the entry so the outbox
+    // drains instead of grinding on a poisoned head.
+    (void)rsu.outbox().acknowledge(rsu.location(), period);
+    ++result.rejected;
+    result.last_reject = ack.status();
+    return;
+  }
+
+  auto ack_rx = transit(*ack);
+  const auto* ack_body =
+      ack_rx ? std::get_if<UploadAck>(&ack_rx->body) : nullptr;
+  if (ack_body == nullptr) {
+    // The server HAS the record but the RSU does not know: keep the entry
+    // and retry later.  The re-delivery is idempotent and re-acks.
+    entry = rsu.outbox().find(rsu.location(), period);
+    if (entry != nullptr) {
+      UploadOutbox::schedule_retry(*entry, now_, config_.backoff_base,
+                                   config_.backoff_cap, rng_);
+    }
+    return;
+  }
+  if (rsu.handle_upload_ack(*ack_body).is_ok()) ++result.acked;
+}
+
+PumpResult Deployment::pump_outbox(Rsu& rsu) {
+  PumpResult result;
+  // An RSU inside an outage window cannot transmit at all.
+  if (plan_.rsu_down_at(rsu.location(), now_)) return result;
+  // Snapshot the due (location, period) keys, then deliver one at a time;
+  // attempt_delivery re-finds each entry because delivery mutates the
+  // deque underneath previously returned pointers.
+  std::vector<std::uint64_t> due_periods;
+  for (const UploadOutbox::Entry* entry : rsu.outbox().due(now_)) {
+    due_periods.push_back(entry->record.period);
+  }
+  for (std::uint64_t period : due_periods) {
+    attempt_delivery(rsu, period, result);
+  }
+  return result;
 }
 
 Status Deployment::upload_period(Rsu& rsu) {
@@ -100,22 +207,60 @@ Status Deployment::upload_period(Rsu& rsu) {
 
 Status Deployment::upload_period_reliable(Rsu& rsu,
                                           std::size_t max_attempts) {
-  // Ship the record first so the just-measured volume enters the server's
-  // history, then let the server plan the next period's size (Eq. 2).
-  Status ingest_status{ErrorCode::kChannelError, "no attempts made"};
+  const std::uint64_t loc = rsu.location();
+  const std::uint64_t closed_period = rsu.current_period();
+  // Stage first: from this point the record can no longer be lost, only
+  // delayed (it is in the outbox, durably when the RSU is durable).
+  if (Status staged = rsu.stage_upload(); !staged.is_ok()) return staged;
+  // When the server already holds a record for this (location, period),
+  // has_record cannot tell "our upload landed" from "someone else's record
+  // was there all along" - judge by the outbox entry's fate instead.
+  const bool preexisting = server_.has_record(loc, closed_period);
+
+  Status reject = Status::ok();
+  bool delivered = false;
   for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
-    auto upload_rx = transit(rsu.make_upload());
-    ingest_status =
-        upload_rx ? server_.ingest_frame(*upload_rx) : upload_rx.status();
-    // Retry only channel losses; a server-side rejection (duplicate,
-    // malformed) will not improve with retransmission.
-    if (ingest_status.code() != ErrorCode::kChannelError) break;
+    const PumpResult pumped = pump_outbox(rsu);
+    const bool still_pending = rsu.outbox().contains(loc, closed_period);
+    if (!still_pending && pumped.rejected > 0 &&
+        (preexisting || !server_.has_record(loc, closed_period))) {
+      // Our entry was dropped as unacceptable; retransmission cannot fix a
+      // server-side rejection, so stop immediately.
+      reject = pumped.last_reject;
+      break;
+    }
+    if (!still_pending || (!preexisting && server_.has_record(loc,
+                                                              closed_period))) {
+      // Acked (or the server has it and only the ack is outstanding - the
+      // next pump's idempotent re-delivery will clear the entry).
+      delivered = true;
+      break;
+    }
+    if (attempt + 1 == max_attempts) break;
+    // Sleep through the backoff gap so the retry is not back-to-back.
+    const UploadOutbox::Entry* entry = rsu.outbox().find(loc, closed_period);
+    const std::uint64_t wake =
+        entry != nullptr ? std::max(entry->next_attempt_at, now_ + 1)
+                         : now_ + 1;
+    advance_time(wake - now_);
   }
-  const std::size_t next_size = server_.plan_size(
-      rsu.location(), static_cast<double>(rsu.bitmap_size()) /
-                          config_.load_factor);
-  rsu.start_next_period(next_size);
-  return ingest_status;
+
+  // The period advances exactly once, whatever became of the delivery: the
+  // served history (when the upload landed) or the current size's implied
+  // volume feeds the Eq. 2 planner.  Exception: a scripted crash during a
+  // backoff wait already moved a durable RSU past the closed period (its
+  // restart logic sees the period in the outbox) - advancing again here
+  // would silently skip a measurement period.
+  if (rsu.current_period() == closed_period) {
+    const std::size_t next_size = server_.plan_size(
+        loc, static_cast<double>(rsu.bitmap_size()) / config_.load_factor);
+    rsu.start_next_period(next_size);
+  }
+
+  if (delivered) return Status::ok();
+  if (!reject.is_ok()) return reject;
+  return {ErrorCode::kChannelError,
+          "upload still pending in the outbox; later pumps will retry"};
 }
 
 }  // namespace ptm

@@ -5,6 +5,12 @@
 // SimulatedChannel, including the decode step (so corrupted frames are
 // rejected exactly as a real receiver would reject them).  Used by the
 // integration tests, the v2i_full_stack example, and the channel ablation.
+//
+// The deployment also owns the fault-tolerance machinery: a logical step
+// clock shared with the channel, an optional scripted FaultPlan (outage
+// windows, RSU crash triggers), and the at-least-once upload pipeline -
+// period records flow through each RSU's outbox and are retransmitted with
+// exponential backoff + jitter until the server's UploadAck clears them.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include "common/status.hpp"
 #include "crypto/certificate.hpp"
 #include "net/channel.hpp"
+#include "net/fault_plan.hpp"
 #include "nodes/rsu.hpp"
 #include "nodes/server.hpp"
 #include "nodes/vehicle.hpp"
@@ -24,12 +31,20 @@ namespace ptm {
 /// Outcome of one attempted vehicle-RSU contact.
 enum class ContactOutcome {
   kEncoded,        ///< vehicle authenticated and its bit was set
-  kBeaconLost,     ///< beacon never reached the vehicle
+  kBeaconLost,     ///< beacon never reached the vehicle (or RSU radio down)
   kAuthLost,       ///< a handshake frame was lost or corrupted
   kAuthRejected,   ///< certificate/signature verification failed
 };
 
 [[nodiscard]] const char* contact_outcome_name(ContactOutcome o) noexcept;
+
+/// What one outbox pump accomplished.
+struct PumpResult {
+  std::size_t attempted = 0;  ///< due entries a delivery was tried for
+  std::size_t acked = 0;      ///< entries delivered, acked, and cleared
+  std::size_t rejected = 0;   ///< entries the server rejected (dropped)
+  Status last_reject;         ///< why, for the most recent rejection
+};
 
 /// A V2I deployment: one trusted third party, any number of RSUs, a shared
 /// lossy channel, and a central server.
@@ -42,6 +57,14 @@ class Deployment {
     EncodingParams encoding;           ///< shared s / hash family
     ChannelConfig channel;             ///< default: lossless
     std::uint64_t cert_valid_until = 1ULL << 40;
+    /// Extra transmissions of a lost handshake leg (the vehicle re-tries
+    /// across beacon intervals).  0 reproduces the paper's single-shot
+    /// contact: one loss kills the contact.
+    std::size_t contact_leg_retries = 0;
+    /// Outbox retransmission backoff, in deployment steps: the n-th retry
+    /// waits min(base << n, cap) plus uniform jitter in [0, base].
+    std::uint64_t backoff_base = 1;
+    std::uint64_t backoff_cap = 64;
   };
 
   Deployment(Config config, std::uint64_t seed);
@@ -54,20 +77,46 @@ class Deployment {
   Vehicle make_vehicle(std::uint64_t vehicle_id);
 
   /// Runs the full beacon->auth->encode exchange between `vehicle` and
-  /// `rsu` across the lossy channel (each leg transits independently).
+  /// `rsu` across the lossy channel.  Each handshake leg transits up to
+  /// 1 + contact_leg_retries times (a lost leg is retransmitted, as it
+  /// would be across beacon intervals).  An RSU inside a scripted outage
+  /// window never gets its beacon out: kBeaconLost.
   ContactOutcome run_contact(Vehicle& vehicle, Rsu& rsu);
 
-  /// Ends the period at `rsu`: plans the next size via the server's
-  /// history (Eq. 2), transmits the upload over the channel, and ingests it
-  /// at the server.  Returns ChannelError if the upload was lost (the
-  /// record is then gone, as it would be without an application-level
-  /// retry; callers that need reliability use the retrying variant).
+  /// Ends the period at `rsu`: stages the record in the RSU's outbox
+  /// (durably, when attached), attempts one delivery, plans the next size
+  /// via the server's history (Eq. 2), and starts the next period.
+  /// Returns Ok once the server holds the record; kChannelError when the
+  /// upload is still pending in the outbox (it is NOT lost - later pumps
+  /// retransmit it); a server rejection's code otherwise.
   Status upload_period(Rsu& rsu);
 
-  /// Reliable variant: retransmits the upload up to `max_attempts` times
-  /// before ending the period, so a record survives any channel whose loss
-  /// probability is below 1.  The period advances exactly once either way.
+  /// Reliable variant: like upload_period, but keeps retransmitting up to
+  /// `max_attempts` times, advancing the step clock through each backoff
+  /// gap (exponential + jitter, not back-to-back).  The period advances
+  /// exactly once either way; an upload that exhausts its attempts stays
+  /// in the outbox for later pumps instead of being dropped.
   Status upload_period_reliable(Rsu& rsu, std::size_t max_attempts = 5);
+
+  /// Attempts delivery of every due entry in `rsu`'s outbox, oldest first:
+  /// transmit RecordUpload, ingest (idempotent), transmit UploadAck back.
+  /// Entries that fail any leg are rescheduled with backoff; entries the
+  /// server rejects as conflicting are dropped (they can never succeed).
+  /// No-op while the RSU or the backhaul is inside an outage window.
+  PumpResult pump_outbox(Rsu& rsu);
+
+  /// Installs the scripted failure sequence (shared with the channel).
+  void set_fault_plan(FaultPlan plan);
+
+  /// Advances the logical step clock by `dt`.  Outage windows open/close
+  /// as the clock passes them, outbox backoff timers run on this clock,
+  /// and any scripted RSU crash trigger crossed in (now, now+dt] fires
+  /// (durable RSUs restart from journal + outbox; bare RSUs have no
+  /// replayable state and are left untouched).
+  void advance_time(std::uint64_t dt = 1);
+
+  [[nodiscard]] std::uint64_t now() const noexcept { return now_; }
+  [[nodiscard]] const FaultPlan& fault_plan() const noexcept { return plan_; }
 
   [[nodiscard]] CentralServer& server() noexcept { return server_; }
   [[nodiscard]] const CentralServer& server() const noexcept {
@@ -82,6 +131,10 @@ class Deployment {
  private:
   /// One channel transit: encode, transmit, decode first surviving copy.
   [[nodiscard]] Result<Frame> transit(const Frame& frame);
+  /// A transit retried up to 1 + contact_leg_retries times.
+  [[nodiscard]] Result<Frame> transit_leg(const Frame& frame);
+  /// Tries to deliver one outbox entry end to end.  Updates `result`.
+  void attempt_delivery(Rsu& rsu, std::uint64_t period, PumpResult& result);
 
   Config config_;
   Xoshiro256 rng_;
@@ -89,6 +142,8 @@ class Deployment {
   std::vector<std::unique_ptr<Rsu>> rsus_;
   SimulatedChannel channel_;
   CentralServer server_;
+  FaultPlan plan_;
+  std::uint64_t now_ = 0;
 };
 
 }  // namespace ptm

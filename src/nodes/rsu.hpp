@@ -5,6 +5,14 @@
 // lifecycle: beacon -> authenticate vehicles -> record their h_v indices ->
 // at period end, upload the record to the central server and reset.  The
 // bitmap size for each period comes from the server's planner (Eq. 2).
+//
+// Fault tolerance (beyond the paper's model): an RSU can attach a
+// durability pair - a crash-safe journal of the in-progress record
+// (store/journal.hpp) and a bounded persistent outbox of closed-but-
+// unacknowledged records (store/outbox.hpp).  A crashed RSU restarts from
+// those files with the in-progress period's encodes and every pending
+// upload intact; the deployment retransmits outbox entries with backoff
+// until the server's UploadAck clears them.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,8 @@
 #include "core/traffic_record.hpp"
 #include "crypto/certificate.hpp"
 #include "net/message.hpp"
+#include "store/journal.hpp"
+#include "store/outbox.hpp"
 
 namespace ptm {
 
@@ -53,6 +63,39 @@ class Rsu {
   /// plan the next size from older history.
   [[nodiscard]] Frame end_period(std::size_t next_bitmap_size);
 
+  // -- Fault-tolerant delivery ---------------------------------------------
+
+  /// Attaches the durability pair.  If the journal already holds a
+  /// replayable period for this location, the RSU adopts it: the bitmap,
+  /// period number, and encode count are restored; if the outbox already
+  /// holds that period's record, the period was closed just before the
+  /// crash and the RSU resumes one period past it instead.
+  [[nodiscard]] Status attach_durability(
+      const std::string& journal_path, const std::string& outbox_path,
+      std::size_t outbox_capacity = UploadOutbox::kDefaultCapacity);
+
+  [[nodiscard]] bool durable() const noexcept { return journal_.has_value(); }
+
+  /// Pushes the in-progress record into the outbox (durably, when
+  /// attached) without advancing the period.  Callers follow up with
+  /// start_next_period once the next size is planned; no contacts may run
+  /// in between (the staged bytes would go stale).
+  [[nodiscard]] Status stage_upload();
+
+  /// Processes the server's UploadAck: drops the matching outbox entry.
+  [[nodiscard]] Status handle_upload_ack(const UploadAck& ack);
+
+  /// Simulated power loss: volatile state is wiped and re-derived from the
+  /// journal + outbox files.  FailedPrecondition when no durability is
+  /// attached (a bare RSU has nothing to restart from).
+  [[nodiscard]] Status crash_and_restart();
+
+  /// The retransmission queue (the deployment pumps it).
+  [[nodiscard]] UploadOutbox& outbox() noexcept { return outbox_; }
+  [[nodiscard]] const UploadOutbox& outbox() const noexcept {
+    return outbox_;
+  }
+
   /// Read-only view of the in-progress record (tests/diagnostics).
   [[nodiscard]] const TrafficRecord& current_record() const noexcept {
     return record_;
@@ -64,12 +107,21 @@ class Rsu {
   }
 
  private:
+  /// Adopts the journal's replayed period (or journals the current state
+  /// when the journal is fresh).  Requires journal_ and outbox_ loaded.
+  [[nodiscard]] Status restore_from_journal();
+
   std::uint64_t location_;
   std::uint64_t period_;
   RsaKeyPair keys_;
   Certificate certificate_;
   TrafficRecord record_;
   std::uint64_t encodes_this_period_ = 0;
+  std::optional<RsuJournal> journal_;
+  UploadOutbox outbox_;
+  std::string journal_path_;  ///< kept for crash_and_restart
+  std::string outbox_path_;
+  std::size_t outbox_capacity_ = UploadOutbox::kDefaultCapacity;
 };
 
 }  // namespace ptm

@@ -17,6 +17,20 @@ Status CentralServer::ingest_frame(const Frame& frame) {
   return service_.ingest(upload->record);
 }
 
+Result<Frame> CentralServer::ingest_frame_acked(const Frame& frame) {
+  const auto* upload = std::get_if<RecordUpload>(&frame.body);
+  if (upload == nullptr) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "server ingest expects a RecordUpload frame"};
+  }
+  if (Status s = service_.ingest(upload->record); !s.is_ok()) return s;
+  Frame ack;
+  ack.src = frame.dst;   // reply from the uplink address the RSU used
+  ack.dst = frame.src;   // back to the RSU's fixed MAC
+  ack.body = UploadAck{upload->record.location, upload->record.period};
+  return ack;
+}
+
 Result<CardinalityEstimate> CentralServer::query_point_volume(
     std::uint64_t location, std::uint64_t period) const {
   return service_.run(QueryRequest{PointVolumeQuery{location, period}})

@@ -54,6 +54,13 @@ class CentralServer {
   /// Convenience: accepts a RecordUpload frame (the RSU uplink).
   Status ingest_frame(const Frame& frame);
 
+  /// Acked ingest: accepts a RecordUpload frame and, on success (including
+  /// an idempotent re-delivery), returns the UploadAck frame addressed
+  /// back to the uploading RSU.  The RSU drops the record from its
+  /// retransmission outbox when the ack arrives; a lost ack simply means
+  /// one more (idempotent) re-delivery.
+  [[nodiscard]] Result<Frame> ingest_frame_acked(const Frame& frame);
+
   [[nodiscard]] std::size_t record_count() const noexcept {
     return service_.record_count();
   }

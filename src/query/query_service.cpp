@@ -61,11 +61,22 @@ Status QueryService::ingest(const TrafficRecord& record) {
   const auto key = std::make_pair(record.location, record.period);
   {
     std::unique_lock lock(shard.mutex);
-    if (shard.records.contains(key)) {
+    const auto it = shard.records.find(key);
+    if (it != shard.records.end()) {
+      // Idempotent re-delivery: an RSU retransmitting an unacknowledged
+      // upload after an outage must not be punished for the lost ack.
+      // Identical bytes are a no-op success; different bytes mean two
+      // divergent records claim the same (location, period) - that never
+      // happens from a healthy RSU and is rejected loudly.
+      const bool identical = it->second == record;
       lock.unlock();
+      if (identical) {
+        shard.ingest_duplicate.fetch_add(1, std::memory_order_relaxed);
+        return Status::ok();
+      }
       shard.ingest_rejected.fetch_add(1, std::memory_order_relaxed);
       return {ErrorCode::kFailedPrecondition,
-              "duplicate record for this location and period"};
+              "conflicting record for this location and period"};
     }
     shard.records.emplace(key, record);
     shard.history[record.location].add(est.value);
@@ -135,6 +146,45 @@ Result<std::vector<Bitmap>> QueryService::collect_bitmaps(
   return out;
 }
 
+QueryService::PresentBitmaps QueryService::collect_present(
+    std::uint64_t location, std::span<const std::uint64_t> periods) const {
+  const Shard& shard = shard_for(location);
+  PresentBitmaps out;
+  out.coverage.requested.assign(periods.begin(), periods.end());
+  std::shared_lock lock(shard.mutex);
+  for (std::uint64_t period : periods) {
+    const auto it = shard.records.find(std::make_pair(location, period));
+    if (it == shard.records.end()) {
+      out.coverage.missing.push_back(period);
+    } else {
+      out.coverage.present.push_back(period);
+      out.bitmaps.push_back(it->second.bits);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared epilogue of the gap-tolerant persistent handlers: apply the
+/// missing policy to a coverage split and either fail (with the coverage
+/// attached, so the caller can see which periods gapped) or approve
+/// estimation over the present subset.
+[[nodiscard]] Status apply_missing_policy(MissingPolicy policy,
+                                          const CoverageReport& coverage) {
+  if (coverage.complete()) return Status::ok();  // estimator takes it whole
+  if (policy == MissingPolicy::kFail) {
+    return {ErrorCode::kNotFound, "missing record for a requested period"};
+  }
+  if (coverage.present.size() < 2) {
+    return {ErrorCode::kNotFound,
+            "fewer than 2 periods present; persistence needs at least 2"};
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
 QueryResponse QueryService::handle(const PointVolumeQuery& q) const {
   const Shard& shard = shard_for(q.location);
   shard.queries.fetch_add(1, std::memory_order_relaxed);
@@ -160,12 +210,14 @@ QueryResponse QueryService::handle(const PointVolumeQuery& q) const {
 QueryResponse QueryService::handle(const PointPersistentQuery& q) const {
   shard_for(q.location).queries.fetch_add(1, std::memory_order_relaxed);
   QueryResponse response;
-  auto bitmaps = collect_bitmaps(q.location, q.periods);
-  if (!bitmaps) {
-    response.status = bitmaps.status();
+  PresentBitmaps split = collect_present(q.location, q.periods);
+  response.coverage = std::move(split.coverage);
+  if (Status s = apply_missing_policy(q.missing, response.coverage);
+      !s.is_ok()) {
+    response.status = s;
     return response;
   }
-  auto est = estimate_point_persistent(*bitmaps);
+  auto est = estimate_point_persistent(split.bitmaps);
   if (!est) {
     response.status = est.status();
     return response;
@@ -183,26 +235,43 @@ QueryResponse QueryService::handle(const RecentPersistentQuery& q) const {
                              "recent window must be at least 1 period"};
     return response;
   }
-  const Shard& shard = shard_for(q.location);
-  std::vector<Bitmap> bitmaps;
-  {
-    std::shared_lock lock(shard.mutex);
-    for (auto it =
-             shard.records.lower_bound(std::make_pair(q.location, 0ULL));
-         it != shard.records.end() && it->first.first == q.location; ++it) {
-      bitmaps.push_back(it->second.bits);
-    }
-  }
-  if (bitmaps.size() < q.window) {
-    response.status = Status{ErrorCode::kNotFound,
-                             "fewer stored periods than the requested window"};
+  const std::vector<std::uint64_t> stored = periods_at(q.location);
+  if (stored.empty()) {
+    response.status =
+        Status{ErrorCode::kNotFound, "no records stored for this location"};
     return response;
   }
-  // Safe: the check above guarantees window <= size, so the slice's start
-  // offset cannot underflow.
-  const std::span<const Bitmap> recent(
-      bitmaps.data() + (bitmaps.size() - q.window), q.window);
-  auto est = estimate_point_persistent(recent);
+
+  std::vector<std::uint64_t> wanted;
+  if (q.missing == MissingPolicy::kFail) {
+    // Strict mode keeps the pre-gap-tolerance contract: the `window` most
+    // recent *stored* periods, NotFound when fewer exist.
+    if (stored.size() < q.window) {
+      response.status =
+          Status{ErrorCode::kNotFound,
+                 "fewer stored periods than the requested window"};
+      return response;
+    }
+    wanted.assign(stored.end() - static_cast<std::ptrdiff_t>(q.window),
+                  stored.end());
+  } else {
+    // Gap-aware mode: the trailing `window` period *numbers* ending at the
+    // newest stored period ("the last 7 days"), gaps included so the
+    // coverage report names them.
+    const std::uint64_t newest = stored.back();
+    const std::uint64_t first =
+        newest >= q.window - 1 ? newest - (q.window - 1) : 0;
+    for (std::uint64_t p = first; p <= newest; ++p) wanted.push_back(p);
+  }
+
+  PresentBitmaps split = collect_present(q.location, wanted);
+  response.coverage = std::move(split.coverage);
+  if (Status s = apply_missing_policy(q.missing, response.coverage);
+      !s.is_ok()) {
+    response.status = s;
+    return response;
+  }
+  auto est = estimate_point_persistent(split.bitmaps);
   if (!est) {
     response.status = est.status();
     return response;
@@ -254,11 +323,30 @@ QueryResponse QueryService::handle(const CorridorQuery& q) const {
     }
   }
   QueryResponse response;
+  // Coverage first: a period is present only when *every* corridor
+  // location stores it (the joined estimate needs the full column).
+  response.coverage.requested = q.periods;
+  for (std::uint64_t period : q.periods) {
+    const bool everywhere =
+        std::all_of(q.locations.begin(), q.locations.end(),
+                    [&](std::uint64_t location) {
+                      return has_record(location, period);
+                    });
+    (everywhere ? response.coverage.present : response.coverage.missing)
+        .push_back(period);
+  }
+  if (Status s = apply_missing_policy(q.missing, response.coverage);
+      !s.is_ok()) {
+    response.status = s;
+    return response;
+  }
   std::vector<std::vector<Bitmap>> per_location;
   per_location.reserve(q.locations.size());
   for (std::uint64_t location : q.locations) {
-    auto bitmaps = collect_bitmaps(location, q.periods);
+    auto bitmaps = collect_bitmaps(location, response.coverage.present);
     if (!bitmaps) {
+      // A record vanished between the coverage pass and the copy - the
+      // store only grows, so this cannot happen in practice; surface it.
       response.status = bitmaps.status();
       return response;
     }
@@ -313,10 +401,13 @@ ServiceMetrics QueryService::metrics() const {
       sm.records = shard.records.size();
     }
     sm.ingest_ok = shard.ingest_ok.load(std::memory_order_relaxed);
+    sm.ingest_duplicate =
+        shard.ingest_duplicate.load(std::memory_order_relaxed);
     sm.ingest_rejected = shard.ingest_rejected.load(std::memory_order_relaxed);
     sm.queries = shard.queries.load(std::memory_order_relaxed);
     out.records_total += sm.records;
     out.ingest_ok_total += sm.ingest_ok;
+    out.ingest_duplicate_total += sm.ingest_duplicate;
     out.ingest_rejected_total += sm.ingest_rejected;
     out.shards.push_back(sm);
   }

@@ -49,9 +49,11 @@ class QueryService {
     return options_;
   }
 
-  /// Ingests an uploaded record.  Rejects duplicates for the same
-  /// (location, period) and structurally invalid records.  On success the
-  /// record's estimated point volume updates the location's historical
+  /// Ingests an uploaded record.  Idempotent: a re-delivery carrying bytes
+  /// identical to the stored (location, period) record is Ok (counted as a
+  /// duplicate, history untouched); a *conflicting* record for an occupied
+  /// slot and structurally invalid records are rejected.  On first accept
+  /// the record's estimated point volume updates the location's historical
   /// average used by plan_size (Eq. 2).  Thread-safe.
   Status ingest(const TrafficRecord& record);
 
@@ -95,6 +97,7 @@ class QueryService {
     std::map<std::pair<std::uint64_t, std::uint64_t>, TrafficRecord> records;
     std::map<std::uint64_t, VolumeHistory> history;
     mutable std::atomic<std::uint64_t> ingest_ok{0};
+    mutable std::atomic<std::uint64_t> ingest_duplicate{0};
     mutable std::atomic<std::uint64_t> ingest_rejected{0};
     mutable std::atomic<std::uint64_t> queries{0};
   };
@@ -104,6 +107,16 @@ class QueryService {
   /// Copies of the location's bitmaps for the given periods, taken under
   /// the shard's shared lock.  NotFound if any period is missing.
   [[nodiscard]] Result<std::vector<Bitmap>> collect_bitmaps(
+      std::uint64_t location, std::span<const std::uint64_t> periods) const;
+
+  /// Gap-tolerant variant: bitmaps for the *stored* subset of `periods`
+  /// plus the coverage split.  Never fails on gaps; `bitmaps` aligns
+  /// index-for-index with `coverage.present`.
+  struct PresentBitmaps {
+    std::vector<Bitmap> bitmaps;
+    CoverageReport coverage;
+  };
+  [[nodiscard]] PresentBitmaps collect_present(
       std::uint64_t location, std::span<const std::uint64_t> periods) const;
 
   [[nodiscard]] QueryResponse dispatch(const QueryRequest& request) const;

@@ -22,6 +22,26 @@
 
 namespace ptm {
 
+/// What a multi-period query does about periods with no stored record.  A
+/// fault-tolerant pipeline delivers every record *eventually*, but a query
+/// can arrive while an RSU is still crashed or its outbox still draining.
+enum class MissingPolicy {
+  kFail,         ///< strict (the paper's model): any gap fails the query
+  kSkipMissing,  ///< estimate over the present periods; report the gaps
+};
+
+/// Which requested periods actually had records - returned alongside every
+/// multi-period estimate so a caller choosing kSkipMissing can judge how
+/// much of the window the answer really covers.  For corridor queries a
+/// period is `present` only when *every* corridor location stores it.
+struct CoverageReport {
+  std::vector<std::uint64_t> requested;  ///< periods the query asked for
+  std::vector<std::uint64_t> present;    ///< subset with stored records
+  std::vector<std::uint64_t> missing;    ///< subset without
+
+  [[nodiscard]] bool complete() const noexcept { return missing.empty(); }
+};
+
 /// Point traffic volume at one (location, period) - Eq. 3.
 struct PointVolumeQuery {
   std::uint64_t location = 0;
@@ -29,17 +49,24 @@ struct PointVolumeQuery {
 };
 
 /// Point persistent traffic at one location over explicit periods - Eq. 12.
+/// Under kSkipMissing, stored periods alone feed the estimate (at least two
+/// must be present; otherwise NotFound with the coverage report populated).
 struct PointPersistentQuery {
   std::uint64_t location = 0;
   std::vector<std::uint64_t> periods;
+  MissingPolicy missing = MissingPolicy::kFail;
 };
 
-/// Rolling form of Eq. 12: the `window` most recent periods stored for the
-/// location.  window == 0 is InvalidArgument; fewer stored periods than
-/// `window` is NotFound.
+/// Rolling form of Eq. 12 over the trailing `window` periods at the
+/// location.  window == 0 is InvalidArgument.  Under kFail the `window`
+/// most recent *stored* periods are used and fewer stored than `window` is
+/// NotFound (the pre-gap-tolerance behavior).  Under kSkipMissing the
+/// window is the trailing `window` period *numbers* ending at the newest
+/// stored period; gaps inside it are skipped and reported as coverage.
 struct RecentPersistentQuery {
   std::uint64_t location = 0;
   std::size_t window = 0;
+  MissingPolicy missing = MissingPolicy::kFail;
 };
 
 /// Point-to-point persistent traffic between two locations over explicit
@@ -51,10 +78,13 @@ struct P2PPersistentQuery {
 };
 
 /// Corridor persistent traffic through k >= 2 locations over explicit
-/// periods (the k-location generalization of Eq. 21).
+/// periods (the k-location generalization of Eq. 21).  Under kSkipMissing
+/// a period counts as present only when every corridor location stores it;
+/// partially-covered periods are skipped and reported.
 struct CorridorQuery {
   std::vector<std::uint64_t> locations;
   std::vector<std::uint64_t> periods;
+  MissingPolicy missing = MissingPolicy::kFail;
 };
 
 /// One request, any shape.
@@ -71,6 +101,10 @@ struct QueryResponse {
   Status status;        ///< ok iff `result` holds an estimate
   QueryResult result;   ///< shape matches the request's query kind
   EstimateSummary summary;  ///< unified view; valid only when status is ok
+  /// Period coverage for multi-period queries (persistent/recent/corridor).
+  /// Populated even on NotFound so callers can see *which* periods gapped;
+  /// empty for single-period and p2p queries.
+  CoverageReport coverage;
   std::uint64_t latency_ns = 0;  ///< service-side execution time
 
   [[nodiscard]] bool ok() const noexcept { return status.is_ok(); }

@@ -82,8 +82,8 @@ std::string ServiceMetrics::to_string() const {
   out << "records: " << records_total << " across " << shards.size()
       << " shards (" << occupied << " occupied, min " << min_records
       << " / max " << max_records << " per shard)\n"
-      << "ingest:  " << ingest_ok_total << " ok, " << ingest_rejected_total
-      << " rejected\n"
+      << "ingest:  " << ingest_ok_total << " ok, " << ingest_duplicate_total
+      << " duplicate, " << ingest_rejected_total << " rejected\n"
       << "queries: " << queries_total << " total, " << queries_failed
       << " failed\n"
       << "latency: p50 <= " << format_nanos(latency.percentile_ns(50))

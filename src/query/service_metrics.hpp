@@ -46,10 +46,11 @@ class LatencyRecorder {
 
 /// Per-shard slice of a ServiceMetrics snapshot.
 struct ShardMetrics {
-  std::size_t records = 0;          ///< live records in the shard
-  std::uint64_t ingest_ok = 0;      ///< accepted uploads
-  std::uint64_t ingest_rejected = 0;///< duplicates + invalid records
-  std::uint64_t queries = 0;        ///< queries that touched this shard
+  std::size_t records = 0;           ///< live records in the shard
+  std::uint64_t ingest_ok = 0;       ///< accepted uploads
+  std::uint64_t ingest_duplicate = 0;///< idempotent re-deliveries (Ok, no-op)
+  std::uint64_t ingest_rejected = 0; ///< conflicting + invalid records
+  std::uint64_t queries = 0;         ///< queries that touched this shard
 };
 
 /// Point-in-time view of a QueryService's counters ("/stats" payload).
@@ -57,6 +58,7 @@ struct ServiceMetrics {
   std::vector<ShardMetrics> shards;
   std::size_t records_total = 0;
   std::uint64_t ingest_ok_total = 0;
+  std::uint64_t ingest_duplicate_total = 0;
   std::uint64_t ingest_rejected_total = 0;
   std::uint64_t queries_total = 0;
   std::uint64_t queries_failed = 0;  ///< completed with a non-ok Status

@@ -1,0 +1,145 @@
+#include "store/framed_log.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.hpp"
+
+namespace ptm {
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::vector<std::uint8_t> frame_entry(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> entry;
+  entry.reserve(payload.size() + 8);
+  put_u32(entry, static_cast<std::uint32_t>(payload.size()));
+  entry.insert(entry.end(), payload.begin(), payload.end());
+  put_u32(entry, crc32(payload));
+  return entry;
+}
+
+}  // namespace
+
+Status framed_log_create(const std::string& path, const LogMagic& magic) {
+  std::ifstream probe(path, std::ios::binary);
+  if (probe) {
+    char header[8] = {};
+    probe.read(header, sizeof(header));
+    if (probe.gcount() > 0 &&
+        (probe.gcount() != 8 ||
+         std::memcmp(header, magic.data(), 8) != 0)) {
+      return Status{ErrorCode::kFailedPrecondition,
+                    path + " exists but holds a different file format"};
+    }
+    if (probe.gcount() == 8) return Status::ok();
+    // Empty file: fall through and write the header.
+  }
+  std::ofstream create(path, std::ios::binary | std::ios::app);
+  if (!create) {
+    return Status{ErrorCode::kInternal, "cannot create " + path};
+  }
+  create.write(magic.data(), magic.size());
+  if (!create) {
+    return Status{ErrorCode::kInternal, "cannot write header to " + path};
+  }
+  return Status::ok();
+}
+
+Status framed_log_append(const std::string& path,
+                         std::span<const std::uint8_t> payload) {
+  const auto entry = frame_entry(payload);
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) {
+    return {ErrorCode::kInternal, "cannot open " + path + " for append"};
+  }
+  out.write(reinterpret_cast<const char*>(entry.data()),
+            static_cast<std::streamsize>(entry.size()));
+  out.flush();
+  if (!out) {
+    return {ErrorCode::kInternal, "short write to " + path};
+  }
+  return Status::ok();
+}
+
+Result<FramedLogContents> read_framed_log(const std::string& path,
+                                          const LogMagic& magic) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status{ErrorCode::kNotFound, "cannot open " + path};
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  if (bytes.size() < 8 ||
+      std::memcmp(bytes.data(), magic.data(), 8) != 0) {
+    return Status{ErrorCode::kParseError, path + ": bad log magic"};
+  }
+
+  FramedLogContents contents;
+  std::size_t pos = 8;
+  while (pos < bytes.size()) {
+    if (pos + 4 > bytes.size()) {
+      contents.truncated_tail = true;
+      contents.tail_error = "torn length prefix";
+      break;
+    }
+    const std::uint32_t length = get_u32(bytes.data() + pos);
+    if (pos + 4 + length + 4 > bytes.size()) {
+      contents.truncated_tail = true;
+      contents.tail_error = "torn entry body";
+      break;
+    }
+    const std::span<const std::uint8_t> payload(bytes.data() + pos + 4,
+                                                length);
+    const std::uint32_t stored_crc = get_u32(bytes.data() + pos + 4 + length);
+    if (crc32(payload) != stored_crc) {
+      contents.truncated_tail = true;
+      contents.tail_error = "crc mismatch";
+      break;
+    }
+    contents.entries.emplace_back(payload.begin(), payload.end());
+    pos += 4 + length + 4;
+  }
+  return contents;
+}
+
+Status framed_log_rewrite(const std::string& path, const LogMagic& magic,
+                          std::span<const std::vector<std::uint8_t>> entries) {
+  const std::string temp_path = path + ".rewrite";
+  std::remove(temp_path.c_str());
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status{ErrorCode::kInternal, "cannot create " + temp_path};
+    }
+    out.write(magic.data(), magic.size());
+    for (const auto& payload : entries) {
+      const auto entry = frame_entry(payload);
+      out.write(reinterpret_cast<const char*>(entry.data()),
+                static_cast<std::streamsize>(entry.size()));
+    }
+    out.flush();
+    if (!out) {
+      std::remove(temp_path.c_str());
+      return Status{ErrorCode::kInternal, "short write to " + temp_path};
+    }
+  }
+  if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
+    std::remove(temp_path.c_str());
+    return Status{ErrorCode::kInternal, "rewrite rename failed for " + path};
+  }
+  return Status::ok();
+}
+
+}  // namespace ptm

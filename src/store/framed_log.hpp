@@ -1,0 +1,56 @@
+// framed_log.hpp - the shared on-disk framing under every durable file in
+// this project (record log, RSU journal, upload outbox).
+//
+//   file   := magic(8) entry*
+//   entry  := u32 payload_length | payload | u32 crc32(payload)
+//
+// All integers little-endian.  The reader stops at the first torn or
+// corrupt entry and reports it; everything before loads normally, which is
+// what makes append-mid-crash recoverable: a process killed during a write
+// leaves at worst one torn tail entry, never a poisoned prefix.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ptm {
+
+using LogMagic = std::array<char, 8>;
+
+/// Creates `path` with the magic header if absent/empty; validates the
+/// magic if it exists.  FailedPrecondition when the file holds something
+/// else.
+[[nodiscard]] Status framed_log_create(const std::string& path,
+                                       const LogMagic& magic);
+
+/// Appends one length-prefixed, CRC-protected entry and flushes.
+[[nodiscard]] Status framed_log_append(const std::string& path,
+                                       std::span<const std::uint8_t> payload);
+
+/// Result of reading a framed log: the intact entry payloads, plus whether
+/// a torn / corrupt tail was skipped (and why).
+struct FramedLogContents {
+  std::vector<std::vector<std::uint8_t>> entries;
+  bool truncated_tail = false;  ///< a trailing partial/corrupt entry existed
+  std::string tail_error;       ///< human-readable reason when truncated
+};
+
+/// Reads every intact entry.  NotFound for a missing file, ParseError for
+/// bad magic; mid-file corruption after intact entries is reported via
+/// `truncated_tail`.
+[[nodiscard]] Result<FramedLogContents> read_framed_log(
+    const std::string& path, const LogMagic& magic);
+
+/// Atomically replaces `path` with a fresh log holding `entries`, via a
+/// temp file + rename.  The old contents survive any crash before the
+/// rename commits.
+[[nodiscard]] Status framed_log_rewrite(
+    const std::string& path, const LogMagic& magic,
+    std::span<const std::vector<std::uint8_t>> entries);
+
+}  // namespace ptm

@@ -1,119 +1,53 @@
 #include "store/record_log.hpp"
 
-#include <cstring>
-#include <fstream>
-
-#include "common/crc32.hpp"
+#include "store/framed_log.hpp"
 
 namespace ptm {
 namespace {
 
-constexpr char kMagic[8] = {'P', 'T', 'M', 'R', 'L', 'O', 'G', '1'};
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-std::uint32_t get_u32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
+constexpr LogMagic kMagic = {'P', 'T', 'M', 'R', 'L', 'O', 'G', '1'};
 
 }  // namespace
 
 Result<RecordLogWriter> RecordLogWriter::open(const std::string& path) {
-  // If the file exists, validate its magic; otherwise create it with one.
-  std::ifstream probe(path, std::ios::binary);
-  if (probe) {
-    char magic[8] = {};
-    probe.read(magic, sizeof(magic));
-    if (probe.gcount() > 0 &&
-        (probe.gcount() != 8 || std::memcmp(magic, kMagic, 8) != 0)) {
+  if (Status s = framed_log_create(path, kMagic); !s.is_ok()) {
+    if (s.code() == ErrorCode::kFailedPrecondition) {
       return Status{ErrorCode::kFailedPrecondition,
                     path + " exists but is not a record log"};
     }
-    if (probe.gcount() == 8) return RecordLogWriter(path);
-    // Empty file: fall through and write the header.
-  }
-  std::ofstream create(path, std::ios::binary | std::ios::app);
-  if (!create) {
-    return Status{ErrorCode::kInternal, "cannot create " + path};
-  }
-  create.write(kMagic, sizeof(kMagic));
-  if (!create) {
-    return Status{ErrorCode::kInternal, "cannot write header to " + path};
+    return s;
   }
   return RecordLogWriter(path);
 }
 
 Status RecordLogWriter::append(const TrafficRecord& record) {
   if (Status s = record.validate(); !s.is_ok()) return s;
-  const auto payload = record.serialize();
-
-  std::vector<std::uint8_t> entry;
-  entry.reserve(payload.size() + 8);
-  put_u32(entry, static_cast<std::uint32_t>(payload.size()));
-  entry.insert(entry.end(), payload.begin(), payload.end());
-  put_u32(entry, crc32(payload));
-
-  std::ofstream out(path_, std::ios::binary | std::ios::app);
-  if (!out) {
-    return {ErrorCode::kInternal, "cannot open " + path_ + " for append"};
-  }
-  out.write(reinterpret_cast<const char*>(entry.data()),
-            static_cast<std::streamsize>(entry.size()));
-  out.flush();
-  if (!out) {
-    return {ErrorCode::kInternal, "short write to " + path_};
-  }
-  return Status::ok();
+  return framed_log_append(path_, record.serialize());
 }
 
 Result<RecordLogContents> read_record_log(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status{ErrorCode::kNotFound, "cannot open " + path};
+  auto framed = read_framed_log(path, kMagic);
+  if (!framed) {
+    if (framed.status().code() == ErrorCode::kParseError) {
+      return Status{ErrorCode::kParseError, path + ": bad record-log magic"};
+    }
+    return framed.status();
   }
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  if (bytes.size() < 8 || std::memcmp(bytes.data(), kMagic, 8) != 0) {
-    return Status{ErrorCode::kParseError, path + ": bad record-log magic"};
-  }
-
   RecordLogContents contents;
-  std::size_t pos = 8;
-  while (pos < bytes.size()) {
-    if (pos + 4 > bytes.size()) {
-      contents.truncated_tail = true;
-      contents.tail_error = "torn length prefix";
-      break;
-    }
-    const std::uint32_t length = get_u32(bytes.data() + pos);
-    if (pos + 4 + length + 4 > bytes.size()) {
-      contents.truncated_tail = true;
-      contents.tail_error = "torn record body";
-      break;
-    }
-    const std::span<const std::uint8_t> payload(bytes.data() + pos + 4,
-                                                length);
-    const std::uint32_t stored_crc = get_u32(bytes.data() + pos + 4 + length);
-    if (crc32(payload) != stored_crc) {
-      contents.truncated_tail = true;
-      contents.tail_error = "crc mismatch";
-      break;
-    }
+  contents.truncated_tail = framed->truncated_tail;
+  contents.tail_error = framed->tail_error;
+  for (const auto& payload : framed->entries) {
     auto record = TrafficRecord::deserialize(payload);
     if (!record) {
+      // An entry with a valid CRC but an undecodable body means the writer
+      // itself was cut off mid-logic (or the file was tampered with); keep
+      // the provably-whole prefix exactly like a torn tail.
       contents.truncated_tail = true;
-      contents.tail_error = "undecodable record: " +
-                            record.status().to_string();
+      contents.tail_error =
+          "undecodable record: " + record.status().to_string();
       break;
     }
     contents.records.push_back(std::move(*record));
-    pos += 4 + length + 4;
   }
   return contents;
 }

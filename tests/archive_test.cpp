@@ -7,6 +7,7 @@
 #include <fstream>
 
 #include "common/random.hpp"
+#include "store/record_log.hpp"
 
 namespace ptm {
 namespace {
@@ -154,6 +155,51 @@ TEST_F(ArchiveTest, RefusesNonLogFile) {
     out << "not a record log";
   }
   EXPECT_FALSE(RecordArchive::open(path_, {}).has_value());
+}
+
+TEST_F(ArchiveTest, CrashMidCompactLeavesPreCompactLogIntact) {
+  const std::string temp_path = path_ + ".compact";
+  {
+    auto archive = RecordArchive::open(path_, {});
+    ASSERT_TRUE(archive.has_value());
+    ASSERT_TRUE(archive->append(make_record(1, 0)).is_ok());
+    ASSERT_TRUE(archive->append(make_record(1, 1)).is_ok());
+    ASSERT_TRUE(archive->append(make_record(2, 0)).is_ok());
+  }
+  // Simulate the kill window between writing the temp file and the rename
+  // commit: the fully-written temp exists, the original log is untouched.
+  {
+    auto doomed = RecordArchive::open(path_, {});
+    ASSERT_TRUE(doomed.has_value());
+    auto temp_writer = RecordLogWriter::open(temp_path);
+    ASSERT_TRUE(temp_writer.has_value());
+    ASSERT_TRUE(temp_writer->append(make_record(1, 0)).is_ok());
+    // ... crash: no rename ever happens.
+  }
+  auto reopened = RecordArchive::open(path_, {});
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->live_records(), 3u);  // pre-compact state, complete
+  // The stray temp does not poison a later compaction either.
+  auto compacted = reopened->compact();
+  ASSERT_TRUE(compacted.has_value());
+  auto after = RecordArchive::open(path_, {});
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->live_records(), 3u);
+  std::remove(temp_path.c_str());
+
+  // Variant: the crash happened mid-write, leaving a *torn* temp file.
+  {
+    std::ofstream out(temp_path, std::ios::binary);
+    out << "PTMRLOG1torn-partial-garbage";
+  }
+  auto still_fine = RecordArchive::open(path_, {});
+  ASSERT_TRUE(still_fine.has_value());
+  EXPECT_EQ(still_fine->live_records(), 3u);
+  ASSERT_TRUE(still_fine->compact().has_value());
+  auto final_state = RecordArchive::open(path_, {});
+  ASSERT_TRUE(final_state.has_value());
+  EXPECT_EQ(final_state->live_records(), 3u);
+  std::remove(temp_path.c_str());
 }
 
 TEST_F(ArchiveTest, ToleratesTornTailOnOpen) {

@@ -82,6 +82,64 @@ TEST(Channel, DeterministicPerSeed) {
   }
 }
 
+TEST(Channel, GilbertElliottAllGoodLosesNothing) {
+  ChannelConfig config;
+  config.gilbert_elliott = {.enabled = true,
+                            .p_good_to_bad = 0.0,
+                            .p_bad_to_good = 1.0,
+                            .loss_good = 0.0,
+                            .loss_bad = 1.0};
+  SimulatedChannel ch(config, 11);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(ch.transmit(kFrame).size(), 1u);
+  }
+  EXPECT_EQ(ch.stats().burst_lost, 0u);
+}
+
+TEST(Channel, GilbertElliottLossesComeInBursts) {
+  // Enter the bad state rarely, stay for ~10 frames, lose everything there.
+  ChannelConfig config;
+  config.gilbert_elliott = {.enabled = true,
+                            .p_good_to_bad = 0.02,
+                            .p_bad_to_good = 0.1,
+                            .loss_good = 0.0,
+                            .loss_bad = 1.0};
+  SimulatedChannel ch(config, 12);
+  constexpr int kSends = 20000;
+  int lost = 0, runs = 0;
+  bool in_run = false;
+  for (int i = 0; i < kSends; ++i) {
+    const bool dropped = ch.transmit(kFrame).empty();
+    if (dropped) ++lost;
+    if (dropped && !in_run) ++runs;
+    in_run = dropped;
+  }
+  ASSERT_GT(lost, 0);
+  // Stationary loss rate = p_gb / (p_gb + p_bg) = 0.02/0.12 ~ 1/6.
+  EXPECT_NEAR(static_cast<double>(lost) / kSends, 1.0 / 6.0, 0.05);
+  // Bursty: the mean run of losses is ~1/p_bad_to_good = 10 frames, far
+  // fewer distinct runs than an i.i.d. channel at the same rate would show.
+  const double mean_run = static_cast<double>(lost) / runs;
+  EXPECT_GT(mean_run, 4.0);
+  EXPECT_EQ(ch.stats().burst_lost, static_cast<std::uint64_t>(lost));
+}
+
+TEST(Channel, ScheduledOutageDropsEverythingInsideTheWindow) {
+  SimulatedChannel ch({}, 13);
+  FaultPlan plan;
+  plan.channel_outages.push_back({10, 20});
+  ch.set_fault_plan(plan);
+  EXPECT_EQ(ch.transmit(kFrame).size(), 1u);  // now = 0: before the window
+  ch.advance_to(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ch.transmit(kFrame).empty());
+  ch.advance_to(20);  // half-open: step 20 is outside
+  EXPECT_EQ(ch.transmit(kFrame).size(), 1u);
+  EXPECT_EQ(ch.stats().outage_lost, 5u);
+  // The clock never runs backwards.
+  ch.advance_to(5);
+  EXPECT_EQ(ch.now(), 20u);
+}
+
 TEST(Channel, StatsAccumulateAcrossModes) {
   SimulatedChannel ch({.loss_probability = 0.2,
                        .duplicate_probability = 0.3,

@@ -94,6 +94,24 @@ TEST(Deployment, PartialLossDegradesGracefully) {
   EXPECT_EQ(rsu.encodes_this_period(), static_cast<std::uint64_t>(encoded));
 }
 
+TEST(Deployment, LegRetriesRecoverMostLossyContacts) {
+  // Same loss rate as PartialLossDegradesGracefully, but each handshake
+  // leg retransmits: per-leg success 1 - 0.2^4 ≈ 0.998, so nearly every
+  // contact completes instead of ~41% of them.
+  Deployment::Config config = lossless_config();
+  config.channel.loss_probability = 0.2;
+  config.contact_leg_retries = 3;
+  Deployment dep(config, 6);
+  Rsu& rsu = dep.add_rsu(1, 4096);
+  int encoded = 0;
+  constexpr int kVehicles = 300;
+  for (int i = 0; i < kVehicles; ++i) {
+    Vehicle v = dep.make_vehicle(static_cast<std::uint64_t>(i));
+    if (dep.run_contact(v, rsu) == ContactOutcome::kEncoded) ++encoded;
+  }
+  EXPECT_GT(encoded, (kVehicles * 9) / 10);
+}
+
 TEST(Deployment, CorruptionIsRejectedNotMisread) {
   // Heavy corruption: frames either decode identically or are dropped;
   // outcome is fewer encodes, never wrong certificates accepted.
@@ -147,12 +165,20 @@ TEST(Deployment, ReliableUploadDoesNotRetryServerRejections) {
   Deployment dep(lossless_config(), 11);
   Rsu& rsu = dep.add_rsu(1, 512);
   ASSERT_TRUE(dep.upload_period_reliable(rsu).is_ok());
-  // Force a duplicate by replaying period 0 from a second RSU object at
-  // the same location - the server must reject, and reliable upload must
-  // not loop on it.
+  // Force a conflict by replaying period 0 from a second RSU object at the
+  // same location with *different* record bytes - the server must reject,
+  // and reliable upload must drop the entry rather than loop on it.
   Rsu& clone = dep.add_rsu(1, 512);
+  Vehicle v = dep.make_vehicle(99);
+  ASSERT_EQ(dep.run_contact(v, clone), ContactOutcome::kEncoded);
   const Status status = dep.upload_period_reliable(clone, 16);
   EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(clone.outbox().pending(), 0u);
+  // An *identical* replay, by contrast, is an idempotent success: clone a
+  // third RSU and replay the first RSU's period-0 record unchanged.
+  Rsu& twin = dep.add_rsu(1, 512);
+  const Status twin_status = dep.upload_period_reliable(twin, 16);
+  EXPECT_TRUE(twin_status.is_ok()) << twin_status.message();
 }
 
 TEST(Deployment, MultiRsuMultiPeriodPipeline) {

@@ -1,0 +1,160 @@
+// Tests for store/outbox.hpp: the bounded persistent retransmission queue
+// of the at-least-once upload pipeline.
+#include "store/outbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ptm {
+namespace {
+
+TrafficRecord make_record(std::uint64_t location, std::uint64_t period,
+                          std::size_t m = 64,
+                          std::initializer_list<std::size_t> bits = {}) {
+  TrafficRecord rec;
+  rec.location = location;
+  rec.period = period;
+  rec.bits = Bitmap(m);
+  for (std::size_t b : bits) rec.bits.set(b);
+  return rec;
+}
+
+class OutboxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/ptm_outbox_" +
+            std::to_string(counter_++) + ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  static int counter_;
+};
+
+int OutboxTest::counter_ = 0;
+
+TEST(Outbox, PushAcknowledgeLifecycle) {
+  UploadOutbox outbox(8);
+  EXPECT_FALSE(outbox.persistent());
+  ASSERT_TRUE(outbox.push(make_record(1, 0)).is_ok());
+  ASSERT_TRUE(outbox.push(make_record(1, 1)).is_ok());
+  EXPECT_EQ(outbox.pending(), 2u);
+  EXPECT_TRUE(outbox.contains(1, 0));
+  ASSERT_TRUE(outbox.acknowledge(1, 0).is_ok());
+  EXPECT_FALSE(outbox.contains(1, 0));
+  EXPECT_EQ(outbox.pending(), 1u);
+  // Duplicate acks (re-delivered after an ack loss) are fine.
+  EXPECT_TRUE(outbox.acknowledge(1, 0).is_ok());
+}
+
+TEST(Outbox, RePushIdempotentWhenIdenticalConflictWhenNot) {
+  UploadOutbox outbox(8);
+  ASSERT_TRUE(outbox.push(make_record(1, 0, 64, {3})).is_ok());
+  EXPECT_TRUE(outbox.push(make_record(1, 0, 64, {3})).is_ok());
+  EXPECT_EQ(outbox.pending(), 1u);
+  EXPECT_EQ(outbox.push(make_record(1, 0, 64, {4})).code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+TEST(Outbox, RejectsInvalidRecords) {
+  UploadOutbox outbox(8);
+  TrafficRecord bad;
+  bad.bits = Bitmap(100);  // not a power of two
+  EXPECT_EQ(outbox.push(bad).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(Outbox, CapacityEvictsOldestFirst) {
+  UploadOutbox outbox(2);
+  ASSERT_TRUE(outbox.push(make_record(1, 0)).is_ok());
+  ASSERT_TRUE(outbox.push(make_record(1, 1)).is_ok());
+  ASSERT_TRUE(outbox.push(make_record(1, 2)).is_ok());
+  EXPECT_EQ(outbox.pending(), 2u);
+  EXPECT_EQ(outbox.evicted(), 1u);
+  EXPECT_FALSE(outbox.contains(1, 0));  // oldest went overboard
+  EXPECT_TRUE(outbox.contains(1, 1));
+  EXPECT_TRUE(outbox.contains(1, 2));
+}
+
+TEST(Outbox, DueRespectsSchedule) {
+  UploadOutbox outbox(8);
+  ASSERT_TRUE(outbox.push(make_record(1, 0)).is_ok());
+  ASSERT_TRUE(outbox.push(make_record(1, 1)).is_ok());
+  EXPECT_EQ(outbox.due(0).size(), 2u);  // fresh pushes are immediately due
+  Xoshiro256 rng(7);
+  UploadOutbox::Entry* entry = outbox.find(1, 0);
+  ASSERT_NE(entry, nullptr);
+  UploadOutbox::schedule_retry(*entry, /*now=*/10, /*base=*/4, /*cap=*/64,
+                               rng);
+  EXPECT_EQ(entry->attempts, 1u);
+  EXPECT_GT(entry->next_attempt_at, 10u);
+  EXPECT_EQ(outbox.due(10).size(), 1u);  // only the unscheduled one
+  EXPECT_EQ(outbox.due(entry->next_attempt_at).size(), 2u);
+}
+
+TEST(Outbox, BackoffGrowsExponentiallyAndCaps) {
+  UploadOutbox::Entry entry;
+  Xoshiro256 rng(3);
+  std::uint64_t last_delay = 0;
+  for (int i = 0; i < 10; ++i) {
+    UploadOutbox::schedule_retry(entry, /*now=*/0, /*base=*/2, /*cap=*/32,
+                                 rng);
+    const std::uint64_t delay = entry.next_attempt_at;
+    // Exponential up to the cap, plus jitter in [0, base].
+    EXPECT_LE(delay, 32u + 2u);
+    if (i < 4) EXPECT_GE(delay, last_delay / 2);
+    last_delay = delay;
+  }
+  EXPECT_EQ(entry.attempts, 10u);
+  // After many attempts the delay saturates at cap + jitter.
+  EXPECT_GE(entry.next_attempt_at, 32u);
+}
+
+TEST_F(OutboxTest, PersistsAcrossReopen) {
+  {
+    auto outbox = UploadOutbox::open(path_, 8);
+    ASSERT_TRUE(outbox.has_value());
+    ASSERT_TRUE(outbox->push(make_record(1, 0, 64, {5})).is_ok());
+    ASSERT_TRUE(outbox->push(make_record(1, 1, 64, {6})).is_ok());
+    ASSERT_TRUE(outbox->acknowledge(1, 0).is_ok());
+  }
+  auto reopened = UploadOutbox::open(path_, 8);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->pending(), 1u);
+  EXPECT_FALSE(reopened->contains(1, 0));
+  ASSERT_TRUE(reopened->contains(1, 1));
+  const UploadOutbox::Entry* entry = reopened->find(1, 1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->record, make_record(1, 1, 64, {6}));
+  // Scheduling state is volatile by design: everything is due at reboot.
+  EXPECT_EQ(entry->attempts, 0u);
+  EXPECT_EQ(entry->next_attempt_at, 0u);
+}
+
+TEST_F(OutboxTest, EvictionsSurviveReopen) {
+  {
+    auto outbox = UploadOutbox::open(path_, 2);
+    ASSERT_TRUE(outbox.has_value());
+    ASSERT_TRUE(outbox->push(make_record(1, 0)).is_ok());
+    ASSERT_TRUE(outbox->push(make_record(1, 1)).is_ok());
+    ASSERT_TRUE(outbox->push(make_record(1, 2)).is_ok());
+  }
+  auto reopened = UploadOutbox::open(path_, 2);
+  ASSERT_TRUE(reopened.has_value());
+  EXPECT_EQ(reopened->pending(), 2u);
+  EXPECT_FALSE(reopened->contains(1, 0));
+}
+
+TEST_F(OutboxTest, RejectsForeignFiles) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "definitely not an outbox log";
+  }
+  EXPECT_EQ(UploadOutbox::open(path_, 8).status().code(),
+            ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ptm

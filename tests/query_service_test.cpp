@@ -197,17 +197,119 @@ TEST(QueryService, RecentWindowBeyondHistoryIsNotFound) {
           .ok());
 }
 
-TEST(QueryService, RejectsDuplicatesAndInvalidRecords) {
+TEST(QueryService, GapTolerantPointPersistent) {
+  const auto workload = make_workload();
+  QueryService service;
+  // Ingest location 1's periods except period 2 - an RSU still draining
+  // its outbox after a crash.
+  for (const TrafficRecord& rec : workload[0]) {
+    if (rec.period != 2) ASSERT_TRUE(service.ingest(rec).is_ok());
+  }
+  const std::uint64_t location = workload[0].front().location;
+  const auto periods = all_periods();
+
+  // Strict policy: hard NotFound, but the coverage names the gap.
+  const auto strict = service.run(
+      QueryRequest{PointPersistentQuery{location, periods}});
+  EXPECT_EQ(strict.status.code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(strict.coverage.complete());
+  EXPECT_EQ(strict.coverage.requested, periods);
+  EXPECT_EQ(strict.coverage.missing, std::vector<std::uint64_t>{2});
+
+  // Skip-missing: estimate over the four present periods.
+  const auto tolerant = service.run(QueryRequest{PointPersistentQuery{
+      location, periods, MissingPolicy::kSkipMissing}});
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status.message();
+  EXPECT_EQ(tolerant.coverage.present.size(), kPeriods - 1);
+  EXPECT_EQ(tolerant.coverage.missing, std::vector<std::uint64_t>{2});
+  // The answer must match a strict query over exactly the present periods.
+  const auto reference = service.run(QueryRequest{
+      PointPersistentQuery{location, tolerant.coverage.present}});
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(tolerant.summary.value, reference.summary.value);
+}
+
+TEST(QueryService, SkipMissingStillNeedsTwoPresentPeriods) {
   const auto workload = make_workload();
   QueryService service;
   ASSERT_TRUE(service.ingest(workload[0][0]).is_ok());
-  EXPECT_EQ(service.ingest(workload[0][0]).code(),
+  const std::uint64_t location = workload[0].front().location;
+  const auto response = service.run(QueryRequest{PointPersistentQuery{
+      location, all_periods(), MissingPolicy::kSkipMissing}});
+  EXPECT_EQ(response.status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(response.coverage.present.size(), 1u);
+  EXPECT_EQ(response.coverage.missing.size(), kPeriods - 1);
+}
+
+TEST(QueryService, GapTolerantRecentWindow) {
+  const auto workload = make_workload();
+  QueryService service;
+  for (const TrafficRecord& rec : workload[0]) {
+    if (rec.period != 3) ASSERT_TRUE(service.ingest(rec).is_ok());
+  }
+  const std::uint64_t location = workload[0].front().location;
+
+  // Gap-aware window: trailing kPeriods period numbers ending at the
+  // newest stored period (kPeriods - 1), with period 3 reported missing.
+  const auto tolerant = service.run(QueryRequest{RecentPersistentQuery{
+      location, kPeriods, MissingPolicy::kSkipMissing}});
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status.message();
+  EXPECT_EQ(tolerant.coverage.requested, all_periods());
+  EXPECT_EQ(tolerant.coverage.missing, std::vector<std::uint64_t>{3});
+
+  // Strict mode keeps the old contract: fewer stored than the window.
+  const auto strict = service.run(
+      QueryRequest{RecentPersistentQuery{location, kPeriods}});
+  EXPECT_EQ(strict.status.code(), ErrorCode::kNotFound);
+}
+
+TEST(QueryService, GapTolerantCorridor) {
+  const auto workload = make_workload();
+  QueryService service;
+  // Locations 1 and 2 hold everything; location 3 misses period 1.
+  for (std::size_t loc = 0; loc < 3; ++loc) {
+    for (const TrafficRecord& rec : workload[loc]) {
+      if (loc == 2 && rec.period == 1) continue;
+      ASSERT_TRUE(service.ingest(rec).is_ok());
+    }
+  }
+  const std::vector<std::uint64_t> corridor = {1, 2, 3};
+
+  const auto strict = service.run(
+      QueryRequest{CorridorQuery{corridor, all_periods()}});
+  EXPECT_EQ(strict.status.code(), ErrorCode::kNotFound);
+  // A period is missing if *any* corridor location lacks it.
+  EXPECT_EQ(strict.coverage.missing, std::vector<std::uint64_t>{1});
+
+  const auto tolerant = service.run(QueryRequest{CorridorQuery{
+      corridor, all_periods(), MissingPolicy::kSkipMissing}});
+  ASSERT_TRUE(tolerant.ok()) << tolerant.status.message();
+  EXPECT_EQ(tolerant.coverage.present.size(), kPeriods - 1);
+  const auto reference = service.run(QueryRequest{
+      CorridorQuery{corridor, tolerant.coverage.present}});
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(tolerant.summary.value, reference.summary.value);
+}
+
+TEST(QueryService, IdempotentDuplicatesConflictsAndInvalidRecords) {
+  const auto workload = make_workload();
+  QueryService service;
+  ASSERT_TRUE(service.ingest(workload[0][0]).is_ok());
+  // Byte-identical re-delivery (an RSU retransmitting after a lost ack) is
+  // an idempotent success, counted separately from first-time ingests.
+  EXPECT_TRUE(service.ingest(workload[0][0]).is_ok());
+  // A *different* record claiming the same (location, period) is a
+  // conflict and is rejected.
+  TrafficRecord conflicting = workload[0][0];
+  conflicting.bits = Bitmap(conflicting.bits.size());
+  EXPECT_EQ(service.ingest(conflicting).code(),
             ErrorCode::kFailedPrecondition);
   TrafficRecord bad;
   bad.bits = Bitmap(100);  // not a power of two
   EXPECT_EQ(service.ingest(bad).code(), ErrorCode::kInvalidArgument);
   const auto metrics = service.metrics();
   EXPECT_EQ(metrics.ingest_ok_total, 1u);
+  EXPECT_EQ(metrics.ingest_duplicate_total, 1u);
   EXPECT_EQ(metrics.ingest_rejected_total, 2u);
   EXPECT_EQ(metrics.records_total, 1u);
 }

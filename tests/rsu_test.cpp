@@ -1,8 +1,10 @@
-// Tests for nodes/rsu.hpp: beaconing, auth service, bit recording, and the
-// period lifecycle.
+// Tests for nodes/rsu.hpp: beaconing, auth service, bit recording, the
+// period lifecycle, and crash recovery through the journal/outbox pair.
 #include "nodes/rsu.hpp"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
 
 namespace ptm {
 namespace {
@@ -11,6 +13,19 @@ class RsuTest : public ::testing::Test {
  protected:
   RsuTest() : rng_(9), ca_("ca", 512, rng_) {}
 
+  void SetUp() override {
+    const std::string stem = ::testing::TempDir() + "/ptm_rsu_" +
+                             std::to_string(counter_++);
+    journal_path_ = stem + ".journal";
+    outbox_path_ = stem + ".outbox";
+    std::remove(journal_path_.c_str());
+    std::remove(outbox_path_.c_str());
+  }
+  void TearDown() override {
+    std::remove(journal_path_.c_str());
+    std::remove(outbox_path_.c_str());
+  }
+
   Rsu make_rsu(std::uint64_t location = 7, std::size_t m = 1024) {
     RsaKeyPair keys = rsa_generate(512, rng_);
     Certificate cert = ca_.issue("rsu:" + std::to_string(location), location,
@@ -18,9 +33,19 @@ class RsuTest : public ::testing::Test {
     return Rsu(location, std::move(keys), std::move(cert), m);
   }
 
+  static void encode(Rsu& rsu, std::uint64_t index) {
+    (void)rsu.handle_frame(
+        {MacAddress{1}, broadcast_mac(), EncodeIndex{index}});
+  }
+
   Xoshiro256 rng_;
   CertificateAuthority ca_;
+  std::string journal_path_;
+  std::string outbox_path_;
+  static int counter_;
 };
+
+int RsuTest::counter_ = 0;
 
 TEST_F(RsuTest, BeaconCarriesProtocolParameters) {
   Rsu rsu = make_rsu(7, 2048);
@@ -127,6 +152,90 @@ TEST_F(RsuTest, MultiplePeriodsAccumulateIndependentRecords) {
     EXPECT_EQ(rec.bits.count_ones(), 1u);
     EXPECT_TRUE(rec.bits.test(static_cast<std::size_t>(period)));
   }
+}
+
+TEST_F(RsuTest, BareRsuCannotCrashRestart) {
+  Rsu rsu = make_rsu();
+  EXPECT_FALSE(rsu.durable());
+  EXPECT_EQ(rsu.crash_and_restart().code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST_F(RsuTest, CrashMidPeriodReplaysEncodesFromJournal) {
+  Rsu rsu = make_rsu(7, 1024);
+  ASSERT_TRUE(rsu.attach_durability(journal_path_, outbox_path_).is_ok());
+  EXPECT_TRUE(rsu.durable());
+  encode(rsu, 100);
+  encode(rsu, 200);
+  encode(rsu, 100);  // duplicate encode of the same bit
+
+  ASSERT_TRUE(rsu.crash_and_restart().is_ok());
+  EXPECT_EQ(rsu.current_period(), 0u);
+  EXPECT_EQ(rsu.bitmap_size(), 1024u);
+  EXPECT_TRUE(rsu.current_record().bits.test(100));
+  EXPECT_TRUE(rsu.current_record().bits.test(200));
+  EXPECT_EQ(rsu.current_record().bits.count_ones(), 2u);
+  EXPECT_EQ(rsu.encodes_this_period(), 3u);
+}
+
+TEST_F(RsuTest, CrashAfterStageResumesPastTheClosedPeriod) {
+  Rsu rsu = make_rsu(7, 512);
+  ASSERT_TRUE(rsu.attach_durability(journal_path_, outbox_path_).is_ok());
+  encode(rsu, 5);
+  // Period closed into the outbox, but the crash hits before
+  // start_next_period journals the new period.
+  ASSERT_TRUE(rsu.stage_upload().is_ok());
+  ASSERT_TRUE(rsu.crash_and_restart().is_ok());
+  // The journaled period is already in the outbox -> it was closed; the
+  // RSU must resume one past it, not double-measure it.
+  EXPECT_EQ(rsu.current_period(), 1u);
+  EXPECT_EQ(rsu.current_record().bits.count_ones(), 0u);
+  ASSERT_TRUE(rsu.outbox().contains(7, 0));
+  const UploadOutbox::Entry* entry = rsu.outbox().find(7, 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->record.bits.test(5));
+}
+
+TEST_F(RsuTest, OutboxSurvivesCrashAndAckClearsIt) {
+  Rsu rsu = make_rsu(7, 512);
+  ASSERT_TRUE(rsu.attach_durability(journal_path_, outbox_path_).is_ok());
+  encode(rsu, 9);
+  ASSERT_TRUE(rsu.stage_upload().is_ok());
+  rsu.start_next_period(512);
+  encode(rsu, 11);
+  ASSERT_TRUE(rsu.crash_and_restart().is_ok());
+
+  // Period 0's record is still pending; period 1's encode was replayed.
+  EXPECT_TRUE(rsu.outbox().contains(7, 0));
+  EXPECT_EQ(rsu.current_period(), 1u);
+  EXPECT_TRUE(rsu.current_record().bits.test(11));
+
+  EXPECT_TRUE(rsu.handle_upload_ack(UploadAck{7, 0}).is_ok());
+  EXPECT_FALSE(rsu.outbox().contains(7, 0));
+  // An ack for someone else's location is refused.
+  EXPECT_FALSE(rsu.handle_upload_ack(UploadAck{8, 0}).is_ok());
+}
+
+TEST_F(RsuTest, AttachAdoptsExistingJournalFromPriorIncarnation) {
+  {
+    Rsu first = make_rsu(7, 256);
+    ASSERT_TRUE(first.attach_durability(journal_path_, outbox_path_).is_ok());
+    encode(first, 42);
+  }  // simulated power cut: the object dies, the files stay
+
+  Rsu second = make_rsu(7, 1024);  // fresh boot config differs - files win
+  ASSERT_TRUE(second.attach_durability(journal_path_, outbox_path_).is_ok());
+  EXPECT_EQ(second.bitmap_size(), 256u);
+  EXPECT_TRUE(second.current_record().bits.test(42));
+}
+
+TEST_F(RsuTest, AttachRejectsJournalFromAnotherLocation) {
+  {
+    Rsu other = make_rsu(3, 256);
+    ASSERT_TRUE(other.attach_durability(journal_path_, outbox_path_).is_ok());
+  }
+  Rsu rsu = make_rsu(7, 256);
+  EXPECT_EQ(rsu.attach_durability(journal_path_, outbox_path_).code(),
+            ErrorCode::kFailedPrecondition);
 }
 
 }  // namespace

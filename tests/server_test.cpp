@@ -29,10 +29,13 @@ TEST(Server, IngestAndLookup) {
   EXPECT_FALSE(server.has_record(2, 0));
 }
 
-TEST(Server, RejectsDuplicates) {
+TEST(Server, IdempotentDuplicatesButRejectsConflicts) {
   CentralServer server(2.0, 3);
-  ASSERT_TRUE(server.ingest(make_record(1, 0, 64, {})).is_ok());
-  EXPECT_EQ(server.ingest(make_record(1, 0, 64, {})).code(),
+  ASSERT_TRUE(server.ingest(make_record(1, 0, 64, {3})).is_ok());
+  // Identical re-delivery (retransmission after a lost ack): no-op success.
+  EXPECT_TRUE(server.ingest(make_record(1, 0, 64, {3})).is_ok());
+  // Divergent bytes for the same (location, period): rejected.
+  EXPECT_EQ(server.ingest(make_record(1, 0, 64, {4})).code(),
             ErrorCode::kFailedPrecondition);
   EXPECT_EQ(server.record_count(), 1u);
 }
