@@ -73,6 +73,58 @@ void BM_BitmapExpand(benchmark::State& state) {
 }
 BENCHMARK(BM_BitmapExpand);
 
+/// t = 16 records with sizes cycling m/64 .. m - the mixed-size join the
+/// lazy-expansion kernels exist for.  Built once per size.
+std::vector<Bitmap> join_kernel_records(std::size_t m) {
+  Xoshiro256 rng(12);
+  std::vector<Bitmap> records;
+  const std::size_t sizes[] = {m / 64, m / 16, m / 4, m};
+  for (int i = 0; i < 16; ++i) {
+    const std::size_t bits = sizes[i % 4];
+    Bitmap b(bits);
+    for (std::size_t j = 0; j < bits / 2; ++j) b.set(rng.below(bits));
+    records.push_back(std::move(b));
+  }
+  return records;
+}
+
+/// Fused tiled AND-join (arg 0) vs the materializing reference that
+/// expands every record to m first (arg 1).  The ratio of the two rows is
+/// the kernel speedup; >= 3x at m = 2^20 is the bar.
+void BM_JoinKernels(benchmark::State& state) {
+  const bool materialized = state.range(0) != 0;
+  const std::size_t m = std::size_t{1} << 20;
+  const auto records = join_kernel_records(m);
+  for (auto _ : state) {
+    if (materialized) {
+      benchmark::DoNotOptimize(and_join_expanded_materialized(records));
+    } else {
+      benchmark::DoNotOptimize(and_join_expanded(records));
+    }
+  }
+  state.SetLabel(materialized ? "materialized" : "fused");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_JoinKernels)->Arg(0)->Arg(1);
+
+/// Whole Eq. 12 evaluation, fused (no E_a/E_b/E_* ever built) vs the
+/// old materializing pipeline, at t = 16, m = 2^20.
+void BM_Eq12Fused(benchmark::State& state) {
+  const bool materialized = state.range(0) != 0;
+  const auto records = join_kernel_records(std::size_t{1} << 20);
+  for (auto _ : state) {
+    if (materialized) {
+      benchmark::DoNotOptimize(
+          estimate_point_persistent_materialized(records));
+    } else {
+      benchmark::DoNotOptimize(estimate_point_persistent(records));
+    }
+  }
+  state.SetLabel(materialized ? "materialized" : "fused");
+}
+BENCHMARK(BM_Eq12Fused)->Arg(0)->Arg(1);
+
 void BM_LinearCounting(benchmark::State& state) {
   const auto bits = static_cast<std::size_t>(state.range(0));
   Xoshiro256 rng(4);

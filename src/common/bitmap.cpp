@@ -46,6 +46,140 @@ double Bitmap::fraction_zeros() const noexcept {
   return static_cast<double>(count_zeros()) / static_cast<double>(bit_count_);
 }
 
+namespace {
+
+/// A sub-word bitmap (size dividing 64) replicated across one 64-bit word.
+std::uint64_t pattern_word(const Bitmap& src) noexcept {
+  const auto words = src.words();
+  const std::uint64_t base = words.empty() ? 0 : words[0];
+  std::uint64_t pattern = 0;
+  for (std::size_t off = 0; off < 64; off += src.size()) {
+    pattern |= base << off;
+  }
+  return pattern;
+}
+
+/// Sequential word stream of the virtual replication of `src` to a larger
+/// bit count - the i-th next() call yields word i.  Three shapes, all
+/// allocation-free:
+///  * word-aligned source (size % 64 == 0): a wrapping cursor over the
+///    source words - one load plus a predictable branch per word;
+///  * sub-word source dividing 64: one precomputed pattern word serves
+///    every position (the replication period divides the word width);
+///  * any other divisor: per-bit gather (correct but slow; unreachable
+///    with the project's power-of-two sizes).
+class TileReader {
+ public:
+  explicit TileReader(const Bitmap& src) noexcept
+      : words_(src.words()), s_bits_(src.size()), src_(&src) {
+    if (s_bits_ % 64 == 0) {
+      mode_ = Mode::kAligned;
+    } else if (64 % s_bits_ == 0) {
+      mode_ = Mode::kPattern;
+      pattern_ = pattern_word(src);
+    } else {
+      mode_ = Mode::kGather;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t next() noexcept {
+    switch (mode_) {
+      case Mode::kAligned: {
+        const std::uint64_t w = words_[cursor_];
+        if (++cursor_ == words_.size()) cursor_ = 0;
+        return w;
+      }
+      case Mode::kPattern:
+        return pattern_;
+      case Mode::kGather:
+      default: {
+        std::uint64_t w = 0;
+        const std::size_t base_bit = word_index_++ * 64;
+        for (std::size_t j = 0; j < 64; ++j) {
+          if (src_->test((base_bit + j) % s_bits_)) w |= 1ULL << j;
+        }
+        return w;
+      }
+    }
+  }
+
+ private:
+  enum class Mode { kAligned, kPattern, kGather };
+  std::span<const std::uint64_t> words_;
+  std::size_t s_bits_;
+  const Bitmap* src_;
+  std::uint64_t pattern_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t word_index_ = 0;
+  Mode mode_ = Mode::kAligned;
+};
+
+Status check_tile_operand(std::size_t small_bits,
+                          std::size_t target_bits) noexcept {
+  if (small_bits == 0 || target_bits == 0 ||
+      target_bits % small_bits != 0) {
+    return {ErrorCode::kInvalidArgument,
+            "tiled join needs a non-empty operand whose size divides the "
+            "target size"};
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Status Bitmap::and_with_tiled(const Bitmap& small) noexcept {
+  if (Status s = check_tile_operand(small.bit_count_, bit_count_);
+      !s.is_ok()) {
+    return s;
+  }
+  if (small.bit_count_ == bit_count_) return and_with(small);
+  if (small.bit_count_ % kWordBits == 0) {
+    // Word-aligned tile: fold in blocked runs of the source words - the
+    // same tight word loop as and_with, restarted every period.
+    const std::span<const std::uint64_t> src = small.words();
+    const std::size_t s_words = src.size();
+    for (std::size_t offset = 0; offset < words_.size();
+         offset += s_words) {
+      const std::size_t chunk = std::min(s_words, words_.size() - offset);
+      for (std::size_t k = 0; k < chunk; ++k) words_[offset + k] &= src[k];
+    }
+  } else if (kWordBits % small.bit_count_ == 0) {
+    const std::uint64_t pattern = pattern_word(small);
+    for (std::uint64_t& w : words_) w &= pattern;
+  } else {
+    TileReader tile(small);
+    for (std::uint64_t& w : words_) w &= tile.next();
+  }
+  // Our own tail bits were zero and AND keeps them zero: invariant holds.
+  return Status::ok();
+}
+
+Status Bitmap::or_with_tiled(const Bitmap& small) noexcept {
+  if (Status s = check_tile_operand(small.bit_count_, bit_count_);
+      !s.is_ok()) {
+    return s;
+  }
+  if (small.bit_count_ == bit_count_) return or_with(small);
+  if (small.bit_count_ % kWordBits == 0) {
+    const std::span<const std::uint64_t> src = small.words();
+    const std::size_t s_words = src.size();
+    for (std::size_t offset = 0; offset < words_.size();
+         offset += s_words) {
+      const std::size_t chunk = std::min(s_words, words_.size() - offset);
+      for (std::size_t k = 0; k < chunk; ++k) words_[offset + k] |= src[k];
+    }
+  } else if (kWordBits % small.bit_count_ == 0) {
+    const std::uint64_t pattern = pattern_word(small);
+    for (std::uint64_t& w : words_) w |= pattern;
+  } else {
+    TileReader tile(small);
+    for (std::uint64_t& w : words_) w |= tile.next();
+  }
+  // A sub-word pattern fills all 64 bits; re-zero anything past size().
+  if (!words_.empty()) words_.back() &= tail_mask();
+  return Status::ok();
+}
+
 Status Bitmap::and_with(const Bitmap& other) noexcept {
   if (other.bit_count_ != bit_count_) {
     return {ErrorCode::kInvalidArgument, "bitmap sizes differ in AND"};
@@ -71,22 +205,24 @@ Result<Bitmap> Bitmap::replicate_to(std::size_t target_bits) const {
     return Status{ErrorCode::kInvalidArgument,
                   "expansion target must be a positive multiple of the size"};
   }
-  Bitmap out(target_bits);
   // The common case in this project is word-aligned (sizes are powers of two
-  // >= 64), where replication is a memcpy of whole words; fall back to
-  // bit-by-bit for small or unaligned sizes.
+  // >= 64), where replication appends whole source words; the append fills
+  // every word, so the usual zero-initializing construction would write the
+  // buffer twice.  Fall back to bit-by-bit for small or unaligned sizes.
   const std::size_t copies = target_bits / bit_count_;
   if (bit_count_ % kWordBits == 0) {
-    const std::size_t src_words = words_.size();
+    Bitmap out;
+    out.bit_count_ = target_bits;
+    out.words_.reserve(copies * words_.size());
     for (std::size_t c = 0; c < copies; ++c) {
-      std::memcpy(out.words_.data() + c * src_words, words_.data(),
-                  src_words * sizeof(std::uint64_t));
+      out.words_.insert(out.words_.end(), words_.begin(), words_.end());
     }
-  } else {
-    for (std::size_t i = 0; i < bit_count_; ++i) {
-      if (!test(i)) continue;
-      for (std::size_t c = 0; c < copies; ++c) out.set(c * bit_count_ + i);
-    }
+    return out;
+  }
+  Bitmap out(target_bits);
+  for (std::size_t i = 0; i < bit_count_; ++i) {
+    if (!test(i)) continue;
+    for (std::size_t c = 0; c < copies; ++c) out.set(c * bit_count_ + i);
   }
   return out;
 }
@@ -141,6 +277,131 @@ Result<Bitmap> bitmap_and(const Bitmap& a, const Bitmap& b) {
 Result<Bitmap> bitmap_or(const Bitmap& a, const Bitmap& b) {
   Bitmap out = a;
   if (Status s = out.or_with(b); !s.is_ok()) return s;
+  return out;
+}
+
+namespace {
+
+template <typename WordOp>
+Result<std::size_t> tiled_count(const Bitmap& a, const Bitmap& b,
+                                std::size_t m_bits, WordOp op) {
+  if (a.empty() || b.empty() || m_bits == 0 || m_bits % a.size() != 0 ||
+      m_bits % b.size() != 0) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "fused count needs non-empty bitmaps whose sizes divide "
+                  "the target size"};
+  }
+  const std::size_t n_words = ceil_div(m_bits, std::size_t{64});
+  const std::size_t rem = m_bits % 64;
+  const std::uint64_t last_mask = rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+  std::size_t ones = 0;
+
+  // Fast path 1: both operands already at the target size - one raw word
+  // loop (this is the split-stats shape: two half joins at m).
+  if (a.size() == m_bits && b.size() == m_bits) {
+    const auto wa = a.words();
+    const auto wb = b.words();
+    for (std::size_t i = 0; i < n_words; ++i) {
+      std::uint64_t w = op(wa[i], wb[i]);
+      if (i + 1 == n_words) w &= last_mask;
+      ones += static_cast<std::size_t>(std::popcount(w));
+    }
+    return ones;
+  }
+
+  // Fast path 2: one full-size operand, one word-aligned smaller one -
+  // blocked runs over the smaller period (the p2p second-level shape).
+  const Bitmap* full = nullptr;
+  const Bitmap* part = nullptr;
+  if (a.size() == m_bits && b.size() % 64 == 0) {
+    full = &a;
+    part = &b;
+  } else if (b.size() == m_bits && a.size() % 64 == 0) {
+    full = &b;
+    part = &a;
+  }
+  if (full != nullptr) {
+    const auto wf = full->words();
+    const auto wp = part->words();
+    const std::size_t p_words = wp.size();
+    for (std::size_t offset = 0; offset < n_words; offset += p_words) {
+      const std::size_t chunk = std::min(p_words, n_words - offset);
+      for (std::size_t k = 0; k < chunk; ++k) {
+        std::uint64_t w = op(wf[offset + k], wp[k]);
+        if (offset + k + 1 == n_words) w &= last_mask;
+        ones += static_cast<std::size_t>(std::popcount(w));
+      }
+    }
+    return ones;
+  }
+
+  // General case: stream both virtual expansions word by word.
+  TileReader tile_a(a);
+  TileReader tile_b(b);
+  for (std::size_t i = 0; i < n_words; ++i) {
+    std::uint64_t w = op(tile_a.next(), tile_b.next());
+    if (i + 1 == n_words) w &= last_mask;
+    ones += static_cast<std::size_t>(std::popcount(w));
+  }
+  return ones;
+}
+
+}  // namespace
+
+Result<std::size_t> tiled_and_count_ones(const Bitmap& a, const Bitmap& b,
+                                         std::size_t m_bits) {
+  return tiled_count(a, b, m_bits,
+                     [](std::uint64_t x, std::uint64_t y) { return x & y; });
+}
+
+Result<std::size_t> tiled_or_count_zeros(const Bitmap& a, const Bitmap& b,
+                                         std::size_t m_bits) {
+  auto ones = tiled_count(
+      a, b, m_bits, [](std::uint64_t x, std::uint64_t y) { return x | y; });
+  if (!ones) return ones.status();
+  return m_bits - *ones;
+}
+
+Result<TiledTripleCount> tiled_and_triple_count(const Bitmap& a,
+                                                const Bitmap& b,
+                                                std::size_t m_bits) {
+  if (a.empty() || b.empty() || m_bits == 0 || m_bits % a.size() != 0 ||
+      m_bits % b.size() != 0) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "fused count needs non-empty bitmaps whose sizes divide "
+                  "the target size"};
+  }
+  TiledTripleCount out;
+  if (a.size() == m_bits && b.size() == m_bits) {
+    // The split-stats shape: both half joins at m.  One pass over the two
+    // word arrays yields all three popcounts, instead of one pass per
+    // fraction plus a joint pass for the AND.
+    const std::size_t n_words = ceil_div(m_bits, std::size_t{64});
+    const std::size_t rem = m_bits % 64;
+    const std::uint64_t last_mask = rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+    const auto wa = a.words();
+    const auto wb = b.words();
+    for (std::size_t i = 0; i < n_words; ++i) {
+      std::uint64_t x = wa[i];
+      std::uint64_t y = wb[i];
+      if (i + 1 == n_words) {
+        x &= last_mask;
+        y &= last_mask;
+      }
+      out.ones_a += static_cast<std::size_t>(std::popcount(x));
+      out.ones_b += static_cast<std::size_t>(std::popcount(y));
+      out.ones_and += static_cast<std::size_t>(std::popcount(x & y));
+    }
+    return out;
+  }
+  // Mixed sizes: replication multiplies the one count by the (integral)
+  // copy factor, so the individual counts come from each operand's own
+  // size; only the AND needs a tiled sweep.
+  out.ones_a = a.count_ones() * (m_bits / a.size());
+  out.ones_b = b.count_ones() * (m_bits / b.size());
+  auto ones = tiled_and_count_ones(a, b, m_bits);
+  if (!ones) return ones.status();
+  out.ones_and = *ones;
   return out;
 }
 

@@ -57,6 +57,17 @@ class Bitmap {
   Status and_with(const Bitmap& other) noexcept;
   Status or_with(const Bitmap& other) noexcept;
 
+  /// Tiled (lazy-expansion) joins: in-place AND / OR against the *virtual*
+  /// replication of `small` to this bitmap's size (paper Fig. 2).  A
+  /// replicated bitmap is periodic, so `word[i] OP= small_word[i mod s]`
+  /// applies the join directly - the expanded copy is never materialized
+  /// and no allocation happens.  Bit-for-bit identical to
+  /// `op_with(*small.replicate_to(size()))`.
+  /// Returns InvalidArgument unless small is non-empty and small.size()
+  /// divides size() (guaranteed when both are powers of two, Eq. 2).
+  Status and_with_tiled(const Bitmap& small) noexcept;
+  Status or_with_tiled(const Bitmap& small) noexcept;
+
   /// Replication expansion (paper Fig. 2): returns a bitmap of
   /// `target_bits` bits consisting of this bitmap repeated
   /// `target_bits / size()` times.  Requires target_bits to be a positive
@@ -96,5 +107,33 @@ class Bitmap {
 /// Free-function joins returning a fresh bitmap; sizes must match.
 [[nodiscard]] Result<Bitmap> bitmap_and(const Bitmap& a, const Bitmap& b);
 [[nodiscard]] Result<Bitmap> bitmap_or(const Bitmap& a, const Bitmap& b);
+
+/// Fused join-and-count kernels: the number of one-bits of the AND (resp.
+/// zero-bits of the OR) of the virtual replications of `a` and `b` to
+/// `m_bits`, computed word-by-word with zero allocations - no expanded
+/// bitmap and no join result is ever built.  These are the innermost loops
+/// of every estimator (Eqs. 12/21 and the corridor union).
+/// Returns InvalidArgument unless both bitmaps are non-empty and their
+/// sizes divide `m_bits`.
+[[nodiscard]] Result<std::size_t> tiled_and_count_ones(const Bitmap& a,
+                                                       const Bitmap& b,
+                                                       std::size_t m_bits);
+[[nodiscard]] Result<std::size_t> tiled_or_count_zeros(const Bitmap& a,
+                                                       const Bitmap& b,
+                                                       std::size_t m_bits);
+
+/// One-bit counts of the virtual replications of `a`, `b`, and of their
+/// AND, all at `m_bits` - the whole Eq. 12 measurement triple in a single
+/// sweep.  When both operands are already at `m_bits` the three popcounts
+/// share one pass over the two word arrays; otherwise the individual
+/// counts are scaled from each operand's own size (replication multiplies
+/// the one count by the copy factor, exactly) and only the AND is swept.
+struct TiledTripleCount {
+  std::size_t ones_a = 0;    ///< ones of expand(a, m)
+  std::size_t ones_b = 0;    ///< ones of expand(b, m)
+  std::size_t ones_and = 0;  ///< ones of expand(a, m) AND expand(b, m)
+};
+[[nodiscard]] Result<TiledTripleCount> tiled_and_triple_count(
+    const Bitmap& a, const Bitmap& b, std::size_t m_bits);
 
 }  // namespace ptm

@@ -69,27 +69,24 @@ Result<PointPersistentInterval> estimate_point_persistent_with_ci(
   interval.point = *point;
 
   // Rebuild the two half-joins to classify every bit index.  E_* is their
-  // AND, so the per-index state is fully described by (E_a[i], E_b[i]).
+  // AND, so the per-index state is fully described by (E_a[i], E_b[i]) -
+  // and the four category counts follow from three popcounts, no expanded
+  // bitmap and no per-bit loop: ones(E_x at m) scales by the replication
+  // factor, and ones(E_a AND E_b) comes from the fused tiled kernel.
   const std::size_t m = point->m;
   const std::size_t half = (records.size() + 1) / 2;
   auto e_a = and_join_expanded(records.subspan(0, half));
   if (!e_a) return e_a.status();
-  auto e_a_exp = expand_to(*e_a, m);
-  if (!e_a_exp) return e_a_exp.status();
   auto e_b = and_join_expanded(records.subspan(half));
   if (!e_b) return e_b.status();
-  auto e_b_exp = expand_to(*e_b, m);
-  if (!e_b_exp) return e_b_exp.status();
 
-  // Category counts over indices: c[a][b].
-  std::uint64_t c01 = 0, c10 = 0, c11 = 0;
-  for (std::size_t i = 0; i < m; ++i) {
-    const bool a = e_a_exp->test(i);
-    const bool b = e_b_exp->test(i);
-    if (a && b) ++c11;
-    else if (a) ++c10;
-    else if (b) ++c01;
-  }
+  const std::uint64_t ones_a = e_a->count_ones() * (m / e_a->size());
+  const std::uint64_t ones_b = e_b->count_ones() * (m / e_b->size());
+  auto both = tiled_and_count_ones(*e_a, *e_b, m);
+  if (!both) return both.status();
+  const std::uint64_t c11 = *both;
+  const std::uint64_t c10 = ones_a - c11;
+  const std::uint64_t c01 = ones_b - c11;
   const std::uint64_t c00 = m - c01 - c10 - c11;
 
   // Multinomial bootstrap via conditional binomials, then Eq. 12 on the

@@ -67,8 +67,12 @@ Result<double> corridor_log_b(std::span<const std::size_t> sizes,
   return std::log(a) - denominator;  // ln B
 }
 
-Result<CorridorPersistentEstimate> estimate_corridor_persistent(
-    std::span<const std::vector<Bitmap>> records_per_location,
+namespace {
+
+/// Shared core over per-location record pointer lists (the zero-copy
+/// shape); the vector-of-bitmaps overload adapts into it.
+Result<CorridorPersistentEstimate> corridor_from_ptrs(
+    std::span<const std::vector<const Bitmap*>> records_per_location,
     std::size_t s) {
   const std::size_t k = records_per_location.size();
   if (k < 2 || k > 8) {
@@ -82,11 +86,12 @@ Result<CorridorPersistentEstimate> estimate_corridor_persistent(
     }
   }
 
-  // First level: per-location AND-joins.
+  // First level: per-location AND-joins (lazy expansion - one accumulator
+  // per location, no expanded record copies).
   std::vector<Bitmap> joins;
   joins.reserve(k);
   for (const auto& records : records_per_location) {
-    auto join = and_join_expanded(records);
+    auto join = and_join_expanded(std::span<const Bitmap* const>(records));
     if (!join) return join.status();
     joins.push_back(std::move(*join));
   }
@@ -105,16 +110,15 @@ Result<CorridorPersistentEstimate> estimate_corridor_persistent(
   if (!log_b) return log_b.status();
   est.log_b = *log_b;
 
-  // Second level: expand all to m_k and OR.
-  const std::size_t m_max = est.m.back();
-  auto acc = expand_to(joins[0], m_max);
-  if (!acc) return acc.status();
-  for (std::size_t j = 1; j < k; ++j) {
-    auto expanded = expand_to(joins[j], m_max);
-    if (!expanded) return expanded.status();
-    if (Status st = acc->or_with(*expanded); !st.is_ok()) return st;
+  // Second level: OR of every join virtually expanded to m_k.  The largest
+  // join seeds the accumulator (one copy - the level's only allocation);
+  // the smaller joins fold in through the tiled kernel, bit-identical to
+  // the expand-then-OR fold because OR is commutative over expansions.
+  Bitmap acc = joins.back();
+  for (std::size_t j = 0; j + 1 < k; ++j) {
+    if (Status st = acc.or_with_tiled(joins[j]); !st.is_ok()) return st;
   }
-  est.v0_union = acc->fraction_zeros();
+  est.v0_union = acc.fraction_zeros();
 
   // n'' = (ln V_union0 - Σ ln V_j0) / ln B, with the usual clamping.
   double log_excess = 0.0;
@@ -122,7 +126,7 @@ Result<CorridorPersistentEstimate> estimate_corridor_persistent(
     double v_union = est.v0_union;
     if (v_union == 0.0) {
       est.outcome = EstimateOutcome::kSaturated;
-      v_union = 1.0 / static_cast<double>(m_max);
+      v_union = 1.0 / static_cast<double>(est.m.back());
     }
     log_excess = std::log(v_union);
     for (std::size_t j = 0; j < k; ++j) {
@@ -143,6 +147,28 @@ Result<CorridorPersistentEstimate> estimate_corridor_persistent(
   }
   est.n_corridor = log_excess / est.log_b;
   return est;
+}
+
+}  // namespace
+
+Result<CorridorPersistentEstimate> estimate_corridor_persistent(
+    std::span<const std::vector<const Bitmap*>> records_per_location,
+    std::size_t s) {
+  return corridor_from_ptrs(records_per_location, s);
+}
+
+Result<CorridorPersistentEstimate> estimate_corridor_persistent(
+    std::span<const std::vector<Bitmap>> records_per_location,
+    std::size_t s) {
+  std::vector<std::vector<const Bitmap*>> ptrs;
+  ptrs.reserve(records_per_location.size());
+  for (const auto& records : records_per_location) {
+    std::vector<const Bitmap*> location;
+    location.reserve(records.size());
+    for (const Bitmap& b : records) location.push_back(&b);
+    ptrs.push_back(std::move(location));
+  }
+  return corridor_from_ptrs(ptrs, s);
 }
 
 }  // namespace ptm

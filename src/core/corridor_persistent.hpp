@@ -61,6 +61,13 @@ struct CorridorPersistentEstimate {
 [[nodiscard]] Result<CorridorPersistentEstimate> estimate_corridor_persistent(
     std::span<const std::vector<Bitmap>> records_per_location, std::size_t s);
 
+/// Zero-copy overload over stored records.  First-level joins use the
+/// lazy-expansion kernels and the union accumulates through or_with_tiled,
+/// so no expanded record or join copy is materialized.
+[[nodiscard]] Result<CorridorPersistentEstimate> estimate_corridor_persistent(
+    std::span<const std::vector<const Bitmap*>> records_per_location,
+    std::size_t s);
+
 /// The ln B factor alone (exposed for tests: at k = 2 it must equal
 /// ln(1 + 1/(s·(m2 − 1)))).  `sizes` must be sorted ascending powers of two.
 [[nodiscard]] Result<double> corridor_log_b(std::span<const std::size_t> sizes,

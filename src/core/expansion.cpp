@@ -1,5 +1,10 @@
 #include "core/expansion.hpp"
 
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <optional>
+
 #include "common/math.hpp"
 
 namespace ptm {
@@ -26,11 +31,90 @@ std::size_t max_size(std::span<const Bitmap> bitmaps) {
   return m;
 }
 
+std::size_t max_size(std::span<const Bitmap* const> bitmaps) {
+  std::size_t m = 0;
+  for (const Bitmap* b : bitmaps) m = std::max(m, b->size());
+  return m;
+}
+
 namespace {
 
 enum class JoinOp { kAnd, kOr };
 
-Result<Bitmap> join_expanded(std::span<const Bitmap> bitmaps, JoinOp op) {
+/// Size-ascending cascade join.  Replication distributes over AND/OR
+/// (expand(a) op expand(b) == expand(a op b) bit for bit), so the records
+/// of each size can be folded at THAT size and the partial result
+/// replicated up only when a larger size appears.  Work at size l is
+/// proportional to l times the records of size <= l's *count at l*, i.e.
+/// the full-size words are touched only for full-size records - the
+/// asymptotic win over folding everything at m.  Allocations: one
+/// accumulator per distinct record size (<= log2 m with power-of-two
+/// sizes).  The result is bit-identical to the materializing fold because
+/// the ops are commutative and associative over the expansions.
+/// Cascade over only the records smaller than `below_bits` (pass
+/// SIZE_MAX to include everything).  and_split_join_stats uses the
+/// filtered form to pre-fold a half's sub-maximum records while the
+/// full-size ones are streamed by the blocked count kernel directly.
+Result<Bitmap> join_tiled_below(std::span<const Bitmap* const> bitmaps,
+                                JoinOp op, std::size_t below_bits) {
+  std::size_t lo = below_bits;
+  std::size_t hi = 0;
+  for (const Bitmap* b : bitmaps) {
+    const std::size_t s = b->size();
+    if (s >= below_bits) continue;
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  if (hi == 0) {
+    return Status{ErrorCode::kInvalidArgument, "join of zero bitmaps"};
+  }
+
+  Bitmap acc;
+  bool seeded = false;
+  std::size_t cur = lo;
+  for (;;) {
+    for (const Bitmap* b : bitmaps) {
+      if (b->size() != cur) continue;
+      if (!seeded) {
+        acc = *b;  // this size's accumulator
+        seeded = true;
+        continue;
+      }
+      const Status s =
+          (op == JoinOp::kAnd) ? acc.and_with(*b) : acc.or_with(*b);
+      if (!s.is_ok()) return s;
+    }
+    if (cur == hi) break;
+    // Smallest size above cur that actually occurs; replicate the partial
+    // join up to it and keep folding.
+    std::size_t next = hi;
+    for (const Bitmap* b : bitmaps) {
+      const std::size_t s = b->size();
+      if (s > cur && s < below_bits) next = std::min(next, s);
+    }
+    auto upgraded = acc.replicate_to(next);
+    if (!upgraded) return upgraded.status();
+    acc = std::move(*upgraded);
+    cur = next;
+  }
+  return acc;
+}
+
+Result<Bitmap> join_tiled(std::span<const Bitmap* const> bitmaps, JoinOp op) {
+  return join_tiled_below(bitmaps, op,
+                          std::numeric_limits<std::size_t>::max());
+}
+
+/// Adapts a value span to the pointer-span core without copying bitmaps
+/// (the pointer array itself is a few words per record).
+std::vector<const Bitmap*> to_ptrs(std::span<const Bitmap> bitmaps) {
+  std::vector<const Bitmap*> ptrs;
+  ptrs.reserve(bitmaps.size());
+  for (const Bitmap& b : bitmaps) ptrs.push_back(&b);
+  return ptrs;
+}
+
+Result<Bitmap> join_materialized(std::span<const Bitmap> bitmaps, JoinOp op) {
   if (bitmaps.empty()) {
     return Status{ErrorCode::kInvalidArgument, "join of zero bitmaps"};
   }
@@ -47,14 +131,242 @@ Result<Bitmap> join_expanded(std::span<const Bitmap> bitmaps, JoinOp op) {
   return acc;
 }
 
+/// 4 KiB staging blocks: both buffers live in L1, so the group folds and
+/// the popcount stage never write to the heap at all.
+constexpr std::size_t kBlockWords = 512;
+
+/// AND-fold (or, when `seed`, overwrite with) words [word0, word0 + len)
+/// of the virtual replication of `b` to the join size into `buf`.  The
+/// word-aligned path runs in memcpy-like contiguous segments; a sub-word
+/// size collapses to one pattern word; anything else gathers bit by bit
+/// (unreachable with this project's power-of-two sizes).
+void fold_block(std::uint64_t* buf, std::size_t word0, std::size_t len,
+                const Bitmap& b, bool seed) {
+  const std::size_t s_bits = b.size();
+  if (s_bits % 64 == 0) {
+    const std::span<const std::uint64_t> w = b.words();
+    const std::size_t sw = w.size();
+    std::size_t c = word0 % sw;
+    std::size_t k = 0;
+    while (k < len) {
+      const std::size_t run = std::min(len - k, sw - c);
+      if (seed) {
+        std::memcpy(buf + k, w.data() + c, run * sizeof(std::uint64_t));
+      } else {
+        for (std::size_t i = 0; i < run; ++i) buf[k + i] &= w[c + i];
+      }
+      k += run;
+      c += run;
+      if (c == sw) c = 0;
+    }
+    return;
+  }
+  if (64 % s_bits == 0) {
+    std::uint64_t pattern = 0;
+    const std::uint64_t base = b.words()[0];
+    for (std::size_t off = 0; off < 64; off += s_bits) {
+      pattern |= base << off;
+    }
+    if (seed) {
+      for (std::size_t k = 0; k < len; ++k) buf[k] = pattern;
+    } else {
+      for (std::size_t k = 0; k < len; ++k) buf[k] &= pattern;
+    }
+    return;
+  }
+  for (std::size_t k = 0; k < len; ++k) {
+    std::uint64_t wv = 0;
+    const std::size_t base_bit = (word0 + k) * 64;
+    for (std::size_t j = 0; j < 64; ++j) {
+      if (b.test((base_bit + j) % s_bits)) wv |= std::uint64_t{1} << j;
+    }
+    if (seed) {
+      buf[k] = wv;
+    } else {
+      buf[k] &= wv;
+    }
+  }
+}
+
+/// One half of the Eq. 12 split: the full-size records are streamed from
+/// the store (`records` entries whose size equals the join size), the
+/// sub-maximum ones arrive pre-folded in `folded` (null when the half has
+/// none).  The caller guarantees at least one operand.
+struct HalfGroup {
+  std::span<const Bitmap* const> records;
+  const Bitmap* folded = nullptr;
+};
+
+void fill_group_block(std::uint64_t* buf, std::size_t word0,
+                      std::size_t len, const HalfGroup& g,
+                      std::size_t m_bits) {
+  bool seed = true;
+  if (g.folded != nullptr) {
+    fold_block(buf, word0, len, *g.folded, seed);
+    seed = false;
+  }
+  for (const Bitmap* b : g.records) {
+    if (b->size() != m_bits) continue;
+    fold_block(buf, word0, len, *b, seed);
+    seed = false;
+  }
+}
+
+/// The Eq. 12 measurement triple over two half groups, one L1 block at a
+/// time: seed/fold each group's virtual AND at m into a stack buffer,
+/// then popcount all three streams.  Zero heap allocations and zero
+/// full-size writes - the only m-sized traffic is reading each full-size
+/// record once.
+TiledTripleCount grouped_and_triple_count(const HalfGroup& a,
+                                          const HalfGroup& b,
+                                          std::size_t m_bits) {
+  TiledTripleCount out;
+  const std::size_t n_words = ceil_div(m_bits, std::size_t{64});
+  const std::size_t rem = m_bits % 64;
+  const std::uint64_t last_mask = rem == 0 ? ~std::uint64_t{0}
+                                           : (std::uint64_t{1} << rem) - 1;
+  std::uint64_t buf_a[kBlockWords];
+  std::uint64_t buf_b[kBlockWords];
+  for (std::size_t word0 = 0; word0 < n_words; word0 += kBlockWords) {
+    const std::size_t len = std::min(kBlockWords, n_words - word0);
+    fill_group_block(buf_a, word0, len, a, m_bits);
+    fill_group_block(buf_b, word0, len, b, m_bits);
+    if (word0 + len == n_words) {
+      buf_a[len - 1] &= last_mask;
+      buf_b[len - 1] &= last_mask;
+    }
+    for (std::size_t k = 0; k < len; ++k) {
+      out.ones_a += static_cast<std::size_t>(std::popcount(buf_a[k]));
+      out.ones_b += static_cast<std::size_t>(std::popcount(buf_b[k]));
+      out.ones_and +=
+          static_cast<std::size_t>(std::popcount(buf_a[k] & buf_b[k]));
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
+Result<Bitmap> and_join_expanded(std::span<const Bitmap* const> bitmaps) {
+  return join_tiled(bitmaps, JoinOp::kAnd);
+}
+
 Result<Bitmap> and_join_expanded(std::span<const Bitmap> bitmaps) {
-  return join_expanded(bitmaps, JoinOp::kAnd);
+  const auto ptrs = to_ptrs(bitmaps);
+  return join_tiled(ptrs, JoinOp::kAnd);
+}
+
+Result<Bitmap> or_join_expanded(std::span<const Bitmap* const> bitmaps) {
+  return join_tiled(bitmaps, JoinOp::kOr);
 }
 
 Result<Bitmap> or_join_expanded(std::span<const Bitmap> bitmaps) {
-  return join_expanded(bitmaps, JoinOp::kOr);
+  const auto ptrs = to_ptrs(bitmaps);
+  return join_tiled(ptrs, JoinOp::kOr);
+}
+
+Result<JoinCount> and_join_count_zeros(
+    std::span<const Bitmap* const> bitmaps) {
+  if (bitmaps.empty()) {
+    return Status{ErrorCode::kInvalidArgument, "join of zero bitmaps"};
+  }
+  JoinCount out;
+  out.m = max_size(bitmaps);
+  if (bitmaps.size() == 1) {
+    // Replication preserves the zero *fraction*; scale the count to m.
+    out.zeros = bitmaps[0]->count_zeros() * (out.m / bitmaps[0]->size());
+    return out;
+  }
+  if (bitmaps.size() == 2) {
+    auto ones = tiled_and_count_ones(*bitmaps[0], *bitmaps[1], out.m);
+    if (!ones) return ones.status();
+    out.zeros = out.m - *ones;
+    return out;
+  }
+  auto join = join_tiled(bitmaps, JoinOp::kAnd);
+  if (!join) return join.status();
+  out.zeros = join->count_zeros();
+  return out;
+}
+
+Result<JoinCount> and_join_count_zeros(std::span<const Bitmap> bitmaps) {
+  const auto ptrs = to_ptrs(bitmaps);
+  return and_join_count_zeros(std::span<const Bitmap* const>(ptrs));
+}
+
+Result<SplitJoinStats> and_split_join_stats(
+    std::span<const Bitmap* const> records) {
+  if (records.size() < 2) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "split join needs at least 2 records"};
+  }
+  SplitJoinStats stats;
+  stats.m = max_size(records);
+  for (const Bitmap* b : records) {
+    if (b->empty() || stats.m % b->size() != 0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "split join needs non-empty records whose sizes divide "
+                    "the largest size"};
+    }
+  }
+  const std::size_t half = (records.size() + 1) / 2;  // ⌈t/2⌉
+  const std::span<const Bitmap* const> half_a = records.subspan(0, half);
+  const std::span<const Bitmap* const> half_b = records.subspan(half);
+
+  // Per half: records already at m are streamed straight from the store
+  // by the blocked kernel; anything smaller is pre-folded by the cascade
+  // at its own (sub-m) sizes.  No m-sized accumulator is ever written.
+  std::optional<Bitmap> folded_a;
+  std::optional<Bitmap> folded_b;
+  HalfGroup group_a{half_a, nullptr};
+  HalfGroup group_b{half_b, nullptr};
+  const auto has_sub = [&](std::span<const Bitmap* const> h) {
+    for (const Bitmap* b : h) {
+      if (b->size() < stats.m) return true;
+    }
+    return false;
+  };
+  if (has_sub(half_a)) {
+    auto r = join_tiled_below(half_a, JoinOp::kAnd, stats.m);
+    if (!r) return r.status();
+    folded_a = std::move(*r);
+    group_a.folded = &*folded_a;
+  }
+  if (has_sub(half_b)) {
+    auto r = join_tiled_below(half_b, JoinOp::kAnd, stats.m);
+    if (!r) return r.status();
+    folded_b = std::move(*r);
+    group_b.folded = &*folded_b;
+  }
+
+  // All three counts in one blocked sweep.  The fractions are
+  // bit-identical to the materializing path's: AND is commutative, the
+  // fold at m distributes over replication, and the double divisions see
+  // the same exact integers.
+  const TiledTripleCount counts =
+      grouped_and_triple_count(group_a, group_b, stats.m);
+  const double md = static_cast<double>(stats.m);
+  stats.v_a0 = static_cast<double>(stats.m - counts.ones_a) / md;
+  stats.v_b0 = static_cast<double>(stats.m - counts.ones_b) / md;
+  // Mirror Bitmap::fraction_ones() = 1 - zeros/m so the double is
+  // bit-identical to the materializing path's E_*.fraction_ones().
+  stats.v_star1 = 1.0 - static_cast<double>(stats.m - counts.ones_and) / md;
+  return stats;
+}
+
+Result<SplitJoinStats> and_split_join_stats(std::span<const Bitmap> records) {
+  const auto ptrs = to_ptrs(records);
+  return and_split_join_stats(std::span<const Bitmap* const>(ptrs));
+}
+
+Result<Bitmap> and_join_expanded_materialized(
+    std::span<const Bitmap> bitmaps) {
+  return join_materialized(bitmaps, JoinOp::kAnd);
+}
+
+Result<Bitmap> or_join_expanded_materialized(
+    std::span<const Bitmap> bitmaps) {
+  return join_materialized(bitmaps, JoinOp::kOr);
 }
 
 }  // namespace ptm

@@ -7,6 +7,17 @@
 // bit (h_v mod l) in the original l-bit bitmap, then bit (h_v mod m) of the
 // expanded m-bit bitmap is one.  AND-joins of expanded bitmaps therefore
 // retain every common vehicle's bit.
+//
+// Join kernels (lazy expansion): a replicated bitmap is periodic, so the
+// join functions below never materialize an expanded copy per record.
+// They fold records of each size at THAT size and replicate the partial
+// join upward only when a larger size appears (expansion distributes over
+// AND/OR bit for bit), allocating one accumulator per distinct record
+// size - at most log2 m with power-of-two sizes, and exactly one when all
+// records share a size.  The fused variants go further and return only
+// the counts the estimators need, so a whole Eq. 12 evaluation builds no
+// E_a / E_b / E_* bitmap at all.  The `*_materialized` functions keep the
+// original copy-per-record path for differential tests and benchmarks.
 #pragma once
 
 #include <span>
@@ -24,13 +35,67 @@ namespace ptm {
 
 /// Largest size among the given bitmaps (0 if the span is empty).
 [[nodiscard]] std::size_t max_size(std::span<const Bitmap> bitmaps);
+[[nodiscard]] std::size_t max_size(std::span<const Bitmap* const> bitmaps);
 
-/// Expands every bitmap to the largest size present and AND-joins them:
-/// the E_* of §III-A.  Errors on an empty span or non-power-of-two sizes.
+/// AND-join of all bitmaps virtually expanded to the largest size present:
+/// the E_* of §III-A.  Size-ascending cascade: one accumulator per
+/// distinct record size, no expanded copy per record, and the full-size
+/// words are touched only for full-size records.
+/// Errors on an empty span or sizes that do not divide the largest.
+/// The pointer-span overload is the zero-copy path for callers that hold
+/// records in a store (no per-record Bitmap copies at the call site
+/// either).
 [[nodiscard]] Result<Bitmap> and_join_expanded(std::span<const Bitmap> bitmaps);
+[[nodiscard]] Result<Bitmap> and_join_expanded(
+    std::span<const Bitmap* const> bitmaps);
 
-/// Same, but OR (used by tests and diagnostics; the paper's second-level
-/// cross-location join ORs exactly two bitmaps - see p2p_persistent).
+/// Same, but OR (the paper's second-level cross-location join).
 [[nodiscard]] Result<Bitmap> or_join_expanded(std::span<const Bitmap> bitmaps);
+[[nodiscard]] Result<Bitmap> or_join_expanded(
+    std::span<const Bitmap* const> bitmaps);
+
+/// Size and zero count of an AND-join - what linear counting (Eq. 1/3)
+/// actually consumes.  With two records the count is fully fused (no
+/// accumulator at all); with more, one accumulator is allocated.
+struct JoinCount {
+  std::size_t m = 0;      ///< join size = max input size
+  std::size_t zeros = 0;  ///< zero bits of the AND-join at size m
+};
+[[nodiscard]] Result<JoinCount> and_join_count_zeros(
+    std::span<const Bitmap> bitmaps);
+[[nodiscard]] Result<JoinCount> and_join_count_zeros(
+    std::span<const Bitmap* const> bitmaps);
+
+/// The Eq. 12 measurement triple, fused: splits `records` into the paper's
+/// first ⌈t/2⌉ / rest halves and measures
+///   V_a0 = zero fraction of E_a,  V_b0 = zero fraction of E_b,
+///   V_*1 = one fraction of E_* = E_a AND E_b at size m,
+/// with none of E_a / E_b / E_* ever built.  Records already at the join
+/// size are streamed straight from the caller's span through L1-sized
+/// stack blocks; only a half's sub-maximum records are pre-folded by the
+/// cascade, at their own smaller sizes - with equal-size records the
+/// whole evaluation is allocation-free and writes no m-sized memory.
+/// Replication preserves zero fractions exactly (the copies multiply both
+/// the zero count and the size by the same integer), so every returned
+/// double is bit-identical to the materializing path's.
+struct SplitJoinStats {
+  std::size_t m = 0;    ///< max record size = size of the virtual E_*
+  double v_a0 = 0.0;    ///< zero fraction of the first-half join
+  double v_b0 = 0.0;    ///< zero fraction of the second-half join
+  double v_star1 = 0.0; ///< one fraction of the full AND-join
+};
+[[nodiscard]] Result<SplitJoinStats> and_split_join_stats(
+    std::span<const Bitmap* const> records);
+[[nodiscard]] Result<SplitJoinStats> and_split_join_stats(
+    std::span<const Bitmap> records);
+
+/// Reference implementations of the joins that materialize a full expanded
+/// copy of every record (the pre-kernel behaviour).  Kept for the
+/// differential property tests and the old-vs-new benchmarks; not used by
+/// any estimator.
+[[nodiscard]] Result<Bitmap> and_join_expanded_materialized(
+    std::span<const Bitmap> bitmaps);
+[[nodiscard]] Result<Bitmap> or_join_expanded_materialized(
+    std::span<const Bitmap> bitmaps);
 
 }  // namespace ptm

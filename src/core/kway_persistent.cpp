@@ -43,7 +43,11 @@ Result<KwayPersistentEstimate> estimate_point_persistent_kway(
   est.groups = groups;
 
   // Contiguous near-equal partition (mirrors the paper's first-half /
-  // second-half split at g = 2).
+  // second-half split at g = 2).  Each group join is one lazy-expansion
+  // accumulator at the group's own max size; its zero fraction equals the
+  // expanded one exactly (replication scales count and size by the same
+  // integer), and the full join folds the groups in with the tiled kernel
+  // instead of materializing each group at size m.
   Bitmap full_join;
   const std::size_t base = records.size() / groups;
   const std::size_t extra = records.size() % groups;
@@ -52,13 +56,17 @@ Result<KwayPersistentEstimate> estimate_point_persistent_kway(
     const std::size_t count = base + (g < extra ? 1 : 0);
     auto joined = and_join_expanded(records.subspan(offset, count));
     if (!joined) return joined.status();
-    auto expanded = expand_to(*joined, m);
-    if (!expanded) return expanded.status();
-    est.group_v0.push_back(expanded->fraction_zeros());
+    est.group_v0.push_back(joined->fraction_zeros());
     if (g == 0) {
-      full_join = std::move(*expanded);
+      if (joined->size() == m) {
+        full_join = std::move(*joined);
+      } else {
+        auto seeded = joined->replicate_to(m);
+        if (!seeded) return seeded.status();
+        full_join = std::move(*seeded);
+      }
     } else {
-      if (Status s = full_join.and_with(*expanded); !s.is_ok()) return s;
+      if (Status s = full_join.and_with_tiled(*joined); !s.is_ok()) return s;
     }
     offset += count;
   }

@@ -24,33 +24,35 @@ struct ZeroFraction {
   EstimateOutcome outcome;
 };
 
-ZeroFraction measured_v0(const Bitmap& record) {
-  assert(record.size() >= 2);
-  const std::size_t zeros = record.count_zeros();
+ZeroFraction measured_v0(std::size_t zeros, std::size_t m) {
+  assert(m >= 2 && zeros <= m);
   if (zeros == 0) {
     // All ones: V0 = 0 gives an infinite estimate.  Clamp to "one zero bit"
     // and flag saturation so callers know to grow m.
-    return {1.0 / static_cast<double>(record.size()),
-            EstimateOutcome::kSaturated};
+    return {1.0 / static_cast<double>(m), EstimateOutcome::kSaturated};
   }
-  return {static_cast<double>(zeros) / static_cast<double>(record.size()),
+  return {static_cast<double>(zeros) / static_cast<double>(m),
           EstimateOutcome::kOk};
 }
 
 }  // namespace
 
-CardinalityEstimate estimate_cardinality(const Bitmap& record) {
-  const auto [v0, outcome] = measured_v0(record);
-  const double m = static_cast<double>(record.size());
+CardinalityEstimate estimate_cardinality_counts(std::size_t zeros,
+                                                std::size_t m) {
+  const auto [v0, outcome] = measured_v0(zeros, m);
   CardinalityEstimate est;
   est.fraction_zeros = v0;
   est.outcome = outcome;
-  est.value = std::log(v0) / log_one_minus_inv(m);
+  est.value = std::log(v0) / log_one_minus_inv(static_cast<double>(m));
   return est;
 }
 
+CardinalityEstimate estimate_cardinality(const Bitmap& record) {
+  return estimate_cardinality_counts(record.count_zeros(), record.size());
+}
+
 CardinalityEstimate estimate_cardinality_approx(const Bitmap& record) {
-  const auto [v0, outcome] = measured_v0(record);
+  const auto [v0, outcome] = measured_v0(record.count_zeros(), record.size());
   const double m = static_cast<double>(record.size());
   CardinalityEstimate est;
   est.fraction_zeros = v0;

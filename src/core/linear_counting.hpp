@@ -41,6 +41,14 @@ struct CardinalityEstimate {
 [[nodiscard]] CardinalityEstimate estimate_cardinality_approx(
     const Bitmap& record);
 
+/// Exact-form estimate from a pre-measured (zero count, size) pair - the
+/// entry point for the fused join kernels, which produce counts without
+/// materializing the joined bitmap.  Bit-identical doubles to calling
+/// estimate_cardinality on a bitmap with those counts.
+/// Precondition: m >= 2, zeros <= m.
+[[nodiscard]] CardinalityEstimate estimate_cardinality_counts(
+    std::size_t zeros, std::size_t m);
+
 /// Analytic standard error of linear counting, StdErr[n̂]/n (Whang et al.):
 ///     sqrt(m) * sqrt(exp(t) - t - 1) / (t * m),  with t = n/m.
 /// Used to size statistical test tolerances.

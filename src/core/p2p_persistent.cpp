@@ -1,6 +1,7 @@
 #include "core/p2p_persistent.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "common/math.hpp"
 #include "core/expansion.hpp"
@@ -8,8 +9,8 @@
 namespace ptm {
 
 Result<PointToPointPersistentEstimate> estimate_p2p_persistent(
-    std::span<const Bitmap> records_at_l,
-    std::span<const Bitmap> records_at_l_prime,
+    std::span<const Bitmap* const> records_at_l,
+    std::span<const Bitmap* const> records_at_l_prime,
     const PointToPointOptions& options) {
   if (records_at_l.empty() || records_at_l_prime.empty()) {
     return Status{ErrorCode::kInvalidArgument,
@@ -19,15 +20,16 @@ Result<PointToPointPersistentEstimate> estimate_p2p_persistent(
     return Status{ErrorCode::kInvalidArgument, "s must be >= 1"};
   }
   for (auto span : {records_at_l, records_at_l_prime}) {
-    for (const Bitmap& b : span) {
-      if (b.empty() || !is_power_of_two(b.size())) {
+    for (const Bitmap* b : span) {
+      if (b->empty() || !is_power_of_two(b->size())) {
         return Status{ErrorCode::kInvalidArgument,
                       "record sizes must be non-zero powers of two"};
       }
     }
   }
 
-  // First level: per-location AND-joins.
+  // First level: per-location AND-joins (lazy expansion - one accumulator
+  // per location, no expanded record copies).
   auto e_l = and_join_expanded(records_at_l);
   if (!e_l) return e_l.status();
   auto e_lp = and_join_expanded(records_at_l_prime);
@@ -43,20 +45,20 @@ Result<PointToPointPersistentEstimate> estimate_p2p_persistent(
   est.m = small->size();
   est.m_prime = large->size();
 
-  // Second level: expand the smaller first-level join and OR across
-  // locations.  Replication preserves the zero fraction, so V_*0 can be
-  // measured on either E_* or S_*.
-  auto s_star = expand_to(*small, large->size());
-  if (!s_star) return s_star.status();
-  auto e_double = bitmap_or(*s_star, *large);
-  if (!e_double) return e_double.status();
+  // Second level: §IV expands the smaller first-level join to m' and ORs
+  // across locations.  Replication preserves the zero fraction, and the
+  // fused kernel counts the OR's zeros directly off the two joins, so
+  // neither S_* nor E''_* is ever built.
+  auto union_zeros = tiled_or_count_zeros(*small, *large, large->size());
+  if (!union_zeros) return union_zeros.status();
 
   const double m = static_cast<double>(est.m);
   const double m_prime = static_cast<double>(est.m_prime);
 
   est.v0 = small->fraction_zeros();
   est.v0_prime = large->fraction_zeros();
-  est.v0_double_prime = e_double->fraction_zeros();
+  est.v0_double_prime =
+      static_cast<double>(*union_zeros) / static_cast<double>(est.m_prime);
   if (est.v0 == 0.0 || est.v0_prime == 0.0) {
     est.outcome = EstimateOutcome::kSaturated;
   }
@@ -88,6 +90,20 @@ Result<PointToPointPersistentEstimate> estimate_p2p_persistent(
     est.n_double_prime = s_count * m_prime * log_excess;  // Eq. 21
   }
   return est;
+}
+
+Result<PointToPointPersistentEstimate> estimate_p2p_persistent(
+    std::span<const Bitmap> records_at_l,
+    std::span<const Bitmap> records_at_l_prime,
+    const PointToPointOptions& options) {
+  std::vector<const Bitmap*> ptrs_l, ptrs_lp;
+  ptrs_l.reserve(records_at_l.size());
+  for (const Bitmap& b : records_at_l) ptrs_l.push_back(&b);
+  ptrs_lp.reserve(records_at_l_prime.size());
+  for (const Bitmap& b : records_at_l_prime) ptrs_lp.push_back(&b);
+  return estimate_p2p_persistent(std::span<const Bitmap* const>(ptrs_l),
+                                 std::span<const Bitmap* const>(ptrs_lp),
+                                 options);
 }
 
 }  // namespace ptm

@@ -62,4 +62,12 @@ estimate_p2p_persistent(std::span<const Bitmap> records_at_l,
                         std::span<const Bitmap> records_at_l_prime,
                         const PointToPointOptions& options);
 
+/// Zero-copy overload over stored records.  The first-level joins run the
+/// lazy-expansion kernels (one accumulator each), and V''_0 is measured
+/// with a fused tiled OR-count - neither S_* nor E''_* is materialized.
+[[nodiscard]] Result<PointToPointPersistentEstimate>
+estimate_p2p_persistent(std::span<const Bitmap* const> records_at_l,
+                        std::span<const Bitmap* const> records_at_l_prime,
+                        const PointToPointOptions& options);
+
 }  // namespace ptm

@@ -1,48 +1,40 @@
 #include "core/point_persistent.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "common/math.hpp"
 #include "core/expansion.hpp"
 
 namespace ptm {
+namespace {
 
-Result<PointPersistentEstimate> estimate_point_persistent(
-    std::span<const Bitmap> records) {
+Status validate_records(std::span<const Bitmap* const> records) {
   if (records.size() < 2) {
-    return Status{ErrorCode::kInvalidArgument,
-                  "point persistent estimation needs at least 2 records"};
+    return {ErrorCode::kInvalidArgument,
+            "point persistent estimation needs at least 2 records"};
   }
-  for (const Bitmap& b : records) {
-    if (b.empty() || !is_power_of_two(b.size())) {
-      return Status{ErrorCode::kInvalidArgument,
-                    "record sizes must be non-zero powers of two"};
+  for (const Bitmap* b : records) {
+    if (b->empty() || !is_power_of_two(b->size())) {
+      return {ErrorCode::kInvalidArgument,
+              "record sizes must be non-zero powers of two"};
     }
   }
+  return Status::ok();
+}
 
-  const std::size_t m = max_size(records);
-  const std::size_t half = (records.size() + 1) / 2;  // ⌈t/2⌉
-
-  auto e_a = and_join_expanded(records.subspan(0, half));
-  if (!e_a) return e_a.status();
-  auto e_a_expanded = expand_to(*e_a, m);
-  if (!e_a_expanded) return e_a_expanded.status();
-  auto e_b = and_join_expanded(records.subspan(half));
-  if (!e_b) return e_b.status();
-  auto e_b_expanded = expand_to(*e_b, m);
-  if (!e_b_expanded) return e_b_expanded.status();
-
-  auto e_star = bitmap_and(*e_a_expanded, *e_b_expanded);
-  if (!e_star) return e_star.status();
-
+/// Eq. 3 + Eq. 12 arithmetic on a measured triple.  Shared by the fused
+/// and materialized paths so the differential test compares only the join
+/// kernels, with the floating-point tail identical by construction.
+PointPersistentEstimate eq12_from_stats(const SplitJoinStats& stats) {
   PointPersistentEstimate est;
-  est.m = m;
-  const double md = static_cast<double>(m);
+  est.m = stats.m;
+  const double md = static_cast<double>(stats.m);
   const double one_zero = 1.0 / md;  // clamp floor: "one zero bit"
 
-  est.v_a0 = e_a_expanded->fraction_zeros();
-  est.v_b0 = e_b_expanded->fraction_zeros();
-  est.v_star1 = e_star->fraction_ones();
+  est.v_a0 = stats.v_a0;
+  est.v_b0 = stats.v_b0;
+  est.v_star1 = stats.v_star1;
   if (est.v_a0 == 0.0 || est.v_b0 == 0.0) {
     est.outcome = EstimateOutcome::kSaturated;
   }
@@ -74,14 +66,68 @@ Result<PointPersistentEstimate> estimate_point_persistent(
   return est;
 }
 
+}  // namespace
+
+Result<PointPersistentEstimate> estimate_point_persistent(
+    std::span<const Bitmap* const> records) {
+  if (Status s = validate_records(records); !s.is_ok()) return s;
+  auto stats = and_split_join_stats(records);
+  if (!stats) return stats.status();
+  return eq12_from_stats(*stats);
+}
+
+Result<PointPersistentEstimate> estimate_point_persistent(
+    std::span<const Bitmap> records) {
+  std::vector<const Bitmap*> ptrs;
+  ptrs.reserve(records.size());
+  for (const Bitmap& b : records) ptrs.push_back(&b);
+  return estimate_point_persistent(std::span<const Bitmap* const>(ptrs));
+}
+
+Result<PointPersistentEstimate> estimate_point_persistent_materialized(
+    std::span<const Bitmap> records) {
+  std::vector<const Bitmap*> ptrs;
+  ptrs.reserve(records.size());
+  for (const Bitmap& b : records) ptrs.push_back(&b);
+  if (Status s = validate_records(ptrs); !s.is_ok()) return s;
+
+  const std::size_t m = max_size(records);
+  const std::size_t half = (records.size() + 1) / 2;  // ⌈t/2⌉
+
+  auto e_a = and_join_expanded_materialized(records.subspan(0, half));
+  if (!e_a) return e_a.status();
+  auto e_a_expanded = expand_to(*e_a, m);
+  if (!e_a_expanded) return e_a_expanded.status();
+  auto e_b = and_join_expanded_materialized(records.subspan(half));
+  if (!e_b) return e_b.status();
+  auto e_b_expanded = expand_to(*e_b, m);
+  if (!e_b_expanded) return e_b_expanded.status();
+
+  auto e_star = bitmap_and(*e_a_expanded, *e_b_expanded);
+  if (!e_star) return e_star.status();
+
+  SplitJoinStats stats;
+  stats.m = m;
+  stats.v_a0 = e_a_expanded->fraction_zeros();
+  stats.v_b0 = e_b_expanded->fraction_zeros();
+  stats.v_star1 = e_star->fraction_ones();
+  return eq12_from_stats(stats);
+}
+
 Result<CardinalityEstimate> estimate_point_persistent_naive(
     std::span<const Bitmap> records) {
   if (records.empty()) {
     return Status{ErrorCode::kInvalidArgument, "no records"};
   }
-  auto e_star = and_join_expanded(records);
-  if (!e_star) return e_star.status();
-  return estimate_cardinality(*e_star);
+  for (const Bitmap& b : records) {
+    if (b.empty() || !is_power_of_two(b.size())) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "record sizes must be non-zero powers of two"};
+    }
+  }
+  auto count = and_join_count_zeros(records);
+  if (!count) return count.status();
+  return estimate_cardinality_counts(count->zeros, count->m);
 }
 
 }  // namespace ptm

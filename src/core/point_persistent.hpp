@@ -37,7 +37,11 @@ struct PointPersistentEstimate {
   double n_b = 0.0;               ///< abstract cardinality of E_b (Eq. 3)
 };
 
-/// Point persistent traffic estimator (Eq. 12).
+/// Point persistent traffic estimator (Eq. 12), computed with the fused
+/// lazy-expansion kernels: the measurement triple (V_a0, V_b0, V_*1) comes
+/// out of core/expansion's and_split_join_stats, so no expanded record copy
+/// and no E_a / E_b / E_* bitmap is ever materialized.  The pointer-span
+/// overload is the zero-copy path for callers holding records in a store.
 ///
 /// Requirements on `records`: at least 2 bitmaps, every size a power of two.
 /// Outcomes:
@@ -50,9 +54,19 @@ struct PointPersistentEstimate {
 ///                  vehicles, where sampling noise dominates.
 [[nodiscard]] Result<PointPersistentEstimate> estimate_point_persistent(
     std::span<const Bitmap> records);
+[[nodiscard]] Result<PointPersistentEstimate> estimate_point_persistent(
+    std::span<const Bitmap* const> records);
+
+/// Reference implementation that materializes E_a / E_b / E_* the way the
+/// pre-kernel code did.  Exists only so differential tests and benchmarks
+/// can prove the fused path produces bit-identical doubles; do not call it
+/// from product code.
+[[nodiscard]] Result<PointPersistentEstimate>
+estimate_point_persistent_materialized(std::span<const Bitmap> records);
 
 /// Naive benchmark (paper §VI-B): linear counting directly on the AND-join
-/// of all records.  Same input requirements.
+/// of all records (fused join-count; no join bitmap built for t <= 2).
+/// Same input requirements.
 [[nodiscard]] Result<CardinalityEstimate> estimate_point_persistent_naive(
     std::span<const Bitmap> records);
 

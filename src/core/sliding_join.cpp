@@ -27,11 +27,19 @@ void SlidingAndJoin::flip_if_needed() {
   if (!front_.empty() || back_.empty()) return;
   // Move the back records into the front stack, newest first, so the
   // oldest ends up on top (vector back) carrying the join of all of them.
+  // Each suffix join is one capacity-sized bitmap; the records fold in
+  // through the tiled kernel, so this is the only place a record is ever
+  // expanded - and only the bottom one, by seeding the first suffix join.
   front_.reserve(back_.size());
   for (auto it = back_.rbegin(); it != back_.rend(); ++it) {
-    Bitmap join = *it;
-    if (!front_.empty()) {
-      const Status s = join.and_with(front_.back().second);
+    Bitmap join;
+    if (front_.empty()) {
+      auto seeded = it->replicate_to(capacity_bits_);
+      assert(seeded.has_value());
+      join = std::move(*seeded);
+    } else {
+      join = front_.back().second;
+      const Status s = join.and_with_tiled(*it);
       assert(s.is_ok());
       (void)s;
     }
@@ -42,15 +50,21 @@ void SlidingAndJoin::flip_if_needed() {
 }
 
 Status SlidingAndJoin::push(const Bitmap& record) {
-  auto expanded = expand_to(record, capacity_bits_);
-  if (!expanded) return expanded.status();
+  if (record.empty() || !is_power_of_two(record.size()) ||
+      record.size() > capacity_bits_) {
+    return {ErrorCode::kInvalidArgument,
+            "record size must be a power of two no larger than the window "
+            "capacity"};
+  }
 
   if (size() == window_) {
     flip_if_needed();
     front_.pop_back();  // evict the oldest
   }
-  if (Status s = back_join_.and_with(*expanded); !s.is_ok()) return s;
-  back_.push_back(std::move(*expanded));
+  // Lazy expansion: the record ANDs into the running join tiled; the
+  // window stores it as pushed.
+  if (Status s = back_join_.and_with_tiled(record); !s.is_ok()) return s;
+  back_.push_back(record);
   return Status::ok();
 }
 

@@ -9,8 +9,11 @@
 // front_top AND back_accumulator.  AND is associative, which is all the
 // trick needs.
 //
-// All records are expanded to a fixed capacity (a power of two >= every
-// record size) at push time, so joins are always size-aligned.
+// Joins run at a fixed capacity (a power of two >= every record size), but
+// records are *never* expanded on push: they AND into the running join
+// through Bitmap::and_with_tiled (lazy expansion), and the window stores
+// them exactly as pushed.  Only a flip's bottom suffix join materializes
+// one capacity-sized seed.
 #pragma once
 
 #include <deque>
@@ -44,8 +47,9 @@ class SlidingAndJoin {
   /// FailedPrecondition when empty.
   [[nodiscard]] Result<Bitmap> joined() const;
 
-  /// The window's raw records, oldest first (for estimators that need the
-  /// split halves, e.g. Eq. 12, which wants records rather than the join).
+  /// The window's records exactly as pushed, oldest first (for estimators
+  /// that need the split halves, e.g. Eq. 12, which wants records rather
+  /// than the join).
   [[nodiscard]] std::vector<Bitmap> window_records() const;
 
  private:

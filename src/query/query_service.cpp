@@ -129,10 +129,10 @@ std::size_t QueryService::plan_size(std::uint64_t location,
   return plan_bitmap_size(expected, options_.load_factor);
 }
 
-Result<std::vector<Bitmap>> QueryService::collect_bitmaps(
+Result<std::vector<const Bitmap*>> QueryService::collect_bitmaps(
     std::uint64_t location, std::span<const std::uint64_t> periods) const {
   const Shard& shard = shard_for(location);
-  std::vector<Bitmap> out;
+  std::vector<const Bitmap*> out;
   out.reserve(periods.size());
   std::shared_lock lock(shard.mutex);
   for (std::uint64_t period : periods) {
@@ -141,7 +141,7 @@ Result<std::vector<Bitmap>> QueryService::collect_bitmaps(
       return Status{ErrorCode::kNotFound,
                     "missing record for a requested period"};
     }
-    out.push_back(it->second.bits);
+    out.push_back(&it->second.bits);
   }
   return out;
 }
@@ -158,7 +158,7 @@ QueryService::PresentBitmaps QueryService::collect_present(
       out.coverage.missing.push_back(period);
     } else {
       out.coverage.present.push_back(period);
-      out.bitmaps.push_back(it->second.bits);
+      out.bitmaps.push_back(&it->second.bits);
     }
   }
   return out;
@@ -189,7 +189,9 @@ QueryResponse QueryService::handle(const PointVolumeQuery& q) const {
   const Shard& shard = shard_for(q.location);
   shard.queries.fetch_add(1, std::memory_order_relaxed);
   QueryResponse response;
-  Bitmap bits;
+  // Pointer, not copy: stored records are immutable and never evicted
+  // (see collect_bitmaps), so reading outside the lock is safe.
+  const Bitmap* bits = nullptr;
   {
     std::shared_lock lock(shard.mutex);
     const auto it =
@@ -199,11 +201,11 @@ QueryResponse QueryService::handle(const PointVolumeQuery& q) const {
           Status{ErrorCode::kNotFound, "no record for location/period"};
       return response;
     }
-    bits = it->second.bits;
+    bits = &it->second.bits;
   }
-  const CardinalityEstimate est = estimate_cardinality(bits);
+  const CardinalityEstimate est = estimate_cardinality(*bits);
   response.result = est;
-  response.summary = summarize_estimate(est, bits.size());
+  response.summary = summarize_estimate(est, bits->size());
   return response;
 }
 
@@ -340,13 +342,14 @@ QueryResponse QueryService::handle(const CorridorQuery& q) const {
     response.status = s;
     return response;
   }
-  std::vector<std::vector<Bitmap>> per_location;
+  std::vector<std::vector<const Bitmap*>> per_location;
   per_location.reserve(q.locations.size());
   for (std::uint64_t location : q.locations) {
     auto bitmaps = collect_bitmaps(location, response.coverage.present);
     if (!bitmaps) {
-      // A record vanished between the coverage pass and the copy - the
-      // store only grows, so this cannot happen in practice; surface it.
+      // A record vanished between the coverage pass and the pointer
+      // gather - the store only grows, so this cannot happen in practice;
+      // surface it.
       response.status = bitmaps.status();
       return response;
     }

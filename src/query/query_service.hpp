@@ -104,16 +104,22 @@ class QueryService {
 
   [[nodiscard]] Shard& shard_for(std::uint64_t location) const noexcept;
 
-  /// Copies of the location's bitmaps for the given periods, taken under
-  /// the shard's shared lock.  NotFound if any period is missing.
-  [[nodiscard]] Result<std::vector<Bitmap>> collect_bitmaps(
+  /// Pointers to the location's stored bitmaps for the given periods,
+  /// gathered under the shard's shared lock.  NotFound if any period is
+  /// missing.  The pointers stay valid after the lock is released: the
+  /// store is insert-only (no record is ever erased or overwritten -
+  /// conflicting ingests are rejected) and std::map nodes are
+  /// address-stable, so handlers feed the estimators' zero-copy
+  /// pointer-span overloads without copying a single record.
+  [[nodiscard]] Result<std::vector<const Bitmap*>> collect_bitmaps(
       std::uint64_t location, std::span<const std::uint64_t> periods) const;
 
-  /// Gap-tolerant variant: bitmaps for the *stored* subset of `periods`
-  /// plus the coverage split.  Never fails on gaps; `bitmaps` aligns
-  /// index-for-index with `coverage.present`.
+  /// Gap-tolerant variant: stored-record pointers for the *stored* subset
+  /// of `periods` plus the coverage split.  Never fails on gaps; `bitmaps`
+  /// aligns index-for-index with `coverage.present`.  Same lifetime
+  /// argument as collect_bitmaps.
   struct PresentBitmaps {
-    std::vector<Bitmap> bitmaps;
+    std::vector<const Bitmap*> bitmaps;
     CoverageReport coverage;
   };
   [[nodiscard]] PresentBitmaps collect_present(

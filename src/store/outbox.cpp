@@ -180,8 +180,10 @@ void UploadOutbox::schedule_retry(Entry& entry, std::uint64_t now,
   // base << attempts, saturating well before the shift overflows.
   const std::uint32_t shift = std::min<std::uint32_t>(entry.attempts, 32);
   std::uint64_t delay = backoff_base << shift;
-  delay = std::min(delay, backoff_cap);
   delay += rng.below(backoff_base + 1);  // jitter: de-synchronize the fleet
+  // Clamp AFTER jitter so backoff_cap is a true ceiling - jitter added to
+  // an already-capped delay would overshoot it by up to backoff_base.
+  delay = std::min(delay, backoff_cap);
   ++entry.attempts;
   entry.next_attempt_at = now + delay;
 }

@@ -9,6 +9,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "store/record_log.hpp"
+
 namespace ptm {
 namespace {
 
@@ -200,6 +202,36 @@ TEST_F(CliTest, StatsPrintsServiceSnapshot) {
   // 4 point-volume probes + 1 rolling persistent probe, all answerable.
   EXPECT_NE(out.find("(5/5 probe queries ok)"), std::string::npos);
   EXPECT_NE(out.find("latency: p50 <= "), std::string::npos);
+}
+
+TEST_F(CliTest, SaturatedRecordsSurfaceTheSaturatedOutcome) {
+  // A bitmap far too small for the traffic comes back all ones; the
+  // estimators clamp and tag the result kSaturated.  That tag must survive
+  // the whole reporting chain - EstimateSummary, format_estimate_summary,
+  // and the inspect table - or an operator would trust a clamped number.
+  {
+    auto writer = RecordLogWriter::open(log_path_);
+    ASSERT_TRUE(writer.has_value()) << writer.status().to_string();
+    for (std::uint64_t period = 0; period < 4; ++period) {
+      TrafficRecord rec;
+      rec.location = 7;
+      rec.period = period;
+      rec.bits = Bitmap(64);
+      for (std::size_t i = 0; i < 64; ++i) rec.bits.set(i);
+      ASSERT_TRUE(writer->append(rec).is_ok());
+    }
+  }
+
+  const std::string inspect = run_ok({"inspect", "--log", log_path_});
+  EXPECT_NE(inspect.find("saturated"), std::string::npos);
+
+  const std::string volume = run_ok(
+      {"volume", "--log", log_path_, "--location", "7", "--period", "0"});
+  EXPECT_NE(volume.find("(saturated"), std::string::npos);
+
+  const std::string persistent =
+      run_ok({"persistent", "--log", log_path_, "--location", "7"});
+  EXPECT_NE(persistent.find("(saturated"), std::string::npos);
 }
 
 TEST_F(CliTest, PrivacyWarnsWhenRatioBelowOne) {

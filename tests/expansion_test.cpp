@@ -60,11 +60,11 @@ TEST(Expansion, MaxSize) {
   bitmaps.emplace_back(256);
   bitmaps.emplace_back(128);
   EXPECT_EQ(max_size(bitmaps), 256u);
-  EXPECT_EQ(max_size({}), 0u);
+  EXPECT_EQ(max_size(std::span<const Bitmap>{}), 0u);
 }
 
 TEST(AndJoin, EmptyInputRejected) {
-  EXPECT_FALSE(and_join_expanded({}).has_value());
+  EXPECT_FALSE(and_join_expanded(std::span<const Bitmap>{}).has_value());
 }
 
 TEST(AndJoin, Figure1Example) {

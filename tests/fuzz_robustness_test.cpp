@@ -44,6 +44,30 @@ TEST(Fuzz, BitmapDeserializeNeverCrashes) {
   EXPECT_LT(accepted, 500);
 }
 
+TEST(Fuzz, BitmapDeserializeRejectsStrayTailBits) {
+  // Crafted adversarial frame: a valid header + body whose last word has
+  // one-bits ABOVE bit_count_.  Such a bitmap would silently corrupt every
+  // popcount-based estimate (count_zeros / fraction_ones scan whole words),
+  // so deserialize must refuse it rather than normalize it.
+  for (std::size_t bit_count : {1u, 5u, 37u, 63u, 65u, 100u}) {
+    Bitmap good(bit_count);
+    if (bit_count >= 3) good.set(2);
+    auto bytes = good.serialize();
+    const std::size_t rem = bit_count % 64;
+    ASSERT_NE(rem, 0u);
+    // Flip a bit in the tail slack of the last word.
+    const std::size_t last_word_offset = bytes.size() - 8;
+    bytes[last_word_offset + rem / 8] |=
+        static_cast<std::uint8_t>(1u << (rem % 8));
+    const auto result = Bitmap::deserialize(bytes);
+    EXPECT_FALSE(result.has_value()) << "bit_count=" << bit_count;
+    // The untampered frame must still round-trip.
+    const auto clean = Bitmap::deserialize(good.serialize());
+    ASSERT_TRUE(clean.has_value());
+    EXPECT_TRUE(*clean == good);
+  }
+}
+
 TEST(Fuzz, TrafficRecordDeserializeNeverCrashes) {
   Xoshiro256 rng(2);
   for (int i = 0; i < 5000; ++i) {

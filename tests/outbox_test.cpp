@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -102,14 +103,45 @@ TEST(Outbox, BackoffGrowsExponentiallyAndCaps) {
     UploadOutbox::schedule_retry(entry, /*now=*/0, /*base=*/2, /*cap=*/32,
                                  rng);
     const std::uint64_t delay = entry.next_attempt_at;
-    // Exponential up to the cap, plus jitter in [0, base].
-    EXPECT_LE(delay, 32u + 2u);
-    if (i < 4) EXPECT_GE(delay, last_delay / 2);
+    // The cap is a hard ceiling: jitter is applied *before* the clamp and
+    // must never push the delay past it.
+    EXPECT_LE(delay, 32u);
+    if (i < 4) {
+      EXPECT_GE(delay, last_delay / 2);
+    }
     last_delay = delay;
   }
   EXPECT_EQ(entry.attempts, 10u);
-  // After many attempts the delay saturates at cap + jitter.
-  EXPECT_GE(entry.next_attempt_at, 32u);
+  // After many attempts the delay saturates at exactly the cap.
+  EXPECT_EQ(entry.next_attempt_at, 32u);
+}
+
+TEST(Outbox, BackoffCapNeverExceededAtBoundary) {
+  // Regression: jitter used to be added after clamping, so a saturated
+  // delay could land anywhere in [cap, cap + base].  Drive many retries
+  // with a large base right at the saturation boundary and assert the cap
+  // holds for every draw.
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    UploadOutbox::Entry entry;
+    entry.attempts = 3;  // base << 3 == cap: the exact boundary
+    UploadOutbox::schedule_retry(entry, /*now=*/0, /*base=*/16, /*cap=*/128,
+                                 rng);
+    EXPECT_LE(entry.next_attempt_at, 128u);
+  }
+  // Below saturation the jitter must still spread the schedule: with
+  // base = 16 the delay is 16 + U[0, 16], never clamped by cap = 128.
+  std::uint64_t min_seen = ~0ULL, max_seen = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    UploadOutbox::Entry entry;
+    UploadOutbox::schedule_retry(entry, /*now=*/0, /*base=*/16, /*cap=*/128,
+                                 rng);
+    min_seen = std::min(min_seen, entry.next_attempt_at);
+    max_seen = std::max(max_seen, entry.next_attempt_at);
+  }
+  EXPECT_GE(min_seen, 16u);
+  EXPECT_LE(max_seen, 32u);
+  EXPECT_LT(min_seen, max_seen);  // jitter actually varies
 }
 
 TEST_F(OutboxTest, PersistsAcrossReopen) {

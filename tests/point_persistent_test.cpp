@@ -34,7 +34,8 @@ TEST(PointPersistent, RejectsTooFewRecords) {
   std::vector<Bitmap> one;
   one.emplace_back(64);
   EXPECT_FALSE(estimate_point_persistent(one).has_value());
-  EXPECT_FALSE(estimate_point_persistent({}).has_value());
+  EXPECT_FALSE(
+      estimate_point_persistent(std::span<const Bitmap>{}).has_value());
 }
 
 TEST(PointPersistent, RejectsNonPowerOfTwoSizes) {
