@@ -5,6 +5,9 @@
 // second" and "server answers a query interactively" stories.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "common/random.hpp"
 #include "core/encoding.hpp"
 #include "core/bootstrap.hpp"
@@ -16,6 +19,7 @@
 #include "hash/hash_suite.hpp"
 #include "nodes/deployment.hpp"
 #include "query/query_service.hpp"
+#include "store/archive.hpp"
 #include "traffic/workload.hpp"
 
 namespace {
@@ -314,6 +318,70 @@ void BM_QueryServiceIngest(benchmark::State& state) {
                           static_cast<std::int64_t>(uploads.size()));
 }
 BENCHMARK(BM_QueryServiceIngest);
+
+/// Same ingest workload with the write-ahead archive attached (Arg(1)) vs
+/// volatile (Arg(0)) - the price of durability-before-ack per record.
+void BM_QueryServiceDurableIngest(benchmark::State& state) {
+  const bool durable = state.range(0) != 0;
+  Xoshiro256 rng(11);
+  const EncodingParams encoding;
+  const auto fleet = make_vehicles(200, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(1, 4000);
+  std::vector<TrafficRecord> uploads;
+  for (std::size_t i = 0; i < 512; ++i) {
+    const auto bitmaps = generate_point_records(
+        volumes, fleet, (i % 64) + 1, 2.0, encoding, rng);
+    uploads.push_back(TrafficRecord{(i % 64) + 1, i / 64, bitmaps[0]});
+  }
+  const std::string path = "/tmp/ptm_bench_archive.log";
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::remove(path.c_str());
+    auto archive = RecordArchive::open(path, {});
+    QueryService service(
+        QueryServiceOptions{.load_factor = 2.0, .s = 3, .n_shards = 32});
+    if (durable && archive.has_value()) {
+      service.attach_durability(*archive);
+    }
+    state.ResumeTiming();
+    for (const TrafficRecord& rec : uploads) {
+      benchmark::DoNotOptimize(service.ingest(rec));
+    }
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(uploads.size()));
+}
+BENCHMARK(BM_QueryServiceDurableIngest)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Admission-gate overhead on the query fast path: the same request mix
+/// with the gate disabled (Arg(0)) and with a wide-open bounded gate
+/// (Arg(1), never sheds) - the steady-state cost of overload control.
+void BM_QueryServiceAdmission(benchmark::State& state) {
+  const bool gated = state.range(0) != 0;
+  QueryServiceOptions options{.load_factor = 2.0, .s = 3, .n_shards = 16};
+  if (gated) {
+    options.admission.max_in_flight = 1 << 16;
+    options.admission.max_queue = 1 << 16;
+  }
+  QueryService service(options);
+  Xoshiro256 rng(7);
+  const EncodingParams encoding;
+  const auto fleet = make_vehicles(200, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(1, 4000);
+  for (std::uint64_t period = 0; period < 8; ++period) {
+    const auto bitmaps =
+        generate_point_records(volumes, fleet, 1, 2.0, encoding, rng);
+    (void)service.ingest(TrafficRecord{1, period, bitmaps[0]});
+  }
+  const QueryRequest request{RecentPersistentQuery{1, 4}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.run(request));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_QueryServiceAdmission)->Arg(0)->Arg(1);
 
 void BM_FullStackContact(benchmark::State& state) {
   // One complete beacon/auth/encode exchange over the (lossless) simulated

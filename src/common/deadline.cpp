@@ -1,0 +1,31 @@
+#include "common/deadline.hpp"
+
+namespace ptm {
+
+Deadline Deadline::after(std::chrono::nanoseconds budget) {
+  return Deadline(Clock::now() + budget);
+}
+
+Deadline Deadline::at(Clock::time_point when) noexcept {
+  return Deadline(when);
+}
+
+Deadline Deadline::expired() noexcept {
+  // min() is safely comparable but never waited on: admission checks
+  // expired_now() before any wait_until.
+  return Deadline(Clock::time_point::min());
+}
+
+bool Deadline::expired_now() const noexcept {
+  return when_.has_value() && Clock::now() >= *when_;
+}
+
+std::chrono::nanoseconds Deadline::remaining() const noexcept {
+  if (!when_.has_value()) return std::chrono::nanoseconds::max();
+  // Compare before subtracting: time_point::min() - now() would underflow.
+  const auto now = Clock::now();
+  if (now >= *when_) return std::chrono::nanoseconds::zero();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(*when_ - now);
+}
+
+}  // namespace ptm

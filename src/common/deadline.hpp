@@ -1,0 +1,59 @@
+// deadline.hpp - a point in time after which work is not worth finishing.
+//
+// A planner dashboard that re-issues a query every second has no use for
+// an answer that arrives two seconds late; under a query storm, finishing
+// stale work is how a server melts.  A Deadline travels with each request
+// (query/query_types.hpp) and is consulted at admission, on arrival, and
+// at the natural yield points of long multi-location queries - work past
+// the deadline is abandoned with ErrorCode::kDeadlineExceeded instead of
+// being completed into the void.
+//
+// Deadlines are wall-budget times on std::chrono::steady_clock (immune to
+// clock steps).  A default-constructed Deadline is unbounded: it never
+// expires and admission never times out on it, so every pre-deadline call
+// site behaves exactly as before.
+#pragma once
+
+#include <chrono>
+#include <optional>
+
+namespace ptm {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unbounded: never expires.
+  constexpr Deadline() noexcept = default;
+
+  /// Expires `budget` from now (non-positive budgets are already expired).
+  [[nodiscard]] static Deadline after(std::chrono::nanoseconds budget);
+
+  /// Expires at the given instant.
+  [[nodiscard]] static Deadline at(Clock::time_point when) noexcept;
+
+  /// Already expired - for "shed everything" tests and drain paths.
+  [[nodiscard]] static Deadline expired() noexcept;
+
+  [[nodiscard]] bool unbounded() const noexcept { return !when_.has_value(); }
+
+  /// True when the instant has passed.  An unbounded deadline never expires.
+  [[nodiscard]] bool expired_now() const noexcept;
+
+  /// Time left before expiry, clamped at zero.  Unbounded deadlines report
+  /// nanoseconds::max().
+  [[nodiscard]] std::chrono::nanoseconds remaining() const noexcept;
+
+  /// The expiry instant - only meaningful when bounded (callers branch on
+  /// unbounded() before waiting on this).
+  [[nodiscard]] Clock::time_point time_point() const noexcept {
+    return when_.value_or(Clock::time_point::max());
+  }
+
+ private:
+  explicit Deadline(Clock::time_point when) noexcept : when_(when) {}
+
+  std::optional<Clock::time_point> when_;
+};
+
+}  // namespace ptm

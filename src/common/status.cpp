@@ -14,6 +14,8 @@ std::string_view error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kDegenerate: return "Degenerate";
     case ErrorCode::kNotFound: return "NotFound";
     case ErrorCode::kInternal: return "Internal";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -29,6 +29,8 @@ enum class ErrorCode {
   kDegenerate,        ///< estimator input admits no finite estimate
   kNotFound,          ///< lookup missed
   kInternal,          ///< invariant broke; indicates a bug in this library
+  kDeadlineExceeded,  ///< the caller's deadline passed before completion
+  kResourceExhausted, ///< load shed: in-flight bound and admission queue full
 };
 
 /// Human-readable name of an ErrorCode ("InvalidArgument", ...).

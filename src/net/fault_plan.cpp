@@ -37,4 +37,12 @@ bool FaultPlan::rsu_crash_between(std::uint64_t location, std::uint64_t from,
                      });
 }
 
+bool FaultPlan::server_crash_between(std::uint64_t from,
+                                     std::uint64_t to) const noexcept {
+  return std::any_of(server_crashes.begin(), server_crashes.end(),
+                     [from, to](std::uint64_t s) {
+                       return s >= from && s < to;
+                     });
+}
+
 }  // namespace ptm

@@ -12,7 +12,12 @@
 //   * RSU outages      - one RSU's radio is off (its contacts and uploads
 //                        fail while the window is open);
 //   * RSU crashes      - at a trigger step the RSU loses volatile state and
-//                        restarts from its journal + outbox.
+//                        restarts from its journal + outbox;
+//   * server crashes   - at a trigger step the central server process dies
+//                        and restarts from its record archive (only
+//                        meaningful when the deployment's server is
+//                        durable; a volatile server has nothing to restart
+//                        from).
 //
 // Windows are half-open [start, end) in deployment steps.  The plan is a
 // passive schedule: SimulatedChannel consults the channel outages itself;
@@ -43,6 +48,8 @@ struct FaultPlan {
   std::map<std::uint64_t, std::vector<FaultWindow>> rsu_outages;
   /// Per-RSU (by location) crash trigger steps, ascending.
   std::map<std::uint64_t, std::vector<std::uint64_t>> rsu_crashes;
+  /// Central-server crash trigger steps, ascending.
+  std::vector<std::uint64_t> server_crashes;
 
   [[nodiscard]] bool channel_down_at(std::uint64_t step) const noexcept;
   [[nodiscard]] bool server_unreachable_at(std::uint64_t step) const noexcept;
@@ -52,6 +59,9 @@ struct FaultPlan {
   [[nodiscard]] bool rsu_crash_between(std::uint64_t location,
                                        std::uint64_t from,
                                        std::uint64_t to) const noexcept;
+  /// True if a server crash trigger lies in [from, to).
+  [[nodiscard]] bool server_crash_between(std::uint64_t from,
+                                          std::uint64_t to) const noexcept;
 };
 
 }  // namespace ptm

@@ -60,6 +60,12 @@ void Deployment::advance_time(std::uint64_t dt) {
       (void)rsu->crash_and_restart();
     }
   }
+  // Same contract for the central server: a scripted crash only fires for
+  // a durable server (one with an attached archive to restart from).
+  if (server_.durable() &&
+      plan_.server_crash_between(from + 1, now_ + 1)) {
+    (void)server_.crash_and_restart();
+  }
 }
 
 Result<Frame> Deployment::transit(const Frame& frame) {

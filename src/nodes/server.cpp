@@ -8,6 +8,32 @@ namespace ptm {
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
+Status CentralServer::attach_durability(std::string path,
+                                        ArchiveOptions options) {
+  auto archive = RecordArchive::open(std::move(path), options);
+  if (!archive) return archive.status();
+  archive_.emplace(std::move(*archive));
+  archive_options_ = options;
+  service_.attach_durability(*archive_);
+  return Status::ok();
+}
+
+Result<std::size_t> CentralServer::crash_and_restart() {
+  if (!archive_.has_value()) {
+    return Status{ErrorCode::kFailedPrecondition,
+                  "crash_and_restart requires attached durability"};
+  }
+  const std::string path = archive_->path();
+  const ArchiveOptions options = archive_options_;
+  // Crash: volatile state dies (wipe also detaches the service from the
+  // archive, so no dangling pointer exists while archive_ re-opens).
+  service_.wipe_volatile_state();
+  archive_.reset();
+  // Restart: re-open the log from disk and rebuild the store from it.
+  if (Status s = attach_durability(path, options); !s.is_ok()) return s;
+  return service_.restore_from_archive();
+}
+
 Status CentralServer::ingest_frame(const Frame& frame) {
   const auto* upload = std::get_if<RecordUpload>(&frame.body);
   if (upload == nullptr) {

@@ -11,7 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/status.hpp"
@@ -21,6 +23,7 @@
 #include "core/traffic_record.hpp"
 #include "net/message.hpp"
 #include "query/query_service.hpp"
+#include "store/archive.hpp"
 
 namespace ptm {
 
@@ -30,6 +33,10 @@ class CentralServer {
   /// deployment's encoding parameter (needed by the p2p estimator).
   CentralServer(double load_factor, std::size_t s)
       : service_(QueryServiceOptions{.load_factor = load_factor, .s = s}) {}
+
+  /// Full-options form: also configures sharding and the query admission
+  /// gate (QueryServiceOptions::admission).
+  explicit CentralServer(QueryServiceOptions options) : service_(options) {}
 
   [[nodiscard]] double load_factor() const noexcept {
     return service_.options().load_factor;
@@ -50,6 +57,25 @@ class CentralServer {
   /// record's estimated point volume updates the location's historical
   /// average used for future planning.  Thread-safe.
   Status ingest(const TrafficRecord& record) { return service_.ingest(record); }
+
+  /// Opens (or creates) the record archive at `path` and attaches it as
+  /// the service's write-ahead store: from here on, every first-accept
+  /// ingest is durable on disk *before* its ack frame exists - the
+  /// server-side mirror of the RSU's outbox-before-journal-reset rule, so
+  /// an acked record survives a server crash by construction.  Re-attach
+  /// after crash_and_restart happens automatically.
+  Status attach_durability(std::string path, ArchiveOptions options = {});
+
+  /// True once attach_durability succeeded (and after every restart).
+  [[nodiscard]] bool durable() const noexcept { return archive_.has_value(); }
+
+  /// Simulates a server process crash + restart: all volatile state (the
+  /// record shards, volume history, metrics) is discarded, the archive is
+  /// re-opened from disk, and the store is rebuilt from it.  Returns the
+  /// number of records restored.  FailedPrecondition while not durable -
+  /// a volatile server that crashes simply loses everything, which is the
+  /// pre-durability behavior callers opt out of by never attaching.
+  [[nodiscard]] Result<std::size_t> crash_and_restart();
 
   /// Convenience: accepts a RecordUpload frame (the RSU uplink).
   Status ingest_frame(const Frame& frame);
@@ -116,6 +142,13 @@ class CentralServer {
 
  private:
   QueryService service_;
+  // The write-ahead archive, when durability is attached.  Declared after
+  // service_ so it outlives the service's use of it within any member
+  // function, and reset/re-opened wholesale by crash_and_restart (a real
+  // restart re-reads the log from disk; keeping the old index would hide
+  // torn-tail healing).
+  std::optional<RecordArchive> archive_;
+  ArchiveOptions archive_options_;
 };
 
 }  // namespace ptm

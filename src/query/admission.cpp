@@ -1,0 +1,68 @@
+#include "query/admission.hpp"
+
+namespace ptm {
+
+void AdmissionController::note_admitted() noexcept {
+  const std::size_t now_in_flight =
+      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::size_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (now_in_flight > peak &&
+         !peak_in_flight_.compare_exchange_weak(peak, now_in_flight,
+                                                std::memory_order_relaxed)) {
+  }
+}
+
+Status AdmissionController::admit(const Deadline& deadline) {
+  if (options_.max_in_flight == 0) {
+    // Gate disabled: gauge bookkeeping only, no lock on the hot path.
+    note_admitted();
+    return Status::ok();
+  }
+
+  std::unique_lock lock(mutex_);
+  const auto slot_available = [this] {
+    return in_flight_.load(std::memory_order_relaxed) <
+           options_.max_in_flight;
+  };
+  if (!slot_available()) {
+    if (queued_.load(std::memory_order_relaxed) >= options_.max_queue) {
+      return {ErrorCode::kResourceExhausted,
+              "query shed: in-flight bound and admission queue are full"};
+    }
+    if (deadline.expired_now()) {
+      return {ErrorCode::kDeadlineExceeded,
+              "deadline expired while waiting for admission"};
+    }
+    queued_.fetch_add(1, std::memory_order_relaxed);
+    bool got_slot = true;
+    if (deadline.unbounded()) {
+      slot_freed_.wait(lock, slot_available);
+    } else {
+      got_slot =
+          slot_freed_.wait_until(lock, deadline.time_point(), slot_available);
+    }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    if (!got_slot) {
+      return {ErrorCode::kDeadlineExceeded,
+              "deadline expired while waiting for admission"};
+    }
+  }
+  note_admitted();
+  return Status::ok();
+}
+
+void AdmissionController::release() noexcept {
+  if (options_.max_in_flight == 0) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
+  {
+    // Decrement under the mutex so a waiter cannot observe "no slot", then
+    // miss the wakeup between its check and its wait.
+    std::lock_guard lock(mutex_);
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  slot_freed_.notify_one();
+}
+
+}  // namespace ptm

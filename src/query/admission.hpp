@@ -1,0 +1,86 @@
+// admission.hpp - bounded-concurrency gate in front of the query engine.
+//
+// A planner query storm can put more work in flight than the machine has
+// cores to run it; past that point every extra admitted query only adds
+// queueing delay until *all* of them miss their deadlines (congestion
+// collapse).  The controller enforces a hard in-flight bound instead:
+//
+//   * up to `max_in_flight` queries execute concurrently;
+//   * once saturated, up to `max_queue` callers wait for a slot (bounded,
+//     so the queue cannot grow without limit either);
+//   * beyond that, callers are shed immediately with
+//     ErrorCode::kResourceExhausted - a fast, honest "retry later" that
+//     costs the server nothing;
+//   * a queued caller whose Deadline expires before a slot frees gives up
+//     with kDeadlineExceeded rather than executing stale work.
+//
+// The default (max_in_flight == 0) is a no-op gate that only maintains the
+// in-flight gauge and high-water mark with relaxed atomics - the unguarded
+// hot path takes no mutex.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/deadline.hpp"
+#include "common/status.hpp"
+
+namespace ptm {
+
+struct AdmissionOptions {
+  /// Concurrent queries allowed to execute (0 = unlimited, gate disabled).
+  std::size_t max_in_flight = 0;
+  /// Callers allowed to wait for a slot once saturated; arrivals beyond
+  /// in-flight + queue are shed with kResourceExhausted.
+  std::size_t max_queue = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options = {}) noexcept
+      : options_(options) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Takes one execution slot, blocking in the bounded queue while
+  /// saturated.  Every Ok return must be paired with one release().
+  /// Failure modes: kResourceExhausted (shed - bound and queue both full),
+  /// kDeadlineExceeded (`deadline` passed before a slot freed).
+  [[nodiscard]] Status admit(const Deadline& deadline = Deadline());
+
+  /// Returns the slot taken by a successful admit().
+  void release() noexcept;
+
+  [[nodiscard]] const AdmissionOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Currently executing queries (monitoring gauge).
+  [[nodiscard]] std::size_t in_flight() const noexcept {
+    return in_flight_.load(std::memory_order_relaxed);
+  }
+  /// Highest concurrency ever observed - with a bound configured this
+  /// never exceeds max_in_flight (the overload tests pin that).
+  [[nodiscard]] std::size_t peak_in_flight() const noexcept {
+    return peak_in_flight_.load(std::memory_order_relaxed);
+  }
+  /// Callers currently waiting for a slot.
+  [[nodiscard]] std::size_t queued() const noexcept {
+    return queued_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void note_admitted() noexcept;
+
+  AdmissionOptions options_;
+  std::mutex mutex_;
+  std::condition_variable slot_freed_;
+  std::atomic<std::size_t> in_flight_{0};
+  std::atomic<std::size_t> peak_in_flight_{0};
+  std::atomic<std::size_t> queued_{0};
+};
+
+}  // namespace ptm

@@ -6,6 +6,7 @@
 
 #include "common/parallel.hpp"
 #include "core/linear_counting.hpp"
+#include "store/archive.hpp"
 
 namespace ptm {
 namespace {
@@ -38,8 +39,32 @@ const char* query_kind_name(const QueryRequest& request) noexcept {
   return std::visit(Namer{}, request);
 }
 
+const Deadline& query_deadline(const QueryRequest& request) noexcept {
+  return std::visit(
+      [](const auto& q) -> const Deadline& { return q.deadline; }, request);
+}
+
+std::uint64_t query_primary_location(const QueryRequest& request) noexcept {
+  struct Primary {
+    std::uint64_t operator()(const PointVolumeQuery& q) { return q.location; }
+    std::uint64_t operator()(const PointPersistentQuery& q) {
+      return q.location;
+    }
+    std::uint64_t operator()(const RecentPersistentQuery& q) {
+      return q.location;
+    }
+    std::uint64_t operator()(const P2PPersistentQuery& q) {
+      return q.location_a;
+    }
+    std::uint64_t operator()(const CorridorQuery& q) {
+      return q.locations.empty() ? 0 : q.locations.front();
+    }
+  };
+  return std::visit(Primary{}, request);
+}
+
 QueryService::QueryService(QueryServiceOptions options)
-    : options_(options) {
+    : options_(options), admission_(options.admission) {
   options_.n_shards = std::max<std::size_t>(options_.n_shards, 1);
   shards_ = std::make_unique<Shard[]>(options_.n_shards);
 }
@@ -78,11 +103,86 @@ Status QueryService::ingest(const TrafficRecord& record) {
       return {ErrorCode::kFailedPrecondition,
               "conflicting record for this location and period"};
     }
+    // Write-ahead: a first accept must be durable before it becomes
+    // queryable and before the Ok that lets the RSU retire the record
+    // from its outbox.  The disk write happens under the shard's
+    // exclusive lock - durability-before-ack is worth the ingest-side
+    // stall, and queries on other shards are unaffected.
+    {
+      std::lock_guard archive_lock(archive_mutex_);
+      if (archive_ != nullptr) {
+        if (Status s = archive_->append(record); !s.is_ok()) {
+          // Nothing admitted to memory and no ack: the RSU keeps the
+          // record and retries, exactly as after a lost ack.
+          lock.unlock();
+          shard.ingest_rejected.fetch_add(1, std::memory_order_relaxed);
+          return s;
+        }
+        shard.archive_append.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     shard.records.emplace(key, record);
     shard.history[record.location].add(est.value);
   }
   shard.ingest_ok.fetch_add(1, std::memory_order_relaxed);
   return Status::ok();
+}
+
+void QueryService::attach_durability(RecordArchive& archive) {
+  std::lock_guard lock(archive_mutex_);
+  archive_ = &archive;
+}
+
+bool QueryService::durable() const {
+  std::lock_guard lock(archive_mutex_);
+  return archive_ != nullptr;
+}
+
+Result<std::size_t> QueryService::restore_from_archive() {
+  std::vector<TrafficRecord> records;
+  {
+    std::lock_guard lock(archive_mutex_);
+    if (archive_ == nullptr) {
+      return Status{ErrorCode::kFailedPrecondition,
+                    "restore requires an attached archive"};
+    }
+    records = archive_->live_contents();
+  }
+  // live_contents() is (location, period)-ordered, so the volume history
+  // means rebuild deterministically regardless of original arrival order.
+  std::size_t restored = 0;
+  for (TrafficRecord& rec : records) {
+    Shard& shard = shard_for(rec.location);
+    const CardinalityEstimate est = estimate_cardinality(rec.bits);
+    const auto key = std::make_pair(rec.location, rec.period);
+    std::unique_lock lock(shard.mutex);
+    if (shard.records.contains(key)) continue;  // already live in memory
+    shard.history[rec.location].add(est.value);
+    shard.records.emplace(key, std::move(rec));
+    ++restored;
+  }
+  return restored;
+}
+
+void QueryService::wipe_volatile_state() {
+  for (std::size_t i = 0; i < options_.n_shards; ++i) {
+    Shard& shard = shards_[i];
+    std::unique_lock lock(shard.mutex);
+    shard.records.clear();
+    shard.history.clear();
+    shard.ingest_ok.store(0, std::memory_order_relaxed);
+    shard.ingest_duplicate.store(0, std::memory_order_relaxed);
+    shard.ingest_rejected.store(0, std::memory_order_relaxed);
+    shard.queries.store(0, std::memory_order_relaxed);
+    shard.shed.store(0, std::memory_order_relaxed);
+    shard.deadline_exceeded.store(0, std::memory_order_relaxed);
+    shard.archive_append.store(0, std::memory_order_relaxed);
+  }
+  latency_.reset();
+  queries_total_.store(0, std::memory_order_relaxed);
+  queries_failed_.store(0, std::memory_order_relaxed);
+  std::lock_guard lock(archive_mutex_);
+  archive_ = nullptr;
 }
 
 std::size_t QueryService::record_count() const {
@@ -326,9 +426,18 @@ QueryResponse QueryService::handle(const CorridorQuery& q) const {
   }
   QueryResponse response;
   // Coverage first: a period is present only when *every* corridor
-  // location stores it (the joined estimate needs the full column).
+  // location stores it (the joined estimate needs the full column).  This
+  // loop and the gather loop below are the corridor's yield points: the
+  // deadline is re-checked between periods and between locations, and an
+  // expiry abandons the query with the coverage gathered so far (partial
+  // on expiry mid-coverage) instead of finishing a stale answer.
   response.coverage.requested = q.periods;
   for (std::uint64_t period : q.periods) {
+    if (q.deadline.expired_now()) {
+      response.status = Status{ErrorCode::kDeadlineExceeded,
+                               "deadline expired during corridor coverage"};
+      return response;
+    }
     const bool everywhere =
         std::all_of(q.locations.begin(), q.locations.end(),
                     [&](std::uint64_t location) {
@@ -345,6 +454,11 @@ QueryResponse QueryService::handle(const CorridorQuery& q) const {
   std::vector<std::vector<const Bitmap*>> per_location;
   per_location.reserve(q.locations.size());
   for (std::uint64_t location : q.locations) {
+    if (q.deadline.expired_now()) {
+      response.status = Status{ErrorCode::kDeadlineExceeded,
+                               "deadline expired during corridor gather"};
+      return response;
+    }
     auto bitmaps = collect_bitmaps(location, response.coverage.present);
     if (!bitmaps) {
       // A record vanished between the coverage pass and the pointer
@@ -371,7 +485,31 @@ QueryResponse QueryService::dispatch(const QueryRequest& request) const {
 
 QueryResponse QueryService::run(const QueryRequest& request) const {
   const auto start = std::chrono::steady_clock::now();
-  QueryResponse response = dispatch(request);
+  const Deadline& deadline = query_deadline(request);
+  const Shard& primary = shard_for(query_primary_location(request));
+  QueryResponse response;
+  if (deadline.expired_now()) {
+    // Expired on arrival: refuse before spending admission or estimator
+    // time.  The shard `queries` counter stays untouched - nothing ran.
+    response.status = Status{ErrorCode::kDeadlineExceeded,
+                             "deadline expired before execution began"};
+  } else if (Status admitted = admission_.admit(deadline);
+             !admitted.is_ok()) {
+    response.status = admitted;
+  } else {
+    response = dispatch(request);
+    admission_.release();
+  }
+  switch (response.status.code()) {
+    case ErrorCode::kDeadlineExceeded:
+      primary.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ErrorCode::kResourceExhausted:
+      primary.shed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    default:
+      break;
+  }
   response.latency_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - start)
@@ -408,14 +546,23 @@ ServiceMetrics QueryService::metrics() const {
         shard.ingest_duplicate.load(std::memory_order_relaxed);
     sm.ingest_rejected = shard.ingest_rejected.load(std::memory_order_relaxed);
     sm.queries = shard.queries.load(std::memory_order_relaxed);
+    sm.shed = shard.shed.load(std::memory_order_relaxed);
+    sm.deadline_exceeded =
+        shard.deadline_exceeded.load(std::memory_order_relaxed);
+    sm.archive_append = shard.archive_append.load(std::memory_order_relaxed);
     out.records_total += sm.records;
     out.ingest_ok_total += sm.ingest_ok;
     out.ingest_duplicate_total += sm.ingest_duplicate;
     out.ingest_rejected_total += sm.ingest_rejected;
+    out.shed_total += sm.shed;
+    out.deadline_exceeded_total += sm.deadline_exceeded;
+    out.archive_append_total += sm.archive_append;
     out.shards.push_back(sm);
   }
   out.queries_total = queries_total_.load(std::memory_order_relaxed);
   out.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  out.in_flight = admission_.in_flight();
+  out.peak_in_flight = admission_.peak_in_flight();
   out.latency = latency_.snapshot();
   return out;
 }

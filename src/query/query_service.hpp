@@ -16,26 +16,48 @@
 // a span of requests across a worker pool (common/parallel.hpp).  The
 // service keeps per-shard ingest/query counters and a global latency
 // histogram, exposed as a ServiceMetrics snapshot.
+//
+// Two robustness layers wrap that core:
+//
+//   * Durability (attach_durability): with a RecordArchive attached, a
+//     first-accept ingest appends the record to the archive *before* it
+//     becomes queryable and before the Ok that lets the RSU retire it from
+//     its outbox - the server-side mirror of the RSU's
+//     outbox-before-journal-reset discipline.  After a crash,
+//     restore_from_archive() rebuilds the shards and the Eq. 2 volume
+//     history from the archive alone; re-deliveries of in-flight uploads
+//     land as idempotent duplicates.
+//
+//   * Overload control (QueryServiceOptions::admission): `run` passes
+//     every request through an AdmissionController - bounded concurrency,
+//     bounded wait queue, load shedding with kResourceExhausted - and
+//     honors the request's Deadline before, while queued for, and during
+//     execution (kDeadlineExceeded).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <vector>
 
 #include "common/status.hpp"
 #include "core/traffic_record.hpp"
+#include "query/admission.hpp"
 #include "query/query_types.hpp"
 #include "query/service_metrics.hpp"
 
 namespace ptm {
 
+class RecordArchive;
+
 struct QueryServiceOptions {
   double load_factor = 2.0;  ///< system-wide f of Eq. 2
   std::size_t s = 3;         ///< encoding representative count (p2p/corridor)
   std::size_t n_shards = 16; ///< record-store shards; >= 1
+  AdmissionOptions admission{};  ///< query overload policy (default: no gate)
 };
 
 class QueryService {
@@ -54,8 +76,33 @@ class QueryService {
   /// duplicate, history untouched); a *conflicting* record for an occupied
   /// slot and structurally invalid records are rejected.  On first accept
   /// the record's estimated point volume updates the location's historical
-  /// average used by plan_size (Eq. 2).  Thread-safe.
+  /// average used by plan_size (Eq. 2).  With an archive attached the
+  /// first accept is written ahead to it; an archive failure fails the
+  /// ingest with nothing admitted to memory (the RSU keeps the record and
+  /// retries).  Thread-safe.
   Status ingest(const TrafficRecord& record);
+
+  /// Attaches the write-ahead archive.  Every later first-accept ingest
+  /// appends to `archive` before returning Ok; the caller keeps ownership
+  /// and must keep `archive` alive until detachment (wipe_volatile_state)
+  /// or destruction.  External synchronization on `archive` is not needed:
+  /// the service serializes its own archive access.
+  void attach_durability(RecordArchive& archive);
+
+  /// True while an archive is attached.
+  [[nodiscard]] bool durable() const;
+
+  /// Rebuilds the in-memory store from the attached archive: every live
+  /// archive record missing from memory is inserted and folded into the
+  /// Eq. 2 volume history (in (location, period) order, without
+  /// re-appending or counting as new ingest).  Returns the number of
+  /// records restored.  FailedPrecondition without an attached archive.
+  [[nodiscard]] Result<std::size_t> restore_from_archive();
+
+  /// Crash simulation: drops every record, history entry, counter, and the
+  /// latency histogram, and detaches the archive - the state a freshly
+  /// restarted server process would have before re-attaching its archive.
+  void wipe_volatile_state();
 
   [[nodiscard]] std::size_t record_count() const;
   [[nodiscard]] bool has_record(std::uint64_t location,
@@ -70,6 +117,12 @@ class QueryService {
                                       double default_volume = 1024.0) const;
 
   /// Executes one request of any shape - the single query execution path.
+  /// Overload behavior: a request whose Deadline has already passed fails
+  /// with kDeadlineExceeded without executing; otherwise the request takes
+  /// an admission slot (possibly waiting, bounded by the deadline and the
+  /// queue limit) and kResourceExhausted / kDeadlineExceeded from the gate
+  /// are returned verbatim.  Either way the failure is counted against the
+  /// primary location's shard (see query_primary_location).
   [[nodiscard]] QueryResponse run(const QueryRequest& request) const;
 
   /// Executes a batch concurrently across up to `threads` workers (0 =
@@ -80,6 +133,12 @@ class QueryService {
 
   /// Point-in-time counters + latency histogram ("/stats").
   [[nodiscard]] ServiceMetrics metrics() const;
+
+  /// The admission gate `run` passes every request through.  Exposed so
+  /// overload tests (and monitoring) can occupy/inspect slots directly.
+  [[nodiscard]] AdmissionController& admission() const noexcept {
+    return admission_;
+  }
 
  private:
   /// Minimal history accumulator (count + mean) planning Eq. 2 sizes.
@@ -100,6 +159,9 @@ class QueryService {
     mutable std::atomic<std::uint64_t> ingest_duplicate{0};
     mutable std::atomic<std::uint64_t> ingest_rejected{0};
     mutable std::atomic<std::uint64_t> queries{0};
+    mutable std::atomic<std::uint64_t> shed{0};
+    mutable std::atomic<std::uint64_t> deadline_exceeded{0};
+    mutable std::atomic<std::uint64_t> archive_append{0};
   };
 
   [[nodiscard]] Shard& shard_for(std::uint64_t location) const noexcept;
@@ -137,6 +199,13 @@ class QueryService {
   mutable LatencyRecorder latency_;
   mutable std::atomic<std::uint64_t> queries_total_{0};
   mutable std::atomic<std::uint64_t> queries_failed_{0};
+  mutable AdmissionController admission_;
+  // Write-ahead archive (nullptr = volatile mode).  archive_mutex_
+  // serializes all access; when an ingest holds both its shard lock and
+  // this mutex the order is always shard -> archive, and shard locks never
+  // nest, so the lock graph is acyclic.
+  RecordArchive* archive_ = nullptr;
+  mutable std::mutex archive_mutex_;
 };
 
 }  // namespace ptm

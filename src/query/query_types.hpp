@@ -13,6 +13,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/deadline.hpp"
 #include "common/status.hpp"
 #include "core/corridor_persistent.hpp"
 #include "core/linear_counting.hpp"
@@ -42,10 +43,19 @@ struct CoverageReport {
   [[nodiscard]] bool complete() const noexcept { return missing.empty(); }
 };
 
+// Every query shape carries a Deadline (default: unbounded).  A request
+// whose deadline has passed on arrival - or passes mid-execution, checked
+// at the yield points of multi-location queries - completes with
+// kDeadlineExceeded instead of burning estimator time on an answer nobody
+// is still waiting for; the CoverageReport gathered so far is returned.
+// The deadline also bounds time spent queued at admission (see
+// query/admission.hpp).
+
 /// Point traffic volume at one (location, period) - Eq. 3.
 struct PointVolumeQuery {
   std::uint64_t location = 0;
   std::uint64_t period = 0;
+  Deadline deadline{};
 };
 
 /// Point persistent traffic at one location over explicit periods - Eq. 12.
@@ -55,6 +65,7 @@ struct PointPersistentQuery {
   std::uint64_t location = 0;
   std::vector<std::uint64_t> periods;
   MissingPolicy missing = MissingPolicy::kFail;
+  Deadline deadline{};
 };
 
 /// Rolling form of Eq. 12 over the trailing `window` periods at the
@@ -67,6 +78,7 @@ struct RecentPersistentQuery {
   std::uint64_t location = 0;
   std::size_t window = 0;
   MissingPolicy missing = MissingPolicy::kFail;
+  Deadline deadline{};
 };
 
 /// Point-to-point persistent traffic between two locations over explicit
@@ -75,6 +87,7 @@ struct P2PPersistentQuery {
   std::uint64_t location_a = 0;
   std::uint64_t location_b = 0;
   std::vector<std::uint64_t> periods;
+  Deadline deadline{};
 };
 
 /// Corridor persistent traffic through k >= 2 locations over explicit
@@ -85,6 +98,7 @@ struct CorridorQuery {
   std::vector<std::uint64_t> locations;
   std::vector<std::uint64_t> periods;
   MissingPolicy missing = MissingPolicy::kFail;
+  Deadline deadline{};
 };
 
 /// One request, any shape.
@@ -121,5 +135,16 @@ struct QueryResponse {
 
 /// Short human-readable name of a request's shape ("point-volume", ...).
 [[nodiscard]] const char* query_kind_name(const QueryRequest& request) noexcept;
+
+/// The deadline a request carries, whatever its shape.
+[[nodiscard]] const Deadline& query_deadline(
+    const QueryRequest& request) noexcept;
+
+/// The request's primary location: the single location for point-style
+/// shapes, location_a for p2p, the first listed location for corridors
+/// (0 for an empty corridor).  Shed/deadline metrics are attributed to the
+/// primary location's shard.
+[[nodiscard]] std::uint64_t query_primary_location(
+    const QueryRequest& request) noexcept;
 
 }  // namespace ptm

@@ -54,6 +54,10 @@ void LatencyRecorder::record(std::uint64_t nanos) noexcept {
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
+void LatencyRecorder::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
 LatencyHistogramSnapshot LatencyRecorder::snapshot() const noexcept {
   LatencyHistogramSnapshot snap;
   for (std::size_t b = 0; b < LatencyHistogramSnapshot::kBuckets; ++b) {
@@ -86,6 +90,10 @@ std::string ServiceMetrics::to_string() const {
       << " duplicate, " << ingest_rejected_total << " rejected\n"
       << "queries: " << queries_total << " total, " << queries_failed
       << " failed\n"
+      << "overload: " << shed_total << " shed, " << deadline_exceeded_total
+      << " deadline-exceeded, " << in_flight << " in flight (peak "
+      << peak_in_flight << ")\n"
+      << "durability: " << archive_append_total << " archive appends\n"
       << "latency: p50 <= " << format_nanos(latency.percentile_ns(50))
       << ", p90 <= " << format_nanos(latency.percentile_ns(90))
       << ", p99 <= " << format_nanos(latency.percentile_ns(99)) << " ("

@@ -38,6 +38,9 @@ class LatencyRecorder {
  public:
   void record(std::uint64_t nanos) noexcept;
   [[nodiscard]] LatencyHistogramSnapshot snapshot() const noexcept;
+  /// Zeroes every bucket (crash simulation: volatile state does not
+  /// survive a restart).  Not linearizable w.r.t. concurrent record().
+  void reset() noexcept;
 
  private:
   std::array<std::atomic<std::uint64_t>, LatencyHistogramSnapshot::kBuckets>
@@ -51,6 +54,9 @@ struct ShardMetrics {
   std::uint64_t ingest_duplicate = 0;///< idempotent re-deliveries (Ok, no-op)
   std::uint64_t ingest_rejected = 0; ///< conflicting + invalid records
   std::uint64_t queries = 0;         ///< queries that touched this shard
+  std::uint64_t shed = 0;            ///< queries refused with ResourceExhausted
+  std::uint64_t deadline_exceeded = 0;  ///< queries lost to their Deadline
+  std::uint64_t archive_append = 0;  ///< records persisted before their ack
 };
 
 /// Point-in-time view of a QueryService's counters ("/stats" payload).
@@ -62,6 +68,11 @@ struct ServiceMetrics {
   std::uint64_t ingest_rejected_total = 0;
   std::uint64_t queries_total = 0;
   std::uint64_t queries_failed = 0;  ///< completed with a non-ok Status
+  std::uint64_t shed_total = 0;      ///< load-shed rejections (never executed)
+  std::uint64_t deadline_exceeded_total = 0;  ///< Deadline losses (all stages)
+  std::uint64_t archive_append_total = 0;  ///< write-ahead archive appends
+  std::size_t in_flight = 0;       ///< queries executing at snapshot time
+  std::size_t peak_in_flight = 0;  ///< high-water concurrency mark
   LatencyHistogramSnapshot latency;
 
   /// Multi-line human-readable rendering:
@@ -69,6 +80,8 @@ struct ServiceMetrics {
   ///   records: 128 across 16 shards (min 6 / max 10 per shard)
   ///   ingest:  128 ok, 3 rejected
   ///   queries: 640 total, 2 failed
+  ///   overload: 5 shed, 1 deadline-exceeded, 3 in flight (peak 8)
+  ///   durability: 128 archive appends
   ///   latency: p50 <= 16.4us, p90 <= 32.8us, p99 <= 65.5us (640 samples)
   [[nodiscard]] std::string to_string() const;
 };

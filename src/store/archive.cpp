@@ -46,10 +46,17 @@ void RecordArchive::apply_retention(std::uint64_t location) {
 Status RecordArchive::append(const TrafficRecord& record) {
   if (Status s = record.validate(); !s.is_ok()) return s;
   auto at_location = index_.find(record.location);
-  if (at_location != index_.end() &&
-      at_location->second.contains(record.period)) {
-    return {ErrorCode::kFailedPrecondition,
-            "duplicate record for this location and period"};
+  if (at_location != index_.end()) {
+    const auto at_period = at_location->second.find(record.period);
+    if (at_period != at_location->second.end()) {
+      if (at_period->second == record.bits) {
+        // Byte-identical replay of a record already durable: succeed
+        // without writing a redundant frame.
+        return Status::ok();
+      }
+      return {ErrorCode::kFailedPrecondition,
+              "conflicting record for this location and period"};
+    }
   }
   auto writer = RecordLogWriter::open(path_);
   if (!writer) return writer.status();
@@ -75,6 +82,21 @@ std::vector<std::uint64_t> RecordArchive::locations() const {
   out.reserve(index_.size());
   for (const auto& [location, periods] : index_) {
     if (!periods.empty()) out.push_back(location);
+  }
+  return out;
+}
+
+std::vector<TrafficRecord> RecordArchive::live_contents() const {
+  std::vector<TrafficRecord> out;
+  out.reserve(live_records());
+  for (const auto& [location, periods] : index_) {
+    for (const auto& [period, bits] : periods) {
+      TrafficRecord rec;
+      rec.location = location;
+      rec.period = period;
+      rec.bits = bits;
+      out.push_back(std::move(rec));
+    }
   }
   return out;
 }

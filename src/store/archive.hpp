@@ -37,7 +37,11 @@ class RecordArchive {
                                                   ArchiveOptions options);
 
   /// Appends a record: durable write, then index update, then retention.
-  /// Duplicate (location, period) is FailedPrecondition.
+  /// Idempotent: re-appending bytes identical to the live record for that
+  /// (location, period) is a no-op Ok - an at-least-once delivery pipeline
+  /// may replay an upload whose ack was lost, and the archive must not
+  /// turn that replay into an error (or a second log frame).  A
+  /// *conflicting* record for an occupied slot is FailedPrecondition.
   Status append(const TrafficRecord& record);
 
   /// Live (retained) record count / per-location period count.
@@ -48,6 +52,11 @@ class RecordArchive {
   /// All live bitmaps of a location, ordered by period (NotFound if none).
   [[nodiscard]] Result<std::vector<Bitmap>> records_at(
       std::uint64_t location) const;
+
+  /// Every live record, ordered by (location, period) - the replay feed
+  /// for rebuilding a server's in-memory store after a crash
+  /// (QueryService::restore_from_archive).
+  [[nodiscard]] std::vector<TrafficRecord> live_contents() const;
 
   /// The `window` most recent live bitmaps of a location, ordered by
   /// period (NotFound when fewer exist).

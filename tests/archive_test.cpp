@@ -62,12 +62,47 @@ TEST_F(ArchiveTest, AppendQueryRoundTrip) {
   EXPECT_FALSE(archive->records_at(99).has_value());
 }
 
-TEST_F(ArchiveTest, RejectsDuplicates) {
+TEST_F(ArchiveTest, IdenticalReappendIsNoOpConflictIsRejected) {
   auto archive = RecordArchive::open(path_, {});
   ASSERT_TRUE(archive.has_value());
   ASSERT_TRUE(archive->append(make_record(1, 0)).is_ok());
-  EXPECT_EQ(archive->append(make_record(1, 0)).code(),
+  const std::size_t size_after_first = file_size();
+
+  // Byte-identical replay (an at-least-once pipeline re-delivering after a
+  // lost ack): Ok, and no second frame hits the log.
+  EXPECT_TRUE(archive->append(make_record(1, 0)).is_ok());
+  EXPECT_EQ(archive->live_records(), 1u);
+  EXPECT_EQ(file_size(), size_after_first);
+
+  // Conflicting bytes for the occupied slot stay rejected.
+  TrafficRecord conflicting = make_record(1, 0);
+  conflicting.bits.set(200);
+  EXPECT_EQ(archive->append(conflicting).code(),
             ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(archive->live_records(), 1u);
+}
+
+TEST_F(ArchiveTest, LiveContentsIsOrderedAndComplete) {
+  ArchiveOptions options;
+  options.max_periods_per_location = 2;
+  auto archive = RecordArchive::open(path_, options);
+  ASSERT_TRUE(archive.has_value());
+  // Append out of order across locations; retention drops location 5's
+  // oldest period.
+  ASSERT_TRUE(archive->append(make_record(5, 2)).is_ok());
+  ASSERT_TRUE(archive->append(make_record(1, 7)).is_ok());
+  ASSERT_TRUE(archive->append(make_record(5, 0)).is_ok());
+  ASSERT_TRUE(archive->append(make_record(5, 1)).is_ok());
+
+  const std::vector<TrafficRecord> live = archive->live_contents();
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[0].location, 1u);
+  EXPECT_EQ(live[0].period, 7u);
+  EXPECT_EQ(live[1].location, 5u);
+  EXPECT_EQ(live[1].period, 1u);
+  EXPECT_EQ(live[2].location, 5u);
+  EXPECT_EQ(live[2].period, 2u);
+  EXPECT_EQ(live[0].bits, make_record(1, 7).bits);
 }
 
 TEST_F(ArchiveTest, PersistsAcrossReopen) {

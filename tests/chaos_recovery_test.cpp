@@ -1,18 +1,26 @@
 // Chaos integration test: a multi-period deployment driven through bursty
-// frame loss, scripted RSU crashes, RSU radio outages, and a central-server
-// downtime window.  The fault-tolerance contract under test:
+// frame loss, scripted RSU crashes, RSU radio outages, a central-server
+// downtime window, and - new with the durable server - a mid-run server
+// crash that wipes all volatile state.  The fault-tolerance contract:
 //
 //   * zero record loss - every completed period is ingested exactly once
-//     at the server once connectivity recovers;
+//     at the server once connectivity recovers, even though the server
+//     itself lost its memory mid-run and had to restore from its archive;
 //   * the outboxes drain monotonically to zero during recovery;
+//   * in-flight re-deliveries after the server crash land as idempotent
+//     duplicates, never as conflicts;
 //   * gap-tolerant queries report coverage honestly while records are
 //     still in flight and estimates stay in a sane band afterwards.
+//
+// Set PTM_CHAOS_ITERS (default 1) to repeat the scenario with varied
+// seeds - the nightly chaos workflow runs it at elevated iterations.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "nodes/deployment.hpp"
 
 namespace ptm {
@@ -33,11 +41,13 @@ class ChaosRecoveryTest : public ::testing::Test {
   void TearDown() override { clean(); }
 
   void clean() {
-    for (const char* suffix :
-         {"_a.journal", "_a.outbox", "_b.journal", "_b.outbox"}) {
+    for (const char* suffix : {"_a.journal", "_a.outbox", "_b.journal",
+                               "_b.outbox", "_server.archive"}) {
       std::remove((stem_ + suffix).c_str());
     }
   }
+
+  void run_scenario(std::uint64_t seed);
 
   std::string stem_;
   static int counter_;
@@ -45,7 +55,8 @@ class ChaosRecoveryTest : public ::testing::Test {
 
 int ChaosRecoveryTest::counter_ = 0;
 
-TEST_F(ChaosRecoveryTest, NoRecordLossThroughBurstsCrashesAndDowntime) {
+void ChaosRecoveryTest::run_scenario(std::uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
   Deployment::Config config;
   // Bursty loss at a ~23% stationary rate (p_gb/(p_gb+p_bg) = 0.09/0.39).
   config.channel.gilbert_elliott = {.enabled = true,
@@ -57,7 +68,7 @@ TEST_F(ChaosRecoveryTest, NoRecordLossThroughBurstsCrashesAndDowntime) {
   config.contact_leg_retries = 10;
   config.backoff_base = 1;
   config.backoff_cap = 8;
-  Deployment dep(config, 20260806);
+  Deployment dep(config, seed);
 
   Rsu& rsu_a = dep.add_rsu(kLocA, 512);
   Rsu& rsu_b = dep.add_rsu(kLocB, 512);
@@ -67,14 +78,22 @@ TEST_F(ChaosRecoveryTest, NoRecordLossThroughBurstsCrashesAndDowntime) {
   ASSERT_TRUE(
       rsu_b.attach_durability(stem_ + "_b.journal", stem_ + "_b.outbox")
           .is_ok());
+  // The server is durable too: every ingest is archived ahead of the ack,
+  // so the scripted crash below cannot lose an acked record.
+  ASSERT_TRUE(
+      dep.server().attach_durability(stem_ + "_server.archive").is_ok());
 
   // The script: RSU A crashes twice mid-run, RSU A's radio dies for most
-  // of period 2, and the server is unreachable through periods 3 and 4
-  // (steps are the deployment's logical clock, kStepsPerPeriod per period).
+  // of period 2, the server is unreachable through periods 3 and 4, and
+  // the server process itself crashes twice - once with records already
+  // ingested (step 52) and once during the recovery drain (step 105) -
+  // losing all volatile state and restoring from the archive (steps are
+  // the deployment's logical clock, kStepsPerPeriod per period).
   FaultPlan plan;
   plan.rsu_crashes[kLocA] = {27, 93};
   plan.rsu_outages[kLocA] = {{45, 58}};
   plan.server_outages = {{60, 100}};
+  plan.server_crashes = {52, 105};
   dep.set_fault_plan(plan);
 
   std::vector<Vehicle> fleet;
@@ -117,7 +136,8 @@ TEST_F(ChaosRecoveryTest, NoRecordLossThroughBurstsCrashesAndDowntime) {
     if (dep.now() < boundary) dep.advance_time(boundary - dep.now());
   }
 
-  // Storm over (every scripted window ends by step 100 <= now).  Recovery:
+  // Storm over (every scripted outage window ends by step 100 <= now; the
+  // step-105 server crash still fires during the drain below).  Recovery:
   // pump both outboxes until they drain; drains must be monotone.
   ASSERT_GE(dep.now(), 100u);
   std::size_t last_pending =
@@ -134,7 +154,10 @@ TEST_F(ChaosRecoveryTest, NoRecordLossThroughBurstsCrashesAndDowntime) {
   EXPECT_EQ(rsu_a.outbox().pending(), 0u);
   EXPECT_EQ(rsu_b.outbox().pending(), 0u);
 
-  // Zero record loss, exactly once: every closed period of both RSUs.
+  // Zero record loss, exactly once: every closed period of both RSUs
+  // survives the RSU crashes, the outage windows, the bursty loss, AND
+  // both server crashes in this single scenario.
+  EXPECT_TRUE(dep.server().durable());
   for (std::uint64_t period = 0; period < kPeriods; ++period) {
     EXPECT_TRUE(dep.server().has_record(kLocA, period)) << period;
     EXPECT_TRUE(dep.server().has_record(kLocB, period)) << period;
@@ -143,11 +166,20 @@ TEST_F(ChaosRecoveryTest, NoRecordLossThroughBurstsCrashesAndDowntime) {
             static_cast<std::size_t>(2 * kPeriods));
   // No eviction fired (capacity was never the constraint here) and the
   // server never saw conflicting bytes - only clean or duplicate deliveries.
+  // (Counters are volatile and were wiped by the scripted crashes, so the
+  // zero-loss proof above rests on the records themselves; the rejection
+  // counter still proves the post-crash re-deliveries were clean.)
   EXPECT_EQ(rsu_a.outbox().evicted(), 0u);
   EXPECT_EQ(rsu_b.outbox().evicted(), 0u);
   const auto metrics = dep.server().queries().metrics();
   EXPECT_EQ(metrics.ingest_rejected_total, 0u);
-  EXPECT_EQ(metrics.ingest_ok_total, static_cast<std::uint64_t>(2 * kPeriods));
+  EXPECT_EQ(metrics.records_total, static_cast<std::uint64_t>(2 * kPeriods));
+
+  // A final explicit crash-and-restart proves the archive alone carries
+  // the full record set at scenario end.
+  auto restored = dep.server().crash_and_restart();
+  ASSERT_TRUE(restored.has_value()) << restored.status().to_string();
+  EXPECT_EQ(*restored, static_cast<std::size_t>(2 * kPeriods));
 
   // With full coverage restored, the strict query must succeed and land in
   // a sane band: every fleet vehicle contacted every period (minus the
@@ -162,6 +194,15 @@ TEST_F(ChaosRecoveryTest, NoRecordLossThroughBurstsCrashesAndDowntime) {
   const auto& est = std::get<PointPersistentEstimate>(strict.result);
   EXPECT_GT(est.n_star, 0.5 * kFleet);
   EXPECT_LT(est.n_star, 1.5 * kFleet);
+}
+
+TEST_F(ChaosRecoveryTest, NoRecordLossThroughBurstsCrashesAndDowntime) {
+  const std::uint64_t iters = env_u64("PTM_CHAOS_ITERS", 1);
+  for (std::uint64_t iter = 0; iter < iters; ++iter) {
+    if (iter > 0) clean();  // fresh journals/outboxes/archive per iteration
+    run_scenario(20260806 + 977 * iter);
+    if (HasFatalFailure()) return;
+  }
 }
 
 }  // namespace

@@ -204,6 +204,41 @@ TEST_F(CliTest, StatsPrintsServiceSnapshot) {
   EXPECT_NE(out.find("latency: p50 <= "), std::string::npos);
 }
 
+TEST_F(CliTest, StatsIncludesOverloadAndDurabilityCounters) {
+  run_ok({"generate", "--out", log_path_, "--t", "3", "--common", "100",
+          "--location", "3", "--seed", "31"});
+  const std::string out = run_ok({"stats", "--log", log_path_});
+  // The snapshot surfaces the new robustness counters, even when idle.
+  EXPECT_NE(out.find("overload: 0 shed, 0 deadline-exceeded"),
+            std::string::npos);
+  EXPECT_NE(out.find("durability: 0 archive appends"), std::string::npos);
+}
+
+TEST_F(CliTest, RecoverRebuildsServiceFromArchive) {
+  run_ok({"generate", "--out", log_path_, "--t", "4", "--common", "100",
+          "--location", "3", "--seed", "37"});
+  const std::string out =
+      run_ok({"recover", "--log", log_path_, "--shards", "4"});
+  EXPECT_NE(out.find("recovered 4 records across 1 locations"),
+            std::string::npos);
+  // Per-location summary table plus the restored service's snapshot;
+  // restore is not ingest, so the ingest counters stay zero while the
+  // records are live.
+  EXPECT_NE(out.find("location"), std::string::npos);
+  EXPECT_NE(out.find("records: 4"), std::string::npos);
+  EXPECT_NE(out.find("ingest:  0 ok"), std::string::npos);
+
+  std::ostringstream err;
+  EXPECT_EQ(run_cli({"recover", "--shards", "4"}, err).code(),
+            ErrorCode::kNotFound);  // --log is required
+  // A typo'd path is refused, not silently created as an empty archive.
+  EXPECT_EQ(run_cli({"recover", "--log", log_path_ + ".absent"}, err).code(),
+            ErrorCode::kNotFound);
+  EXPECT_EQ(
+      run_cli({"recover", "--log", log_path_, "--shards", "0"}, err).code(),
+      ErrorCode::kInvalidArgument);
+}
+
 TEST_F(CliTest, SaturatedRecordsSurfaceTheSaturatedOutcome) {
   // A bitmap far too small for the traffic comes back all ones; the
   // estimators clamp and tag the result kSaturated.  That tag must survive

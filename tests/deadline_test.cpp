@@ -1,0 +1,66 @@
+// Tests for common/deadline.hpp: the monotonic query deadline type.
+#include "common/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace ptm {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(DeadlineTest, DefaultIsUnbounded) {
+  const Deadline deadline;
+  EXPECT_TRUE(deadline.unbounded());
+  EXPECT_FALSE(deadline.expired_now());
+  EXPECT_EQ(deadline.remaining(), std::chrono::nanoseconds::max());
+  EXPECT_EQ(deadline.time_point(), Deadline::Clock::time_point::max());
+}
+
+TEST(DeadlineTest, AfterIsBoundedAndNotYetExpired) {
+  const Deadline deadline = Deadline::after(1h);
+  EXPECT_FALSE(deadline.unbounded());
+  EXPECT_FALSE(deadline.expired_now());
+  EXPECT_GT(deadline.remaining(), 0ns);
+  EXPECT_LE(deadline.remaining(), std::chrono::nanoseconds(1h));
+}
+
+TEST(DeadlineTest, ExpiredFactoryIsAlreadyPast) {
+  const Deadline deadline = Deadline::expired();
+  EXPECT_FALSE(deadline.unbounded());
+  EXPECT_TRUE(deadline.expired_now());
+  EXPECT_EQ(deadline.remaining(), 0ns);
+}
+
+TEST(DeadlineTest, ZeroAndNegativeBudgetsExpireImmediately) {
+  EXPECT_TRUE(Deadline::after(0ns).expired_now());
+  EXPECT_TRUE(Deadline::after(-5s).expired_now());
+}
+
+TEST(DeadlineTest, AtWrapsAnAbsoluteTimePoint) {
+  const auto when = Deadline::Clock::now() + 30min;
+  const Deadline deadline = Deadline::at(when);
+  EXPECT_FALSE(deadline.unbounded());
+  EXPECT_EQ(deadline.time_point(), when);
+  EXPECT_FALSE(deadline.expired_now());
+
+  const Deadline past = Deadline::at(Deadline::Clock::now() - 1ms);
+  EXPECT_TRUE(past.expired_now());
+}
+
+TEST(DeadlineTest, RemainingClampsAtZeroOnceExpired) {
+  const Deadline past = Deadline::at(Deadline::Clock::now() - 1s);
+  EXPECT_EQ(past.remaining(), 0ns);
+}
+
+TEST(DeadlineTest, ActuallyExpiresWithTime) {
+  const Deadline deadline = Deadline::after(1ms);
+  const auto give_up = Deadline::Clock::now() + 5s;
+  while (!deadline.expired_now() && Deadline::Clock::now() < give_up) {
+  }
+  EXPECT_TRUE(deadline.expired_now());
+}
+
+}  // namespace
+}  // namespace ptm

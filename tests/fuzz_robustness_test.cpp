@@ -5,11 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "common/bitmap.hpp"
+#include "common/crc32.hpp"
 #include "common/random.hpp"
 #include "core/traffic_record.hpp"
 #include "crypto/certificate.hpp"
 #include "crypto/rsa.hpp"
 #include "net/message.hpp"
+#include "query/query_service.hpp"
 #include "store/archive.hpp"
 #include "store/journal.hpp"
 #include "store/outbox.hpp"
@@ -251,6 +253,127 @@ TEST(Fuzz, ArchiveOpenSurvivesGarbageFiles) {
       auto reopened = RecordArchive::open(path, {});
       ASSERT_TRUE(reopened.has_value());
       EXPECT_EQ(reopened->live_records(), archive->live_records());
+    }
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".compact").c_str());
+}
+
+// ---- Archive restore fuzz: the crash-recovery read path ------------------
+
+namespace {
+
+/// One wire frame of the record log: u32 len | payload | u32 crc32, LE.
+void write_frame(std::ofstream& out, const std::vector<std::uint8_t>& payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const std::uint32_t crc = crc32(payload);
+  for (int b = 0; b < 4; ++b) {
+    out.put(static_cast<char>((len >> (8 * b)) & 0xFF));
+  }
+  out.write(reinterpret_cast<const char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  for (int b = 0; b < 4; ++b) {
+    out.put(static_cast<char>((crc >> (8 * b)) & 0xFF));
+  }
+}
+
+std::vector<std::uint8_t> record_payload(std::uint64_t location,
+                                         std::uint64_t period) {
+  TrafficRecord rec;
+  rec.location = location;
+  rec.period = period;
+  rec.bits = Bitmap(128);
+  rec.bits.set(static_cast<std::size_t>((location + period) % 128));
+  return rec.serialize();
+}
+
+}  // namespace
+
+TEST(Fuzz, ArchiveRestoreSurvivesTornTailMidRecord) {
+  // A server crash mid-append leaves the log torn at an arbitrary byte
+  // inside the final frame.  Restore must keep every intact record and
+  // never crash, whatever the cut point.
+  const std::string path = ::testing::TempDir() + "/ptm_fuzz_restore_torn.bin";
+  std::vector<std::uint8_t> whole;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write("PTMRLOG1", 8);
+    write_frame(out, record_payload(1, 0));
+    write_frame(out, record_payload(1, 1));
+    write_frame(out, record_payload(2, 0));
+  }
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    whole.resize(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(whole.data()),
+            static_cast<std::streamsize>(whole.size()));
+  }
+  const std::size_t third_frame_start =
+      8 + 2 * (whole.size() - 8) / 3;  // frames are equal-sized here
+  for (std::size_t cut = third_frame_start; cut < whole.size(); ++cut) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(whole.data()),
+                static_cast<std::streamsize>(cut));
+    }
+    auto archive = RecordArchive::open(path, {});
+    ASSERT_TRUE(archive.has_value()) << "cut=" << cut;
+    // cut == whole.size() - n, n > 0: the third frame is torn; the two
+    // intact frames must survive.  (A cut landing exactly on a frame
+    // boundary keeps all three, but this loop never reaches it.)
+    EXPECT_EQ(archive->live_records(), 2u) << "cut=" << cut;
+
+    QueryService service;
+    service.attach_durability(*archive);
+    auto restored = service.restore_from_archive();
+    ASSERT_TRUE(restored.has_value()) << "cut=" << cut;
+    EXPECT_EQ(*restored, 2u);
+    EXPECT_TRUE(service.has_record(1, 0));
+    EXPECT_TRUE(service.has_record(1, 1));
+    // The torn record re-delivers idempotently after recovery.
+    auto rec = TrafficRecord::deserialize(record_payload(2, 0));
+    ASSERT_TRUE(rec.has_value());
+    EXPECT_TRUE(service.ingest(*rec).is_ok());
+  }
+  std::remove(path.c_str());
+  std::remove((path + ".compact").c_str());
+}
+
+TEST(Fuzz, ArchiveRestoreSkipsValidFrameWrappingInvalidRecord) {
+  // Adversarial/bit-rotted case: a frame whose CRC is *valid* but whose
+  // payload does not deserialize into a structurally valid TrafficRecord.
+  // The log reader treats it as an undecodable tail: records before it
+  // load, the bad frame (and anything after) is dropped, and the archive
+  // heals by compaction - restore never sees a corrupt record.
+  Xoshiro256 rng(14);
+  const std::string path = ::testing::TempDir() + "/ptm_fuzz_restore_bad.bin";
+  for (int i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> bad = record_payload(9, 9);
+    const std::size_t flips = 1 + rng.below(6);
+    for (std::size_t f = 0; f < flips; ++f) {
+      bad[rng.below(bad.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write("PTMRLOG1", 8);
+      write_frame(out, record_payload(1, 0));
+      write_frame(out, bad);  // valid CRC, possibly invalid body
+      write_frame(out, record_payload(2, 0));
+    }
+    auto archive = RecordArchive::open(path, {});
+    ASSERT_TRUE(archive.has_value()) << "iteration " << i;
+    QueryService service;
+    service.attach_durability(*archive);
+    auto restored = service.restore_from_archive();
+    ASSERT_TRUE(restored.has_value()) << "iteration " << i;
+    EXPECT_EQ(*restored, archive->live_records());
+    EXPECT_TRUE(service.has_record(1, 0));
+    // Every restored record is structurally valid, whatever the mutation
+    // did (if the flip happened to keep the record valid, all three load).
+    for (const TrafficRecord& rec : archive->live_contents()) {
+      EXPECT_TRUE(rec.validate().is_ok());
     }
   }
   std::remove(path.c_str());

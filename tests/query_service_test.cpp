@@ -419,5 +419,91 @@ TEST(QueryService, StressConcurrentIngestAndBatchedQueries) {
   EXPECT_GT(metrics.queries_total, 0u);
 }
 
+// Counter coherence under fire: batched queries (some pre-expired, through
+// an admission gate tight enough to shed) race a metrics() poller.  Every
+// snapshot - including mid-flight ones - must be internally coherent, and
+// the final snapshot must account for every response exactly once across
+// the ok / shed / deadline-exceeded counters.  Run under
+// -DPTM_SANITIZE=thread this covers the new overload counters too.
+TEST(QueryService, MetricsStayCoherentUnderConcurrentOverload) {
+  const auto workload = make_workload();
+  QueryServiceOptions options{.load_factor = 2.0, .s = 3, .n_shards = 4};
+  options.admission.max_in_flight = 2;
+  options.admission.max_queue = 1;
+  QueryService service(options);
+  for (const auto& location_records : workload) {
+    for (const TrafficRecord& rec : location_records) {
+      ASSERT_TRUE(service.ingest(rec).is_ok());
+    }
+  }
+
+  // Half the batch is healthy, half arrives already expired - so the run
+  // deterministically exercises the deadline path while the tight gate
+  // sheds opportunistically under the 8-way batch concurrency.
+  std::vector<QueryRequest> requests;
+  for (int rep = 0; rep < 16; ++rep) {
+    for (std::uint64_t loc = 1; loc <= kLocations; ++loc) {
+      PointVolumeQuery healthy{loc, 0};
+      requests.emplace_back(healthy);
+      PointVolumeQuery expired{loc, 1};
+      expired.deadline = Deadline::expired();
+      requests.emplace_back(expired);
+    }
+  }
+
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const auto snapshot = service.metrics();
+      // Mid-flight coherence: totals are sums of the shard counters, the
+      // in-flight gauge respects the bound, and nothing goes backwards.
+      std::uint64_t shard_shed = 0;
+      std::uint64_t shard_deadline = 0;
+      for (const ShardMetrics& shard : snapshot.shards) {
+        shard_shed += shard.shed;
+        shard_deadline += shard.deadline_exceeded;
+      }
+      EXPECT_EQ(shard_shed, snapshot.shed_total);
+      EXPECT_EQ(shard_deadline, snapshot.deadline_exceeded_total);
+      EXPECT_LE(snapshot.in_flight, 2u);
+      EXPECT_LE(snapshot.peak_in_flight, 2u);
+      EXPECT_GE(snapshot.queries_total, snapshot.queries_failed);
+    }
+  });
+  const auto responses = service.run_batch(requests, 8);
+  done.store(true, std::memory_order_release);
+  poller.join();
+
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deadline = 0;
+  for (const QueryResponse& response : responses) {
+    switch (response.status.code()) {
+      case ErrorCode::kOk:
+        ++ok;
+        break;
+      case ErrorCode::kResourceExhausted:
+        ++shed;
+        break;
+      case ErrorCode::kDeadlineExceeded:
+        ++deadline;
+        break;
+      default:
+        FAIL() << response.status.to_string();
+    }
+  }
+  EXPECT_EQ(ok + shed + deadline, requests.size());
+  EXPECT_GE(deadline, requests.size() / 2);  // every pre-expired request
+
+  const auto metrics = service.metrics();
+  EXPECT_EQ(metrics.queries_total, requests.size());
+  EXPECT_EQ(metrics.queries_failed, shed + deadline);
+  EXPECT_EQ(metrics.shed_total, shed);
+  EXPECT_EQ(metrics.deadline_exceeded_total, deadline);
+  EXPECT_EQ(metrics.latency.count, requests.size());
+  EXPECT_EQ(metrics.in_flight, 0u);
+  EXPECT_LE(metrics.peak_in_flight, 2u);
+}
+
 }  // namespace
 }  // namespace ptm

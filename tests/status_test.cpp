@@ -26,9 +26,16 @@ TEST(Status, CarriesCodeAndMessage) {
 }
 
 TEST(Status, EveryCodeHasAName) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kResourceExhausted); ++c) {
     EXPECT_FALSE(error_code_name(static_cast<ErrorCode>(c)).empty());
   }
+}
+
+TEST(Status, OverloadCodesHaveDistinctNames) {
+  EXPECT_EQ(error_code_name(ErrorCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(error_code_name(ErrorCode::kResourceExhausted),
+            "ResourceExhausted");
 }
 
 TEST(Result, HoldsValue) {
