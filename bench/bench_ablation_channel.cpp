@@ -42,7 +42,10 @@ int main() {
         if (dep.run_contact(v, rsu) == ContactOutcome::kEncoded) ++encoded;
       }
       if (!dep.upload_period(rsu).is_ok()) continue;  // upload lost: retry-less
-      const auto est = dep.server().query_point_volume(1, 0);
+      const auto est = dep.server()
+                           .queries()
+                           .run(QueryRequest{PointVolumeQuery{1, 0}})
+                           .as<CardinalityEstimate>();
       if (!est) continue;
       success_rate.add(static_cast<double>(encoded) / kVehicles);
       err_vs_all.add(relative_error(est->value, kVehicles));

@@ -18,6 +18,8 @@
 #include "core/point_persistent.hpp"
 #include "hash/hash_suite.hpp"
 #include "nodes/deployment.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
 #include "query/query_service.hpp"
 #include "store/archive.hpp"
 #include "traffic/workload.hpp"
@@ -318,6 +320,72 @@ void BM_QueryServiceIngest(benchmark::State& state) {
                           static_cast<std::int64_t>(uploads.size()));
 }
 BENCHMARK(BM_QueryServiceIngest);
+
+/// One registry instrument update - the unit cost every counter/gauge/
+/// histogram call site pays on the hot path.  Arg selects the instrument:
+/// 0 counter add, 1 gauge add/sub pair, 2 histogram record.
+void BM_TelemetryRecord(benchmark::State& state) {
+  TelemetryRegistry registry;
+  Counter& counter = registry.counter("bench_counter", {{"shard", "0"}});
+  Gauge& gauge = registry.gauge("bench_gauge");
+  LatencyRecorder& latency = registry.histogram("bench_latency_ns");
+  const int kind = static_cast<int>(state.range(0));
+  std::uint64_t v = 1;
+  for (auto _ : state) {
+    switch (kind) {
+      case 0:
+        counter.add();
+        break;
+      case 1:
+        benchmark::DoNotOptimize(gauge.add());
+        gauge.sub();
+        break;
+      default:
+        latency.record(v);
+        v = (v * 2862933555777941757ULL) + 3037000493ULL;  // vary the bucket
+        break;
+    }
+  }
+  state.SetLabel(kind == 0 ? "counter" : kind == 1 ? "gauge" : "histogram");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TelemetryRecord)->Arg(0)->Arg(1)->Arg(2);
+
+/// BM_QueryServiceIngest's workload with an active TraceContext on every
+/// record (Arg(1)) vs untraced (Arg(0)).  The traced row pays span
+/// recording on ingest; the untraced row must stay within noise of
+/// BM_QueryServiceIngest itself - the "tracing compiled in unconditionally
+/// costs nothing when off" contract, and the traced delta is the price of
+/// a full per-record audit trail (< 5% is the bar).
+void BM_TracedIngest(benchmark::State& state) {
+  const bool traced = state.range(0) != 0;
+  Xoshiro256 rng(11);
+  const EncodingParams encoding;
+  const auto fleet = make_vehicles(200, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(1, 4000);
+  std::vector<TrafficRecord> uploads;
+  std::vector<TraceContext> traces;
+  for (std::size_t i = 0; i < 512; ++i) {
+    const auto bitmaps = generate_point_records(
+        volumes, fleet, (i % 64) + 1, 2.0, encoding, rng);
+    uploads.push_back(TrafficRecord{(i % 64) + 1, i / 64, bitmaps[0]});
+    traces.push_back(traced ? TraceContext::for_record((i % 64) + 1, i / 64)
+                            : TraceContext{});
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    QueryService service(
+        QueryServiceOptions{.load_factor = 2.0, .s = 3, .n_shards = 32});
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < uploads.size(); ++i) {
+      benchmark::DoNotOptimize(service.ingest(uploads[i], traces[i]));
+    }
+  }
+  state.SetLabel(traced ? "traced" : "untraced");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(uploads.size()));
+}
+BENCHMARK(BM_TracedIngest)->Arg(0)->Arg(1);
 
 /// Same ingest workload with the write-ahead archive attached (Arg(1)) vs
 /// volatile (Arg(0)) - the price of durability-before-ack per record.

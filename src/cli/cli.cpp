@@ -8,6 +8,8 @@
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "core/bootstrap.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "core/corridor_persistent.hpp"
 #include "core/kway_persistent.hpp"
 #include "core/linear_counting.hpp"
@@ -419,6 +421,31 @@ Status cmd_recover(const Config& flags, std::ostream& out) {
   return Status::ok();
 }
 
+/// The probe batch `stats` and `metrics` run so the latency histogram and
+/// the per-shard query counters have something to show: one point-volume
+/// query per record, plus a rolling persistent query per location that
+/// holds at least two periods.  Returns {ok, total} probe counts.
+Result<std::pair<std::size_t, std::size_t>> run_probe_queries(
+    QueryService& service, const std::string& log_path) {
+  std::vector<QueryRequest> requests;
+  std::map<std::uint64_t, std::vector<std::uint64_t>> by_location;
+  auto contents = read_record_log(log_path);
+  if (!contents) return contents.status();
+  for (const TrafficRecord& rec : contents->records) {
+    requests.emplace_back(PointVolumeQuery{rec.location, rec.period});
+    by_location[rec.location].push_back(rec.period);
+  }
+  for (const auto& [location, periods] : by_location) {
+    if (periods.size() >= 2) {
+      requests.emplace_back(RecentPersistentQuery{location, 2});
+    }
+  }
+  const auto responses = service.run_batch(requests);
+  std::size_t ok = 0;
+  for (const QueryResponse& resp : responses) ok += resp.ok() ? 1 : 0;
+  return std::make_pair(ok, responses.size());
+}
+
 Status cmd_stats(const Config& flags, std::ostream& out) {
   auto log_path = flags.get_string("log");
   if (!log_path) return log_path.status();
@@ -436,30 +463,130 @@ Status cmd_stats(const Config& flags, std::ostream& out) {
   QueryService service(service_options);
   if (Status st = load_service(*log_path, service); !st.is_ok()) return st;
 
-  // Exercise the batched query path once so the latency histogram and the
-  // per-shard query counters have something to show: one point-volume
-  // query per record, plus a rolling persistent query per location that
-  // holds at least two periods.
-  std::vector<QueryRequest> requests;
-  std::map<std::uint64_t, std::vector<std::uint64_t>> by_location;
-  auto contents = read_record_log(*log_path);
-  if (!contents) return contents.status();
-  for (const TrafficRecord& rec : contents->records) {
-    requests.emplace_back(PointVolumeQuery{rec.location, rec.period});
-    by_location[rec.location].push_back(rec.period);
-  }
-  for (const auto& [location, periods] : by_location) {
-    if (periods.size() >= 2) {
-      requests.emplace_back(RecentPersistentQuery{location, 2});
-    }
-  }
-  const auto responses = service.run_batch(requests);
-  std::size_t ok = 0;
-  for (const QueryResponse& resp : responses) ok += resp.ok() ? 1 : 0;
+  auto probed = run_probe_queries(service, *log_path);
+  if (!probed) return probed.status();
 
-  out << "query service stats for " << *log_path << " (" << ok << "/"
-      << responses.size() << " probe queries ok)\n"
+  out << "query service stats for " << *log_path << " (" << probed->first
+      << "/" << probed->second << " probe queries ok)\n"
       << service.metrics().to_string();
+  return Status::ok();
+}
+
+Status cmd_metrics(const Config& flags, std::ostream& out) {
+  auto log_path = flags.get_string("log");
+  if (!log_path) return log_path.status();
+  auto shards = flags.get_u64_or("shards", 16);
+  if (!shards) return shards.status();
+  auto s = flags.get_u64_or("s", 3);
+  if (!s) return s.status();
+  auto format = flags.get_string_or("format", "prometheus");
+  if (!format) return format.status();
+  if (*shards < 1) {
+    return {ErrorCode::kInvalidArgument, "metrics: need shards >= 1"};
+  }
+  if (*format != "prometheus" && *format != "json" && *format != "text") {
+    return {ErrorCode::kInvalidArgument,
+            "metrics: --format must be prometheus, json, or text"};
+  }
+
+  QueryServiceOptions service_options;
+  service_options.s = static_cast<std::size_t>(*s);
+  service_options.n_shards = static_cast<std::size_t>(*shards);
+  QueryService service(service_options);
+  if (Status st = load_service(*log_path, service); !st.is_ok()) return st;
+  if (auto probed = run_probe_queries(service, *log_path); !probed) {
+    return probed.status();
+  }
+
+  // One snapshot feeds whichever exporter was asked for, so the three
+  // formats always describe the same instant.
+  const TelemetrySnapshot snapshot = service.telemetry().snapshot();
+  if (*format == "prometheus") {
+    out << to_prometheus(snapshot);
+  } else if (*format == "json") {
+    out << to_json(snapshot) << "\n";
+  } else {
+    out << service.metrics().to_string();
+  }
+  return Status::ok();
+}
+
+/// Formats a trace/span id the way the span dump does: 16 hex digits.
+std::string format_id(std::uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+Status cmd_trace(const Config& flags, std::ostream& out) {
+  auto dump_path = flags.get_string("spans");
+  if (!dump_path) return dump_path.status();
+  auto spans = load_span_dump(*dump_path);
+  if (!spans) return spans.status();
+
+  auto id_raw = flags.get_string_or("id", "");
+  if (!id_raw) return id_raw.status();
+  if (id_raw->empty()) {
+    // No id: list every trace in the dump, oldest first span wins the row
+    // order.  Untraced spans (trace_id 0) are summarized as one line.
+    std::vector<std::uint64_t> order;
+    std::map<std::uint64_t, std::pair<std::size_t, std::size_t>> stats;
+    for (const Span& span : *spans) {
+      auto [it, inserted] = stats.try_emplace(span.trace_id,
+                                              std::pair<std::size_t,
+                                                        std::size_t>{0, 0});
+      if (inserted) order.push_back(span.trace_id);
+      ++it->second.first;
+      if (!span.ok) ++it->second.second;
+    }
+    TableWriter table({"trace", "spans", "failed"});
+    for (std::uint64_t trace_id : order) {
+      const auto& [count, failed] = stats.at(trace_id);
+      table.add_row({trace_id == 0 ? "(untraced)" : format_id(trace_id),
+                     TableWriter::fmt(std::uint64_t{count}),
+                     TableWriter::fmt(std::uint64_t{failed})});
+    }
+    out << spans->size() << " spans in " << *dump_path << "\n";
+    table.print(out);
+    return Status::ok();
+  }
+
+  char* end = nullptr;
+  const unsigned long long trace_id = std::strtoull(id_raw->c_str(), &end,
+                                                    16);
+  if (end == id_raw->c_str() || *end != '\0') {
+    return {ErrorCode::kInvalidArgument,
+            "trace: --id must be a hex trace id: " + *id_raw};
+  }
+
+  // The per-trace timeline, in logical-clock order (ties keep dump order,
+  // which is per-node recording order).
+  std::vector<const Span*> timeline;
+  for (const Span& span : *spans) {
+    if (span.trace_id == trace_id) timeline.push_back(&span);
+  }
+  if (timeline.empty()) {
+    return {ErrorCode::kNotFound,
+            "trace: no spans for trace " + *id_raw + " in " + *dump_path};
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const Span* a, const Span* b) {
+                     return a->start_step < b->start_step;
+                   });
+  out << "trace " << format_id(trace_id) << ": " << timeline.size()
+      << " spans\n";
+  TableWriter table({"step", "node", "span", "id", "parent", "ns", "ok"});
+  for (const Span* span : timeline) {
+    table.add_row({TableWriter::fmt(std::uint64_t{span->start_step}),
+                   span->node, span->name, format_id(span->span_id),
+                   span->parent_span_id == 0
+                       ? "-"
+                       : format_id(span->parent_span_id),
+                   TableWriter::fmt(std::uint64_t{span->duration_ns}),
+                   span->ok ? "yes" : "NO"});
+  }
+  table.print(out);
   return Status::ok();
 }
 
@@ -518,6 +645,13 @@ commands:
   privacy     Eq. 22-24 analysis          [--n N] [--f X] [--s N]
   stats       query-service snapshot      --log FILE [--shards N] [--s N]
                                           (sharded store + latency metrics)
+  metrics     telemetry exposition        --log FILE [--format prometheus|
+                                          json|text] [--shards N] [--s N]
+                                          (probe queries, then export the
+                                           telemetry registry snapshot)
+  trace       span-dump post-mortem       --spans FILE [--id HEX]
+                                          (list traces, or one trace's
+                                           hop-by-hop timeline)
   recover     crash-recovery dry run      --log FILE [--shards N]
                                           (open archive, rebuild the store,
                                            print per-location counts)
@@ -543,6 +677,8 @@ Status run_cli(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "compact") return cmd_compact(*flags, out);
   if (command == "privacy") return cmd_privacy(*flags, out);
   if (command == "stats") return cmd_stats(*flags, out);
+  if (command == "metrics") return cmd_metrics(*flags, out);
+  if (command == "trace") return cmd_trace(*flags, out);
   if (command == "recover") return cmd_recover(*flags, out);
   return {ErrorCode::kInvalidArgument,
           "unknown command: " + command + " (try `ptmctl help`)"};

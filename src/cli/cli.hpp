@@ -8,6 +8,8 @@
 //   persistent - point persistent estimate over a location's records
 //   p2p        - point-to-point persistent estimate between two locations
 //   privacy    - print the Eq. 22-24 analysis for given (n', f, s)
+//   metrics    - telemetry registry exposition (prometheus / json / text)
+//   trace      - post-mortem over a span dump (list or per-trace timeline)
 //
 // Flags are `--key value` pairs after the subcommand; `--config file`
 // preloads keys from a key=value file, with explicit flags overriding.

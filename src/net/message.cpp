@@ -130,6 +130,8 @@ std::vector<std::uint8_t> encode_frame(const Frame& frame) {
   w.u8(static_cast<std::uint8_t>(frame.type()));
   w.u64(frame.src.value);
   w.u64(frame.dst.value);
+  w.u64(frame.trace.trace_id);
+  w.u64(frame.trace.span_id);
   ByteWriter body;
   encode_body(frame.body, body);
   w.bytes(body.buffer());
@@ -150,6 +152,12 @@ Result<Frame> decode_frame(std::span<const std::uint8_t> bytes) {
   auto dst = r.u64();
   if (!dst) return dst.status();
   frame.dst.value = *dst;
+  auto trace_id = r.u64();
+  if (!trace_id) return trace_id.status();
+  frame.trace.trace_id = *trace_id;
+  auto span_id = r.u64();
+  if (!span_id) return span_id.status();
+  frame.trace.span_id = *span_id;
   auto payload = r.bytes();
   if (!payload) return payload.status();
   if (!r.exhausted()) {

@@ -14,10 +14,16 @@
 //   Srv  --UploadAck-->     (location, period) accepted; the RSU may drop
 //                           the record from its retransmission outbox
 //
-// Messages are framed with a type byte, source/destination MACs, and a
-// length-prefixed payload.  Codecs are bounds-checked (ParseError on any
-// malformed input) because frames cross the simulated trust boundary and the
-// channel can corrupt them.
+// Messages are framed with a type byte, source/destination MACs, the
+// pipeline trace context (trace id + sender span id, see obs/trace.hpp and
+// docs/observability.md - zeros when untraced), and a length-prefixed
+// payload.  Codecs are bounds-checked (ParseError on any malformed input)
+// because frames cross the simulated trust boundary and the channel can
+// corrupt them.
+//
+// Privacy note: the trace context carries no vehicle-linked state - record
+// traces are a pure hash of (location, period), both of which already
+// travel in the clear on RecordUpload/UploadAck.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +35,7 @@
 #include "core/traffic_record.hpp"
 #include "crypto/certificate.hpp"
 #include "net/mac.hpp"
+#include "obs/trace.hpp"
 
 namespace ptm {
 
@@ -89,11 +96,15 @@ using MessageBody = std::variant<Beacon, AuthRequest, AuthResponse,
                                  EncodeIndex, EncodeAck, RecordUpload,
                                  UploadAck>;
 
-/// A link-layer frame: addressing plus one message.
+/// A link-layer frame: addressing, trace context, plus one message.
+/// (`trace` is declared last so the common `Frame{src, dst, body}`
+/// aggregate initialization keeps working; on the wire it sits between
+/// the addresses and the payload.)
 struct Frame {
   MacAddress src;
   MacAddress dst;
   MessageBody body;
+  TraceContext trace;  ///< pipeline trace envelope (zeros = untraced)
 
   [[nodiscard]] MessageType type() const noexcept;
 };

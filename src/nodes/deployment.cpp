@@ -69,6 +69,10 @@ void Deployment::advance_time(std::uint64_t dt) {
 }
 
 Result<Frame> Deployment::transit(const Frame& frame) {
+  // Only traced frames earn a channel-leg span; untraced handshake legs
+  // stay span-free so contact-heavy runs do not flood the ring.
+  ScopedTimer leg_span(frame.trace.active() ? &spans_ : nullptr,
+                       "channel-leg", frame.trace, now_);
   const auto wire = encode_frame(frame);
   const auto deliveries = channel_.transmit(wire);
   for (const auto& bytes : deliveries) {
@@ -77,6 +81,7 @@ Result<Frame> Deployment::transit(const Frame& frame) {
     // means the first good copy wins.
     if (decoded) return decoded;
   }
+  leg_span.set_ok(false);
   return Status{ErrorCode::kChannelError, "frame lost or corrupted"};
 }
 
@@ -127,9 +132,12 @@ ContactOutcome Deployment::run_contact(Vehicle& vehicle, Rsu& rsu) {
     return ContactOutcome::kAuthLost;
   }
 
-  // Leg 4: vehicle transmits h_v.
+  // Leg 4: vehicle transmits h_v.  This leg joins the record's pipeline
+  // trace (the index lands in this (location, period) record), so its
+  // channel transit shows up in the record's post-mortem timeline.
   auto encode = vehicle.handle_auth_response(*resp_body);
   if (!encode) return ContactOutcome::kAuthRejected;
+  encode->trace = rsu.record_trace();
   auto encode_rx = transit_leg(*encode);
   if (!encode_rx) return ContactOutcome::kAuthLost;
   auto ack = rsu.handle_frame(*encode_rx);
@@ -145,10 +153,17 @@ void Deployment::attempt_delivery(Rsu& rsu, std::uint64_t period,
   if (entry == nullptr) return;
   ++result.attempted;
 
+  // One span per delivery attempt, parented on the stage-upload span the
+  // outbox persisted with the entry; the upload frame carries this span's
+  // context so the server's ingest span chains onto it.
+  ScopedTimer retry_span(entry->trace.active() ? &spans_ : nullptr,
+                         "outbox-retry", entry->trace, now_);
+
   Frame upload;
   upload.src = MacAddress{rsu.location()};
   upload.dst = broadcast_mac();  // "uplink" to the central server
   upload.body = RecordUpload{entry->record};
+  upload.trace = retry_span.context();
 
   // The backhaul: either leg can be lost; a server outage swallows the
   // upload the same way a lost frame would.
@@ -158,6 +173,7 @@ void Deployment::attempt_delivery(Rsu& rsu, std::uint64_t period,
                                  "server unreachable"}}
           : transit(upload);
   if (!upload_rx) {
+    retry_span.set_ok(false);
     UploadOutbox::schedule_retry(*entry, now_, config_.backoff_base,
                                  config_.backoff_cap, rng_);
     return;
@@ -165,6 +181,7 @@ void Deployment::attempt_delivery(Rsu& rsu, std::uint64_t period,
 
   auto ack = server_.ingest_frame_acked(*upload_rx);
   if (!ack) {
+    retry_span.set_ok(false);
     // The server refused the record (conflicting bytes, malformed).
     // Retransmission can never fix that: drop the entry so the outbox
     // drains instead of grinding on a poisoned head.
@@ -180,6 +197,7 @@ void Deployment::attempt_delivery(Rsu& rsu, std::uint64_t period,
   if (ack_body == nullptr) {
     // The server HAS the record but the RSU does not know: keep the entry
     // and retry later.  The re-delivery is idempotent and re-acks.
+    retry_span.set_ok(false);
     entry = rsu.outbox().find(rsu.location(), period);
     if (entry != nullptr) {
       UploadOutbox::schedule_retry(*entry, now_, config_.backoff_base,
@@ -205,6 +223,14 @@ PumpResult Deployment::pump_outbox(Rsu& rsu) {
     attempt_delivery(rsu, period, result);
   }
   return result;
+}
+
+Status Deployment::write_span_dump(const std::string& path) const {
+  std::vector<const SpanRecorder*> recorders;
+  recorders.push_back(&spans_);
+  for (const auto& rsu : rsus_) recorders.push_back(&rsu->spans());
+  recorders.push_back(&server_.queries().spans());
+  return ptm::write_span_dump(path, recorders);
 }
 
 Status Deployment::upload_period(Rsu& rsu) {

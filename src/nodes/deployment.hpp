@@ -11,6 +11,12 @@
 // windows, RSU crash triggers), and the at-least-once upload pipeline -
 // period records flow through each RSU's outbox and are retransmitted with
 // exponential backoff + jitter until the server's UploadAck clears them.
+//
+// Observability: the deployment keeps its own SpanRecorder ("deployment")
+// for the hops it owns - channel legs of traced frames and outbox retry
+// attempts - and `write_span_dump` gathers those plus every RSU's and the
+// query service's recorders into one post-mortem file (see
+// docs/observability.md).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,7 @@
 #include "net/channel.hpp"
 #include "net/fault_plan.hpp"
 #include "nodes/rsu.hpp"
+#include "obs/trace.hpp"
 #include "nodes/server.hpp"
 #include "nodes/vehicle.hpp"
 
@@ -123,6 +130,16 @@ class Deployment {
     return server_;
   }
   [[nodiscard]] SimulatedChannel& channel() noexcept { return channel_; }
+
+  /// The deployment's own span buffer ("deployment": channel-leg and
+  /// outbox-retry spans for traced frames).
+  [[nodiscard]] SpanRecorder& spans() noexcept { return spans_; }
+  [[nodiscard]] const SpanRecorder& spans() const noexcept { return spans_; }
+
+  /// Dumps every recorder in the deployment - this one, each RSU's, and
+  /// the query service's - to `path` as JSON lines for `ptmctl trace`.
+  [[nodiscard]] Status write_span_dump(const std::string& path) const;
+
   [[nodiscard]] const CertificateAuthority& ca() const noexcept {
     return *ca_;
   }
@@ -144,6 +161,7 @@ class Deployment {
   CentralServer server_;
   FaultPlan plan_;
   std::uint64_t now_ = 0;
+  SpanRecorder spans_{"deployment"};
 };
 
 }  // namespace ptm

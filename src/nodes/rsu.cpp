@@ -10,6 +10,7 @@ Rsu::Rsu(std::uint64_t location, RsaKeyPair keys, Certificate certificate,
          std::size_t initial_bitmap_size, std::uint64_t first_period)
     : location_(location),
       period_(first_period),
+      spans_("rsu:" + std::to_string(location)),
       keys_(std::move(keys)),
       certificate_(std::move(certificate)),
       outbox_(UploadOutbox::kDefaultCapacity) {
@@ -45,7 +46,12 @@ Result<Frame> Rsu::handle_frame(const Frame& frame) {
     return resp;
   }
   if (const auto* enc = std::get_if<EncodeIndex>(&frame.body)) {
+    // The encode belongs to the *record's* trace (not the contact's):
+    // every hop of this (location, period) record shares one trace id, so
+    // a post-mortem can follow it from this bit-set to the archive append.
+    ScopedTimer encode_span(&spans_, "encode", record_trace());
     if (enc->index >= record_.bits.size()) {
+      encode_span.set_ok(false);
       return Status{ErrorCode::kInvalidArgument,
                     "encode index out of bitmap range"};
     }
@@ -114,11 +120,17 @@ Status Rsu::restore_from_journal() {
     // here on is replayable.
     return journal_->begin_period(location_, period_, record_.bits.size());
   }
+  // A replay is the crash-recovery hop of the replayed record's trace.
+  ScopedTimer replay_span(
+      &spans_, "journal-replay",
+      TraceContext::for_record(location_, replayed->period));
   if (replayed->location != location_) {
+    replay_span.set_ok(false);
     return {ErrorCode::kFailedPrecondition,
             "journal belongs to a different RSU location"};
   }
   if (!is_power_of_two(replayed->bitmap_size) || replayed->bitmap_size < 2) {
+    replay_span.set_ok(false);
     return {ErrorCode::kParseError,
             "journal period-start carries an invalid bitmap size"};
   }
@@ -149,7 +161,12 @@ Status Rsu::restore_from_journal() {
 }
 
 Status Rsu::stage_upload() {
-  return outbox_.push(record_);
+  ScopedTimer span(&spans_, "stage-upload", record_trace());
+  // The outbox entry inherits this span's context, so the retry spans of a
+  // later pump (and the server's ingest span) chain back to it.
+  Status s = outbox_.push(record_, span.context());
+  span.set_ok(s.is_ok());
+  return s;
 }
 
 Status Rsu::handle_upload_ack(const UploadAck& ack) {

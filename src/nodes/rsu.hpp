@@ -22,6 +22,7 @@
 #include "core/traffic_record.hpp"
 #include "crypto/certificate.hpp"
 #include "net/message.hpp"
+#include "obs/trace.hpp"
 #include "store/journal.hpp"
 #include "store/outbox.hpp"
 
@@ -106,6 +107,19 @@ class Rsu {
     return encodes_this_period_;
   }
 
+  /// The pipeline TraceContext of the in-progress record: every encode,
+  /// stage-upload, retry, and ingest of this (location, period) shares it.
+  [[nodiscard]] TraceContext record_trace() const noexcept {
+    return TraceContext::for_record(location_, period_);
+  }
+
+  /// This RSU's span buffer ("rsu:<location>": encode, stage-upload,
+  /// journal-replay spans).  The recorder models an external monitoring
+  /// agent, so it survives crash_and_restart - the post-mortem of a crash
+  /// needs exactly the spans recorded before it.
+  [[nodiscard]] SpanRecorder& spans() noexcept { return spans_; }
+  [[nodiscard]] const SpanRecorder& spans() const noexcept { return spans_; }
+
  private:
   /// Adopts the journal's replayed period (or journals the current state
   /// when the journal is fresh).  Requires journal_ and outbox_ loaded.
@@ -113,6 +127,7 @@ class Rsu {
 
   std::uint64_t location_;
   std::uint64_t period_;
+  SpanRecorder spans_;
   RsaKeyPair keys_;
   Certificate certificate_;
   TrafficRecord record_;

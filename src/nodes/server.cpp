@@ -2,12 +2,6 @@
 
 namespace ptm {
 
-// The deprecated wrappers below intentionally call each other's underlying
-// machinery; silence the self-referential deprecation warnings for their
-// definitions only.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 Status CentralServer::attach_durability(std::string path,
                                         ArchiveOptions options) {
   auto archive = RecordArchive::open(std::move(path), options);
@@ -40,7 +34,7 @@ Status CentralServer::ingest_frame(const Frame& frame) {
     return {ErrorCode::kInvalidArgument,
             "server ingest expects a RecordUpload frame"};
   }
-  return service_.ingest(upload->record);
+  return service_.ingest(upload->record, frame.trace);
 }
 
 Result<Frame> CentralServer::ingest_frame_acked(const Frame& frame) {
@@ -49,46 +43,17 @@ Result<Frame> CentralServer::ingest_frame_acked(const Frame& frame) {
     return Status{ErrorCode::kInvalidArgument,
                   "server ingest expects a RecordUpload frame"};
   }
-  if (Status s = service_.ingest(upload->record); !s.is_ok()) return s;
+  if (Status s = service_.ingest(upload->record, frame.trace); !s.is_ok()) {
+    return s;
+  }
   Frame ack;
   ack.src = frame.dst;   // reply from the uplink address the RSU used
   ack.dst = frame.src;   // back to the RSU's fixed MAC
   ack.body = UploadAck{upload->record.location, upload->record.period};
+  // The ack carries the upload's trace back, so the RSU-side outbox drop
+  // is attributable to the same pipeline trace as the ingest.
+  ack.trace = frame.trace;
   return ack;
 }
-
-Result<CardinalityEstimate> CentralServer::query_point_volume(
-    std::uint64_t location, std::uint64_t period) const {
-  return service_.run(QueryRequest{PointVolumeQuery{location, period}})
-      .as<CardinalityEstimate>();
-}
-
-Result<PointPersistentEstimate> CentralServer::query_point_persistent(
-    std::uint64_t location, std::span<const std::uint64_t> periods) const {
-  PointPersistentQuery query;
-  query.location = location;
-  query.periods.assign(periods.begin(), periods.end());
-  return service_.run(QueryRequest{std::move(query)})
-      .as<PointPersistentEstimate>();
-}
-
-Result<PointPersistentEstimate> CentralServer::query_point_persistent_recent(
-    std::uint64_t location, std::size_t window) const {
-  return service_.run(QueryRequest{RecentPersistentQuery{location, window}})
-      .as<PointPersistentEstimate>();
-}
-
-Result<PointToPointPersistentEstimate> CentralServer::query_p2p_persistent(
-    std::uint64_t location_a, std::uint64_t location_b,
-    std::span<const std::uint64_t> periods) const {
-  P2PPersistentQuery query;
-  query.location_a = location_a;
-  query.location_b = location_b;
-  query.periods.assign(periods.begin(), periods.end());
-  return service_.run(QueryRequest{std::move(query)})
-      .as<PointToPointPersistentEstimate>();
-}
-
-#pragma GCC diagnostic pop
 
 }  // namespace ptm

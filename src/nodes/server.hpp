@@ -2,26 +2,20 @@
 //
 // The server collects every RSU's per-period traffic record, maintains the
 // historical volume averages that drive bitmap sizing (Eq. 2), and answers
-// the paper's query types.  Since the ptm_query subsystem landed, all
-// storage and query execution lives in the sharded, thread-safe
-// QueryService (query/query_service.hpp); CentralServer is the V2I-facing
-// shell that adds frame handling and keeps the original typed query
-// methods alive as thin wrappers.  New code should build a QueryRequest
-// and call `queries().run(...)` (or `run_batch`) directly.
+// the paper's query types.  All storage and query execution lives in the
+// sharded, thread-safe QueryService (query/query_service.hpp);
+// CentralServer is the V2I-facing shell that adds frame handling.  Build a
+// QueryRequest and call `queries().run(...)` (or `run_batch`) to query.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <span>
 #include <string>
-#include <vector>
 
 #include "common/status.hpp"
-#include "core/linear_counting.hpp"
-#include "core/p2p_persistent.hpp"
-#include "core/point_persistent.hpp"
 #include "core/traffic_record.hpp"
 #include "net/message.hpp"
+#include "obs/trace.hpp"
 #include "query/query_service.hpp"
 #include "store/archive.hpp"
 
@@ -55,8 +49,11 @@ class CentralServer {
   /// Ingests an uploaded record.  Rejects duplicates for the same
   /// (location, period) and structurally invalid records.  On success the
   /// record's estimated point volume updates the location's historical
-  /// average used for future planning.  Thread-safe.
-  Status ingest(const TrafficRecord& record) { return service_.ingest(record); }
+  /// average used for future planning.  Thread-safe.  `trace` (when
+  /// active) attributes the ingest span to the record's pipeline trace.
+  Status ingest(const TrafficRecord& record, const TraceContext& trace = {}) {
+    return service_.ingest(record, trace);
+  }
 
   /// Opens (or creates) the record archive at `path` and attaches it as
   /// the service's write-ahead store: from here on, every first-accept
@@ -77,7 +74,8 @@ class CentralServer {
   /// pre-durability behavior callers opt out of by never attaching.
   [[nodiscard]] Result<std::size_t> crash_and_restart();
 
-  /// Convenience: accepts a RecordUpload frame (the RSU uplink).
+  /// Convenience: accepts a RecordUpload frame (the RSU uplink).  The
+  /// frame's trace envelope carries into the service's ingest span.
   Status ingest_frame(const Frame& frame);
 
   /// Acked ingest: accepts a RecordUpload frame and, on success (including
@@ -101,44 +99,6 @@ class CentralServer {
                                       double default_volume = 1024.0) const {
     return service_.plan_size(location, default_volume);
   }
-
-  // -- Deprecated typed query wrappers ------------------------------------
-  //
-  // Each wrapper builds the corresponding QueryRequest and delegates to
-  // QueryService::run, so there is exactly one query execution path.  They
-  // remain for source compatibility with pre-ptm_query callers and will be
-  // removed once nothing links against them.
-
-  /// Point traffic volume for one (location, period) - Eq. 3 exact form.
-  /// \deprecated Use queries().run(PointVolumeQuery{...}) instead.
-  [[deprecated("build a PointVolumeQuery and call queries().run()")]]
-  [[nodiscard]] Result<CardinalityEstimate> query_point_volume(
-      std::uint64_t location, std::uint64_t period) const;
-
-  /// Point persistent traffic over the given periods at one location
-  /// (Eq. 12).  NotFound if any record is missing.
-  /// \deprecated Use queries().run(PointPersistentQuery{...}) instead.
-  [[deprecated("build a PointPersistentQuery and call queries().run()")]]
-  [[nodiscard]] Result<PointPersistentEstimate> query_point_persistent(
-      std::uint64_t location, std::span<const std::uint64_t> periods) const;
-
-  /// Rolling form: point persistent traffic over the `window` most recent
-  /// periods stored for the location ("the last 7 days", re-askable after
-  /// every upload).  InvalidArgument when window == 0; NotFound when fewer
-  /// than `window` records exist.
-  /// \deprecated Use queries().run(RecentPersistentQuery{...}) instead.
-  [[deprecated("build a RecentPersistentQuery and call queries().run()")]]
-  [[nodiscard]] Result<PointPersistentEstimate>
-  query_point_persistent_recent(std::uint64_t location,
-                                std::size_t window) const;
-
-  /// Point-to-point persistent traffic between two locations over the given
-  /// periods (Eq. 21).  NotFound if any record is missing.
-  /// \deprecated Use queries().run(P2PPersistentQuery{...}) instead.
-  [[deprecated("build a P2PPersistentQuery and call queries().run()")]]
-  [[nodiscard]] Result<PointToPointPersistentEstimate>
-  query_p2p_persistent(std::uint64_t location_a, std::uint64_t location_b,
-                       std::span<const std::uint64_t> periods) const;
 
  private:
   QueryService service_;

@@ -1,0 +1,218 @@
+#include "obs/export.hpp"
+
+#include <sstream>
+
+namespace ptm {
+namespace {
+
+/// Prometheus metric/label names: [a-zA-Z_][a-zA-Z0-9_]*.  Registered
+/// names already follow the scheme; this is a seatbelt for ad-hoc ones.
+std::string sanitize_name(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || (i > 0 && c >= '0' && c <= '9');
+    if (!ok) out[i] = '_';
+  }
+  return out;
+}
+
+void append_label_value(const std::string& v, std::ostream& out) {
+  out << '"';
+  for (const char c : v) {
+    switch (c) {
+      case '\\':
+        out << "\\\\";
+        break;
+      case '"':
+        out << "\\\"";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      default:
+        out << c;
+    }
+  }
+  out << '"';
+}
+
+/// `{shard="3",node="rsu"}` - empty string when there are no labels and no
+/// extra label is requested.
+void append_label_set(const TelemetryLabels& labels, std::ostream& out) {
+  if (labels.empty()) return;
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << sanitize_name(key) << '=';
+    append_label_value(value, out);
+  }
+  out << '}';
+}
+
+/// Same as append_label_set but with one extra label appended (used for
+/// the histogram `le` bound).
+void append_label_set_with(const TelemetryLabels& labels,
+                           const std::string& extra_key,
+                           const std::string& extra_value, std::ostream& out) {
+  out << '{';
+  for (const auto& [key, value] : labels) {
+    out << sanitize_name(key) << '=';
+    append_label_value(value, out);
+    out << ',';
+  }
+  out << extra_key << '=';
+  append_label_value(extra_value, out);
+  out << '}';
+}
+
+const char* kind_name(InstrumentKind kind) {
+  switch (kind) {
+    case InstrumentKind::kCounter:
+      return "counter";
+    case InstrumentKind::kGauge:
+      return "gauge";
+    case InstrumentKind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+std::size_t last_nonzero_bucket(const LatencyHistogramSnapshot& hist) {
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < LatencyHistogramSnapshot::kBuckets; ++b) {
+    if (hist.buckets[b] != 0) last = b;
+  }
+  return last;
+}
+
+void append_json_labels(const TelemetryLabels& labels, std::ostream& out) {
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << key << "\":\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') out << '\\';
+      out << c;
+    }
+    out << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string to_prometheus(const TelemetrySnapshot& snapshot) {
+  std::ostringstream out;
+  std::string last_family;  // name + kind of the last TYPE comment emitted
+  for (const InstrumentSnapshot& inst : snapshot.instruments) {
+    const std::string name = sanitize_name(inst.name);
+    const std::string family = name + '\0' + kind_name(inst.kind);
+    if (family != last_family) {
+      out << "# TYPE " << name << ' ' << kind_name(inst.kind) << '\n';
+      last_family = family;
+    }
+    switch (inst.kind) {
+      case InstrumentKind::kCounter:
+        out << name;
+        append_label_set(inst.labels, out);
+        out << ' ' << inst.counter_value << '\n';
+        break;
+      case InstrumentKind::kGauge:
+        out << name;
+        append_label_set(inst.labels, out);
+        out << ' ' << inst.gauge_value << '\n';
+        break;
+      case InstrumentKind::kHistogram: {
+        const LatencyHistogramSnapshot& hist = inst.histogram;
+        const std::size_t last = last_nonzero_bucket(hist);
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b <= last; ++b) {
+          cumulative += hist.buckets[b];
+          out << name << "_bucket";
+          // Bucket b covers [2^b, 2^(b+1)); its inclusive upper edge is
+          // 2^(b+1)-1 ns.
+          append_label_set_with(inst.labels, "le",
+                                std::to_string((1ULL << (b + 1)) - 1), out);
+          out << ' ' << cumulative << '\n';
+        }
+        std::uint64_t total = cumulative;
+        for (std::size_t b = last + 1; b < LatencyHistogramSnapshot::kBuckets;
+             ++b) {
+          total += hist.buckets[b];
+        }
+        out << name << "_bucket";
+        append_label_set_with(inst.labels, "le", "+Inf", out);
+        out << ' ' << total << '\n';
+        out << name << "_sum";
+        append_label_set(inst.labels, out);
+        out << ' ' << hist.sum_ns << '\n';
+        out << name << "_count";
+        append_label_set(inst.labels, out);
+        out << ' ' << total << '\n';
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const TelemetrySnapshot& snapshot) {
+  std::ostringstream counters;
+  std::ostringstream gauges;
+  std::ostringstream histograms;
+  bool first_counter = true;
+  bool first_gauge = true;
+  bool first_histogram = true;
+  for (const InstrumentSnapshot& inst : snapshot.instruments) {
+    switch (inst.kind) {
+      case InstrumentKind::kCounter:
+        if (!first_counter) counters << ",\n    ";
+        first_counter = false;
+        counters << "{\"name\":\"" << inst.name << "\",\"labels\":";
+        append_json_labels(inst.labels, counters);
+        counters << ",\"value\":" << inst.counter_value << '}';
+        break;
+      case InstrumentKind::kGauge:
+        if (!first_gauge) gauges << ",\n    ";
+        first_gauge = false;
+        gauges << "{\"name\":\"" << inst.name << "\",\"labels\":";
+        append_json_labels(inst.labels, gauges);
+        gauges << ",\"value\":" << inst.gauge_value << '}';
+        break;
+      case InstrumentKind::kHistogram: {
+        if (!first_histogram) histograms << ",\n    ";
+        first_histogram = false;
+        const LatencyHistogramSnapshot& hist = inst.histogram;
+        histograms << "{\"name\":\"" << inst.name << "\",\"labels\":";
+        append_json_labels(inst.labels, histograms);
+        histograms << ",\"count\":" << hist.count
+                   << ",\"sum_ns\":" << hist.sum_ns << ",\"buckets\":[";
+        const std::size_t last = last_nonzero_bucket(hist);
+        bool first_bucket = true;
+        for (std::size_t b = 0; b <= last; ++b) {
+          if (hist.buckets[b] == 0) continue;
+          if (!first_bucket) histograms << ',';
+          first_bucket = false;
+          histograms << "{\"upper_ns\":" << ((1ULL << (b + 1)) - 1)
+                     << ",\"count\":" << hist.buckets[b] << '}';
+        }
+        histograms << "]}";
+        break;
+      }
+    }
+  }
+  std::ostringstream out;
+  out << "{\n  \"counters\": [\n    " << counters.str()
+      << "\n  ],\n  \"gauges\": [\n    " << gauges.str()
+      << "\n  ],\n  \"histograms\": [\n    " << histograms.str()
+      << "\n  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace ptm

@@ -1,0 +1,29 @@
+// export.hpp - exporters over the TelemetrySnapshot API.
+//
+// Both exporters are pure functions of one snapshot, so "what the scrape
+// saw" is exactly "what the snapshot held" - there is no second read of
+// live atomics.  Output is deterministic (snapshots are sorted), which is
+// what makes golden-file testing of the formats possible.
+//
+// Formats are documented in docs/observability.md.
+#pragma once
+
+#include <string>
+
+#include "obs/telemetry.hpp"
+
+namespace ptm {
+
+/// Prometheus text exposition (version 0.0.4): `# TYPE` comments per
+/// family, `name{label="value"} 123` samples, histograms expanded to
+/// cumulative `_bucket{le="..."}` / `_sum` / `_count` series.  Trailing
+/// all-zero histogram buckets are elided (the `+Inf` bucket is always
+/// present, so cumulative semantics are preserved).
+[[nodiscard]] std::string to_prometheus(const TelemetrySnapshot& snapshot);
+
+/// JSON object with `counters` / `gauges` / `histograms` arrays; ids and
+/// values are plain JSON numbers, histogram buckets carry their upper
+/// edge in nanoseconds.  Same determinism guarantee as to_prometheus.
+[[nodiscard]] std::string to_json(const TelemetrySnapshot& snapshot);
+
+}  // namespace ptm

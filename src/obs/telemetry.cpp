@@ -1,0 +1,165 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace ptm {
+
+std::uint64_t LatencyHistogramSnapshot::percentile_ns(double p) const noexcept {
+  if (count == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the requested percentile, 1-based (p = 100 -> rank = count).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= std::max<std::uint64_t>(rank, 1)) {
+      // Upper edge of bucket b (the final bucket is effectively open-ended,
+      // but its nominal edge still orders correctly).
+      return (1ULL << (b + 1)) - 1;
+    }
+  }
+  return ~0ULL;  // unreachable while count <= sum of buckets
+}
+
+void LatencyRecorder::record(std::uint64_t nanos) noexcept {
+  const std::size_t bucket = std::min<std::size_t>(
+      nanos == 0 ? 0 : static_cast<std::size_t>(std::bit_width(nanos)) - 1,
+      LatencyHistogramSnapshot::kBuckets - 1);
+  // Bucket first, count last: a concurrent snapshot that has seen the new
+  // count has a chance of also seeing the bucket, and the snapshot-side
+  // clamp repairs the remaining window.
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(nanos, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void LatencyRecorder::reset() noexcept {
+  // Count first, buckets last: a racing snapshot may observe stale buckets
+  // with a zeroed count (harmless - clamp keeps count <= bucket sum), never
+  // a large count over zeroed buckets.
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+LatencyHistogramSnapshot LatencyRecorder::snapshot() const noexcept {
+  LatencyHistogramSnapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t b = 0; b < LatencyHistogramSnapshot::kBuckets; ++b) {
+    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    bucket_total += snap.buckets[b];
+  }
+  // Monitoring-only contract: clamp so `count` never exceeds the buckets
+  // handed back, even when this snapshot tears against reset()/record().
+  snap.count = std::min(snap.count, bucket_total);
+  return snap;
+}
+
+const InstrumentSnapshot* TelemetrySnapshot::find(
+    const std::string& name, const TelemetryLabels& labels) const {
+  for (const InstrumentSnapshot& inst : instruments) {
+    if (inst.name == name && inst.labels == labels) return &inst;
+  }
+  return nullptr;
+}
+
+std::uint64_t TelemetrySnapshot::counter_sum(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const InstrumentSnapshot& inst : instruments) {
+    if (inst.kind == InstrumentKind::kCounter && inst.name == name) {
+      total += inst.counter_value;
+    }
+  }
+  return total;
+}
+
+const TelemetryRegistry::Entry* TelemetryRegistry::find_locked(
+    InstrumentKind kind, const std::string& name,
+    const TelemetryLabels& labels) const {
+  for (const Entry& e : entries_) {
+    if (e.kind == kind && e.name == name && e.labels == labels) return &e;
+  }
+  return nullptr;
+}
+
+Counter& TelemetryRegistry::counter(std::string name, TelemetryLabels labels) {
+  std::lock_guard lock(mu_);
+  if (const Entry* e = find_locked(InstrumentKind::kCounter, name, labels)) {
+    return counters_[e->index];
+  }
+  counters_.emplace_back();
+  entries_.push_back(Entry{std::move(name), std::move(labels),
+                           InstrumentKind::kCounter, counters_.size() - 1});
+  return counters_.back();
+}
+
+Gauge& TelemetryRegistry::gauge(std::string name, TelemetryLabels labels) {
+  std::lock_guard lock(mu_);
+  if (const Entry* e = find_locked(InstrumentKind::kGauge, name, labels)) {
+    return gauges_[e->index];
+  }
+  gauges_.emplace_back();
+  entries_.push_back(Entry{std::move(name), std::move(labels),
+                           InstrumentKind::kGauge, gauges_.size() - 1});
+  return gauges_.back();
+}
+
+LatencyRecorder& TelemetryRegistry::histogram(std::string name,
+                                              TelemetryLabels labels) {
+  std::lock_guard lock(mu_);
+  if (const Entry* e = find_locked(InstrumentKind::kHistogram, name, labels)) {
+    return histograms_[e->index];
+  }
+  histograms_.emplace_back();
+  entries_.push_back(Entry{std::move(name), std::move(labels),
+                           InstrumentKind::kHistogram,
+                           histograms_.size() - 1});
+  return histograms_.back();
+}
+
+TelemetrySnapshot TelemetryRegistry::snapshot() const {
+  TelemetrySnapshot snap;
+  {
+    std::lock_guard lock(mu_);
+    snap.instruments.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      InstrumentSnapshot inst;
+      inst.name = e.name;
+      inst.labels = e.labels;
+      inst.kind = e.kind;
+      switch (e.kind) {
+        case InstrumentKind::kCounter:
+          inst.counter_value = counters_[e.index].value();
+          break;
+        case InstrumentKind::kGauge:
+          inst.gauge_value = gauges_[e.index].value();
+          break;
+        case InstrumentKind::kHistogram:
+          inst.histogram = histograms_[e.index].snapshot();
+          break;
+      }
+      snap.instruments.push_back(std::move(inst));
+    }
+  }
+  std::sort(snap.instruments.begin(), snap.instruments.end(),
+            [](const InstrumentSnapshot& a, const InstrumentSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              if (a.labels != b.labels) return a.labels < b.labels;
+              return a.kind < b.kind;
+            });
+  return snap;
+}
+
+void TelemetryRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (Counter& c : counters_) c.reset();
+  for (Gauge& g : gauges_) g.reset();
+  for (LatencyRecorder& h : histograms_) h.reset();
+}
+
+}  // namespace ptm

@@ -1,0 +1,191 @@
+// telemetry.hpp - process-wide registry of named, lock-free instruments.
+//
+// Every subsystem (QueryService shards, the admission controller, channel
+// and node code) registers its counters/gauges/histograms here instead of
+// growing a bespoke atomic struct per layer.  Registration is cold (mutex,
+// linear lookup); the record path touches exactly one relaxed atomic, so
+// instruments can sit on ingest/query hot paths.
+//
+// Naming scheme (see docs/observability.md): lowercase snake_case metric
+// names (`ingest_ok`, `query_latency_ns`), label sets for families
+// (`ingest_ok{shard=3}`).  Handles returned by the registry are stable for
+// the registry's lifetime; registering the same (kind, name, labels) twice
+// returns the same instrument.
+//
+// Consistency contract: all instruments are *monitoring-grade*.  Reads are
+// relaxed and snapshots are not linearizable with respect to concurrent
+// writers; totals may lag individual components by in-flight updates.
+// Snapshots are internally sane (a histogram's `count` never exceeds the
+// sum of its buckets) but two instruments read in one snapshot may reflect
+// different moments.  Nothing here is suitable for control-flow decisions
+// that need exactness.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ptm {
+
+/// Snapshot of a log2-bucketed latency histogram.  Bucket b counts query
+/// latencies in [2^b, 2^(b+1)) nanoseconds (bucket 0 also absorbs 0 ns);
+/// the last bucket absorbs everything larger.
+struct LatencyHistogramSnapshot {
+  static constexpr std::size_t kBuckets = 40;  ///< covers up to ~9 minutes
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;  ///< total recorded nanoseconds (Prometheus _sum)
+
+  /// Upper-bound estimate of the p-th percentile (0 <= p <= 100) in
+  /// nanoseconds: the upper edge of the bucket containing that rank.
+  /// Returns 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t percentile_ns(double p) const noexcept;
+};
+
+/// Concurrent latency recorder backing the snapshot above.  `record` is
+/// wait-free (relaxed fetch_adds); snapshots are not linearizable with
+/// respect to concurrent record()/reset() calls - this is a monitoring
+/// instrument, not an accounting ledger.  The one internal invariant a
+/// snapshot does guarantee is that `count` never exceeds the sum of the
+/// buckets handed back, so percentile math cannot run off the end of the
+/// histogram even when a snapshot races a reset.
+class LatencyRecorder {
+ public:
+  void record(std::uint64_t nanos) noexcept;
+  [[nodiscard]] LatencyHistogramSnapshot snapshot() const noexcept;
+  /// Zeroes every bucket (crash simulation: volatile state does not
+  /// survive a restart).  Not linearizable w.r.t. concurrent record().
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, LatencyHistogramSnapshot::kBuckets>
+      buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+/// Monotonic counter.  add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  /// Crash simulation only (volatile state loss); counters are otherwise
+  /// monotonic by contract.
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed value (queue depths, in-flight counts, high-water
+/// marks via update_max).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  /// Returns the post-update value so callers can feed a high-water mark
+  /// with the value *they* produced (exact even under races).
+  std::int64_t add(std::int64_t delta = 1) noexcept {
+    return value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  }
+  std::int64_t sub(std::int64_t delta = 1) noexcept {
+    return value_.fetch_sub(delta, std::memory_order_relaxed) - delta;
+  }
+  /// Monotone high-water update: value becomes max(value, v).
+  void update_max(std::int64_t v) noexcept {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Label set attached to one member of an instrument family, e.g.
+/// {{"shard", "3"}}.  Order is preserved as registered.
+using TelemetryLabels = std::vector<std::pair<std::string, std::string>>;
+
+enum class InstrumentKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// One instrument's point-in-time value inside a TelemetrySnapshot.
+struct InstrumentSnapshot {
+  std::string name;
+  TelemetryLabels labels;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  std::uint64_t counter_value = 0;                 ///< kCounter
+  std::int64_t gauge_value = 0;                    ///< kGauge
+  LatencyHistogramSnapshot histogram;              ///< kHistogram
+};
+
+/// Point-in-time view of every registered instrument, deterministically
+/// ordered by (name, labels, kind) so exporter output is reproducible.
+/// This is the single Snapshot API both exporters consume
+/// (obs/export.hpp: to_prometheus / to_json).
+struct TelemetrySnapshot {
+  std::vector<InstrumentSnapshot> instruments;
+
+  /// First instrument matching (name, labels) exactly; nullptr if absent.
+  [[nodiscard]] const InstrumentSnapshot* find(
+      const std::string& name, const TelemetryLabels& labels = {}) const;
+  /// Sum of every counter named `name` across all label sets.
+  [[nodiscard]] std::uint64_t counter_sum(const std::string& name) const;
+};
+
+/// Registry of named instruments.  Handles are address-stable for the
+/// registry's lifetime (deque storage); the same (kind, name, labels)
+/// always yields the same instrument, so independent subsystems can share
+/// a family by agreeing on names.
+class TelemetryRegistry {
+ public:
+  TelemetryRegistry() = default;
+  TelemetryRegistry(const TelemetryRegistry&) = delete;
+  TelemetryRegistry& operator=(const TelemetryRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string name, TelemetryLabels labels = {});
+  [[nodiscard]] Gauge& gauge(std::string name, TelemetryLabels labels = {});
+  [[nodiscard]] LatencyRecorder& histogram(std::string name,
+                                           TelemetryLabels labels = {});
+
+  [[nodiscard]] TelemetrySnapshot snapshot() const;
+
+  /// Zeroes every instrument (crash simulation).  Registrations survive;
+  /// only values are lost, mirroring process-restart semantics.
+  void reset();
+
+ private:
+  struct Entry {
+    std::string name;
+    TelemetryLabels labels;
+    InstrumentKind kind;
+    std::size_t index;  ///< into the per-kind deque
+  };
+
+  [[nodiscard]] const Entry* find_locked(InstrumentKind kind,
+                                         const std::string& name,
+                                         const TelemetryLabels& labels) const;
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<LatencyRecorder> histograms_;
+};
+
+}  // namespace ptm

@@ -1,0 +1,335 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace ptm {
+namespace {
+
+/// splitmix64 finalizer - the same mixing the record shard hash uses.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+void append_json_string(std::string_view s, std::ostream& out) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          // Control characters never appear in span/node names we write,
+          // but the dump must stay parseable if one sneaks in.
+          static constexpr char kHex[] = "0123456789abcdef";
+          out << "\\u00" << kHex[(c >> 4) & 0xF] << kHex[c & 0xF];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+std::string hex16(std::uint64_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[static_cast<std::size_t>(i)] = kHex[v & 0xF];
+    v >>= 4;
+  }
+  return s;
+}
+
+/// Locates `"key":` in a machine-written JSON line and returns the offset
+/// just past the colon, or npos.
+std::size_t value_offset(const std::string& line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t pos = line.find(needle);
+  if (pos == std::string::npos) return std::string::npos;
+  return pos + needle.size();
+}
+
+Result<std::uint64_t> parse_hex_field(const std::string& line,
+                                      std::string_view key) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') {
+    return Status{ErrorCode::kParseError,
+                  "span dump line missing field " + std::string(key)};
+  }
+  std::uint64_t v = 0;
+  std::size_t i = at + 1;
+  for (; i < line.size() && line[i] != '"'; ++i) {
+    const char c = line[i];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return Status{ErrorCode::kParseError,
+                    "bad hex digit in field " + std::string(key)};
+    }
+    v = (v << 4) | digit;
+  }
+  if (i >= line.size()) {
+    return Status{ErrorCode::kParseError,
+                  "unterminated hex field " + std::string(key)};
+  }
+  return v;
+}
+
+Result<std::uint64_t> parse_uint_field(const std::string& line,
+                                       std::string_view key) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] < '0' ||
+      line[at] > '9') {
+    return Status{ErrorCode::kParseError,
+                  "span dump line missing field " + std::string(key)};
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = at; i < line.size() && line[i] >= '0' && line[i] <= '9';
+       ++i) {
+    v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+  }
+  return v;
+}
+
+Result<std::string> parse_string_field(const std::string& line,
+                                       std::string_view key) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string::npos || at >= line.size() || line[at] != '"') {
+    return Status{ErrorCode::kParseError,
+                  "span dump line missing field " + std::string(key)};
+  }
+  std::string out;
+  for (std::size_t i = at + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') return out;
+    if (c == '\\') {
+      if (i + 1 >= line.size()) break;
+      const char esc = line[++i];
+      switch (esc) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u':
+          if (i + 4 >= line.size()) {
+            return Status{ErrorCode::kParseError, "truncated \\u escape"};
+          }
+          // Only \u00XX is ever written; decode just that range.
+          out.push_back(static_cast<char>(
+              std::stoi(line.substr(i + 1, 4), nullptr, 16)));
+          i += 4;
+          break;
+        default:
+          return Status{ErrorCode::kParseError, "unknown escape in span dump"};
+      }
+      continue;
+    }
+    out.push_back(c);
+  }
+  return Status{ErrorCode::kParseError,
+                "unterminated string field " + std::string(key)};
+}
+
+Result<bool> parse_bool_field(const std::string& line, std::string_view key) {
+  const std::size_t at = value_offset(line, key);
+  if (at == std::string::npos) {
+    return Status{ErrorCode::kParseError,
+                  "span dump line missing field " + std::string(key)};
+  }
+  if (line.compare(at, 4, "true") == 0) return true;
+  if (line.compare(at, 5, "false") == 0) return false;
+  return Status{ErrorCode::kParseError,
+                "bad boolean in field " + std::string(key)};
+}
+
+}  // namespace
+
+TraceContext TraceContext::for_record(std::uint64_t location,
+                                      std::uint64_t period) noexcept {
+  std::uint64_t id = mix64(mix64(location) ^ (period + 0xD6E8FEB86659FD93ULL));
+  if (id == 0) id = 1;  // 0 is reserved for "not traced"
+  return TraceContext{id, 0};
+}
+
+SpanRecorder::SpanRecorder(std::string node, std::size_t capacity)
+    : node_(std::move(node)),
+      capacity_(capacity == 0 ? 1 : capacity),
+      next_id_(mix64(std::hash<std::string>{}(node_)) | 1ULL) {
+  ring_.reserve(capacity_ < 64 ? capacity_ : 64);
+}
+
+void SpanRecorder::record(Span span) {
+  span.node = node_;
+  std::lock_guard lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the ring head.
+  ring_[head_] = std::move(span);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<Span> SpanRecorder::spans() const {
+  std::lock_guard lock(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Span> SpanRecorder::for_trace(std::uint64_t trace_id) const {
+  std::vector<Span> all = spans();
+  std::vector<Span> out;
+  for (Span& s : all) {
+    if (s.trace_id == trace_id) out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::uint64_t SpanRecorder::next_span_id() noexcept {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t SpanRecorder::dropped() const noexcept {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+std::size_t SpanRecorder::size() const noexcept {
+  std::lock_guard lock(mu_);
+  return ring_.size();
+}
+
+void SpanRecorder::clear() {
+  std::lock_guard lock(mu_);
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+}
+
+ScopedTimer::ScopedTimer(SpanRecorder* recorder, const char* name,
+                         TraceContext parent, std::uint64_t logical_step)
+    : recorder_(recorder) {
+  if (recorder_ == nullptr) return;
+  span_.trace_id = parent.trace_id;
+  span_.parent_span_id = parent.span_id;
+  span_.span_id = recorder_->next_span_id();
+  span_.name = name;
+  span_.start_step = logical_step;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (recorder_ == nullptr) return;
+  span_.duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  recorder_->record(std::move(span_));
+}
+
+void append_span_json(const Span& span, std::ostream& out) {
+  out << "{\"trace_id\":\"" << hex16(span.trace_id) << "\",\"span_id\":\""
+      << hex16(span.span_id) << "\",\"parent_span_id\":\""
+      << hex16(span.parent_span_id) << "\",\"name\":";
+  append_json_string(span.name, out);
+  out << ",\"node\":";
+  append_json_string(span.node, out);
+  out << ",\"start_step\":" << span.start_step
+      << ",\"duration_ns\":" << span.duration_ns << ",\"ok\":"
+      << (span.ok ? "true" : "false") << "}";
+}
+
+Status write_span_dump(const std::string& path,
+                       const std::vector<const SpanRecorder*>& recorders) {
+  std::ostringstream buf;
+  for (const SpanRecorder* recorder : recorders) {
+    if (recorder == nullptr) continue;
+    for (const Span& span : recorder->spans()) {
+      append_span_json(span, buf);
+      buf << '\n';
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status{ErrorCode::kNotFound, "cannot open " + path};
+  }
+  const std::string text = buf.str();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out) {
+    return Status{ErrorCode::kInternal, "short write to " + path};
+  }
+  return Status::ok();
+}
+
+Result<std::vector<Span>> load_span_dump(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status{ErrorCode::kNotFound, "cannot open " + path};
+  }
+  std::vector<Span> spans;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    Span span;
+    auto trace_id = parse_hex_field(line, "trace_id");
+    if (!trace_id) return trace_id.status();
+    span.trace_id = *trace_id;
+    auto span_id = parse_hex_field(line, "span_id");
+    if (!span_id) return span_id.status();
+    span.span_id = *span_id;
+    auto parent = parse_hex_field(line, "parent_span_id");
+    if (!parent) return parent.status();
+    span.parent_span_id = *parent;
+    auto name = parse_string_field(line, "name");
+    if (!name) return name.status();
+    span.name = std::move(*name);
+    auto node = parse_string_field(line, "node");
+    if (!node) return node.status();
+    span.node = std::move(*node);
+    auto step = parse_uint_field(line, "start_step");
+    if (!step) return step.status();
+    span.start_step = *step;
+    auto dur = parse_uint_field(line, "duration_ns");
+    if (!dur) return dur.status();
+    span.duration_ns = *dur;
+    auto ok = parse_bool_field(line, "ok");
+    if (!ok) return ok.status();
+    span.ok = *ok;
+    spans.push_back(std::move(span));
+  }
+  return spans;
+}
+
+}  // namespace ptm

@@ -1,0 +1,150 @@
+// trace.hpp - pipeline tracing across the RSU -> channel -> server path.
+//
+// A TraceContext is two 64-bit ids carried on net frames and outbox
+// entries: `trace_id` names one logical journey (typically one traffic
+// record's life from encode to archive append), `span_id` names the hop
+// that most recently forwarded it.  Record traces are *derived*, not
+// drawn: TraceContext::for_record(location, period) is a pure hash, so an
+// RSU that crashes and replays its journal re-enters the same trace and
+// the post-mortem timeline stays stitched together without persisting any
+// tracing state.
+//
+// Spans are closed intervals measured by ScopedTimer (RAII) and collected
+// per node in a bounded SpanRecorder ring; when the ring is full the
+// oldest spans are dropped (and counted).  Timestamps are dual: the
+// logical step clock driven by Deployment::advance_time (comparable
+// across nodes) plus a wall-clock duration in nanoseconds (comparable
+// within a process).
+//
+// Recorders dump to a JSON-lines file (`write_span_dump`) that
+// `ptmctl trace` reloads, so a chaos run can be post-mortemed offline.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ptm {
+
+/// Trace identity carried across hops.  trace_id == 0 means "not traced";
+/// instrumented code skips span recording entirely for inactive contexts,
+/// so untraced hot paths pay nothing.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;  ///< the sender's span, parent of the next hop
+
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+
+  /// Deterministic trace id for one record's journey: a pure mix of
+  /// (location, period).  Crash replay re-derives the same id.
+  [[nodiscard]] static TraceContext for_record(std::uint64_t location,
+                                               std::uint64_t period) noexcept;
+
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// One closed interval of work attributed to a trace.
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::string name;           ///< operation, e.g. "encode", "outbox-retry"
+  std::string node;           ///< recorder's node, e.g. "rsu:7"
+  std::uint64_t start_step = 0;   ///< logical clock at start (0 = unknown)
+  std::uint64_t duration_ns = 0;  ///< wall-clock duration
+  bool ok = true;             ///< did the operation succeed
+};
+
+/// Bounded per-node span buffer.  record() is mutex-guarded (spans are
+/// orders of magnitude rarer than counter increments); when capacity is
+/// reached the oldest span is evicted and `dropped()` advances, so memory
+/// stays bounded over arbitrarily long runs.
+class SpanRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit SpanRecorder(std::string node,
+                        std::size_t capacity = kDefaultCapacity);
+  SpanRecorder(const SpanRecorder&) = delete;
+  SpanRecorder& operator=(const SpanRecorder&) = delete;
+
+  /// Stores the span (stamping `node`); evicts the oldest when full.
+  void record(Span span);
+
+  /// All buffered spans, oldest first.
+  [[nodiscard]] std::vector<Span> spans() const;
+  /// Buffered spans belonging to one trace, oldest first.
+  [[nodiscard]] std::vector<Span> for_trace(std::uint64_t trace_id) const;
+
+  /// Fresh process-unique span id (seeded from the node name so ids from
+  /// different recorders do not collide in practice).
+  [[nodiscard]] std::uint64_t next_span_id() noexcept;
+
+  [[nodiscard]] std::uint64_t dropped() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] const std::string& node() const noexcept { return node_; }
+
+  /// Discards all buffered spans (crash simulation).
+  void clear();
+
+ private:
+  std::string node_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;     ///< grows to capacity_, then wraps
+  std::size_t head_ = 0;       ///< index of the oldest span once wrapped
+  std::uint64_t dropped_ = 0;
+  std::atomic<std::uint64_t> next_id_;
+};
+
+/// RAII span.  Construction with a null recorder (or an inactive context
+/// on a call site that gates on it) is a no-op - no clock reads, no
+/// allocation - so tracing can be compiled in unconditionally.
+///
+///   ScopedTimer span(&spans, "ingest", trace, now);
+///   ... work ...
+///   span.set_ok(false);            // defaults to true
+///   // destructor records the span
+///
+/// `context()` yields {trace_id, this span's id} for handing to children.
+class ScopedTimer {
+ public:
+  ScopedTimer(SpanRecorder* recorder, const char* name,
+              TraceContext parent = {}, std::uint64_t logical_step = 0);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  [[nodiscard]] TraceContext context() const noexcept {
+    return TraceContext{span_.trace_id, span_.span_id};
+  }
+  void set_ok(bool ok) noexcept { span_.ok = ok; }
+
+ private:
+  SpanRecorder* recorder_;
+  Span span_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Serializes one span as a single JSON object (no trailing newline); the
+/// dump format is one such object per line.
+void append_span_json(const Span& span, std::ostream& out);
+
+/// Writes every recorder's spans to `path` as JSON lines (atomic enough
+/// for post-mortem use: written to a temp buffer, then one ofstream).
+[[nodiscard]] Status write_span_dump(
+    const std::string& path, const std::vector<const SpanRecorder*>& recorders);
+
+/// Reloads a span dump written by write_span_dump.  Unknown keys are
+/// ignored; a structurally broken line fails the whole load (the file is
+/// machine-written, so damage means truncation worth surfacing).
+[[nodiscard]] Result<std::vector<Span>> load_span_dump(
+    const std::string& path);
+
+}  // namespace ptm

@@ -1,15 +1,31 @@
 #include "query/admission.hpp"
 
 namespace ptm {
+namespace {
+
+TelemetryRegistry& resolve_registry(
+    TelemetryRegistry* registry,
+    std::unique_ptr<TelemetryRegistry>& owned) {
+  if (registry != nullptr) return *registry;
+  owned = std::make_unique<TelemetryRegistry>();
+  return *owned;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         TelemetryRegistry* registry)
+    : options_(options),
+      owned_registry_(),
+      in_flight_(resolve_registry(registry, owned_registry_)
+                     .gauge("queries_in_flight")),
+      peak_in_flight_((registry != nullptr ? *registry : *owned_registry_)
+                          .gauge("queries_peak_in_flight")),
+      queued_((registry != nullptr ? *registry : *owned_registry_)
+                  .gauge("admission_queued")) {}
 
 void AdmissionController::note_admitted() noexcept {
-  const std::size_t now_in_flight =
-      in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::size_t peak = peak_in_flight_.load(std::memory_order_relaxed);
-  while (now_in_flight > peak &&
-         !peak_in_flight_.compare_exchange_weak(peak, now_in_flight,
-                                                std::memory_order_relaxed)) {
-  }
+  peak_in_flight_.update_max(in_flight_.add(1));
 }
 
 Status AdmissionController::admit(const Deadline& deadline) {
@@ -21,11 +37,10 @@ Status AdmissionController::admit(const Deadline& deadline) {
 
   std::unique_lock lock(mutex_);
   const auto slot_available = [this] {
-    return in_flight_.load(std::memory_order_relaxed) <
-           options_.max_in_flight;
+    return in_flight() < options_.max_in_flight;
   };
   if (!slot_available()) {
-    if (queued_.load(std::memory_order_relaxed) >= options_.max_queue) {
+    if (queued() >= options_.max_queue) {
       return {ErrorCode::kResourceExhausted,
               "query shed: in-flight bound and admission queue are full"};
     }
@@ -33,7 +48,7 @@ Status AdmissionController::admit(const Deadline& deadline) {
       return {ErrorCode::kDeadlineExceeded,
               "deadline expired while waiting for admission"};
     }
-    queued_.fetch_add(1, std::memory_order_relaxed);
+    queued_.add(1);
     bool got_slot = true;
     if (deadline.unbounded()) {
       slot_freed_.wait(lock, slot_available);
@@ -41,7 +56,7 @@ Status AdmissionController::admit(const Deadline& deadline) {
       got_slot =
           slot_freed_.wait_until(lock, deadline.time_point(), slot_available);
     }
-    queued_.fetch_sub(1, std::memory_order_relaxed);
+    queued_.sub(1);
     if (!got_slot) {
       return {ErrorCode::kDeadlineExceeded,
               "deadline expired while waiting for admission"};
@@ -53,14 +68,14 @@ Status AdmissionController::admit(const Deadline& deadline) {
 
 void AdmissionController::release() noexcept {
   if (options_.max_in_flight == 0) {
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    in_flight_.sub(1);
     return;
   }
   {
     // Decrement under the mutex so a waiter cannot observe "no slot", then
     // miss the wakeup between its check and its wait.
     std::lock_guard lock(mutex_);
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    in_flight_.sub(1);
   }
   slot_freed_.notify_one();
 }

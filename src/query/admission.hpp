@@ -17,15 +17,22 @@
 // The default (max_in_flight == 0) is a no-op gate that only maintains the
 // in-flight gauge and high-water mark with relaxed atomics - the unguarded
 // hot path takes no mutex.
+//
+// The gauges are TelemetryRegistry instruments (`queries_in_flight`,
+// `queries_peak_in_flight`, `admission_queued`), registered on the
+// registry passed at construction so they appear in the same snapshot as
+// the query-service counters; a controller constructed without a registry
+// owns a private one.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <memory>
 #include <mutex>
 
 #include "common/deadline.hpp"
 #include "common/status.hpp"
+#include "obs/telemetry.hpp"
 
 namespace ptm {
 
@@ -39,8 +46,10 @@ struct AdmissionOptions {
 
 class AdmissionController {
  public:
-  explicit AdmissionController(AdmissionOptions options = {}) noexcept
-      : options_(options) {}
+  /// `registry` receives the controller's gauges; nullptr means "own a
+  /// private registry" (standalone construction in tests/tools).
+  explicit AdmissionController(AdmissionOptions options = {},
+                               TelemetryRegistry* registry = nullptr);
 
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
@@ -60,27 +69,28 @@ class AdmissionController {
 
   /// Currently executing queries (monitoring gauge).
   [[nodiscard]] std::size_t in_flight() const noexcept {
-    return in_flight_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(in_flight_.value());
   }
   /// Highest concurrency ever observed - with a bound configured this
   /// never exceeds max_in_flight (the overload tests pin that).
   [[nodiscard]] std::size_t peak_in_flight() const noexcept {
-    return peak_in_flight_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(peak_in_flight_.value());
   }
   /// Callers currently waiting for a slot.
   [[nodiscard]] std::size_t queued() const noexcept {
-    return queued_.load(std::memory_order_relaxed);
+    return static_cast<std::size_t>(queued_.value());
   }
 
  private:
   void note_admitted() noexcept;
 
   AdmissionOptions options_;
+  std::unique_ptr<TelemetryRegistry> owned_registry_;  ///< standalone mode
   std::mutex mutex_;
   std::condition_variable slot_freed_;
-  std::atomic<std::size_t> in_flight_{0};
-  std::atomic<std::size_t> peak_in_flight_{0};
-  std::atomic<std::size_t> queued_{0};
+  Gauge& in_flight_;       ///< registry instrument "queries_in_flight"
+  Gauge& peak_in_flight_;  ///< registry instrument "queries_peak_in_flight"
+  Gauge& queued_;          ///< registry instrument "admission_queued"
 };
 
 }  // namespace ptm

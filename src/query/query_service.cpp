@@ -64,9 +64,26 @@ std::uint64_t query_primary_location(const QueryRequest& request) noexcept {
 }
 
 QueryService::QueryService(QueryServiceOptions options)
-    : options_(options), admission_(options.admission) {
+    : options_(options),
+      spans_("query-service"),
+      latency_(telemetry_.histogram("query_latency_ns")),
+      queries_total_(telemetry_.counter("queries_total")),
+      queries_failed_(telemetry_.counter("queries_failed")),
+      admission_(options.admission, &telemetry_) {
   options_.n_shards = std::max<std::size_t>(options_.n_shards, 1);
   shards_ = std::make_unique<Shard[]>(options_.n_shards);
+  for (std::size_t i = 0; i < options_.n_shards; ++i) {
+    const TelemetryLabels labels{{"shard", std::to_string(i)}};
+    Shard& shard = shards_[i];
+    shard.ingest_ok = &telemetry_.counter("ingest_ok", labels);
+    shard.ingest_duplicate = &telemetry_.counter("ingest_duplicate", labels);
+    shard.ingest_rejected = &telemetry_.counter("ingest_rejected", labels);
+    shard.queries = &telemetry_.counter("shard_queries", labels);
+    shard.shed = &telemetry_.counter("queries_shed", labels);
+    shard.deadline_exceeded =
+        &telemetry_.counter("queries_deadline_exceeded", labels);
+    shard.archive_append = &telemetry_.counter("archive_append", labels);
+  }
 }
 
 QueryService::Shard& QueryService::shard_for(
@@ -74,10 +91,16 @@ QueryService::Shard& QueryService::shard_for(
   return shards_[mix64(location) % options_.n_shards];
 }
 
-Status QueryService::ingest(const TrafficRecord& record) {
+Status QueryService::ingest(const TrafficRecord& record,
+                            const TraceContext& trace) {
+  // Untraced ingests (the overwhelming majority) skip span recording
+  // entirely; the null-recorder ScopedTimer does not even read the clock.
+  ScopedTimer ingest_span(trace.active() ? &spans_ : nullptr, "ingest",
+                          trace);
   Shard& shard = shard_for(record.location);
   if (Status s = record.validate(); !s.is_ok()) {
-    shard.ingest_rejected.fetch_add(1, std::memory_order_relaxed);
+    shard.ingest_rejected->add();
+    ingest_span.set_ok(false);
     return s;
   }
   // The volume estimate feeding the Eq. 2 history only reads the caller's
@@ -96,10 +119,11 @@ Status QueryService::ingest(const TrafficRecord& record) {
       const bool identical = it->second == record;
       lock.unlock();
       if (identical) {
-        shard.ingest_duplicate.fetch_add(1, std::memory_order_relaxed);
+        shard.ingest_duplicate->add();
         return Status::ok();
       }
-      shard.ingest_rejected.fetch_add(1, std::memory_order_relaxed);
+      shard.ingest_rejected->add();
+      ingest_span.set_ok(false);
       return {ErrorCode::kFailedPrecondition,
               "conflicting record for this location and period"};
     }
@@ -111,20 +135,24 @@ Status QueryService::ingest(const TrafficRecord& record) {
     {
       std::lock_guard archive_lock(archive_mutex_);
       if (archive_ != nullptr) {
+        ScopedTimer archive_span(trace.active() ? &spans_ : nullptr,
+                                 "archive-append", ingest_span.context());
         if (Status s = archive_->append(record); !s.is_ok()) {
           // Nothing admitted to memory and no ack: the RSU keeps the
           // record and retries, exactly as after a lost ack.
           lock.unlock();
-          shard.ingest_rejected.fetch_add(1, std::memory_order_relaxed);
+          shard.ingest_rejected->add();
+          archive_span.set_ok(false);
+          ingest_span.set_ok(false);
           return s;
         }
-        shard.archive_append.fetch_add(1, std::memory_order_relaxed);
+        shard.archive_append->add();
       }
     }
     shard.records.emplace(key, record);
     shard.history[record.location].add(est.value);
   }
-  shard.ingest_ok.fetch_add(1, std::memory_order_relaxed);
+  shard.ingest_ok->add();
   return Status::ok();
 }
 
@@ -170,17 +198,21 @@ void QueryService::wipe_volatile_state() {
     std::unique_lock lock(shard.mutex);
     shard.records.clear();
     shard.history.clear();
-    shard.ingest_ok.store(0, std::memory_order_relaxed);
-    shard.ingest_duplicate.store(0, std::memory_order_relaxed);
-    shard.ingest_rejected.store(0, std::memory_order_relaxed);
-    shard.queries.store(0, std::memory_order_relaxed);
-    shard.shed.store(0, std::memory_order_relaxed);
-    shard.deadline_exceeded.store(0, std::memory_order_relaxed);
-    shard.archive_append.store(0, std::memory_order_relaxed);
+    // Instrument values are volatile state too; registrations survive
+    // (the admission gauges are deliberately left alone - in-flight
+    // accounting must stay balanced across a simulated crash).
+    shard.ingest_ok->reset();
+    shard.ingest_duplicate->reset();
+    shard.ingest_rejected->reset();
+    shard.queries->reset();
+    shard.shed->reset();
+    shard.deadline_exceeded->reset();
+    shard.archive_append->reset();
   }
   latency_.reset();
-  queries_total_.store(0, std::memory_order_relaxed);
-  queries_failed_.store(0, std::memory_order_relaxed);
+  queries_total_.reset();
+  queries_failed_.reset();
+  spans_.clear();
   std::lock_guard lock(archive_mutex_);
   archive_ = nullptr;
 }
@@ -287,7 +319,7 @@ namespace {
 
 QueryResponse QueryService::handle(const PointVolumeQuery& q) const {
   const Shard& shard = shard_for(q.location);
-  shard.queries.fetch_add(1, std::memory_order_relaxed);
+  shard.queries->add();
   QueryResponse response;
   // Pointer, not copy: stored records are immutable and never evicted
   // (see collect_bitmaps), so reading outside the lock is safe.
@@ -310,7 +342,7 @@ QueryResponse QueryService::handle(const PointVolumeQuery& q) const {
 }
 
 QueryResponse QueryService::handle(const PointPersistentQuery& q) const {
-  shard_for(q.location).queries.fetch_add(1, std::memory_order_relaxed);
+  shard_for(q.location).queries->add();
   QueryResponse response;
   PresentBitmaps split = collect_present(q.location, q.periods);
   response.coverage = std::move(split.coverage);
@@ -319,7 +351,12 @@ QueryResponse QueryService::handle(const PointPersistentQuery& q) const {
     response.status = s;
     return response;
   }
-  auto est = estimate_point_persistent(split.bitmaps);
+  auto est = [&] {
+    ScopedTimer kernel_span(&spans_, "eq12-kernel");
+    auto r = estimate_point_persistent(split.bitmaps);
+    kernel_span.set_ok(r.has_value());
+    return r;
+  }();
   if (!est) {
     response.status = est.status();
     return response;
@@ -330,7 +367,7 @@ QueryResponse QueryService::handle(const PointPersistentQuery& q) const {
 }
 
 QueryResponse QueryService::handle(const RecentPersistentQuery& q) const {
-  shard_for(q.location).queries.fetch_add(1, std::memory_order_relaxed);
+  shard_for(q.location).queries->add();
   QueryResponse response;
   if (q.window == 0) {
     response.status = Status{ErrorCode::kInvalidArgument,
@@ -373,7 +410,12 @@ QueryResponse QueryService::handle(const RecentPersistentQuery& q) const {
     response.status = s;
     return response;
   }
-  auto est = estimate_point_persistent(split.bitmaps);
+  auto est = [&] {
+    ScopedTimer kernel_span(&spans_, "eq12-kernel");
+    auto r = estimate_point_persistent(split.bitmaps);
+    kernel_span.set_ok(r.has_value());
+    return r;
+  }();
   if (!est) {
     response.status = est.status();
     return response;
@@ -386,9 +428,9 @@ QueryResponse QueryService::handle(const RecentPersistentQuery& q) const {
 QueryResponse QueryService::handle(const P2PPersistentQuery& q) const {
   Shard& shard_a = shard_for(q.location_a);
   Shard& shard_b = shard_for(q.location_b);
-  shard_a.queries.fetch_add(1, std::memory_order_relaxed);
+  shard_a.queries->add();
   if (&shard_b != &shard_a) {
-    shard_b.queries.fetch_add(1, std::memory_order_relaxed);
+    shard_b.queries->add();
   }
   QueryResponse response;
   auto bitmaps_a = collect_bitmaps(q.location_a, q.periods);
@@ -403,8 +445,13 @@ QueryResponse QueryService::handle(const P2PPersistentQuery& q) const {
   }
   PointToPointOptions estimator_options;
   estimator_options.s = options_.s;
-  auto est = estimate_p2p_persistent(*bitmaps_a, *bitmaps_b,
+  auto est = [&] {
+    ScopedTimer kernel_span(&spans_, "eq21-kernel");
+    auto r = estimate_p2p_persistent(*bitmaps_a, *bitmaps_b,
                                      estimator_options);
+    kernel_span.set_ok(r.has_value());
+    return r;
+  }();
   if (!est) {
     response.status = est.status();
     return response;
@@ -421,7 +468,7 @@ QueryResponse QueryService::handle(const CorridorQuery& q) const {
     const Shard* shard = &shard_for(location);
     if (std::find(touched.begin(), touched.end(), shard) == touched.end()) {
       touched.push_back(shard);
-      shard->queries.fetch_add(1, std::memory_order_relaxed);
+      shard->queries->add();
     }
   }
   QueryResponse response;
@@ -469,7 +516,12 @@ QueryResponse QueryService::handle(const CorridorQuery& q) const {
     }
     per_location.push_back(std::move(*bitmaps));
   }
-  auto est = estimate_corridor_persistent(per_location, options_.s);
+  auto est = [&] {
+    ScopedTimer kernel_span(&spans_, "corridor-kernel");
+    auto r = estimate_corridor_persistent(per_location, options_.s);
+    kernel_span.set_ok(r.has_value());
+    return r;
+  }();
   if (!est) {
     response.status = est.status();
     return response;
@@ -493,19 +545,30 @@ QueryResponse QueryService::run(const QueryRequest& request) const {
     // time.  The shard `queries` counter stays untouched - nothing ran.
     response.status = Status{ErrorCode::kDeadlineExceeded,
                              "deadline expired before execution began"};
-  } else if (Status admitted = admission_.admit(deadline);
-             !admitted.is_ok()) {
-    response.status = admitted;
   } else {
-    response = dispatch(request);
-    admission_.release();
+    Status admitted;
+    {
+      // Admission waits only happen with the gate enabled; the span is
+      // suppressed otherwise so the unguarded hot path stays span-free.
+      ScopedTimer wait_span(
+          options_.admission.max_in_flight > 0 ? &spans_ : nullptr,
+          "admission-wait");
+      admitted = admission_.admit(deadline);
+      wait_span.set_ok(admitted.is_ok());
+    }
+    if (!admitted.is_ok()) {
+      response.status = admitted;
+    } else {
+      response = dispatch(request);
+      admission_.release();
+    }
   }
   switch (response.status.code()) {
     case ErrorCode::kDeadlineExceeded:
-      primary.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      primary.deadline_exceeded->add();
       break;
     case ErrorCode::kResourceExhausted:
-      primary.shed.fetch_add(1, std::memory_order_relaxed);
+      primary.shed->add();
       break;
     default:
       break;
@@ -515,9 +578,9 @@ QueryResponse QueryService::run(const QueryRequest& request) const {
           std::chrono::steady_clock::now() - start)
           .count());
   latency_.record(response.latency_ns);
-  queries_total_.fetch_add(1, std::memory_order_relaxed);
+  queries_total_.add();
   if (!response.ok()) {
-    queries_failed_.fetch_add(1, std::memory_order_relaxed);
+    queries_failed_.add();
   }
   return response;
 }
@@ -541,15 +604,13 @@ ServiceMetrics QueryService::metrics() const {
       std::shared_lock lock(shard.mutex);
       sm.records = shard.records.size();
     }
-    sm.ingest_ok = shard.ingest_ok.load(std::memory_order_relaxed);
-    sm.ingest_duplicate =
-        shard.ingest_duplicate.load(std::memory_order_relaxed);
-    sm.ingest_rejected = shard.ingest_rejected.load(std::memory_order_relaxed);
-    sm.queries = shard.queries.load(std::memory_order_relaxed);
-    sm.shed = shard.shed.load(std::memory_order_relaxed);
-    sm.deadline_exceeded =
-        shard.deadline_exceeded.load(std::memory_order_relaxed);
-    sm.archive_append = shard.archive_append.load(std::memory_order_relaxed);
+    sm.ingest_ok = shard.ingest_ok->value();
+    sm.ingest_duplicate = shard.ingest_duplicate->value();
+    sm.ingest_rejected = shard.ingest_rejected->value();
+    sm.queries = shard.queries->value();
+    sm.shed = shard.shed->value();
+    sm.deadline_exceeded = shard.deadline_exceeded->value();
+    sm.archive_append = shard.archive_append->value();
     out.records_total += sm.records;
     out.ingest_ok_total += sm.ingest_ok;
     out.ingest_duplicate_total += sm.ingest_duplicate;
@@ -559,8 +620,8 @@ ServiceMetrics QueryService::metrics() const {
     out.archive_append_total += sm.archive_append;
     out.shards.push_back(sm);
   }
-  out.queries_total = queries_total_.load(std::memory_order_relaxed);
-  out.queries_failed = queries_failed_.load(std::memory_order_relaxed);
+  out.queries_total = queries_total_.value();
+  out.queries_failed = queries_failed_.value();
   out.in_flight = admission_.in_flight();
   out.peak_in_flight = admission_.peak_in_flight();
   out.latency = latency_.snapshot();

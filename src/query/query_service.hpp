@@ -13,9 +13,15 @@
 //
 // Queries arrive as the unified QueryRequest variant (query_types.hpp) and
 // are answered through exactly one execution path, `run`; `run_batch` fans
-// a span of requests across a worker pool (common/parallel.hpp).  The
-// service keeps per-shard ingest/query counters and a global latency
-// histogram, exposed as a ServiceMetrics snapshot.
+// a span of requests across a worker pool (common/parallel.hpp).  All
+// instrumentation lives on a per-service TelemetryRegistry (obs/): the
+// per-shard ingest/query counters are `ingest_ok{shard=i}`-style families,
+// the latency histogram is the `query_latency_ns` instrument, and the
+// admission gauges register on the same registry - ServiceMetrics remains
+// as the thin snapshot view over those instruments.  A SpanRecorder
+// ("query-service") collects ingest / admission-wait / estimator-kernel
+// spans; traced ingests (TraceContext from the RSU pipeline) stitch into
+// the end-to-end record timeline.
 //
 // Two robustness layers wrap that core:
 //
@@ -45,6 +51,7 @@
 
 #include "common/status.hpp"
 #include "core/traffic_record.hpp"
+#include "obs/trace.hpp"
 #include "query/admission.hpp"
 #include "query/query_types.hpp"
 #include "query/service_metrics.hpp"
@@ -80,7 +87,11 @@ class QueryService {
   /// first accept is written ahead to it; an archive failure fails the
   /// ingest with nothing admitted to memory (the RSU keeps the record and
   /// retries).  Thread-safe.
-  Status ingest(const TrafficRecord& record);
+  ///
+  /// With an active `trace` (a record's pipeline TraceContext), the ingest
+  /// and its archive append are recorded as spans on the service's
+  /// SpanRecorder; an inactive trace records nothing and costs nothing.
+  Status ingest(const TrafficRecord& record, const TraceContext& trace = {});
 
   /// Attaches the write-ahead archive.  Every later first-accept ingest
   /// appends to `archive` before returning Ok; the caller keeps ownership
@@ -140,6 +151,17 @@ class QueryService {
     return admission_;
   }
 
+  /// The registry every service instrument lives on (shard counter
+  /// families, `query_latency_ns`, admission gauges).  Snapshot it and
+  /// feed obs/export.hpp for Prometheus / JSON exposition.
+  [[nodiscard]] TelemetryRegistry& telemetry() const noexcept {
+    return telemetry_;
+  }
+
+  /// The service-side span buffer (ingest, admission-wait, estimator
+  /// kernels).
+  [[nodiscard]] SpanRecorder& spans() const noexcept { return spans_; }
+
  private:
   /// Minimal history accumulator (count + mean) planning Eq. 2 sizes.
   struct VolumeHistory {
@@ -151,17 +173,20 @@ class QueryService {
     }
   };
 
+  // Counters are registry instruments (`ingest_ok{shard=i}`, ...) wired up
+  // at construction; the pointers are a cache of the registry handles so
+  // the hot paths skip the registration lookup.
   struct Shard {
     mutable std::shared_mutex mutex;
     std::map<std::pair<std::uint64_t, std::uint64_t>, TrafficRecord> records;
     std::map<std::uint64_t, VolumeHistory> history;
-    mutable std::atomic<std::uint64_t> ingest_ok{0};
-    mutable std::atomic<std::uint64_t> ingest_duplicate{0};
-    mutable std::atomic<std::uint64_t> ingest_rejected{0};
-    mutable std::atomic<std::uint64_t> queries{0};
-    mutable std::atomic<std::uint64_t> shed{0};
-    mutable std::atomic<std::uint64_t> deadline_exceeded{0};
-    mutable std::atomic<std::uint64_t> archive_append{0};
+    Counter* ingest_ok = nullptr;
+    Counter* ingest_duplicate = nullptr;
+    Counter* ingest_rejected = nullptr;
+    Counter* queries = nullptr;
+    Counter* shed = nullptr;
+    Counter* deadline_exceeded = nullptr;
+    Counter* archive_append = nullptr;
   };
 
   [[nodiscard]] Shard& shard_for(std::uint64_t location) const noexcept;
@@ -195,10 +220,13 @@ class QueryService {
   [[nodiscard]] QueryResponse handle(const CorridorQuery& q) const;
 
   QueryServiceOptions options_;
+  // Declared before every member that registers on it.
+  mutable TelemetryRegistry telemetry_;
+  mutable SpanRecorder spans_;
   std::unique_ptr<Shard[]> shards_;
-  mutable LatencyRecorder latency_;
-  mutable std::atomic<std::uint64_t> queries_total_{0};
-  mutable std::atomic<std::uint64_t> queries_failed_{0};
+  LatencyRecorder& latency_;  ///< registry instrument "query_latency_ns"
+  Counter& queries_total_;    ///< registry instrument "queries_total"
+  Counter& queries_failed_;   ///< registry instrument "queries_failed"
   mutable AdmissionController admission_;
   // Write-ahead archive (nullptr = volatile mode).  archive_mutex_
   // serializes all access; when an ingest holds both its shard lock and

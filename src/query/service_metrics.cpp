@@ -1,8 +1,6 @@
 #include "query/service_metrics.hpp"
 
 #include <algorithm>
-#include <bit>
-#include <cmath>
 #include <sstream>
 
 namespace ptm {
@@ -28,44 +26,6 @@ std::string format_nanos(std::uint64_t nanos) {
 }
 
 }  // namespace
-
-std::uint64_t LatencyHistogramSnapshot::percentile_ns(double p) const noexcept {
-  if (count == 0) return 0;
-  p = std::clamp(p, 0.0, 100.0);
-  // Rank of the requested percentile, 1-based (p = 100 -> rank = count).
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count)));
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets[b];
-    if (seen >= std::max<std::uint64_t>(rank, 1)) {
-      // Upper edge of bucket b (the final bucket is effectively open-ended,
-      // but its nominal edge still orders correctly).
-      return (1ULL << (b + 1)) - 1;
-    }
-  }
-  return ~0ULL;  // unreachable while count > 0
-}
-
-void LatencyRecorder::record(std::uint64_t nanos) noexcept {
-  const std::size_t bucket = std::min<std::size_t>(
-      nanos == 0 ? 0 : static_cast<std::size_t>(std::bit_width(nanos)) - 1,
-      LatencyHistogramSnapshot::kBuckets - 1);
-  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
-}
-
-void LatencyRecorder::reset() noexcept {
-  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
-}
-
-LatencyHistogramSnapshot LatencyRecorder::snapshot() const noexcept {
-  LatencyHistogramSnapshot snap;
-  for (std::size_t b = 0; b < LatencyHistogramSnapshot::kBuckets; ++b) {
-    snap.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
-    snap.count += snap.buckets[b];
-  }
-  return snap;
-}
 
 std::string ServiceMetrics::to_string() const {
   std::size_t min_records = 0;

@@ -1,51 +1,21 @@
 // service_metrics.hpp - observability for the sharded QueryService.
 //
-// The service records three things about itself: how many records each
-// shard holds and has accepted/rejected, how many queries ran (and how
-// many failed), and the end-to-end latency distribution of those queries.
-// Counters are lock-free atomics so the hot paths never serialize on a
-// metrics mutex; `ServiceMetrics` is the coherent snapshot handed to
-// callers (`ptmctl stats` prints it).
+// The instruments themselves (counters, gauges, the log2 latency
+// histogram) live in obs/telemetry.hpp and are registered on the
+// service's TelemetryRegistry; this header keeps the *snapshot view* that
+// existing callers consume.  `ServiceMetrics` is a thin coherent copy of
+// the registry's query-service instruments (`ptmctl stats` prints it);
+// `LatencyRecorder` / `LatencyHistogramSnapshot` are re-exported from
+// obs/ for source compatibility.
 #pragma once
 
-#include <array>
-#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace ptm {
-
-/// Snapshot of a log2-bucketed latency histogram.  Bucket b counts query
-/// latencies in [2^b, 2^(b+1)) nanoseconds (bucket 0 also absorbs 0 ns);
-/// the last bucket absorbs everything larger.
-struct LatencyHistogramSnapshot {
-  static constexpr std::size_t kBuckets = 40;  ///< covers up to ~9 minutes
-
-  std::array<std::uint64_t, kBuckets> buckets{};
-  std::uint64_t count = 0;
-
-  /// Upper-bound estimate of the p-th percentile (0 <= p <= 100) in
-  /// nanoseconds: the upper edge of the bucket containing that rank.
-  /// Returns 0 when the histogram is empty.
-  [[nodiscard]] std::uint64_t percentile_ns(double p) const noexcept;
-};
-
-/// Concurrent latency recorder backing the snapshot above.  `record` is
-/// wait-free (one relaxed fetch_add); snapshots are not linearizable with
-/// respect to concurrent records, which is fine for monitoring.
-class LatencyRecorder {
- public:
-  void record(std::uint64_t nanos) noexcept;
-  [[nodiscard]] LatencyHistogramSnapshot snapshot() const noexcept;
-  /// Zeroes every bucket (crash simulation: volatile state does not
-  /// survive a restart).  Not linearizable w.r.t. concurrent record().
-  void reset() noexcept;
-
- private:
-  std::array<std::atomic<std::uint64_t>, LatencyHistogramSnapshot::kBuckets>
-      buckets_{};
-};
 
 /// Per-shard slice of a ServiceMetrics snapshot.
 struct ShardMetrics {

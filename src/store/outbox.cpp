@@ -13,10 +13,13 @@ constexpr std::uint8_t kOpPush = 1;
 constexpr std::uint8_t kOpAck = 2;
 constexpr std::uint8_t kOpEvict = 3;
 
-std::vector<std::uint8_t> encode_push(const TrafficRecord& record) {
+std::vector<std::uint8_t> encode_push(const TrafficRecord& record,
+                                      const TraceContext& trace) {
   ByteWriter w;
   w.u8(kOpPush);
   w.bytes(record.serialize());
+  w.u64(trace.trace_id);
+  w.u64(trace.span_id);
   return w.take();
 }
 
@@ -57,6 +60,16 @@ Result<UploadOutbox> UploadOutbox::open(std::string path,
       if (!rec_bytes) continue;
       auto record = TrafficRecord::deserialize(*rec_bytes);
       if (!record) continue;
+      // Trailing trace context - absent in pre-tracing logs, which replay
+      // as untraced entries.
+      TraceContext trace;
+      if (r.remaining() >= 16) {
+        auto trace_id = r.u64();
+        auto span_id = r.u64();
+        if (trace_id && span_id) {
+          trace = TraceContext{*trace_id, *span_id};
+        }
+      }
       // Replay through the in-memory path minus the durable logging (the
       // op is already on disk); conflicts in the log keep the first push.
       const bool duplicate = outbox.contains(record->location,
@@ -66,7 +79,7 @@ Result<UploadOutbox> UploadOutbox::open(std::string path,
           outbox.entries_.pop_front();
           ++outbox.evicted_;
         }
-        outbox.entries_.push_back(Entry{std::move(*record), 0, 0});
+        outbox.entries_.push_back(Entry{std::move(*record), 0, 0, trace});
       }
     } else if (*kind == kOpAck || *kind == kOpEvict) {
       auto loc = r.u64();
@@ -90,7 +103,7 @@ Status UploadOutbox::log_op(std::uint8_t kind, const Entry* pushed,
                             std::uint64_t location, std::uint64_t period) {
   if (!persistent()) return Status::ok();
   const auto payload = kind == kOpPush
-                           ? encode_push(pushed->record)
+                           ? encode_push(pushed->record, pushed->trace)
                            : encode_keyed(kind, location, period);
   return framed_log_append(path_, payload);
 }
@@ -99,11 +112,14 @@ Status UploadOutbox::compact() {
   if (!persistent()) return Status::ok();
   std::vector<std::vector<std::uint8_t>> ops;
   ops.reserve(entries_.size());
-  for (const Entry& e : entries_) ops.push_back(encode_push(e.record));
+  for (const Entry& e : entries_) {
+    ops.push_back(encode_push(e.record, e.trace));
+  }
   return framed_log_rewrite(path_, kMagic, ops);
 }
 
-Status UploadOutbox::push(const TrafficRecord& record) {
+Status UploadOutbox::push(const TrafficRecord& record,
+                          const TraceContext& trace) {
   if (Status s = record.validate(); !s.is_ok()) return s;
   const auto it = std::find_if(
       entries_.begin(), entries_.end(), [&](const Entry& e) {
@@ -126,7 +142,7 @@ Status UploadOutbox::push(const TrafficRecord& record) {
     entries_.pop_front();
     ++evicted_;
   }
-  entries_.push_back(Entry{record, 0, 0});
+  entries_.push_back(Entry{record, 0, 0, trace});
   return log_op(kOpPush, &entries_.back(), record.location, record.period);
 }
 

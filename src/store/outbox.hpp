@@ -11,12 +11,15 @@
 // immediately due again, which is the safe direction.
 //
 //   ops log := magic "PTMOBOX1", entry* where
-//   entry   := 0x01 record-bytes      (push)
-//            | 0x02 location period   (ack)
-//            | 0x03 location period   (evict: capacity overflow)
+//   entry   := 0x01 record-bytes [trace_id span_id]   (push)
+//            | 0x02 location period                   (ack)
+//            | 0x03 location period                   (evict: overflow)
 //
-// The log is compacted (rewritten with only pending pushes) on open, which
-// also heals torn tails.
+// The trailing trace ids on a push op are the record's pipeline
+// TraceContext (obs/trace.hpp); logs written before tracing existed omit
+// them and replay as untraced entries (the reader tolerates their
+// absence).  The log is compacted (rewritten with only pending pushes) on
+// open, which also heals torn tails.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +31,7 @@
 #include "common/random.hpp"
 #include "common/status.hpp"
 #include "core/traffic_record.hpp"
+#include "obs/trace.hpp"
 
 namespace ptm {
 
@@ -37,6 +41,7 @@ class UploadOutbox {
     TrafficRecord record;
     std::uint32_t attempts = 0;        ///< delivery attempts so far
     std::uint64_t next_attempt_at = 0; ///< earliest step for the next try
+    TraceContext trace;                ///< pipeline trace, durable with push
   };
 
   /// In-memory outbox (no persistence) holding at most `capacity` entries.
@@ -52,8 +57,10 @@ class UploadOutbox {
   /// (location, period) is idempotent when the bytes match and
   /// FailedPrecondition when they conflict.  When the outbox is full the
   /// oldest entry is evicted (counted in `evicted()`), which is the bounded
-  /// buffer's honest data loss.
-  Status push(const TrafficRecord& record);
+  /// buffer's honest data loss.  `trace` (the record's pipeline
+  /// TraceContext) is persisted alongside the record so retries after a
+  /// reboot stay stitched to the same trace.
+  Status push(const TrafficRecord& record, const TraceContext& trace = {});
 
   /// Drops the entry for (location, period) - the server acknowledged it.
   /// Ok even when absent (duplicate acks are expected after re-delivery).

@@ -46,7 +46,10 @@ TEST(Deployment, UploadReachesServerAndAnswersQueries) {
   }
   ASSERT_TRUE(dep.upload_period(rsu).is_ok());
   EXPECT_TRUE(dep.server().has_record(9, 0));
-  const auto est = dep.server().query_point_volume(9, 0);
+  const auto est = dep.server()
+                       .queries()
+                       .run(QueryRequest{PointVolumeQuery{9, 0}})
+                       .as<CardinalityEstimate>();
   ASSERT_TRUE(est.has_value());
   EXPECT_NEAR(est->value, 300.0, 300.0 * 0.15);
 }
@@ -201,11 +204,19 @@ TEST(Deployment, MultiRsuMultiPeriodPipeline) {
   }
 
   const std::vector<std::uint64_t> periods = {0, 1, 2};
-  const auto point = dep.server().query_point_persistent(100, periods);
+  const auto point =
+      dep.server()
+          .queries()
+          .run(QueryRequest{PointPersistentQuery{100, periods}})
+          .as<PointPersistentEstimate>();
   ASSERT_TRUE(point.has_value());
   EXPECT_NEAR(point->n_star, 150.0, 150.0 * 0.25);
 
-  const auto p2p = dep.server().query_p2p_persistent(100, 200, periods);
+  const auto p2p =
+      dep.server()
+          .queries()
+          .run(QueryRequest{P2PPersistentQuery{100, 200, periods}})
+          .as<PointToPointPersistentEstimate>();
   ASSERT_TRUE(p2p.has_value());
   // All 150 are common to both locations; p2p estimation over a tiny
   // bitmap is noisy, so accept a wide band - the integration point here is

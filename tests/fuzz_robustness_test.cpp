@@ -93,7 +93,7 @@ TEST(Fuzz, MutatedValidFramesRejectedOrEquivalent) {
   // Start from a real frame and flip random bytes: the decoder must either
   // reject it or produce a structurally valid frame (never UB).
   Xoshiro256 rng(4);
-  Frame frame{MacAddress{1}, MacAddress{2}, EncodeIndex{777}};
+  Frame frame{MacAddress{1}, MacAddress{2}, EncodeIndex{777}, {}};
   const auto wire = encode_frame(frame);
   for (int i = 0; i < 5000; ++i) {
     auto mutated = wire;
@@ -168,7 +168,7 @@ TEST(Fuzz, UploadAckFramesDecodeOrRejectCleanly) {
   // The UploadAck decoder sits on the server->RSU return path; mutated and
   // random frames must never crash it or leave a half-built variant.
   Xoshiro256 rng(9);
-  Frame ack{MacAddress{1}, MacAddress{2}, UploadAck{7, 3}};
+  Frame ack{MacAddress{1}, MacAddress{2}, UploadAck{7, 3}, {}};
   const auto wire = encode_frame(ack);
   for (int i = 0; i < 5000; ++i) {
     auto mutated = wire;

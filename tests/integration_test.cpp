@@ -45,13 +45,19 @@ TEST(EndToEnd, PersistentPointTrafficThroughTheFullStack) {
   for (int p = 0; p < kPeriods; ++p) periods[static_cast<std::size_t>(p)] = p;
 
   // Point volume per period ~1600.
-  const auto point = dep.server().query_point_volume(kLocation, 0);
+  const auto point = dep.server()
+                         .queries()
+                         .run(QueryRequest{PointVolumeQuery{kLocation, 0}})
+                         .as<CardinalityEstimate>();
   ASSERT_TRUE(point.has_value());
   EXPECT_NEAR(point->value, 1600.0, 1600.0 * 0.1);
 
   // Persistent volume ~400 (the commuters).
   const auto persistent =
-      dep.server().query_point_persistent(kLocation, periods);
+      dep.server()
+          .queries()
+          .run(QueryRequest{PointPersistentQuery{kLocation, periods}})
+          .as<PointPersistentEstimate>();
   ASSERT_TRUE(persistent.has_value());
   EXPECT_NEAR(persistent->n_star, 400.0, 400.0 * 0.3);
 }
@@ -90,7 +96,11 @@ TEST(EndToEnd, P2PPersistentAcrossTwoIntersections) {
   }
 
   const std::vector<std::uint64_t> periods = {0, 1, 2};
-  const auto est = dep.server().query_p2p_persistent(1, 2, periods);
+  const auto est =
+      dep.server()
+          .queries()
+          .run(QueryRequest{P2PPersistentQuery{1, 2, periods}})
+          .as<PointToPointPersistentEstimate>();
   ASSERT_TRUE(est.has_value());
   // p2p estimation has higher variance than point estimation (Eq. 21's
   // s·m' amplification); accept a generous band around the planted 300.
@@ -141,7 +151,10 @@ TEST(EndToEnd, WorkdayVersusSaturdayPersistence) {
 
   // Workdays of week 0: Mon-Fri.
   const std::vector<std::uint64_t> workdays = {0, 1, 2, 3, 4};
-  const auto weekday_est = server.query_point_persistent(kLocation, workdays);
+  const auto weekday_est =
+      server.queries()
+          .run(QueryRequest{PointPersistentQuery{kLocation, workdays}})
+          .as<PointPersistentEstimate>();
   ASSERT_TRUE(weekday_est.has_value());
   EXPECT_NEAR(weekday_est->n_star, kWeekdayCommuters,
               kWeekdayCommuters * 0.2);
@@ -149,7 +162,9 @@ TEST(EndToEnd, WorkdayVersusSaturdayPersistence) {
   // Saturdays of three consecutive weeks.
   const std::vector<std::uint64_t> saturdays = {5, 12, 19};
   const auto saturday_est =
-      server.query_point_persistent(kLocation, saturdays);
+      server.queries()
+          .run(QueryRequest{PointPersistentQuery{kLocation, saturdays}})
+          .as<PointPersistentEstimate>();
   ASSERT_TRUE(saturday_est.has_value());
   EXPECT_NEAR(saturday_est->n_star, kWeekendRegulars,
               kWeekendRegulars * 0.35);
@@ -157,7 +172,10 @@ TEST(EndToEnd, WorkdayVersusSaturdayPersistence) {
   // Mixing a Sunday in (no regulars present every period) collapses the
   // persistent volume toward zero.
   const std::vector<std::uint64_t> mixed = {0, 1, 6};
-  const auto mixed_est = server.query_point_persistent(kLocation, mixed);
+  const auto mixed_est =
+      server.queries()
+          .run(QueryRequest{PointPersistentQuery{kLocation, mixed}})
+          .as<PointPersistentEstimate>();
   ASSERT_TRUE(mixed_est.has_value());
   EXPECT_LT(mixed_est->n_star, 200.0);
 }
@@ -191,8 +209,14 @@ TEST(EndToEnd, TripTableDrivenNetworkStudy) {
   ASSERT_TRUE(dep.upload_period(rsu_a).is_ok());
   ASSERT_TRUE(dep.upload_period(rsu_b).is_ok());
 
-  const auto est_a = dep.server().query_point_volume(zone_a, 0);
-  const auto est_b = dep.server().query_point_volume(zone_b, 0);
+  const auto est_a = dep.server()
+                         .queries()
+                         .run(QueryRequest{PointVolumeQuery{zone_a, 0}})
+                         .as<CardinalityEstimate>();
+  const auto est_b = dep.server()
+                         .queries()
+                         .run(QueryRequest{PointVolumeQuery{zone_b, 0}})
+                         .as<CardinalityEstimate>();
   ASSERT_TRUE(est_a.has_value() && est_b.has_value());
   EXPECT_LT(relative_error(est_a->value, volume_a), 0.1);
   EXPECT_LT(relative_error(est_b->value, volume_b), 0.1);

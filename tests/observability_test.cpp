@@ -1,0 +1,243 @@
+// End-to-end observability scenario (the acceptance test for the obs
+// layer): drive a deployment through a lossy channel with a scripted RSU
+// crash, then reconstruct the full hop-by-hop story of one traffic record
+// - encode -> stage-upload -> outbox retry -> channel leg -> ingest ->
+// archive append, plus the crash's journal replay - purely from the
+// SpanRecorder dumps and the telemetry registry snapshot.  Also asserts
+// counter coherence (sum of per-shard ingest_ok == records the server
+// accepted) and that both exporters emit parseable output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nodes/deployment.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+
+namespace ptm {
+namespace {
+
+class ObservabilityScenario : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    stem_ = ::testing::TempDir() + "/ptm_obs_" + std::to_string(counter_++);
+  }
+  void TearDown() override {
+    for (const char* suffix :
+         {"_j1", "_o1", "_j2", "_o2", "_archive", "_spans.jsonl"}) {
+      std::remove((stem_ + suffix).c_str());
+    }
+  }
+  std::string stem_;
+  static int counter_;
+};
+
+int ObservabilityScenario::counter_ = 0;
+
+/// Spans of `trace_id` with the given name, dump order preserved.
+std::vector<Span> named(const std::vector<Span>& spans,
+                        std::uint64_t trace_id, const std::string& name) {
+  std::vector<Span> out;
+  for (const Span& span : spans) {
+    if (span.trace_id == trace_id && span.name == name) out.push_back(span);
+  }
+  return out;
+}
+
+/// Minimal Prometheus text-exposition validator: every line is either a
+/// `# TYPE <name> <kind>` comment or `<name>[{labels}] <number>`.
+void expect_valid_prometheus(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated final line";
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("# TYPE ", 0) == 0) continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    // Series: metric name, optionally followed by a balanced {label set}.
+    const std::size_t brace = series.find('{');
+    const std::string name =
+        brace == std::string::npos ? series : series.substr(0, brace);
+    ASSERT_FALSE(name.empty()) << line;
+    for (const char c : name) {
+      ASSERT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_')
+          << line;
+    }
+    if (brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+    }
+    // Value: a number (the strtod remainder must be empty).
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    ASSERT_TRUE(end != value.c_str() && *end == '\0') << line;
+  }
+}
+
+TEST_F(ObservabilityScenario, LossyChannelWithRsuCrashIsReconstructable) {
+  Deployment::Config config;
+  config.ca_key_bits = 512;
+  config.rsu_key_bits = 512;
+  config.channel.loss_probability = 0.2;
+  config.contact_leg_retries = 10;  // lossy but contacts eventually land
+  config.backoff_base = 1;
+  config.backoff_cap = 8;
+  Deployment dep(config, 0xB5EC);
+  Rsu& rsu1 = dep.add_rsu(1, 1024);
+  Rsu& rsu2 = dep.add_rsu(2, 1024);
+  ASSERT_TRUE(rsu1.attach_durability(stem_ + "_j1", stem_ + "_o1").is_ok());
+  ASSERT_TRUE(rsu2.attach_durability(stem_ + "_j2", stem_ + "_o2").is_ok());
+  ASSERT_TRUE(dep.server().attach_durability(stem_ + "_archive").is_ok());
+
+  // RSU 1 crashes at step 5 - after its first contacts, before the upload.
+  FaultPlan plan;
+  plan.rsu_crashes[1] = {5};
+  dep.set_fault_plan(plan);
+
+  const TraceContext record_trace = rsu1.record_trace();  // (1, period 0)
+
+  std::uint64_t next_vehicle = 0;
+  auto drive_contacts = [&](Rsu& rsu, int count) {
+    for (int i = 0; i < count; ++i) {
+      Vehicle v = dep.make_vehicle(next_vehicle++);
+      ASSERT_EQ(dep.run_contact(v, rsu), ContactOutcome::kEncoded);
+    }
+  };
+
+  drive_contacts(rsu1, 30);
+  drive_contacts(rsu2, 30);
+  const std::uint64_t encodes_before_crash = rsu1.encodes_this_period();
+  ASSERT_GT(encodes_before_crash, 0u);
+
+  // Cross the crash trigger: RSU 1 loses volatile state and replays its
+  // journal (the replay is a hop of the record's trace).
+  dep.advance_time(10);
+  EXPECT_EQ(rsu1.encodes_this_period(), encodes_before_crash);
+  EXPECT_EQ(rsu1.current_period(), 0u);
+
+  drive_contacts(rsu1, 10);  // the period keeps filling after the restart
+  ASSERT_TRUE(dep.upload_period_reliable(rsu1, 50).is_ok());
+  ASSERT_TRUE(dep.upload_period_reliable(rsu2, 50).is_ok());
+  // A second period per RSU so several shards hold records.
+  drive_contacts(rsu1, 20);
+  drive_contacts(rsu2, 20);
+  ASSERT_TRUE(dep.upload_period_reliable(rsu1, 50).is_ok());
+  ASSERT_TRUE(dep.upload_period_reliable(rsu2, 50).is_ok());
+  ASSERT_EQ(dep.server().record_count(), 4u);
+
+  // upload_period_reliable returns Ok once the server holds the record,
+  // which can leave an entry pending on a lost ack; drain the outboxes so
+  // every trace's final retry attempt is the acknowledged one.
+  for (int i = 0;
+       i < 500 && (rsu1.outbox().pending() + rsu2.outbox().pending()) > 0;
+       ++i) {
+    dep.advance_time(1);
+    (void)dep.pump_outbox(rsu1);
+    (void)dep.pump_outbox(rsu2);
+  }
+  ASSERT_EQ(rsu1.outbox().pending() + rsu2.outbox().pending(), 0u);
+
+  // -- The post-mortem: reload everything from the span dump alone. ------
+  const std::string dump_path = stem_ + "_spans.jsonl";
+  ASSERT_TRUE(dep.write_span_dump(dump_path).is_ok());
+  const auto loaded = load_span_dump(dump_path);
+  ASSERT_TRUE(loaded.has_value());
+  const std::vector<Span>& spans = *loaded;
+  const std::uint64_t trace_id = record_trace.trace_id;
+
+  // Hop 1: encodes at the RSU, on the record's trace, from node "rsu:1" -
+  // including the ones accepted after the crash restart.
+  const auto encodes = named(spans, trace_id, "encode");
+  ASSERT_GE(encodes.size(), encodes_before_crash);
+  EXPECT_EQ(encodes.front().node, "rsu:1");
+
+  // The crash itself: one journal-replay span on the same trace.
+  const auto replays = named(spans, trace_id, "journal-replay");
+  ASSERT_EQ(replays.size(), 1u);
+  EXPECT_EQ(replays.front().node, "rsu:1");
+  EXPECT_TRUE(replays.front().ok);
+
+  // Hop 2: the period close staged the record into the outbox.
+  const auto staged = named(spans, trace_id, "stage-upload");
+  ASSERT_EQ(staged.size(), 1u);
+  EXPECT_EQ(staged.front().node, "rsu:1");
+  EXPECT_TRUE(staged.front().ok);
+
+  // Hop 3: delivery attempts, parented on the stage-upload span.  The
+  // lossy channel may have needed several; at least the last succeeded.
+  const auto retries = named(spans, trace_id, "outbox-retry");
+  ASSERT_GE(retries.size(), 1u);
+  for (const Span& retry : retries) {
+    EXPECT_EQ(retry.node, "deployment");
+    EXPECT_EQ(retry.parent_span_id, staged.front().span_id);
+  }
+  EXPECT_TRUE(retries.back().ok);
+
+  // The channel legs those attempts (and the encode leg) transited.
+  EXPECT_GE(named(spans, trace_id, "channel-leg").size(), 1u);
+
+  // Hop 4: the server's ingest span chains onto a delivery attempt.
+  const auto ingests = named(spans, trace_id, "ingest");
+  ASSERT_GE(ingests.size(), 1u);
+  std::set<std::uint64_t> retry_ids;
+  for (const Span& retry : retries) retry_ids.insert(retry.span_id);
+  const auto accepted =
+      std::find_if(ingests.begin(), ingests.end(),
+                   [](const Span& s) { return s.ok; });
+  ASSERT_NE(accepted, ingests.end());
+  EXPECT_EQ(accepted->node, "query-service");
+  EXPECT_TRUE(retry_ids.count(accepted->parent_span_id));
+
+  // Hop 5: the durable archive append, child of that ingest.
+  const auto appends = named(spans, trace_id, "archive-append");
+  ASSERT_EQ(appends.size(), 1u);
+  EXPECT_EQ(appends.front().parent_span_id, accepted->span_id);
+  EXPECT_TRUE(appends.front().ok);
+
+  // -- Counter coherence across the registry. ----------------------------
+  const TelemetrySnapshot snap =
+      dep.server().queries().telemetry().snapshot();
+  EXPECT_EQ(snap.counter_sum("ingest_ok"), dep.server().record_count());
+  EXPECT_EQ(snap.counter_sum("archive_append"), dep.server().record_count());
+  // Re-deliveries after lost acks only ever land in ingest_duplicate.
+  EXPECT_EQ(snap.counter_sum("ingest_rejected"), 0u);
+
+  // -- Exporters stay parseable on the live registry. --------------------
+  expect_valid_prometheus(to_prometheus(snap));
+  const std::string json = to_json(snap);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json[json.size() - 2], '}');  // trailing newline after the root
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  for (const char* key : {"\"counters\"", "\"gauges\"", "\"histograms\"",
+                          "\"ingest_ok\"", "\"query_latency_ns\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace ptm

@@ -14,10 +14,6 @@
 #include "nodes/server.hpp"
 #include "traffic/workload.hpp"
 
-// This file deliberately exercises the deprecated CentralServer wrappers:
-// they are the reference the QueryService answers must match bit-for-bit.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace ptm {
 namespace {
 
@@ -77,29 +73,30 @@ void check_against_server(const CentralServer& server,
     EXPECT_EQ(response.status.code(), ErrorCode::kNotFound);
     return;
   }
-  if (const auto* q = std::get_if<PointVolumeQuery>(&request)) {
-    const auto expected = server.query_point_volume(q->location, q->period);
+  if (std::holds_alternative<PointVolumeQuery>(request)) {
+    const auto expected =
+        server.queries().run(request).as<CardinalityEstimate>();
     ASSERT_TRUE(expected.has_value());
     const auto& got = std::get<CardinalityEstimate>(response.result);
     EXPECT_EQ(got.value, expected->value);
     EXPECT_EQ(got.fraction_zeros, expected->fraction_zeros);
-  } else if (const auto* q = std::get_if<PointPersistentQuery>(&request)) {
+  } else if (std::holds_alternative<PointPersistentQuery>(request)) {
     const auto expected =
-        server.query_point_persistent(q->location, q->periods);
+        server.queries().run(request).as<PointPersistentEstimate>();
     ASSERT_TRUE(expected.has_value());
     const auto& got = std::get<PointPersistentEstimate>(response.result);
     EXPECT_EQ(got.n_star, expected->n_star);
     EXPECT_EQ(got.v_a0, expected->v_a0);
     EXPECT_EQ(got.v_b0, expected->v_b0);
-  } else if (const auto* q = std::get_if<RecentPersistentQuery>(&request)) {
+  } else if (std::holds_alternative<RecentPersistentQuery>(request)) {
     const auto expected =
-        server.query_point_persistent_recent(q->location, q->window);
+        server.queries().run(request).as<PointPersistentEstimate>();
     ASSERT_TRUE(expected.has_value());
     const auto& got = std::get<PointPersistentEstimate>(response.result);
     EXPECT_EQ(got.n_star, expected->n_star);
-  } else if (const auto* q = std::get_if<P2PPersistentQuery>(&request)) {
-    const auto expected = server.query_p2p_persistent(
-        q->location_a, q->location_b, q->periods);
+  } else if (std::holds_alternative<P2PPersistentQuery>(request)) {
+    const auto expected =
+        server.queries().run(request).as<PointToPointPersistentEstimate>();
     ASSERT_TRUE(expected.has_value());
     const auto& got =
         std::get<PointToPointPersistentEstimate>(response.result);
@@ -175,9 +172,11 @@ TEST(QueryService, RecentWindowZeroIsInvalidArgument) {
       service.run(QueryRequest{RecentPersistentQuery{7, 0}});
   EXPECT_EQ(response.status.code(), ErrorCode::kInvalidArgument);
 
-  // The deprecated CentralServer wrapper routes through the same path.
+  // CentralServer's embedded service routes through the same path.
   CentralServer server(2.0, 3);
-  EXPECT_EQ(server.query_point_persistent_recent(7, 0).status().code(),
+  EXPECT_EQ(server.queries()
+                .run(QueryRequest{RecentPersistentQuery{7, 0}})
+                .status.code(),
             ErrorCode::kInvalidArgument);
 }
 

@@ -1,5 +1,5 @@
 // Tests for nodes/server.hpp: record store, Eq. 2 planning from history,
-// and the three query types.
+// and the query types via the unified queries().run(...) API.
 #include "nodes/server.hpp"
 
 #include <gtest/gtest.h>
@@ -66,10 +66,14 @@ TEST(Server, QueryPointVolume) {
   rec.bits = Bitmap(8192);
   add_transient_traffic(rec.bits, 4000, rng);
   ASSERT_TRUE(server.ingest(rec).is_ok());
-  const auto est = server.query_point_volume(9, 2);
+  const auto est = server.queries()
+                       .run(QueryRequest{PointVolumeQuery{9, 2}})
+                       .as<CardinalityEstimate>();
   ASSERT_TRUE(est.has_value());
   EXPECT_NEAR(est->value, 4000.0, 4000.0 * 0.05);
-  EXPECT_EQ(server.query_point_volume(9, 3).status().code(),
+  EXPECT_EQ(server.queries()
+                .run(QueryRequest{PointVolumeQuery{9, 3}})
+                .status.code(),
             ErrorCode::kNotFound);
 }
 
@@ -122,12 +126,16 @@ TEST(Server, QueryPointPersistentEndToEnd) {
     ASSERT_TRUE(server.ingest(rec).is_ok());
   }
   const std::vector<std::uint64_t> periods = {0, 1, 2, 3, 4};
-  const auto est = server.query_point_persistent(4, periods);
+  const auto est = server.queries()
+                       .run(QueryRequest{PointPersistentQuery{4, periods}})
+                       .as<PointPersistentEstimate>();
   ASSERT_TRUE(est.has_value());
   EXPECT_NEAR(est->n_star, kNStar, kNStar * 0.2);
 
   const std::vector<std::uint64_t> with_missing = {0, 1, 7};
-  EXPECT_EQ(server.query_point_persistent(4, with_missing).status().code(),
+  EXPECT_EQ(server.queries()
+                .run(QueryRequest{PointPersistentQuery{4, with_missing}})
+                .status.code(),
             ErrorCode::kNotFound);
 }
 
@@ -143,23 +151,32 @@ TEST(Server, QueryPointPersistentRecentWindow) {
   // Not enough periods yet.
   TrafficRecord first{6, 0, bitmaps[0]};
   ASSERT_TRUE(server.ingest(first).is_ok());
-  EXPECT_EQ(server.query_point_persistent_recent(6, 3).status().code(),
+  EXPECT_EQ(server.queries()
+                .run(QueryRequest{RecentPersistentQuery{6, 3}})
+                .status.code(),
             ErrorCode::kNotFound);
 
   for (std::size_t period = 1; period < bitmaps.size(); ++period) {
     ASSERT_TRUE(server.ingest({6, period, bitmaps[period]}).is_ok());
   }
   // Window of 3 = last three periods; must match the explicit-period query.
-  const auto recent = server.query_point_persistent_recent(6, 3);
+  const auto recent = server.queries()
+                          .run(QueryRequest{RecentPersistentQuery{6, 3}})
+                          .as<PointPersistentEstimate>();
   ASSERT_TRUE(recent.has_value());
   const std::vector<std::uint64_t> last_three = {5, 6, 7};
-  const auto explicit_q = server.query_point_persistent(6, last_three);
+  const auto explicit_q =
+      server.queries()
+          .run(QueryRequest{PointPersistentQuery{6, last_three}})
+          .as<PointPersistentEstimate>();
   ASSERT_TRUE(explicit_q.has_value());
   EXPECT_DOUBLE_EQ(recent->n_star, explicit_q->n_star);
   EXPECT_NEAR(recent->n_star, kNStar, kNStar * 0.25);
 
   // Unknown location.
-  EXPECT_EQ(server.query_point_persistent_recent(99, 2).status().code(),
+  EXPECT_EQ(server.queries()
+                .run(QueryRequest{RecentPersistentQuery{99, 2}})
+                .status.code(),
             ErrorCode::kNotFound);
 }
 
@@ -179,11 +196,16 @@ TEST(Server, QueryP2PPersistentEndToEnd) {
     ASSERT_TRUE(server.ingest(rec_lp).is_ok());
   }
   const std::vector<std::uint64_t> periods = {0, 1, 2, 3, 4};
-  const auto est = server.query_p2p_persistent(10, 11, periods);
+  const auto est =
+      server.queries()
+          .run(QueryRequest{P2PPersistentQuery{10, 11, periods}})
+          .as<PointToPointPersistentEstimate>();
   ASSERT_TRUE(est.has_value());
   EXPECT_NEAR(est->n_double_prime, kNpp, kNpp * 0.25);
 
-  EXPECT_EQ(server.query_p2p_persistent(10, 99, periods).status().code(),
+  EXPECT_EQ(server.queries()
+                .run(QueryRequest{P2PPersistentQuery{10, 99, periods}})
+                .status.code(),
             ErrorCode::kNotFound);
 }
 
