@@ -12,14 +12,14 @@
 #include "common/stats.hpp"
 #include "sim/event_sim.hpp"
 
-int main() {
+PTM_BENCH(ablation_beacon) {
   using namespace ptm;
 
-  const std::size_t runs = bench_runs(10);
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Ablation - beacon interval vs coverage",
+  const std::size_t runs = ctx.runs(10);
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Ablation - beacon interval vs coverage",
                       "validates the paper's §II-D beaconing assumption",
-                      runs, seed);
+                      runs);
 
   for (double mean_dwell : {4.0, 8.0, 20.0}) {
     TableWriter table({"beacon interval (s)", "sim coverage",
@@ -45,7 +45,7 @@ int main() {
                      TableWriter::fmt(latency.mean(), 2)});
     }
     std::cout << "--- mean dwell = " << mean_dwell << " s ---\n";
-    bench::emit(table, "ablation_beacon_dwell" +
+    ctx.emit(table, "ablation_beacon_dwell" +
                            std::to_string(static_cast<int>(mean_dwell)));
     std::cout << "\n";
   }
@@ -55,5 +55,4 @@ int main() {
             << "failing once the interval approaches the dwell time, and\n"
             << "the undercount column is exactly the bias a deployment\n"
             << "would see in its volume estimates.\n";
-  return 0;
 }

@@ -13,13 +13,13 @@
 #include "common/stats.hpp"
 #include "nodes/deployment.hpp"
 
-int main() {
+PTM_BENCH(ablation_channel) {
   using namespace ptm;
 
-  const std::size_t runs = bench_runs(5);
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Ablation - channel loss vs estimation",
-                      "DESIGN.md §5 (DSRC substitution sanity)", runs, seed);
+  const std::size_t runs = ctx.runs(5);
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Ablation - channel loss vs estimation",
+                      "DESIGN.md §5 (DSRC substitution sanity)", runs);
 
   constexpr int kVehicles = 1500;
   TableWriter table({"loss prob", "contact success", "expected success",
@@ -59,12 +59,11 @@ int main() {
                    TableWriter::fmt(err_vs_encoded.mean(), 4)});
   }
 
-  bench::emit(table, "ablation_channel_loss");
+  ctx.emit(table, "ablation_channel_loss");
   std::cout << "\nshape checks: contact success tracks (1-loss)^4; the\n"
             << "estimator stays accurate for the ENCODED population at any\n"
             << "loss (rightmost column small), so undercount vs the true\n"
             << "population is purely the protocol failure rate - matching\n"
             << "the paper's assumption that frequent beacons make loss\n"
             << "negligible.\n";
-  return 0;
 }

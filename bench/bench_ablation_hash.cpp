@@ -15,14 +15,14 @@
 #include "core/point_persistent.hpp"
 #include "traffic/workload.hpp"
 
-int main() {
+PTM_BENCH(ablation_hash) {
   using namespace ptm;
 
-  const std::size_t runs = bench_runs(40);
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Ablation - hash family sensitivity",
+  const std::size_t runs = ctx.runs(40);
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Ablation - hash family sensitivity",
                       "checks §II-D's 'good randomness suffices' premise",
-                      runs, seed);
+                      runs);
 
   TableWriter table({"hash family", "point rel err", "point stderr",
                      "p2p rel err", "p2p stderr"});
@@ -58,11 +58,10 @@ int main() {
                    TableWriter::fmt(p2p_err.mean(), 4),
                    TableWriter::fmt(p2p_err.stderr_mean(), 4)});
   }
-  bench::emit(table, "ablation_hash_family");
+  ctx.emit(table, "ablation_hash_family");
 
   std::cout << "\nreading: all three families agree within one standard\n"
             << "error on both estimators - the design is hash-agnostic as\n"
             << "claimed, so a deployment can choose SipHash (keyed PRF)\n"
             << "for defense-in-depth at no accuracy cost.\n";
-  return 0;
 }

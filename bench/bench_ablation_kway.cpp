@@ -14,14 +14,13 @@
 #include "core/point_persistent.hpp"
 #include "traffic/workload.hpp"
 
-int main() {
+PTM_BENCH(ablation_kway) {
   using namespace ptm;
 
-  const std::size_t runs = bench_runs(40);
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Ablation - k-way subset split",
-                      "quantifies the paper's §III-B two-set remark", runs,
-                      seed);
+  const std::size_t runs = ctx.runs(40);
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Ablation - k-way subset split",
+                      "quantifies the paper's §III-B two-set remark", runs);
 
   const EncodingParams encoding;
 
@@ -51,7 +50,7 @@ int main() {
     }
     std::cout << "--- t = " << t << ", n* = " << n_star
               << ", volume = 8000/period ---\n";
-    bench::emit(table,
+    ctx.emit(table,
                 "ablation_kway_t" + std::to_string(t) + "_n" +
                     std::to_string(n_star));
     std::cout << "\n";
@@ -60,5 +59,4 @@ int main() {
   std::cout << "reading: 2 groups is the sweet spot or within noise of it -\n"
             << "more groups mean fewer records per group, so each group's\n"
             << "AND filters less transient noise; the paper's choice holds.\n";
-  return 0;
 }

@@ -22,14 +22,14 @@
 #include "sketch/pcsa.hpp"
 #include "sketch/virtual_bitmap.hpp"
 
-int main() {
+PTM_BENCH(ablation_sketches) {
   using namespace ptm;
 
-  const std::size_t runs = bench_runs(30);
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Ablation - linear counting vs register sketches",
+  const std::size_t runs = ctx.runs(30);
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Ablation - linear counting vs register sketches",
                       "supports the paper's choice of bitmap records (§II-D)",
-                      runs, seed);
+                      runs);
 
   TableWriter table({"n (vehicles)", "method", "memory bits",
                      "mean rel err", "stderr"});
@@ -81,12 +81,11 @@ int main() {
     add("virtual bitmap p=1/8", 1 << 16, vb_err);
   }
 
-  bench::emit(table, "ablation_sketches");
+  ctx.emit(table, "ablation_sketches");
   std::cout
       << "\nreading: at the paper's f = 2 sizing, linear counting's error\n"
       << "is a fraction of a percent - below both sketches - and, unlike\n"
       << "registers, the bitmap supports the §III-A AND-join on which both\n"
       << "persistent estimators are built.  Sketches win only when memory\n"
       << "must be far below f·n bits, a regime Eq. 2 never plans.\n";
-  return 0;
 }

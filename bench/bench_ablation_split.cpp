@@ -16,14 +16,13 @@
 #include "sim/experiment.hpp"
 #include "traffic/workload.hpp"
 
-int main() {
+PTM_BENCH(ablation_split) {
   using namespace ptm;
 
-  const std::size_t runs = bench_runs(30);
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Ablation - two-subset split & estimator variants",
-                      "DESIGN.md §6 (supports paper §III-B, §IV-B)", runs,
-                      seed);
+  const std::size_t runs = ctx.runs(30);
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Ablation - two-subset split & estimator variants",
+                      "DESIGN.md §6 (supports paper §III-B, §IV-B)", runs);
 
   // Part 1: proposed (split) vs naive (no split) across t, at a fixed small
   // persistent fraction where the difference is starkest.
@@ -54,7 +53,7 @@ int main() {
     }
     std::cout << "--- split (Eq. 12) vs naive linear counting, n* = 200, "
                  "volume = 8000 ---\n";
-    bench::emit(table, "ablation_split_vs_naive");
+    ctx.emit(table, "ablation_split_vs_naive");
     std::cout << "\n";
   }
 
@@ -88,7 +87,7 @@ int main() {
                             6)});
     }
     std::cout << "--- Eq. 21 approximation vs exact log (p2p) ---\n";
-    bench::emit(table, "ablation_exact_log");
+    ctx.emit(table, "ablation_exact_log");
     std::cout << "\n";
   }
 
@@ -118,11 +117,10 @@ int main() {
                      TableWriter::fmt(table2_ratio(s, 2.0), 4)});
     }
     std::cout << "--- s sweep: accuracy cost vs privacy gain ---\n";
-    bench::emit(table, "ablation_s_sweep");
+    ctx.emit(table, "ablation_s_sweep");
   }
 
   std::cout << "\nshape checks: the split wins at every t (most at small t);\n"
             << "the exact-log gap is ~1e-4 or below; raising s buys privacy\n"
             << "ratio linearly while p2p error grows.\n";
-  return 0;
 }

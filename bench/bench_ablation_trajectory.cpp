@@ -11,14 +11,14 @@
 #include "core/privacy.hpp"
 #include "sim/trajectory_attack.hpp"
 
-int main() {
+PTM_BENCH(ablation_trajectory) {
   using namespace ptm;
 
-  const std::size_t targets = bench_runs(60);
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Ablation - trajectory reconstruction attack",
+  const std::size_t targets = ctx.runs(60);
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Ablation - trajectory reconstruction attack",
                       "route-level empirical counterpart of Table II (§V)",
-                      targets, seed);
+                      targets);
 
   TableWriter table({"s", "f", "TPR (route hit)", "FPR (false hit)",
                      "precision", "analytic ratio"});
@@ -38,7 +38,7 @@ int main() {
                      TableWriter::fmt(table2_ratio(s, f), 4)});
     }
   }
-  bench::emit(table, "ablation_trajectory_attack");
+  ctx.emit(table, "ablation_trajectory_attack");
 
   TrajectoryAttackConfig base;
   const TrajectoryAttackResult base_result = run_trajectory_attack(base);
@@ -52,5 +52,4 @@ int main() {
             << "s = 3, f = 2 the flagged set is dominated by false hits\n"
             << "(precision near the route base rate), so a reconstructed\n"
             << "'route' is mostly noise - the §V claim, route-scale.\n";
-  return 0;
 }

@@ -14,14 +14,14 @@
 #include "core/corridor_persistent.hpp"
 #include "traffic/workload.hpp"
 
-int main() {
+PTM_BENCH(ext_corridor) {
   using namespace ptm;
 
-  const std::size_t runs = bench_runs(30);
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Extension - corridor persistent traffic",
+  const std::size_t runs = ctx.runs(30);
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Extension - corridor persistent traffic",
                       "k-location generalization of Eq. 21 (DESIGN.md)",
-                      runs, seed);
+                      runs);
 
   const EncodingParams encoding;
 
@@ -55,12 +55,11 @@ int main() {
                      TableWriter::fmt(log_b, 8)});
     }
   }
-  bench::emit(table, "ext_corridor");
+  ctx.emit(table, "ext_corridor");
 
   std::cout << "\nreading: ln B grows with k (every location adds per-\n"
             << "vehicle evidence), so longer corridors estimate BETTER at\n"
             << "fixed volume - the opposite of what chaining pairwise\n"
             << "estimates would suffer.  At k = 2 the estimator is exactly\n"
             << "the paper's Eq. 21 (tested to 1e-12 in the ln B factor).\n";
-  return 0;
 }

@@ -7,14 +7,13 @@
 #include "bench_util.hpp"
 #include "sim/experiment.hpp"
 
-int main() {
+PTM_BENCH(fig4_point_persistent) {
   using namespace ptm;
 
-  const std::size_t runs = bench_runs(50);
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Fig. 4 - point persistent relative error",
-                      "ICDCS'17 Fig. 4 (left: t = 5, right: t = 10)", runs,
-                      seed);
+  const std::size_t runs = ctx.runs(50);
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Fig. 4 - point persistent relative error",
+                      "ICDCS'17 Fig. 4 (left: t = 5, right: t = 10)", runs);
 
   for (std::size_t t : {std::size_t{5}, std::size_t{10}}) {
     PointSweepConfig config;
@@ -33,7 +32,7 @@ int main() {
                      TableWriter::fmt(std::uint64_t{cell.degenerate_runs})});
     }
     std::cout << "--- t = " << t << " ---\n";
-    bench::emit(table, "fig4_t" + std::to_string(t));
+    ctx.emit(table, "fig4_t" + std::to_string(t));
 
     // The paper's qualitative claims, checked numerically.
     double worst_ratio = 0.0;
@@ -54,5 +53,4 @@ int main() {
   std::cout << "shape checks: proposed <= benchmark everywhere, gap widest\n"
             << "at small persistent volume, and both curves drop from t=5\n"
             << "to t=10 (more AND-joins filter more transient noise).\n";
-  return 0;
 }

@@ -12,7 +12,8 @@
 
 namespace {
 
-void emit_scatter(const std::vector<ptm::ScatterPoint>& points,
+void emit_scatter(ptm::bench::BenchContext& ctx,
+                  const std::vector<ptm::ScatterPoint>& points,
                   const std::string& label, const std::string& csv_name) {
   using ptm::TableWriter;
   TableWriter table({"actual", "estimated", "rel err"});
@@ -26,7 +27,7 @@ void emit_scatter(const std::vector<ptm::ScatterPoint>& points,
     y.push_back(p.estimated);
   }
   std::cout << "--- " << label << " ---\n";
-  ptm::bench::emit(table, csv_name);
+  ctx.emit(table, csv_name);
   const ptm::LinearFit fit = ptm::least_squares(x, y);
   std::cout << "equality-line fit: slope = " << TableWriter::fmt(fit.slope, 4)
             << ", intercept = " << TableWriter::fmt(fit.intercept, 1)
@@ -35,24 +36,23 @@ void emit_scatter(const std::vector<ptm::ScatterPoint>& points,
 
 }  // namespace
 
-int main() {
+PTM_BENCH(fig5_scatter_f2) {
   using namespace ptm;
 
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Fig. 5 - accuracy scatter at f = 2",
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Fig. 5 - accuracy scatter at f = 2",
                       "ICDCS'17 Fig. 5 (t = 5, f = 2; left point, right p2p)",
-                      1, seed);
+                      1);
 
   ScatterConfig config;
   config.t = 5;
   config.f = 2.0;
   config.seed = seed;
-  emit_scatter(run_point_scatter(config), "point persistent (t=5, f=2)",
+  emit_scatter(ctx, run_point_scatter(config), "point persistent (t=5, f=2)",
                "fig5_point_f2");
-  emit_scatter(run_p2p_scatter(config), "p2p persistent (t=5, f=2)",
+  emit_scatter(ctx, run_p2p_scatter(config), "p2p persistent (t=5, f=2)",
                "fig5_p2p_f2");
 
   std::cout << "shape check: both clouds hug y = x (slope ~1, high r^2), as\n"
             << "in the paper's Fig. 5.\n";
-  return 0;
 }

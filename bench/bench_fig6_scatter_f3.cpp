@@ -14,7 +14,8 @@ namespace {
 
 /// Returns the mean relative error so main() can print the f=2 vs f=3
 /// comparison the figure pair is about.
-double emit_scatter(const std::vector<ptm::ScatterPoint>& points,
+double emit_scatter(ptm::bench::BenchContext& ctx,
+                  const std::vector<ptm::ScatterPoint>& points,
                     const std::string& label, const std::string& csv_name) {
   using ptm::TableWriter;
   TableWriter table({"actual", "estimated", "rel err"});
@@ -30,7 +31,7 @@ double emit_scatter(const std::vector<ptm::ScatterPoint>& points,
     err.add(rel);
   }
   std::cout << "--- " << label << " ---\n";
-  ptm::bench::emit(table, csv_name);
+  ctx.emit(table, csv_name);
   const ptm::LinearFit fit = ptm::least_squares(x, y);
   std::cout << "equality-line fit: slope = " << TableWriter::fmt(fit.slope, 4)
             << ", intercept = " << TableWriter::fmt(fit.intercept, 1)
@@ -42,21 +43,22 @@ double emit_scatter(const std::vector<ptm::ScatterPoint>& points,
 
 }  // namespace
 
-int main() {
+PTM_BENCH(fig6_scatter_f3) {
   using namespace ptm;
 
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Fig. 6 - accuracy scatter at f = 3",
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Fig. 6 - accuracy scatter at f = 3",
                       "ICDCS'17 Fig. 6 (t = 5, f = 3; left point, right p2p)",
-                      1, seed);
+                      1);
 
   ScatterConfig f3;
   f3.t = 5;
   f3.f = 3.0;
   f3.seed = seed;
-  const double point_f3 = emit_scatter(
-      run_point_scatter(f3), "point persistent (t=5, f=3)", "fig6_point_f3");
-  const double p2p_f3 = emit_scatter(run_p2p_scatter(f3),
+  const double point_f3 =
+      emit_scatter(ctx, run_point_scatter(f3), "point persistent (t=5, f=3)",
+                   "fig6_point_f3");
+  const double p2p_f3 = emit_scatter(ctx, run_p2p_scatter(f3),
                                      "p2p persistent (t=5, f=3)",
                                      "fig6_p2p_f3");
 
@@ -78,5 +80,4 @@ int main() {
             << "shape check: increasing f visibly improves accuracy (the\n"
             << "paper's Figs. 5 vs 6), at the privacy cost shown in Table "
                "II.\n";
-  return 0;
 }

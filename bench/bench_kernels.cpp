@@ -1,0 +1,141 @@
+// Kernel-dispatch benchmarks: every compiled SIMD variant against the
+// scalar reference on the raw word kernels, plus the dispatched-vs-scalar
+// ratio on the estimator hot paths (the Eq. 12 triple and the lazy-
+// expansion join) and the bitmap-pool hit path.  The "eq12/dispatched" vs
+// "eq12/scalar" pair is the PR's acceptance measurement: dispatched must
+// be >= 1.5x on an AVX2-capable host.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/bitmap.hpp"
+#include "common/bitmap_pool.hpp"
+#include "common/random.hpp"
+#include "core/expansion.hpp"
+#include "core/point_persistent.hpp"
+#include "simd/kernels.hpp"
+
+namespace {
+
+using namespace ptm;
+using bench::do_not_optimize;
+using bench::MeasureOptions;
+
+std::vector<std::uint64_t> random_words(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> words(n);
+  for (std::uint64_t& w : words) w = rng.next();
+  return words;
+}
+
+std::vector<Bitmap> mixed_records(std::size_t m) {
+  Xoshiro256 rng(12);
+  std::vector<Bitmap> records;
+  const std::size_t sizes[] = {m / 64, m / 16, m / 4, m};
+  for (int i = 0; i < 16; ++i) {
+    const std::size_t bits = sizes[i % 4];
+    Bitmap b(bits);
+    for (std::size_t j = 0; j < bits / 2; ++j) b.set(rng.below(bits));
+    records.push_back(std::move(b));
+  }
+  return records;
+}
+
+/// Pins `variant` for the duration of one measurement (RAII so a thrown
+/// measurement cannot leave the process pinned).
+struct PinnedVariant {
+  explicit PinnedVariant(const simd::Kernels& k) {
+    simd::set_active_for_testing(&k);
+  }
+  ~PinnedVariant() { simd::set_active_for_testing(nullptr); }
+};
+
+}  // namespace
+
+PTM_PERF_BENCH(kernels_word_sweeps) {
+  // Raw word kernels, one row per compiled+runnable variant, so a BENCH
+  // file records how each ISA tier performs on this host.  16 Ki words =
+  // one 1 Mi-bit record (64 Ki bits under --smoke).
+  const std::size_t n = ctx.smoke() ? (1 << 10) : (1 << 14);
+  const auto a = random_words(n, 101);
+  const auto b = random_words(n, 202);
+  const double bytes = static_cast<double>(n) * 8.0;
+
+  for (const simd::Kernels* k : simd::compiled_variants()) {
+    if (!simd::runnable(*k)) continue;
+    MeasureOptions opts;
+    opts.bytes_per_op = bytes;
+    opts.label = k->name;
+    char name[64];
+    std::snprintf(name, sizeof name, "popcount/%s", k->name);
+    ctx.measure(name, opts, [&] {
+      do_not_optimize(k->popcount(a.data(), n));
+    });
+    std::snprintf(name, sizeof name, "and_count/%s", k->name);
+    opts.bytes_per_op = bytes * 2;
+    ctx.measure(name, opts, [&] {
+      do_not_optimize(k->and_count(a.data(), b.data(), n));
+    });
+    std::snprintf(name, sizeof name, "triple_count/%s", k->name);
+    ctx.measure(name, opts, [&] {
+      do_not_optimize(k->triple_count(a.data(), b.data(), n));
+    });
+  }
+}
+
+PTM_PERF_BENCH(kernels_estimator_paths) {
+  // The estimator hot paths under the dispatched variant vs pinned scalar.
+  // The ratio is the end-to-end speedup the dispatch layer buys, measured
+  // through the same public entry points the query service uses.
+  const std::size_t m = ctx.smoke() ? (std::size_t{1} << 16)
+                                    : (std::size_t{1} << 20);
+  const auto records = mixed_records(m);
+
+  const struct {
+    const char* suffix;
+    const simd::Kernels* pin;  // nullptr = dispatched choice
+  } variants[] = {
+      {"dispatched", nullptr},
+      {"scalar", &simd::scalar()},
+  };
+  for (const auto& v : variants) {
+    MeasureOptions opts;
+    opts.label = v.pin != nullptr ? v.pin->name : simd::active().name;
+    char name[64];
+    std::snprintf(name, sizeof name, "eq12/%s", v.suffix);
+    {
+      PinnedVariant pin(v.pin != nullptr ? *v.pin : simd::active());
+      ctx.measure(name, opts, [&] {
+        do_not_optimize(estimate_point_persistent(records));
+      });
+    }
+    std::snprintf(name, sizeof name, "and_join/%s", v.suffix);
+    {
+      PinnedVariant pin(v.pin != nullptr ? *v.pin : simd::active());
+      ctx.measure(name, opts, [&] {
+        do_not_optimize(and_join_expanded(records));
+      });
+    }
+  }
+}
+
+PTM_PERF_BENCH(kernels_bitmap_pool) {
+  // Pool hit path vs a fresh heap allocation for an m-bit scratch bitmap -
+  // the per-query temporary cost the arena removes.
+  const std::size_t bits = ctx.smoke() ? (std::size_t{1} << 16)
+                                       : (std::size_t{1} << 20);
+  BitmapPool pool;
+  {
+    // Park one buffer so the measured acquire always hits.
+    auto warm = pool.acquire(bits);
+  }
+  ctx.measure("pool_acquire/hit", {}, [&] {
+    auto lease = pool.acquire(bits);
+    do_not_optimize(lease.get());
+  });
+  ctx.measure("pool_acquire/fresh_heap", {}, [&] {
+    Bitmap b(bits);
+    do_not_optimize(b);
+  });
+}

@@ -1,86 +1,41 @@
-// Performance microbenchmarks (google-benchmark) for the hot paths: vehicle
-// encoding, bitmap joins/expansion, and the three estimators.  These are
+// Performance benchmarks for the hot paths: vehicle encoding, bitmap
+// joins/expansion, the three estimators, and the query service.  These are
 // ours (the paper reports no throughput numbers) and exist to keep the
 // library honest about the "RSU handles a beacon's worth of vehicles per
-// second" and "server answers a query interactively" stories.
-#include <benchmark/benchmark.h>
-
+// second" and "server answers a query interactively" stories.  All are
+// registered PTM_PERF_BENCH bodies, so the same objects serve the
+// standalone bench_perf_core binary and the bench_runner JSON/regression
+// tool; --smoke (CI) shrinks every workload.
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "bench_util.hpp"
 #include "common/random.hpp"
-#include "core/encoding.hpp"
 #include "core/bootstrap.hpp"
+#include "core/encoding.hpp"
 #include "core/expansion.hpp"
 #include "core/linear_counting.hpp"
-#include "core/sliding_join.hpp"
 #include "core/p2p_persistent.hpp"
 #include "core/point_persistent.hpp"
+#include "core/sliding_join.hpp"
 #include "hash/hash_suite.hpp"
 #include "nodes/deployment.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "query/query_service.hpp"
+#include "simd/kernels.hpp"
 #include "store/archive.hpp"
 #include "traffic/workload.hpp"
 
 namespace {
 
 using namespace ptm;
-
-void BM_Hash64(benchmark::State& state) {
-  const auto family = static_cast<HashFamily>(state.range(0));
-  std::uint64_t v = 0x9E3779B97F4A7C15ULL;
-  for (auto _ : state) {
-    v = hash64(family, v, 42);
-    benchmark::DoNotOptimize(v);
-  }
-}
-BENCHMARK(BM_Hash64)->Arg(0)->Arg(1)->Arg(2);
-
-void BM_VehicleEncode(benchmark::State& state) {
-  Xoshiro256 rng(1);
-  const VehicleEncoder encoder(EncodingParams{});
-  const auto vehicles = make_vehicles(1024, 3, rng);
-  Bitmap record(1 << 16);
-  std::size_t i = 0;
-  for (auto _ : state) {
-    encoder.encode(vehicles[i++ & 1023], 0xA, record);
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_VehicleEncode);
-
-void BM_BitmapAnd(benchmark::State& state) {
-  const auto bits = static_cast<std::size_t>(state.range(0));
-  Xoshiro256 rng(2);
-  Bitmap a(bits), b(bits);
-  for (std::size_t i = 0; i < bits / 2; ++i) {
-    a.set(rng.below(bits));
-    b.set(rng.below(bits));
-  }
-  for (auto _ : state) {
-    Bitmap copy = a;
-    benchmark::DoNotOptimize(copy.and_with(b));
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(bits / 8));
-}
-BENCHMARK(BM_BitmapAnd)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
-
-void BM_BitmapExpand(benchmark::State& state) {
-  Xoshiro256 rng(3);
-  Bitmap small(1 << 12);
-  for (int i = 0; i < 2000; ++i) small.set(rng.below(1 << 12));
-  for (auto _ : state) {
-    auto expanded = expand_to(small, 1 << 20);
-    benchmark::DoNotOptimize(expanded);
-  }
-}
-BENCHMARK(BM_BitmapExpand);
+using bench::do_not_optimize;
+using bench::MeasureOptions;
 
 /// t = 16 records with sizes cycling m/64 .. m - the mixed-size join the
-/// lazy-expansion kernels exist for.  Built once per size.
+/// lazy-expansion kernels exist for.
 std::vector<Bitmap> join_kernel_records(std::size_t m) {
   Xoshiro256 rng(12);
   std::vector<Bitmap> records;
@@ -94,153 +49,182 @@ std::vector<Bitmap> join_kernel_records(std::size_t m) {
   return records;
 }
 
-/// Fused tiled AND-join (arg 0) vs the materializing reference that
-/// expands every record to m first (arg 1).  The ratio of the two rows is
-/// the kernel speedup; >= 3x at m = 2^20 is the bar.
-void BM_JoinKernels(benchmark::State& state) {
-  const bool materialized = state.range(0) != 0;
-  const std::size_t m = std::size_t{1} << 20;
+}  // namespace
+
+PTM_PERF_BENCH(perf_hash) {
+  for (HashFamily family :
+       {HashFamily::kMurmur3, HashFamily::kXxHash, HashFamily::kSipHash}) {
+    std::uint64_t v = 0x9E3779B97F4A7C15ULL;
+    ctx.measure(std::string("hash64/") + std::string(hash_family_name(family)),
+                {}, [&] {
+                  v = hash64(family, v, 42);
+                  do_not_optimize(v);
+                });
+  }
+
+  Xoshiro256 rng(1);
+  const VehicleEncoder encoder(EncodingParams{});
+  const auto vehicles = make_vehicles(1024, 3, rng);
+  Bitmap record(1 << 16);
+  std::size_t i = 0;
+  ctx.measure("vehicle_encode", {}, [&] {
+    encoder.encode(vehicles[i++ & 1023], 0xA, record);
+    do_not_optimize(record);
+  });
+}
+
+PTM_PERF_BENCH(perf_bitmap) {
+  const std::size_t top_bits = ctx.smoke() ? (1 << 16) : (1 << 20);
+  for (std::size_t bits : {std::size_t{1} << 12, top_bits}) {
+    Xoshiro256 rng(2);
+    Bitmap a(bits), b(bits);
+    for (std::size_t i = 0; i < bits / 2; ++i) {
+      a.set(rng.below(bits));
+      b.set(rng.below(bits));
+    }
+    MeasureOptions opts;
+    opts.bytes_per_op = static_cast<double>(bits / 8);
+    char name[64];
+    std::snprintf(name, sizeof name, "bitmap_and/%zu", bits);
+    ctx.measure(name, opts, [&] {
+      Bitmap copy = a;
+      do_not_optimize(copy.and_with(b));
+    });
+    std::snprintf(name, sizeof name, "linear_counting/%zu", bits);
+    ctx.measure(name, opts, [&] { do_not_optimize(estimate_cardinality(a)); });
+  }
+
+  Xoshiro256 rng(3);
+  Bitmap small(1 << 12);
+  for (int i = 0; i < 2000; ++i) small.set(rng.below(1 << 12));
+  ctx.measure("bitmap_expand/4Ki_to_1Mi", {}, [&] {
+    auto expanded = expand_to(small, 1 << 20);
+    do_not_optimize(expanded);
+  });
+}
+
+PTM_PERF_BENCH(perf_join) {
+  const std::size_t m = ctx.smoke() ? (std::size_t{1} << 16)
+                                    : (std::size_t{1} << 20);
   const auto records = join_kernel_records(m);
-  for (auto _ : state) {
-    if (materialized) {
-      benchmark::DoNotOptimize(and_join_expanded_materialized(records));
-    } else {
-      benchmark::DoNotOptimize(and_join_expanded(records));
-    }
-  }
-  state.SetLabel(materialized ? "materialized" : "fused");
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(records.size()));
-}
-BENCHMARK(BM_JoinKernels)->Arg(0)->Arg(1);
+  MeasureOptions opts;
+  opts.items_per_op = static_cast<double>(records.size());
 
-/// Whole Eq. 12 evaluation, fused (no E_a/E_b/E_* ever built) vs the
-/// old materializing pipeline, at t = 16, m = 2^20.
-void BM_Eq12Fused(benchmark::State& state) {
-  const bool materialized = state.range(0) != 0;
-  const auto records = join_kernel_records(std::size_t{1} << 20);
-  for (auto _ : state) {
-    if (materialized) {
-      benchmark::DoNotOptimize(
-          estimate_point_persistent_materialized(records));
-    } else {
-      benchmark::DoNotOptimize(estimate_point_persistent(records));
-    }
-  }
-  state.SetLabel(materialized ? "materialized" : "fused");
-}
-BENCHMARK(BM_Eq12Fused)->Arg(0)->Arg(1);
+  // Fused tiled AND-join vs the materializing reference that expands every
+  // record to m first; the row ratio is the lazy-expansion speedup.
+  MeasureOptions fused = opts;
+  fused.label = std::string("fused/") + simd::active().name;
+  ctx.measure("and_join/fused", fused,
+              [&] { do_not_optimize(and_join_expanded(records)); });
+  MeasureOptions mat = opts;
+  mat.label = "materialized";
+  ctx.measure("and_join/materialized", mat, [&] {
+    do_not_optimize(and_join_expanded_materialized(records));
+  });
 
-void BM_LinearCounting(benchmark::State& state) {
-  const auto bits = static_cast<std::size_t>(state.range(0));
-  Xoshiro256 rng(4);
-  Bitmap b(bits);
-  for (std::size_t i = 0; i < bits / 2; ++i) b.set(rng.below(bits));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(estimate_cardinality(b));
-  }
+  // Whole Eq. 12 evaluation, fused (no E_a/E_b/E_* ever built) vs the old
+  // materializing pipeline.
+  ctx.measure("eq12/fused", fused,
+              [&] { do_not_optimize(estimate_point_persistent(records)); });
+  ctx.measure("eq12/materialized", mat, [&] {
+    do_not_optimize(estimate_point_persistent_materialized(records));
+  });
 }
-BENCHMARK(BM_LinearCounting)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_PointPersistentEstimate(benchmark::State& state) {
-  const auto t = static_cast<std::size_t>(state.range(0));
+PTM_PERF_BENCH(perf_estimators) {
+  // Whole-estimator runs walk large heaps (records, bootstrap resamples)
+  // and swing with allocator/cache state - warn-only in the gate; the
+  // kernels underneath are hard-gated by bench_kernels.
+  ctx.noisy();
   Xoshiro256 rng(5);
   const EncodingParams encoding;
   const auto common = make_vehicles(500, encoding.s, rng);
-  const std::vector<std::uint64_t> volumes(t, 8000);
-  const auto records =
-      generate_point_records(volumes, common, 0xA, 2.0, encoding, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(estimate_point_persistent(records));
+
+  for (std::size_t t : {std::size_t{5}, std::size_t{10}}) {
+    const std::vector<std::uint64_t> volumes(t, 8000);
+    const auto records =
+        generate_point_records(volumes, common, 0xA, 2.0, encoding, rng);
+    char name[64];
+    std::snprintf(name, sizeof name, "point_persistent/t%zu", t);
+    ctx.measure(name, {},
+                [&] { do_not_optimize(estimate_point_persistent(records)); });
+  }
+
+  {
+    const std::vector<std::uint64_t> volumes(5, 8000);
+    const auto records = generate_p2p_records(volumes, volumes, common, 0xA,
+                                              0xB, 2.0, encoding, rng);
+    PointToPointOptions options;
+    options.s = encoding.s;
+    ctx.measure("p2p_persistent", {}, [&] {
+      do_not_optimize(
+          estimate_p2p_persistent(records.at_l, records.at_l_prime, options));
+    });
+  }
+
+  {
+    // Amortized cost of one window slide (the rolling "last 7 days" query).
+    Xoshiro256 slide_rng(8);
+    SlidingAndJoin window(7, 1 << 16);
+    std::vector<Bitmap> records;
+    for (int i = 0; i < 32; ++i) {
+      Bitmap b(1 << 16);
+      for (int j = 0; j < 20000; ++j) b.set(slide_rng.below(1 << 16));
+      records.push_back(std::move(b));
+    }
+    std::size_t i = 0;
+    ctx.measure("sliding_join_push", {}, [&] {
+      do_not_optimize(window.push(records[i++ & 31]));
+      do_not_optimize(window.joined());
+    });
+  }
+
+  {
+    const std::vector<std::uint64_t> volumes(5, 8000);
+    const auto records =
+        generate_point_records(volumes, common, 0xA, 2.0, encoding, rng);
+    BootstrapOptions options;
+    options.resamples = ctx.smoke() ? 50 : 400;
+    char name[64];
+    std::snprintf(name, sizeof name, "bootstrap_ci/%zu", options.resamples);
+    ctx.measure(name, {}, [&] {
+      do_not_optimize(estimate_point_persistent_with_ci(records, options));
+    });
+  }
+
+  {
+    // One full measurement period at a busy location: 500 common vehicles
+    // encoded + 7500 transients.
+    const std::vector<std::uint64_t> volumes(1, 8000);
+    ctx.measure("generate_period_record", {}, [&] {
+      do_not_optimize(
+          generate_point_records(volumes, common, 0xA, 2.0, encoding, rng));
+    });
   }
 }
-BENCHMARK(BM_PointPersistentEstimate)->Arg(5)->Arg(10);
 
-void BM_P2PPersistentEstimate(benchmark::State& state) {
-  Xoshiro256 rng(6);
-  const EncodingParams encoding;
-  const auto common = make_vehicles(500, encoding.s, rng);
-  const std::vector<std::uint64_t> volumes(5, 8000);
-  const auto records = generate_p2p_records(volumes, volumes, common, 0xA,
-                                            0xB, 2.0, encoding, rng);
-  PointToPointOptions options;
-  options.s = encoding.s;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        estimate_p2p_persistent(records.at_l, records.at_l_prime, options));
-  }
-}
-BENCHMARK(BM_P2PPersistentEstimate);
+namespace {
 
-void BM_SlidingJoinPush(benchmark::State& state) {
-  // Amortized cost of one window slide (the rolling "last 7 days" query).
-  Xoshiro256 rng(8);
-  SlidingAndJoin window(7, 1 << 16);
-  std::vector<Bitmap> records;
-  for (int i = 0; i < 32; ++i) {
-    Bitmap b(1 << 16);
-    for (int j = 0; j < 20000; ++j) b.set(rng.below(1 << 16));
-    records.push_back(std::move(b));
-  }
-  std::size_t i = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(window.push(records[i++ & 31]));
-    benchmark::DoNotOptimize(window.joined());
-  }
-}
-BENCHMARK(BM_SlidingJoinPush);
-
-void BM_BootstrapCi(benchmark::State& state) {
-  const auto resamples = static_cast<std::size_t>(state.range(0));
-  Xoshiro256 rng(9);
-  const EncodingParams encoding;
-  const auto common = make_vehicles(500, encoding.s, rng);
-  const std::vector<std::uint64_t> volumes(5, 8000);
-  const auto records =
-      generate_point_records(volumes, common, 0xA, 2.0, encoding, rng);
-  BootstrapOptions options;
-  options.resamples = resamples;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        estimate_point_persistent_with_ci(records, options));
-  }
-}
-BENCHMARK(BM_BootstrapCi)->Arg(100)->Arg(400);
-
-void BM_GeneratePeriodRecord(benchmark::State& state) {
-  // One full measurement period at a busy location: 500 common vehicles
-  // encoded + 7500 transients.
-  Xoshiro256 rng(7);
-  const EncodingParams encoding;
-  const auto common = make_vehicles(500, encoding.s, rng);
-  const std::vector<std::uint64_t> volumes(1, 8000);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        generate_point_records(volumes, common, 0xA, 2.0, encoding, rng));
-  }
-}
-BENCHMARK(BM_GeneratePeriodRecord);
-
-/// Shared store for the batched-query benchmarks: 64 locations x 8
-/// periods, plus a mixed request list (point volume, point persistent,
-/// rolling persistent, p2p) cycled to batch size 4096 - a planner
-/// dashboard refresh.  Built once per process.
+/// Shared store for the batched-query benchmarks: locations x periods plus
+/// a mixed request list (point volume, point persistent, rolling
+/// persistent, p2p) - a planner dashboard refresh.  Built once per process.
 struct QueryBenchFixture {
   QueryService service{
       QueryServiceOptions{.load_factor = 2.0, .s = 3, .n_shards = 32}};
   std::vector<QueryRequest> requests;
 
-  QueryBenchFixture() {
-    constexpr std::size_t kLocations = 64;
-    constexpr std::size_t kPeriods = 8;
+  explicit QueryBenchFixture(bool smoke) {
+    const std::size_t locations = smoke ? 8 : 64;
+    const std::size_t periods_n = smoke ? 4 : 8;
+    const std::size_t batch = smoke ? 256 : 4096;
     const EncodingParams encoding;
-    std::vector<std::uint64_t> periods(kPeriods);
-    for (std::size_t p = 0; p < kPeriods; ++p) periods[p] = p;
+    std::vector<std::uint64_t> periods(periods_n);
+    for (std::size_t p = 0; p < periods_n; ++p) periods[p] = p;
 
-    for (std::size_t loc = 1; loc <= kLocations; ++loc) {
+    for (std::size_t loc = 1; loc <= locations; ++loc) {
       Xoshiro256 rng(loc);
       const auto fleet = make_vehicles(400, encoding.s, rng);
-      const std::vector<std::uint64_t> volumes(kPeriods, 6000);
+      const std::vector<std::uint64_t> volumes(periods_n, 6000);
       const auto bitmaps =
           generate_point_records(volumes, fleet, loc, 2.0, encoding, rng);
       for (std::size_t period = 0; period < bitmaps.size(); ++period) {
@@ -250,224 +234,172 @@ struct QueryBenchFixture {
     }
 
     std::vector<QueryRequest> shapes;
-    for (std::size_t loc = 1; loc <= kLocations; ++loc) {
-      shapes.emplace_back(PointVolumeQuery{loc, kPeriods / 2});
+    for (std::size_t loc = 1; loc <= locations; ++loc) {
+      shapes.emplace_back(PointVolumeQuery{loc, periods_n / 2});
       shapes.emplace_back(PointPersistentQuery{loc, periods});
-      shapes.emplace_back(RecentPersistentQuery{loc, kPeriods});
+      shapes.emplace_back(RecentPersistentQuery{loc, periods_n});
     }
-    for (std::size_t loc = 1; loc + 1 <= kLocations; loc += 2) {
+    for (std::size_t loc = 1; loc + 1 <= locations; loc += 2) {
       shapes.emplace_back(P2PPersistentQuery{loc, loc + 1, periods});
     }
-    requests.reserve(4096);
-    for (std::size_t i = 0; i < 4096; ++i) {
+    requests.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
       requests.push_back(shapes[i % shapes.size()]);
     }
   }
 };
 
-const QueryBenchFixture& query_fixture() {
-  static QueryBenchFixture fixture;
+const QueryBenchFixture& query_fixture(bool smoke) {
+  static QueryBenchFixture fixture(smoke);
   return fixture;
 }
 
-/// Batched query dispatch at `threads` workers; threads == 0 measures the
-/// sequential baseline (one run() per request on the calling thread).
-/// run_batch at 8 workers vs the baseline is the headline throughput
-/// ratio of the sharded QueryService (>= 3x on 8 hardware threads).
-void BM_QueryServiceBatch(benchmark::State& state) {
-  const auto threads = static_cast<std::size_t>(state.range(0));
-  const QueryBenchFixture& fixture = query_fixture();
-  for (auto _ : state) {
-    if (threads == 0) {
-      for (const QueryRequest& request : fixture.requests) {
-        benchmark::DoNotOptimize(fixture.service.run(request));
+std::vector<TrafficRecord> ingest_uploads(std::size_t count) {
+  Xoshiro256 rng(11);
+  const EncodingParams encoding;
+  const auto fleet = make_vehicles(200, encoding.s, rng);
+  const std::vector<std::uint64_t> volumes(1, 4000);
+  std::vector<TrafficRecord> uploads;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto bitmaps = generate_point_records(volumes, fleet, (i % 64) + 1,
+                                                2.0, encoding, rng);
+    uploads.push_back(TrafficRecord{(i % 64) + 1, i / 64, bitmaps[0]});
+  }
+  return uploads;
+}
+
+}  // namespace
+
+PTM_PERF_BENCH(perf_query_service) {
+  // Thread pools, shard locks, and (for durable ingest) the filesystem:
+  // variance here dwarfs the 10% gate, so these report as warnings.
+  ctx.noisy();
+  // Batched query dispatch at `threads` workers; 0 measures the sequential
+  // baseline (one run() per request on the calling thread).  run_batch at
+  // 8 workers vs the baseline is the headline throughput ratio of the
+  // sharded QueryService.
+  const QueryBenchFixture& fixture = query_fixture(ctx.smoke());
+  for (std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{4}, std::size_t{8}}) {
+    MeasureOptions opts;
+    opts.batch = 1;
+    opts.items_per_op = static_cast<double>(fixture.requests.size());
+    char name[64];
+    std::snprintf(name, sizeof name, "query_batch/threads%zu", threads);
+    ctx.measure(name, opts, [&] {
+      if (threads == 0) {
+        for (const QueryRequest& request : fixture.requests) {
+          do_not_optimize(fixture.service.run(request));
+        }
+      } else {
+        do_not_optimize(fixture.service.run_batch(fixture.requests, threads));
       }
-    } else {
-      benchmark::DoNotOptimize(
-          fixture.service.run_batch(fixture.requests, threads));
-    }
+    });
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(fixture.requests.size()));
-}
-BENCHMARK(BM_QueryServiceBatch)->Arg(0)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
-    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
-/// Concurrent ingest while a reader hammers rolling queries - the
-/// many-writer/many-reader shape the sharded locks exist for.  Measures
-/// ingest throughput under read pressure.
-void BM_QueryServiceIngest(benchmark::State& state) {
-  Xoshiro256 rng(11);
-  const EncodingParams encoding;
-  const auto fleet = make_vehicles(200, encoding.s, rng);
-  const std::vector<std::uint64_t> volumes(1, 4000);
-  std::vector<TrafficRecord> uploads;
-  for (std::size_t i = 0; i < 512; ++i) {
-    const auto bitmaps = generate_point_records(
-        volumes, fleet, (i % 64) + 1, 2.0, encoding, rng);
-    uploads.push_back(TrafficRecord{(i % 64) + 1, i / 64, bitmaps[0]});
-  }
-  for (auto _ : state) {
-    state.PauseTiming();
+  // Ingest throughput: service construction is part of the op (a fresh
+  // store per repetition keeps the maps from saturating), amortized over
+  // the uploads.
+  const auto uploads = ingest_uploads(ctx.smoke() ? 128 : 512);
+  MeasureOptions ingest_opts;
+  ingest_opts.batch = 1;
+  ingest_opts.items_per_op = static_cast<double>(uploads.size());
+  ctx.measure("ingest/volatile", ingest_opts, [&] {
     QueryService service(
         QueryServiceOptions{.load_factor = 2.0, .s = 3, .n_shards = 32});
-    state.ResumeTiming();
     for (const TrafficRecord& rec : uploads) {
-      benchmark::DoNotOptimize(service.ingest(rec));
+      do_not_optimize(service.ingest(rec));
     }
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(uploads.size()));
-}
-BENCHMARK(BM_QueryServiceIngest);
+  });
 
-/// One registry instrument update - the unit cost every counter/gauge/
-/// histogram call site pays on the hot path.  Arg selects the instrument:
-/// 0 counter add, 1 gauge add/sub pair, 2 histogram record.
-void BM_TelemetryRecord(benchmark::State& state) {
-  TelemetryRegistry registry;
-  Counter& counter = registry.counter("bench_counter", {{"shard", "0"}});
-  Gauge& gauge = registry.gauge("bench_gauge");
-  LatencyRecorder& latency = registry.histogram("bench_latency_ns");
-  const int kind = static_cast<int>(state.range(0));
-  std::uint64_t v = 1;
-  for (auto _ : state) {
-    switch (kind) {
-      case 0:
-        counter.add();
-        break;
-      case 1:
-        benchmark::DoNotOptimize(gauge.add());
-        gauge.sub();
-        break;
-      default:
-        latency.record(v);
-        v = (v * 2862933555777941757ULL) + 3037000493ULL;  // vary the bucket
-        break;
-    }
-  }
-  state.SetLabel(kind == 0 ? "counter" : kind == 1 ? "gauge" : "histogram");
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
-}
-BENCHMARK(BM_TelemetryRecord)->Arg(0)->Arg(1)->Arg(2);
-
-/// BM_QueryServiceIngest's workload with an active TraceContext on every
-/// record (Arg(1)) vs untraced (Arg(0)).  The traced row pays span
-/// recording on ingest; the untraced row must stay within noise of
-/// BM_QueryServiceIngest itself - the "tracing compiled in unconditionally
-/// costs nothing when off" contract, and the traced delta is the price of
-/// a full per-record audit trail (< 5% is the bar).
-void BM_TracedIngest(benchmark::State& state) {
-  const bool traced = state.range(0) != 0;
-  Xoshiro256 rng(11);
-  const EncodingParams encoding;
-  const auto fleet = make_vehicles(200, encoding.s, rng);
-  const std::vector<std::uint64_t> volumes(1, 4000);
-  std::vector<TrafficRecord> uploads;
+  // Same workload with an active TraceContext on every record: the traced
+  // delta is the price of a full per-record audit trail.
   std::vector<TraceContext> traces;
-  for (std::size_t i = 0; i < 512; ++i) {
-    const auto bitmaps = generate_point_records(
-        volumes, fleet, (i % 64) + 1, 2.0, encoding, rng);
-    uploads.push_back(TrafficRecord{(i % 64) + 1, i / 64, bitmaps[0]});
-    traces.push_back(traced ? TraceContext::for_record((i % 64) + 1, i / 64)
-                            : TraceContext{});
+  for (std::size_t i = 0; i < uploads.size(); ++i) {
+    traces.push_back(TraceContext::for_record((i % 64) + 1, i / 64));
   }
-  for (auto _ : state) {
-    state.PauseTiming();
+  ctx.measure("ingest/traced", ingest_opts, [&] {
     QueryService service(
         QueryServiceOptions{.load_factor = 2.0, .s = 3, .n_shards = 32});
-    state.ResumeTiming();
     for (std::size_t i = 0; i < uploads.size(); ++i) {
-      benchmark::DoNotOptimize(service.ingest(uploads[i], traces[i]));
+      do_not_optimize(service.ingest(uploads[i], traces[i]));
     }
-  }
-  state.SetLabel(traced ? "traced" : "untraced");
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(uploads.size()));
-}
-BENCHMARK(BM_TracedIngest)->Arg(0)->Arg(1);
+  });
 
-/// Same ingest workload with the write-ahead archive attached (Arg(1)) vs
-/// volatile (Arg(0)) - the price of durability-before-ack per record.
-void BM_QueryServiceDurableIngest(benchmark::State& state) {
-  const bool durable = state.range(0) != 0;
-  Xoshiro256 rng(11);
-  const EncodingParams encoding;
-  const auto fleet = make_vehicles(200, encoding.s, rng);
-  const std::vector<std::uint64_t> volumes(1, 4000);
-  std::vector<TrafficRecord> uploads;
-  for (std::size_t i = 0; i < 512; ++i) {
-    const auto bitmaps = generate_point_records(
-        volumes, fleet, (i % 64) + 1, 2.0, encoding, rng);
-    uploads.push_back(TrafficRecord{(i % 64) + 1, i / 64, bitmaps[0]});
-  }
+  // With the write-ahead archive attached - durability-before-ack.
   const std::string path = "/tmp/ptm_bench_archive.log";
-  for (auto _ : state) {
-    state.PauseTiming();
+  ctx.measure("ingest/durable", ingest_opts, [&] {
     std::remove(path.c_str());
     auto archive = RecordArchive::open(path, {});
     QueryService service(
         QueryServiceOptions{.load_factor = 2.0, .s = 3, .n_shards = 32});
-    if (durable && archive.has_value()) {
-      service.attach_durability(*archive);
-    }
-    state.ResumeTiming();
+    if (archive.has_value()) service.attach_durability(*archive);
     for (const TrafficRecord& rec : uploads) {
-      benchmark::DoNotOptimize(service.ingest(rec));
+      do_not_optimize(service.ingest(rec));
     }
-  }
+  });
   std::remove(path.c_str());
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
-                          static_cast<std::int64_t>(uploads.size()));
-}
-BENCHMARK(BM_QueryServiceDurableIngest)->Arg(0)->Arg(1)
-    ->Unit(benchmark::kMillisecond);
 
-/// Admission-gate overhead on the query fast path: the same request mix
-/// with the gate disabled (Arg(0)) and with a wide-open bounded gate
-/// (Arg(1), never sheds) - the steady-state cost of overload control.
-void BM_QueryServiceAdmission(benchmark::State& state) {
-  const bool gated = state.range(0) != 0;
-  QueryServiceOptions options{.load_factor = 2.0, .s = 3, .n_shards = 16};
-  if (gated) {
-    options.admission.max_in_flight = 1 << 16;
-    options.admission.max_queue = 1 << 16;
+  // Admission-gate overhead on the query fast path: gate disabled vs a
+  // wide-open bounded gate (never sheds) - steady-state overload control.
+  for (bool gated : {false, true}) {
+    QueryServiceOptions options{.load_factor = 2.0, .s = 3, .n_shards = 16};
+    if (gated) {
+      options.admission.max_in_flight = 1 << 16;
+      options.admission.max_queue = 1 << 16;
+    }
+    QueryService service(options);
+    Xoshiro256 rng(7);
+    const EncodingParams encoding;
+    const auto fleet = make_vehicles(200, encoding.s, rng);
+    const std::vector<std::uint64_t> volumes(1, 4000);
+    for (std::uint64_t period = 0; period < 8; ++period) {
+      const auto bitmaps =
+          generate_point_records(volumes, fleet, 1, 2.0, encoding, rng);
+      (void)service.ingest(TrafficRecord{1, period, bitmaps[0]});
+    }
+    const QueryRequest request{RecentPersistentQuery{1, 4}};
+    ctx.measure(gated ? "query_run/gated" : "query_run/ungated", {},
+                [&] { do_not_optimize(service.run(request)); });
   }
-  QueryService service(options);
-  Xoshiro256 rng(7);
-  const EncodingParams encoding;
-  const auto fleet = make_vehicles(200, encoding.s, rng);
-  const std::vector<std::uint64_t> volumes(1, 4000);
-  for (std::uint64_t period = 0; period < 8; ++period) {
-    const auto bitmaps =
-        generate_point_records(volumes, fleet, 1, 2.0, encoding, rng);
-    (void)service.ingest(TrafficRecord{1, period, bitmaps[0]});
-  }
-  const QueryRequest request{RecentPersistentQuery{1, 4}};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(service.run(request));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_QueryServiceAdmission)->Arg(0)->Arg(1);
 
-void BM_FullStackContact(benchmark::State& state) {
+PTM_PERF_BENCH(perf_telemetry) {
+  // One registry instrument update - the unit cost every counter/gauge/
+  // histogram call site pays on the hot path.  A ~20ns atomic op moves
+  // >10% with core frequency scaling alone, so warn-only.
+  ctx.noisy();
+  TelemetryRegistry registry;
+  Counter& counter = registry.counter("bench_counter", {{"shard", "0"}});
+  Gauge& gauge = registry.gauge("bench_gauge");
+  LatencyRecorder& latency = registry.histogram("bench_latency_ns");
+  ctx.measure("telemetry/counter", {}, [&] { counter.add(); });
+  ctx.measure("telemetry/gauge", {}, [&] {
+    do_not_optimize(gauge.add());
+    gauge.sub();
+  });
+  std::uint64_t v = 1;
+  ctx.measure("telemetry/histogram", {}, [&] {
+    latency.record(v);
+    v = (v * 2862933555777941757ULL) + 3037000493ULL;  // vary the bucket
+  });
+}
+
+PTM_PERF_BENCH(perf_full_stack) {
   // One complete beacon/auth/encode exchange over the (lossless) simulated
   // radio, RSA signing included - the RSU-side cost ceiling per vehicle.
+  // RSA keygen timing is data-dependent (prime search), so warn-only.
+  ctx.noisy();
   Deployment::Config config;
   config.ca_key_bits = 512;
   config.rsu_key_bits = 512;
   Deployment dep(config, 42);
   Rsu& rsu = dep.add_rsu(1, 1 << 16);
   std::uint64_t id = 0;
-  for (auto _ : state) {
+  MeasureOptions opts;
+  opts.batch = ctx.smoke() ? 4 : 16;  // RSA keygen per op; keep reps sane
+  ctx.measure("full_stack_contact", opts, [&] {
     Vehicle v = dep.make_vehicle(id++);
-    benchmark::DoNotOptimize(dep.run_contact(v, rsu));
-  }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    do_not_optimize(dep.run_contact(v, rsu));
+  });
 }
-BENCHMARK(BM_FullStackContact);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,0 +1,8 @@
+// bench_standalone_main.cpp - main() for a single-bench binary.  Kept out
+// of bench_harness.cpp so bench_runner (which has its own main) can link
+// the harness without a duplicate-symbol clash.
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  return ptm::bench::bench_main(argc, argv);
+}

@@ -11,15 +11,15 @@
 #include "sim/experiment.hpp"
 #include "traffic/sioux_falls.hpp"
 
-int main() {
+PTM_BENCH(table1_sioux_falls) {
   using namespace ptm;
 
   Table1Config config;
-  config.runs = bench_runs(100);
-  config.seed = bench_seed();
-  bench::print_banner("Table I - Sioux Falls p2p persistent traffic",
+  config.runs = ctx.runs(100);
+  config.seed = ctx.seed();
+  ctx.banner("Table I - Sioux Falls p2p persistent traffic",
                       "ICDCS'17 Table I (s = 3, f = 2, 10 periods)",
-                      config.runs, config.seed);
+                      config.runs);
 
   const Table1Result result = run_table1(config);
   const SiouxFallsScenario& scenario = sioux_falls_scenario();
@@ -58,12 +58,11 @@ int main() {
   row_err("same-size (t=5)", result.rel_err_same_size_t5);
   row_err("  paper same-size", paper.same_size_t5);
 
-  bench::emit(table, "table1_sioux_falls");
+  ctx.emit(table, "table1_sioux_falls");
 
   std::cout << "\nn' = " << scenario.n_prime << ", m' = " << result.m_prime
             << " (paper: 1048576)\n"
             << "shape checks: errors small everywhere, worst at L=8; the\n"
             << "same-size design collapses as m'/m grows (paper: 1.3749 at "
                "L=8).\n";
-  return 0;
 }

@@ -12,14 +12,14 @@
 #include "core/traffic_record.hpp"
 #include "sim/experiment.hpp"
 
-int main() {
+PTM_BENCH(table2_privacy) {
   using namespace ptm;
 
-  const std::size_t runs = bench_runs(4000);
-  const std::uint64_t seed = bench_seed();
-  bench::print_banner("Table II - preserved privacy",
+  const std::size_t runs = ctx.runs(4000);
+  const std::uint64_t seed = ctx.seed();
+  ctx.banner("Table II - preserved privacy",
                       "ICDCS'17 Table II (noise-to-information ratio and p)",
-                      runs, seed);
+                      runs);
 
   const double f_values[] = {1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0};
 
@@ -37,7 +37,7 @@ int main() {
     noise_row.push_back(TableWriter::fmt(table2_noise(f), 4));
   }
   table.add_row(std::move(noise_row));
-  bench::emit(table, "table2_privacy");
+  ctx.emit(table, "table2_privacy");
 
   // Exact Eq. 22-24 under the deployed power-of-two sizing (Eq. 2), which
   // rounds m' up and therefore reports slightly better accuracy / worse
@@ -55,7 +55,7 @@ int main() {
     }
     exact.add_row(std::move(cells));
   }
-  bench::emit(exact, "table2_privacy_exact");
+  ctx.emit(exact, "table2_privacy_exact");
 
   // Empirical tracking attack at the recommended operating point.
   PrivacyAttackConfig attack;
@@ -79,5 +79,4 @@ int main() {
             << "shape checks: ratio grows with s, shrinks with f; at the\n"
             << "paper's recommended s = 3, f = 2 the ratio is ~1.95 with\n"
             << "p ~ 0.39 - noise outweighs information ~2:1.\n";
-  return 0;
 }

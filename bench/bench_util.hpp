@@ -1,17 +1,178 @@
-// bench_util.hpp - shared plumbing for the table/figure reproduction
-// binaries: consistent headers, PTM_RUNS / PTM_SEED knobs, and optional CSV
-// mirroring via PTM_CSV=<dir>.
+// bench_util.hpp - the bench registration API.
+//
+// Every benchmark body registers itself with PTM_BENCH (table/figure
+// reproduction harness) or PTM_PERF_BENCH (timed micro/macro benchmark)
+// and receives a BenchContext.  The shared harness (bench_harness.cpp)
+// owns option parsing, the PTM_RUNS / PTM_SEED / PTM_CSV knobs, min-of-K
+// timing, and a single machine-readable JSON schema ("ptm-bench-v1") that
+// every binary - and the bench_runner tool - emits identically.  A
+// standalone binary is one bench .cpp plus bench_standalone_main.cpp;
+// bench_runner links many bench bodies into one process and adds the
+// baseline-comparison gate.
+//
+// Flags understood by every harness binary (see bench_main):
+//   --list            print registered benches and exit
+//   --only <substr>   run only benches whose name contains <substr>
+//   --json <path>     also write results/tables as ptm-bench-v1 JSON
+//   --runs <n>        override PTM_RUNS
+//   --seed <n>        override PTM_SEED
+//   --smoke           shrink perf workloads for CI smoke coverage
 #pragma once
 
-#include <fstream>
+#include <cstdint>
+#include <functional>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/env.hpp"
 #include "common/table.hpp"
 
 namespace ptm::bench {
 
+/// One timed measurement, as written to the JSON "results" array.
+struct BenchResult {
+  std::string bench;         ///< registered bench name
+  std::string name;          ///< measurement name within the bench
+  double ns_per_op = 0.0;    ///< min-of-K wall time per operation
+  double bytes_per_op = 0.0; ///< bytes touched per op (0 = not a bandwidth bench)
+  double items_per_op = 1.0; ///< logical items per op (records, requests, ...)
+  std::string label;         ///< free-form variant tag (e.g. kernel name)
+  bool noisy = false;        ///< service-level measurement: threads, locks,
+                             ///< filesystem - warn-only in the compare gate
+};
+
+/// A console table captured for the JSON "tables" array.
+struct BenchTable {
+  std::string bench;
+  std::string name;
+  std::vector<std::string> headers;
+  std::vector<std::vector<std::string>> rows;
+};
+
+struct MeasureOptions {
+  std::size_t batch = 0;      ///< fn invocations per timed repetition;
+                              ///< 0 = auto-calibrate to ~4ms per repetition
+  std::size_t reps = 0;       ///< min-of-K count; 0 = PTM_BENCH_REPS or 5
+  double bytes_per_op = 0.0;
+  double items_per_op = 1.0;
+  std::string label;
+};
+
+/// Hands a bench body its knobs and collects its output.  One context is
+/// shared across all benches of a process run; `bench` tracks the bench
+/// currently executing so results are attributed.
+class BenchContext {
+ public:
+  /// Simulation runs per reported cell: --runs beats PTM_RUNS beats the
+  /// bench's own fallback.
+  [[nodiscard]] std::size_t runs(std::size_t fallback) const {
+    return runs_override_ != 0 ? runs_override_ : bench_runs(fallback);
+  }
+
+  /// Master seed: --seed beats PTM_SEED beats the ICDCS'17 default.
+  [[nodiscard]] std::uint64_t seed() const {
+    return seed_override_ != 0 ? seed_override_ : bench_seed();
+  }
+
+  /// True when perf workloads should shrink to CI-smoke sizes
+  /// (--smoke or PTM_BENCH_SMOKE=1).
+  [[nodiscard]] bool smoke() const noexcept { return smoke_; }
+
+  /// Marks every subsequent measure() in this bench as noisy: the
+  /// measurement exercises threads, locks, or the filesystem, so its
+  /// run-to-run variance exceeds what min-of-K can discard and the
+  /// compare gate treats its regressions as warnings, not failures.
+  /// Resets automatically when the next bench starts.
+  void noisy(bool value = true) noexcept { noisy_ = value; }
+
+  /// Standard experiment header (replaces the old print_banner free fn).
+  void banner(std::string_view experiment, std::string_view paper_ref,
+              std::size_t runs_per_cell);
+
+  /// Prints the table, mirrors to PTM_CSV if set, and captures the rows
+  /// for the JSON document (replaces the old emit free fn).
+  void emit(const TableWriter& table, const std::string& name);
+
+  /// Free-form closing commentary (console only; not in JSON).
+  void note(std::string_view text) { std::cout << text; }
+
+  /// Times `fn` and records one BenchResult: each repetition calls `fn`
+  /// `batch` times, the best repetition's mean is ns_per_op (min-of-K
+  /// discards scheduler noise; it cannot manufacture speed).  `fn` runs
+  /// once untimed first as warm-up.
+  void measure(const std::string& name, const MeasureOptions& options,
+               const std::function<void()>& fn);
+
+  [[nodiscard]] const std::vector<BenchResult>& results() const noexcept {
+    return results_;
+  }
+  [[nodiscard]] const std::vector<BenchTable>& tables() const noexcept {
+    return tables_;
+  }
+
+ private:
+  friend int bench_main(int argc, char** argv);
+  friend class Registry;
+
+  std::string current_bench_;
+  std::size_t runs_override_ = 0;
+  std::uint64_t seed_override_ = 0;
+  std::size_t reps_override_ = 0;
+  bool smoke_ = false;
+  bool noisy_ = false;
+  std::vector<BenchResult> results_;
+  std::vector<BenchTable> tables_;
+};
+
+/// Keeps `value` (and everything it points to) alive past the optimizer -
+/// the standard empty-asm sink, so measured loops aren't folded away.
+template <class T>
+inline void do_not_optimize(T&& value) {
+  asm volatile("" : : "g"(&value) : "memory");
+}
+
+using BenchFn = void (*)(BenchContext&);
+
+enum class BenchKind {
+  kTable,  ///< reproduces a paper table/figure; heavy, not timed
+  kPerf,   ///< timed measurements via BenchContext::measure
+};
+
+/// Registers a bench at static-init time (the PTM_BENCH macros call this).
+bool register_bench(const char* name, BenchKind kind, BenchFn fn);
+
+/// The shared entry point: parses flags, runs the selected benches, and
+/// writes the JSON document when asked.  Returns a process exit code.
+int bench_main(int argc, char** argv);
+
+/// Serializes results/tables as a ptm-bench-v1 JSON document, stamped
+/// with the active kernel variant, host ISA, and `rev`.
+void write_json(std::ostream& os, const BenchContext& ctx,
+                const std::string& rev);
+
+#define PTM_BENCH_REGISTER_(name, kind)                                      \
+  static void ptm_bench_body_##name(::ptm::bench::BenchContext& ctx);        \
+  static const bool ptm_bench_registered_##name =                            \
+      ::ptm::bench::register_bench(#name, kind, &ptm_bench_body_##name);     \
+  static void ptm_bench_body_##name(::ptm::bench::BenchContext& ctx)
+
+/// Defines + registers a table/figure reproduction bench:
+///   PTM_BENCH(table1_sioux_falls) { ctx.banner(...); ... }
+#define PTM_BENCH(name) \
+  PTM_BENCH_REGISTER_(name, ::ptm::bench::BenchKind::kTable)
+
+/// Defines + registers a timed perf bench (bench_runner's default set).
+#define PTM_PERF_BENCH(name) \
+  PTM_BENCH_REGISTER_(name, ::ptm::bench::BenchKind::kPerf)
+
+// -- transitional shims -----------------------------------------------------
+// The pre-registration API.  Every in-tree bench now goes through
+// BenchContext; these remain one release for any out-of-tree harness and
+// will be removed once nothing warns.
+
+[[deprecated("use BenchContext::banner via PTM_BENCH")]]
 inline void print_banner(const std::string& experiment,
                          const std::string& paper_ref, std::size_t runs,
                          std::uint64_t seed) {
@@ -21,18 +182,12 @@ inline void print_banner(const std::string& experiment,
             << " 1000)   seed: " << seed << " (PTM_SEED)\n\n";
 }
 
-/// Prints the table and, if PTM_CSV is set, writes <dir>/<name>.csv too.
+[[deprecated("use BenchContext::emit via PTM_BENCH")]]
 inline void emit(const TableWriter& table, const std::string& name) {
   table.print(std::cout);
   if (const auto dir = csv_dir()) {
-    const std::string path = *dir + "/" + name + ".csv";
-    std::ofstream out(path);
-    if (out) {
-      table.write_csv(out);
-      std::cout << "(csv mirrored to " << path << ")\n";
-    } else {
-      std::cout << "(could not open " << path << " for csv mirror)\n";
-    }
+    std::cout << "(csv mirror: rerun through a PTM_BENCH harness binary to "
+              << "write " << *dir << "/" << name << ".csv)\n";
   }
 }
 

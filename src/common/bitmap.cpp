@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/math.hpp"
+#include "simd/kernels.hpp"
 
 namespace ptm {
 
@@ -30,15 +31,49 @@ void Bitmap::clear() noexcept {
   std::fill(words_.begin(), words_.end(), 0ULL);
 }
 
+void Bitmap::set_all() noexcept {
+  simd::active().fill(words_.data(), ~0ULL, words_.size());
+  if (!words_.empty()) words_.back() &= tail_mask();
+}
+
+void Bitmap::reshape(std::size_t bit_count) {
+  bit_count_ = bit_count;
+  words_.assign(ceil_div(bit_count, kWordBits), 0ULL);
+}
+
+Status Bitmap::assign_replicated(const Bitmap& small,
+                                 std::size_t target_bits) {
+  if (small.bit_count_ == 0 || target_bits == 0 ||
+      target_bits % small.bit_count_ != 0) {
+    return {ErrorCode::kInvalidArgument,
+            "replication target must be a positive multiple of the source "
+            "size"};
+  }
+  const std::size_t copies = target_bits / small.bit_count_;
+  if (small.bit_count_ % kWordBits == 0) {
+    bit_count_ = target_bits;
+    words_.resize(copies * small.words_.size());
+    simd::active().replicate(words_.data(), small.words_.data(),
+                             small.words_.size(), copies);
+    return Status::ok();
+  }
+  reshape(target_bits);
+  for (std::size_t i = 0; i < small.bit_count_; ++i) {
+    if (!small.test(i)) continue;
+    for (std::size_t c = 0; c < copies; ++c) set(c * small.bit_count_ + i);
+  }
+  return Status::ok();
+}
+
 std::uint64_t Bitmap::tail_mask() const noexcept {
   const std::size_t rem = bit_count_ % kWordBits;
   return rem == 0 ? ~0ULL : (1ULL << rem) - 1;
 }
 
 std::size_t Bitmap::count_ones() const noexcept {
-  std::size_t total = 0;
-  for (std::uint64_t w : words_) total += std::popcount(w);
-  return total;
+  // Tail bits beyond size() are zero by class invariant, so the raw word
+  // sweep needs no mask.
+  return simd::active().popcount(words_.data(), words_.size());
 }
 
 double Bitmap::fraction_zeros() const noexcept {
@@ -134,15 +169,10 @@ Status Bitmap::and_with_tiled(const Bitmap& small) noexcept {
   }
   if (small.bit_count_ == bit_count_) return and_with(small);
   if (small.bit_count_ % kWordBits == 0) {
-    // Word-aligned tile: fold in blocked runs of the source words - the
-    // same tight word loop as and_with, restarted every period.
-    const std::span<const std::uint64_t> src = small.words();
-    const std::size_t s_words = src.size();
-    for (std::size_t offset = 0; offset < words_.size();
-         offset += s_words) {
-      const std::size_t chunk = std::min(s_words, words_.size() - offset);
-      for (std::size_t k = 0; k < chunk; ++k) words_[offset + k] &= src[k];
-    }
+    // Word-aligned tile: the kernel folds the periodic source in
+    // contiguous period-sized runs.
+    simd::active().and_tiled(words_.data(), words_.size(),
+                             small.words().data(), small.words().size());
   } else if (kWordBits % small.bit_count_ == 0) {
     const std::uint64_t pattern = pattern_word(small);
     for (std::uint64_t& w : words_) w &= pattern;
@@ -161,13 +191,8 @@ Status Bitmap::or_with_tiled(const Bitmap& small) noexcept {
   }
   if (small.bit_count_ == bit_count_) return or_with(small);
   if (small.bit_count_ % kWordBits == 0) {
-    const std::span<const std::uint64_t> src = small.words();
-    const std::size_t s_words = src.size();
-    for (std::size_t offset = 0; offset < words_.size();
-         offset += s_words) {
-      const std::size_t chunk = std::min(s_words, words_.size() - offset);
-      for (std::size_t k = 0; k < chunk; ++k) words_[offset + k] |= src[k];
-    }
+    simd::active().or_tiled(words_.data(), words_.size(),
+                            small.words().data(), small.words().size());
   } else if (kWordBits % small.bit_count_ == 0) {
     const std::uint64_t pattern = pattern_word(small);
     for (std::uint64_t& w : words_) w |= pattern;
@@ -184,7 +209,8 @@ Status Bitmap::and_with(const Bitmap& other) noexcept {
   if (other.bit_count_ != bit_count_) {
     return {ErrorCode::kInvalidArgument, "bitmap sizes differ in AND"};
   }
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  simd::active().and_inplace(words_.data(), other.words_.data(),
+                             words_.size());
   return Status::ok();
 }
 
@@ -192,7 +218,8 @@ Status Bitmap::or_with(const Bitmap& other) noexcept {
   if (other.bit_count_ != bit_count_) {
     return {ErrorCode::kInvalidArgument, "bitmap sizes differ in OR"};
   }
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  simd::active().or_inplace(words_.data(), other.words_.data(),
+                            words_.size());
   return Status::ok();
 }
 
@@ -282,9 +309,8 @@ Result<Bitmap> bitmap_or(const Bitmap& a, const Bitmap& b) {
 
 namespace {
 
-template <typename WordOp>
 Result<std::size_t> tiled_count(const Bitmap& a, const Bitmap& b,
-                                std::size_t m_bits, WordOp op) {
+                                std::size_t m_bits, bool is_and) {
   if (a.empty() || b.empty() || m_bits == 0 || m_bits % a.size() != 0 ||
       m_bits % b.size() != 0) {
     return Status{ErrorCode::kInvalidArgument,
@@ -292,25 +318,22 @@ Result<std::size_t> tiled_count(const Bitmap& a, const Bitmap& b,
                   "the target size"};
   }
   const std::size_t n_words = ceil_div(m_bits, std::size_t{64});
-  const std::size_t rem = m_bits % 64;
-  const std::uint64_t last_mask = rem == 0 ? ~0ULL : (1ULL << rem) - 1;
-  std::size_t ones = 0;
+  const simd::Kernels& kernels = simd::active();
 
-  // Fast path 1: both operands already at the target size - one raw word
-  // loop (this is the split-stats shape: two half joins at m).
+  // Fast path 1: both operands already at the target size - one fused
+  // op+count sweep (this is the split-stats shape: two half joins at m).
+  // Both operands keep their tails zero by Bitmap invariant, so the raw
+  // word sweep needs no mask.
   if (a.size() == m_bits && b.size() == m_bits) {
     const auto wa = a.words();
     const auto wb = b.words();
-    for (std::size_t i = 0; i < n_words; ++i) {
-      std::uint64_t w = op(wa[i], wb[i]);
-      if (i + 1 == n_words) w &= last_mask;
-      ones += static_cast<std::size_t>(std::popcount(w));
-    }
-    return ones;
+    return is_and ? kernels.and_count(wa.data(), wb.data(), n_words)
+                  : kernels.or_count(wa.data(), wb.data(), n_words);
   }
 
   // Fast path 2: one full-size operand, one word-aligned smaller one -
   // blocked runs over the smaller period (the p2p second-level shape).
+  // Word alignment of the smaller size forces m_bits % 64 == 0: no tail.
   const Bitmap* full = nullptr;
   const Bitmap* part = nullptr;
   if (a.size() == m_bits && b.size() % 64 == 0) {
@@ -323,23 +346,24 @@ Result<std::size_t> tiled_count(const Bitmap& a, const Bitmap& b,
   if (full != nullptr) {
     const auto wf = full->words();
     const auto wp = part->words();
-    const std::size_t p_words = wp.size();
-    for (std::size_t offset = 0; offset < n_words; offset += p_words) {
-      const std::size_t chunk = std::min(p_words, n_words - offset);
-      for (std::size_t k = 0; k < chunk; ++k) {
-        std::uint64_t w = op(wf[offset + k], wp[k]);
-        if (offset + k + 1 == n_words) w &= last_mask;
-        ones += static_cast<std::size_t>(std::popcount(w));
-      }
-    }
-    return ones;
+    return is_and
+               ? kernels.and_tiled_count(wf.data(), n_words, wp.data(),
+                                         wp.size())
+               : kernels.or_tiled_count(wf.data(), n_words, wp.data(),
+                                        wp.size());
   }
 
-  // General case: stream both virtual expansions word by word.
+  // General case: stream both virtual expansions word by word (sub-word
+  // sizes only; unreachable with the project's power-of-two >= 64 maps).
+  const std::size_t rem = m_bits % 64;
+  const std::uint64_t last_mask = rem == 0 ? ~0ULL : (1ULL << rem) - 1;
+  std::size_t ones = 0;
   TileReader tile_a(a);
   TileReader tile_b(b);
   for (std::size_t i = 0; i < n_words; ++i) {
-    std::uint64_t w = op(tile_a.next(), tile_b.next());
+    const std::uint64_t x = tile_a.next();
+    const std::uint64_t y = tile_b.next();
+    std::uint64_t w = is_and ? (x & y) : (x | y);
     if (i + 1 == n_words) w &= last_mask;
     ones += static_cast<std::size_t>(std::popcount(w));
   }
@@ -350,14 +374,12 @@ Result<std::size_t> tiled_count(const Bitmap& a, const Bitmap& b,
 
 Result<std::size_t> tiled_and_count_ones(const Bitmap& a, const Bitmap& b,
                                          std::size_t m_bits) {
-  return tiled_count(a, b, m_bits,
-                     [](std::uint64_t x, std::uint64_t y) { return x & y; });
+  return tiled_count(a, b, m_bits, /*is_and=*/true);
 }
 
 Result<std::size_t> tiled_or_count_zeros(const Bitmap& a, const Bitmap& b,
                                          std::size_t m_bits) {
-  auto ones = tiled_count(
-      a, b, m_bits, [](std::uint64_t x, std::uint64_t y) { return x | y; });
+  auto ones = tiled_count(a, b, m_bits, /*is_and=*/false);
   if (!ones) return ones.status();
   return m_bits - *ones;
 }
@@ -373,25 +395,16 @@ Result<TiledTripleCount> tiled_and_triple_count(const Bitmap& a,
   }
   TiledTripleCount out;
   if (a.size() == m_bits && b.size() == m_bits) {
-    // The split-stats shape: both half joins at m.  One pass over the two
-    // word arrays yields all three popcounts, instead of one pass per
-    // fraction plus a joint pass for the AND.
+    // The split-stats shape: both half joins at m.  One kernel sweep over
+    // the two word arrays yields all three popcounts; tails are zero by
+    // Bitmap invariant, so no mask is needed.
     const std::size_t n_words = ceil_div(m_bits, std::size_t{64});
-    const std::size_t rem = m_bits % 64;
-    const std::uint64_t last_mask = rem == 0 ? ~0ULL : (1ULL << rem) - 1;
-    const auto wa = a.words();
-    const auto wb = b.words();
-    for (std::size_t i = 0; i < n_words; ++i) {
-      std::uint64_t x = wa[i];
-      std::uint64_t y = wb[i];
-      if (i + 1 == n_words) {
-        x &= last_mask;
-        y &= last_mask;
-      }
-      out.ones_a += static_cast<std::size_t>(std::popcount(x));
-      out.ones_b += static_cast<std::size_t>(std::popcount(y));
-      out.ones_and += static_cast<std::size_t>(std::popcount(x & y));
-    }
+    const simd::TripleCount t =
+        simd::active().triple_count(a.words().data(), b.words().data(),
+                                    n_words);
+    out.ones_a = t.ones_a;
+    out.ones_b = t.ones_b;
+    out.ones_and = t.ones_and;
     return out;
   }
   // Mixed sizes: replication multiplies the one count by the (integral)

@@ -5,6 +5,12 @@
 // reduces to setting bits, counting zeros, ANDing/ORing equal-sized bitmaps,
 // and replicating a bitmap to a larger power-of-two size (§III-A expansion).
 // This class provides exactly those operations over packed 64-bit words.
+//
+// The word loops themselves live in ptm::simd (src/simd/kernels.hpp): a
+// runtime-dispatched vtable with scalar / POPCNT / AVX2 / AVX-512 / NEON
+// variants.  Bitmap is the bit-level API; every counting and join method
+// below routes through simd::active(), so changing the dispatched variant
+// changes every estimator's inner loop at once.
 #pragma once
 
 #include <cstddef>
@@ -38,6 +44,20 @@ class Bitmap {
 
   /// Resets every bit to zero (start of a new measurement period).
   void clear() noexcept;
+
+  /// Sets every bit to one (the neutral seed of an AND cascade).
+  void set_all() noexcept;
+
+  /// Re-shapes to `bit_count` all-zero bits, reusing the existing word
+  /// storage when it is large enough (no allocation then).  This is the
+  /// BitmapPool recycling hook; semantically identical to
+  /// `*this = Bitmap(bit_count)`.
+  void reshape(std::size_t bit_count);
+
+  /// Overwrites this bitmap with `small` replicated to `target_bits`
+  /// (in-place counterpart of replicate_to, for pooled buffers).  Requires
+  /// a non-empty `small` whose size divides `target_bits`.
+  Status assign_replicated(const Bitmap& small, std::size_t target_bits);
 
   /// Number of one-bits / zero-bits (popcount over words).
   [[nodiscard]] std::size_t count_ones() const noexcept;

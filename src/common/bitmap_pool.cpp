@@ -1,0 +1,62 @@
+#include "common/bitmap_pool.hpp"
+
+#include <algorithm>
+
+namespace ptm {
+
+BitmapPool::Lease BitmapPool::acquire(std::size_t bits) {
+  const std::size_t words_needed = (bits + 63) / 64;
+  // Best fit: the smallest retired buffer whose word count covers the
+  // request.  reshape() then re-zeroes without touching the allocator.
+  const auto it = std::lower_bound(
+      free_.begin(), free_.end(), words_needed,
+      [](const auto& entry, std::size_t need) { return entry.first < need; });
+  if (it != free_.end()) {
+    Bitmap b = std::move(it->second);
+    free_.erase(it);
+    b.reshape(bits);
+    ++stats_.reuses;
+    stats_.retired = free_.size();
+    return Lease(this, std::move(b));
+  }
+  // No buffer is big enough: grow the largest retired one (its capacity is
+  // the closest starting point) or start fresh when the pool is empty.
+  ++stats_.allocations;
+  if (!free_.empty()) {
+    Bitmap b = std::move(free_.back().second);
+    free_.pop_back();
+    b.reshape(bits);
+    stats_.retired = free_.size();
+    return Lease(this, std::move(b));
+  }
+  return Lease(this, Bitmap(bits));
+}
+
+void BitmapPool::put_back(Bitmap&& b) noexcept {
+  const std::size_t words = (b.size() + 63) / 64;
+  if (words == 0) return;
+  if (free_.size() >= kMaxRetired) {
+    // Full: keep the larger buffers (they are the expensive ones to
+    // re-create).  Drop the smallest parked entry if the incoming buffer
+    // beats it, else drop the incoming one.
+    if (free_.front().first >= words) return;
+    free_.erase(free_.begin());
+  }
+  const auto it = std::lower_bound(
+      free_.begin(), free_.end(), words,
+      [](const auto& entry, std::size_t w) { return entry.first < w; });
+  free_.emplace(it, words, std::move(b));
+  stats_.retired = free_.size();
+}
+
+void BitmapPool::trim() noexcept {
+  free_.clear();
+  stats_.retired = 0;
+}
+
+BitmapPool& BitmapPool::local() {
+  thread_local BitmapPool pool;
+  return pool;
+}
+
+}  // namespace ptm

@@ -1,0 +1,116 @@
+// bitmap_pool.hpp - thread-local recycling arena for temporary bitmaps.
+//
+// Every non-trivial query allocates scratch bitmaps: join-cascade
+// accumulators, replication upgrades, the Eq. 12 folded halves, the
+// corridor union.  Their sizes repeat run after run (Eq. 2 quantizes every
+// record to a power of two), so the allocator sees the same handful of
+// large requests over and over.  BitmapPool keeps retired word buffers and
+// re-shapes them in place: in steady state a query's temporaries perform
+// zero heap allocations.
+//
+// The pool is deliberately thread-local (`BitmapPool::local()`): the query
+// service runs shard work on worker threads, and a per-thread free list
+// needs no locks and keeps buffers NUMA-node-local to the thread that
+// touches them.  Leases are RAII and must not cross threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/bitmap.hpp"
+
+namespace ptm {
+
+class BitmapPool {
+ public:
+  /// RAII handle over a pooled bitmap: returns the buffer to the pool on
+  /// destruction.  Move-only; `detach()` steals the bitmap out of pool
+  /// circulation for results that escape.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(std::exchange(other.pool_, nullptr)),
+          bitmap_(std::move(other.bitmap_)) {}
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = std::exchange(other.pool_, nullptr);
+        bitmap_ = std::move(other.bitmap_);
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { release(); }
+
+    [[nodiscard]] Bitmap& operator*() noexcept { return bitmap_; }
+    [[nodiscard]] const Bitmap& operator*() const noexcept { return bitmap_; }
+    [[nodiscard]] Bitmap* operator->() noexcept { return &bitmap_; }
+    [[nodiscard]] const Bitmap* operator->() const noexcept {
+      return &bitmap_;
+    }
+    [[nodiscard]] Bitmap& get() noexcept { return bitmap_; }
+
+    /// Steals the bitmap; the buffer leaves the pool for good (use when a
+    /// pooled intermediate becomes the returned result).
+    [[nodiscard]] Bitmap detach() noexcept {
+      pool_ = nullptr;
+      return std::move(bitmap_);
+    }
+
+   private:
+    friend class BitmapPool;
+    Lease(BitmapPool* pool, Bitmap bitmap) noexcept
+        : pool_(pool), bitmap_(std::move(bitmap)) {}
+    void release() noexcept {
+      if (pool_ != nullptr) {
+        pool_->put_back(std::move(bitmap_));
+        pool_ = nullptr;
+      }
+    }
+
+    BitmapPool* pool_ = nullptr;
+    Bitmap bitmap_;
+  };
+
+  BitmapPool() = default;
+  BitmapPool(const BitmapPool&) = delete;
+  BitmapPool& operator=(const BitmapPool&) = delete;
+
+  /// An all-zero bitmap of `bits` bits, backed by a retired buffer when one
+  /// with enough capacity is available (best fit; no allocation then).
+  [[nodiscard]] Lease acquire(std::size_t bits);
+
+  /// Cumulative behaviour counters (exported through ServiceMetrics).
+  struct Stats {
+    std::uint64_t reuses = 0;       ///< acquire served without allocating
+    std::uint64_t allocations = 0;  ///< acquire had to grow or start fresh
+    std::uint64_t retired = 0;      ///< buffers currently parked in the pool
+  };
+  [[nodiscard]] Stats stats() const noexcept { return stats_; }
+
+  /// Drops every retired buffer (tests; memory pressure).
+  void trim() noexcept;
+
+  /// The calling thread's pool - the default arena for query temporaries.
+  [[nodiscard]] static BitmapPool& local();
+
+ private:
+  friend class Lease;
+
+  void put_back(Bitmap&& b) noexcept;
+
+  /// Retired buffers with their word counts at release time (a lower bound
+  /// on vector capacity), kept sorted ascending for best-fit lookup.
+  std::vector<std::pair<std::size_t, Bitmap>> free_;
+  Stats stats_;
+
+  /// Retention cap: beyond this many parked buffers the smallest is
+  /// dropped - bounds worst-case idle memory to ~kMaxRetired large maps.
+  static constexpr std::size_t kMaxRetired = 32;
+};
+
+}  // namespace ptm

@@ -33,6 +33,15 @@ class TableWriter {
 
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
 
+  /// Raw cells, for structured (JSON) mirrors of the console table.
+  [[nodiscard]] const std::vector<std::string>& headers() const noexcept {
+    return headers_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
  private:
   static std::string csv_escape(const std::string& cell);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/bitmap_pool.hpp"
 #include "common/math.hpp"
 #include "core/expansion.hpp"
 
@@ -87,38 +88,42 @@ Result<CorridorPersistentEstimate> corridor_from_ptrs(
   }
 
   // First level: per-location AND-joins (lazy expansion - one accumulator
-  // per location, no expanded record copies).
-  std::vector<Bitmap> joins;
+  // per location, no expanded record copies).  All k joins are leased from
+  // the thread's pool and return to it when the query finishes.
+  BitmapPool& pool = BitmapPool::local();
+  std::vector<BitmapPool::Lease> joins;
   joins.reserve(k);
   for (const auto& records : records_per_location) {
-    auto join = and_join_expanded(std::span<const Bitmap* const>(records));
+    auto join = and_join_pooled(std::span<const Bitmap* const>(records), pool);
     if (!join) return join.status();
     joins.push_back(std::move(*join));
   }
   // Sort ascending by size (the derivation's m_1 <= ... <= m_k).
   std::sort(joins.begin(), joins.end(),
-            [](const Bitmap& a, const Bitmap& b) {
-              return a.size() < b.size();
+            [](const BitmapPool::Lease& a, const BitmapPool::Lease& b) {
+              return a->size() < b->size();
             });
 
   CorridorPersistentEstimate est;
-  for (const Bitmap& join : joins) {
-    est.m.push_back(join.size());
-    est.v0.push_back(join.fraction_zeros());
+  for (const BitmapPool::Lease& join : joins) {
+    est.m.push_back(join->size());
+    est.v0.push_back(join->fraction_zeros());
   }
   auto log_b = corridor_log_b(est.m, s);
   if (!log_b) return log_b.status();
   est.log_b = *log_b;
 
   // Second level: OR of every join virtually expanded to m_k.  The largest
-  // join seeds the accumulator (one copy - the level's only allocation);
-  // the smaller joins fold in through the tiled kernel, bit-identical to
-  // the expand-then-OR fold because OR is commutative over expansions.
-  Bitmap acc = joins.back();
+  // join seeds a pooled accumulator (one copy, no fresh allocation in
+  // steady state); the smaller joins fold in through the tiled kernel,
+  // bit-identical to the expand-then-OR fold because OR is commutative
+  // over expansions.
+  BitmapPool::Lease acc = pool.acquire(joins.back()->size());
+  *acc = *joins.back();
   for (std::size_t j = 0; j + 1 < k; ++j) {
-    if (Status st = acc.or_with_tiled(joins[j]); !st.is_ok()) return st;
+    if (Status st = acc->or_with_tiled(*joins[j]); !st.is_ok()) return st;
   }
-  est.v0_union = acc.fraction_zeros();
+  est.v0_union = acc->fraction_zeros();
 
   // n'' = (ln V_union0 - Σ ln V_j0) / ln B, with the usual clamping.
   double log_excess = 0.0;

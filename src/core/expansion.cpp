@@ -3,9 +3,10 @@
 #include <bit>
 #include <cstring>
 #include <limits>
-#include <optional>
 
+#include "common/bitmap_pool.hpp"
 #include "common/math.hpp"
+#include "simd/kernels.hpp"
 
 namespace ptm {
 
@@ -55,8 +56,12 @@ enum class JoinOp { kAnd, kOr };
 /// SIZE_MAX to include everything).  and_split_join_stats uses the
 /// filtered form to pre-fold a half's sub-maximum records while the
 /// full-size ones are streamed by the blocked count kernel directly.
-Result<Bitmap> join_tiled_below(std::span<const Bitmap* const> bitmaps,
-                                JoinOp op, std::size_t below_bits) {
+/// The accumulator and its replication upgrades come from `pool`, so in
+/// steady state the whole cascade allocates nothing; callers whose result
+/// escapes detach() the lease, callers with a temporary let it expire.
+Result<BitmapPool::Lease> join_tiled_below(
+    std::span<const Bitmap* const> bitmaps, JoinOp op, std::size_t below_bits,
+    BitmapPool& pool) {
   std::size_t lo = below_bits;
   std::size_t hi = 0;
   for (const Bitmap* b : bitmaps) {
@@ -69,40 +74,46 @@ Result<Bitmap> join_tiled_below(std::span<const Bitmap* const> bitmaps,
     return Status{ErrorCode::kInvalidArgument, "join of zero bitmaps"};
   }
 
-  Bitmap acc;
+  BitmapPool::Lease acc = pool.acquire(lo);
   bool seeded = false;
   std::size_t cur = lo;
   for (;;) {
     for (const Bitmap* b : bitmaps) {
       if (b->size() != cur) continue;
       if (!seeded) {
-        acc = *b;  // this size's accumulator
+        *acc = *b;  // copy-assign re-uses the pooled buffer's capacity
         seeded = true;
         continue;
       }
       const Status s =
-          (op == JoinOp::kAnd) ? acc.and_with(*b) : acc.or_with(*b);
+          (op == JoinOp::kAnd) ? acc->and_with(*b) : acc->or_with(*b);
       if (!s.is_ok()) return s;
     }
     if (cur == hi) break;
     // Smallest size above cur that actually occurs; replicate the partial
-    // join up to it and keep folding.
+    // join up to it and keep folding.  Ping-pong through a second pooled
+    // buffer; the outgoing one returns to the pool at the end of the
+    // iteration.
     std::size_t next = hi;
     for (const Bitmap* b : bitmaps) {
       const std::size_t s = b->size();
       if (s > cur && s < below_bits) next = std::min(next, s);
     }
-    auto upgraded = acc.replicate_to(next);
-    if (!upgraded) return upgraded.status();
-    acc = std::move(*upgraded);
+    BitmapPool::Lease upgraded = pool.acquire(next);
+    if (Status s = upgraded->assign_replicated(*acc, next); !s.is_ok()) {
+      return s;
+    }
+    std::swap(acc, upgraded);
     cur = next;
   }
   return acc;
 }
 
-Result<Bitmap> join_tiled(std::span<const Bitmap* const> bitmaps, JoinOp op) {
+Result<BitmapPool::Lease> join_tiled(std::span<const Bitmap* const> bitmaps,
+                                     JoinOp op) {
   return join_tiled_below(bitmaps, op,
-                          std::numeric_limits<std::size_t>::max());
+                          std::numeric_limits<std::size_t>::max(),
+                          BitmapPool::local());
 }
 
 /// Adapts a value span to the pointer-span core without copying bitmaps
@@ -146,15 +157,15 @@ void fold_block(std::uint64_t* buf, std::size_t word0, std::size_t len,
   if (s_bits % 64 == 0) {
     const std::span<const std::uint64_t> w = b.words();
     const std::size_t sw = w.size();
+    if (!seed) {
+      simd::active().and_tiled(buf, len, w.data(), sw, word0 % sw);
+      return;
+    }
     std::size_t c = word0 % sw;
     std::size_t k = 0;
     while (k < len) {
       const std::size_t run = std::min(len - k, sw - c);
-      if (seed) {
-        std::memcpy(buf + k, w.data() + c, run * sizeof(std::uint64_t));
-      } else {
-        for (std::size_t i = 0; i < run; ++i) buf[k + i] &= w[c + i];
-      }
+      std::memcpy(buf + k, w.data() + c, run * sizeof(std::uint64_t));
       k += run;
       c += run;
       if (c == sw) c = 0;
@@ -235,34 +246,48 @@ TiledTripleCount grouped_and_triple_count(const HalfGroup& a,
       buf_a[len - 1] &= last_mask;
       buf_b[len - 1] &= last_mask;
     }
-    for (std::size_t k = 0; k < len; ++k) {
-      out.ones_a += static_cast<std::size_t>(std::popcount(buf_a[k]));
-      out.ones_b += static_cast<std::size_t>(std::popcount(buf_b[k]));
-      out.ones_and +=
-          static_cast<std::size_t>(std::popcount(buf_a[k] & buf_b[k]));
-    }
+    const simd::TripleCount tc = simd::active().triple_count(buf_a, buf_b, len);
+    out.ones_a += tc.ones_a;
+    out.ones_b += tc.ones_b;
+    out.ones_and += tc.ones_and;
   }
   return out;
 }
 
 }  // namespace
 
+Result<BitmapPool::Lease> and_join_pooled(
+    std::span<const Bitmap* const> bitmaps, BitmapPool& pool) {
+  return join_tiled_below(bitmaps, JoinOp::kAnd,
+                          std::numeric_limits<std::size_t>::max(), pool);
+}
+
+Result<BitmapPool::Lease> or_join_pooled(
+    std::span<const Bitmap* const> bitmaps, BitmapPool& pool) {
+  return join_tiled_below(bitmaps, JoinOp::kOr,
+                          std::numeric_limits<std::size_t>::max(), pool);
+}
+
 Result<Bitmap> and_join_expanded(std::span<const Bitmap* const> bitmaps) {
-  return join_tiled(bitmaps, JoinOp::kAnd);
+  auto lease = join_tiled(bitmaps, JoinOp::kAnd);
+  if (!lease) return lease.status();
+  return lease->detach();
 }
 
 Result<Bitmap> and_join_expanded(std::span<const Bitmap> bitmaps) {
   const auto ptrs = to_ptrs(bitmaps);
-  return join_tiled(ptrs, JoinOp::kAnd);
+  return and_join_expanded(std::span<const Bitmap* const>(ptrs));
 }
 
 Result<Bitmap> or_join_expanded(std::span<const Bitmap* const> bitmaps) {
-  return join_tiled(bitmaps, JoinOp::kOr);
+  auto lease = join_tiled(bitmaps, JoinOp::kOr);
+  if (!lease) return lease.status();
+  return lease->detach();
 }
 
 Result<Bitmap> or_join_expanded(std::span<const Bitmap> bitmaps) {
   const auto ptrs = to_ptrs(bitmaps);
-  return join_tiled(ptrs, JoinOp::kOr);
+  return or_join_expanded(std::span<const Bitmap* const>(ptrs));
 }
 
 Result<JoinCount> and_join_count_zeros(
@@ -285,7 +310,7 @@ Result<JoinCount> and_join_count_zeros(
   }
   auto join = join_tiled(bitmaps, JoinOp::kAnd);
   if (!join) return join.status();
-  out.zeros = join->count_zeros();
+  out.zeros = (*join)->count_zeros();  // lease expires here -> buffer pooled
   return out;
 }
 
@@ -316,8 +341,10 @@ Result<SplitJoinStats> and_split_join_stats(
   // Per half: records already at m are streamed straight from the store
   // by the blocked kernel; anything smaller is pre-folded by the cascade
   // at its own (sub-m) sizes.  No m-sized accumulator is ever written.
-  std::optional<Bitmap> folded_a;
-  std::optional<Bitmap> folded_b;
+  // Both folds lease from the thread's pool and expire on return.
+  BitmapPool& pool = BitmapPool::local();
+  BitmapPool::Lease folded_a;
+  BitmapPool::Lease folded_b;
   HalfGroup group_a{half_a, nullptr};
   HalfGroup group_b{half_b, nullptr};
   const auto has_sub = [&](std::span<const Bitmap* const> h) {
@@ -327,13 +354,13 @@ Result<SplitJoinStats> and_split_join_stats(
     return false;
   };
   if (has_sub(half_a)) {
-    auto r = join_tiled_below(half_a, JoinOp::kAnd, stats.m);
+    auto r = join_tiled_below(half_a, JoinOp::kAnd, stats.m, pool);
     if (!r) return r.status();
     folded_a = std::move(*r);
     group_a.folded = &*folded_a;
   }
   if (has_sub(half_b)) {
-    auto r = join_tiled_below(half_b, JoinOp::kAnd, stats.m);
+    auto r = join_tiled_below(half_b, JoinOp::kAnd, stats.m, pool);
     if (!r) return r.status();
     folded_b = std::move(*r);
     group_b.folded = &*folded_b;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/bitmap.hpp"
+#include "common/bitmap_pool.hpp"
 #include "common/status.hpp"
 
 namespace ptm {
@@ -53,6 +54,16 @@ namespace ptm {
 [[nodiscard]] Result<Bitmap> or_join_expanded(std::span<const Bitmap> bitmaps);
 [[nodiscard]] Result<Bitmap> or_join_expanded(
     std::span<const Bitmap* const> bitmaps);
+
+/// Pool-leased forms of the joins, for callers whose result is itself a
+/// temporary (the corridor union, the p2p E_l / E_l' pair): the join
+/// accumulator comes from `pool` and returns to it when the lease expires,
+/// so repeated queries re-use the same buffers.  detach() the lease if the
+/// result must outlive the query after all.
+[[nodiscard]] Result<BitmapPool::Lease> and_join_pooled(
+    std::span<const Bitmap* const> bitmaps, BitmapPool& pool);
+[[nodiscard]] Result<BitmapPool::Lease> or_join_pooled(
+    std::span<const Bitmap* const> bitmaps, BitmapPool& pool);
 
 /// Size and zero count of an AND-join - what linear counting (Eq. 1/3)
 /// actually consumes.  With two records the count is fully fused (no

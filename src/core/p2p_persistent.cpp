@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/bitmap_pool.hpp"
 #include "common/math.hpp"
 #include "core/expansion.hpp"
 
@@ -29,16 +30,19 @@ Result<PointToPointPersistentEstimate> estimate_p2p_persistent(
   }
 
   // First level: per-location AND-joins (lazy expansion - one accumulator
-  // per location, no expanded record copies).
-  auto e_l = and_join_expanded(records_at_l);
+  // per location, no expanded record copies).  Both joins are query
+  // temporaries, so they lease from the thread's pool and their buffers go
+  // straight back for the next query.
+  BitmapPool& pool = BitmapPool::local();
+  auto e_l = and_join_pooled(records_at_l, pool);
   if (!e_l) return e_l.status();
-  auto e_lp = and_join_expanded(records_at_l_prime);
+  auto e_lp = and_join_pooled(records_at_l_prime, pool);
   if (!e_lp) return e_lp.status();
 
   // W.l.o.g. m <= m' (§IV assumes it; the estimator is symmetric under
   // swapping the locations along with their sizes).
-  const Bitmap* small = &*e_l;
-  const Bitmap* large = &*e_lp;
+  const Bitmap* small = &**e_l;
+  const Bitmap* large = &**e_lp;
   if (small->size() > large->size()) std::swap(small, large);
 
   PointToPointPersistentEstimate est;

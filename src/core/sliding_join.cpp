@@ -10,7 +10,7 @@ namespace {
 
 Bitmap all_ones(std::size_t bits) {
   Bitmap b(bits);
-  for (std::size_t i = 0; i < bits; ++i) b.set(i);
+  b.set_all();  // one kernel fill, not a per-bit loop
   return b;
 }
 

@@ -4,8 +4,10 @@
 #include <chrono>
 #include <mutex>
 
+#include "common/bitmap_pool.hpp"
 #include "common/parallel.hpp"
 #include "core/linear_counting.hpp"
+#include "simd/kernels.hpp"
 #include "store/archive.hpp"
 
 namespace ptm {
@@ -625,6 +627,8 @@ ServiceMetrics QueryService::metrics() const {
   out.in_flight = admission_.in_flight();
   out.peak_in_flight = admission_.peak_in_flight();
   out.latency = latency_.snapshot();
+  out.kernel_variant = simd::active().name;
+  out.pool = BitmapPool::local().stats();
   return out;
 }
 

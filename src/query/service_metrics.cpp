@@ -54,6 +54,9 @@ std::string ServiceMetrics::to_string() const {
       << " deadline-exceeded, " << in_flight << " in flight (peak "
       << peak_in_flight << ")\n"
       << "durability: " << archive_append_total << " archive appends\n"
+      << "kernels: " << (kernel_variant.empty() ? "?" : kernel_variant)
+      << " dispatch; bitmap pool " << pool.reuses << " reuses / "
+      << pool.allocations << " allocations (" << pool.retired << " parked)\n"
       << "latency: p50 <= " << format_nanos(latency.percentile_ns(50))
       << ", p90 <= " << format_nanos(latency.percentile_ns(90))
       << ", p99 <= " << format_nanos(latency.percentile_ns(99)) << " ("

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitmap_pool.hpp"
 #include "obs/telemetry.hpp"
 
 namespace ptm {
@@ -44,6 +45,12 @@ struct ServiceMetrics {
   std::size_t in_flight = 0;       ///< queries executing at snapshot time
   std::size_t peak_in_flight = 0;  ///< high-water concurrency mark
   LatencyHistogramSnapshot latency;
+  /// Dispatched SIMD kernel variant ("scalar", "popcnt", "avx2", ...) -
+  /// which inner loops every estimator in this process is running.
+  std::string kernel_variant;
+  /// Scratch-bitmap arena counters for the snapshotting thread (pools are
+  /// thread-local; worker arenas behave alike under a steady query mix).
+  BitmapPool::Stats pool;
 
   /// Multi-line human-readable rendering:
   ///

@@ -1,0 +1,233 @@
+// kernels.cpp - scalar reference variant, derived entry points, and the
+// runtime dispatch.  The vector variants live in kernels_x86.cpp /
+// kernels_neon.cpp; this file must stay free of ISA-specific code so the
+// scalar path is trustworthy on any host.
+#include "simd/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/variants.hpp"
+
+namespace ptm::simd {
+namespace {
+
+/// Portable SWAR popcount (Hacker's Delight §5-1).  Deliberately NOT
+/// __builtin_popcountll: without -mpopcnt that lowers to a libgcc call per
+/// word, and the whole point of the scalar variant is a self-contained
+/// reference with no ISA assumptions at all.
+constexpr std::uint64_t swar_popcount(std::uint64_t x) noexcept {
+  x -= (x >> 1) & 0x5555555555555555ULL;
+  x = (x & 0x3333333333333333ULL) + ((x >> 2) & 0x3333333333333333ULL);
+  x = (x + (x >> 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  return (x * 0x0101010101010101ULL) >> 56;
+}
+
+std::size_t scalar_popcount(const std::uint64_t* a, std::size_t n) {
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) ones += swar_popcount(a[i]);
+  return ones;
+}
+
+std::size_t scalar_and_count(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t n) {
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) ones += swar_popcount(a[i] & b[i]);
+  return ones;
+}
+
+std::size_t scalar_or_count(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t n) {
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) ones += swar_popcount(a[i] | b[i]);
+  return ones;
+}
+
+TripleCount scalar_triple_count(const std::uint64_t* a,
+                                const std::uint64_t* b, std::size_t n) {
+  TripleCount out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.ones_a += swar_popcount(a[i]);
+    out.ones_b += swar_popcount(b[i]);
+    out.ones_and += swar_popcount(a[i] & b[i]);
+  }
+  return out;
+}
+
+void scalar_and_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                        std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void scalar_or_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                       std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+constexpr Kernels kScalar{
+    "scalar",         scalar_popcount,    scalar_and_count,
+    scalar_or_count,  scalar_triple_count, scalar_and_inplace,
+    scalar_or_inplace,
+};
+
+}  // namespace
+
+// --- derived entry points -------------------------------------------------
+// One shared code path per operation: period-sized contiguous runs over the
+// variant's leaf primitives.  A phase splits the first run; after that the
+// cursor always restarts at the period boundary.
+
+void Kernels::and_tiled(std::uint64_t* dst, std::size_t n,
+                        const std::uint64_t* src, std::size_t s_words,
+                        std::size_t phase) const {
+  std::size_t cursor = phase % s_words;
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t run = std::min(n - done, s_words - cursor);
+    and_inplace(dst + done, src + cursor, run);
+    done += run;
+    cursor += run;
+    if (cursor == s_words) cursor = 0;
+  }
+}
+
+void Kernels::or_tiled(std::uint64_t* dst, std::size_t n,
+                       const std::uint64_t* src, std::size_t s_words,
+                       std::size_t phase) const {
+  std::size_t cursor = phase % s_words;
+  std::size_t done = 0;
+  while (done < n) {
+    const std::size_t run = std::min(n - done, s_words - cursor);
+    or_inplace(dst + done, src + cursor, run);
+    done += run;
+    cursor += run;
+    if (cursor == s_words) cursor = 0;
+  }
+}
+
+std::size_t Kernels::and_tiled_count(const std::uint64_t* full, std::size_t n,
+                                     const std::uint64_t* src,
+                                     std::size_t s_words) const {
+  std::size_t ones = 0;
+  for (std::size_t offset = 0; offset < n; offset += s_words) {
+    const std::size_t run = std::min(s_words, n - offset);
+    ones += and_count(full + offset, src, run);
+  }
+  return ones;
+}
+
+std::size_t Kernels::or_tiled_count(const std::uint64_t* full, std::size_t n,
+                                    const std::uint64_t* src,
+                                    std::size_t s_words) const {
+  std::size_t ones = 0;
+  for (std::size_t offset = 0; offset < n; offset += s_words) {
+    const std::size_t run = std::min(s_words, n - offset);
+    ones += or_count(full + offset, src, run);
+  }
+  return ones;
+}
+
+void Kernels::replicate(std::uint64_t* dst, const std::uint64_t* src,
+                        std::size_t s_words, std::size_t copies) const {
+  for (std::size_t c = 0; c < copies; ++c) {
+    std::memcpy(dst + c * s_words, src, s_words * sizeof(std::uint64_t));
+  }
+}
+
+void Kernels::fill(std::uint64_t* dst, std::uint64_t value,
+                   std::size_t n) const {
+  std::fill_n(dst, n, value);
+}
+
+// --- registry and dispatch ------------------------------------------------
+
+const Kernels& scalar() noexcept { return kScalar; }
+
+namespace {
+
+bool always_supported() noexcept { return true; }
+
+const std::vector<VariantEntry>& registry() {
+  static const std::vector<VariantEntry> entries = [] {
+    std::vector<VariantEntry> v{{&kScalar, &always_supported}};
+    for (const VariantEntry* table : {x86_variants(), neon_variants()}) {
+      for (; table->kernels != nullptr; ++table) v.push_back(*table);
+    }
+    return v;
+  }();
+  return entries;
+}
+
+}  // namespace
+
+const std::vector<const Kernels*>& compiled_variants() {
+  static const std::vector<const Kernels*> variants = [] {
+    std::vector<const Kernels*> v;
+    for (const VariantEntry& e : registry()) v.push_back(e.kernels);
+    return v;
+  }();
+  return variants;
+}
+
+bool runnable(const Kernels& k) noexcept {
+  for (const VariantEntry& e : registry()) {
+    if (e.kernels == &k || std::string_view(e.kernels->name) == k.name) {
+      return e.supported();
+    }
+  }
+  return false;
+}
+
+const Kernels* by_name(std::string_view name) {
+  for (const Kernels* k : compiled_variants()) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+const char* host_isa() noexcept { return host_isa_string(); }
+
+namespace {
+
+/// Dispatch order: most capable first.  PTM_FORCE_SCALAR wins outright;
+/// PTM_SIMD pins a variant when it is compiled in and runnable (a bad value
+/// falls through to normal dispatch rather than aborting - the override is
+/// a debugging aid, not configuration).
+const Kernels* dispatch() {
+  if (const char* force = std::getenv("PTM_FORCE_SCALAR");
+      force != nullptr && force[0] != '\0' && force[0] != '0') {
+    return &kScalar;
+  }
+  if (const char* pinned = std::getenv("PTM_SIMD");
+      pinned != nullptr && pinned[0] != '\0') {
+    if (const Kernels* k = by_name(pinned); k != nullptr && runnable(*k)) {
+      return k;
+    }
+  }
+  const auto& entries = registry();
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    if (it->supported()) return it->kernels;
+  }
+  return &kScalar;
+}
+
+std::atomic<const Kernels*> g_override{nullptr};
+
+}  // namespace
+
+const Kernels& active() noexcept {
+  if (const Kernels* k = g_override.load(std::memory_order_relaxed);
+      k != nullptr) {
+    return *k;
+  }
+  static const Kernels* const chosen = dispatch();
+  return *chosen;
+}
+
+void set_active_for_testing(const Kernels* k) noexcept {
+  g_override.store(k, std::memory_order_relaxed);
+}
+
+}  // namespace ptm::simd

@@ -1,0 +1,129 @@
+// kernels.hpp - runtime-dispatched word-level bitmap kernels (ptm_simd).
+//
+// Every estimator in the paper reduces to a handful of loops over packed
+// 64-bit words: popcounts (linear counting, Eq. 1/3), fused op-and-count
+// sweeps (the Eq. 12 triple and the Eq. 21 OR union), in-place AND/OR folds
+// (the join cascades), and replication (§III-A expansion).  This layer owns
+// those loops exactly once, as a `Kernels` vtable with one implementation
+// per instruction set, selected at process start by CPUID:
+//
+//   scalar  - portable C++ (SWAR popcount), the reference implementation;
+//             every other variant must be bit-identical to it.
+//   popcnt  - scalar loops with the hardware POPCNT instruction.
+//   avx2    - 256-bit sweeps, nibble-LUT popcount (Mula's method).
+//   avx512  - 512-bit sweeps using VPOPCNTDQ.
+//   neon    - 128-bit sweeps via vcntq_u8 (compiled on aarch64 only).
+//
+// Nothing here is compiled with global ISA flags: the vector variants use
+// per-function target attributes, so the binary runs on any x86-64 (or
+// aarch64) host and simply dispatches lower when a feature is missing -
+// this replaces the old compile-time -mpopcnt gate, which could SIGILL a
+// binary built on a modern host.  `PTM_FORCE_SCALAR=1` pins the reference
+// implementation; `PTM_SIMD=<name>` pins any runnable variant (debugging).
+//
+// Contracts shared by every entry point:
+//   * pointers are to packed 64-bit words, 8-byte aligned only - all vector
+//     paths use unaligned loads, so callers may pass offset subranges;
+//   * `n` counts words, never bits;
+//   * tail-bit masking is the caller's job (kernels see exact word ranges);
+//   * `a`/`b` of the counting kernels must not alias partially; in-place
+//     kernels allow dst == src (idempotent ops) but not partial overlap.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ptm::simd {
+
+/// The Eq. 12 measurement triple over one word range: ones of a, of b, and
+/// of a AND b, from a single sweep over the two arrays.
+struct TripleCount {
+  std::size_t ones_a = 0;
+  std::size_t ones_b = 0;
+  std::size_t ones_and = 0;
+};
+
+struct Kernels {
+  /// Variant label ("scalar", "popcnt", "avx2", "avx512", "neon"); also the
+  /// string accepted by `by_name` / PTM_SIMD and reported in BENCH JSON.
+  const char* name;
+
+  // --- leaf primitives (one implementation per ISA variant) ---
+
+  /// ones(a[0..n))
+  std::size_t (*popcount)(const std::uint64_t* a, std::size_t n);
+  /// ones(a & b) / ones(a | b) over [0..n) - fused op+count, no temporary.
+  std::size_t (*and_count)(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n);
+  std::size_t (*or_count)(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t n);
+  /// ones(a), ones(b), ones(a & b) in one sweep (the Eq. 12 triple).
+  TripleCount (*triple_count)(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n);
+  /// dst[i] &= src[i] / dst[i] |= src[i] over [0..n).
+  void (*and_inplace)(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n);
+  void (*or_inplace)(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n);
+
+  // --- derived entry points (single shared code path over the leaves) ---
+
+  /// Tiled (lazy-expansion) joins: dst[i] op= src[(phase + i) mod s_words]
+  /// for i in [0..n) - the virtual replication of a word-aligned smaller
+  /// bitmap folded into a larger one without materializing the expansion.
+  /// Runs the leaf in contiguous period-sized chunks.
+  void and_tiled(std::uint64_t* dst, std::size_t n, const std::uint64_t* src,
+                 std::size_t s_words, std::size_t phase = 0) const;
+  void or_tiled(std::uint64_t* dst, std::size_t n, const std::uint64_t* src,
+                std::size_t s_words, std::size_t phase = 0) const;
+
+  /// Fused tiled op+count: ones of (full[i] op src[i mod s_words]) over
+  /// [0..n) with no writes at all (the p2p second-level shape).
+  [[nodiscard]] std::size_t and_tiled_count(const std::uint64_t* full,
+                                            std::size_t n,
+                                            const std::uint64_t* src,
+                                            std::size_t s_words) const;
+  [[nodiscard]] std::size_t or_tiled_count(const std::uint64_t* full,
+                                           std::size_t n,
+                                           const std::uint64_t* src,
+                                           std::size_t s_words) const;
+
+  /// §III-A expansion: dst[0..s_words*copies) = src repeated `copies` times.
+  void replicate(std::uint64_t* dst, const std::uint64_t* src,
+                 std::size_t s_words, std::size_t copies) const;
+
+  /// dst[0..n) = value (all-ones seeds for AND cascades, zeroing).
+  void fill(std::uint64_t* dst, std::uint64_t value, std::size_t n) const;
+};
+
+/// The dispatched vtable: best runnable variant, after the PTM_FORCE_SCALAR
+/// / PTM_SIMD overrides and any test override.  The underlying choice is
+/// made once per process; the call itself is one relaxed atomic load.
+[[nodiscard]] const Kernels& active() noexcept;
+
+/// The portable reference implementation (always runnable).
+[[nodiscard]] const Kernels& scalar() noexcept;
+
+/// Every variant compiled into this binary, scalar first.  Entries may not
+/// be runnable on this host - pair with `runnable` (the differential tests
+/// iterate exactly this list).
+[[nodiscard]] const std::vector<const Kernels*>& compiled_variants();
+
+/// Whether this host's CPU can execute the given variant.
+[[nodiscard]] bool runnable(const Kernels& k) noexcept;
+
+/// Compiled-in variant by name, or nullptr (may not be runnable here).
+[[nodiscard]] const Kernels* by_name(std::string_view name);
+
+/// Short host ISA fingerprint for BENCH JSON, e.g.
+/// "x86-64 popcnt avx2 avx512vpopcntdq" - the features that matter to the
+/// dispatch, not the full CPUID dump.
+[[nodiscard]] const char* host_isa() noexcept;
+
+/// Test hook: pin `active()` to a specific variant (must be runnable);
+/// nullptr restores the dispatched choice.  Not for production code paths.
+void set_active_for_testing(const Kernels* k) noexcept;
+
+}  // namespace ptm::simd

@@ -1,0 +1,149 @@
+// kernels_neon.cpp - NEON variant of the word kernels, compiled on aarch64
+// only (AArch64 makes Advanced SIMD mandatory, so no runtime probe beyond
+// the architecture itself is needed).  On every other target this TU
+// contributes an empty variant table.
+//
+// The popcount is vcntq_u8 (per-byte counts) folded by the pairwise-add
+// ladder to 64-bit lanes - the standard NEON idiom.  Kept behind the same
+// `Kernels` interface and the same differential tests as the x86 variants.
+#include "simd/variants.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace ptm::simd {
+namespace {
+
+inline uint64x2_t popcnt128(uint8x16_t v) {
+  return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v))));
+}
+
+inline std::size_t hsum128(uint64x2_t acc) {
+  return static_cast<std::size_t>(vgetq_lane_u64(acc, 0)) +
+         static_cast<std::size_t>(vgetq_lane_u64(acc, 1));
+}
+
+std::size_t neon_popcount(const std::uint64_t* a, std::size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint8x16_t v =
+        vreinterpretq_u8_u64(vld1q_u64(a + i));
+    acc = vaddq_u64(acc, popcnt128(v));
+  }
+  std::size_t ones = hsum128(acc);
+  for (; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+  }
+  return ones;
+}
+
+std::size_t neon_and_count(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    acc = vaddq_u64(acc, popcnt128(vreinterpretq_u8_u64(vandq_u64(va, vb))));
+  }
+  std::size_t ones = hsum128(acc);
+  for (; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return ones;
+}
+
+std::size_t neon_or_count(const std::uint64_t* a, const std::uint64_t* b,
+                          std::size_t n) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    acc = vaddq_u64(acc, popcnt128(vreinterpretq_u8_u64(vorrq_u64(va, vb))));
+  }
+  std::size_t ones = hsum128(acc);
+  for (; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i] | b[i]));
+  }
+  return ones;
+}
+
+TripleCount neon_triple_count(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  uint64x2_t acc_a = vdupq_n_u64(0);
+  uint64x2_t acc_b = vdupq_n_u64(0);
+  uint64x2_t acc_and = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    acc_a = vaddq_u64(acc_a, popcnt128(vreinterpretq_u8_u64(va)));
+    acc_b = vaddq_u64(acc_b, popcnt128(vreinterpretq_u8_u64(vb)));
+    acc_and =
+        vaddq_u64(acc_and, popcnt128(vreinterpretq_u8_u64(vandq_u64(va, vb))));
+  }
+  TripleCount out;
+  out.ones_a = hsum128(acc_a);
+  out.ones_b = hsum128(acc_b);
+  out.ones_and = hsum128(acc_and);
+  for (; i < n; ++i) {
+    out.ones_a += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+    out.ones_b += static_cast<std::size_t>(__builtin_popcountll(b[i]));
+    out.ones_and += static_cast<std::size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return out;
+}
+
+void neon_and_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vandq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+void neon_or_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(dst + i), vld1q_u64(src + i)));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+constexpr Kernels kNeon{
+    "neon",         neon_popcount,     neon_and_count,
+    neon_or_count,  neon_triple_count, neon_and_inplace,
+    neon_or_inplace,
+};
+
+bool neon_supported() noexcept { return true; }
+
+constexpr VariantEntry kNeonTable[] = {
+    {&kNeon, &neon_supported},
+    {nullptr, nullptr},
+};
+
+}  // namespace
+
+const VariantEntry* neon_variants() noexcept { return kNeonTable; }
+
+}  // namespace ptm::simd
+
+#else
+
+namespace ptm::simd {
+
+namespace {
+constexpr VariantEntry kEmptyNeonTable[] = {{nullptr, nullptr}};
+}  // namespace
+
+const VariantEntry* neon_variants() noexcept { return kEmptyNeonTable; }
+
+}  // namespace ptm::simd
+
+#endif

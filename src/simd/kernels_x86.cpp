@@ -1,0 +1,401 @@
+// kernels_x86.cpp - POPCNT / AVX2 / AVX-512 variants of the word kernels.
+//
+// Nothing here relies on global -m flags: every function carries a target
+// attribute, so this TU compiles with the baseline x86-64 ABI and the
+// vector code is only ever executed after the CPUID probes in the
+// `supported` hooks pass.  On non-x86 targets the file collapses to an
+// empty variant table.
+//
+// The AVX2 popcount is Mula's nibble-LUT method (VPSHUFB twice + VPSADBW);
+// AVX-512 uses VPOPCNTDQ directly.  Both accumulate into 64-bit lanes, so
+// no sweep length can overflow.  All loads are unaligned on purpose - the
+// callers hand out 8-byte-aligned subranges of std::vector storage.
+#include "simd/variants.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <string>
+
+// GCC 12's avx512fintrin.h trips -Wuninitialized on the _mm512_undefined_*
+// helper behind the unaligned-load intrinsics; nothing of ours is involved.
+#pragma GCC diagnostic ignored "-Wuninitialized"
+
+namespace ptm::simd {
+namespace {
+
+// --- popcnt variant: scalar loops over the hardware instruction -----------
+
+#define PTM_TGT_POPCNT __attribute__((target("popcnt")))
+
+PTM_TGT_POPCNT std::size_t popcnt_popcount(const std::uint64_t* a,
+                                           std::size_t n) {
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+  }
+  return ones;
+}
+
+PTM_TGT_POPCNT std::size_t popcnt_and_count(const std::uint64_t* a,
+                                            const std::uint64_t* b,
+                                            std::size_t n) {
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return ones;
+}
+
+PTM_TGT_POPCNT std::size_t popcnt_or_count(const std::uint64_t* a,
+                                           const std::uint64_t* b,
+                                           std::size_t n) {
+  std::size_t ones = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i] | b[i]));
+  }
+  return ones;
+}
+
+PTM_TGT_POPCNT TripleCount popcnt_triple_count(const std::uint64_t* a,
+                                               const std::uint64_t* b,
+                                               std::size_t n) {
+  TripleCount out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.ones_a += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+    out.ones_b += static_cast<std::size_t>(__builtin_popcountll(b[i]));
+    out.ones_and += static_cast<std::size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return out;
+}
+
+void base_and_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                      std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void base_or_inplace(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+constexpr Kernels kPopcnt{
+    "popcnt",         popcnt_popcount,     popcnt_and_count,
+    popcnt_or_count,  popcnt_triple_count, base_and_inplace,
+    base_or_inplace,
+};
+
+bool popcnt_supported() noexcept { return __builtin_cpu_supports("popcnt"); }
+
+// --- avx2 variant ---------------------------------------------------------
+
+#define PTM_TGT_AVX2 __attribute__((target("avx2,popcnt")))
+
+/// Per-64-bit-lane popcount of a 256-bit vector: nibble lookup via VPSHUFB,
+/// byte sums folded by VPSADBW.
+PTM_TGT_AVX2 inline __m256i popcnt256(__m256i v) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+PTM_TGT_AVX2 inline std::size_t hsum256(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::size_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<std::size_t>(_mm_extract_epi64(sum, 1));
+}
+
+PTM_TGT_AVX2 std::size_t avx2_popcount(const std::uint64_t* a,
+                                       std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    acc = _mm256_add_epi64(acc, popcnt256(v));
+  }
+  std::size_t ones = hsum256(acc);
+  for (; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+  }
+  return ones;
+}
+
+PTM_TGT_AVX2 std::size_t avx2_and_count(const std::uint64_t* a,
+                                        const std::uint64_t* b,
+                                        std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, popcnt256(_mm256_and_si256(va, vb)));
+  }
+  std::size_t ones = hsum256(acc);
+  for (; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return ones;
+}
+
+PTM_TGT_AVX2 std::size_t avx2_or_count(const std::uint64_t* a,
+                                       const std::uint64_t* b,
+                                       std::size_t n) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, popcnt256(_mm256_or_si256(va, vb)));
+  }
+  std::size_t ones = hsum256(acc);
+  for (; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i] | b[i]));
+  }
+  return ones;
+}
+
+PTM_TGT_AVX2 TripleCount avx2_triple_count(const std::uint64_t* a,
+                                           const std::uint64_t* b,
+                                           std::size_t n) {
+  __m256i acc_a = _mm256_setzero_si256();
+  __m256i acc_b = _mm256_setzero_si256();
+  __m256i acc_and = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc_a = _mm256_add_epi64(acc_a, popcnt256(va));
+    acc_b = _mm256_add_epi64(acc_b, popcnt256(vb));
+    acc_and = _mm256_add_epi64(acc_and, popcnt256(_mm256_and_si256(va, vb)));
+  }
+  TripleCount out;
+  out.ones_a = hsum256(acc_a);
+  out.ones_b = hsum256(acc_b);
+  out.ones_and = hsum256(acc_and);
+  for (; i < n; ++i) {
+    out.ones_a += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+    out.ones_b += static_cast<std::size_t>(__builtin_popcountll(b[i]));
+    out.ones_and += static_cast<std::size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return out;
+}
+
+PTM_TGT_AVX2 void avx2_and_inplace(std::uint64_t* dst,
+                                   const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+PTM_TGT_AVX2 void avx2_or_inplace(std::uint64_t* dst,
+                                  const std::uint64_t* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+constexpr Kernels kAvx2{
+    "avx2",         avx2_popcount,     avx2_and_count,
+    avx2_or_count,  avx2_triple_count, avx2_and_inplace,
+    avx2_or_inplace,
+};
+
+bool avx2_supported() noexcept {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("popcnt");
+}
+
+// --- avx512 variant (VPOPCNTDQ) -------------------------------------------
+
+#define PTM_TGT_AVX512 \
+  __attribute__((target("avx512f,avx512bw,avx512vpopcntdq,popcnt")))
+
+PTM_TGT_AVX512 std::size_t avx512_popcount(const std::uint64_t* a,
+                                           std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i v = _mm512_loadu_si512(a + i);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  std::size_t ones = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+  }
+  return ones;
+}
+
+PTM_TGT_AVX512 std::size_t avx512_and_count(const std::uint64_t* a,
+                                            const std::uint64_t* b,
+                                            std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  std::size_t ones = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return ones;
+}
+
+PTM_TGT_AVX512 std::size_t avx512_or_count(const std::uint64_t* a,
+                                           const std::uint64_t* b,
+                                           std::size_t n) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_or_si512(va, vb)));
+  }
+  std::size_t ones = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < n; ++i) {
+    ones += static_cast<std::size_t>(__builtin_popcountll(a[i] | b[i]));
+  }
+  return ones;
+}
+
+PTM_TGT_AVX512 TripleCount avx512_triple_count(const std::uint64_t* a,
+                                               const std::uint64_t* b,
+                                               std::size_t n) {
+  __m512i acc_a = _mm512_setzero_si512();
+  __m512i acc_b = _mm512_setzero_si512();
+  __m512i acc_and = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    acc_a = _mm512_add_epi64(acc_a, _mm512_popcnt_epi64(va));
+    acc_b = _mm512_add_epi64(acc_b, _mm512_popcnt_epi64(vb));
+    acc_and = _mm512_add_epi64(
+        acc_and, _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  TripleCount out;
+  out.ones_a = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc_a));
+  out.ones_b = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc_b));
+  out.ones_and = static_cast<std::size_t>(_mm512_reduce_add_epi64(acc_and));
+  for (; i < n; ++i) {
+    out.ones_a += static_cast<std::size_t>(__builtin_popcountll(a[i]));
+    out.ones_b += static_cast<std::size_t>(__builtin_popcountll(b[i]));
+    out.ones_and += static_cast<std::size_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return out;
+}
+
+PTM_TGT_AVX512 void avx512_and_inplace(std::uint64_t* dst,
+                                       const std::uint64_t* src,
+                                       std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    const __m512i s = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_and_si512(d, s));
+  }
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+PTM_TGT_AVX512 void avx512_or_inplace(std::uint64_t* dst,
+                                      const std::uint64_t* src,
+                                      std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    const __m512i s = _mm512_loadu_si512(src + i);
+    _mm512_storeu_si512(dst + i, _mm512_or_si512(d, s));
+  }
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+constexpr Kernels kAvx512{
+    "avx512",         avx512_popcount,     avx512_and_count,
+    avx512_or_count,  avx512_triple_count, avx512_and_inplace,
+    avx512_or_inplace,
+};
+
+bool avx512_supported() noexcept {
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vpopcntdq") &&
+         __builtin_cpu_supports("popcnt");
+}
+
+constexpr VariantEntry kX86Table[] = {
+    {&kPopcnt, &popcnt_supported},
+    {&kAvx2, &avx2_supported},
+    {&kAvx512, &avx512_supported},
+    {nullptr, nullptr},
+};
+
+}  // namespace
+
+const VariantEntry* x86_variants() noexcept { return kX86Table; }
+
+const char* host_isa_string() noexcept {
+  static const std::string isa = [] {
+    std::string s = "x86-64";
+    if (__builtin_cpu_supports("popcnt")) s += " popcnt";
+    if (__builtin_cpu_supports("avx2")) s += " avx2";
+    if (avx512_supported()) s += " avx512vpopcntdq";
+    return s;
+  }();
+  return isa.c_str();
+}
+
+}  // namespace ptm::simd
+
+#else  // non-x86 targets: no variants from this TU.
+
+namespace ptm::simd {
+
+namespace {
+constexpr VariantEntry kEmptyTable[] = {{nullptr, nullptr}};
+}  // namespace
+
+const VariantEntry* x86_variants() noexcept { return kEmptyTable; }
+
+const char* host_isa_string() noexcept {
+#if defined(__aarch64__)
+  return "aarch64 neon";
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace ptm::simd
+
+#endif

@@ -1,0 +1,26 @@
+// variants.hpp - internal registration interface between the dispatch
+// (kernels.cpp) and the per-ISA variant translation units.  Not installed;
+// include kernels.hpp for the public API.
+#pragma once
+
+#include "simd/kernels.hpp"
+
+namespace ptm::simd {
+
+struct VariantEntry {
+  const Kernels* kernels;
+  /// Whether the host CPU can execute this variant (CPUID probe).
+  bool (*supported)() noexcept;
+};
+
+/// Null-`kernels`-terminated arrays of the variants each target file
+/// compiles in (empty on foreign architectures).  Order: least capable
+/// first; the dispatcher scans back-to-front.
+const VariantEntry* x86_variants() noexcept;
+const VariantEntry* neon_variants() noexcept;
+
+/// Host ISA fingerprint (defined alongside the x86 variants, which cover
+/// every architecture via the preprocessor).
+const char* host_isa_string() noexcept;
+
+}  // namespace ptm::simd

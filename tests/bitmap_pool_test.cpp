@@ -1,0 +1,119 @@
+// bitmap_pool_test.cpp - the recycling arena behind per-query temporaries.
+//
+// The pool's contract: acquire() always hands back an all-zero bitmap of
+// the requested width; a released lease's buffer is reused by later
+// acquires (best fit); detach() removes a buffer from circulation; the
+// retention cap bounds parked memory.  The join cascades and split-stats
+// paths in core/expansion.cpp lean on all of these.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "common/bitmap_pool.hpp"
+
+namespace ptm {
+namespace {
+
+TEST(BitmapPool, AcquireReturnsZeroedBitmapOfRequestedSize) {
+  BitmapPool pool;
+  auto lease = pool.acquire(1 << 10);
+  EXPECT_EQ(lease->size(), 1u << 10);
+  EXPECT_EQ(lease->count_ones(), 0u);
+}
+
+TEST(BitmapPool, ReleasedBufferIsReusedAndZeroedAgain) {
+  BitmapPool pool;
+  {
+    auto lease = pool.acquire(1 << 12);
+    lease->set_all();
+  }
+  EXPECT_EQ(pool.stats().retired, 1u);
+
+  auto again = pool.acquire(1 << 12);
+  EXPECT_EQ(again->size(), 1u << 12);
+  EXPECT_EQ(again->count_ones(), 0u) << "recycled buffer must come back clean";
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(pool.stats().allocations, 1u);
+}
+
+TEST(BitmapPool, BestFitPrefersSmallestSufficientBuffer) {
+  BitmapPool pool;
+  {
+    auto small = pool.acquire(1 << 8);
+    auto large = pool.acquire(1 << 14);
+  }
+  EXPECT_EQ(pool.stats().retired, 2u);
+
+  // A mid-size request must take the large buffer (the only one that
+  // fits), leaving the small one parked.
+  auto mid = pool.acquire(1 << 10);
+  EXPECT_EQ(mid->size(), 1u << 10);
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  EXPECT_EQ(pool.stats().retired, 1u);
+
+  // A tiny request then reuses the small buffer rather than allocating.
+  auto tiny = pool.acquire(1 << 4);
+  EXPECT_EQ(pool.stats().reuses, 2u);
+  EXPECT_EQ(pool.stats().allocations, 2u);
+}
+
+TEST(BitmapPool, DetachRemovesBufferFromCirculation) {
+  BitmapPool pool;
+  Bitmap stolen = [&] {
+    auto lease = pool.acquire(1 << 10);
+    lease->set(7);
+    return lease.detach();
+  }();
+  EXPECT_EQ(pool.stats().retired, 0u);
+  EXPECT_EQ(stolen.size(), 1u << 10);
+  EXPECT_TRUE(stolen.test(7));
+
+  // The next acquire cannot see the detached buffer.
+  auto fresh = pool.acquire(1 << 10);
+  EXPECT_EQ(pool.stats().reuses, 0u);
+  EXPECT_EQ(pool.stats().allocations, 2u);
+}
+
+TEST(BitmapPool, MoveTransfersLeaseOwnership) {
+  BitmapPool pool;
+  auto a = pool.acquire(1 << 8);
+  BitmapPool::Lease b = std::move(a);
+  EXPECT_EQ(b->size(), 1u << 8);
+  {
+    BitmapPool::Lease c;
+    c = std::move(b);
+    EXPECT_EQ(c->size(), 1u << 8);
+  }
+  // Exactly one buffer comes back despite the chain of moves.
+  EXPECT_EQ(pool.stats().retired, 1u);
+}
+
+TEST(BitmapPool, TrimDropsParkedBuffers) {
+  BitmapPool pool;
+  { auto lease = pool.acquire(1 << 10); }
+  EXPECT_EQ(pool.stats().retired, 1u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().retired, 0u);
+  auto fresh = pool.acquire(1 << 10);
+  EXPECT_EQ(pool.stats().allocations, 2u);
+}
+
+TEST(BitmapPool, RetentionCapBoundsParkedBuffers) {
+  BitmapPool pool;
+  {
+    std::vector<BitmapPool::Lease> leases;
+    for (std::size_t i = 0; i < 40; ++i) {
+      leases.push_back(pool.acquire((i + 1) * 64));
+    }
+  }
+  EXPECT_LE(pool.stats().retired, 32u);
+  EXPECT_GT(pool.stats().retired, 0u);
+}
+
+TEST(BitmapPool, LocalReturnsSameArenaPerThread) {
+  EXPECT_EQ(&BitmapPool::local(), &BitmapPool::local());
+}
+
+}  // namespace
+}  // namespace ptm

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bitmap.hpp"
+#include "common/bitmap_pool.hpp"
 #include "common/random.hpp"
 #include "core/corridor_persistent.hpp"
 #include "core/expansion.hpp"
@@ -28,6 +29,7 @@
 #include "core/p2p_persistent.hpp"
 #include "core/point_persistent.hpp"
 #include "core/sliding_join.hpp"
+#include "simd/kernels.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_allocations{0};
@@ -249,6 +251,45 @@ TEST(JoinKernels, SplitStatsMatchMaterializedTriple) {
   }
 }
 
+// Every runnable SIMD variant must drive the join cascades to the same
+// bits as the scalar reference - the estimator-level half of the
+// differential sweep in simd_kernels_test.cpp.
+TEST(JoinKernels, JoinsMatchUnderEveryRunnableVariant) {
+  Xoshiro256 rng(120);
+  for (int trial = 0; trial < 16; ++trial) {
+    const std::size_t t = rng.in_range(2, 6);
+    const auto records = random_records(t, rng);
+
+    simd::set_active_for_testing(&simd::scalar());
+    const auto want_and = and_join_expanded(records);
+    const auto want_stats = and_split_join_stats(records);
+    simd::set_active_for_testing(nullptr);
+    ASSERT_TRUE(want_and.has_value() && want_stats.has_value());
+
+    for (const simd::Kernels* k : simd::compiled_variants()) {
+      if (!simd::runnable(*k)) continue;
+      simd::set_active_for_testing(k);
+      const auto got_and = and_join_expanded(records);
+      const auto got_count = and_join_count_zeros(records);
+      const auto got_stats = and_split_join_stats(records);
+      simd::set_active_for_testing(nullptr);
+
+      ASSERT_TRUE(got_and.has_value() && got_count.has_value() &&
+                  got_stats.has_value())
+          << "variant " << k->name;
+      EXPECT_TRUE(*got_and == *want_and)
+          << "variant " << k->name << " trial " << trial;
+      EXPECT_EQ(got_count->zeros, want_and->count_zeros())
+          << "variant " << k->name;
+      EXPECT_EQ(got_stats->m, want_stats->m) << "variant " << k->name;
+      EXPECT_EQ(got_stats->v_a0, want_stats->v_a0) << "variant " << k->name;
+      EXPECT_EQ(got_stats->v_b0, want_stats->v_b0) << "variant " << k->name;
+      EXPECT_EQ(got_stats->v_star1, want_stats->v_star1)
+          << "variant " << k->name;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Estimators: fused vs materialized, exact to the last double.
 
@@ -429,8 +470,24 @@ TEST(SlidingJoinKernels, OversizedAndNonPow2RecordsRejected) {
 
 // ---------------------------------------------------------------------------
 // Allocation counting: the kernels' zero-copy contract, enforced.
+//
+// Join temporaries now lease from the thread-local BitmapPool, whose state
+// leaks across tests in this binary.  reset_pool() empties it (so every
+// measured acquire is a genuine fresh allocation, same counts as before
+// pooling) after pre-warming the free-list vector's capacity (so a lease
+// returning to the pool mid-operation costs no bookkeeping allocation).
+
+void reset_pool() {
+  BitmapPool& pool = BitmapPool::local();
+  {
+    auto a = pool.acquire(1 << 12);
+    auto b = pool.acquire(1 << 12);
+  }
+  pool.trim();
+}
 
 TEST(AllocationCounting, FusedTwoRecordCountAllocatesNothing) {
+  reset_pool();
   Xoshiro256 rng(111);
   std::vector<Bitmap> records;
   records.push_back(random_bitmap(1 << 12, 0.5, rng));
@@ -447,6 +504,7 @@ TEST(AllocationCounting, FusedTwoRecordCountAllocatesNothing) {
 }
 
 TEST(AllocationCounting, JoinAllocatesOnlyTheAccumulator) {
+  reset_pool();
   Xoshiro256 rng(112);
   std::vector<Bitmap> records;
   for (std::size_t bits : {1u << 12, 1u << 12, 1u << 10, 1u << 12}) {
@@ -466,6 +524,7 @@ TEST(AllocationCounting, JoinAllocatesOnlyTheAccumulator) {
 }
 
 TEST(AllocationCounting, EqualSizeJoinAllocatesExactlyOnce) {
+  reset_pool();
   Xoshiro256 rng(114);
   std::vector<Bitmap> records;
   for (int i = 0; i < 6; ++i) {
@@ -483,6 +542,7 @@ TEST(AllocationCounting, EqualSizeJoinAllocatesExactlyOnce) {
 }
 
 TEST(AllocationCounting, EqualSizeSplitStatsAllocateNothing) {
+  reset_pool();
   Xoshiro256 rng(113);
   std::vector<Bitmap> records;
   for (int i = 0; i < 5; ++i) {
@@ -503,6 +563,7 @@ TEST(AllocationCounting, EqualSizeSplitStatsAllocateNothing) {
 }
 
 TEST(AllocationCounting, MixedSizeSplitStatsAllocateOnlySubMaxAccumulators) {
+  reset_pool();
   Xoshiro256 rng(115);
   std::vector<Bitmap> records;
   for (std::size_t bits : {1u << 10, 1u << 12, 1u << 12, 1u << 10, 1u << 12}) {

@@ -340,6 +340,11 @@ TEST(QueryService, MetricsTrackQueriesAndLatency) {
   }
   EXPECT_GE(shard_queries, metrics.queries_total);
   EXPECT_NE(metrics.to_string().find("queries:"), std::string::npos);
+  // The snapshot carries the dispatched kernel variant and the arena's
+  // counters, and to_string surfaces both for `ptmctl stats`.
+  EXPECT_FALSE(metrics.kernel_variant.empty());
+  EXPECT_NE(metrics.to_string().find("kernels: "), std::string::npos);
+  EXPECT_NE(metrics.to_string().find("bitmap pool"), std::string::npos);
 }
 
 // The headline concurrency test: M writer threads ingest disjoint

@@ -1,0 +1,401 @@
+// bench_runner - the perf flight recorder.
+//
+//   bench_runner run [--out BENCH_<rev>.json] [--rev name] [--only substr]
+//                    [--smoke] [--reps k]
+//       Executes every registered perf bench (bench_perf_core.cpp and
+//       bench_kernels.cpp are linked into this binary) and writes the
+//       ptm-bench-v1 JSON document: ns/op, bytes/op, kernel-variant label,
+//       host ISA fingerprint.
+//
+//   bench_runner compare <baseline.json> <candidate.json>
+//                    [--threshold pct] [--strict]
+//       Diffs two BENCH files and exits nonzero when any shared
+//       measurement regressed by more than the threshold (default 10%).
+//       When the two files' host fingerprints (ISA + kernel variant)
+//       differ, the numbers are not comparable machine-to-machine, so the
+//       gate downgrades to a warning unless --strict forces it.
+//
+//   bench_runner list
+//       Prints the registered benches.
+//
+// CI runs `run --smoke` then `compare bench/baselines/BENCH_pr6.json` -
+// the checked-in baseline - so a kernel or join regression fails the
+// build on matching hardware and still leaves a paper trail elsewhere.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "simd/kernels.hpp"
+
+namespace {
+
+using ptm::bench::BenchContext;
+using ptm::bench::BenchResult;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the ptm-bench-v1 schema.  Not a general parser:
+// it understands objects, arrays, strings, and numbers - exactly what
+// write_json emits - and fails loudly on anything else.
+
+struct JsonValue {
+  enum class Kind { kNull, kString, kNumber, kBool, kArray, kObject } kind =
+      Kind::kNull;
+  std::string str;
+  double num = 0.0;
+  bool boolean = false;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    const auto it = fields.find(key);
+    return it == fields.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+  std::optional<JsonValue> parse() {
+    auto v = value();
+    skip_ws();
+    if (!v || pos_ != text_.size()) return std::nullopt;
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<JsonValue> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string_value();
+    if (c == 't' || c == 'f') return boolean();
+    return number();
+  }
+
+  std::optional<JsonValue> boolean() {
+    for (const char* word : {"true", "false"}) {
+      const std::size_t len = std::strlen(word);
+      if (text_.compare(pos_, len, word) == 0) {
+        pos_ += len;
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = word[0] == 't';
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> object() {
+    if (!consume('{')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return v;
+    for (;;) {
+      auto key = string_value();
+      if (!key || !consume(':')) return std::nullopt;
+      auto val = value();
+      if (!val) return std::nullopt;
+      v.fields.emplace(key->str, std::move(*val));
+      if (consume(',')) continue;
+      if (consume('}')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> array() {
+    if (!consume('[')) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return v;
+    for (;;) {
+      auto item = value();
+      if (!item) return std::nullopt;
+      v.items.push_back(std::move(*item));
+      if (consume(',')) continue;
+      if (consume(']')) return v;
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> string_value() {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != '"') return std::nullopt;
+    ++pos_;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'n': v.str += '\n'; break;
+          case 't': v.str += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            const unsigned code =
+                std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16);
+            pos_ += 4;
+            v.str += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        v.str += c;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.num = std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+    return v;
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+struct Measurement {
+  double ns_per_op = 0.0;
+  bool noisy = false;  ///< warn-only in the gate (threads/locks/filesystem)
+};
+
+struct BenchFile {
+  std::string rev;
+  std::string host_isa;
+  std::string kernel_variant;
+  // key = "bench/name"
+  std::map<std::string, Measurement> results;
+};
+
+std::optional<BenchFile> load_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = JsonParser(buf.str()).parse();
+  if (!parsed || parsed->kind != JsonValue::Kind::kObject) {
+    std::cerr << path << ": not a JSON object\n";
+    return std::nullopt;
+  }
+  const JsonValue* schema = parsed->find("schema");
+  if (schema == nullptr || schema->str != "ptm-bench-v1") {
+    std::cerr << path << ": not a ptm-bench-v1 document\n";
+    return std::nullopt;
+  }
+  BenchFile out;
+  if (const JsonValue* v = parsed->find("rev")) out.rev = v->str;
+  if (const JsonValue* v = parsed->find("host_isa")) out.host_isa = v->str;
+  if (const JsonValue* v = parsed->find("kernel_variant")) {
+    out.kernel_variant = v->str;
+  }
+  const JsonValue* results = parsed->find("results");
+  if (results == nullptr || results->kind != JsonValue::Kind::kArray) {
+    std::cerr << path << ": missing results array\n";
+    return std::nullopt;
+  }
+  for (const JsonValue& r : results->items) {
+    const JsonValue* bench = r.find("bench");
+    const JsonValue* name = r.find("name");
+    const JsonValue* ns = r.find("ns_per_op");
+    if (bench == nullptr || name == nullptr || ns == nullptr) continue;
+    Measurement m;
+    m.ns_per_op = ns->num;
+    // Pre-noisy-field documents parse with noisy = false (hard-gated).
+    if (const JsonValue* noisy = r.find("noisy")) m.noisy = noisy->boolean;
+    out.results[bench->str + "/" + name->str] = m;
+  }
+  return out;
+}
+
+int run_compare(const std::string& baseline_path,
+                const std::string& candidate_path, double threshold_pct,
+                bool strict) {
+  const auto baseline = load_bench_file(baseline_path);
+  const auto candidate = load_bench_file(candidate_path);
+  if (!baseline || !candidate) return 2;
+
+  const bool same_host = baseline->host_isa == candidate->host_isa &&
+                         baseline->kernel_variant == candidate->kernel_variant;
+  const bool gate = same_host || strict;
+  if (!same_host) {
+    std::cout << "note: host fingerprints differ (baseline \""
+              << baseline->host_isa << "\" / " << baseline->kernel_variant
+              << ", candidate \"" << candidate->host_isa << "\" / "
+              << candidate->kernel_variant << ") - "
+              << (strict ? "gating anyway (--strict)"
+                         : "regressions reported as warnings only")
+              << "\n";
+  }
+
+  std::size_t compared = 0;
+  std::size_t regressed = 0;
+  std::size_t noisy_regressed = 0;
+  for (const auto& [key, base] : baseline->results) {
+    const auto it = candidate->results.find(key);
+    if (it == candidate->results.end()) {
+      std::cout << "  missing in candidate: " << key << "\n";
+      continue;
+    }
+    ++compared;
+    if (base.ns_per_op <= 0.0) continue;
+    const double cand_ns = it->second.ns_per_op;
+    const double delta_pct = (cand_ns - base.ns_per_op) / base.ns_per_op * 100.0;
+    const bool over = delta_pct > threshold_pct;
+    // A measurement is warn-only when either side marks it noisy
+    // (threads, locks, filesystem: variance exceeds the gate).
+    const bool noisy = base.noisy || it->second.noisy;
+    if (over && noisy) ++noisy_regressed;
+    if (over && !noisy) ++regressed;
+    if (std::fabs(delta_pct) > threshold_pct) {
+      std::printf("  %-48s %12.1f -> %12.1f ns/op  %+7.1f%%%s\n", key.c_str(),
+                  base.ns_per_op, cand_ns, delta_pct,
+                  !over           ? "  (improved)"
+                  : noisy         ? "  regression (noisy, warn-only)"
+                                  : "  REGRESSION");
+    }
+  }
+  std::cout << compared << " measurements compared, " << regressed
+            << " gated regressions, " << noisy_regressed
+            << " noisy regressions (warn-only) beyond " << threshold_pct
+            << "%\n";
+  if (regressed > 0 && gate) {
+    std::cout << "FAIL: performance regression gate\n";
+    return 1;
+  }
+  if (regressed > 0) {
+    std::cout << "WARN: regressions ignored (host mismatch, no --strict)\n";
+  }
+  std::cout << "OK\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: bench_runner run|compare|list [options]\n"
+              << "  run      [--out path] [--rev name] [--only substr]"
+              << " [--smoke] [--reps k]\n"
+              << "  compare  <baseline.json> <candidate.json>"
+              << " [--threshold pct] [--strict]\n";
+    return 2;
+  }
+  const std::string command = argv[1];
+
+  if (command == "list") {
+    const char* list_argv[] = {argv[0], "--list"};
+    return ptm::bench::bench_main(2, const_cast<char**>(list_argv));
+  }
+
+  if (command == "run") {
+    std::string out_path;
+    std::vector<const char*> forwarded = {argv[0]};
+    std::string rev = "local";
+    bool suite_reps_given = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--out" && i + 1 < argc) {
+        out_path = argv[++i];
+      } else if (arg == "--rev" && i + 1 < argc) {
+        rev = argv[++i];
+        forwarded.push_back("--rev");
+        forwarded.push_back(argv[i]);
+      } else {
+        if (arg == "--suite-reps") suite_reps_given = true;
+        forwarded.push_back(argv[i]);
+      }
+    }
+    if (out_path.empty()) out_path = "BENCH_" + rev + ".json";
+    if (!suite_reps_given) {
+      // Whole-suite min-of-5 by default: spaced passes ride out the
+      // throttling epochs of shared hardware, so recorded numbers are
+      // peak-state and comparable across runs (docs/benchmarks.md).
+      forwarded.push_back("--suite-reps");
+      forwarded.push_back("5");
+    }
+    forwarded.push_back("--json");
+    forwarded.push_back(out_path.c_str());
+    std::cout << "host: " << ptm::simd::host_isa()
+              << "   dispatched kernel variant: " << ptm::simd::active().name
+              << "\n\n";
+    return ptm::bench::bench_main(static_cast<int>(forwarded.size()),
+                                  const_cast<char**>(forwarded.data()));
+  }
+
+  if (command == "compare") {
+    std::vector<std::string> paths;
+    double threshold = 10.0;
+    bool strict = false;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--threshold" && i + 1 < argc) {
+        threshold = std::strtod(argv[++i], nullptr);
+      } else if (arg == "--strict") {
+        strict = true;
+      } else {
+        paths.push_back(arg);
+      }
+    }
+    if (paths.size() != 2) {
+      std::cerr << "compare needs exactly two BENCH json files\n";
+      return 2;
+    }
+    return run_compare(paths[0], paths[1], threshold, strict);
+  }
+
+  std::cerr << "unknown command: " << command << "\n";
+  return 2;
+}
