@@ -21,6 +21,9 @@
 #include "store/archive.hpp"
 #include "store/record_log.hpp"
 #include "traffic/workload.hpp"
+#include "transport/connection.hpp"
+#include "transport/socket.hpp"
+#include "transport/wire.hpp"
 
 namespace ptm {
 namespace {
@@ -623,6 +626,92 @@ Result<Config> parse_cli_flags(const std::vector<std::string>& args) {
   return flags;
 }
 
+namespace {
+
+/// Sum of every `"name":"<name>"` counter occurrence in an obs/export.hpp
+/// JSON document (label families appear once per label set).  A missing
+/// counter sums to 0 - absence is healthy for e.g. protocol errors.
+std::uint64_t sum_json_counter(const std::string& json,
+                               const std::string& name) {
+  const std::string needle = "\"name\":\"" + name + "\"";
+  const std::string value_key = "\"value\":";
+  std::uint64_t total = 0;
+  std::size_t at = 0;
+  while ((at = json.find(needle, at)) != std::string::npos) {
+    const std::size_t v = json.find(value_key, at);
+    if (v == std::string::npos) break;
+    total += std::strtoull(json.c_str() + v + value_key.size(), nullptr, 10);
+    at = v;
+  }
+  return total;
+}
+
+}  // namespace
+
+Status cmd_ping(const Config& flags, std::ostream& out) {
+  auto endpoint_text = flags.get_string("endpoint");
+  if (!endpoint_text) return endpoint_text.status();
+  auto count = flags.get_u64_or("count", 3);
+  if (!count) return count.status();
+  auto timeout_ms = flags.get_u64_or("timeout_ms", 2000);
+  if (!timeout_ms) return timeout_ms.status();
+  auto format = flags.get_string_or("format", "text");
+  if (!format) return format.status();
+  if (*count < 1) return {ErrorCode::kInvalidArgument, "ping: need count >= 1"};
+
+  auto endpoint = transport::parse_endpoint(*endpoint_text);
+  if (!endpoint) return endpoint.status();
+
+  transport::ConnectionTuning tuning;
+  tuning.connect_timeout_ms = *timeout_ms;
+  tuning.io_timeout_ms = *timeout_ms;
+  tuning.heartbeat_timeout_ms = *timeout_ms;
+  transport::SupervisedConnection conn(*endpoint, tuning);
+  if (Status s = conn.ensure_connected(
+          Deadline::after(std::chrono::milliseconds(*timeout_ms)));
+      !s.is_ok()) {
+    return {s.code(), "ping: cannot reach ptmd at " + endpoint->to_string() +
+                          " (" + s.message() + ")"};
+  }
+
+  std::uint64_t best_ns = ~0ULL;
+  std::uint64_t sum_ns = 0;
+  for (std::uint64_t i = 0; i < *count; ++i) {
+    auto rtt = conn.ping();
+    if (!rtt) return rtt.status();  // half-open/severed: report honestly
+    best_ns = std::min(best_ns, *rtt);
+    sum_ns += *rtt;
+  }
+  out << "ptmd at " << endpoint->to_string() << ": alive, " << *count
+      << " heartbeat(s), rtt min/avg = " << best_ns / 1000 << "/"
+      << sum_ns / *count / 1000 << " us\n";
+
+  if (Status s = conn.send(transport::StatsRequest{}); !s.is_ok()) return s;
+  auto reply = conn.receive(
+      Deadline::after(std::chrono::milliseconds(*timeout_ms)));
+  if (!reply) return reply.status();
+  const auto* stats = std::get_if<transport::StatsResponse>(&*reply);
+  if (stats == nullptr) {
+    return {ErrorCode::kParseError,
+            "ping: expected a stats-response message"};
+  }
+  if (*format == "json") {
+    out << stats->json;
+    return Status::ok();
+  }
+  TableWriter table({"metric", "value"});
+  for (const char* name :
+       {"transport_accepted_total", "transport_frames_total",
+        "transport_ingest_shed_total", "transport_nacks_total",
+        "transport_protocol_errors_total", "ingest_ok", "ingest_duplicate",
+        "ingest_rejected"}) {
+    table.add_row({name, TableWriter::fmt(std::uint64_t{
+                             sum_json_counter(stats->json, name)})});
+  }
+  table.print(out);
+  return Status::ok();
+}
+
 std::string cli_usage() {
   return R"(ptmctl - persistent traffic measurement toolkit
 
@@ -655,6 +744,12 @@ commands:
   recover     crash-recovery dry run      --log FILE [--shards N]
                                           (open archive, rebuild the store,
                                            print per-location counts)
+  ping        probe a running ptmd        --endpoint EP [--count N]
+                                          [--timeout_ms N] [--format text|json]
+                                          (heartbeat round trips + the
+                                           daemon's ingest/shed counters;
+                                           EP like unix:/run/ptmd.sock or
+                                           tcp:127.0.0.1:7777)
   help        this text
 )";
 }
@@ -680,6 +775,7 @@ Status run_cli(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "metrics") return cmd_metrics(*flags, out);
   if (command == "trace") return cmd_trace(*flags, out);
   if (command == "recover") return cmd_recover(*flags, out);
+  if (command == "ping") return cmd_ping(*flags, out);
   return {ErrorCode::kInvalidArgument,
           "unknown command: " + command + " (try `ptmctl help`)"};
 }

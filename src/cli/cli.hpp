@@ -10,6 +10,7 @@
 //   privacy    - print the Eq. 22-24 analysis for given (n', f, s)
 //   metrics    - telemetry registry exposition (prometheus / json / text)
 //   trace      - post-mortem over a span dump (list or per-trace timeline)
+//   ping       - probe a running ptmd: heartbeat RTTs + counter snapshot
 //
 // Flags are `--key value` pairs after the subcommand; `--config file`
 // preloads keys from a key=value file, with explicit flags overriding.

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cassert>
+#include <cstdlib>
 
 #include "common/serialize.hpp"
 #include "hash/sha256.hpp"
@@ -20,7 +21,9 @@ constexpr std::array<std::uint32_t, 54> kSmallPrimes = {
 /// 0x00 0x01 0xFF..0xFF 0x00 <digest>.  Requires len >= digest + 11.
 std::vector<std::uint8_t> pad_digest(const Sha256Digest& digest,
                                      std::size_t len) {
-  assert(len >= digest.size() + 11);
+  // A modulus too narrow for the padding is a key-generation bug; fail
+  // loudly even in NDEBUG builds rather than writing out of bounds.
+  if (len < digest.size() + 11) std::abort();
   std::vector<std::uint8_t> out(len, 0xFF);
   out[0] = 0x00;
   out[1] = 0x01;
@@ -114,7 +117,7 @@ BigInt generate_prime(std::size_t bits, Xoshiro256& rng) {
 }
 
 RsaKeyPair rsa_generate(std::size_t modulus_bits, Xoshiro256& rng) {
-  assert(modulus_bits >= 128);
+  assert(modulus_bits >= 344);  // see rsa.hpp: padding needs 43 bytes
   const BigInt e(65537);
   const BigInt one(1);
   for (;;) {

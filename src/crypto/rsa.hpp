@@ -45,7 +45,8 @@ struct RsaKeyPair {
 [[nodiscard]] BigInt generate_prime(std::size_t bits, Xoshiro256& rng);
 
 /// RSA keypair with a modulus of ~`modulus_bits` bits and e = 65537.
-/// Precondition: modulus_bits >= 128 (so padding fits).
+/// Precondition: modulus_bits >= 344 — the PKCS#1-style padding needs
+/// digest (32) + 11 bytes of modulus width (enforced in pad_digest).
 [[nodiscard]] RsaKeyPair rsa_generate(std::size_t modulus_bits,
                                       Xoshiro256& rng);
 

@@ -13,12 +13,32 @@ bool any_contains(const std::vector<FaultWindow>& windows,
 
 }  // namespace
 
+const char* socket_fault_action_name(SocketFaultAction a) noexcept {
+  switch (a) {
+    case SocketFaultAction::kDropFrame: return "drop-frame";
+    case SocketFaultAction::kDuplicateFrame: return "duplicate-frame";
+    case SocketFaultAction::kDelayFrame: return "delay-frame";
+    case SocketFaultAction::kTruncateAndSever: return "truncate-and-sever";
+    case SocketFaultAction::kSever: return "sever";
+  }
+  return "unknown";
+}
+
 bool FaultPlan::channel_down_at(std::uint64_t step) const noexcept {
   return any_contains(channel_outages, step);
 }
 
 bool FaultPlan::server_unreachable_at(std::uint64_t step) const noexcept {
   return any_contains(server_outages, step);
+}
+
+std::optional<std::uint64_t> FaultPlan::server_outage_end_at(
+    std::uint64_t step) const noexcept {
+  std::optional<std::uint64_t> end;
+  for (const FaultWindow& w : server_outages) {
+    if (w.contains(step) && (!end || w.end > *end)) end = w.end;
+  }
+  return end;
 }
 
 bool FaultPlan::rsu_down_at(std::uint64_t location,

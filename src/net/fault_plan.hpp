@@ -22,10 +22,20 @@
 // Windows are half-open [start, end) in deployment steps.  The plan is a
 // passive schedule: SimulatedChannel consults the channel outages itself;
 // Deployment consults the rest.
+//
+// Socket-level faults (PR 7) extend the same scripting idea below the
+// frame layer: when the deployment runs out-of-process over real sockets
+// (src/transport/), a FaultPlan can also carry per-connection scripts of
+// byte-level misbehavior - dropped frames, delays, duplicates, mid-frame
+// truncation, connection severs - keyed on the connection's outbound frame
+// ordinal rather than the logical clock (a socket fault is "the 3rd frame
+// on the 2nd connection dies", not "the network is down at step 40").
+// transport/fault_injection.hpp executes these scripts.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <vector>
 
 namespace ptm {
@@ -40,6 +50,29 @@ struct FaultWindow {
   }
 };
 
+/// What a scripted socket fault does to one outbound frame.
+enum class SocketFaultAction : std::uint8_t {
+  kDropFrame = 1,        ///< frame silently never written
+  kDuplicateFrame = 2,   ///< frame written twice back to back
+  kDelayFrame = 3,       ///< frame written after `param_ms` of real delay
+  kTruncateAndSever = 4, ///< only the first `param_bytes` wire bytes are
+                         ///< written, then the connection is severed - the
+                         ///< receiver sees a torn length-prefixed frame
+  kSever = 5,            ///< connection closed before the frame is written
+};
+
+[[nodiscard]] const char* socket_fault_action_name(
+    SocketFaultAction a) noexcept;
+
+/// One scripted socket fault: fires when the connection is about to write
+/// its `frame_index`-th frame (0-based, counted per connection).
+struct SocketFault {
+  std::uint64_t frame_index = 0;
+  SocketFaultAction action = SocketFaultAction::kDropFrame;
+  std::uint64_t param_ms = 0;     ///< kDelayFrame: delay in milliseconds
+  std::uint64_t param_bytes = 0;  ///< kTruncateAndSever: bytes that escape
+};
+
 /// A scripted failure sequence.  Default-constructed plans inject nothing.
 struct FaultPlan {
   std::vector<FaultWindow> channel_outages;  ///< shared medium dead
@@ -50,9 +83,19 @@ struct FaultPlan {
   std::map<std::uint64_t, std::vector<std::uint64_t>> rsu_crashes;
   /// Central-server crash trigger steps, ascending.
   std::vector<std::uint64_t> server_crashes;
+  /// Per-connection (by 0-based connection ordinal) socket fault scripts,
+  /// each sorted by frame_index.  Executed by transport's
+  /// FaultInjectingSocket when the deployment runs over real sockets.
+  std::map<std::uint64_t, std::vector<SocketFault>> socket_faults;
 
   [[nodiscard]] bool channel_down_at(std::uint64_t step) const noexcept;
   [[nodiscard]] bool server_unreachable_at(std::uint64_t step) const noexcept;
+  /// End of the latest server outage window covering `step` (several may
+  /// overlap), or nullopt when the backhaul is reachable at `step`.  Retry
+  /// scheduling uses this to re-arm backoff from the moment connectivity
+  /// returns instead of piling every retry onto the outage itself.
+  [[nodiscard]] std::optional<std::uint64_t> server_outage_end_at(
+      std::uint64_t step) const noexcept;
   [[nodiscard]] bool rsu_down_at(std::uint64_t location,
                                  std::uint64_t step) const noexcept;
   /// True if a crash trigger for `location` lies in [from, to).

@@ -174,7 +174,18 @@ void Deployment::attempt_delivery(Rsu& rsu, std::uint64_t period,
           : transit(upload);
   if (!upload_rx) {
     retry_span.set_ok(false);
-    UploadOutbox::schedule_retry(*entry, now_, config_.backoff_base,
+    // During a known server outage, re-arm from the outage's end rather
+    // than from now: a retry booked inside the window is guaranteed
+    // wasted, inflates the attempt count (and with it the next delay),
+    // and makes the fleet's first post-outage retries land as one
+    // thundering burst of maxed-out backoffs.  From the outage end the
+    // normal jittered ladder applies - the first retry lands spread over
+    // [end, end + base + jitter].
+    std::uint64_t retry_from = now_;
+    if (const auto outage_end = plan_.server_outage_end_at(now_)) {
+      retry_from = std::max(retry_from, *outage_end);
+    }
+    UploadOutbox::schedule_retry(*entry, retry_from, config_.backoff_base,
                                  config_.backoff_cap, rng_);
     return;
   }

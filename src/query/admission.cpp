@@ -66,6 +66,31 @@ Status AdmissionController::admit(const Deadline& deadline) {
   return Status::ok();
 }
 
+Status AdmissionController::try_admit(const Deadline& deadline) {
+  if (options_.max_in_flight == 0) {
+    if (deadline.expired_now()) {
+      return {ErrorCode::kDeadlineExceeded,
+              "deadline expired before admission"};
+    }
+    note_admitted();
+    return Status::ok();
+  }
+  std::lock_guard lock(mutex_);
+  if (in_flight() >= options_.max_in_flight) {
+    // Same precedence as admit(): shedding is reported even when the
+    // deadline has also passed, because kResourceExhausted is the signal
+    // the caller can act on (back off and retry).
+    return {ErrorCode::kResourceExhausted,
+            "ingest shed: in-flight bound is full"};
+  }
+  if (deadline.expired_now()) {
+    return {ErrorCode::kDeadlineExceeded,
+            "deadline expired before admission"};
+  }
+  note_admitted();
+  return Status::ok();
+}
+
 void AdmissionController::release() noexcept {
   if (options_.max_in_flight == 0) {
     in_flight_.sub(1);

@@ -60,7 +60,16 @@ class AdmissionController {
   /// kDeadlineExceeded (`deadline` passed before a slot freed).
   [[nodiscard]] Status admit(const Deadline& deadline = Deadline());
 
-  /// Returns the slot taken by a successful admit().
+  /// Non-blocking admit for callers that must never park a thread (the
+  /// ptmd event loop pauses the connection instead of waiting).  Takes a
+  /// slot when one is free; otherwise fails immediately with the same
+  /// precedence as admit(): kResourceExhausted when the in-flight bound is
+  /// saturated (shedding wins over an expired deadline - the caller's
+  /// retry signal is the more actionable error), else kDeadlineExceeded
+  /// when `deadline` has already passed.  Never queues.
+  [[nodiscard]] Status try_admit(const Deadline& deadline = Deadline());
+
+  /// Returns the slot taken by a successful admit() / try_admit().
   void release() noexcept;
 
   [[nodiscard]] const AdmissionOptions& options() const noexcept {

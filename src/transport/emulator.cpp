@@ -1,0 +1,144 @@
+#include "transport/emulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "core/traffic_record.hpp"
+#include "crypto/certificate.hpp"
+#include "net/message.hpp"
+#include "transport/event_loop.hpp"
+
+namespace ptm::transport {
+namespace {
+
+/// Mints a self-certified Rsu: a throwaway CA issues the cert.  Returned
+/// as a prvalue so the non-movable Rsu constructs in place.
+Rsu make_rsu(const EmulatorOptions& options, Xoshiro256& rng) {
+  CertificateAuthority ca("rsu-emu-ca", options.modulus_bits, rng);
+  RsaKeyPair keys = rsa_generate(options.modulus_bits, rng);
+  Certificate cert =
+      ca.issue("rsu:" + std::to_string(options.location), options.location,
+               keys.pub, 0, options.location + options.periods + 1'000'000);
+  return Rsu(options.location, std::move(keys), std::move(cert),
+             options.initial_bitmap_size);
+}
+
+MacAddress rsu_mac(std::uint64_t location) noexcept {
+  // Locally-administered, deterministic per location.
+  return MacAddress{(0x02ULL << 40) | (location & 0xFFFFFFFFFFULL)};
+}
+
+constexpr MacAddress kServerMac{0x02ULL << 40 | 0x53525600ULL};  // "SRV"
+
+}  // namespace
+
+RsuEmulator::RsuEmulator(Endpoint server, EmulatorOptions options,
+                         TelemetryRegistry* registry)
+    : options_(options),
+      rng_(options.seed),
+      rsu_(make_rsu(options_, rng_)),
+      connection_(std::move(server), options_.tuning, registry,
+                  options_.seed ^ 0x9e3779b97f4a7c15ULL),
+      uplink_(connection_, rsu_mac(options_.location), kServerMac) {
+  if (!options_.journal_path.empty() && !options_.outbox_path.empty()) {
+    // A failed attach leaves the RSU volatile; run() still works, the
+    // deployment just loses crash recovery (callers who need durability
+    // check rsu().durable()).
+    (void)rsu_.attach_durability(options_.journal_path,
+                                 options_.outbox_path);
+  }
+}
+
+Result<EmulatorReport> RsuEmulator::run() {
+  EmulatorReport report;
+  for (std::size_t p = 0; p < options_.periods; ++p) {
+    // Synthetic vehicle contacts: the emulator exercises the transport,
+    // so contacts skip the auth handshake and send bare EncodeIndex
+    // frames (the journal still records every set bit durably).
+    const std::size_t m = rsu_.bitmap_size();
+    for (std::uint64_t v = 0; v < options_.encodes_per_period; ++v) {
+      Frame contact;
+      contact.src = MacAddress{rng_.next() & 0xFFFFFFFFFFFFULL};
+      contact.dst = rsu_mac(options_.location);
+      contact.body = EncodeIndex{rng_.below(m)};
+      auto ack = rsu_.handle_frame(contact);
+      if (!ack) return ack.status();  // programming error, not transport
+    }
+    if (Status s = rsu_.stage_upload(); !s.is_ok()) return s;
+    const double expected = std::max<double>(
+        1.0, static_cast<double>(options_.encodes_per_period));
+    rsu_.start_next_period(plan_bitmap_size(expected, options_.load_factor));
+    ++report.periods_closed;
+    // Opportunistic pump between periods: bounded so a dead server cannot
+    // stall the measurement lifecycle (records accumulate in the outbox).
+    pump(Deadline::after(std::chrono::milliseconds(
+             options_.deliver_timeout_ms)),
+         report);
+  }
+  // Final drain: keep retrying until the outbox is empty or the cap hits.
+  pump(Deadline::after(std::chrono::milliseconds(options_.drain_timeout_ms)),
+       report);
+  report.reconnects = connection_.connections_opened() > 0
+                          ? connection_.connections_opened() - 1
+                          : 0;
+  report.outbox_pending_at_exit = rsu_.outbox().pending();
+  return report;
+}
+
+void RsuEmulator::pump(const Deadline& deadline, EmulatorReport& report) {
+  while (rsu_.outbox().pending() > 0 && !deadline.expired_now()) {
+    const std::uint64_t now = EventLoop::now_ms();
+    auto due = rsu_.outbox().due(now);
+    if (due.empty()) {
+      // Nothing due yet: sleep to the earliest next_attempt_at (bounded).
+      std::uint64_t wake = now + 50;
+      for (const auto& e : rsu_.outbox().entries()) {
+        wake = std::min(wake, e.next_attempt_at);
+      }
+      const std::uint64_t nap = wake > now ? wake - now : 1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(nap));
+      continue;
+    }
+    // One entry per iteration: acknowledge() invalidates Entry pointers,
+    // so never hold `due` across an outcome.
+    UploadOutbox::Entry* entry = due.front();
+    const std::uint64_t location = entry->record.location;
+    const std::uint64_t period = entry->record.period;
+    if (Status s = connection_.ensure_connected(deadline); !s.is_ok()) {
+      ++report.channel_errors;
+      UploadOutbox::schedule_retry(*entry, EventLoop::now_ms(),
+                                   options_.backoff_base_ms,
+                                   options_.backoff_cap_ms, rng_);
+      continue;
+    }
+    auto reply = uplink_.deliver(
+        entry->record, entry->trace,
+        Deadline::after(
+            std::chrono::milliseconds(options_.deliver_timeout_ms)));
+    if (!reply) {
+      // Unknown outcome: the ack may be lost, the ingest may have landed.
+      // Retry unconditionally - the server dedupes.
+      ++report.channel_errors;
+      UploadOutbox::schedule_retry(*entry, EventLoop::now_ms(),
+                                   options_.backoff_base_ms,
+                                   options_.backoff_cap_ms, rng_);
+      connection_.sever();  // the stream may hold a torn frame
+      continue;
+    }
+    if (reply->acked) {
+      ++report.uploads_acked;
+      (void)rsu_.handle_upload_ack(UploadAck{location, period});
+    } else if (reply->nack.retryable) {
+      ++report.nacks_retryable;
+      UploadOutbox::schedule_retry(*entry, EventLoop::now_ms(),
+                                   options_.backoff_base_ms,
+                                   options_.backoff_cap_ms, rng_);
+    } else {
+      ++report.nacks_fatal;
+      (void)rsu_.outbox().acknowledge(location, period);
+    }
+  }
+}
+
+}  // namespace ptm::transport

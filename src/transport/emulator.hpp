@@ -1,0 +1,98 @@
+// emulator.hpp - a whole RSU process in a box, talking to ptmd over a
+// real socket.
+//
+// The RsuEmulator runs the existing Rsu node - journal, outbox, period
+// lifecycle and all - but replaces the in-process delivery pump with a
+// SupervisedConnection + UplinkClient: periods close into the durable
+// outbox, and the pump retransmits due entries over the wire until the
+// server's UploadAck retires them.  The retry policy is byte-for-byte the
+// outbox's own (schedule_retry: exponential backoff, clamp-after-jitter),
+// just driven by the wall clock in milliseconds instead of simulation
+// steps.
+//
+// Outcome handling mirrors the in-process deployment:
+//   * UploadAck           -> Rsu::handle_upload_ack (durable outbox drop)
+//   * retryable UploadNack-> schedule_retry, entry stays
+//   * fatal UploadNack    -> entry dropped (retrying can never succeed)
+//   * channel error       -> UNKNOWN outcome: schedule_retry and redial -
+//                            the server's idempotent ingest absorbs the
+//                            re-delivery if the lost ack had landed
+//
+// That last arm is the whole exactly-once story: at-least-once retries on
+// this side, dedup on the server side.  The chaos suite kills ptmd mid-
+// pump and asserts the archive ends up with every record exactly once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hpp"
+#include "common/status.hpp"
+#include "nodes/rsu.hpp"
+#include "obs/telemetry.hpp"
+#include "transport/connection.hpp"
+#include "transport/socket.hpp"
+#include "transport/uplink.hpp"
+
+namespace ptm::transport {
+
+struct EmulatorOptions {
+  std::uint64_t location = 1;
+  std::size_t periods = 4;                ///< measurement periods to run
+  std::uint64_t encodes_per_period = 64;  ///< synthetic vehicle contacts
+  std::size_t initial_bitmap_size = 256;
+  double load_factor = 2.0;               ///< Eq. 2 planning for next m
+  std::string journal_path;               ///< empty = volatile RSU
+  std::string outbox_path;                ///< paired with journal_path
+  std::uint64_t backoff_base_ms = 20;     ///< outbox retry backoff
+  std::uint64_t backoff_cap_ms = 1000;
+  std::uint64_t deliver_timeout_ms = 2000;  ///< per upload round trip
+  std::uint64_t drain_timeout_ms = 30000;   ///< cap on emptying the outbox
+  ConnectionTuning tuning{};
+  std::uint64_t seed = 1;
+  std::size_t modulus_bits = 512;  ///< simulation-grade keys (rsa.hpp
+                                   ///< needs >= 344 bits for padding)
+};
+
+struct EmulatorReport {
+  std::uint64_t periods_closed = 0;
+  std::uint64_t uploads_acked = 0;
+  std::uint64_t nacks_retryable = 0;  ///< sheds absorbed by backoff
+  std::uint64_t nacks_fatal = 0;
+  std::uint64_t channel_errors = 0;   ///< unknown outcomes, retried
+  std::uint64_t reconnects = 0;
+  std::uint64_t outbox_pending_at_exit = 0;  ///< 0 = fully drained
+};
+
+class RsuEmulator {
+ public:
+  /// Self-certifies: mints a CA + RSU keypair from `options.seed` (the
+  /// emulator exercises transport robustness, not the PKI - rogue-RSU
+  /// rejection has its own tests).
+  RsuEmulator(Endpoint server, EmulatorOptions options,
+              TelemetryRegistry* registry = nullptr);
+
+  /// Runs every period (contacts -> stage -> pump), then drains the
+  /// outbox until empty or drain_timeout_ms.  A non-empty outbox at exit
+  /// is NOT an error (the journal/outbox carry it into the next run) -
+  /// check `outbox_pending_at_exit`.
+  [[nodiscard]] Result<EmulatorReport> run();
+
+  [[nodiscard]] Rsu& rsu() noexcept { return rsu_; }
+  [[nodiscard]] SupervisedConnection& connection() noexcept {
+    return connection_;
+  }
+
+ private:
+  /// Delivers due outbox entries until the outbox is empty or `deadline`
+  /// expires; `final_drain` keeps pumping through scheduled backoff gaps.
+  void pump(const Deadline& deadline, EmulatorReport& report);
+
+  EmulatorOptions options_;
+  Xoshiro256 rng_;
+  Rsu rsu_;
+  SupervisedConnection connection_;
+  UplinkClient uplink_;
+};
+
+}  // namespace ptm::transport

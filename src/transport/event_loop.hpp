@@ -1,0 +1,91 @@
+// event_loop.hpp - a small single-threaded epoll reactor for ptmd.
+//
+// The daemon serves many RSU connections from one thread: every socket is
+// non-blocking and parked on this loop, which dispatches readiness
+// callbacks, runs monotonic-clock timers (heartbeat sweeps, half-open
+// detection), and accepts cross-thread wakeups through an eventfd so the
+// ingest workers can hand results back without touching any fd state
+// themselves.  Level-triggered epoll on purpose: pausing a connection
+// under backpressure is then just "drop EPOLLIN from its interest set" -
+// the data sits in the kernel buffer (and eventually in the peer's send
+// queue, which is what makes backpressure propagate) until the connection
+// is resumed.
+//
+// Threading contract: add/modify/remove/add_timer/run/stop belong to the
+// loop thread; only post() may be called from other threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace ptm::transport {
+
+class EventLoop {
+ public:
+  /// Bitmask for fd interest (mapped onto EPOLLIN/EPOLLOUT internally).
+  enum : std::uint32_t { kReadable = 1, kWritable = 2 };
+
+  using IoCallback = std::function<void(std::uint32_t events)>;
+  using TimerCallback = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  [[nodiscard]] bool valid() const noexcept { return epoll_fd_ >= 0; }
+
+  /// Registers `fd` with the given interest.  The callback receives the
+  /// ready events (kReadable/kWritable mask; errors/hangups surface as
+  /// kReadable so the owner's read discovers the EOF/error).
+  [[nodiscard]] Status add(int fd, std::uint32_t interest, IoCallback cb);
+  [[nodiscard]] Status modify(int fd, std::uint32_t interest);
+  void remove(int fd);
+
+  /// One-shot timer `delay_ms` from now; returns an id usable with
+  /// cancel_timer.  Timers fire on the loop thread between poll batches.
+  std::uint64_t add_timer(std::uint64_t delay_ms, TimerCallback cb);
+  void cancel_timer(std::uint64_t id);
+
+  /// Thread-safe: enqueues `fn` to run on the loop thread and wakes it.
+  void post(std::function<void()> fn);
+
+  /// Runs until stop() is called (from a callback or via post()).
+  void run();
+  void stop() noexcept { stopped_ = true; }
+
+  /// Monotonic milliseconds used by the timer queue (exposed so owners
+  /// can schedule relative work consistently).
+  [[nodiscard]] static std::uint64_t now_ms() noexcept;
+
+ private:
+  struct Timer {
+    std::uint64_t due_ms;
+    std::uint64_t id;
+    bool operator>(const Timer& other) const noexcept {
+      return due_ms != other.due_ms ? due_ms > other.due_ms : id > other.id;
+    }
+  };
+
+  void drain_posted();
+  void fire_due_timers();
+  [[nodiscard]] int next_timeout_ms() const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd for cross-thread post()
+  bool stopped_ = false;
+  std::map<int, IoCallback> io_callbacks_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::map<std::uint64_t, TimerCallback> timer_callbacks_;
+  std::uint64_t next_timer_id_ = 1;
+  std::mutex posted_mu_;
+  std::vector<std::function<void()>> posted_;
+};
+
+}  // namespace ptm::transport

@@ -1,0 +1,87 @@
+#include "transport/fault_injection.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace ptm::transport {
+
+FaultInjectingSocket::FaultInjectingSocket(Socket socket,
+                                           std::vector<SocketFault> script)
+    : socket_(std::move(socket)), script_(std::move(script)) {}
+
+Status FaultInjectingSocket::write_all(std::span<const std::uint8_t> bytes,
+                                       std::uint64_t timeout_ms) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    auto io = socket_.write_some(bytes.subspan(off));
+    if (!io) return io.status();
+    if (io->would_block) {
+      auto ready = socket_.wait(/*want_write=*/true, timeout_ms);
+      if (!ready) return ready.status();
+      if (!*ready) {
+        return {ErrorCode::kChannelError, "write deadline exceeded"};
+      }
+      continue;
+    }
+    off += io->bytes;
+  }
+  return Status::ok();
+}
+
+Result<InjectedWrite> FaultInjectingSocket::write_frame(
+    std::span<const std::uint8_t> wire_bytes, std::uint64_t timeout_ms) {
+  InjectedWrite out;
+  if (severed_ || !socket_.valid()) {
+    return Status{ErrorCode::kChannelError, "connection severed by script"};
+  }
+  const std::uint64_t ordinal = next_frame_++;
+  // Collect every scripted action for this ordinal (a script may stack,
+  // e.g. delay + duplicate).  Sever-type actions win over the rest.
+  std::vector<const SocketFault*> fired;
+  for (const SocketFault& f : script_) {
+    if (f.frame_index == ordinal) fired.push_back(&f);
+  }
+  out.faults_fired = fired.size();
+
+  std::size_t copies = 1;
+  std::uint64_t delay_ms = 0;
+  bool drop = false;
+  const SocketFault* sever = nullptr;
+  for (const SocketFault* f : fired) {
+    switch (f->action) {
+      case SocketFaultAction::kDropFrame: drop = true; break;
+      case SocketFaultAction::kDuplicateFrame: copies = 2; break;
+      case SocketFaultAction::kDelayFrame: delay_ms += f->param_ms; break;
+      case SocketFaultAction::kTruncateAndSever:
+      case SocketFaultAction::kSever:
+        sever = f;
+        break;
+    }
+  }
+
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  if (sever != nullptr) {
+    if (sever->action == SocketFaultAction::kTruncateAndSever) {
+      const std::size_t cut = std::min<std::size_t>(
+          static_cast<std::size_t>(sever->param_bytes), wire_bytes.size());
+      // Best effort: the point is the torn tail, not its exact length.
+      (void)write_all(wire_bytes.subspan(0, cut), timeout_ms);
+    }
+    socket_.close();
+    severed_ = true;
+    out.severed = true;
+    return out;
+  }
+  if (drop) return out;  // silently swallowed; the ordinal still advanced
+  for (std::size_t c = 0; c < copies; ++c) {
+    if (Status s = write_all(wire_bytes, timeout_ms); !s.is_ok()) return s;
+  }
+  out.written = true;
+  return out;
+}
+
+}  // namespace ptm::transport

@@ -1,0 +1,73 @@
+// fault_injection.hpp - scripted socket-level misbehavior for chaos tests.
+//
+// The in-process LossyChannel models radio loss; a real backhaul fails in
+// uglier, *stateful* ways: a frame vanishes inside a TCP session that
+// otherwise looks healthy, a connection dies halfway through a length-
+// prefixed frame (leaving the receiver a torn tail to refuse), a flaky
+// NAT duplicates a segment, a middlebox adds seconds of delay.  The
+// FaultInjectingSocket wraps a connected Socket and executes a
+// FaultPlan's per-connection SocketFault script (net/fault_plan.hpp) at
+// frame granularity on the *write* side - the injector counts outbound
+// frames and fires the scripted action when its ordinal comes up:
+//
+//   kDropFrame        - the frame is silently never written
+//   kDuplicateFrame   - the frame is written twice
+//   kDelayFrame       - the write happens after param_ms of real sleep
+//   kTruncateAndSever - only the first param_bytes of the wire bytes go
+//                       out, then the socket is closed (mid-frame cut)
+//   kSever            - the socket is closed before the write
+//
+// Reads pass through untouched: the receiving side's robustness is
+// exercised by what the *writer* mangles, which keeps the injected state
+// machine in exactly one place.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/fault_plan.hpp"
+#include "transport/socket.hpp"
+
+namespace ptm::transport {
+
+/// Outcome of a fault-injected frame write.
+struct InjectedWrite {
+  bool written = false;   ///< at least one full copy reached the socket
+  bool severed = false;   ///< the script closed the connection
+  std::uint64_t faults_fired = 0;  ///< scripted actions consumed
+};
+
+class FaultInjectingSocket {
+ public:
+  /// Takes ownership of `socket`; `script` is this connection's slice of
+  /// the FaultPlan (sorted or not - the injector matches by exact frame
+  /// ordinal).
+  FaultInjectingSocket(Socket socket, std::vector<SocketFault> script);
+
+  /// Writes one whole wire frame (length prefix included), applying any
+  /// scripted fault for the current outbound frame ordinal.  Blocks (via
+  /// Socket::wait) until the bytes are out, `timeout_ms` expires
+  /// (kChannelError), or a hard error/sever occurs.
+  [[nodiscard]] Result<InjectedWrite> write_frame(
+      std::span<const std::uint8_t> wire_bytes, std::uint64_t timeout_ms);
+
+  [[nodiscard]] Socket& socket() noexcept { return socket_; }
+  [[nodiscard]] bool severed() const noexcept { return severed_; }
+  [[nodiscard]] std::uint64_t frames_written() const noexcept {
+    return next_frame_;
+  }
+
+ private:
+  /// Writes exactly `bytes` (all of them), waiting on writability.
+  [[nodiscard]] Status write_all(std::span<const std::uint8_t> bytes,
+                                 std::uint64_t timeout_ms);
+
+  Socket socket_;
+  std::vector<SocketFault> script_;
+  std::uint64_t next_frame_ = 0;  ///< ordinal of the next outbound frame
+  bool severed_ = false;
+};
+
+}  // namespace ptm::transport

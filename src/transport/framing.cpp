@@ -1,0 +1,58 @@
+#include "transport/framing.hpp"
+
+namespace ptm::transport {
+
+std::vector<std::uint8_t> frame_payload(
+    std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + payload.size());
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void StreamDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) return;
+  // Reclaim the consumed prefix before growing, so the buffer stays
+  // O(one partial frame) instead of O(connection lifetime).
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ >= 4096) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+Result<std::optional<std::vector<std::uint8_t>>> StreamDecoder::next() {
+  if (poisoned_) {
+    return Status{ErrorCode::kParseError,
+                  "stream poisoned by an earlier framing violation"};
+  }
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::optional<std::vector<std::uint8_t>>{};
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {  // explicit little-endian, like serialize.hpp
+    len |= static_cast<std::uint32_t>(buffer_[consumed_ + i]) << (8 * i);
+  }
+  if (len == 0 || len > max_frame_bytes_) {
+    poisoned_ = true;
+    return Status{ErrorCode::kParseError,
+                  len == 0 ? "zero-length frame on stream"
+                           : "frame length exceeds the transport bound"};
+  }
+  if (available - 4 < len) return std::optional<std::vector<std::uint8_t>>{};
+  std::vector<std::uint8_t> payload(
+      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4),
+      buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_ + 4 + len));
+  consumed_ += 4 + static_cast<std::size_t>(len);
+  ++frames_decoded_;
+  return std::optional<std::vector<std::uint8_t>>{std::move(payload)};
+}
+
+}  // namespace ptm::transport

@@ -1,0 +1,238 @@
+#include "transport/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/traffic_record.hpp"
+#include "net/mac.hpp"
+#include "obs/trace.hpp"
+#include "simd/kernels.hpp"
+#include "traffic/trip_table.hpp"
+#include "traffic/workload.hpp"
+#include "transport/uplink.hpp"
+
+namespace ptm::transport {
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Shared counters the workers feed; folded into the report at the end.
+struct SharedStats {
+  std::atomic<std::uint64_t> acked{0};
+  std::atomic<std::uint64_t> shed_events{0};
+  std::atomic<std::uint64_t> fatal_nacks{0};
+  std::atomic<std::uint64_t> channel_errors{0};
+  std::atomic<std::uint64_t> abandoned{0};
+  std::atomic<std::uint64_t> attempts{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  LatencyRecorder deliver_latency;
+};
+
+constexpr MacAddress kServerMac{0x02ULL << 40 | 0x53525600ULL};
+
+void json_kv(std::ostringstream& os, const char* key, double value,
+             bool trailing_comma) {
+  os << "\"" << key << "\": " << value << (trailing_comma ? ", " : "");
+}
+
+}  // namespace
+
+double LoadgenReport::throughput_rps() const noexcept {
+  if (elapsed_ns == 0) return 0.0;
+  return static_cast<double>(acked) * 1e9 /
+         static_cast<double>(elapsed_ns);
+}
+
+double LoadgenReport::shed_rate() const noexcept {
+  if (attempts == 0) return 0.0;
+  return static_cast<double>(shed_events) / static_cast<double>(attempts);
+}
+
+std::string LoadgenReport::to_bench_json(const std::string& rev) const {
+  // Mirrors bench/bench_harness.cpp write_json so bench tooling can diff
+  // loadgen documents alongside microbench ones.
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"schema\": \"ptm-bench-v1\",\n"
+     << "  \"rev\": \"" << rev << "\",\n"
+     << "  \"host_isa\": \"" << simd::host_isa() << "\",\n"
+     << "  \"kernel_variant\": \"" << simd::active().name << "\",\n"
+     << "  \"results\": [\n";
+  const auto result = [&](const char* name, double ns_per_op,
+                          double items_per_op, bool last) {
+    os << "    {\"bench\": \"loadgen\", \"name\": \"" << name << "\", ";
+    json_kv(os, "ns_per_op", ns_per_op, true);
+    json_kv(os, "bytes_per_op", 0.0, true);
+    json_kv(os, "items_per_op", items_per_op, true);
+    os << "\"label\": \"socket\", \"noisy\": true}" << (last ? "\n" : ",\n");
+  };
+  const double per_record =
+      acked > 0 ? static_cast<double>(elapsed_ns) / static_cast<double>(acked)
+                : 0.0;
+  result("deliver-latency-p50",
+         static_cast<double>(deliver_latency.percentile_ns(50.0)), 1.0,
+         false);
+  result("deliver-latency-p99",
+         static_cast<double>(deliver_latency.percentile_ns(99.0)), 1.0,
+         false);
+  result("throughput", per_record, static_cast<double>(acked), true);
+  os << "  ],\n  \"tables\": [\n"
+     << "    {\"bench\": \"loadgen\", \"name\": \"summary\", "
+     << "\"headers\": [\"metric\", \"value\"], \"rows\": [";
+  const auto row = [&](const char* metric, double value, bool last) {
+    std::ostringstream v;
+    v << value;
+    os << "[\"" << metric << "\", \"" << v.str() << "\"]"
+       << (last ? "" : ", ");
+  };
+  row("records_total", static_cast<double>(records_total), false);
+  row("acked", static_cast<double>(acked), false);
+  row("attempts", static_cast<double>(attempts), false);
+  row("shed_events", static_cast<double>(shed_events), false);
+  row("shed_rate", shed_rate(), false);
+  row("fatal_nacks", static_cast<double>(fatal_nacks), false);
+  row("channel_errors", static_cast<double>(channel_errors), false);
+  row("abandoned", static_cast<double>(abandoned), false);
+  row("reconnects", static_cast<double>(reconnects), false);
+  row("throughput_rps", throughput_rps(), false);
+  row("elapsed_ms", static_cast<double>(elapsed_ns) / 1e6, true);
+  os << "]}\n  ]\n}\n";
+  return os.str();
+}
+
+LoadGenerator::LoadGenerator(Endpoint server, LoadgenOptions options)
+    : server_(std::move(server)), options_(options) {
+  if (options_.connections == 0) options_.connections = 1;
+  if (options_.locations == 0) options_.locations = 1;
+  if (options_.periods == 0) options_.periods = 1;
+  if (options_.volume_min == 0) options_.volume_min = 1;
+  if (options_.volume_max < options_.volume_min) {
+    options_.volume_max = options_.volume_min;
+  }
+}
+
+Result<LoadgenReport> LoadGenerator::run() {
+  // --- Workload synthesis: trip-table volumes -> per-period records. ---
+  Xoshiro256 rng(options_.seed);
+  const TripTable table = gravity_model_table(
+      options_.locations, options_.locations * options_.volume_max / 2,
+      options_.seed);
+  std::vector<TrafficRecord> work;
+  work.reserve(options_.locations * options_.periods);
+  for (std::size_t z = 0; z < options_.locations; ++z) {
+    const std::uint64_t volume =
+        std::clamp(table.zone_volume(z), options_.volume_min,
+                   options_.volume_max);
+    const std::size_t m = plan_bitmap_size(static_cast<double>(volume),
+                                           options_.load_factor);
+    for (std::size_t p = 0; p < options_.periods; ++p) {
+      TrafficRecord record;
+      record.location = z + 1;  // location 0 is reserved-looking; avoid it
+      record.period = p;
+      record.bits = Bitmap(m);
+      add_transient_traffic(record.bits, volume, rng);
+      work.push_back(std::move(record));
+    }
+  }
+
+  // --- Replay over `connections` workers. ---
+  SharedStats stats;
+  std::atomic<std::size_t> next_item{0};
+  const std::uint64_t t0 = steady_now_ns();
+  const Deadline cap =
+      Deadline::after(std::chrono::milliseconds(options_.time_cap_ms));
+  std::atomic<std::uint64_t> workers_ever_connected{0};
+
+  auto worker = [&](std::size_t worker_index) {
+    SupervisedConnection conn(server_, options_.tuning, nullptr,
+                              options_.seed + 7919 * (worker_index + 1));
+    UplinkClient uplink(
+        conn,
+        MacAddress{(0x02ULL << 40) | (0xB0ADULL << 16) | worker_index},
+        kServerMac);
+    Xoshiro256 backoff_rng(options_.seed ^ (worker_index + 1));
+    bool connected_once = false;
+    for (;;) {
+      const std::size_t i = next_item.fetch_add(1);
+      if (i >= work.size()) break;
+      const TrafficRecord& record = work[i];
+      const TraceContext trace =
+          TraceContext::for_record(record.location, record.period);
+      bool settled = false;
+      for (std::uint32_t attempt = 0;
+           attempt < options_.max_attempts && !cap.expired_now(); ++attempt) {
+        if (Status s = conn.ensure_connected(cap); !s.is_ok()) break;
+        connected_once = true;
+        stats.attempts.fetch_add(1);
+        const std::uint64_t sent = steady_now_ns();
+        auto reply = uplink.deliver(
+            record, trace,
+            Deadline::after(
+                std::chrono::milliseconds(options_.deliver_timeout_ms)));
+        if (!reply) {
+          stats.channel_errors.fetch_add(1);
+          conn.sever();
+        } else if (reply->acked) {
+          stats.deliver_latency.record(steady_now_ns() - sent);
+          stats.acked.fetch_add(1);
+          settled = true;
+          break;
+        } else if (!reply->nack.retryable) {
+          stats.fatal_nacks.fetch_add(1);
+          settled = true;
+          break;
+        } else {
+          stats.shed_events.fetch_add(1);
+        }
+        // Shed or unknown outcome: back off before the retry (clamped
+        // jitterless ladder - worker seeds already de-synchronize).
+        const std::uint32_t shift = std::min<std::uint32_t>(attempt, 16);
+        std::uint64_t nap = options_.retry_backoff_base_ms << shift;
+        nap += backoff_rng.below(options_.retry_backoff_base_ms + 1);
+        nap = std::min(nap, options_.retry_backoff_cap_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(nap));
+      }
+      if (!settled) stats.abandoned.fetch_add(1);
+    }
+    stats.reconnects.fetch_add(
+        conn.connections_opened() > 0 ? conn.connections_opened() - 1 : 0);
+    if (connected_once) workers_ever_connected.fetch_add(1);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options_.connections);
+  for (std::size_t w = 0; w < options_.connections; ++w) {
+    threads.emplace_back(worker, w);
+  }
+  for (auto& t : threads) t.join();
+
+  if (workers_ever_connected.load() == 0) {
+    return Status{ErrorCode::kChannelError,
+                  "no worker ever connected to " + server_.to_string()};
+  }
+  LoadgenReport report;
+  report.records_total = work.size();
+  report.acked = stats.acked.load();
+  report.shed_events = stats.shed_events.load();
+  report.fatal_nacks = stats.fatal_nacks.load();
+  report.channel_errors = stats.channel_errors.load();
+  report.abandoned = stats.abandoned.load();
+  report.attempts = stats.attempts.load();
+  report.reconnects = stats.reconnects.load();
+  report.elapsed_ns = steady_now_ns() - t0;
+  report.deliver_latency = stats.deliver_latency.snapshot();
+  return report;
+}
+
+}  // namespace ptm::transport

@@ -1,0 +1,88 @@
+// loadgen.hpp - workload replay against a live ptmd, with ptm-bench-v1
+// output.
+//
+// The load generator answers the capacity question the simulator cannot:
+// what does THIS daemon on THIS machine do under N concurrent RSU
+// uplinks?  It derives per-location volumes from the repo's trip-table
+// workload (traffic/trip_table.hpp gravity model - the same shape the
+// paper's Sioux Falls experiments use), synthesizes each location's
+// per-period records at their Eq. 2-planned sizes, and replays them over
+// `connections` parallel supervised connections.  Each worker retries
+// shed records with backoff, so the report separates true throughput
+// (acks) from backpressure (shed events) and failures.
+//
+// The report serializes as a ptm-bench-v1 JSON document (the bench
+// harness's schema, docs/benchmarking.md): delivery-latency percentiles
+// as `results` rows, the full counter set as a `tables` entry.  CI's
+// transport-chaos job runs `loadgen --smoke` and a perf-tracking job can
+// diff documents across revisions exactly as it does for microbenches.
+//
+// Backpressure demonstration (the ISSUE's acceptance bar): run with more
+// connections than the daemon's ingest admission bound and a nonzero
+// `ingest_stall_us`; the shed rate climbs while the delivery-latency p99
+// stays bounded by deliver_timeout_ms - overload is shed, not queued into
+// collapse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+#include "obs/telemetry.hpp"
+#include "transport/connection.hpp"
+#include "transport/socket.hpp"
+
+namespace ptm::transport {
+
+struct LoadgenOptions {
+  std::size_t connections = 4;   ///< parallel uplink workers
+  std::size_t locations = 8;     ///< trip-table zones to replay
+  std::size_t periods = 8;       ///< records per location
+  std::uint64_t volume_min = 64;    ///< clamp for zone volumes
+  std::uint64_t volume_max = 2048;
+  double load_factor = 2.0;         ///< Eq. 2 bitmap planning
+  std::uint64_t deliver_timeout_ms = 2000;
+  std::uint64_t time_cap_ms = 60000;   ///< hard stop for the whole replay
+  std::uint64_t retry_backoff_base_ms = 5;   ///< shed/channel retry pacing
+  std::uint64_t retry_backoff_cap_ms = 200;
+  std::uint32_t max_attempts = 64;     ///< per record before giving up
+  ConnectionTuning tuning{};
+  std::uint64_t seed = 1;
+};
+
+struct LoadgenReport {
+  std::uint64_t records_total = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t shed_events = 0;     ///< retryable NACKs received
+  std::uint64_t fatal_nacks = 0;
+  std::uint64_t channel_errors = 0;
+  std::uint64_t abandoned = 0;       ///< attempts/time exhausted
+  std::uint64_t attempts = 0;        ///< delivery attempts, total
+  std::uint64_t reconnects = 0;
+  std::uint64_t elapsed_ns = 0;
+  LatencyHistogramSnapshot deliver_latency;  ///< per-acked-record RTT
+
+  /// Acked records per second of wall time.
+  [[nodiscard]] double throughput_rps() const noexcept;
+  /// Fraction of delivery attempts answered with a retryable NACK.
+  [[nodiscard]] double shed_rate() const noexcept;
+  /// ptm-bench-v1 document (schema of bench/bench_harness.cpp write_json):
+  /// latency percentiles + throughput as `results`, counters as a table.
+  [[nodiscard]] std::string to_bench_json(const std::string& rev) const;
+};
+
+class LoadGenerator {
+ public:
+  LoadGenerator(Endpoint server, LoadgenOptions options);
+
+  /// Generates the workload and replays it.  Fails only on setup errors
+  /// (e.g. no connection could ever be established); delivery failures
+  /// are data in the report, not errors.
+  [[nodiscard]] Result<LoadgenReport> run();
+
+ private:
+  Endpoint server_;
+  LoadgenOptions options_;
+};
+
+}  // namespace ptm::transport

@@ -1,0 +1,354 @@
+#include "transport/server.hpp"
+
+#include <array>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "net/message.hpp"
+#include "obs/export.hpp"
+
+namespace ptm::transport {
+namespace {
+
+/// Failures worth retransmitting: everything except the errors that say
+/// "this exact record can never be accepted".
+bool retryable_ingest_failure(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kFailedPrecondition:  // conflicting record for the slot
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kOutOfRange:
+    case ErrorCode::kParseError:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+PtmdServer::PtmdServer(PtmdOptions options)
+    : options_(std::move(options)),
+      service_(options_.service),
+      ingest_gate_(options_.ingest_admission, &service_.telemetry()),
+      accepted_(service_.telemetry().counter("transport_accepted_total")),
+      frames_(service_.telemetry().counter("transport_frames_total")),
+      ingest_shed_(
+          service_.telemetry().counter("transport_ingest_shed_total")),
+      nacks_(service_.telemetry().counter("transport_nacks_total")),
+      protocol_errors_(
+          service_.telemetry().counter("transport_protocol_errors_total")),
+      connections_(service_.telemetry().gauge("transport_connections")) {
+  if (options_.ingest_threads == 0) options_.ingest_threads = 1;
+}
+
+PtmdServer::~PtmdServer() { stop(); }
+
+Status PtmdServer::start() {
+  if (running_.load()) return Status::ok();
+  if (!options_.archive_path.empty()) {
+    auto archive = RecordArchive::open(options_.archive_path, {});
+    if (!archive) return archive.status();
+    archive_.emplace(std::move(*archive));
+    service_.attach_durability(*archive_);
+    auto restored = service_.restore_from_archive();
+    if (!restored) return restored.status();
+    restored_ = *restored;
+  }
+  auto listener = Socket::listen(options_.endpoint);
+  if (!listener) return listener.status();
+  listener_ = std::move(*listener);
+  if (Status s = loop_.add(listener_.fd(), EventLoop::kReadable,
+                           [this](std::uint32_t) { on_acceptable(); });
+      !s.is_ok()) {
+    return s;
+  }
+  if (options_.idle_timeout_ms > 0) {
+    loop_.add_timer(options_.idle_timeout_ms / 2 + 1,
+                    [this] { sweep_idle(); });
+  }
+  running_.store(true);
+  for (std::size_t i = 0; i < options_.ingest_threads; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+  loop_thread_ = std::thread([this] { loop_main(); });
+  return Status::ok();
+}
+
+void PtmdServer::stop() {
+  if (!running_.exchange(false)) {
+    // start() may have failed between archive open and thread spawn.
+    if (loop_thread_.joinable()) loop_thread_.join();
+    for (auto& w : workers_) {
+      if (w.joinable()) w.join();
+    }
+    workers_.clear();
+    return;
+  }
+  jobs_cv_.notify_all();
+  loop_.post([this] { loop_.stop(); });
+  if (loop_thread_.joinable()) loop_thread_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  // The loop thread is gone; tearing down connection state is safe here.
+  conns_.clear();
+  conn_fd_by_id_.clear();
+  connections_.set(0);
+}
+
+void PtmdServer::loop_main() { loop_.run(); }
+
+void PtmdServer::worker_main() {
+  for (;;) {
+    IngestJob job;
+    {
+      std::unique_lock lock(jobs_mu_);
+      jobs_cv_.wait(lock,
+                    [this] { return !jobs_.empty() || !running_.load(); });
+      if (jobs_.empty()) return;  // stopping and drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    if (options_.ingest_stall_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options_.ingest_stall_us));
+    }
+    const std::uint64_t location = job.record.location;
+    const std::uint64_t period = job.record.period;
+    const Status status = service_.ingest(job.record, job.trace);
+    loop_.post([this, conn_id = job.conn_id, location, period,
+                trace = job.trace, status] {
+      finish_ingest(conn_id, location, period, trace, status);
+    });
+  }
+}
+
+void PtmdServer::on_acceptable() {
+  for (;;) {
+    auto accepted = listener_.accept();
+    if (!accepted) return;           // hard error; keep serving existing
+    if (!accepted->valid()) return;  // would-block: drained the backlog
+    const int fd = accepted->fd();
+    auto conn = std::make_unique<Conn>();
+    conn->sock = std::move(*accepted);
+    conn->id = next_conn_id_++;
+    conn->last_activity_ms = EventLoop::now_ms();
+    if (Status s =
+            loop_.add(fd, EventLoop::kReadable,
+                      [this, fd](std::uint32_t ev) { on_conn_event(fd, ev); });
+        !s.is_ok()) {
+      continue;  // conn destructor closes the socket
+    }
+    conn_fd_by_id_[conn->id] = fd;
+    conns_[fd] = std::move(conn);
+    accepted_.add();
+    connections_.add(1);
+  }
+}
+
+void PtmdServer::on_conn_event(int fd, std::uint32_t events) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  conn.last_activity_ms = EventLoop::now_ms();
+  if (events & EventLoop::kWritable) {
+    flush(conn);
+    if (conns_.find(fd) == conns_.end()) return;  // flush finished a close
+  }
+  if ((events & EventLoop::kReadable) && !conn.paused && !conn.closing) {
+    std::array<std::uint8_t, 16 * 1024> buf;
+    for (int round = 0; round < 4; ++round) {  // bounded per event: fairness
+      auto io = conn.sock.read_some(buf);
+      if (!io || io->peer_closed) {
+        close_conn(fd);
+        return;
+      }
+      if (io->would_block) break;
+      conn.decoder.feed(std::span<const std::uint8_t>(buf.data(), io->bytes));
+    }
+    // Drain every complete frame buffered so far.  Stops early when a
+    // handler pauses the connection (backpressure) - the remaining bytes
+    // wait in the decoder until the resume path re-drains.
+    while (!conn.paused && !conn.closing) {
+      auto payload = conn.decoder.next();
+      if (!payload) {
+        protocol_errors_.add();
+        close_conn(fd);
+        return;
+      }
+      if (!payload->has_value()) break;
+      handle_payload(conn, **payload);
+      if (conns_.find(fd) == conns_.end()) return;  // handler closed it
+    }
+  }
+}
+
+void PtmdServer::handle_payload(Conn& conn,
+                                std::span<const std::uint8_t> payload) {
+  auto message = decode_wire_message(payload);
+  if (!message) {
+    protocol_errors_.add();
+    close_conn(conn.sock.fd());
+    return;
+  }
+  if (const auto* frame = std::get_if<Frame>(&*message)) {
+    handle_frame(conn, *frame);
+    return;
+  }
+  if (const auto* hb = std::get_if<Heartbeat>(&*message)) {
+    send_message(conn, HeartbeatAck{hb->nonce, hb->send_unix_ns});
+    return;
+  }
+  if (std::holds_alternative<StatsRequest>(*message)) {
+    send_message(conn,
+                 StatsResponse{to_json(service_.telemetry().snapshot())});
+    return;
+  }
+  // Acks/nacks/stats flowing server-ward carry nothing for us; ignoring
+  // them keeps the protocol symmetric without inventing error paths.
+}
+
+void PtmdServer::handle_frame(Conn& conn, const Frame& frame) {
+  frames_.add();
+  const auto* upload = std::get_if<RecordUpload>(&frame.body);
+  if (upload == nullptr) return;  // ptmd ingests; other V2I traffic is noise
+  const std::uint64_t location = upload->record.location;
+  const std::uint64_t period = upload->record.period;
+  if (Status gate = ingest_gate_.try_admit(); !gate.is_ok()) {
+    ingest_shed_.add();
+    nacks_.add();
+    send_message(conn, UploadNack{location, period,
+                                  ErrorCode::kResourceExhausted,
+                                  /*retryable=*/true});
+    pause_reads(conn, options_.shed_pause_ms);
+    return;
+  }
+  ++conn.pending_ingests;
+  if (conn.pending_ingests >= options_.max_pending_per_conn) {
+    pause_reads(conn, /*resume_after_ms=*/0);  // resumes when half drains
+  }
+  {
+    std::lock_guard lock(jobs_mu_);
+    jobs_.push_back(IngestJob{conn.id, upload->record, frame.trace});
+  }
+  jobs_cv_.notify_one();
+}
+
+void PtmdServer::finish_ingest(std::uint64_t conn_id, std::uint64_t location,
+                               std::uint64_t period,
+                               const TraceContext& trace,
+                               const Status& status) {
+  ingest_gate_.release();
+  Conn* conn = conn_by_id(conn_id);
+  if (conn == nullptr) return;  // connection died while the ingest ran
+  if (conn->pending_ingests > 0) --conn->pending_ingests;
+  if (status.is_ok()) {
+    Frame ack;
+    ack.body = UploadAck{location, period};
+    ack.trace = trace;
+    send_message(*conn, ack);
+  } else {
+    nacks_.add();
+    send_message(*conn,
+                 UploadNack{location, period, status.code(),
+                            retryable_ingest_failure(status.code())});
+  }
+  Conn* after = conn_by_id(conn_id);  // send_message may have closed it
+  if (after != nullptr && after->paused &&
+      after->pending_ingests <= options_.max_pending_per_conn / 2) {
+    after->paused = false;
+    update_interest(*after);
+    // Re-drain frames that were decoded but parked behind the pause.
+    const int fd = conn_fd_by_id_[conn_id];
+    loop_.post([this, fd] { on_conn_event(fd, EventLoop::kReadable); });
+  }
+}
+
+void PtmdServer::send_message(Conn& conn, const WireMessage& message) {
+  const std::vector<std::uint8_t> wire =
+      frame_payload(encode_wire_message(message));
+  conn.outbuf.insert(conn.outbuf.end(), wire.begin(), wire.end());
+  flush(conn);
+}
+
+void PtmdServer::flush(Conn& conn) {
+  const int fd = conn.sock.fd();
+  while (conn.out_off < conn.outbuf.size()) {
+    auto io = conn.sock.write_some(std::span<const std::uint8_t>(
+        conn.outbuf.data() + conn.out_off, conn.outbuf.size() - conn.out_off));
+    if (!io) {
+      close_conn(fd);
+      return;
+    }
+    if (io->would_block) break;
+    conn.out_off += io->bytes;
+  }
+  if (conn.out_off >= conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    if (conn.closing) {
+      close_conn(fd);
+      return;
+    }
+  }
+  update_interest(conn);
+}
+
+void PtmdServer::update_interest(Conn& conn) {
+  std::uint32_t interest = 0;
+  if (!conn.paused && !conn.closing) interest |= EventLoop::kReadable;
+  if (conn.out_off < conn.outbuf.size()) interest |= EventLoop::kWritable;
+  (void)loop_.modify(conn.sock.fd(), interest);
+}
+
+void PtmdServer::pause_reads(Conn& conn, std::uint64_t resume_after_ms) {
+  if (conn.paused) return;
+  conn.paused = true;
+  update_interest(conn);
+  if (resume_after_ms > 0) {
+    loop_.add_timer(resume_after_ms, [this, id = conn.id] {
+      Conn* c = conn_by_id(id);
+      if (c == nullptr || !c->paused || c->closing) return;
+      c->paused = false;
+      update_interest(*c);
+      const int fd = conn_fd_by_id_[id];
+      loop_.post([this, fd] { on_conn_event(fd, EventLoop::kReadable); });
+    });
+  }
+}
+
+void PtmdServer::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  loop_.remove(fd);
+  conn_fd_by_id_.erase(it->second->id);
+  conns_.erase(it);
+  connections_.sub(1);
+}
+
+void PtmdServer::sweep_idle() {
+  if (options_.idle_timeout_ms > 0) {
+    const std::uint64_t now = EventLoop::now_ms();
+    std::vector<int> stale;
+    for (const auto& [fd, conn] : conns_) {
+      if (conn->pending_ingests == 0 &&
+          now - conn->last_activity_ms > options_.idle_timeout_ms) {
+        stale.push_back(fd);
+      }
+    }
+    for (int fd : stale) close_conn(fd);
+    loop_.add_timer(options_.idle_timeout_ms / 2 + 1,
+                    [this] { sweep_idle(); });
+  }
+}
+
+PtmdServer::Conn* PtmdServer::conn_by_id(std::uint64_t id) noexcept {
+  auto it = conn_fd_by_id_.find(id);
+  if (it == conn_fd_by_id_.end()) return nullptr;
+  auto cit = conns_.find(it->second);
+  return cit == conns_.end() ? nullptr : cit->second.get();
+}
+
+}  // namespace ptm::transport

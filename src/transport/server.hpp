@@ -1,0 +1,166 @@
+// server.hpp - the ptmd ingest server: QueryService behind a real socket.
+//
+// PtmdServer is the daemon-side half of the out-of-process transport
+// (docs/transport.md).  One epoll EventLoop thread owns every connection;
+// a small ingest worker pool runs the actual QueryService::ingest calls
+// (which take shard locks and, in durable mode, write the archive) so the
+// loop thread never blocks on a disk write.  Backpressure is explicit at
+// two levels:
+//
+//   * admission gate - an AdmissionController (try_admit, never blocking
+//     the loop) bounds ingests in flight across all connections; a shed
+//     ingest is answered with a *retryable* UploadNack(kResourceExhausted)
+//     and the connection's reads are paused for `shed_pause_ms`, so the
+//     kernel socket buffer - and eventually the RSU's own send path -
+//     absorbs the overload instead of the daemon's memory;
+//
+//   * per-connection window - a connection with more than
+//     `max_pending_per_conn` ingests outstanding stops being read until
+//     half its window drains.  A single firehose RSU cannot starve the
+//     rest.
+//
+// Durability mirrors the in-process server node: the archive is attached
+// write-ahead (ingest Ok implies the record is on disk), and start()
+// replays the archive into memory, so a kill -9 between accept and ack
+// loses nothing - the RSU outbox retransmits anything unacked and the
+// archive dedupes re-deliveries.  The chaos suite drives exactly that
+// cycle.
+//
+// Protocol errors (bad length prefix, unknown kind, codec violation) close
+// the connection: a length-prefixed stream cannot resync after a framing
+// lie, and a peer that sends garbage cannot be trusted with partial state.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "query/admission.hpp"
+#include "query/query_service.hpp"
+#include "store/archive.hpp"
+#include "transport/event_loop.hpp"
+#include "transport/framing.hpp"
+#include "transport/socket.hpp"
+#include "transport/wire.hpp"
+
+namespace ptm::transport {
+
+struct PtmdOptions {
+  Endpoint endpoint;                 ///< where to listen
+  std::string archive_path;          ///< empty = volatile (no durability)
+  QueryServiceOptions service{};     ///< query engine configuration
+  AdmissionOptions ingest_admission{16, 0};  ///< try_admit gate for ingests
+  std::size_t ingest_threads = 2;    ///< worker pool size (>= 1)
+  std::size_t max_pending_per_conn = 32;  ///< per-connection ingest window
+  std::uint64_t shed_pause_ms = 10;  ///< read pause after shedding
+  std::uint64_t idle_timeout_ms = 60000;  ///< close silent conns (0 = never)
+  /// Test/benchmark knob: artificial microseconds of work per ingest, so
+  /// loadgen can push the daemon into visible shedding on any machine.
+  std::uint64_t ingest_stall_us = 0;
+};
+
+class PtmdServer {
+ public:
+  explicit PtmdServer(PtmdOptions options);
+  ~PtmdServer();
+  PtmdServer(const PtmdServer&) = delete;
+  PtmdServer& operator=(const PtmdServer&) = delete;
+
+  /// Opens the archive (durable mode), replays it into the query service,
+  /// binds the listener, and spawns the loop + worker threads.  On Ok the
+  /// endpoint is accepting connections.
+  [[nodiscard]] Status start();
+
+  /// Stops the loop, joins every thread, closes every connection.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] const PtmdOptions& options() const noexcept {
+    return options_;
+  }
+  [[nodiscard]] QueryService& service() noexcept { return service_; }
+  [[nodiscard]] TelemetryRegistry& telemetry() noexcept {
+    return service_.telemetry();
+  }
+  /// Records replayed from the archive by start() (durable mode).
+  [[nodiscard]] std::size_t restored_records() const noexcept {
+    return restored_;
+  }
+
+ private:
+  /// Per-connection state; lives on the loop thread only.
+  struct Conn {
+    Socket sock;
+    StreamDecoder decoder;
+    std::vector<std::uint8_t> outbuf;  ///< unwritten reply bytes
+    std::size_t out_off = 0;
+    std::size_t pending_ingests = 0;
+    bool paused = false;    ///< reads suspended (window or shed pause)
+    bool closing = false;   ///< flush outbuf, then close
+    std::uint64_t last_activity_ms = 0;
+    std::uint64_t id = 0;
+  };
+
+  struct IngestJob {
+    std::uint64_t conn_id = 0;
+    TrafficRecord record;
+    TraceContext trace;
+  };
+
+  void loop_main();
+  void worker_main();
+  void on_acceptable();
+  void on_conn_event(int fd, std::uint32_t events);
+  void handle_payload(Conn& conn, std::span<const std::uint8_t> payload);
+  void handle_frame(Conn& conn, const Frame& frame);
+  void finish_ingest(std::uint64_t conn_id, std::uint64_t location,
+                     std::uint64_t period, const TraceContext& trace,
+                     const Status& status);
+  void send_message(Conn& conn, const WireMessage& message);
+  void flush(Conn& conn);
+  void update_interest(Conn& conn);
+  void pause_reads(Conn& conn, std::uint64_t resume_after_ms);
+  void close_conn(int fd);
+  void sweep_idle();
+  [[nodiscard]] Conn* conn_by_id(std::uint64_t id) noexcept;
+
+  PtmdOptions options_;
+  QueryService service_;
+  AdmissionController ingest_gate_;
+  std::optional<RecordArchive> archive_;
+  std::size_t restored_ = 0;
+
+  EventLoop loop_;
+  Socket listener_;
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+
+  // Loop-thread state.
+  std::map<int, std::unique_ptr<Conn>> conns_;        ///< fd -> conn
+  std::map<std::uint64_t, int> conn_fd_by_id_;        ///< id -> fd
+  std::uint64_t next_conn_id_ = 1;
+
+  // Worker queue (mutex-guarded; workers block here, never in the loop).
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<IngestJob> jobs_;
+
+  Counter& accepted_;         ///< transport_accepted_total
+  Counter& frames_;           ///< transport_frames_total
+  Counter& ingest_shed_;      ///< transport_ingest_shed_total
+  Counter& nacks_;            ///< transport_nacks_total
+  Counter& protocol_errors_;  ///< transport_protocol_errors_total
+  Gauge& connections_;        ///< transport_connections
+};
+
+}  // namespace ptm::transport

@@ -1,0 +1,279 @@
+#include "transport/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace ptm::transport {
+namespace {
+
+Status errno_status(const char* what) {
+  return {ErrorCode::kChannelError,
+          std::string(what) + ": " + std::strerror(errno)};
+}
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return errno_status("fcntl(O_NONBLOCK)");
+  }
+  return Status::ok();
+}
+
+/// Builds the sockaddr for an endpoint.  `storage` must outlive the
+/// returned pointer.
+struct SockAddr {
+  sockaddr_storage storage{};
+  socklen_t len = 0;
+  int family = AF_UNIX;
+};
+
+Result<SockAddr> make_sockaddr(const Endpoint& endpoint) {
+  SockAddr out;
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    auto* addr = reinterpret_cast<sockaddr_un*>(&out.storage);
+    addr->sun_family = AF_UNIX;
+    if (endpoint.path.empty() ||
+        endpoint.path.size() >= sizeof(addr->sun_path)) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "unix socket path empty or too long"};
+    }
+    std::memcpy(addr->sun_path, endpoint.path.c_str(),
+                endpoint.path.size() + 1);
+    out.len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                     endpoint.path.size() + 1);
+    out.family = AF_UNIX;
+    return out;
+  }
+  auto* addr4 = reinterpret_cast<sockaddr_in*>(&out.storage);
+  auto* addr6 = reinterpret_cast<sockaddr_in6*>(&out.storage);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr4->sin_addr) == 1) {
+    addr4->sin_family = AF_INET;
+    addr4->sin_port = htons(endpoint.port);
+    out.len = sizeof(sockaddr_in);
+    out.family = AF_INET;
+    return out;
+  }
+  if (::inet_pton(AF_INET6, endpoint.host.c_str(), &addr6->sin6_addr) == 1) {
+    addr6->sin6_family = AF_INET6;
+    addr6->sin6_port = htons(endpoint.port);
+    out.len = sizeof(sockaddr_in6);
+    out.family = AF_INET6;
+    return out;
+  }
+  return Status{ErrorCode::kInvalidArgument,
+                "tcp endpoint host must be a numeric IPv4/IPv6 address"};
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+Result<Endpoint> parse_endpoint(const std::string& text) {
+  Endpoint out;
+  if (text.rfind("unix:", 0) == 0) {
+    out.kind = Endpoint::Kind::kUnix;
+    out.path = text.substr(5);
+    if (out.path.empty()) {
+      return Status{ErrorCode::kInvalidArgument, "unix: endpoint needs a path"};
+    }
+    return out;
+  }
+  std::string rest = text;
+  if (rest.rfind("tcp:", 0) == 0) rest = rest.substr(4);
+  const auto colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "endpoint must be unix:/path or [tcp:]host:port"};
+  }
+  out.kind = Endpoint::Kind::kTcp;
+  out.host = rest.substr(0, colon);
+  // Bracketed IPv6 literals: [::1]:7777.
+  if (out.host.size() >= 2 && out.host.front() == '[' &&
+      out.host.back() == ']') {
+    out.host = out.host.substr(1, out.host.size() - 2);
+  }
+  const std::string port_text = rest.substr(colon + 1);
+  std::uint64_t port = 0;
+  for (char c : port_text) {
+    if (c < '0' || c > '9') {
+      return Status{ErrorCode::kInvalidArgument, "endpoint port not numeric"};
+    }
+    port = port * 10 + static_cast<std::uint64_t>(c - '0');
+    if (port > 65535) {
+      return Status{ErrorCode::kInvalidArgument, "endpoint port out of range"};
+    }
+  }
+  if (port_text.empty()) {
+    return Status{ErrorCode::kInvalidArgument, "endpoint port missing"};
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_write() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+int Socket::release() noexcept {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Result<Socket> Socket::listen(const Endpoint& endpoint, int backlog) {
+  auto addr = make_sockaddr(endpoint);
+  if (!addr) return addr.status();
+  if (endpoint.kind == Endpoint::Kind::kUnix) {
+    // A previous process's socket file makes bind fail with EADDRINUSE
+    // even though nobody is listening; remove it first.  (A *live*
+    // listener is a deployment error this happily clobbers - ptmd should
+    // be supervised to one instance per path.)
+    ::unlink(endpoint.path.c_str());
+  }
+  Socket sock(::socket(addr->family, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_status("socket");
+  if (addr->family != AF_UNIX) {
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (Status s = set_nonblocking(sock.fd()); !s.is_ok()) return s;
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr->storage),
+             addr->len) != 0) {
+    return errno_status("bind");
+  }
+  if (::listen(sock.fd(), backlog) != 0) return errno_status("listen");
+  return sock;
+}
+
+Result<Socket> Socket::connect(const Endpoint& endpoint,
+                               std::uint64_t timeout_ms) {
+  auto addr = make_sockaddr(endpoint);
+  if (!addr) return addr.status();
+  Socket sock(::socket(addr->family, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_status("socket");
+  if (Status s = set_nonblocking(sock.fd()); !s.is_ok()) return s;
+  if (addr->family != AF_UNIX) {
+    const int one = 1;
+    ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr->storage),
+                addr->len) == 0) {
+    return sock;
+  }
+  if (errno != EINPROGRESS && errno != EAGAIN) {
+    return errno_status("connect");
+  }
+  auto ready = sock.wait(/*want_write=*/true, timeout_ms);
+  if (!ready) return ready.status();
+  if (!*ready) {
+    return Status{ErrorCode::kChannelError, "connect timed out"};
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+    return errno_status("getsockopt(SO_ERROR)");
+  }
+  if (err != 0) {
+    return Status{ErrorCode::kChannelError,
+                  std::string("connect: ") + std::strerror(err)};
+  }
+  return sock;
+}
+
+Result<Socket> Socket::accept() {
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return Socket();  // soft
+    return errno_status("accept");
+  }
+  Socket sock(fd);
+  if (Status s = set_nonblocking(fd); !s.is_ok()) return s;
+  return sock;
+}
+
+Result<IoResult> Socket::read_some(std::span<std::uint8_t> buf) {
+  IoResult out;
+  const ssize_t n = ::read(fd_, buf.data(), buf.size());
+  if (n > 0) {
+    out.bytes = static_cast<std::size_t>(n);
+    return out;
+  }
+  if (n == 0) {
+    out.peer_closed = true;
+    return out;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    out.would_block = true;
+    return out;
+  }
+  return errno_status("read");
+}
+
+Result<IoResult> Socket::write_some(std::span<const std::uint8_t> buf) {
+  IoResult out;
+  // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+  // not kill the process with SIGPIPE (chaos tests sever on purpose).
+  const ssize_t n = ::send(fd_, buf.data(), buf.size(), MSG_NOSIGNAL);
+  if (n >= 0) {
+    out.bytes = static_cast<std::size_t>(n);
+    return out;
+  }
+  if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+    out.would_block = true;
+    return out;
+  }
+  return errno_status("write");
+}
+
+Result<bool> Socket::wait(bool want_write, std::uint64_t timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = static_cast<short>(want_write ? POLLOUT : POLLIN);
+  const int timeout =
+      timeout_ms > static_cast<std::uint64_t>(INT32_MAX)
+          ? INT32_MAX
+          : static_cast<int>(timeout_ms);
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("poll");
+    }
+    return rc > 0;
+  }
+}
+
+}  // namespace ptm::transport

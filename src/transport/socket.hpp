@@ -1,0 +1,94 @@
+// socket.hpp - RAII stream sockets (unix-domain and TCP) for the
+// out-of-process transport.
+//
+// Everything here is non-blocking: reads and writes return kChannelError
+// only on hard failures, report would-block as a distinct soft outcome,
+// and let the caller decide how to wait (the server parks fds on an epoll
+// loop, the supervised client polls with explicit deadlines).  Endpoints
+// are written as strings so every tool shares one flag syntax:
+//
+//   unix:/path/to/ptmd.sock   - unix-domain stream socket
+//   tcp:host:port             - TCP (numeric host; no resolver dependency)
+//   host:port                 - shorthand for tcp:
+//
+// Unix sockets are the default in tests and CI (no port allocation races,
+// work in sandboxes); TCP is what a real RSU backhaul would use.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace ptm::transport {
+
+struct Endpoint {
+  enum class Kind { kUnix, kTcp };
+  Kind kind = Kind::kUnix;
+  std::string path;  ///< kUnix: filesystem path
+  std::string host;  ///< kTcp: numeric IPv4/IPv6 address
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses the endpoint syntax above.  InvalidArgument on anything else.
+[[nodiscard]] Result<Endpoint> parse_endpoint(const std::string& text);
+
+/// Outcome of one non-blocking I/O attempt.
+struct IoResult {
+  std::size_t bytes = 0;       ///< bytes moved (0 is legal)
+  bool would_block = false;    ///< no progress now; wait for readiness
+  bool peer_closed = false;    ///< orderly EOF from the peer (reads only)
+};
+
+/// A connected (or listening) stream socket.  Move-only; closes on
+/// destruction.  All sockets are created non-blocking.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket();
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  /// Binds and listens on `endpoint`.  For unix endpoints a stale socket
+  /// file from a dead process is removed first.
+  [[nodiscard]] static Result<Socket> listen(const Endpoint& endpoint,
+                                             int backlog = 64);
+
+  /// Connects to `endpoint`, waiting up to `timeout_ms` for the handshake
+  /// (0 = no wait beyond the non-blocking attempt).  kChannelError on
+  /// refusal or timeout.
+  [[nodiscard]] static Result<Socket> connect(const Endpoint& endpoint,
+                                              std::uint64_t timeout_ms);
+
+  /// Accepts one pending connection; would_block when none is ready.
+  /// (Returned via Result: the soft case is a Socket with valid() false.)
+  [[nodiscard]] Result<Socket> accept();
+
+  [[nodiscard]] Result<IoResult> read_some(std::span<std::uint8_t> buf);
+  [[nodiscard]] Result<IoResult> write_some(
+      std::span<const std::uint8_t> buf);
+
+  /// Waits until the socket is readable (`want_write` false) or writable,
+  /// up to `timeout_ms`.  Ok(true) = ready, Ok(false) = timed out.
+  [[nodiscard]] Result<bool> wait(bool want_write, std::uint64_t timeout_ms);
+
+  /// Half-closes the write side (the peer reads EOF after our last byte).
+  void shutdown_write() noexcept;
+  void close() noexcept;
+
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  /// Releases ownership of the fd to the caller.
+  [[nodiscard]] int release() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ptm::transport

@@ -1,0 +1,41 @@
+#include "transport/uplink.hpp"
+
+#include "net/message.hpp"
+
+namespace ptm::transport {
+
+Result<UplinkReply> UplinkClient::deliver(const TrafficRecord& record,
+                                          const TraceContext& trace,
+                                          const Deadline& deadline) {
+  Frame upload;
+  upload.src = src_;
+  upload.dst = server_;
+  upload.body = RecordUpload{record};
+  upload.trace = trace;
+  if (Status s = connection_.send(upload); !s.is_ok()) return s;
+
+  for (;;) {
+    auto message = connection_.receive(deadline);
+    if (!message) return message.status();
+    if (const auto* nack = std::get_if<UploadNack>(&*message)) {
+      if (nack->location != record.location || nack->period != record.period) {
+        continue;  // verdict for an earlier in-flight upload
+      }
+      UplinkReply reply;
+      reply.nack = *nack;
+      return reply;
+    }
+    if (const auto* frame = std::get_if<Frame>(&*message)) {
+      const auto* ack = std::get_if<UploadAck>(&frame->body);
+      if (ack != nullptr && ack->location == record.location &&
+          ack->period == record.period) {
+        UplinkReply reply;
+        reply.acked = true;
+        return reply;
+      }
+    }
+    // Anything else (stale acks, stats) is not this record's verdict.
+  }
+}
+
+}  // namespace ptm::transport

@@ -1,0 +1,56 @@
+// uplink.hpp - one record-upload round trip over a supervised connection.
+//
+// Both socket clients (the RSU emulator's outbox pump and loadgen's replay
+// workers) speak the same two-message exchange with ptmd: send a V2I
+// RecordUpload frame, then wait for the matching UploadAck (ingested -
+// retire the record) or UploadNack (retryable: re-arm backoff and keep the
+// record; fatal: drop it, retrying can never succeed).  UplinkClient is
+// that exchange, factored out so the retry *policies* stay with the
+// callers - the emulator books retries on its durable outbox, loadgen on
+// an in-memory work queue - while the wire conversation lives here once.
+#pragma once
+
+#include <cstdint>
+
+#include "common/deadline.hpp"
+#include "common/status.hpp"
+#include "core/traffic_record.hpp"
+#include "net/mac.hpp"
+#include "obs/trace.hpp"
+#include "transport/connection.hpp"
+#include "transport/wire.hpp"
+
+namespace ptm::transport {
+
+/// Terminal outcome of one delivery attempt (channel/deadline failures
+/// surface as the Result's Status instead).
+struct UplinkReply {
+  bool acked = false;      ///< the server ingested (or deduped) the record
+  UploadNack nack;         ///< valid when !acked
+};
+
+class UplinkClient {
+ public:
+  /// Borrows `connection` (caller keeps ownership and decides when to
+  /// dial/redial).  `src` identifies this uplink in the V2I frames.
+  UplinkClient(SupervisedConnection& connection, MacAddress src,
+               MacAddress server) noexcept
+      : connection_(connection), src_(src), server_(server) {}
+
+  /// Sends `record` and waits for the server's verdict on exactly this
+  /// (location, period).  Unrelated inbound messages (acks for earlier
+  /// uploads after a reconnect, stats responses) are skipped; heartbeats
+  /// are answered inside receive().  kChannelError / kDeadlineExceeded
+  /// mean "unknown outcome": the record MUST be retried - the server
+  /// dedupes re-deliveries, losing one is permanent.
+  [[nodiscard]] Result<UplinkReply> deliver(const TrafficRecord& record,
+                                            const TraceContext& trace,
+                                            const Deadline& deadline);
+
+ private:
+  SupervisedConnection& connection_;
+  MacAddress src_;
+  MacAddress server_;
+};
+
+}  // namespace ptm::transport

@@ -1,0 +1,144 @@
+#include "transport/wire.hpp"
+
+#include "common/serialize.hpp"
+
+namespace ptm::transport {
+
+WireKind wire_kind(const WireMessage& message) noexcept {
+  struct Visitor {
+    WireKind operator()(const Frame&) const { return WireKind::kV2IFrame; }
+    WireKind operator()(const Heartbeat&) const {
+      return WireKind::kHeartbeat;
+    }
+    WireKind operator()(const HeartbeatAck&) const {
+      return WireKind::kHeartbeatAck;
+    }
+    WireKind operator()(const UploadNack&) const {
+      return WireKind::kUploadNack;
+    }
+    WireKind operator()(const StatsRequest&) const {
+      return WireKind::kStatsRequest;
+    }
+    WireKind operator()(const StatsResponse&) const {
+      return WireKind::kStatsResponse;
+    }
+  };
+  return std::visit(Visitor{}, message);
+}
+
+const char* wire_kind_name(WireKind kind) noexcept {
+  switch (kind) {
+    case WireKind::kV2IFrame: return "v2i-frame";
+    case WireKind::kHeartbeat: return "heartbeat";
+    case WireKind::kHeartbeatAck: return "heartbeat-ack";
+    case WireKind::kUploadNack: return "upload-nack";
+    case WireKind::kStatsRequest: return "stats-request";
+    case WireKind::kStatsResponse: return "stats-response";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_wire_message(const WireMessage& message) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(wire_kind(message)));
+  struct Visitor {
+    ByteWriter& w;
+    void operator()(const Frame& f) const { w.raw(encode_frame(f)); }
+    void operator()(const Heartbeat& h) const {
+      w.u64(h.nonce);
+      w.u64(h.send_unix_ns);
+    }
+    void operator()(const HeartbeatAck& h) const {
+      w.u64(h.nonce);
+      w.u64(h.send_unix_ns);
+    }
+    void operator()(const UploadNack& n) const {
+      w.u64(n.location);
+      w.u64(n.period);
+      w.u8(static_cast<std::uint8_t>(n.code));
+      w.u8(n.retryable ? 1 : 0);
+    }
+    void operator()(const StatsRequest&) const {}
+    void operator()(const StatsResponse& s) const { w.str(s.json); }
+  };
+  std::visit(Visitor{w}, message);
+  return w.take();
+}
+
+namespace {
+
+Result<WireMessage> decode_heartbeat(ByteReader& r, bool ack) {
+  auto nonce = r.u64();
+  if (!nonce) return nonce.status();
+  auto ns = r.u64();
+  if (!ns) return ns.status();
+  if (ack) return WireMessage{HeartbeatAck{*nonce, *ns}};
+  return WireMessage{Heartbeat{*nonce, *ns}};
+}
+
+}  // namespace
+
+Result<WireMessage> decode_wire_message(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto kind_byte = r.u8();
+  if (!kind_byte) return kind_byte.status();
+  Result<WireMessage> decoded =
+      Status{ErrorCode::kParseError, "unknown transport message kind"};
+  switch (static_cast<WireKind>(*kind_byte)) {
+    case WireKind::kV2IFrame: {
+      // The remainder is a full V2I frame in its existing encoding; its
+      // codec consumes the rest of the payload (and enforces exhaustion).
+      auto frame = decode_frame(bytes.subspan(1));
+      if (!frame) return frame.status();
+      return WireMessage{std::move(*frame)};
+    }
+    case WireKind::kHeartbeat:
+      decoded = decode_heartbeat(r, /*ack=*/false);
+      break;
+    case WireKind::kHeartbeatAck:
+      decoded = decode_heartbeat(r, /*ack=*/true);
+      break;
+    case WireKind::kUploadNack: {
+      UploadNack n;
+      auto loc = r.u64();
+      if (!loc) return loc.status();
+      n.location = *loc;
+      auto per = r.u64();
+      if (!per) return per.status();
+      n.period = *per;
+      auto code = r.u8();
+      if (!code) return code.status();
+      if (*code > static_cast<std::uint8_t>(ErrorCode::kResourceExhausted)) {
+        return Status{ErrorCode::kParseError, "upload-nack: bad error code"};
+      }
+      n.code = static_cast<ErrorCode>(*code);
+      auto retryable = r.u8();
+      if (!retryable) return retryable.status();
+      if (*retryable > 1) {
+        return Status{ErrorCode::kParseError,
+                      "upload-nack: retryable must be 0 or 1"};
+      }
+      n.retryable = *retryable == 1;
+      decoded = WireMessage{n};
+      break;
+    }
+    case WireKind::kStatsRequest:
+      decoded = WireMessage{StatsRequest{}};
+      break;
+    case WireKind::kStatsResponse: {
+      auto json = r.str();
+      if (!json) return json.status();
+      decoded = WireMessage{StatsResponse{std::move(*json)}};
+      break;
+    }
+  }
+  if (!decoded) return decoded;
+  if (!r.exhausted()) {
+    return Status{ErrorCode::kParseError,
+                  "trailing bytes after transport message"};
+  }
+  return decoded;
+}
+
+}  // namespace ptm::transport

@@ -1,0 +1,108 @@
+// wire.hpp - the transport-level message envelope spoken over a socket.
+//
+// The in-process pump moves ptm::Frame values directly; the out-of-process
+// transport (docs/transport.md) moves *transport messages*: either a V2I
+// frame in its existing wire encoding, or one of a small set of
+// connection-control messages that have no business in the paper's V2I
+// protocol enum - heartbeats (liveness probes / half-open detection), the
+// server's explicit ingest NACK (backpressure made visible instead of a
+// silent stall), and a stats snapshot exchange for `ptmctl ping`.
+//
+//   message := kind(u8) payload
+//   kind    := 1 v2i-frame        payload = encode_frame(Frame) bytes
+//            | 2 heartbeat        payload = nonce(u64) send_unix_ns(u64)
+//            | 3 heartbeat-ack    payload = nonce(u64) send_unix_ns(u64)
+//            | 4 upload-nack      payload = location(u64) period(u64)
+//                                           code(u8) retryable(u8)
+//            | 5 stats-request    payload = empty
+//            | 6 stats-response   payload = str(json)
+//
+// Messages travel length-prefixed on the stream (framing.hpp).  The codec
+// is bounds-checked end to end: bytes arrive from a real network peer, so
+// every malformed input must come back as ParseError, never UB (the
+// transport fuzz suite pins this under ASan).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/message.hpp"
+
+namespace ptm::transport {
+
+enum class WireKind : std::uint8_t {
+  kV2IFrame = 1,
+  kHeartbeat = 2,
+  kHeartbeatAck = 3,
+  kUploadNack = 4,
+  kStatsRequest = 5,
+  kStatsResponse = 6,
+};
+
+/// Liveness probe.  The receiver echoes the payload back verbatim as a
+/// kHeartbeatAck, so the sender can measure round-trip time and detect a
+/// half-open connection (TCP happily buffers writes into a dead peer; an
+/// unanswered heartbeat is the only portable tell).
+struct Heartbeat {
+  std::uint64_t nonce = 0;
+  std::uint64_t send_unix_ns = 0;  ///< sender's clock, echoed for RTT
+
+  friend bool operator==(const Heartbeat&, const Heartbeat&) = default;
+};
+
+/// The heartbeat echo.
+struct HeartbeatAck {
+  std::uint64_t nonce = 0;
+  std::uint64_t send_unix_ns = 0;
+
+  friend bool operator==(const HeartbeatAck&, const HeartbeatAck&) = default;
+};
+
+/// Server -> RSU: the upload for (location, period) was NOT ingested.
+/// `retryable` distinguishes "try again later" (load shed - the RSU outbox
+/// keeps the entry and re-arms backoff) from "never retransmit this"
+/// (conflicting or malformed record - the outbox drops the entry, exactly
+/// as the in-process pump drops server rejections).
+struct UploadNack {
+  std::uint64_t location = 0;
+  std::uint64_t period = 0;
+  ErrorCode code = ErrorCode::kResourceExhausted;
+  bool retryable = true;
+
+  friend bool operator==(const UploadNack&, const UploadNack&) = default;
+};
+
+/// Client -> server: ask for a telemetry snapshot (ptmctl ping).
+struct StatsRequest {
+  friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
+};
+
+/// Server -> client: the registry snapshot as obs/export.hpp JSON.
+struct StatsResponse {
+  std::string json;
+
+  friend bool operator==(const StatsResponse&,
+                         const StatsResponse&) = default;
+};
+
+using WireMessage = std::variant<Frame, Heartbeat, HeartbeatAck, UploadNack,
+                                 StatsRequest, StatsResponse>;
+
+[[nodiscard]] WireKind wire_kind(const WireMessage& message) noexcept;
+[[nodiscard]] const char* wire_kind_name(WireKind kind) noexcept;
+
+/// Encodes one message (kind byte + payload, NOT length-prefixed; the
+/// stream framing adds the length).
+[[nodiscard]] std::vector<std::uint8_t> encode_wire_message(
+    const WireMessage& message);
+
+/// Decodes one message; ParseError on unknown kind, truncation, or
+/// trailing bytes.
+[[nodiscard]] Result<WireMessage> decode_wire_message(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace ptm::transport

@@ -184,6 +184,58 @@ TEST(Deployment, ReliableUploadDoesNotRetryServerRejections) {
   EXPECT_TRUE(twin_status.is_ok()) << twin_status.message();
 }
 
+TEST(Deployment, OutageRetriesReArmFromOutageEndNotFromNow) {
+  // Regression: an upload failing *inside* a known server outage used to
+  // re-arm its backoff from `now`, so every pump during the window burned
+  // an attempt - by the time the backhaul returned, the entry sat at a
+  // maxed-out, cap-length delay and the whole fleet's first real retries
+  // landed as one synchronized burst.  The fix re-arms from the outage's
+  // end: wasted in-window attempts never happen, and the first post-outage
+  // retry lands in [end, end + base + jitter].
+  Deployment::Config config = lossless_config();
+  config.backoff_base = 2;
+  config.backoff_cap = 64;
+  Deployment dep(config, 21);
+  Rsu& rsu = dep.add_rsu(4, 512);
+  Vehicle v = dep.make_vehicle(1);
+  ASSERT_EQ(dep.run_contact(v, rsu), ContactOutcome::kEncoded);
+
+  FaultPlan plan;
+  plan.server_outages = {{0, 40}};
+  dep.set_fault_plan(plan);
+
+  // Stage + first delivery attempt at step 0, mid-outage: it must fail,
+  // and the retry must be booked at or after the outage end.
+  const Status first = dep.upload_period(rsu);
+  EXPECT_EQ(first.code(), ErrorCode::kChannelError);
+  const UploadOutbox::Entry* entry = rsu.outbox().find(4, 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->attempts, 1u);
+  EXPECT_GE(entry->next_attempt_at, 40u);
+  // First retry: base << 0 = 2, + jitter in [0, 2] - *early* in the
+  // post-outage window, not the cap-length delay the bug produced.
+  EXPECT_LE(entry->next_attempt_at, 40u + 4u);
+
+  // Pumping throughout the outage is free: the entry is not due, so no
+  // attempts are burned and the delay never escalates.
+  for (std::uint64_t step = 0; step < 40; ++step) {
+    const PumpResult pumped = dep.pump_outbox(rsu);
+    EXPECT_EQ(pumped.attempted, 0u);
+    dep.advance_time(1);
+  }
+  entry = rsu.outbox().find(4, 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->attempts, 1u);
+
+  // Past the outage end plus the worst-case first delay, one pump drains.
+  dep.advance_time(7);
+  const PumpResult recovered = dep.pump_outbox(rsu);
+  EXPECT_EQ(recovered.attempted, 1u);
+  EXPECT_EQ(recovered.acked, 1u);
+  EXPECT_EQ(rsu.outbox().pending(), 0u);
+  EXPECT_TRUE(dep.server().has_record(4, 0));
+}
+
 TEST(Deployment, MultiRsuMultiPeriodPipeline) {
   Deployment dep(lossless_config(), 9);
   Rsu& rsu_a = dep.add_rsu(100, 2048);

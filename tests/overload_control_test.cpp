@@ -81,6 +81,61 @@ TEST(AdmissionControllerTest, ExpiredDeadlineNeverWaits) {
   gate.release();
 }
 
+// ---- try_admit: the non-blocking gate ptmd's event loop uses -----------
+
+TEST(AdmissionControllerTest, TryAdmitNeverBlocksAndNeverQueues) {
+  AdmissionController gate({.max_in_flight = 1, .max_queue = 4});
+  ASSERT_TRUE(gate.try_admit().is_ok());
+  // A queue slot exists, but try_admit must not take it: an event-loop
+  // caller cannot wait.
+  const auto start = std::chrono::steady_clock::now();
+  const Status shed = gate.try_admit();
+  EXPECT_EQ(shed.code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(gate.queued(), 0u);
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 1s);
+  gate.release();
+  EXPECT_TRUE(gate.try_admit().is_ok());
+  gate.release();
+}
+
+TEST(AdmissionControllerTest, TryAdmitShedWinsOverExpiredDeadline) {
+  // Precedence when the gate is full AND the deadline has passed: the shed
+  // must win, exactly as in the blocking admit - the caller learns the
+  // server is overloaded (retryable) rather than that its own budget ran
+  // out, so the record is retried instead of abandoned.
+  AdmissionController gate({.max_in_flight = 1, .max_queue = 0});
+  ASSERT_TRUE(gate.try_admit().is_ok());
+  const Status s = gate.try_admit(Deadline::expired());
+  EXPECT_EQ(s.code(), ErrorCode::kResourceExhausted);
+  gate.release();
+
+  // Same precedence in the blocking form, pinned side by side.
+  ASSERT_TRUE(gate.admit().is_ok());
+  const Status blocking = gate.admit(Deadline::expired());
+  EXPECT_EQ(blocking.code(), ErrorCode::kResourceExhausted);
+  gate.release();
+}
+
+TEST(AdmissionControllerTest, TryAdmitExpiredDeadlineWithRoomIsDeadline) {
+  // With room in the gate, an expired deadline is the caller's own
+  // failure: kDeadlineExceeded (non-retryable at this server), not a shed.
+  AdmissionController gate({.max_in_flight = 2, .max_queue = 0});
+  const Status s = gate.try_admit(Deadline::expired());
+  EXPECT_EQ(s.code(), ErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(gate.in_flight(), 0u);
+  // A live deadline with room admits normally.
+  EXPECT_TRUE(gate.try_admit(Deadline::after(1s)).is_ok());
+  gate.release();
+}
+
+TEST(AdmissionControllerTest, TryAdmitDisabledGateStillHonorsDeadline) {
+  AdmissionController gate;  // unlimited
+  EXPECT_TRUE(gate.try_admit().is_ok());
+  const Status s = gate.try_admit(Deadline::expired());
+  EXPECT_EQ(s.code(), ErrorCode::kDeadlineExceeded);
+  gate.release();
+}
+
 TEST(AdmissionControllerTest, QueuedCallerGetsFreedSlot) {
   AdmissionController gate({.max_in_flight = 1, .max_queue = 1});
   ASSERT_TRUE(gate.admit().is_ok());

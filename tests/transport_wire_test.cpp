@@ -1,0 +1,173 @@
+// Tests for transport/wire.hpp and transport/framing.hpp: every transport
+// message round-trips through the envelope codec, malformed envelopes are
+// rejected, and the stream decoder reassembles frames across arbitrary
+// chunking while refusing un-resyncable streams.
+#include "transport/framing.hpp"
+#include "transport/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/traffic_record.hpp"
+#include "net/mac.hpp"
+#include "net/message.hpp"
+
+namespace ptm::transport {
+namespace {
+
+TrafficRecord make_record(std::uint64_t location, std::uint64_t period) {
+  TrafficRecord rec;
+  rec.location = location;
+  rec.period = period;
+  rec.bits = Bitmap(64);
+  rec.bits.set(3);
+  rec.bits.set(17);
+  return rec;
+}
+
+TEST(TransportWireTest, HeartbeatRoundTrip) {
+  const WireMessage msg = Heartbeat{0xABCDEF0123456789ULL, 42};
+  const auto decoded = decode_wire_message(encode_wire_message(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<Heartbeat>(*decoded), std::get<Heartbeat>(msg));
+}
+
+TEST(TransportWireTest, HeartbeatAckRoundTrip) {
+  const WireMessage msg = HeartbeatAck{7, 1234567890};
+  const auto decoded = decode_wire_message(encode_wire_message(msg));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<HeartbeatAck>(*decoded), std::get<HeartbeatAck>(msg));
+}
+
+TEST(TransportWireTest, UploadNackRoundTrip) {
+  UploadNack nack;
+  nack.location = 12;
+  nack.period = 9;
+  nack.code = ErrorCode::kResourceExhausted;
+  nack.retryable = true;
+  const auto decoded = decode_wire_message(encode_wire_message(nack));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<UploadNack>(*decoded), nack);
+
+  nack.code = ErrorCode::kInvalidArgument;
+  nack.retryable = false;
+  const auto fatal = decode_wire_message(encode_wire_message(nack));
+  ASSERT_TRUE(fatal.has_value());
+  EXPECT_FALSE(std::get<UploadNack>(*fatal).retryable);
+}
+
+TEST(TransportWireTest, StatsRoundTrip) {
+  const auto req = decode_wire_message(encode_wire_message(StatsRequest{}));
+  ASSERT_TRUE(req.has_value());
+  EXPECT_TRUE(std::holds_alternative<StatsRequest>(*req));
+
+  StatsResponse resp;
+  resp.json = R"({"counters":[{"name":"x","value":1}]})";
+  const auto decoded = decode_wire_message(encode_wire_message(resp));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<StatsResponse>(*decoded).json, resp.json);
+}
+
+TEST(TransportWireTest, V2IFrameRoundTrip) {
+  Frame frame{MacAddress{0x11}, MacAddress{0x22},
+              RecordUpload{make_record(5, 2)}, {}};
+  frame.trace = TraceContext::for_record(5, 2);
+  const auto decoded = decode_wire_message(encode_wire_message(frame));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& inner = std::get<Frame>(*decoded);
+  EXPECT_EQ(inner.type(), MessageType::kRecordUpload);
+  EXPECT_EQ(inner.trace, frame.trace);
+  EXPECT_EQ(std::get<RecordUpload>(inner.body).record, make_record(5, 2));
+}
+
+TEST(TransportWireTest, RejectsEmptyUnknownKindAndTruncation) {
+  EXPECT_FALSE(decode_wire_message({}).has_value());
+
+  std::vector<std::uint8_t> unknown{0x2A};
+  EXPECT_FALSE(decode_wire_message(unknown).has_value());
+
+  const auto good = encode_wire_message(Heartbeat{1, 2});
+  for (std::size_t len = 1; len < good.size(); ++len) {
+    std::vector<std::uint8_t> cut(good.begin(),
+                                  good.begin() + static_cast<long>(len));
+    EXPECT_FALSE(decode_wire_message(cut).has_value()) << "len=" << len;
+  }
+}
+
+TEST(TransportWireTest, RejectsTrailingBytes) {
+  auto bytes = encode_wire_message(Heartbeat{1, 2});
+  bytes.push_back(0);
+  EXPECT_FALSE(decode_wire_message(bytes).has_value());
+}
+
+TEST(TransportWireTest, KindNames) {
+  EXPECT_EQ(wire_kind(WireMessage{Heartbeat{}}), WireKind::kHeartbeat);
+  EXPECT_EQ(wire_kind(WireMessage{StatsRequest{}}), WireKind::kStatsRequest);
+  EXPECT_STREQ(wire_kind_name(WireKind::kUploadNack), "upload-nack");
+}
+
+TEST(TransportFramingTest, FramesRoundTripByteAtATime) {
+  const auto p1 = encode_wire_message(Heartbeat{1, 11});
+  const auto p2 = encode_wire_message(HeartbeatAck{2, 22});
+  std::vector<std::uint8_t> stream = frame_payload(p1);
+  const auto f2 = frame_payload(p2);
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  StreamDecoder decoder;
+  std::vector<std::vector<std::uint8_t>> out;
+  for (const std::uint8_t byte : stream) {
+    decoder.feed({&byte, 1});
+    while (true) {
+      auto next = decoder.next();
+      ASSERT_TRUE(next.has_value());
+      if (!next->has_value()) break;
+      out.push_back(**next);
+    }
+  }
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], p1);
+  EXPECT_EQ(out[1], p2);
+  EXPECT_EQ(decoder.frames_decoded(), 2u);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(TransportFramingTest, PartialFrameYieldsNothing) {
+  const auto payload = encode_wire_message(Heartbeat{9, 99});
+  const auto framed = frame_payload(payload);
+  StreamDecoder decoder;
+  decoder.feed({framed.data(), framed.size() - 1});
+  auto next = decoder.next();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_FALSE(next->has_value());
+  decoder.feed({framed.data() + framed.size() - 1, 1});
+  next = decoder.next();
+  ASSERT_TRUE(next.has_value());
+  ASSERT_TRUE(next->has_value());
+  EXPECT_EQ(**next, payload);
+}
+
+TEST(TransportFramingTest, OversizeLengthPoisonsStream) {
+  StreamDecoder decoder;
+  const std::vector<std::uint8_t> evil{0xFF, 0xFF, 0xFF, 0xFF};
+  decoder.feed(evil);
+  auto next = decoder.next();
+  EXPECT_FALSE(next.has_value());
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoned is terminal: further feeds are ignored, next() keeps failing.
+  const auto good = frame_payload(encode_wire_message(Heartbeat{}));
+  decoder.feed(good);
+  EXPECT_FALSE(decoder.next().has_value());
+}
+
+TEST(TransportFramingTest, ZeroLengthPoisonsStream) {
+  StreamDecoder decoder;
+  const std::vector<std::uint8_t> zero{0, 0, 0, 0};
+  decoder.feed(zero);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.poisoned());
+}
+
+}  // namespace
+}  // namespace ptm::transport

@@ -1,0 +1,113 @@
+// loadgen - replays a trip-table workload against a live ptmd and emits a
+// ptm-bench-v1 JSON document (throughput, delivery-latency percentiles,
+// shed rate).  See src/transport/loadgen.hpp; docs/transport.md has the
+// backpressure methodology.
+//
+//   loadgen --server unix:/tmp/ptmd.sock [--connections N] [--locations N]
+//           [--periods N] [--time_cap_ms N] [--seed N] [--json FILE]
+//           [--rev STRING] [--smoke]
+//
+// --smoke shrinks the workload to a seconds-long CI gate and fails (exit
+// 1) unless every record was delivered.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "transport/loadgen.hpp"
+
+namespace {
+
+std::uint64_t arg_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << "loadgen: bad value for " << flag << ": " << text << "\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ptm::transport::LoadgenOptions options;
+  std::string server = "unix:/tmp/ptmd.sock";
+  std::string json_path;
+  std::string rev = "local";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "loadgen: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--server") {
+      server = next();
+    } else if (arg == "--connections") {
+      options.connections =
+          static_cast<std::size_t>(arg_u64(next(), "--connections"));
+    } else if (arg == "--locations") {
+      options.locations =
+          static_cast<std::size_t>(arg_u64(next(), "--locations"));
+    } else if (arg == "--periods") {
+      options.periods = static_cast<std::size_t>(arg_u64(next(), "--periods"));
+    } else if (arg == "--time_cap_ms") {
+      options.time_cap_ms = arg_u64(next(), "--time_cap_ms");
+    } else if (arg == "--seed") {
+      options.seed = arg_u64(next(), "--seed");
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--rev") {
+      rev = next();
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--help") {
+      std::cout << "usage: loadgen --server ENDPOINT [--connections N]\n"
+                   "               [--locations N] [--periods N]\n"
+                   "               [--time_cap_ms N] [--seed N]\n"
+                   "               [--json FILE] [--rev STR] [--smoke]\n";
+      return 0;
+    } else {
+      std::cerr << "loadgen: unknown flag " << arg << " (try --help)\n";
+      return 2;
+    }
+  }
+  if (smoke) {
+    options.connections = 2;
+    options.locations = 4;
+    options.periods = 4;
+    options.time_cap_ms = 20000;
+  }
+  auto endpoint = ptm::transport::parse_endpoint(server);
+  if (!endpoint) {
+    std::cerr << "loadgen: " << endpoint.status().to_string() << "\n";
+    return 2;
+  }
+  ptm::transport::LoadGenerator generator(*endpoint, options);
+  auto report = generator.run();
+  if (!report) {
+    std::cerr << "loadgen: " << report.status().to_string() << "\n";
+    return 1;
+  }
+  const std::string doc = report->to_bench_json(rev);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << doc;
+  } else {
+    std::cout << doc;
+  }
+  std::cerr << "loadgen: " << report->acked << "/" << report->records_total
+            << " acked, shed_rate=" << report->shed_rate()
+            << ", throughput=" << report->throughput_rps() << " rec/s\n";
+  if (smoke && report->acked != report->records_total) {
+    std::cerr << "loadgen: SMOKE FAIL - "
+              << (report->records_total - report->acked)
+              << " records undelivered\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// ptmd - the persistent-traffic-measurement ingest daemon.
+//
+// Listens on a unix or TCP endpoint, ingests RecordUpload frames from RSU
+// uplinks into a QueryService, and (with --archive) writes every accepted
+// record ahead to a RecordArchive so a kill -9 at any instant loses
+// nothing that was acked.  See src/transport/server.hpp for the
+// backpressure and durability contracts, docs/transport.md for the
+// protocol.
+//
+//   ptmd --listen unix:/tmp/ptmd.sock --archive /var/lib/ptm/records.log
+//        [--max_inflight N] [--ingest_threads N] [--shards N]
+//        [--pending_per_conn N] [--ingest_stall_us N] [--idle_timeout_ms N]
+//
+// The daemon prints "ready <endpoint>" on stdout once accepting (chaos
+// harnesses wait for that line), then runs until SIGINT/SIGTERM.
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <semaphore>
+#include <string>
+#include <vector>
+
+#include "transport/server.hpp"
+
+namespace {
+
+std::binary_semaphore g_shutdown{0};
+
+void on_signal(int) { g_shutdown.release(); }
+
+std::uint64_t arg_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << "ptmd: bad value for " << flag << ": " << text << "\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ptm::transport::PtmdOptions options;
+  std::string listen = "unix:/tmp/ptmd.sock";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "ptmd: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--listen") {
+      listen = next();
+    } else if (arg == "--archive") {
+      options.archive_path = next();
+    } else if (arg == "--max_inflight") {
+      options.ingest_admission.max_in_flight =
+          static_cast<std::size_t>(arg_u64(next(), "--max_inflight"));
+    } else if (arg == "--ingest_threads") {
+      options.ingest_threads =
+          static_cast<std::size_t>(arg_u64(next(), "--ingest_threads"));
+    } else if (arg == "--shards") {
+      options.service.n_shards =
+          static_cast<std::size_t>(arg_u64(next(), "--shards"));
+    } else if (arg == "--pending_per_conn") {
+      options.max_pending_per_conn =
+          static_cast<std::size_t>(arg_u64(next(), "--pending_per_conn"));
+    } else if (arg == "--ingest_stall_us") {
+      options.ingest_stall_us = arg_u64(next(), "--ingest_stall_us");
+    } else if (arg == "--idle_timeout_ms") {
+      options.idle_timeout_ms = arg_u64(next(), "--idle_timeout_ms");
+    } else if (arg == "--help") {
+      std::cout << "usage: ptmd --listen ENDPOINT [--archive FILE]\n"
+                   "            [--max_inflight N] [--ingest_threads N]\n"
+                   "            [--shards N] [--pending_per_conn N]\n"
+                   "            [--ingest_stall_us N] [--idle_timeout_ms N]\n";
+      return 0;
+    } else {
+      std::cerr << "ptmd: unknown flag " << arg << " (try --help)\n";
+      return 2;
+    }
+  }
+  auto endpoint = ptm::transport::parse_endpoint(listen);
+  if (!endpoint) {
+    std::cerr << "ptmd: " << endpoint.status().to_string() << "\n";
+    return 2;
+  }
+  options.endpoint = *endpoint;
+
+  ptm::transport::PtmdServer server(std::move(options));
+  if (ptm::Status s = server.start(); !s.is_ok()) {
+    std::cerr << "ptmd: " << s.to_string() << "\n";
+    return 1;
+  }
+  if (server.restored_records() > 0) {
+    std::cout << "restored " << server.restored_records()
+              << " records from archive\n";
+  }
+  std::cout << "ready " << server.options().endpoint.to_string() << std::endl;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  g_shutdown.acquire();
+  server.stop();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// rsu-emu - one emulated RSU process: runs the real Rsu node (journal +
+// outbox durability included) and uploads its per-period records to a
+// ptmd over a real socket through the supervised-connection stack.  See
+// src/transport/emulator.hpp.
+//
+//   rsu-emu --server unix:/tmp/ptmd.sock --location 7
+//           [--periods N] [--encodes N] [--journal FILE --outbox FILE]
+//           [--drain_timeout_ms N] [--seed N]
+//
+// Exit code 0 means every staged record was acked (outbox drained); 3
+// means records remain pending (rerun with the same journal/outbox to
+// resume - nothing is lost).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "transport/emulator.hpp"
+
+namespace {
+
+std::uint64_t arg_u64(const char* text, const char* flag) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << "rsu-emu: bad value for " << flag << ": " << text << "\n";
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ptm::transport::EmulatorOptions options;
+  std::string server = "unix:/tmp/ptmd.sock";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "rsu-emu: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--server") {
+      server = next();
+    } else if (arg == "--location") {
+      options.location = arg_u64(next(), "--location");
+    } else if (arg == "--periods") {
+      options.periods = static_cast<std::size_t>(arg_u64(next(), "--periods"));
+    } else if (arg == "--encodes") {
+      options.encodes_per_period = arg_u64(next(), "--encodes");
+    } else if (arg == "--journal") {
+      options.journal_path = next();
+    } else if (arg == "--outbox") {
+      options.outbox_path = next();
+    } else if (arg == "--drain_timeout_ms") {
+      options.drain_timeout_ms = arg_u64(next(), "--drain_timeout_ms");
+    } else if (arg == "--seed") {
+      options.seed = arg_u64(next(), "--seed");
+    } else if (arg == "--help") {
+      std::cout << "usage: rsu-emu --server ENDPOINT --location L\n"
+                   "               [--periods N] [--encodes N]\n"
+                   "               [--journal FILE --outbox FILE]\n"
+                   "               [--drain_timeout_ms N] [--seed N]\n";
+      return 0;
+    } else {
+      std::cerr << "rsu-emu: unknown flag " << arg << " (try --help)\n";
+      return 2;
+    }
+  }
+  auto endpoint = ptm::transport::parse_endpoint(server);
+  if (!endpoint) {
+    std::cerr << "rsu-emu: " << endpoint.status().to_string() << "\n";
+    return 2;
+  }
+  ptm::transport::RsuEmulator emulator(*endpoint, options);
+  auto report = emulator.run();
+  if (!report) {
+    std::cerr << "rsu-emu: " << report.status().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "location " << options.location << ": periods="
+            << report->periods_closed << " acked=" << report->uploads_acked
+            << " shed=" << report->nacks_retryable
+            << " fatal=" << report->nacks_fatal
+            << " channel_errors=" << report->channel_errors
+            << " reconnects=" << report->reconnects
+            << " pending=" << report->outbox_pending_at_exit << "\n";
+  return report->outbox_pending_at_exit == 0 ? 0 : 3;
+}
