@@ -1,9 +1,18 @@
 #include "transport/framing.hpp"
 
+#include <cstdlib>
+
 namespace ptm::transport {
 
 std::vector<std::uint8_t> frame_payload(
     std::span<const std::uint8_t> payload) {
+  // A payload above the decoder bound would be rejected by every receiver,
+  // and one above 4 GiB would silently truncate the u32 prefix and poison
+  // the peer's stream.  No real message comes within two orders of
+  // magnitude of the bound, so crossing it is a programming error, not an
+  // I/O condition - fail loudly at the encode site (NDEBUG-proof, like the
+  // rsa.cpp padding check).
+  if (payload.size() > StreamDecoder::kMaxFrameBytes) std::abort();
   std::vector<std::uint8_t> out;
   out.reserve(4 + payload.size());
   const auto len = static_cast<std::uint32_t>(payload.size());

@@ -26,7 +26,10 @@
 
 namespace ptm::transport {
 
-/// Prepends the u32 length prefix to one message payload.
+/// Prepends the u32 length prefix to one message payload.  Aborts when the
+/// payload exceeds StreamDecoder::kMaxFrameBytes: an oversize frame could
+/// never be decoded by a peer, and past 4 GiB the prefix would silently
+/// truncate - an encode-side framing violation is a programming error.
 [[nodiscard]] std::vector<std::uint8_t> frame_payload(
     std::span<const std::uint8_t> payload);
 

@@ -32,6 +32,8 @@ PtmdServer::PtmdServer(PtmdOptions options)
       service_(options_.service),
       ingest_gate_(options_.ingest_admission, &service_.telemetry()),
       accepted_(service_.telemetry().counter("transport_accepted_total")),
+      accept_backoffs_(
+          service_.telemetry().counter("transport_accept_backoffs_total")),
       frames_(service_.telemetry().counter("transport_frames_total")),
       ingest_shed_(
           service_.telemetry().counter("transport_ingest_shed_total")),
@@ -40,6 +42,10 @@ PtmdServer::PtmdServer(PtmdOptions options)
           service_.telemetry().counter("transport_protocol_errors_total")),
       connections_(service_.telemetry().gauge("transport_connections")) {
   if (options_.ingest_threads == 0) options_.ingest_threads = 1;
+  // A pause of 0 would never arm a resume timer; a shed connection with no
+  // pending ingests would then stay paused forever (see PtmdOptions).
+  if (options_.shed_pause_ms == 0) options_.shed_pause_ms = 1;
+  if (options_.accept_retry_ms == 0) options_.accept_retry_ms = 1;
 }
 
 PtmdServer::~PtmdServer() { stop(); }
@@ -86,12 +92,24 @@ void PtmdServer::stop() {
     return;
   }
   jobs_cv_.notify_all();
-  loop_.post([this] { loop_.stop(); });
-  if (loop_thread_.joinable()) loop_thread_.join();
+  // Join the workers while the loop is still alive: an in-flight ingest
+  // posts its finish_ingest (ack/nack + gate release) to a loop that will
+  // actually run it.  Stopping the loop first would strand those posts.
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  // Jobs the workers never picked up each hold one admission slot; release
+  // them so gate accounting stays balanced through shutdown.  Their
+  // uploads are unacked, so the RSU outbox retransmits after restart -
+  // exactly the crash semantics the chaos suite proves.
+  {
+    std::lock_guard lock(jobs_mu_);
+    for (std::size_t i = jobs_.size(); i > 0; --i) ingest_gate_.release();
+    jobs_.clear();
+  }
+  loop_.post([this] { loop_.stop(); });
+  if (loop_thread_.joinable()) loop_thread_.join();
   // The loop thread is gone; tearing down connection state is safe here.
   conns_.clear();
   conn_fd_by_id_.clear();
@@ -107,7 +125,10 @@ void PtmdServer::worker_main() {
       std::unique_lock lock(jobs_mu_);
       jobs_cv_.wait(lock,
                     [this] { return !jobs_.empty() || !running_.load(); });
-      if (jobs_.empty()) return;  // stopping and drained
+      // On stop, leave queued jobs for stop() to discard (it releases
+      // their gate slots); once the loop is torn down their results could
+      // never be posted anyway.
+      if (!running_.load()) return;
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
@@ -128,7 +149,14 @@ void PtmdServer::worker_main() {
 void PtmdServer::on_acceptable() {
   for (;;) {
     auto accepted = listener_.accept();
-    if (!accepted) return;           // hard error; keep serving existing
+    if (!accepted) {
+      // Hard error (EMFILE/ENFILE under fd exhaustion).  The listener
+      // stays readable in the level-triggered set, so returning with the
+      // event pending would spin the loop thread at 100% CPU; drop its
+      // read interest and retry after a breather instead.
+      pause_accepts();
+      return;
+    }
     if (!accepted->valid()) return;  // would-block: drained the backlog
     const int fd = accepted->fd();
     auto conn = std::make_unique<Conn>();
@@ -146,6 +174,18 @@ void PtmdServer::on_acceptable() {
     accepted_.add();
     connections_.add(1);
   }
+}
+
+void PtmdServer::pause_accepts() {
+  if (accepts_paused_) return;
+  accepts_paused_ = true;
+  accept_backoffs_.add();
+  (void)loop_.modify(listener_.fd(), 0);
+  loop_.add_timer(options_.accept_retry_ms, [this] {
+    accepts_paused_ = false;
+    (void)loop_.modify(listener_.fd(), EventLoop::kReadable);
+    on_acceptable();  // drain connections that queued while paused
+  });
 }
 
 void PtmdServer::on_conn_event(int fd, std::uint32_t events) {
@@ -219,10 +259,16 @@ void PtmdServer::handle_frame(Conn& conn, const Frame& frame) {
   if (Status gate = ingest_gate_.try_admit(); !gate.is_ok()) {
     ingest_shed_.add();
     nacks_.add();
+    const std::uint64_t conn_id = conn.id;
     send_message(conn, UploadNack{location, period,
                                   ErrorCode::kResourceExhausted,
                                   /*retryable=*/true});
-    pause_reads(conn, options_.shed_pause_ms);
+    // send_message flushes, and a hard write error (peer reset or
+    // half-closed while we shed) destroys the Conn mid-call - re-resolve
+    // before touching it, exactly as finish_ingest does.
+    if (Conn* after = conn_by_id(conn_id); after != nullptr) {
+      pause_reads(*after, options_.shed_pause_ms);
+    }
     return;
   }
   ++conn.pending_ingests;

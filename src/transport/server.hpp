@@ -61,7 +61,15 @@ struct PtmdOptions {
   AdmissionOptions ingest_admission{16, 0};  ///< try_admit gate for ingests
   std::size_t ingest_threads = 2;    ///< worker pool size (>= 1)
   std::size_t max_pending_per_conn = 32;  ///< per-connection ingest window
-  std::uint64_t shed_pause_ms = 10;  ///< read pause after shedding
+  /// Read pause after shedding.  Clamped to >= 1 at construction: a shed
+  /// pause must always arm its resume timer, because a shed connection may
+  /// have zero pending ingests and then nothing else would ever unpause it.
+  std::uint64_t shed_pause_ms = 10;
+  /// Listener retry delay after a hard accept() error (fd exhaustion being
+  /// the realistic one).  The listener's read interest is dropped for this
+  /// long instead of letting the level-triggered loop spin on the error.
+  /// Clamped to >= 1 at construction.
+  std::uint64_t accept_retry_ms = 100;
   std::uint64_t idle_timeout_ms = 60000;  ///< close silent conns (0 = never)
   /// Test/benchmark knob: artificial microseconds of work per ingest, so
   /// loadgen can push the daemon into visible shedding on any machine.
@@ -119,6 +127,7 @@ class PtmdServer {
   void loop_main();
   void worker_main();
   void on_acceptable();
+  void pause_accepts();
   void on_conn_event(int fd, std::uint32_t events);
   void handle_payload(Conn& conn, std::span<const std::uint8_t> payload);
   void handle_frame(Conn& conn, const Frame& frame);
@@ -141,6 +150,7 @@ class PtmdServer {
 
   EventLoop loop_;
   Socket listener_;
+  bool accepts_paused_ = false;  ///< listener read interest dropped
   std::thread loop_thread_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
@@ -156,6 +166,7 @@ class PtmdServer {
   std::deque<IngestJob> jobs_;
 
   Counter& accepted_;         ///< transport_accepted_total
+  Counter& accept_backoffs_;  ///< transport_accept_backoffs_total
   Counter& frames_;           ///< transport_frames_total
   Counter& ingest_shed_;      ///< transport_ingest_shed_total
   Counter& nacks_;            ///< transport_nacks_total

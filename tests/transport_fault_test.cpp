@@ -117,6 +117,16 @@ TEST(TransportFuzzTest, DecoderBufferStaysBoundedByMaxFrame) {
   EXPECT_TRUE(decoder.poisoned());
 }
 
+TEST(TransportFuzzTest, OversizeEncodePayloadAbortsInsteadOfTruncating) {
+  // The encode side enforces the same bound the decoder does: a payload
+  // past kMaxFrameBytes could never be decoded by a peer (and past 4 GiB
+  // the u32 prefix would silently truncate), so frame_payload treats it
+  // as a programming error and aborts rather than poisoning the stream.
+  const std::vector<std::uint8_t> oversize(
+      static_cast<std::size_t>(StreamDecoder::kMaxFrameBytes) + 1, 0xAB);
+  EXPECT_DEATH((void)frame_payload(oversize), "");
+}
+
 TEST(TransportFuzzTest, TruncatedTailAcrossFeedsIsJustAPartialFrame) {
   // A torn frame (what TruncateAndSever leaves behind) is indistinguishable
   // from a slow sender: the decoder reports "need more", and the session

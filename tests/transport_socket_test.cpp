@@ -10,12 +10,21 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
+#include <span>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/deadline.hpp"
 #include "core/traffic_record.hpp"
 #include "net/message.hpp"
+#include "transport/framing.hpp"
+#include "transport/wire.hpp"
 
 namespace ptm::transport {
 namespace {
@@ -308,6 +317,183 @@ TEST_F(PtmdServerTest, DurableServerRestoresArchiveOnStart) {
   EXPECT_EQ(server.service().record_count(), 3u);
   server.stop();
   std::remove(archive_path.c_str());
+}
+
+TEST_F(PtmdServerTest, ShedNackToHalfClosedPeerIsSafe) {
+  PtmdOptions options = base_options("shedpipe");
+  options.ingest_admission = AdmissionOptions{1, 0};
+  options.ingest_threads = 1;
+  options.ingest_stall_us = 100000;  // hold the only gate slot for 100ms
+  PtmdServer server(std::move(options));
+  ASSERT_TRUE(server.start().is_ok());
+  const Endpoint ep = server.options().endpoint;
+
+  // Occupy the admission gate so the next upload is shed.
+  SupervisedConnection occupant(ep, fast_tuning());
+  ASSERT_TRUE(occupant.ensure_connected(Deadline::after(2s)).is_ok());
+  ASSERT_TRUE(occupant
+                  .send(Frame{MacAddress{0x10}, MacAddress{0x20},
+                              RecordUpload{make_record(12, 0)},
+                              TraceContext::for_record(12, 0)})
+                  .is_ok());
+  std::this_thread::sleep_for(20ms);
+
+  // A raw peer whose read half is already shut when its upload arrives:
+  // the shed NACK write fails hard (EPIPE), which destroys the connection
+  // inside send_message - the shed path must not touch the freed Conn
+  // afterwards (use-after-free regression; ASan catches it).
+  auto raw = Socket::connect(ep, 1000);
+  ASSERT_TRUE(raw.has_value());
+  ASSERT_EQ(::shutdown(raw->fd(), SHUT_RD), 0);
+  const std::vector<std::uint8_t> wire = frame_payload(encode_wire_message(
+      Frame{MacAddress{0x11}, MacAddress{0x20}, RecordUpload{make_record(12, 1)},
+            TraceContext::for_record(12, 1)}));
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    auto io = raw->write_some(std::span<const std::uint8_t>(wire).subspan(off));
+    ASSERT_TRUE(io.has_value()) << io.status().to_string();
+    off += io->bytes;
+    if (io->would_block) std::this_thread::sleep_for(1ms);
+  }
+  std::this_thread::sleep_for(100ms);  // shed + failed NACK + close happen
+
+  // The daemon survived: the occupant's upload still acks and a fresh
+  // connection still answers.
+  auto reply = occupant.receive(Deadline::after(2s));
+  ASSERT_TRUE(reply.has_value()) << reply.status().to_string();
+  const auto* frame = std::get_if<Frame>(&*reply);
+  ASSERT_NE(frame, nullptr);
+  EXPECT_EQ(frame->type(), MessageType::kUploadAck);
+  SupervisedConnection probe(ep, fast_tuning());
+  ASSERT_TRUE(probe.ensure_connected(Deadline::after(2s)).is_ok());
+  EXPECT_TRUE(probe.ping().has_value());
+  server.stop();
+}
+
+TEST_F(PtmdServerTest, ZeroShedPauseStillArmsResume) {
+  PtmdOptions options = base_options("shed0");
+  options.ingest_admission = AdmissionOptions{1, 0};
+  options.ingest_threads = 1;
+  options.ingest_stall_us = 100000;
+  options.shed_pause_ms = 0;  // unclamped, this paused a shed conn forever
+  PtmdServer server(std::move(options));
+  ASSERT_TRUE(server.start().is_ok());
+  EXPECT_EQ(server.options().shed_pause_ms, 1u);
+
+  SupervisedConnection occupant(server.options().endpoint, fast_tuning());
+  ASSERT_TRUE(occupant.ensure_connected(Deadline::after(2s)).is_ok());
+  ASSERT_TRUE(occupant
+                  .send(Frame{MacAddress{0x10}, MacAddress{0x20},
+                              RecordUpload{make_record(13, 0)},
+                              TraceContext::for_record(13, 0)})
+                  .is_ok());
+  std::this_thread::sleep_for(20ms);
+
+  // This connection sheds with zero pending ingests, so only the resume
+  // timer can ever unpause it - the gate being filled by the occupant.
+  SupervisedConnection conn(server.options().endpoint, fast_tuning());
+  ASSERT_TRUE(conn.ensure_connected(Deadline::after(2s)).is_ok());
+  UplinkClient uplink(conn, MacAddress{0x11}, MacAddress{0x20});
+  auto shed = uplink.deliver(make_record(13, 1),
+                             TraceContext::for_record(13, 1),
+                             Deadline::after(2s));
+  ASSERT_TRUE(shed.has_value()) << shed.status().to_string();
+  ASSERT_FALSE(shed->acked);
+  EXPECT_EQ(shed->nack.code, ErrorCode::kResourceExhausted);
+
+  // A retry on the same connection must eventually land; with no resume
+  // timer armed the server never reads this socket again and every
+  // delivery below times out.
+  bool acked = false;
+  for (int i = 0; i < 100 && !acked; ++i) {
+    std::this_thread::sleep_for(10ms);
+    auto retry = uplink.deliver(make_record(13, 1),
+                                TraceContext::for_record(13, 1),
+                                Deadline::after(2s));
+    ASSERT_TRUE(retry.has_value()) << retry.status().to_string();
+    acked = retry->acked;
+  }
+  EXPECT_TRUE(acked);
+  server.stop();
+}
+
+TEST_F(PtmdServerTest, StopReleasesQueuedIngestAdmissionSlots) {
+  PtmdOptions options = base_options("stopdrain");
+  options.ingest_admission = AdmissionOptions{8, 0};
+  options.ingest_threads = 1;
+  options.ingest_stall_us = 100000;  // one slow worker: jobs pile up queued
+  PtmdServer server(std::move(options));
+  ASSERT_TRUE(server.start().is_ok());
+  Gauge& in_flight = server.telemetry().gauge("queries_in_flight");
+
+  SupervisedConnection conn(server.options().endpoint, fast_tuning());
+  ASSERT_TRUE(conn.ensure_connected(Deadline::after(2s)).is_ok());
+  for (std::uint64_t period = 0; period < 6; ++period) {
+    ASSERT_TRUE(conn.send(Frame{MacAddress{0x10}, MacAddress{0x20},
+                                RecordUpload{make_record(14, period)},
+                                TraceContext::for_record(14, period)})
+                    .is_ok());
+  }
+  // Wait until the burst is admitted (first ingest underway, the rest
+  // queued behind the single worker), then stop mid-drain.
+  for (int i = 0; i < 200 && in_flight.value() < 6; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(in_flight.value(), 2);
+  server.stop();
+  // Every admitted slot came back: completed ingests released through
+  // finish_ingest on the still-running loop, never-run jobs by stop().
+  EXPECT_EQ(in_flight.value(), 0);
+}
+
+TEST_F(PtmdServerTest, HardAcceptErrorBacksOffAndRecovers) {
+  PtmdOptions options = base_options("emfile");
+  options.accept_retry_ms = 10;
+  PtmdServer server(std::move(options));
+  ASSERT_TRUE(server.start().is_ok());
+  Counter& backoffs =
+      server.telemetry().counter("transport_accept_backoffs_total");
+
+  // Shrink the fd table and fill it, leaving exactly one slot for the
+  // client's socket: the daemon's accept() then fails hard with EMFILE.
+  struct FdHogs {
+    rlimit saved{};
+    std::vector<int> fds;
+    ~FdHogs() {
+      for (int fd : fds) ::close(fd);
+      ::setrlimit(RLIMIT_NOFILE, &saved);
+    }
+  } hogs;
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &hogs.saved), 0);
+  rlimit small = hogs.saved;
+  small.rlim_cur = 128;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &small), 0);
+  for (;;) {
+    const int fd = ::dup(0);
+    if (fd < 0) break;
+    hogs.fds.push_back(fd);
+  }
+  ASSERT_FALSE(hogs.fds.empty());
+  ::close(hogs.fds.back());
+  hogs.fds.pop_back();
+
+  // The connect parks in the backlog; the accept attempt hits EMFILE and
+  // must take the backoff path instead of spinning on the listener.
+  SupervisedConnection conn(server.options().endpoint, fast_tuning());
+  ASSERT_TRUE(conn.ensure_connected(Deadline::after(2s)).is_ok());
+  for (int i = 0; i < 500 && backoffs.value() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(backoffs.value(), 1u);
+
+  // Free the table: the re-armed listener accepts the queued connection
+  // and the daemon answers as if nothing happened.
+  for (int fd : hogs.fds) ::close(fd);
+  hogs.fds.clear();
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &hogs.saved), 0);
+  auto rtt = conn.ping();
+  EXPECT_TRUE(rtt.has_value()) << rtt.status().to_string();
+  server.stop();
 }
 
 }  // namespace
