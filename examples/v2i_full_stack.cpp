@@ -99,7 +99,7 @@ int main() {
   rogue_beacon.period = 0;
   rogue_beacon.bitmap_size = 4096;
   rogue_beacon.certificate =
-      rogue_ca.issue("rsu:999", 999, rogue_keys.pub, 0, 1000);
+      *rogue_ca.issue("rsu:999", 999, rogue_keys.pub, 0, 1000);
   Vehicle victim = dep.make_vehicle(0x51C71);
   const auto reaction = victim.handle_beacon(rogue_beacon);
   std::printf("rogue RSU broadcast -> vehicle reaction: %s (stays silent)\n",

@@ -1,7 +1,11 @@
 #include "cli/cli.hpp"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <sstream>
 
@@ -17,10 +21,13 @@
 #include "core/point_persistent.hpp"
 #include "core/privacy.hpp"
 #include "core/traffic_record.hpp"
+#include "crypto/certificate.hpp"
+#include "crypto/keyfile.hpp"
 #include "query/query_service.hpp"
 #include "store/archive.hpp"
 #include "store/record_log.hpp"
 #include "traffic/workload.hpp"
+#include "transport/auth.hpp"
 #include "transport/connection.hpp"
 #include "transport/socket.hpp"
 #include "transport/wire.hpp"
@@ -657,7 +664,15 @@ Status cmd_ping(const Config& flags, std::ostream& out) {
   if (!timeout_ms) return timeout_ms.status();
   auto format = flags.get_string_or("format", "text");
   if (!format) return format.status();
+  auto key_path = flags.get_string_or("key", "");
+  if (!key_path) return key_path.status();
+  auto cert_path = flags.get_string_or("cert", "");
+  if (!cert_path) return cert_path.status();
   if (*count < 1) return {ErrorCode::kInvalidArgument, "ping: need count >= 1"};
+  if (key_path->empty() != cert_path->empty()) {
+    return {ErrorCode::kInvalidArgument,
+            "ping: --key and --cert must be given together"};
+  }
 
   auto endpoint = transport::parse_endpoint(*endpoint_text);
   if (!endpoint) return endpoint.status();
@@ -667,6 +682,14 @@ Status cmd_ping(const Config& flags, std::ostream& out) {
   tuning.io_timeout_ms = *timeout_ms;
   tuning.heartbeat_timeout_ms = *timeout_ms;
   transport::SupervisedConnection conn(*endpoint, tuning);
+  if (!key_path->empty()) {
+    auto keys = load_keypair_file(*key_path);
+    if (!keys) return keys.status();
+    auto cert = load_certificate_file(*cert_path);
+    if (!cert) return cert.status();
+    conn.set_credentials(
+        transport::AuthCredentials{std::move(*keys), std::move(*cert)});
+  }
   if (Status s = conn.ensure_connected(
           Deadline::after(std::chrono::milliseconds(*timeout_ms)));
       !s.is_ok()) {
@@ -703,13 +726,87 @@ Status cmd_ping(const Config& flags, std::ostream& out) {
   for (const char* name :
        {"transport_accepted_total", "transport_frames_total",
         "transport_ingest_shed_total", "transport_nacks_total",
-        "transport_protocol_errors_total", "ingest_ok", "ingest_duplicate",
-        "ingest_rejected"}) {
+        "transport_protocol_errors_total", "transport_auth_ok_total",
+        "transport_auth_failures_total", "transport_auth_rejects_total",
+        "ingest_ok", "ingest_duplicate", "ingest_rejected"}) {
     table.add_row({name, TableWriter::fmt(std::uint64_t{
                              sum_json_counter(stats->json, name)})});
   }
   table.print(out);
   return Status::ok();
+}
+
+Status cmd_auth_init(const Config& flags, std::ostream& out) {
+  auto dir = flags.get_string("dir");
+  if (!dir) return dir.status();
+  auto seed = flags.get_u64_or("seed", 1);
+  if (!seed) return seed.status();
+  auto bits = flags.get_u64_or("bits", 512);
+  if (!bits) return bits.status();
+  auto locations_raw = flags.get_string_or("locations", "1");
+  if (!locations_raw) return locations_raw.status();
+  auto valid_from = flags.get_u64_or("valid_from", 0);
+  if (!valid_from) return valid_from.status();
+  auto valid_until = flags.get_u64_or("valid_until", 1'000'000);
+  if (!valid_until) return valid_until.status();
+
+  std::vector<std::uint64_t> locations;
+  std::size_t pos = 0;
+  while (pos <= locations_raw->size()) {
+    const std::size_t comma = locations_raw->find(',', pos);
+    const std::string token = locations_raw->substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      return {ErrorCode::kInvalidArgument,
+              "auth-init: bad location token: " + token};
+    }
+    locations.push_back(static_cast<std::uint64_t>(value));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+
+  if (::mkdir(dir->c_str(), 0755) != 0 && errno != EEXIST) {
+    return {ErrorCode::kInternal,
+            "auth-init: cannot create " + *dir + ": " + std::strerror(errno)};
+  }
+
+  Xoshiro256 rng(*seed);
+  const CertificateAuthority ca("ptmctl-test-ca",
+                                static_cast<std::size_t>(*bits), rng);
+  const std::string ca_path = *dir + "/ca.pub";
+  if (Status s = save_public_key_file(ca_path, ca.public_key()); !s.is_ok()) {
+    return s;
+  }
+  out << "wrote " << ca_path << "\n";
+
+  const auto mint = [&](const std::string& stem, const std::string& subject,
+                        std::uint64_t subject_id) -> Status {
+    const RsaKeyPair keys = rsa_generate(static_cast<std::size_t>(*bits), rng);
+    auto cert = ca.issue(subject, subject_id, keys.pub, *valid_from,
+                         *valid_until);
+    if (!cert) return cert.status();
+    const std::string key_path = *dir + "/" + stem + ".key";
+    const std::string cert_path = *dir + "/" + stem + ".cert";
+    if (Status s = save_keypair_file(key_path, keys); !s.is_ok()) return s;
+    if (Status s = save_certificate_file(cert_path, *cert); !s.is_ok()) {
+      return s;
+    }
+    out << "wrote " << key_path << " + " << cert_path << " (" << subject
+        << ", periods " << *valid_from << ".." << *valid_until << ")\n";
+    return Status::ok();
+  };
+
+  for (const std::uint64_t location : locations) {
+    if (Status s = mint("rsu" + std::to_string(location),
+                        "rsu:" + std::to_string(location), location);
+        !s.is_ok()) {
+      return s;
+    }
+  }
+  // One operator credential for ptmctl ping / loadgen against the same CA.
+  return mint("client", "ptmctl-client", 0);
 }
 
 std::string cli_usage() {
@@ -746,10 +843,19 @@ commands:
                                            print per-location counts)
   ping        probe a running ptmd        --endpoint EP [--count N]
                                           [--timeout_ms N] [--format text|json]
+                                          [--key FILE --cert FILE]
                                           (heartbeat round trips + the
                                            daemon's ingest/shed counters;
                                            EP like unix:/run/ptmd.sock or
-                                           tcp:127.0.0.1:7777)
+                                           tcp:127.0.0.1:7777; key/cert
+                                           authenticate against a
+                                           --require-auth daemon)
+  auth-init   mint a test PKI             --dir DIR [--seed N] [--bits N]
+                                          [--locations L1,L2,...]
+                                          [--valid_from P] [--valid_until P]
+                                          (writes ca.pub, per-location
+                                           rsu<L>.key/.cert, client.key/.cert
+                                           for ptmd --ca-cert deployments)
   help        this text
 )";
 }
@@ -776,6 +882,7 @@ Status run_cli(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "trace") return cmd_trace(*flags, out);
   if (command == "recover") return cmd_recover(*flags, out);
   if (command == "ping") return cmd_ping(*flags, out);
+  if (command == "auth-init") return cmd_auth_init(*flags, out);
   return {ErrorCode::kInvalidArgument,
           "unknown command: " + command + " (try `ptmctl help`)"};
 }

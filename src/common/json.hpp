@@ -1,0 +1,24 @@
+// json.hpp - minimal JSON string escaping shared by every hand-rolled
+// JSON emitter in the tree (bench harness, loadgen's ptm-bench-v1
+// documents, the telemetry exporter).
+//
+// The emitters build documents with ostream inserts, which is fine until
+// an interpolated string carries a quote or backslash - a git revision
+// with a dirty-tree suffix, a bench label, a telemetry label value - and
+// the document stops parsing.  Escaping must happen at every string
+// insertion point, so the helper lives in ptm_common where all of them
+// can reach it.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ptm {
+
+/// Escapes `s` for inclusion inside a double-quoted JSON string literal:
+/// `"` and `\` are backslash-escaped, `\n`/`\t`/`\r` use their short
+/// forms, and every other control byte (< 0x20) becomes `\u00XX`.  The
+/// surrounding quotes are the caller's.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace ptm

@@ -54,6 +54,18 @@ Result<Certificate> Certificate::deserialize(
   auto until = r.u64();
   if (!until) return until.status();
   cert.valid_until = *until;
+  if (cert.valid_from > cert.valid_until) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "certificate validity window inverted "
+                  "(valid_from > valid_until)"};
+  }
+  // Exactly one encoding per certificate: trailing bytes (in the envelope
+  // or smuggled inside the tbs blob) would let distinct wire forms decode
+  // to the same verified identity.
+  if (!outer.exhausted() || !r.exhausted()) {
+    return Status{ErrorCode::kParseError,
+                  "trailing bytes after certificate"};
+  }
   cert.signature = std::move(*sig);
   return cert;
 }
@@ -63,11 +75,15 @@ CertificateAuthority::CertificateAuthority(std::string name,
                                            Xoshiro256& rng)
     : name_(std::move(name)), keys_(rsa_generate(modulus_bits, rng)) {}
 
-Certificate CertificateAuthority::issue(std::string subject,
-                                        std::uint64_t subject_id,
-                                        const RsaPublicKey& subject_key,
-                                        std::uint64_t valid_from,
-                                        std::uint64_t valid_until) const {
+Result<Certificate> CertificateAuthority::issue(
+    std::string subject, std::uint64_t subject_id,
+    const RsaPublicKey& subject_key, std::uint64_t valid_from,
+    std::uint64_t valid_until) const {
+  if (valid_from > valid_until) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "refusing to issue certificate with inverted validity "
+                  "window (valid_from > valid_until)"};
+  }
   Certificate cert;
   cert.subject = std::move(subject);
   cert.subject_id = subject_id;

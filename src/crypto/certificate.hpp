@@ -51,12 +51,15 @@ class CertificateAuthority {
   }
 
   /// Issues a certificate for `subject_key` bound to the subject identity,
-  /// valid over the inclusive period range.
-  [[nodiscard]] Certificate issue(std::string subject,
-                                  std::uint64_t subject_id,
-                                  const RsaPublicKey& subject_key,
-                                  std::uint64_t valid_from,
-                                  std::uint64_t valid_until) const;
+  /// valid over the inclusive period range.  InvalidArgument on an
+  /// inverted window (valid_from > valid_until): no period can ever
+  /// satisfy it, so signing one would mint a credential that is broken by
+  /// construction.
+  [[nodiscard]] Result<Certificate> issue(std::string subject,
+                                          std::uint64_t subject_id,
+                                          const RsaPublicKey& subject_key,
+                                          std::uint64_t valid_from,
+                                          std::uint64_t valid_until) const;
 
  private:
   std::string name_;

@@ -1,0 +1,118 @@
+#include "crypto/keyfile.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace ptm {
+namespace {
+
+constexpr std::string_view kPubMagic = "PTM-PUB-V1";
+constexpr std::string_view kKeyMagic = "PTM-KEY-V1";
+constexpr std::string_view kCertMagic = "PTM-CERT-V1";
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+int hex_nibble(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+Status save_hex_file(const std::string& path, std::string_view magic,
+                     std::span<const std::uint8_t> bytes) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return {ErrorCode::kInternal, "cannot open for write: " + path};
+  }
+  out << magic << '\n' << to_hex(bytes) << '\n';
+  out.flush();
+  if (!out) return {ErrorCode::kInternal, "write failed: " + path};
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> load_hex_file(const std::string& path,
+                                                std::string_view magic) {
+  std::ifstream in(path);
+  if (!in) return Status{ErrorCode::kNotFound, "cannot open: " + path};
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status{ErrorCode::kParseError, "empty key file: " + path};
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line != magic) {
+    return Status{ErrorCode::kParseError,
+                  path + ": expected " + std::string(magic) + ", found \"" +
+                      line + "\""};
+  }
+  std::string hex;
+  if (!std::getline(in, hex)) {
+    return Status{ErrorCode::kParseError, "missing payload line: " + path};
+  }
+  if (!hex.empty() && hex.back() == '\r') hex.pop_back();
+  if (hex.empty() || hex.size() % 2 != 0) {
+    return Status{ErrorCode::kParseError,
+                  path + ": payload must be non-empty even-length hex"};
+  }
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status{ErrorCode::kParseError,
+                    path + ": non-hex byte in payload"};
+    }
+    bytes.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Status save_public_key_file(const std::string& path,
+                            const RsaPublicKey& key) {
+  return save_hex_file(path, kPubMagic, key.serialize());
+}
+
+Result<RsaPublicKey> load_public_key_file(const std::string& path) {
+  auto bytes = load_hex_file(path, kPubMagic);
+  if (!bytes) return bytes.status();
+  return RsaPublicKey::deserialize(*bytes);
+}
+
+Status save_keypair_file(const std::string& path, const RsaKeyPair& keys) {
+  return save_hex_file(path, kKeyMagic, keys.serialize());
+}
+
+Result<RsaKeyPair> load_keypair_file(const std::string& path) {
+  auto bytes = load_hex_file(path, kKeyMagic);
+  if (!bytes) return bytes.status();
+  return RsaKeyPair::deserialize(*bytes);
+}
+
+Status save_certificate_file(const std::string& path,
+                             const Certificate& cert) {
+  return save_hex_file(path, kCertMagic, cert.serialize());
+}
+
+Result<Certificate> load_certificate_file(const std::string& path) {
+  auto bytes = load_hex_file(path, kCertMagic);
+  if (!bytes) return bytes.status();
+  return Certificate::deserialize(*bytes);
+}
+
+}  // namespace ptm

@@ -1,0 +1,43 @@
+// keyfile.hpp - on-disk form of the PKI material (paper §II-B) so the
+// transport tools can share credentials across processes.
+//
+// `ptmctl auth-init` mints a test CA and writes these files; `ptmd` loads
+// the CA public key (--ca-cert), `rsu-emu` / `loadgen` / `ptmctl ping`
+// load a keypair + issued certificate (--key / --cert).  The format is
+// deliberately trivial - a magic line naming the type, then the existing
+// binary serialization hex-encoded on one line - because the payloads
+// already have fuzzed, bounds-checked codecs; the file layer only has to
+// be unambiguous and diff-friendly:
+//
+//   PTM-PUB-V1\n  <hex of RsaPublicKey::serialize()>\n
+//   PTM-KEY-V1\n  <hex of RsaKeyPair::serialize()>\n
+//   PTM-CERT-V1\n <hex of Certificate::serialize()>\n
+//
+// Loaders reject a wrong magic (so a private key can never be read where
+// a certificate was expected), non-hex bytes, and anything the underlying
+// deserialize rejects (including inverted validity windows).
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "crypto/certificate.hpp"
+#include "crypto/rsa.hpp"
+
+namespace ptm {
+
+[[nodiscard]] Status save_public_key_file(const std::string& path,
+                                          const RsaPublicKey& key);
+[[nodiscard]] Result<RsaPublicKey> load_public_key_file(
+    const std::string& path);
+
+[[nodiscard]] Status save_keypair_file(const std::string& path,
+                                       const RsaKeyPair& keys);
+[[nodiscard]] Result<RsaKeyPair> load_keypair_file(const std::string& path);
+
+[[nodiscard]] Status save_certificate_file(const std::string& path,
+                                           const Certificate& cert);
+[[nodiscard]] Result<Certificate> load_certificate_file(
+    const std::string& path);
+
+}  // namespace ptm

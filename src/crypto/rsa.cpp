@@ -60,6 +60,34 @@ Result<RsaPublicKey> RsaPublicKey::deserialize(
   return pub;
 }
 
+std::vector<std::uint8_t> RsaKeyPair::serialize() const {
+  ByteWriter w;
+  w.bytes(pub.serialize());
+  w.bytes(d.to_be_bytes());
+  return w.take();
+}
+
+Result<RsaKeyPair> RsaKeyPair::deserialize(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  auto pub_bytes = r.bytes();
+  if (!pub_bytes) return pub_bytes.status();
+  auto pub = RsaPublicKey::deserialize(*pub_bytes);
+  if (!pub) return pub.status();
+  auto d_bytes = r.bytes();
+  if (!d_bytes) return d_bytes.status();
+  if (!r.exhausted()) {
+    return Status{ErrorCode::kParseError, "trailing bytes after RSA keypair"};
+  }
+  RsaKeyPair keys;
+  keys.pub = std::move(*pub);
+  keys.d = BigInt::from_be_bytes(*d_bytes);
+  if (keys.d.is_zero()) {
+    return Status{ErrorCode::kParseError, "degenerate RSA private exponent"};
+  }
+  return keys;
+}
+
 bool is_probable_prime(const BigInt& candidate, Xoshiro256& rng, int rounds) {
   if (candidate.bit_length() <= 10) {
     const std::uint64_t v = candidate.low_u64();

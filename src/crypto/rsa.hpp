@@ -35,6 +35,10 @@ struct RsaPublicKey {
 struct RsaKeyPair {
   RsaPublicKey pub;
   BigInt d;  ///< private exponent
+
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  [[nodiscard]] static Result<RsaKeyPair> deserialize(
+      std::span<const std::uint8_t> bytes);
 };
 
 /// Miller-Rabin primality test with `rounds` random bases.

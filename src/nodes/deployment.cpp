@@ -26,11 +26,12 @@ Deployment::Deployment(Config config, std::uint64_t seed)
 Rsu& Deployment::add_rsu(std::uint64_t location,
                          std::size_t initial_bitmap_size) {
   RsaKeyPair keys = rsa_generate(config_.rsu_key_bits, rng_);
-  Certificate cert =
+  // Window [0, cert_valid_until] is never inverted: issue() cannot fail.
+  auto cert =
       ca_->issue("rsu:" + std::to_string(location), location, keys.pub, 0,
                  config_.cert_valid_until);
   rsus_.push_back(std::make_unique<Rsu>(location, std::move(keys),
-                                        std::move(cert),
+                                        std::move(*cert),
                                         initial_bitmap_size));
   return *rsus_.back();
 }

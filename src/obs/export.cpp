@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "common/json.hpp"
+
 namespace ptm {
 namespace {
 
@@ -95,12 +97,7 @@ void append_json_labels(const TelemetryLabels& labels, std::ostream& out) {
   for (const auto& [key, value] : labels) {
     if (!first) out << ',';
     first = false;
-    out << '"' << key << "\":\"";
-    for (const char c : value) {
-      if (c == '"' || c == '\\') out << '\\';
-      out << c;
-    }
-    out << '"';
+    out << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
   }
   out << '}';
 }

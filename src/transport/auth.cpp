@@ -1,0 +1,19 @@
+#include "transport/auth.hpp"
+
+#include "common/serialize.hpp"
+#include "hash/sha256.hpp"
+
+namespace ptm::transport {
+
+std::vector<std::uint8_t> auth_transcript(
+    std::span<const std::uint8_t> nonce,
+    std::span<const std::uint8_t> certificate_bytes) {
+  const Sha256Digest cert_hash = Sha256::digest(certificate_bytes);
+  ByteWriter w;
+  w.str("ptm-auth-v1");
+  w.bytes(nonce);
+  w.raw(cert_hash);
+  return w.take();
+}
+
+}  // namespace ptm::transport

@@ -1,0 +1,57 @@
+// auth.hpp - the PKI challenge-response handshake for the ptmd wire
+// (paper §II-B applied to the RSU -> collector uplink).
+//
+// PR 7's transport trusted the socket: any process that could reach the
+// daemon could inject records into the archive.  The handshake closes
+// that hole with the certificate chain the crypto layer already
+// reproduces for beacons:
+//
+//   client                                server (ptmd)
+//   ------                                -------------
+//   auth-hello(certificate bytes)  ---->  decode; verify window + CA sig
+//                                  <----  auth-challenge(random nonce)
+//   sign transcript with own key   ---->  auth-proof(signature)
+//                                  <----  auth-ok | auth-reject(code)
+//
+// Both sides sign/verify the same *transcript* - a domain tag, the
+// server's nonce, and the SHA-256 of the exact certificate bytes from
+// the hello.  Binding the certificate hash into the signed material
+// means a proof can never be replayed under a different identity, and
+// the fresh nonce means it can never be replayed across connections.
+//
+// Possession of the private key is what the proof demonstrates; the CA
+// signature on the certificate is what ties that key to an identity the
+// operator trusts.  Reject codes distinguish the failure classes
+// (wire.hpp AuthRejectCode) because they demand different responses:
+// an expired window is a clock/reissue problem, an untrusted certificate
+// is a rogue peer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/certificate.hpp"
+#include "crypto/rsa.hpp"
+
+namespace ptm::transport {
+
+/// Bytes of server challenge nonce (the wire codec accepts 1..256 from
+/// peers; we always mint this much).
+inline constexpr std::size_t kAuthNonceBytes = 32;
+
+/// What a client needs to authenticate: its keypair and a certificate
+/// issued for `keys.pub` by the CA the server trusts.
+struct AuthCredentials {
+  RsaKeyPair keys;
+  Certificate certificate;
+};
+
+/// The channel-binding transcript signed by auth-proof:
+/// "ptm-auth-v1" ‖ nonce ‖ SHA-256(certificate bytes as sent in hello).
+[[nodiscard]] std::vector<std::uint8_t> auth_transcript(
+    std::span<const std::uint8_t> nonce,
+    std::span<const std::uint8_t> certificate_bytes);
+
+}  // namespace ptm::transport

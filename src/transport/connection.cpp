@@ -48,12 +48,23 @@ SupervisedConnection::SupervisedConnection(Endpoint endpoint,
           registry_.counter("transport_connect_failures_total")),
       heartbeat_timeouts_(
           registry_.counter("transport_heartbeat_timeouts_total")),
+      auth_ok_(registry_.counter("transport_auth_ok_total")),
+      auth_failures_(registry_.counter("transport_auth_failures_total")),
+      auth_rejects_(registry_.counter("transport_auth_rejects_total")),
       state_gauge_(registry_.gauge("transport_connection_state")),
       heartbeat_rtt_(registry_.histogram("transport_heartbeat_rtt_ns")) {}
 
 void SupervisedConnection::set_socket_faults(
     std::map<std::uint64_t, std::vector<SocketFault>> faults) {
   socket_faults_ = std::move(faults);
+}
+
+void SupervisedConnection::set_credentials(
+    std::optional<AuthCredentials> credentials) {
+  credentials_ = std::move(credentials);
+  cert_bytes_ = credentials_.has_value()
+                    ? credentials_->certificate.serialize()
+                    : std::vector<std::uint8_t>{};
 }
 
 void SupervisedConnection::mark(State s) noexcept {
@@ -99,12 +110,32 @@ Status SupervisedConnection::ensure_connected(const Deadline& deadline) {
       session_.emplace(std::move(*sock), std::move(script));
       decoder_ = StreamDecoder();
       pending_.clear();
+      // Fresh nonce space per session (see the member comment): a stale
+      // ack replayed from a prior connection must never match.
+      next_heartbeat_nonce_ = rng_.next() | 1;
       connects_.add();
       if (ordinal > 0) reconnects_.add();
       mark(State::kConnected);
-      return Status::ok();
+      if (!credentials_.has_value()) return Status::ok();
+      Status auth = run_handshake(deadline);
+      if (auth.is_ok()) {
+        auth_ok_.add();
+        return Status::ok();
+      }
+      sever();
+      if (auth.code() == ErrorCode::kAuthFailure) {
+        // The server's verdict, not the channel's: retrying the same
+        // certificate can only be rejected again.
+        auth_rejects_.add();
+        return auth;
+      }
+      // Channel casualty mid-handshake (drop/truncate/sever/timeout):
+      // never half-authenticated - the session is gone, and the normal
+      // backoff ladder below paces the re-dial + re-handshake.
+      auth_failures_.add();
+    } else {
+      connect_failures_.add();
     }
-    connect_failures_.add();
     const std::uint64_t sleep_ms =
         budget_ms(deadline, backoff_delay_ms(attempt));
     if (sleep_ms > 0) {
@@ -114,6 +145,39 @@ Status SupervisedConnection::ensure_connected(const Deadline& deadline) {
               "connect deadline exceeded: " + endpoint_.to_string()};
     }
   }
+}
+
+Status SupervisedConnection::run_handshake(const Deadline& deadline) {
+  if (Status s = send(AuthHello{cert_bytes_}); !s.is_ok()) return s;
+  // Each wait is bounded by io_timeout even under an unbounded caller
+  // deadline: a server that swallowed the hello must not hang the dial
+  // loop forever.
+  const Deadline challenge_wait = Deadline::after(std::chrono::milliseconds(
+      budget_ms(deadline, tuning_.io_timeout_ms)));
+  auto challenge = receive(challenge_wait);
+  if (!challenge) return challenge.status();
+  const auto* ch = std::get_if<AuthChallenge>(&*challenge);
+  if (ch == nullptr) {
+    // receive() already surfaced an auth-reject as kAuthFailure; any
+    // other kind here means the peer broke the handshake sequence.
+    return {ErrorCode::kChannelError,
+            std::string("handshake: expected auth-challenge, got ") +
+                wire_kind_name(wire_kind(*challenge))};
+  }
+  const std::vector<std::uint8_t> transcript =
+      auth_transcript(ch->nonce, cert_bytes_);
+  if (Status s = send(AuthProof{rsa_sign(credentials_->keys, transcript)});
+      !s.is_ok()) {
+    return s;
+  }
+  const Deadline verdict_wait = Deadline::after(std::chrono::milliseconds(
+      budget_ms(deadline, tuning_.io_timeout_ms)));
+  auto verdict = receive(verdict_wait);
+  if (!verdict) return verdict.status();
+  if (std::holds_alternative<AuthOk>(*verdict)) return Status::ok();
+  return {ErrorCode::kChannelError,
+          std::string("handshake: expected auth-ok, got ") +
+              wire_kind_name(wire_kind(*verdict))};
 }
 
 Status SupervisedConnection::send(const WireMessage& message) {
@@ -199,6 +263,15 @@ Result<WireMessage> SupervisedConnection::receive(const Deadline& deadline) {
         return s;
       }
       continue;
+    }
+    if (const auto* reject = std::get_if<AuthReject>(&*msg)) {
+      // The server refused this session (it closes right after sending
+      // this); whether we were mid-handshake or sent traffic without
+      // credentials, the session is unusable.
+      sever();
+      return Status{ErrorCode::kAuthFailure,
+                    std::string("server rejected authentication: ") +
+                        auth_reject_code_name(reject->code)};
     }
     return std::move(*msg);
   }

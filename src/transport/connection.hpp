@@ -22,14 +22,25 @@
 //   * scripted fault injection - an installed FaultPlan socket-fault map
 //     (keyed by connection ordinal) wraps each new socket in a
 //     FaultInjectingSocket, so chaos tests drive drops / truncations /
-//     severs deterministically.
+//     severs deterministically;
+//   * PKI authentication - with credentials installed (set_credentials),
+//     every connect AND reconnect runs the §II-B challenge-response
+//     handshake (auth.hpp) before ensure_connected() reports success, so
+//     no caller can ever send traffic on a half-authenticated session.
+//     A handshake torn by the channel (drop / truncate / sever /
+//     timeout) retries on the normal backoff ladder; a definitive
+//     auth-reject from the server surfaces as kAuthFailure immediately -
+//     redialing cannot fix a rejected certificate.
 //
 // Telemetry (registered on the given registry, or a private one):
 //   transport_connects_total / transport_reconnects_total /
 //   transport_connect_failures_total (counters),
 //   transport_connection_state (gauge: 0 disconnected, 1 connected,
 //   2 broken), transport_heartbeat_rtt_ns (histogram),
-//   transport_heartbeat_timeouts_total (counter).
+//   transport_heartbeat_timeouts_total (counter),
+//   transport_auth_ok_total / transport_auth_failures_total (handshakes
+//   torn by the channel) / transport_auth_rejects_total (definitive
+//   server rejects) (counters).
 //
 // Threading: a SupervisedConnection belongs to one thread (each RSU
 // emulator / loadgen worker owns its own).  The server side is the epoll
@@ -50,6 +61,7 @@
 #include "common/status.hpp"
 #include "net/fault_plan.hpp"
 #include "obs/telemetry.hpp"
+#include "transport/auth.hpp"
 #include "transport/fault_injection.hpp"
 #include "transport/framing.hpp"
 #include "transport/socket.hpp"
@@ -86,6 +98,15 @@ class SupervisedConnection {
   /// sockets this supervisor has opened) -> that connection's script.
   void set_socket_faults(
       std::map<std::uint64_t, std::vector<SocketFault>> faults);
+
+  /// Installs (or clears, with nullopt) the PKI credentials.  With
+  /// credentials present, ensure_connected() only returns Ok once the
+  /// handshake completed on the session it is reporting - including
+  /// after every reconnect.  Takes effect on the next dial.
+  void set_credentials(std::optional<AuthCredentials> credentials);
+  [[nodiscard]] bool has_credentials() const noexcept {
+    return credentials_.has_value();
+  }
 
   /// Dials until connected or `deadline` expires, sleeping the backoff
   /// schedule between attempts.  Idempotent when already connected.
@@ -140,6 +161,10 @@ class SupervisedConnection {
   /// Reads until the decoder yields one payload; deadline-bounded.
   [[nodiscard]] Result<std::vector<std::uint8_t>> read_frame(
       const Deadline& deadline);
+  /// Runs hello -> challenge -> proof -> ok on the freshly dialed
+  /// session.  kAuthFailure = definitive server reject; anything else is
+  /// a channel casualty the caller may retry on backoff.
+  [[nodiscard]] Status run_handshake(const Deadline& deadline);
 
   Endpoint endpoint_;
   ConnectionTuning tuning_;
@@ -147,18 +172,26 @@ class SupervisedConnection {
   TelemetryRegistry& registry_;  ///< external registry or *owned_registry_
   Xoshiro256 rng_;
   std::map<std::uint64_t, std::vector<SocketFault>> socket_faults_;
+  std::optional<AuthCredentials> credentials_;
+  std::vector<std::uint8_t> cert_bytes_;  ///< serialized once at install
 
   std::optional<FaultInjectingSocket> session_;  ///< live socket, when any
   StreamDecoder decoder_;
   std::deque<WireMessage> pending_;  ///< messages read past by ping()
   State state_ = State::kDisconnected;
   std::uint64_t connections_opened_ = 0;
+  /// Reseeded from rng_ on every dial: heartbeat nonces must never repeat
+  /// across sessions, or a delayed/duplicated ack from a dead connection
+  /// could satisfy a fresh ping and mask a half-open link.
   std::uint64_t next_heartbeat_nonce_ = 1;
 
   Counter& connects_;
   Counter& reconnects_;
   Counter& connect_failures_;
   Counter& heartbeat_timeouts_;
+  Counter& auth_ok_;
+  Counter& auth_failures_;
+  Counter& auth_rejects_;
   Gauge& state_gauge_;
   LatencyRecorder& heartbeat_rtt_;
 };

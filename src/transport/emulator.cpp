@@ -12,15 +12,24 @@
 namespace ptm::transport {
 namespace {
 
-/// Mints a self-certified Rsu: a throwaway CA issues the cert.  Returned
-/// as a prvalue so the non-movable Rsu constructs in place.
+/// Builds the emulated Rsu's identity.  With wire credentials installed
+/// the node carries exactly the key + certificate the daemon will verify;
+/// otherwise a throwaway CA self-certifies.  Returned as a prvalue so the
+/// non-movable Rsu constructs in place.
 Rsu make_rsu(const EmulatorOptions& options, Xoshiro256& rng) {
+  if (options.credentials.has_value()) {
+    RsaKeyPair keys = options.credentials->keys;
+    Certificate cert = options.credentials->certificate;
+    return Rsu(options.location, std::move(keys), std::move(cert),
+               options.initial_bitmap_size);
+  }
   CertificateAuthority ca("rsu-emu-ca", options.modulus_bits, rng);
   RsaKeyPair keys = rsa_generate(options.modulus_bits, rng);
-  Certificate cert =
+  auto cert =
       ca.issue("rsu:" + std::to_string(options.location), options.location,
                keys.pub, 0, options.location + options.periods + 1'000'000);
-  return Rsu(options.location, std::move(keys), std::move(cert),
+  // The window above is never inverted, so issue() cannot fail here.
+  return Rsu(options.location, std::move(keys), std::move(*cert),
              options.initial_bitmap_size);
 }
 
@@ -41,6 +50,9 @@ RsuEmulator::RsuEmulator(Endpoint server, EmulatorOptions options,
       connection_(std::move(server), options_.tuning, registry,
                   options_.seed ^ 0x9e3779b97f4a7c15ULL),
       uplink_(connection_, rsu_mac(options_.location), kServerMac) {
+  if (options_.credentials.has_value()) {
+    connection_.set_credentials(options_.credentials);
+  }
   if (!options_.journal_path.empty() && !options_.outbox_path.empty()) {
     // A failed attach leaves the RSU volatile; run() still works, the
     // deployment just loses crash recovery (callers who need durability

@@ -24,12 +24,14 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/random.hpp"
 #include "common/status.hpp"
 #include "nodes/rsu.hpp"
 #include "obs/telemetry.hpp"
+#include "transport/auth.hpp"
 #include "transport/connection.hpp"
 #include "transport/socket.hpp"
 #include "transport/uplink.hpp"
@@ -52,6 +54,11 @@ struct EmulatorOptions {
   std::uint64_t seed = 1;
   std::size_t modulus_bits = 512;  ///< simulation-grade keys (rsa.hpp
                                    ///< needs >= 344 bits for padding)
+  /// Wire credentials for an authenticated ptmd (--require-auth).  The
+  /// RSU identity reuses them (key + certificate) instead of minting a
+  /// throwaway CA, so the cert the daemon verifies is the cert the node
+  /// carries.  Absent = unauthenticated transport, self-minted identity.
+  std::optional<AuthCredentials> credentials;
 };
 
 struct EmulatorReport {
@@ -66,9 +73,10 @@ struct EmulatorReport {
 
 class RsuEmulator {
  public:
-  /// Self-certifies: mints a CA + RSU keypair from `options.seed` (the
-  /// emulator exercises transport robustness, not the PKI - rogue-RSU
-  /// rejection has its own tests).
+  /// Without `options.credentials`, self-certifies: mints a CA + RSU
+  /// keypair from `options.seed` (exercising transport robustness, not
+  /// the PKI).  With credentials, the supervised connection handshakes
+  /// on every connect and reconnect.
   RsuEmulator(Endpoint server, EmulatorOptions options,
               TelemetryRegistry* registry = nullptr);
 

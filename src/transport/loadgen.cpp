@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/json.hpp"
 #include "common/random.hpp"
 #include "core/traffic_record.hpp"
 #include "net/mac.hpp"
@@ -62,16 +63,21 @@ double LoadgenReport::shed_rate() const noexcept {
 std::string LoadgenReport::to_bench_json(const std::string& rev) const {
   // Mirrors bench/bench_harness.cpp write_json so bench tooling can diff
   // loadgen documents alongside microbench ones.
+  // Every interpolated string goes through json_escape: `rev` in
+  // particular can carry a dirty-tree suffix with characters that would
+  // otherwise break the document for bench_runner compare.
   std::ostringstream os;
   os << "{\n"
      << "  \"schema\": \"ptm-bench-v1\",\n"
-     << "  \"rev\": \"" << rev << "\",\n"
-     << "  \"host_isa\": \"" << simd::host_isa() << "\",\n"
-     << "  \"kernel_variant\": \"" << simd::active().name << "\",\n"
+     << "  \"rev\": \"" << json_escape(rev) << "\",\n"
+     << "  \"host_isa\": \"" << json_escape(simd::host_isa()) << "\",\n"
+     << "  \"kernel_variant\": \"" << json_escape(simd::active().name)
+     << "\",\n"
      << "  \"results\": [\n";
   const auto result = [&](const char* name, double ns_per_op,
                           double items_per_op, bool last) {
-    os << "    {\"bench\": \"loadgen\", \"name\": \"" << name << "\", ";
+    os << "    {\"bench\": \"loadgen\", \"name\": \"" << json_escape(name)
+       << "\", ";
     json_kv(os, "ns_per_op", ns_per_op, true);
     json_kv(os, "bytes_per_op", 0.0, true);
     json_kv(os, "items_per_op", items_per_op, true);
@@ -93,8 +99,8 @@ std::string LoadgenReport::to_bench_json(const std::string& rev) const {
   const auto row = [&](const char* metric, double value, bool last) {
     std::ostringstream v;
     v << value;
-    os << "[\"" << metric << "\", \"" << v.str() << "\"]"
-       << (last ? "" : ", ");
+    os << "[\"" << json_escape(metric) << "\", \"" << json_escape(v.str())
+       << "\"]" << (last ? "" : ", ");
   };
   row("records_total", static_cast<double>(records_total), false);
   row("acked", static_cast<double>(acked), false);
@@ -157,6 +163,9 @@ Result<LoadgenReport> LoadGenerator::run() {
   auto worker = [&](std::size_t worker_index) {
     SupervisedConnection conn(server_, options_.tuning, nullptr,
                               options_.seed + 7919 * (worker_index + 1));
+    if (options_.credentials.has_value()) {
+      conn.set_credentials(options_.credentials);
+    }
     UplinkClient uplink(
         conn,
         MacAddress{(0x02ULL << 40) | (0xB0ADULL << 16) | worker_index},

@@ -25,10 +25,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/status.hpp"
 #include "obs/telemetry.hpp"
+#include "transport/auth.hpp"
 #include "transport/connection.hpp"
 #include "transport/socket.hpp"
 
@@ -48,6 +50,10 @@ struct LoadgenOptions {
   std::uint32_t max_attempts = 64;     ///< per record before giving up
   ConnectionTuning tuning{};
   std::uint64_t seed = 1;
+  /// Shared by every worker connection when the target daemon runs
+  /// --require-auth; each worker handshakes on its own connects and
+  /// reconnects.
+  std::optional<AuthCredentials> credentials;
 };
 
 struct LoadgenReport {

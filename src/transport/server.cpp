@@ -2,11 +2,14 @@
 
 #include <array>
 #include <chrono>
+#include <random>
 #include <thread>
 #include <utility>
 
+#include "crypto/certificate.hpp"
 #include "net/message.hpp"
 #include "obs/export.hpp"
+#include "transport/auth.hpp"
 
 namespace ptm::transport {
 namespace {
@@ -25,6 +28,14 @@ bool retryable_ingest_failure(ErrorCode code) noexcept {
   }
 }
 
+/// Challenge nonces need unpredictability, not determinism: seed from the
+/// system entropy source (the chaos scripts key on frame ordinals, never
+/// on nonce values, so tests stay deterministic anyway).
+std::uint64_t entropy_seed() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
+
 }  // namespace
 
 PtmdServer::PtmdServer(PtmdOptions options)
@@ -40,18 +51,29 @@ PtmdServer::PtmdServer(PtmdOptions options)
       nacks_(service_.telemetry().counter("transport_nacks_total")),
       protocol_errors_(
           service_.telemetry().counter("transport_protocol_errors_total")),
+      auth_ok_(service_.telemetry().counter("transport_auth_ok_total")),
+      auth_failures_(
+          service_.telemetry().counter("transport_auth_failures_total")),
+      auth_rejects_(
+          service_.telemetry().counter("transport_auth_rejects_total")),
       connections_(service_.telemetry().gauge("transport_connections")) {
   if (options_.ingest_threads == 0) options_.ingest_threads = 1;
   // A pause of 0 would never arm a resume timer; a shed connection with no
   // pending ingests would then stay paused forever (see PtmdOptions).
   if (options_.shed_pause_ms == 0) options_.shed_pause_ms = 1;
   if (options_.accept_retry_ms == 0) options_.accept_retry_ms = 1;
+  if (options_.auth_timeout_ms == 0) options_.auth_timeout_ms = 1;
+  auth_rng_.reseed(entropy_seed());
 }
 
 PtmdServer::~PtmdServer() { stop(); }
 
 Status PtmdServer::start() {
   if (running_.load()) return Status::ok();
+  if (options_.require_auth && !options_.auth_ca_key.has_value()) {
+    return {ErrorCode::kInvalidArgument,
+            "require_auth without a CA key would reject every peer"};
+  }
   if (!options_.archive_path.empty()) {
     auto archive = RecordArchive::open(options_.archive_path, {});
     if (!archive) return archive.status();
@@ -163,6 +185,7 @@ void PtmdServer::on_acceptable() {
     conn->sock = std::move(*accepted);
     conn->id = next_conn_id_++;
     conn->last_activity_ms = EventLoop::now_ms();
+    if (options_.require_auth) conn->auth_phase = AuthPhase::kAwaitHello;
     if (Status s =
             loop_.add(fd, EventLoop::kReadable,
                       [this, fd](std::uint32_t ev) { on_conn_event(fd, ev); });
@@ -170,9 +193,21 @@ void PtmdServer::on_acceptable() {
       continue;  // conn destructor closes the socket
     }
     conn_fd_by_id_[conn->id] = fd;
+    const std::uint64_t conn_id = conn->id;
     conns_[fd] = std::move(conn);
     accepted_.add();
     connections_.add(1);
+    if (options_.require_auth) {
+      // A peer that dials and never completes the handshake (or stalls
+      // mid-way, e.g. a torn proof) must not hold a socket open; the
+      // idle sweep may be configured off, so auth gets its own clock.
+      loop_.add_timer(options_.auth_timeout_ms, [this, conn_id] {
+        Conn* c = conn_by_id(conn_id);
+        if (c == nullptr || c->auth_phase == AuthPhase::kReady) return;
+        auth_failures_.add();
+        close_conn(c->sock.fd());
+      });
+    }
   }
 }
 
@@ -233,6 +268,16 @@ void PtmdServer::handle_payload(Conn& conn,
     close_conn(conn.sock.fd());
     return;
   }
+  if (conn.auth_phase != AuthPhase::kReady ||
+      std::holds_alternative<AuthHello>(*message) ||
+      std::holds_alternative<AuthProof>(*message)) {
+    // Mid-handshake every kind routes through the auth state machine (so
+    // nothing leaks past an unverified peer); at kReady a hello is an
+    // optional re/authentication attempt and a stray proof is a sequence
+    // violation the state machine rejects.
+    handle_auth(conn, *message);
+    return;
+  }
   if (const auto* frame = std::get_if<Frame>(&*message)) {
     handle_frame(conn, *frame);
     return;
@@ -248,6 +293,76 @@ void PtmdServer::handle_payload(Conn& conn,
   }
   // Acks/nacks/stats flowing server-ward carry nothing for us; ignoring
   // them keeps the protocol symmetric without inventing error paths.
+}
+
+void PtmdServer::handle_auth(Conn& conn, const WireMessage& message) {
+  switch (conn.auth_phase) {
+    case AuthPhase::kReady:
+    case AuthPhase::kAwaitHello: {
+      const auto* hello = std::get_if<AuthHello>(&message);
+      if (hello == nullptr) {
+        // require_auth and the peer led with traffic (or, at kReady, sent
+        // a proof nobody challenged): authenticate first.
+        reject_auth(conn, AuthRejectCode::kAuthRequired);
+        return;
+      }
+      if (!options_.auth_ca_key.has_value()) {
+        reject_auth(conn, AuthRejectCode::kAuthUnavailable);
+        return;
+      }
+      auto cert = Certificate::deserialize(hello->certificate);
+      if (!cert) {
+        reject_auth(conn, AuthRejectCode::kMalformedCertificate);
+        return;
+      }
+      if (options_.auth_period < cert->valid_from ||
+          options_.auth_period > cert->valid_until) {
+        reject_auth(conn, AuthRejectCode::kCertificateExpired);
+        return;
+      }
+      if (!rsa_verify(*options_.auth_ca_key, cert->tbs_bytes(),
+                      cert->signature)) {
+        reject_auth(conn, AuthRejectCode::kUntrustedCertificate);
+        return;
+      }
+      conn.peer_key = cert->subject_key;
+      conn.peer_cert_bytes = hello->certificate;
+      conn.auth_nonce.resize(kAuthNonceBytes);
+      for (auto& b : conn.auth_nonce) {
+        b = static_cast<std::uint8_t>(auth_rng_.next());
+      }
+      conn.auth_phase = AuthPhase::kAwaitProof;
+      send_message(conn, AuthChallenge{conn.auth_nonce});
+      return;
+    }
+    case AuthPhase::kAwaitProof: {
+      const auto* proof = std::get_if<AuthProof>(&message);
+      if (proof == nullptr) {
+        reject_auth(conn, AuthRejectCode::kAuthRequired);
+        return;
+      }
+      const std::vector<std::uint8_t> transcript =
+          auth_transcript(conn.auth_nonce, conn.peer_cert_bytes);
+      if (!rsa_verify(conn.peer_key, transcript, proof->signature)) {
+        reject_auth(conn, AuthRejectCode::kBadProof);
+        return;
+      }
+      conn.auth_phase = AuthPhase::kReady;
+      conn.auth_nonce.clear();
+      conn.peer_cert_bytes.clear();
+      auth_ok_.add();
+      send_message(conn, AuthOk{});
+      return;
+    }
+  }
+}
+
+void PtmdServer::reject_auth(Conn& conn, AuthRejectCode code) {
+  auth_rejects_.add();
+  // Flush-then-close: the verdict must reach the peer (so it can stop
+  // retrying a hopeless certificate), but nothing after it will.
+  conn.closing = true;
+  send_message(conn, AuthReject{code});
 }
 
 void PtmdServer::handle_frame(Conn& conn, const Frame& frame) {

@@ -26,6 +26,17 @@
 // archive dedupes re-deliveries.  The chaos suite drives exactly that
 // cycle.
 //
+// Authentication (docs/transport.md, *Authenticated handshake*): with a
+// CA key configured the server answers auth-hello with a fresh challenge
+// and verifies the proof against the §II-B certificate chain; with
+// `require_auth` set every connection starts in an Authenticating phase
+// where ALL non-handshake messages are rejected (auth-reject, then close)
+// until the proof verifies - an unauthenticated peer can not inject one
+// record, probe stats, or even get a heartbeat answered.  Distinct
+// reject codes (wire.hpp AuthRejectCode) separate the failure classes,
+// and a handshake that stalls past `auth_timeout_ms` is closed so idle
+// half-authenticated sockets cannot accumulate.
+//
 // Protocol errors (bad length prefix, unknown kind, codec violation) close
 // the connection: a length-prefixed stream cannot resync after a framing
 // lie, and a peer that sends garbage cannot be trusted with partial state.
@@ -43,6 +54,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/random.hpp"
+#include "crypto/rsa.hpp"
 #include "obs/trace.hpp"
 #include "query/admission.hpp"
 #include "query/query_service.hpp"
@@ -74,6 +87,19 @@ struct PtmdOptions {
   /// Test/benchmark knob: artificial microseconds of work per ingest, so
   /// loadgen can push the daemon into visible shedding on any machine.
   std::uint64_t ingest_stall_us = 0;
+  /// CA public key certificates must chain to.  Present = the server
+  /// answers handshakes; absent = auth-hello gets kAuthUnavailable.
+  std::optional<RsaPublicKey> auth_ca_key;
+  /// Refuse ALL traffic from unauthenticated connections.  start() fails
+  /// with InvalidArgument if set without `auth_ca_key` - a server that
+  /// demands proofs it cannot verify would reject everyone.
+  bool require_auth = false;
+  /// The measurement period certificates must cover (their validity
+  /// windows are in periods, matching verify_certificate).
+  std::uint64_t auth_period = 0;
+  /// A require_auth connection still unauthenticated after this long is
+  /// closed.  Clamped to >= 1 at construction.
+  std::uint64_t auth_timeout_ms = 5000;
 };
 
 class PtmdServer {
@@ -105,6 +131,14 @@ class PtmdServer {
   }
 
  private:
+  /// Handshake progress.  kReady on a require_auth connection means the
+  /// proof verified; otherwise it is the (unauthenticated) initial state.
+  enum class AuthPhase : std::uint8_t {
+    kReady,
+    kAwaitHello,  ///< require_auth: nothing accepted but auth-hello
+    kAwaitProof,  ///< challenge sent; nothing accepted but auth-proof
+  };
+
   /// Per-connection state; lives on the loop thread only.
   struct Conn {
     Socket sock;
@@ -116,6 +150,10 @@ class PtmdServer {
     bool closing = false;   ///< flush outbuf, then close
     std::uint64_t last_activity_ms = 0;
     std::uint64_t id = 0;
+    AuthPhase auth_phase = AuthPhase::kReady;
+    std::vector<std::uint8_t> auth_nonce;      ///< challenge sent, if any
+    RsaPublicKey peer_key;                     ///< from the verified cert
+    std::vector<std::uint8_t> peer_cert_bytes; ///< exact hello bytes
   };
 
   struct IngestJob {
@@ -130,6 +168,10 @@ class PtmdServer {
   void pause_accepts();
   void on_conn_event(int fd, std::uint32_t events);
   void handle_payload(Conn& conn, std::span<const std::uint8_t> payload);
+  void handle_auth(Conn& conn, const WireMessage& message);
+  /// Sends auth-reject(code) and schedules the close (flush-then-close);
+  /// `conn` may be destroyed during the call.
+  void reject_auth(Conn& conn, AuthRejectCode code);
   void handle_frame(Conn& conn, const Frame& frame);
   void finish_ingest(std::uint64_t conn_id, std::uint64_t location,
                      std::uint64_t period, const TraceContext& trace,
@@ -159,6 +201,8 @@ class PtmdServer {
   std::map<int, std::unique_ptr<Conn>> conns_;        ///< fd -> conn
   std::map<std::uint64_t, int> conn_fd_by_id_;        ///< id -> fd
   std::uint64_t next_conn_id_ = 1;
+  Xoshiro256 auth_rng_{1};  ///< challenge nonces (reseeded from entropy
+                            ///< at construction); loop thread only
 
   // Worker queue (mutex-guarded; workers block here, never in the loop).
   std::mutex jobs_mu_;
@@ -171,6 +215,9 @@ class PtmdServer {
   Counter& ingest_shed_;      ///< transport_ingest_shed_total
   Counter& nacks_;            ///< transport_nacks_total
   Counter& protocol_errors_;  ///< transport_protocol_errors_total
+  Counter& auth_ok_;          ///< transport_auth_ok_total
+  Counter& auth_failures_;    ///< transport_auth_failures_total (timeouts)
+  Counter& auth_rejects_;     ///< transport_auth_rejects_total
   Gauge& connections_;        ///< transport_connections
 };
 

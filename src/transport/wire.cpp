@@ -22,8 +22,35 @@ WireKind wire_kind(const WireMessage& message) noexcept {
     WireKind operator()(const StatsResponse&) const {
       return WireKind::kStatsResponse;
     }
+    WireKind operator()(const AuthHello&) const {
+      return WireKind::kAuthHello;
+    }
+    WireKind operator()(const AuthChallenge&) const {
+      return WireKind::kAuthChallenge;
+    }
+    WireKind operator()(const AuthProof&) const {
+      return WireKind::kAuthProof;
+    }
+    WireKind operator()(const AuthReject&) const {
+      return WireKind::kAuthReject;
+    }
+    WireKind operator()(const AuthOk&) const { return WireKind::kAuthOk; }
   };
   return std::visit(Visitor{}, message);
+}
+
+const char* auth_reject_code_name(AuthRejectCode code) noexcept {
+  switch (code) {
+    case AuthRejectCode::kAuthRequired: return "auth-required";
+    case AuthRejectCode::kMalformedCertificate:
+      return "malformed-certificate";
+    case AuthRejectCode::kUntrustedCertificate:
+      return "untrusted-certificate";
+    case AuthRejectCode::kCertificateExpired: return "certificate-expired";
+    case AuthRejectCode::kBadProof: return "bad-proof";
+    case AuthRejectCode::kAuthUnavailable: return "auth-unavailable";
+  }
+  return "unknown";
 }
 
 const char* wire_kind_name(WireKind kind) noexcept {
@@ -34,6 +61,11 @@ const char* wire_kind_name(WireKind kind) noexcept {
     case WireKind::kUploadNack: return "upload-nack";
     case WireKind::kStatsRequest: return "stats-request";
     case WireKind::kStatsResponse: return "stats-response";
+    case WireKind::kAuthHello: return "auth-hello";
+    case WireKind::kAuthChallenge: return "auth-challenge";
+    case WireKind::kAuthProof: return "auth-proof";
+    case WireKind::kAuthReject: return "auth-reject";
+    case WireKind::kAuthOk: return "auth-ok";
   }
   return "unknown";
 }
@@ -60,6 +92,13 @@ std::vector<std::uint8_t> encode_wire_message(const WireMessage& message) {
     }
     void operator()(const StatsRequest&) const {}
     void operator()(const StatsResponse& s) const { w.str(s.json); }
+    void operator()(const AuthHello& h) const { w.bytes(h.certificate); }
+    void operator()(const AuthChallenge& c) const { w.bytes(c.nonce); }
+    void operator()(const AuthProof& p) const { w.bytes(p.signature); }
+    void operator()(const AuthReject& r) const {
+      w.u8(static_cast<std::uint8_t>(r.code));
+    }
+    void operator()(const AuthOk&) const {}
   };
   std::visit(Visitor{w}, message);
   return w.take();
@@ -132,6 +171,50 @@ Result<WireMessage> decode_wire_message(
       decoded = WireMessage{StatsResponse{std::move(*json)}};
       break;
     }
+    case WireKind::kAuthHello: {
+      auto cert = r.bytes();
+      if (!cert) return cert.status();
+      if (cert->empty()) {
+        return Status{ErrorCode::kParseError, "auth-hello: empty certificate"};
+      }
+      decoded = WireMessage{AuthHello{std::move(*cert)}};
+      break;
+    }
+    case WireKind::kAuthChallenge: {
+      auto nonce = r.bytes();
+      if (!nonce) return nonce.status();
+      // A nonce is a few dozen bytes; past this bound the peer is either
+      // broken or hostile, and signing megabytes of "nonce" is how a
+      // signature oracle gets abused.
+      if (nonce->empty() || nonce->size() > 256) {
+        return Status{ErrorCode::kParseError,
+                      "auth-challenge: nonce must be 1..256 bytes"};
+      }
+      decoded = WireMessage{AuthChallenge{std::move(*nonce)}};
+      break;
+    }
+    case WireKind::kAuthProof: {
+      auto sig = r.bytes();
+      if (!sig) return sig.status();
+      if (sig->empty()) {
+        return Status{ErrorCode::kParseError, "auth-proof: empty signature"};
+      }
+      decoded = WireMessage{AuthProof{std::move(*sig)}};
+      break;
+    }
+    case WireKind::kAuthReject: {
+      auto code = r.u8();
+      if (!code) return code.status();
+      if (*code < static_cast<std::uint8_t>(AuthRejectCode::kAuthRequired) ||
+          *code > static_cast<std::uint8_t>(AuthRejectCode::kAuthUnavailable)) {
+        return Status{ErrorCode::kParseError, "auth-reject: unknown code"};
+      }
+      decoded = WireMessage{AuthReject{static_cast<AuthRejectCode>(*code)}};
+      break;
+    }
+    case WireKind::kAuthOk:
+      decoded = WireMessage{AuthOk{}};
+      break;
   }
   if (!decoded) return decoded;
   if (!r.exhausted()) {

@@ -16,6 +16,19 @@
 //                                           code(u8) retryable(u8)
 //            | 5 stats-request    payload = empty
 //            | 6 stats-response   payload = str(json)
+//            | 7 auth-hello       payload = bytes(Certificate::serialize())
+//            | 8 auth-challenge   payload = bytes(server nonce)
+//            | 9 auth-proof       payload = bytes(RSA signature over the
+//                                           channel-binding transcript)
+//            | 10 auth-reject     payload = code(u8)
+//            | 11 auth-ok         payload = empty
+//
+// Kinds 7-11 are the PKI handshake (docs/transport.md, *Authenticated
+// handshake*): the client presents its §II-B certificate, the server
+// challenges with a fresh nonce, and the client proves key possession by
+// signing nonce + certificate hash.  auth-reject carries a distinct code
+// per failure class so a fleet operator can tell a clock-skewed RSU from
+// a rogue one in telemetry alone.
 //
 // Messages travel length-prefixed on the stream (framing.hpp).  The codec
 // is bounds-checked end to end: bytes arrive from a real network peer, so
@@ -41,7 +54,26 @@ enum class WireKind : std::uint8_t {
   kUploadNack = 4,
   kStatsRequest = 5,
   kStatsResponse = 6,
+  kAuthHello = 7,
+  kAuthChallenge = 8,
+  kAuthProof = 9,
+  kAuthReject = 10,
+  kAuthOk = 11,
 };
+
+/// Why the server refused a handshake.  Distinct codes are part of the
+/// contract: "expired window" (fix the clock / reissue) and "untrusted
+/// certificate" (rogue peer) demand different operator responses.
+enum class AuthRejectCode : std::uint8_t {
+  kAuthRequired = 1,          ///< non-handshake message before auth-ok
+  kMalformedCertificate = 2,  ///< auth-hello bytes do not decode
+  kUntrustedCertificate = 3,  ///< CA signature verification failed
+  kCertificateExpired = 4,    ///< validity window misses the auth period
+  kBadProof = 5,              ///< challenge signature verification failed
+  kAuthUnavailable = 6,       ///< server has no CA key configured
+};
+
+[[nodiscard]] const char* auth_reject_code_name(AuthRejectCode code) noexcept;
 
 /// Liveness probe.  The receiver echoes the payload back verbatim as a
 /// kHeartbeatAck, so the sender can measure round-trip time and detect a
@@ -89,8 +121,48 @@ struct StatsResponse {
                          const StatsResponse&) = default;
 };
 
-using WireMessage = std::variant<Frame, Heartbeat, HeartbeatAck, UploadNack,
-                                 StatsRequest, StatsResponse>;
+/// Client -> server: opens the handshake with the peer's serialized
+/// §II-B certificate (raw bytes, not a decoded struct - the transcript
+/// binds to the exact bytes presented, so re-serialization ambiguity can
+/// never split what was verified from what was signed).
+struct AuthHello {
+  std::vector<std::uint8_t> certificate;
+
+  friend bool operator==(const AuthHello&, const AuthHello&) = default;
+};
+
+/// Server -> client: a fresh random nonce the client must sign.
+struct AuthChallenge {
+  std::vector<std::uint8_t> nonce;
+
+  friend bool operator==(const AuthChallenge&,
+                         const AuthChallenge&) = default;
+};
+
+/// Client -> server: RSA signature over the channel-binding transcript
+/// (auth.hpp) under the certificate's subject key.
+struct AuthProof {
+  std::vector<std::uint8_t> signature;
+
+  friend bool operator==(const AuthProof&, const AuthProof&) = default;
+};
+
+/// Server -> client: handshake refused; the connection closes after this.
+struct AuthReject {
+  AuthRejectCode code = AuthRejectCode::kAuthRequired;
+
+  friend bool operator==(const AuthReject&, const AuthReject&) = default;
+};
+
+/// Server -> client: proof verified; the session may carry traffic.
+struct AuthOk {
+  friend bool operator==(const AuthOk&, const AuthOk&) = default;
+};
+
+using WireMessage =
+    std::variant<Frame, Heartbeat, HeartbeatAck, UploadNack, StatsRequest,
+                 StatsResponse, AuthHello, AuthChallenge, AuthProof,
+                 AuthReject, AuthOk>;
 
 [[nodiscard]] WireKind wire_kind(const WireMessage& message) noexcept;
 [[nodiscard]] const char* wire_kind_name(WireKind kind) noexcept;

@@ -1,8 +1,17 @@
 // Tests for crypto/certificate.hpp: the trusted-third-party chain that
-// gates all V2I participation (paper §II-B).
+// gates all V2I participation (paper §II-B), plus the keyfile on-disk
+// forms the transport tools exchange credentials through.
 #include "crypto/certificate.hpp"
 
 #include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "crypto/keyfile.hpp"
 
 namespace ptm {
 namespace {
@@ -17,7 +26,7 @@ class CertificateTest : public ::testing::Test {
 
 TEST_F(CertificateTest, IssueAndVerify) {
   const RsaKeyPair rsu_keys = rsa_generate(512, rng_);
-  const Certificate cert = ca_.issue("rsu:12", 12, rsu_keys.pub, 0, 100);
+  const Certificate cert = *ca_.issue("rsu:12", 12, rsu_keys.pub, 0, 100);
   EXPECT_EQ(cert.subject, "rsu:12");
   EXPECT_EQ(cert.subject_id, 12u);
   EXPECT_EQ(cert.issuer, "dot-authority");
@@ -28,7 +37,7 @@ TEST_F(CertificateTest, IssueAndVerify) {
 
 TEST_F(CertificateTest, OutsideValidityWindowRejected) {
   const RsaKeyPair keys = rsa_generate(512, rng_);
-  const Certificate cert = ca_.issue("rsu:1", 1, keys.pub, 10, 20);
+  const Certificate cert = *ca_.issue("rsu:1", 1, keys.pub, 10, 20);
   EXPECT_EQ(verify_certificate(cert, ca_.public_key(), 9).code(),
             ErrorCode::kAuthFailure);
   EXPECT_EQ(verify_certificate(cert, ca_.public_key(), 21).code(),
@@ -40,14 +49,14 @@ TEST_F(CertificateTest, RogueCaRejected) {
   Xoshiro256 rogue_rng(666);
   const CertificateAuthority rogue("rogue-ca", 512, rogue_rng);
   const RsaKeyPair keys = rsa_generate(512, rogue_rng);
-  const Certificate cert = rogue.issue("rsu:1", 1, keys.pub, 0, 100);
+  const Certificate cert = *rogue.issue("rsu:1", 1, keys.pub, 0, 100);
   EXPECT_EQ(verify_certificate(cert, ca_.public_key(), 50).code(),
             ErrorCode::kAuthFailure);
 }
 
 TEST_F(CertificateTest, TamperedFieldsRejected) {
   const RsaKeyPair keys = rsa_generate(512, rng_);
-  const Certificate good = ca_.issue("rsu:5", 5, keys.pub, 0, 100);
+  const Certificate good = *ca_.issue("rsu:5", 5, keys.pub, 0, 100);
 
   Certificate subject_swap = good;
   subject_swap.subject_id = 6;  // claim a different location
@@ -70,7 +79,7 @@ TEST_F(CertificateTest, TamperedFieldsRejected) {
 
 TEST_F(CertificateTest, SerializeRoundTrip) {
   const RsaKeyPair keys = rsa_generate(512, rng_);
-  const Certificate cert = ca_.issue("rsu:3", 3, keys.pub, 7, 77);
+  const Certificate cert = *ca_.issue("rsu:3", 3, keys.pub, 7, 77);
   const auto bytes = cert.serialize();
   const auto decoded = Certificate::deserialize(bytes);
   ASSERT_TRUE(decoded.has_value());
@@ -87,7 +96,7 @@ TEST_F(CertificateTest, SerializeRoundTrip) {
 
 TEST_F(CertificateTest, DeserializeRejectsTruncation) {
   const RsaKeyPair keys = rsa_generate(512, rng_);
-  const Certificate cert = ca_.issue("rsu:3", 3, keys.pub, 0, 10);
+  const Certificate cert = *ca_.issue("rsu:3", 3, keys.pub, 0, 10);
   auto bytes = cert.serialize();
   for (std::size_t keep : {std::size_t{0}, std::size_t{3}, bytes.size() / 2,
                            bytes.size() - 1}) {
@@ -99,10 +108,96 @@ TEST_F(CertificateTest, DeserializeRejectsTruncation) {
 
 TEST_F(CertificateTest, TbsBytesExcludeSignature) {
   const RsaKeyPair keys = rsa_generate(512, rng_);
-  Certificate cert = ca_.issue("rsu:9", 9, keys.pub, 0, 10);
+  Certificate cert = *ca_.issue("rsu:9", 9, keys.pub, 0, 10);
   const auto tbs_before = cert.tbs_bytes();
   cert.signature[0] ^= 0xFF;
   EXPECT_EQ(cert.tbs_bytes(), tbs_before);
+}
+
+TEST_F(CertificateTest, IssueRefusesInvertedValidityWindow) {
+  // valid_from > valid_until can never cover any period - signing it
+  // would mint a credential broken by construction.
+  const RsaKeyPair keys = rsa_generate(512, rng_);
+  const auto cert = ca_.issue("rsu:2", 2, keys.pub, 20, 10);
+  ASSERT_FALSE(cert.has_value());
+  EXPECT_EQ(cert.status().code(), ErrorCode::kInvalidArgument);
+  // The boundary case (a one-period window) is legal.
+  EXPECT_TRUE(ca_.issue("rsu:2", 2, keys.pub, 10, 10).has_value());
+}
+
+TEST_F(CertificateTest, DeserializeRejectsInvertedValidityWindow) {
+  const RsaKeyPair keys = rsa_generate(512, rng_);
+  Certificate cert = *ca_.issue("rsu:2", 2, keys.pub, 3, 9);
+  cert.valid_from = 9;
+  cert.valid_until = 3;  // tampered into an inverted window
+  const auto decoded = Certificate::deserialize(cert.serialize());
+  ASSERT_FALSE(decoded.has_value());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kInvalidArgument);
+}
+
+class KeyfileTest : public CertificateTest {
+ protected:
+  std::string temp_path(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "/ptm_keyfile_" +
+                             std::to_string(::getpid()) + "_" + name;
+    std::remove(path.c_str());
+    return path;
+  }
+};
+
+TEST_F(KeyfileTest, PublicKeyRoundTrips) {
+  const std::string path = temp_path("ca.pub");
+  ASSERT_TRUE(save_public_key_file(path, ca_.public_key()).is_ok());
+  auto loaded = load_public_key_file(path);
+  ASSERT_TRUE(loaded.has_value()) << loaded.status().to_string();
+  EXPECT_EQ(*loaded, ca_.public_key());
+  std::remove(path.c_str());
+}
+
+TEST_F(KeyfileTest, KeypairAndCertificateRoundTrip) {
+  const RsaKeyPair keys = rsa_generate(512, rng_);
+  const Certificate cert = *ca_.issue("rsu:4", 4, keys.pub, 0, 50);
+  const std::string key_path = temp_path("rsu.key");
+  const std::string cert_path = temp_path("rsu.cert");
+  ASSERT_TRUE(save_keypair_file(key_path, keys).is_ok());
+  ASSERT_TRUE(save_certificate_file(cert_path, cert).is_ok());
+
+  auto loaded_keys = load_keypair_file(key_path);
+  ASSERT_TRUE(loaded_keys.has_value()) << loaded_keys.status().to_string();
+  EXPECT_EQ(loaded_keys->pub, keys.pub);
+  auto loaded_cert = load_certificate_file(cert_path);
+  ASSERT_TRUE(loaded_cert.has_value()) << loaded_cert.status().to_string();
+  EXPECT_EQ(loaded_cert->serialize(), cert.serialize());
+  // The reloaded pair still works end to end: sign with the key, verify
+  // the certificate chain.
+  EXPECT_TRUE(verify_certificate(*loaded_cert, ca_.public_key(), 25).is_ok());
+  std::remove(key_path.c_str());
+  std::remove(cert_path.c_str());
+}
+
+TEST_F(KeyfileTest, WrongMagicAndGarbageAreRejected) {
+  const std::string path = temp_path("mixed");
+  // A certificate file can never load where a private key is expected.
+  const RsaKeyPair keys = rsa_generate(512, rng_);
+  const Certificate cert = *ca_.issue("rsu:4", 4, keys.pub, 0, 50);
+  ASSERT_TRUE(save_certificate_file(path, cert).is_ok());
+  auto as_key = load_keypair_file(path);
+  ASSERT_FALSE(as_key.has_value());
+  EXPECT_EQ(as_key.status().code(), ErrorCode::kParseError);
+
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "PTM-KEY-V1\nnot-hex-at-all\n";
+  }
+  EXPECT_FALSE(load_keypair_file(path).has_value());
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "PTM-KEY-V1\nabc\n";  // odd-length hex
+  }
+  EXPECT_FALSE(load_keypair_file(path).has_value());
+  EXPECT_EQ(load_public_key_file(temp_path("missing")).status().code(),
+            ErrorCode::kNotFound);
+  std::remove(path.c_str());
 }
 
 }  // namespace

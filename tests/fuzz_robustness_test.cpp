@@ -123,7 +123,7 @@ TEST(Fuzz, MutatedCertificateNeverVerifies) {
   Xoshiro256 rng(6);
   CertificateAuthority ca("ca", 512, rng);
   const RsaKeyPair keys = rsa_generate(512, rng);
-  const Certificate cert = ca.issue("rsu:1", 1, keys.pub, 0, 100);
+  const Certificate cert = *ca.issue("rsu:1", 1, keys.pub, 0, 100);
   const auto wire = cert.serialize();
   for (int i = 0; i < 300; ++i) {
     auto mutated = wire;

@@ -13,7 +13,7 @@ class MessageTest : public ::testing::Test {
 
   Certificate make_cert(std::uint64_t location) {
     const RsaKeyPair keys = rsa_generate(512, rng_);
-    return ca_.issue("rsu:" + std::to_string(location), location, keys.pub,
+    return *ca_.issue("rsu:" + std::to_string(location), location, keys.pub,
                      0, 1000);
   }
 

@@ -32,13 +32,18 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/random.hpp"
+#include "crypto/certificate.hpp"
+#include "crypto/keyfile.hpp"
 #include "store/record_log.hpp"
+#include "transport/auth.hpp"
 #include "transport/emulator.hpp"
 #include "transport/socket.hpp"
 
@@ -64,8 +69,11 @@ struct PtmdProcess {
 };
 
 /// Spawns ptmd and blocks until it prints its "ready" line (or `timeout`).
+/// `extra_args` is appended to the base command line (e.g. the
+/// authenticated deployment's --require-auth --ca-cert pair).
 PtmdProcess spawn_ptmd(const std::string& listen, const std::string& archive,
                        std::uint64_t stall_us,
+                       const std::vector<std::string>& extra_args = {},
                        std::chrono::milliseconds timeout = 10s) {
   int pipe_fds[2] = {-1, -1};
   if (::pipe(pipe_fds) != 0) return {};
@@ -85,10 +93,17 @@ PtmdProcess spawn_ptmd(const std::string& listen, const std::string& archive,
     ::close(pipe_fds[0]);
     ::close(pipe_fds[1]);
     const std::string stall = std::to_string(stall_us);
-    ::execl(PTM_PTMD_BINARY, "ptmd", "--listen", listen.c_str(), "--archive",
-            archive.c_str(), "--ingest_stall_us", stall.c_str(),
-            "--ingest_threads", "1", "--max_inflight", "4",
-            static_cast<char*>(nullptr));
+    std::vector<std::string> args{
+        "ptmd",           "--listen",         listen,
+        "--archive",      archive,            "--ingest_stall_us",
+        stall,            "--ingest_threads", "1",
+        "--max_inflight", "4"};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(PTM_PTMD_BINARY, argv.data());
     ::_exit(127);  // exec failed
   }
   ::close(pipe_fds[1]);
@@ -156,15 +171,23 @@ bool wait_for_growth(const std::string& path, std::uint64_t above,
   return false;
 }
 
-TEST(PtmdChaosTest, ExactlyOnceThroughTwoKillsAndScriptedSevers) {
-  const std::string stem = ::testing::TempDir() + "/ptm_pchaos_" +
+/// The kill -9 exactly-once scenario, in both deployments: `authenticated`
+/// adds a PKI (CA public key on the daemon's command line, credentials in
+/// the emulator) and aims the scripted socket faults at HANDSHAKE frames -
+/// with auth, a connection's outbound frames are hello(0), proof(1),
+/// traffic(2+), so a torn proof and a dropped hello prove that a
+/// half-finished handshake retries cleanly and never leaks a
+/// half-authenticated session into the durability contract.
+void run_chaos_scenario(const std::string& tag, bool authenticated) {
+  const std::string stem = ::testing::TempDir() + "/ptm_pchaos_" + tag + "_" +
                            std::to_string(::getpid());
   const std::string sock_path = stem + ".sock";
   const std::string listen = "unix:" + sock_path;
   const std::string archive = stem + ".archive";
   const std::string journal = stem + ".journal";
   const std::string outbox = stem + ".outbox";
-  for (const auto& p : {archive, journal, outbox, sock_path}) {
+  const std::string ca_path = stem + ".ca.pub";
+  for (const auto& p : {archive, journal, outbox, sock_path, ca_path}) {
     std::remove(p.c_str());
   }
 
@@ -172,7 +195,21 @@ TEST(PtmdChaosTest, ExactlyOnceThroughTwoKillsAndScriptedSevers) {
   constexpr std::size_t kPeriods = 8;
   constexpr std::uint64_t kStallUs = 15000;  // 15ms/ingest: kills land mid-run
 
-  PtmdProcess daemon = spawn_ptmd(listen, archive, kStallUs);
+  std::vector<std::string> extra_args;
+  std::optional<AuthCredentials> credentials;
+  if (authenticated) {
+    Xoshiro256 rng(2024);
+    CertificateAuthority ca("chaos-ca", 512, rng);
+    RsaKeyPair keys = rsa_generate(512, rng);
+    auto cert = ca.issue("rsu:" + std::to_string(kLocation), kLocation,
+                         keys.pub, 0, 1'000'000);
+    ASSERT_TRUE(cert.has_value());
+    credentials = AuthCredentials{std::move(keys), std::move(*cert)};
+    ASSERT_TRUE(save_public_key_file(ca_path, ca.public_key()).is_ok());
+    extra_args = {"--require-auth", "--ca-cert", ca_path};
+  }
+
+  PtmdProcess daemon = spawn_ptmd(listen, archive, kStallUs, extra_args);
   ASSERT_GT(daemon.pid, 0) << "ptmd failed to start";
 
   // The killer: wait for real ingest progress, kill -9, restart; twice.
@@ -187,7 +224,7 @@ TEST(PtmdChaosTest, ExactlyOnceThroughTwoKillsAndScriptedSevers) {
       kill9_and_reap(daemon);
       kills.fetch_add(1);
       watermark = file_size(archive);
-      daemon = spawn_ptmd(listen, archive, kStallUs);
+      daemon = spawn_ptmd(listen, archive, kStallUs, extra_args);
       if (daemon.pid <= 0) {
         restarts_failed.fetch_add(1);
         return;
@@ -211,6 +248,7 @@ TEST(PtmdChaosTest, ExactlyOnceThroughTwoKillsAndScriptedSevers) {
   options.tuning.backoff_base_ms = 10;
   options.tuning.backoff_cap_ms = 200;
   options.seed = 42;
+  options.credentials = credentials;
 
   auto server_ep = parse_endpoint(listen);
   ASSERT_TRUE(server_ep.has_value());
@@ -219,12 +257,22 @@ TEST(PtmdChaosTest, ExactlyOnceThroughTwoKillsAndScriptedSevers) {
   std::uint64_t pending = 0;
   {
     RsuEmulator emulator(*server_ep, options);
-    // Scripted socket chaos on top of the kills: connection 0 cuts its
-    // 3rd frame mid-bytes (torn frame at the server), connection 1
-    // silently drops its 2nd (the emulator retries on deliver timeout).
-    emulator.connection().set_socket_faults(
-        {{0, {{2, SocketFaultAction::kTruncateAndSever, 0, 7}}},
-         {1, {{1, SocketFaultAction::kDropFrame, 0, 0}}}});
+    if (authenticated) {
+      // Handshake-phase chaos on top of the kills: connection 0 tears its
+      // proof (frame 1) mid-bytes, connection 1 silently drops its hello
+      // (frame 0).  Both sessions die half-authenticated; the supervisor
+      // must redial and re-handshake before any traffic frame.
+      emulator.connection().set_socket_faults(
+          {{0, {{1, SocketFaultAction::kTruncateAndSever, 0, 3}}},
+           {1, {{0, SocketFaultAction::kDropFrame, 0, 0}}}});
+    } else {
+      // Scripted socket chaos on top of the kills: connection 0 cuts its
+      // 3rd frame mid-bytes (torn frame at the server), connection 1
+      // silently drops its 2nd (the emulator retries on deliver timeout).
+      emulator.connection().set_socket_faults(
+          {{0, {{2, SocketFaultAction::kTruncateAndSever, 0, 7}}},
+           {1, {{1, SocketFaultAction::kDropFrame, 0, 0}}}});
+    }
     auto report = emulator.run();
     ASSERT_TRUE(report.has_value()) << report.status().to_string();
     reconnects = report->reconnects;
@@ -275,12 +323,23 @@ TEST(PtmdChaosTest, ExactlyOnceThroughTwoKillsAndScriptedSevers) {
 
   // Reconnects are the backoff ladder doing its job, not a spin: two
   // kills + two scripted severs with a capped-at-200ms ladder inside a
-  // <60s run cannot plausibly need more than a few dozen dials.
-  EXPECT_LE(reconnects, 60u);
+  // <60s run cannot plausibly need more than a few dozen dials.  The
+  // authenticated run needs extra headroom: a kill landing mid-handshake
+  // burns a dial per hello/challenge/proof round trip until the daemon
+  // is back, so its dial count runs higher without being a spin.
+  EXPECT_LE(reconnects, authenticated ? 120u : 60u);
 
-  for (const auto& p : {archive, journal, outbox, sock_path}) {
+  for (const auto& p : {archive, journal, outbox, sock_path, ca_path}) {
     std::remove(p.c_str());
   }
+}
+
+TEST(PtmdChaosTest, ExactlyOnceThroughTwoKillsAndScriptedSevers) {
+  run_chaos_scenario("plain", /*authenticated=*/false);
+}
+
+TEST(PtmdChaosTest, ExactlyOnceWithRequiredAuthAndHandshakeFaults) {
+  run_chaos_scenario("auth", /*authenticated=*/true);
 }
 
 }  // namespace

@@ -28,7 +28,7 @@ class RsuTest : public ::testing::Test {
 
   Rsu make_rsu(std::uint64_t location = 7, std::size_t m = 1024) {
     RsaKeyPair keys = rsa_generate(512, rng_);
-    Certificate cert = ca_.issue("rsu:" + std::to_string(location), location,
+    Certificate cert = *ca_.issue("rsu:" + std::to_string(location), location,
                                  keys.pub, 0, 1000);
     return Rsu(location, std::move(keys), std::move(cert), m);
   }

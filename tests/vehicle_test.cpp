@@ -25,7 +25,7 @@ class VehicleTest : public ::testing::Test {
     b.location = location;
     b.period = period;
     b.bitmap_size = m;
-    b.certificate = ca_.issue("rsu:" + std::to_string(location), location,
+    b.certificate = *ca_.issue("rsu:" + std::to_string(location), location,
                               rsu_keys_.pub, 0, 1000);
     return b;
   }
@@ -67,7 +67,7 @@ TEST_F(VehicleTest, RejectsRogueCertificate) {
   const CertificateAuthority rogue("rogue", 512, rogue_rng);
   Beacon beacon = make_beacon();
   beacon.certificate =
-      rogue.issue("rsu:7", 7, rsu_keys_.pub, 0, 1000);  // untrusted issuer
+      *rogue.issue("rsu:7", 7, rsu_keys_.pub, 0, 1000);  // untrusted issuer
   Vehicle v = make_vehicle();
   EXPECT_EQ(v.handle_beacon(beacon).status().code(), ErrorCode::kAuthFailure);
   EXPECT_FALSE(v.contact_pending());

@@ -5,15 +5,18 @@
 //
 //   loadgen --server unix:/tmp/ptmd.sock [--connections N] [--locations N]
 //           [--periods N] [--time_cap_ms N] [--seed N] [--json FILE]
-//           [--rev STRING] [--smoke]
+//           [--rev STRING] [--smoke] [--key FILE --cert FILE]
 //
 // --smoke shrinks the workload to a seconds-long CI gate and fails (exit
-// 1) unless every record was delivered.
+// 1) unless every record was delivered.  --key / --cert (both or neither)
+// load PTM-KEY-V1 / PTM-CERT-V1 credentials shared by every worker so the
+// replay can target a ptmd running --require-auth.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "crypto/keyfile.hpp"
 #include "transport/loadgen.hpp"
 
 namespace {
@@ -35,6 +38,8 @@ int main(int argc, char** argv) {
   std::string server = "unix:/tmp/ptmd.sock";
   std::string json_path;
   std::string rev = "local";
+  std::string key_path;
+  std::string cert_path;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -65,11 +70,16 @@ int main(int argc, char** argv) {
       rev = next();
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--key") {
+      key_path = next();
+    } else if (arg == "--cert") {
+      cert_path = next();
     } else if (arg == "--help") {
       std::cout << "usage: loadgen --server ENDPOINT [--connections N]\n"
                    "               [--locations N] [--periods N]\n"
                    "               [--time_cap_ms N] [--seed N]\n"
-                   "               [--json FILE] [--rev STR] [--smoke]\n";
+                   "               [--json FILE] [--rev STR] [--smoke]\n"
+                   "               [--key FILE --cert FILE]\n";
       return 0;
     } else {
       std::cerr << "loadgen: unknown flag " << arg << " (try --help)\n";
@@ -81,6 +91,24 @@ int main(int argc, char** argv) {
     options.locations = 4;
     options.periods = 4;
     options.time_cap_ms = 20000;
+  }
+  if (key_path.empty() != cert_path.empty()) {
+    std::cerr << "loadgen: --key and --cert must be given together\n";
+    return 2;
+  }
+  if (!key_path.empty()) {
+    auto keys = ptm::load_keypair_file(key_path);
+    if (!keys) {
+      std::cerr << "loadgen: --key: " << keys.status().to_string() << "\n";
+      return 2;
+    }
+    auto cert = ptm::load_certificate_file(cert_path);
+    if (!cert) {
+      std::cerr << "loadgen: --cert: " << cert.status().to_string() << "\n";
+      return 2;
+    }
+    options.credentials =
+        ptm::transport::AuthCredentials{std::move(*keys), std::move(*cert)};
   }
   auto endpoint = ptm::transport::parse_endpoint(server);
   if (!endpoint) {

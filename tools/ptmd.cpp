@@ -10,6 +10,13 @@
 //   ptmd --listen unix:/tmp/ptmd.sock --archive /var/lib/ptm/records.log
 //        [--max_inflight N] [--ingest_threads N] [--shards N]
 //        [--pending_per_conn N] [--ingest_stall_us N] [--idle_timeout_ms N]
+//        [--ca-cert FILE] [--require-auth] [--auth-period N]
+//        [--auth-timeout-ms N]
+//
+// --ca-cert loads a PTM-PUB-V1 CA public key; with --require-auth every
+// connection must complete the §II-B challenge-response handshake before
+// its first v2i frame (see docs/transport.md).  --auth-period is the
+// measurement period certificates must cover.
 //
 // The daemon prints "ready <endpoint>" on stdout once accepting (chaos
 // harnesses wait for that line), then runs until SIGINT/SIGTERM.
@@ -21,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/keyfile.hpp"
 #include "transport/server.hpp"
 
 namespace {
@@ -73,11 +81,26 @@ int main(int argc, char** argv) {
       options.ingest_stall_us = arg_u64(next(), "--ingest_stall_us");
     } else if (arg == "--idle_timeout_ms") {
       options.idle_timeout_ms = arg_u64(next(), "--idle_timeout_ms");
+    } else if (arg == "--ca-cert") {
+      auto key = ptm::load_public_key_file(next());
+      if (!key) {
+        std::cerr << "ptmd: --ca-cert: " << key.status().to_string() << "\n";
+        return 2;
+      }
+      options.auth_ca_key = *key;
+    } else if (arg == "--require-auth") {
+      options.require_auth = true;
+    } else if (arg == "--auth-period") {
+      options.auth_period = arg_u64(next(), "--auth-period");
+    } else if (arg == "--auth-timeout-ms") {
+      options.auth_timeout_ms = arg_u64(next(), "--auth-timeout-ms");
     } else if (arg == "--help") {
       std::cout << "usage: ptmd --listen ENDPOINT [--archive FILE]\n"
                    "            [--max_inflight N] [--ingest_threads N]\n"
                    "            [--shards N] [--pending_per_conn N]\n"
-                   "            [--ingest_stall_us N] [--idle_timeout_ms N]\n";
+                   "            [--ingest_stall_us N] [--idle_timeout_ms N]\n"
+                   "            [--ca-cert FILE] [--require-auth]\n"
+                   "            [--auth-period N] [--auth-timeout-ms N]\n";
       return 0;
     } else {
       std::cerr << "ptmd: unknown flag " << arg << " (try --help)\n";

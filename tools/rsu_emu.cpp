@@ -5,7 +5,11 @@
 //
 //   rsu-emu --server unix:/tmp/ptmd.sock --location 7
 //           [--periods N] [--encodes N] [--journal FILE --outbox FILE]
-//           [--drain_timeout_ms N] [--seed N]
+//           [--drain_timeout_ms N] [--seed N] [--key FILE --cert FILE]
+//
+// --key / --cert (both or neither) load a PTM-KEY-V1 keypair and the
+// matching PTM-CERT-V1 issued certificate; the emulator then runs the
+// §II-B handshake against a ptmd started with --require-auth.
 //
 // Exit code 0 means every staged record was acked (outbox drained); 3
 // means records remain pending (rerun with the same journal/outbox to
@@ -14,6 +18,7 @@
 #include <iostream>
 #include <string>
 
+#include "crypto/keyfile.hpp"
 #include "transport/emulator.hpp"
 
 namespace {
@@ -33,6 +38,8 @@ std::uint64_t arg_u64(const char* text, const char* flag) {
 int main(int argc, char** argv) {
   ptm::transport::EmulatorOptions options;
   std::string server = "unix:/tmp/ptmd.sock";
+  std::string key_path;
+  std::string cert_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -58,16 +65,39 @@ int main(int argc, char** argv) {
       options.drain_timeout_ms = arg_u64(next(), "--drain_timeout_ms");
     } else if (arg == "--seed") {
       options.seed = arg_u64(next(), "--seed");
+    } else if (arg == "--key") {
+      key_path = next();
+    } else if (arg == "--cert") {
+      cert_path = next();
     } else if (arg == "--help") {
       std::cout << "usage: rsu-emu --server ENDPOINT --location L\n"
                    "               [--periods N] [--encodes N]\n"
                    "               [--journal FILE --outbox FILE]\n"
-                   "               [--drain_timeout_ms N] [--seed N]\n";
+                   "               [--drain_timeout_ms N] [--seed N]\n"
+                   "               [--key FILE --cert FILE]\n";
       return 0;
     } else {
       std::cerr << "rsu-emu: unknown flag " << arg << " (try --help)\n";
       return 2;
     }
+  }
+  if (key_path.empty() != cert_path.empty()) {
+    std::cerr << "rsu-emu: --key and --cert must be given together\n";
+    return 2;
+  }
+  if (!key_path.empty()) {
+    auto keys = ptm::load_keypair_file(key_path);
+    if (!keys) {
+      std::cerr << "rsu-emu: --key: " << keys.status().to_string() << "\n";
+      return 2;
+    }
+    auto cert = ptm::load_certificate_file(cert_path);
+    if (!cert) {
+      std::cerr << "rsu-emu: --cert: " << cert.status().to_string() << "\n";
+      return 2;
+    }
+    options.credentials =
+        ptm::transport::AuthCredentials{std::move(*keys), std::move(*cert)};
   }
   auto endpoint = ptm::transport::parse_endpoint(server);
   if (!endpoint) {
