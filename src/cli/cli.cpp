@@ -9,6 +9,7 @@
 #include <map>
 #include <sstream>
 
+#include "cluster/coordinator.hpp"
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "core/bootstrap.hpp"
@@ -736,6 +737,98 @@ Status cmd_ping(const Config& flags, std::ostream& out) {
   return Status::ok();
 }
 
+/// cluster-status is a health gate: the report prints either way, but the
+/// exit code must say "degraded" when any member is down.
+Status unreachable_status(const std::vector<cluster::NodeStatus>& statuses) {
+  std::string down;
+  for (const auto& s : statuses) {
+    if (s.reachable) continue;
+    if (!down.empty()) down += ", ";
+    down += std::to_string(s.node_id);
+  }
+  if (down.empty()) return Status::ok();
+  return {ErrorCode::kChannelError, "unreachable cluster nodes: " + down};
+}
+
+Status cmd_cluster_status(const Config& flags, std::ostream& out) {
+  auto spec_text = flags.get_string("cluster");
+  if (!spec_text) return spec_text.status();
+  auto timeout_ms = flags.get_u64_or("timeout_ms", 2000);
+  if (!timeout_ms) return timeout_ms.status();
+  auto format = flags.get_string_or("format", "text");
+  if (!format) return format.status();
+  auto key_path = flags.get_string_or("key", "");
+  if (!key_path) return key_path.status();
+  auto cert_path = flags.get_string_or("cert", "");
+  if (!cert_path) return cert_path.status();
+  if (key_path->empty() != cert_path->empty()) {
+    return {ErrorCode::kInvalidArgument,
+            "cluster-status: --key and --cert must be given together"};
+  }
+
+  auto config = cluster::parse_cluster_spec(*spec_text);
+  if (!config) return config.status();
+
+  cluster::ClusterCoordinatorOptions options;
+  options.config = std::move(*config);
+  options.tuning.connect_timeout_ms = *timeout_ms;
+  options.tuning.io_timeout_ms = *timeout_ms;
+  if (!key_path->empty()) {
+    auto keys = load_keypair_file(*key_path);
+    if (!keys) return keys.status();
+    auto cert = load_certificate_file(*cert_path);
+    if (!cert) return cert.status();
+    options.credentials =
+        transport::AuthCredentials{std::move(*keys), std::move(*cert)};
+  }
+  cluster::ClusterCoordinator coordinator(std::move(options));
+  const auto statuses = coordinator.cluster_status(
+      Deadline::after(std::chrono::milliseconds(*timeout_ms *
+                                                 coordinator.partition_map()
+                                                     .node_count())));
+
+  if (*format == "json") {
+    // One JSON object per node; the stats field is the daemon's own
+    // telemetry document (or null when unreachable).
+    out << "[";
+    for (std::size_t i = 0; i < statuses.size(); ++i) {
+      const auto& s = statuses[i];
+      if (i > 0) out << ",";
+      out << "{\"node\":" << s.node_id << ",\"client\":\""
+          << s.client_endpoint << "\",\"repl\":\"" << s.repl_endpoint
+          << "\",\"vnodes\":" << s.vnodes
+          << ",\"reachable\":" << (s.reachable ? "true" : "false")
+          << ",\"stats\":" << (s.reachable ? s.stats_json : "null") << "}";
+    }
+    out << "]\n";
+    return unreachable_status(statuses);
+  }
+
+  TableWriter table({"node", "client endpoint", "repl endpoint", "vnodes",
+                     "state", "ingested", "repl records", "subscribers",
+                     "repl lag"});
+  for (const auto& s : statuses) {
+    if (!s.reachable) {
+      table.add_row({TableWriter::fmt(s.node_id), s.client_endpoint,
+                     s.repl_endpoint, TableWriter::fmt(s.vnodes),
+                     "unreachable", "-", "-", "-", "-"});
+      continue;
+    }
+    table.add_row(
+        {TableWriter::fmt(s.node_id), s.client_endpoint, s.repl_endpoint,
+         TableWriter::fmt(s.vnodes), "up",
+         TableWriter::fmt(sum_json_counter(s.stats_json, "ingest_ok")),
+         TableWriter::fmt(
+             sum_json_counter(s.stats_json, "transport_repl_records_total")),
+         TableWriter::fmt(
+             sum_json_counter(s.stats_json, "transport_repl_subscribers")),
+         TableWriter::fmt(
+             sum_json_counter(s.stats_json, "transport_repl_lag"))});
+  }
+  table.print(out);
+  return unreachable_status(statuses);
+}
+
 Status cmd_auth_init(const Config& flags, std::ostream& out) {
   auto dir = flags.get_string("dir");
   if (!dir) return dir.status();
@@ -850,6 +943,14 @@ commands:
                                            tcp:127.0.0.1:7777; key/cert
                                            authenticate against a
                                            --require-auth daemon)
+  cluster-status  poll a ptmd cluster     --cluster SPEC [--timeout_ms N]
+                                          [--format text|json]
+                                          [--key FILE --cert FILE]
+                                          (per-node reachability, ring share,
+                                           ingest/replication counters and
+                                           lag; SPEC like
+                                           1@unix:/a.sock@unix:/a-repl.sock;
+                                           2@tcp:127.0.0.1:7101)
   auth-init   mint a test PKI             --dir DIR [--seed N] [--bits N]
                                           [--locations L1,L2,...]
                                           [--valid_from P] [--valid_until P]
@@ -882,6 +983,7 @@ Status run_cli(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "trace") return cmd_trace(*flags, out);
   if (command == "recover") return cmd_recover(*flags, out);
   if (command == "ping") return cmd_ping(*flags, out);
+  if (command == "cluster-status") return cmd_cluster_status(*flags, out);
   if (command == "auth-init") return cmd_auth_init(*flags, out);
   return {ErrorCode::kInvalidArgument,
           "unknown command: " + command + " (try `ptmctl help`)"};

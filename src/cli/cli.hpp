@@ -11,6 +11,8 @@
 //   metrics    - telemetry registry exposition (prometheus / json / text)
 //   trace      - post-mortem over a span dump (list or per-trace timeline)
 //   ping       - probe a running ptmd: heartbeat RTTs + counter snapshot
+//   cluster-status - poll every node of a ptmd cluster: reachability,
+//                ring share, replication counters and lag
 //
 // Flags are `--key value` pairs after the subcommand; `--config file`
 // preloads keys from a key=value file, with explicit flags overriding.

@@ -1,0 +1,253 @@
+#include "cluster/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <variant>
+
+#include "net/mac.hpp"
+#include "transport/uplink.hpp"
+#include "transport/wire.hpp"
+
+namespace ptm::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Locally-administered MAC identifying coordinator uplinks in V2I frames.
+constexpr MacAddress kCoordinatorMac{(0x02ULL << 40) | 0xC0DEULL};
+constexpr MacAddress kServerMac{0x02ULL << 40 | 0x53525600ULL};  // "SRV"
+
+/// The tighter of `outer` and a fresh `budget` - every per-node exchange
+/// is bounded even under an unbounded caller deadline, so one dead node
+/// cannot eat the whole query's time.
+Deadline bounded(const Deadline& outer, std::chrono::milliseconds budget) {
+  const Deadline local = Deadline::after(budget);
+  if (outer.unbounded()) return local;
+  return outer.time_point() < local.time_point()
+             ? outer
+             : Deadline::at(local.time_point());
+}
+
+/// The locations and explicit periods a request needs gathered.  An empty
+/// period list means "every stored period" (the rolling recent window is
+/// only resolvable against the full per-location history).
+struct FetchPlan {
+  std::vector<std::uint64_t> locations;
+  std::vector<std::uint64_t> periods;
+};
+
+FetchPlan fetch_plan(const QueryRequest& request) {
+  return std::visit(
+      [](const auto& q) -> FetchPlan {
+        using T = std::decay_t<decltype(q)>;
+        if constexpr (std::is_same_v<T, PointVolumeQuery>) {
+          return {{q.location}, {q.period}};
+        } else if constexpr (std::is_same_v<T, PointPersistentQuery>) {
+          return {{q.location}, q.periods};
+        } else if constexpr (std::is_same_v<T, RecentPersistentQuery>) {
+          return {{q.location}, {}};
+        } else if constexpr (std::is_same_v<T, P2PPersistentQuery>) {
+          return {{q.location_a, q.location_b}, q.periods};
+        } else {
+          return {q.locations, q.periods};
+        }
+      },
+      request);
+}
+
+std::vector<std::uint64_t> sorted_unique(std::vector<std::uint64_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+ClusterCoordinator::ClusterCoordinator(ClusterCoordinatorOptions options)
+    : options_(std::move(options)), map_(options_.config) {
+  std::uint64_t ordinal = 0;
+  for (const ClusterNodeSpec& spec : options_.config.nodes) {
+    NodeLink link;
+    link.node_id = spec.node_id;
+    link.spec = spec;
+    link.conn = std::make_unique<transport::SupervisedConnection>(
+        spec.client, options_.tuning, nullptr,
+        options_.seed * 7919 + ++ordinal);
+    if (options_.credentials.has_value()) {
+      link.conn->set_credentials(options_.credentials);
+    }
+    links_.push_back(std::move(link));
+  }
+}
+
+ClusterCoordinator::NodeLink* ClusterCoordinator::link_for(
+    std::uint64_t node_id) {
+  for (NodeLink& link : links_) {
+    if (link.node_id == node_id) return &link;
+  }
+  return nullptr;
+}
+
+Status ClusterCoordinator::ingest(const TrafficRecord& record,
+                                  const Deadline& deadline) {
+  Status last{ErrorCode::kChannelError, "no replica reachable"};
+  for (std::uint64_t node_id : map_.replicas(record.location)) {
+    if (deadline.expired_now()) {
+      return {ErrorCode::kDeadlineExceeded, "cluster ingest deadline"};
+    }
+    NodeLink* link = link_for(node_id);
+    if (link == nullptr) continue;
+    const Deadline attempt = bounded(deadline, 1000ms);
+    const Status connected = link->conn->ensure_connected(attempt);
+    if (!connected.is_ok()) {
+      last = connected;
+      continue;  // fail over down the replica list
+    }
+    transport::UplinkClient uplink(*link->conn, kCoordinatorMac, kServerMac);
+    auto reply = uplink.deliver(record, {}, attempt);
+    if (!reply) {
+      last = reply.status();
+      continue;  // unknown outcome here; a replica can still take it
+    }
+    if (reply->acked) return {};
+    if (!reply->nack.retryable) {
+      // A fatal verdict (conflicting record) is about the *record*, not
+      // the node - no replica will decide differently.
+      return {reply->nack.code, "cluster ingest rejected by node " +
+                                    std::to_string(node_id)};
+    }
+    last = Status{reply->nack.code,
+                  "node " + std::to_string(node_id) + " shed the ingest"};
+  }
+  return last;
+}
+
+Result<std::vector<TrafficRecord>> ClusterCoordinator::fetch_location(
+    std::uint64_t location, std::span<const std::uint64_t> periods,
+    const Deadline& deadline) {
+  Status last{ErrorCode::kChannelError, "no replica reachable"};
+  for (std::uint64_t node_id : map_.replicas(location)) {
+    if (deadline.expired_now()) {
+      return Status{ErrorCode::kDeadlineExceeded, "cluster fetch deadline"};
+    }
+    NodeLink* link = link_for(node_id);
+    if (link == nullptr) continue;
+    const Deadline attempt = bounded(deadline, 1000ms);
+    const Status connected = link->conn->ensure_connected(attempt);
+    if (!connected.is_ok()) {
+      last = connected;
+      continue;
+    }
+    transport::RecordsRequest request;
+    request.location = location;
+    request.periods.assign(periods.begin(), periods.end());
+    if (!link->conn->send(request).is_ok()) {
+      last = Status{ErrorCode::kChannelError, "records-request send failed"};
+      continue;
+    }
+    // Skip unrelated inbound traffic (stale acks after a reconnect) until
+    // the matching response; any channel casualty fails over.
+    for (;;) {
+      auto message = link->conn->receive(attempt);
+      if (!message) {
+        last = message.status();
+        break;
+      }
+      const auto* resp = std::get_if<transport::RecordsResponse>(&*message);
+      if (resp == nullptr || resp->location != location) continue;
+      std::vector<TrafficRecord> records;
+      records.reserve(resp->records.size());
+      for (const std::vector<std::uint8_t>& blob : resp->records) {
+        auto record = TrafficRecord::deserialize(blob);
+        // A blob that fails to decode is that node's corruption; the
+        // scratch run treats its period as missing.
+        if (record) records.push_back(std::move(*record));
+      }
+      return records;
+    }
+  }
+  return last;
+}
+
+QueryResponse ClusterCoordinator::run(const QueryRequest& request) {
+  const FetchPlan plan = fetch_plan(request);
+  const Deadline& deadline = query_deadline(request);
+
+  // Stage the gathered records in a scratch service and run the request
+  // through the exact single-node execution path.
+  QueryService scratch(options_.service);
+  bool any_location_unreached = false;
+  for (std::uint64_t location : sorted_unique(plan.locations)) {
+    auto records = fetch_location(location, plan.periods, deadline);
+    if (!records) {
+      any_location_unreached = true;
+      continue;
+    }
+    for (const TrafficRecord& record : *records) {
+      (void)scratch.ingest(record);
+    }
+  }
+
+  QueryResponse response = scratch.run(request);
+
+  // Fetch-stage coverage: a location with no reachable replica leaves
+  // every requested period uncovered (corridor semantics - a period is
+  // present only when every location holds it), which merge_coverage
+  // folds into the response instead of failing the query outright.
+  CoverageReport fetch_report;
+  fetch_report.requested = sorted_unique(plan.periods);
+  if (any_location_unreached) {
+    fetch_report.missing = fetch_report.requested;
+  } else {
+    fetch_report.present = fetch_report.requested;
+  }
+  response.coverage = merge_coverage(response.coverage, fetch_report);
+  return response;
+}
+
+std::vector<NodeStatus> ClusterCoordinator::cluster_status(
+    const Deadline& deadline) {
+  std::vector<NodeStatus> statuses;
+  for (NodeLink& link : links_) {
+    NodeStatus status;
+    status.node_id = link.node_id;
+    status.client_endpoint = link.spec.client.to_string();
+    status.repl_endpoint = link.spec.repl.to_string();
+    status.vnodes = map_.vnode_count(link.node_id);
+    const Deadline attempt = bounded(deadline, 1000ms);
+    if (link.conn->ensure_connected(attempt).is_ok() &&
+        link.conn->send(transport::StatsRequest{}).is_ok()) {
+      for (;;) {
+        auto message = link.conn->receive(attempt);
+        if (!message) break;
+        if (const auto* stats =
+                std::get_if<transport::StatsResponse>(&*message)) {
+          status.reachable = true;
+          status.stats_json = stats->json;
+          break;
+        }
+      }
+    }
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+void ClusterCoordinator::set_socket_faults(
+    std::uint64_t node_id,
+    std::map<std::uint64_t, std::vector<SocketFault>> faults) {
+  if (NodeLink* link = link_for(node_id)) {
+    link->conn->set_socket_faults(std::move(faults));
+  }
+}
+
+std::uint64_t ClusterCoordinator::connections_opened() const {
+  std::uint64_t total = 0;
+  for (const NodeLink& link : links_) {
+    total += link.conn->connections_opened();
+  }
+  return total;
+}
+
+}  // namespace ptm::cluster

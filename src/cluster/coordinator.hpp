@@ -1,0 +1,126 @@
+// coordinator.hpp - the client-side router of a ptmd cluster.
+//
+// The coordinator is a *library*, not a process: ptmctl, loadgen, and the
+// cluster tests embed one.  It derives the same PartitionMap every node
+// derives from the shared ClusterConfig and uses it two ways:
+//
+//   * ingest routing - a record goes to its location's owner; if the
+//     owner is unreachable the delivery fails over down the replica list,
+//     and replication converges the copies behind the scenes.  Any
+//     replica accepting the upload is durable (write-ahead archive on
+//     that node), so "owner down" costs a redial, not a loss.
+//
+//   * scatter-gather queries - a query's estimator math (persistent
+//     intersections, p2p/corridor encoding) is not decomposable into
+//     per-node partial estimates, so the coordinator gathers the raw
+//     *records* instead: for each location the query touches it fetches
+//     the needed (location, period) records from the owner (failing over
+//     to replicas), stages them in a scratch in-memory QueryService, and
+//     runs the request locally - the exact single-node execution path,
+//     byte-identical estimates.  A partition with no reachable replica
+//     degrades the answer: its periods are folded into the response's
+//     CoverageReport as missing (merge_coverage) instead of failing the
+//     whole query.
+//
+// Threading: a coordinator belongs to one thread (it owns one
+// SupervisedConnection per node).  Spin up one per worker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/partition.hpp"
+#include "core/traffic_record.hpp"
+#include "query/query_service.hpp"
+#include "query/query_types.hpp"
+#include "transport/auth.hpp"
+#include "transport/connection.hpp"
+
+namespace ptm::cluster {
+
+struct ClusterCoordinatorOptions {
+  ClusterConfig config;
+  transport::ConnectionTuning tuning{};
+  std::optional<transport::AuthCredentials> credentials;
+  /// Estimator configuration of the scratch service queries run in; must
+  /// match the cluster's nodes for identical estimates (defaults match
+  /// default daemons).
+  QueryServiceOptions service{};
+  std::uint64_t seed = 1;  ///< reconnect jitter seed
+};
+
+/// One node's health snapshot for `cluster_status`.
+struct NodeStatus {
+  std::uint64_t node_id = 0;
+  std::string client_endpoint;
+  std::string repl_endpoint;
+  std::size_t vnodes = 0;     ///< ring share from the partition map
+  bool reachable = false;     ///< stats round trip succeeded
+  std::string stats_json;     ///< raw telemetry snapshot when reachable
+};
+
+class ClusterCoordinator {
+ public:
+  explicit ClusterCoordinator(ClusterCoordinatorOptions options);
+
+  ClusterCoordinator(const ClusterCoordinator&) = delete;
+  ClusterCoordinator& operator=(const ClusterCoordinator&) = delete;
+
+  /// Delivers `record` to its owner, failing over down the replica list
+  /// on channel errors.  Ok = some replica acked (durably ingested or
+  /// deduped); a *fatal* nack surfaces as that node's verdict without
+  /// failover (retrying elsewhere cannot fix a conflicting record);
+  /// kUnavailable when no replica could be reached before `deadline`.
+  [[nodiscard]] Status ingest(const TrafficRecord& record,
+                              const Deadline& deadline);
+
+  /// Scatter-gathers `request` across the partitions it touches and runs
+  /// it on the gathered records.  Unreachable partitions degrade to
+  /// missing coverage under the request's own MissingPolicy semantics.
+  [[nodiscard]] QueryResponse run(const QueryRequest& request);
+
+  /// Polls every node for its telemetry snapshot; unreachable nodes come
+  /// back with reachable=false rather than an error.
+  [[nodiscard]] std::vector<NodeStatus> cluster_status(
+      const Deadline& deadline);
+
+  [[nodiscard]] const PartitionMap& partition_map() const noexcept {
+    return map_;
+  }
+  /// Total sockets opened across all node connections (the chaos suite
+  /// bounds reconnect storms with this).
+  [[nodiscard]] std::uint64_t connections_opened() const;
+
+  /// Installs a scripted socket-fault plan on the link to `node_id`
+  /// (connection-index -> frame fault script, as
+  /// SupervisedConnection::set_socket_faults).  No-op for unknown ids.
+  /// The chaos suite tears coordinator frames mid-flight with this.
+  void set_socket_faults(std::uint64_t node_id,
+                         std::map<std::uint64_t, std::vector<SocketFault>> faults);
+
+ private:
+  struct NodeLink {
+    std::uint64_t node_id = 0;
+    ClusterNodeSpec spec;
+    std::unique_ptr<transport::SupervisedConnection> conn;
+  };
+
+  [[nodiscard]] NodeLink* link_for(std::uint64_t node_id);
+  /// Fetches the stored records for (location, periods) from the first
+  /// reachable replica (owner first).  `periods` empty = all periods.
+  /// NotFound-style gaps are NOT errors - the scratch run classifies
+  /// them; failure means no replica answered.
+  [[nodiscard]] Result<std::vector<TrafficRecord>> fetch_location(
+      std::uint64_t location, std::span<const std::uint64_t> periods,
+      const Deadline& deadline);
+
+  ClusterCoordinatorOptions options_;
+  PartitionMap map_;
+  std::vector<NodeLink> links_;
+};
+
+}  // namespace ptm::cluster

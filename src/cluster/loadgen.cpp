@@ -1,0 +1,156 @@
+#include "cluster/loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/traffic_record.hpp"
+#include "obs/telemetry.hpp"
+#include "traffic/trip_table.hpp"
+#include "traffic/workload.hpp"
+
+namespace ptm::cluster {
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Result<transport::LoadgenReport> run_cluster_loadgen(
+    const ClusterCoordinatorOptions& coordinator_options,
+    const transport::LoadgenOptions& load) {
+  transport::LoadgenOptions options = load;
+  if (options.connections == 0) options.connections = 1;
+  if (options.locations == 0) options.locations = 1;
+  if (options.periods == 0) options.periods = 1;
+  if (options.volume_min == 0) options.volume_min = 1;
+  if (options.volume_max < options.volume_min) {
+    options.volume_max = options.volume_min;
+  }
+
+  // Same workload synthesis as the single-node replay, so single-node and
+  // cluster reports are comparable record-for-record.
+  Xoshiro256 rng(options.seed);
+  const TripTable table = gravity_model_table(
+      options.locations, options.locations * options.volume_max / 2,
+      options.seed);
+  std::vector<TrafficRecord> work;
+  work.reserve(options.locations * options.periods);
+  for (std::size_t z = 0; z < options.locations; ++z) {
+    const std::uint64_t volume = std::clamp(
+        table.zone_volume(z), options.volume_min, options.volume_max);
+    const std::size_t m = plan_bitmap_size(static_cast<double>(volume),
+                                           options.load_factor);
+    for (std::size_t p = 0; p < options.periods; ++p) {
+      TrafficRecord record;
+      record.location = z + 1;
+      record.period = p;
+      record.bits = Bitmap(m);
+      add_transient_traffic(record.bits, volume, rng);
+      work.push_back(std::move(record));
+    }
+  }
+
+  struct SharedStats {
+    std::atomic<std::uint64_t> acked{0};
+    std::atomic<std::uint64_t> shed_events{0};
+    std::atomic<std::uint64_t> fatal_nacks{0};
+    std::atomic<std::uint64_t> channel_errors{0};
+    std::atomic<std::uint64_t> abandoned{0};
+    std::atomic<std::uint64_t> attempts{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    LatencyRecorder deliver_latency;
+  } stats;
+  std::atomic<std::size_t> next_item{0};
+  std::atomic<std::uint64_t> workers_ever_connected{0};
+  const std::uint64_t t0 = steady_now_ns();
+  const Deadline cap =
+      Deadline::after(std::chrono::milliseconds(options.time_cap_ms));
+
+  auto worker = [&](std::size_t worker_index) {
+    // Coordinators are single-threaded; each worker owns its own (with
+    // its own connections and jitter seed).
+    ClusterCoordinatorOptions co = coordinator_options;
+    co.seed = options.seed + 7919 * (worker_index + 1);
+    ClusterCoordinator coordinator(std::move(co));
+    Xoshiro256 backoff_rng(options.seed ^ (worker_index + 1));
+    bool connected_once = false;
+    for (;;) {
+      const std::size_t i = next_item.fetch_add(1);
+      if (i >= work.size()) break;
+      const TrafficRecord& record = work[i];
+      bool settled = false;
+      for (std::uint32_t attempt = 0;
+           attempt < options.max_attempts && !cap.expired_now(); ++attempt) {
+        stats.attempts.fetch_add(1);
+        const std::uint64_t sent = steady_now_ns();
+        const Status s = coordinator.ingest(
+            record, Deadline::after(std::chrono::milliseconds(
+                        options.deliver_timeout_ms)));
+        if (s.is_ok()) {
+          stats.deliver_latency.record(steady_now_ns() - sent);
+          stats.acked.fetch_add(1);
+          connected_once = true;
+          settled = true;
+          break;
+        }
+        if (s.code() == ErrorCode::kResourceExhausted) {
+          stats.shed_events.fetch_add(1);
+          connected_once = true;
+        } else if (s.code() == ErrorCode::kFailedPrecondition ||
+                   s.code() == ErrorCode::kInvalidArgument) {
+          stats.fatal_nacks.fetch_add(1);
+          connected_once = true;
+          settled = true;
+          break;
+        } else {
+          stats.channel_errors.fetch_add(1);
+        }
+        const std::uint32_t shift = std::min<std::uint32_t>(attempt, 16);
+        std::uint64_t nap = options.retry_backoff_base_ms << shift;
+        nap += backoff_rng.below(options.retry_backoff_base_ms + 1);
+        nap = std::min(nap, options.retry_backoff_cap_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(nap));
+      }
+      if (!settled) stats.abandoned.fetch_add(1);
+    }
+    const std::uint64_t opened = coordinator.connections_opened();
+    const std::size_t nodes = coordinator.partition_map().node_count();
+    stats.reconnects.fetch_add(opened > nodes ? opened - nodes : 0);
+    if (connected_once) workers_ever_connected.fetch_add(1);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(options.connections);
+  for (std::size_t w = 0; w < options.connections; ++w) {
+    threads.emplace_back(worker, w);
+  }
+  for (auto& t : threads) t.join();
+
+  if (workers_ever_connected.load() == 0) {
+    return Status{ErrorCode::kChannelError,
+                  "no worker ever reached any cluster node"};
+  }
+  transport::LoadgenReport report;
+  report.records_total = work.size();
+  report.acked = stats.acked.load();
+  report.shed_events = stats.shed_events.load();
+  report.fatal_nacks = stats.fatal_nacks.load();
+  report.channel_errors = stats.channel_errors.load();
+  report.abandoned = stats.abandoned.load();
+  report.attempts = stats.attempts.load();
+  report.reconnects = stats.reconnects.load();
+  report.elapsed_ns = steady_now_ns() - t0;
+  report.deliver_latency = stats.deliver_latency.snapshot();
+  return report;
+}
+
+}  // namespace ptm::cluster

@@ -1,0 +1,27 @@
+// loadgen.hpp (cluster) - workload replay against a ptmd *cluster*.
+//
+// Reuses the transport load generator's workload synthesis and report
+// schema (transport/loadgen.hpp), but each worker drives a
+// ClusterCoordinator instead of one raw connection: every record routes
+// to its location's owner and fails over down the replica list, so the
+// replay measures the cluster's client-visible behavior - including how
+// ingest throughput degrades (and recovers) while a node is down.
+#pragma once
+
+#include "cluster/coordinator.hpp"
+#include "common/status.hpp"
+#include "transport/loadgen.hpp"
+
+namespace ptm::cluster {
+
+/// Replays the transport loadgen workload through `load.connections`
+/// coordinator workers.  Coordinator-level outcomes map onto the report:
+/// an Ok ingest is an ack, kResourceExhausted a shed event, fatal
+/// verdicts fatal nacks, everything else a channel error (retried up to
+/// `load.max_attempts`).  Fails only when no worker ever reached any
+/// node.
+[[nodiscard]] Result<transport::LoadgenReport> run_cluster_loadgen(
+    const ClusterCoordinatorOptions& coordinator_options,
+    const transport::LoadgenOptions& load);
+
+}  // namespace ptm::cluster

@@ -1,0 +1,68 @@
+#include "cluster/node.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ptm::cluster {
+
+Result<std::unique_ptr<ClusterNode>> ClusterNode::create(
+    ClusterNodeOptions options) {
+  const auto self = std::find_if(
+      options.config.nodes.begin(), options.config.nodes.end(),
+      [&](const ClusterNodeSpec& n) { return n.node_id == options.node_id; });
+  if (self == options.config.nodes.end()) {
+    return Status{ErrorCode::kInvalidArgument,
+                  "cluster node " + std::to_string(options.node_id) +
+                      " is not in the cluster spec"};
+  }
+  // The spec is authoritative for everything membership-derived.
+  options.server.endpoint = self->client;
+  if (self->repl.to_string() != self->client.to_string()) {
+    options.server.repl_endpoint = self->repl;
+  } else {
+    options.server.repl_endpoint.reset();
+  }
+  options.server.node_id = options.node_id;
+  return std::unique_ptr<ClusterNode>(new ClusterNode(std::move(options)));
+}
+
+ClusterNode::ClusterNode(ClusterNodeOptions options)
+    : options_(std::move(options)), map_(options_.config) {
+  options_.server.repl_filter = [map = map_](std::uint64_t subscriber,
+                                             std::uint64_t location) {
+    return map.should_hold(subscriber, location);
+  };
+  server_ = std::make_unique<transport::PtmdServer>(options_.server);
+  for (const ClusterNodeSpec& peer : options_.config.nodes) {
+    if (peer.node_id == options_.node_id) continue;
+    ReplicationClientOptions rc;
+    rc.node_id = options_.node_id;
+    rc.peer = peer.repl;
+    rc.credentials = options_.credentials;
+    // Distinct jitter seeds so peers recovering from one outage spread out.
+    rc.seed = options_.node_id * 1000003 + peer.node_id;
+    repl_clients_.push_back(
+        std::make_unique<ReplicationClient>(std::move(rc),
+                                            server_->service()));
+  }
+}
+
+ClusterNode::~ClusterNode() { stop(); }
+
+Status ClusterNode::start() {
+  if (started_) return {};
+  Status s = server_->start();
+  if (!s.is_ok()) return s;
+  for (auto& client : repl_clients_) client->start();
+  started_ = true;
+  return {};
+}
+
+void ClusterNode::stop() {
+  if (!started_) return;
+  for (auto& client : repl_clients_) client->stop();
+  server_->stop();
+  started_ = false;
+}
+
+}  // namespace ptm::cluster

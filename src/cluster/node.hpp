@@ -1,0 +1,84 @@
+// node.hpp - one member of a ptmd cluster.
+//
+// A ClusterNode is a PtmdServer plus the cluster glue derived from the
+// shared ClusterConfig:
+//
+//   * the server's `repl_filter` becomes the partition map's should_hold
+//     predicate, so each subscribing peer receives exactly the locations
+//     the map assigns it;
+//   * the node listens on its spec's replication endpoint (when distinct
+//     from the client endpoint);
+//   * one ReplicationClient per peer subscribes to every other node, so
+//     the node converges on all locations it replicates - whether a
+//     record first landed on its primary, on a replica during failover,
+//     or on any node a loadgen round-robined onto.
+//
+// Failover needs no coordination protocol on top: a restarted node
+// replays its own archive (PtmdServer::start), then its subscriptions
+// re-snapshot from the surviving peers, and the idempotent store merges
+// both histories.  A node restarted with an *empty* archive (disk lost)
+// rebuilds purely from the peers the same way.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/partition.hpp"
+#include "cluster/replication.hpp"
+#include "transport/server.hpp"
+
+namespace ptm::cluster {
+
+struct ClusterNodeOptions {
+  ClusterConfig config;               ///< full membership (this node included)
+  std::uint64_t node_id = 0;          ///< which spec in `config` is us
+  transport::PtmdOptions server{};    ///< base daemon options; endpoint,
+                                      ///< repl_endpoint, node_id and
+                                      ///< repl_filter are overwritten from
+                                      ///< the cluster spec
+  /// Credentials for *outbound* replication dials (needed when peers run
+  /// require_auth).  Server-side auth policy comes via `server`.
+  std::optional<transport::AuthCredentials> credentials;
+};
+
+class ClusterNode {
+ public:
+  /// InvalidArgument when `node_id` is not in the config.
+  [[nodiscard]] static Result<std::unique_ptr<ClusterNode>> create(
+      ClusterNodeOptions options);
+
+  ~ClusterNode();
+  ClusterNode(const ClusterNode&) = delete;
+  ClusterNode& operator=(const ClusterNode&) = delete;
+
+  /// Starts the server (archive replay included), then the peer
+  /// subscriptions.
+  [[nodiscard]] Status start();
+  /// Stops subscriptions first (no new applies), then the server.
+  void stop();
+
+  [[nodiscard]] transport::PtmdServer& server() noexcept { return *server_; }
+  [[nodiscard]] const PartitionMap& partition_map() const noexcept {
+    return map_;
+  }
+  [[nodiscard]] std::uint64_t node_id() const noexcept {
+    return options_.node_id;
+  }
+  /// The per-peer subscription clients, for test introspection.
+  [[nodiscard]] const std::vector<std::unique_ptr<ReplicationClient>>&
+  replication_clients() const noexcept {
+    return repl_clients_;
+  }
+
+ private:
+  explicit ClusterNode(ClusterNodeOptions options);
+
+  ClusterNodeOptions options_;
+  PartitionMap map_;
+  std::unique_ptr<transport::PtmdServer> server_;
+  std::vector<std::unique_ptr<ReplicationClient>> repl_clients_;
+  bool started_ = false;
+};
+
+}  // namespace ptm::cluster

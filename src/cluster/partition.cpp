@@ -1,0 +1,144 @@
+#include "cluster/partition.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "hash/hash_suite.hpp"
+
+namespace ptm::cluster {
+namespace {
+
+// One fixed seed per purpose keeps ring placement and location lookup
+// independent draws of the same hash family.
+constexpr std::uint64_t kVnodeSeed = 0x9e3779b97f4a7c15ULL;
+constexpr std::uint64_t kLocationSeed = 0xc2b2ae3d27d4eb4fULL;
+
+std::uint64_t vnode_point(std::uint64_t node_id, std::size_t vnode) {
+  // Mix the vnode ordinal into the hashed value so each virtual point is
+  // a distinct draw; node_id alone would collapse all 64 onto one point.
+  return hash64(HashFamily::kXxHash,
+                node_id * PartitionMap::kVnodesPerNode + vnode, kVnodeSeed);
+}
+
+}  // namespace
+
+Result<ClusterConfig> parse_cluster_spec(const std::string& spec) {
+  ClusterConfig config;
+  std::set<std::uint64_t> seen;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', start), spec.size());
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t id_at = entry.find('@');
+    if (id_at == std::string::npos) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "cluster spec entry '" + entry +
+                        "': expected <id>@<endpoint>[@<repl_endpoint>]"};
+    }
+    ClusterNodeSpec node;
+    const std::string id_text = entry.substr(0, id_at);
+    std::size_t consumed = 0;
+    try {
+      node.node_id = std::stoull(id_text, &consumed);
+    } catch (...) {
+      consumed = 0;
+    }
+    if (consumed != id_text.size() || id_text.empty()) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "cluster spec entry '" + entry + "': bad node id '" +
+                        id_text + "'"};
+    }
+    if (node.node_id == 0) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "cluster spec entry '" + entry +
+                        "': node id 0 is reserved for standalone daemons"};
+    }
+    if (!seen.insert(node.node_id).second) {
+      return Status{ErrorCode::kInvalidArgument,
+                    "cluster spec: duplicate node id " +
+                        std::to_string(node.node_id)};
+    }
+    const std::string rest = entry.substr(id_at + 1);
+    // Endpoints themselves contain '@'-free "kind:addr" syntax, so the
+    // next '@' (if any) splits client from repl endpoint.
+    const std::size_t repl_at = rest.find('@');
+    const std::string client_text = rest.substr(0, repl_at);
+    auto client = transport::parse_endpoint(client_text);
+    if (!client) return client.status();
+    node.client = *client;
+    if (repl_at != std::string::npos) {
+      auto repl = transport::parse_endpoint(rest.substr(repl_at + 1));
+      if (!repl) return repl.status();
+      node.repl = *repl;
+    } else {
+      node.repl = node.client;
+    }
+    config.nodes.push_back(std::move(node));
+  }
+  if (config.nodes.empty()) {
+    return Status{ErrorCode::kInvalidArgument, "cluster spec: no nodes"};
+  }
+  return config;
+}
+
+PartitionMap::PartitionMap(const ClusterConfig& config) {
+  for (const ClusterNodeSpec& node : config.nodes) {
+    node_ids_.push_back(node.node_id);
+    for (std::size_t v = 0; v < kVnodesPerNode; ++v) {
+      ring_.emplace_back(vnode_point(node.node_id, v), node.node_id);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+  replication_factor_ =
+      std::max<std::size_t>(1, std::min(config.replication_factor,
+                                        node_ids_.size()));
+}
+
+std::uint64_t PartitionMap::owner(std::uint64_t location) const {
+  const std::uint64_t point =
+      hash64(HashFamily::kXxHash, location, kLocationSeed);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, std::uint64_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap the ring
+  return it->second;
+}
+
+std::vector<std::uint64_t> PartitionMap::replicas(
+    std::uint64_t location) const {
+  const std::uint64_t point =
+      hash64(HashFamily::kXxHash, location, kLocationSeed);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, std::uint64_t{0}),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::uint64_t> group;
+  for (std::size_t walked = 0;
+       walked < ring_.size() && group.size() < replication_factor_;
+       ++walked, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(group.begin(), group.end(), it->second) == group.end()) {
+      group.push_back(it->second);
+    }
+  }
+  return group;
+}
+
+bool PartitionMap::should_hold(std::uint64_t node_id,
+                               std::uint64_t location) const {
+  const std::vector<std::uint64_t> group = replicas(location);
+  return std::find(group.begin(), group.end(), node_id) != group.end();
+}
+
+std::size_t PartitionMap::vnode_count(std::uint64_t node_id) const {
+  std::size_t count = 0;
+  for (const auto& [point, id] : ring_) {
+    if (id == node_id) ++count;
+  }
+  return count;
+}
+
+}  // namespace ptm::cluster

@@ -1,0 +1,102 @@
+#include "cluster/replication.hpp"
+
+#include <chrono>
+#include <variant>
+
+#include "core/traffic_record.hpp"
+#include "transport/wire.hpp"
+
+namespace ptm::cluster {
+
+using namespace std::chrono_literals;
+
+ReplicationClient::ReplicationClient(ReplicationClientOptions options,
+                                     QueryService& service)
+    : options_(std::move(options)),
+      service_(service),
+      connection_(options_.peer, options_.tuning, &service.telemetry(),
+                  options_.seed) {
+  if (options_.credentials.has_value()) {
+    connection_.set_credentials(options_.credentials);
+  }
+}
+
+ReplicationClient::~ReplicationClient() { stop(); }
+
+void ReplicationClient::start() {
+  if (running_.exchange(true)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void ReplicationClient::stop() {
+  running_.store(false);
+  if (thread_.joinable()) thread_.join();
+  connection_.sever();
+}
+
+void ReplicationClient::run() {
+  while (running_.load()) {
+    pump_subscription();
+    if (!running_.load()) break;
+    // The channel died (or the subscribe failed); the dial path inside
+    // ensure_connected already sleeps the backoff ladder, so no extra
+    // sleep here - just go around and subscribe again.
+  }
+}
+
+void ReplicationClient::pump_subscription() {
+  // Bound each dial round so stop() is honored within one deadline.
+  const Status connected =
+      connection_.ensure_connected(Deadline::after(500ms));
+  if (!connected.is_ok()) {
+    if (connected.code() == ErrorCode::kAuthFailure) {
+      // A rejected certificate cannot be fixed by redialing; park until
+      // stop() instead of hammering the peer.
+      while (running_.load()) std::this_thread::sleep_for(50ms);
+    }
+    return;
+  }
+  if (!connection_.send(transport::ReplSubscribe{options_.node_id})
+           .is_ok()) {
+    return;
+  }
+  subscriptions_.fetch_add(1);
+  while (running_.load()) {
+    auto message = connection_.receive(Deadline::after(200ms));
+    if (!message) {
+      if (message.status().code() == ErrorCode::kDeadlineExceeded) continue;
+      connection_.sever();  // channel / codec casualty: resubscribe fresh
+      return;
+    }
+    if (const auto* rec =
+            std::get_if<transport::ReplRecord>(&*message)) {
+      auto record = TrafficRecord::deserialize(rec->record);
+      if (!record) {
+        // A record that decodes as a frame but not as a TrafficRecord
+        // means the peer is corrupt; drop the session, not the node.
+        connection_.sever();
+        return;
+      }
+      bool first_accept = false;
+      const Status applied = service_.ingest(*record, {}, &first_accept);
+      if (applied.is_ok()) {
+        if (first_accept) {
+          applied_.fetch_add(1);
+        } else {
+          duplicates_.fetch_add(1);
+        }
+      } else {
+        conflicts_.fetch_add(1);
+      }
+      if (!connection_.send(transport::ReplAck{rec->seq}).is_ok()) {
+        return;
+      }
+    } else if (std::holds_alternative<transport::ReplSnapshotEnd>(
+                   *message)) {
+      synced_.store(true);
+    }
+    // ReplSnapshotBegin and any stray acks/stats are informational.
+  }
+}
+
+}  // namespace ptm::cluster

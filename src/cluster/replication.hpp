@@ -1,0 +1,100 @@
+// replication.hpp - the follower half of ptmd archive replication.
+//
+// A ReplicationClient keeps one subscription alive against one peer
+// node's replication endpoint: dial (with PKI credentials when the
+// cluster is authenticated), send repl-subscribe, then apply the
+// snapshot-plus-live-tail stream into the local QueryService.  Because
+// the local service is idempotent and write-ahead durable, applying is
+// just `ingest`: a record already held (from the local archive replay, a
+// previous subscription, or a direct RSU upload) deduplicates silently,
+// so the at-least-once stream becomes exactly-once archive contents.
+//
+// The subscription survives the peer: any channel or codec failure
+// severs the session, backs off, redials, and re-subscribes from scratch
+// - the server answers every (re)subscribe with a fresh snapshot and the
+// dedupe absorbs the overlap.  A follower that was down for an hour and
+// one that missed a single frame recover through the same path; there is
+// no ack-based resume cursor to corrupt.
+//
+// Threading: each ReplicationClient owns one thread driving its own
+// SupervisedConnection; it touches the shared QueryService only through
+// the service's thread-safe ingest.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <thread>
+
+#include "query/query_service.hpp"
+#include "transport/auth.hpp"
+#include "transport/connection.hpp"
+
+namespace ptm::cluster {
+
+struct ReplicationClientOptions {
+  std::uint64_t node_id = 0;             ///< this follower's cluster id
+  transport::Endpoint peer;              ///< the peer's replication endpoint
+  transport::ConnectionTuning tuning{};  ///< dial/backoff/io bounds
+  std::optional<transport::AuthCredentials> credentials;
+  std::uint64_t seed = 1;                ///< reconnect jitter seed
+};
+
+class ReplicationClient {
+ public:
+  /// Applies the peer's stream into `service` (borrowed; must outlive the
+  /// client).  The underlying connection registers its instruments
+  /// (connects, reconnects, auth) on `service`'s telemetry registry;
+  /// apply-side tallies are exposed through the accessors below.
+  ReplicationClient(ReplicationClientOptions options, QueryService& service);
+  ~ReplicationClient();
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+
+  /// Spawns the subscription thread.  Idempotent.
+  void start();
+  /// Severs the session and joins the thread.  Idempotent.
+  void stop();
+
+  /// First-accept records applied from this peer's stream.
+  [[nodiscard]] std::uint64_t applied() const noexcept {
+    return applied_.load();
+  }
+  /// Stream records the local service already held (snapshot overlap,
+  /// live/snapshot races, archive replay) - the dedupe doing its job.
+  [[nodiscard]] std::uint64_t duplicates() const noexcept {
+    return duplicates_.load();
+  }
+  /// Stream records conflicting with a locally held record.  Always a
+  /// bug somewhere (two primaries accepted different bytes for one slot);
+  /// counted and skipped rather than crashing the follower.
+  [[nodiscard]] std::uint64_t conflicts() const noexcept {
+    return conflicts_.load();
+  }
+  /// Subscriptions opened (1 = the initial one; more = recoveries).
+  [[nodiscard]] std::uint64_t subscriptions() const noexcept {
+    return subscriptions_.load();
+  }
+  /// True once at least one snapshot completed (repl-snapshot-end seen):
+  /// the follower holds everything the peer held at subscribe time.
+  [[nodiscard]] bool synced() const noexcept { return synced_.load(); }
+
+ private:
+  void run();
+  /// One subscription lifetime: subscribe, then apply until the channel
+  /// dies or stop() is called.
+  void pump_subscription();
+
+  ReplicationClientOptions options_;
+  QueryService& service_;
+  transport::SupervisedConnection connection_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> conflicts_{0};
+  std::atomic<std::uint64_t> subscriptions_{0};
+  std::atomic<bool> synced_{false};
+};
+
+}  // namespace ptm::cluster

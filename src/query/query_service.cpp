@@ -24,6 +24,31 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
 
 }  // namespace
 
+CoverageReport merge_coverage(const CoverageReport& a,
+                              const CoverageReport& b) {
+  const auto sorted_union = [](const std::vector<std::uint64_t>& x,
+                               const std::vector<std::uint64_t>& y) {
+    std::vector<std::uint64_t> out;
+    out.reserve(x.size() + y.size());
+    out.insert(out.end(), x.begin(), x.end());
+    out.insert(out.end(), y.begin(), y.end());
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  };
+  CoverageReport merged;
+  merged.requested = sorted_union(a.requested, b.requested);
+  merged.missing = sorted_union(a.missing, b.missing);
+  merged.present.reserve(merged.requested.size());
+  for (std::uint64_t period : merged.requested) {
+    if (!std::binary_search(merged.missing.begin(), merged.missing.end(),
+                            period)) {
+      merged.present.push_back(period);
+    }
+  }
+  return merged;
+}
+
 const char* query_kind_name(const QueryRequest& request) noexcept {
   struct Namer {
     const char* operator()(const PointVolumeQuery&) { return "point-volume"; }
@@ -94,7 +119,8 @@ QueryService::Shard& QueryService::shard_for(
 }
 
 Status QueryService::ingest(const TrafficRecord& record,
-                            const TraceContext& trace) {
+                            const TraceContext& trace, bool* first_accept) {
+  if (first_accept != nullptr) *first_accept = false;
   // Untraced ingests (the overwhelming majority) skip span recording
   // entirely; the null-recorder ScopedTimer does not even read the clock.
   ScopedTimer ingest_span(trace.active() ? &spans_ : nullptr, "ingest",
@@ -154,6 +180,7 @@ Status QueryService::ingest(const TrafficRecord& record,
     shard.records.emplace(key, record);
     shard.history[record.location].add(est.value);
   }
+  if (first_accept != nullptr) *first_accept = true;
   shard.ingest_ok->add();
   return Status::ok();
 }
@@ -169,29 +196,37 @@ bool QueryService::durable() const {
 }
 
 Result<std::size_t> QueryService::restore_from_archive() {
-  std::vector<TrafficRecord> records;
-  {
-    std::lock_guard lock(archive_mutex_);
-    if (archive_ == nullptr) {
-      return Status{ErrorCode::kFailedPrecondition,
-                    "restore requires an attached archive"};
-    }
-    records = archive_->live_contents();
-  }
-  // live_contents() is (location, period)-ordered, so the volume history
-  // means rebuild deterministically regardless of original arrival order.
+  // Batched replay: the archive mutex is held per batch, not for the
+  // whole sweep, so a restore racing live ingest (a follower replaying
+  // its replica while its subscriptions already stream) never stalls the
+  // write path for the archive's full O(n) copy.  Iteration is
+  // (location, period)-ordered within each batch, so the volume history
+  // mean rebuilds deterministically regardless of original arrival order.
+  constexpr std::size_t kRestoreBatch = 512;
+  RecordArchive::SnapshotCursor cursor;
   std::size_t restored = 0;
-  for (TrafficRecord& rec : records) {
-    Shard& shard = shard_for(rec.location);
-    const CardinalityEstimate est = estimate_cardinality(rec.bits);
-    const auto key = std::make_pair(rec.location, rec.period);
-    std::unique_lock lock(shard.mutex);
-    if (shard.records.contains(key)) continue;  // already live in memory
-    shard.history[rec.location].add(est.value);
-    shard.records.emplace(key, std::move(rec));
-    ++restored;
+  for (;;) {
+    std::vector<TrafficRecord> records;
+    {
+      std::lock_guard lock(archive_mutex_);
+      if (archive_ == nullptr) {
+        return Status{ErrorCode::kFailedPrecondition,
+                      "restore requires an attached archive"};
+      }
+      records = archive_->live_batch(cursor, kRestoreBatch);
+    }
+    if (records.empty()) return restored;
+    for (TrafficRecord& rec : records) {
+      Shard& shard = shard_for(rec.location);
+      const CardinalityEstimate est = estimate_cardinality(rec.bits);
+      const auto key = std::make_pair(rec.location, rec.period);
+      std::unique_lock lock(shard.mutex);
+      if (shard.records.contains(key)) continue;  // already live in memory
+      shard.history[rec.location].add(est.value);
+      shard.records.emplace(key, std::move(rec));
+      ++restored;
+    }
   }
-  return restored;
 }
 
 void QueryService::wipe_volatile_state() {
@@ -246,6 +281,52 @@ std::vector<std::uint64_t> QueryService::periods_at(
     periods.push_back(it->first.second);
   }
   return periods;
+}
+
+std::vector<TrafficRecord> QueryService::records_batch(
+    RecordCursor& cursor, std::size_t max_records) const {
+  std::vector<TrafficRecord> out;
+  if (max_records == 0) return out;
+  while (cursor.shard < options_.n_shards && out.size() < max_records) {
+    const Shard& shard = shards_[cursor.shard];
+    {
+      std::shared_lock lock(shard.mutex);
+      auto it = cursor.in_shard
+                    ? shard.records.upper_bound(std::make_pair(
+                          cursor.last_location, cursor.last_period))
+                    : shard.records.begin();
+      for (; it != shard.records.end() && out.size() < max_records; ++it) {
+        out.push_back(it->second);
+        cursor.in_shard = true;
+        cursor.last_location = it->first.first;
+        cursor.last_period = it->first.second;
+      }
+      if (it != shard.records.end()) return out;  // batch full mid-shard
+    }
+    ++cursor.shard;
+    cursor.in_shard = false;
+  }
+  return out;
+}
+
+std::vector<TrafficRecord> QueryService::records_at_periods(
+    std::uint64_t location, std::span<const std::uint64_t> periods) const {
+  const Shard& shard = shard_for(location);
+  std::vector<TrafficRecord> out;
+  std::shared_lock lock(shard.mutex);
+  if (periods.empty()) {
+    for (auto it = shard.records.lower_bound(std::make_pair(location, 0ULL));
+         it != shard.records.end() && it->first.first == location; ++it) {
+      out.push_back(it->second);
+    }
+    return out;
+  }
+  out.reserve(periods.size());
+  for (std::uint64_t period : periods) {
+    const auto it = shard.records.find(std::make_pair(location, period));
+    if (it != shard.records.end()) out.push_back(it->second);
+  }
+  return out;
 }
 
 std::size_t QueryService::plan_size(std::uint64_t location,

@@ -91,7 +91,13 @@ class QueryService {
   /// With an active `trace` (a record's pipeline TraceContext), the ingest
   /// and its archive append are recorded as spans on the service's
   /// SpanRecorder; an inactive trace records nothing and costs nothing.
-  Status ingest(const TrafficRecord& record, const TraceContext& trace = {});
+  ///
+  /// `first_accept` (optional) reports whether this call newly admitted
+  /// the record (true) or deduplicated / rejected it (false) - the
+  /// replication layer forwards exactly the first accepts, so a
+  /// re-delivered upload never turns into a duplicate repl-record.
+  Status ingest(const TrafficRecord& record, const TraceContext& trace = {},
+                bool* first_accept = nullptr);
 
   /// Attaches the write-ahead archive.  Every later first-accept ingest
   /// appends to `archive` before returning Ok; the caller keeps ownership
@@ -121,6 +127,34 @@ class QueryService {
   /// Periods stored for `location`, ascending.  Empty when unknown.
   [[nodiscard]] std::vector<std::uint64_t> periods_at(
       std::uint64_t location) const;
+
+  /// Resumable position for records_batch: a shard index plus the last
+  /// (location, period) key returned inside it.  Key-based, so inserts
+  /// between batches never invalidate it.
+  struct RecordCursor {
+    std::size_t shard = 0;
+    bool in_shard = false;  ///< last_* marks a key already returned
+    std::uint64_t last_location = 0;
+    std::uint64_t last_period = 0;
+  };
+
+  /// At most `max_records` stored records following `cursor` (copies -
+  /// safe to use after the service mutates), advancing the cursor past
+  /// them.  Order is per-shard (location, period), shards visited in
+  /// index order; empty return = iteration complete.  Each batch holds one
+  /// shard's shared lock only while copying that batch, so a slow consumer
+  /// (a replication snapshot draining to a congested follower) never
+  /// stalls concurrent ingest.  Records inserted behind the cursor are
+  /// missed by design - the replication stream's live forwarding covers
+  /// them.
+  [[nodiscard]] std::vector<TrafficRecord> records_batch(
+      RecordCursor& cursor, std::size_t max_records) const;
+
+  /// Copies of the stored records at `location` for the given periods
+  /// (missing periods are skipped; empty `periods` = every stored period,
+  /// ascending).  The coordinator's records-request handler.
+  [[nodiscard]] std::vector<TrafficRecord> records_at_periods(
+      std::uint64_t location, std::span<const std::uint64_t> periods) const;
 
   /// Eq. 2 with the location's historical average volume; `default_volume`
   /// for locations with no history yet.

@@ -43,6 +43,16 @@ struct CoverageReport {
   [[nodiscard]] bool complete() const noexcept { return missing.empty(); }
 };
 
+/// Combines two coverage views of one logical query - e.g. per-partition
+/// reports gathered by the cluster coordinator, or a fetch-stage report
+/// merged with the local execution's report.  Corridor semantics: the
+/// merged `requested` is the union, and a period is `present` only when no
+/// contributing report counts it missing - a partition that could not be
+/// reached degrades the answer to partial coverage instead of failing it.
+/// All three vectors come back sorted and deduplicated.
+[[nodiscard]] CoverageReport merge_coverage(const CoverageReport& a,
+                                            const CoverageReport& b);
+
 // Every query shape carries a Deadline (default: unbounded).  A request
 // whose deadline has passed on arrival - or passes mid-execution, checked
 // at the yield points of multi-location queries - completes with

@@ -86,18 +86,37 @@ std::vector<std::uint64_t> RecordArchive::locations() const {
   return out;
 }
 
-std::vector<TrafficRecord> RecordArchive::live_contents() const {
+std::vector<TrafficRecord> RecordArchive::live_batch(
+    SnapshotCursor& cursor, std::size_t max_records) const {
   std::vector<TrafficRecord> out;
-  out.reserve(live_records());
-  for (const auto& [location, periods] : index_) {
-    for (const auto& [period, bits] : periods) {
+  if (max_records == 0) return out;
+  auto at_location = cursor.started ? index_.lower_bound(cursor.location)
+                                    : index_.begin();
+  for (; at_location != index_.end() && out.size() < max_records;
+       ++at_location) {
+    const auto& [location, periods] = *at_location;
+    auto at_period =
+        (cursor.started && location == cursor.location)
+            ? periods.upper_bound(cursor.period)
+            : periods.begin();
+    for (; at_period != periods.end() && out.size() < max_records;
+         ++at_period) {
       TrafficRecord rec;
       rec.location = location;
-      rec.period = period;
-      rec.bits = bits;
+      rec.period = at_period->first;
+      rec.bits = at_period->second;
       out.push_back(std::move(rec));
+      cursor.started = true;
+      cursor.location = location;
+      cursor.period = at_period->first;
     }
   }
+  return out;
+}
+
+std::vector<TrafficRecord> RecordArchive::live_contents() const {
+  SnapshotCursor cursor;
+  std::vector<TrafficRecord> out = live_batch(cursor, live_records());
   return out;
 }
 

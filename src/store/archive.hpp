@@ -53,9 +53,30 @@ class RecordArchive {
   [[nodiscard]] Result<std::vector<Bitmap>> records_at(
       std::uint64_t location) const;
 
+  /// Resumable position inside the live index, keyed by the last
+  /// (location, period) a batch returned.  Key-based (not iterator-based)
+  /// so appends and retention between batches never invalidate it: the
+  /// next batch simply resumes after the last returned key.
+  struct SnapshotCursor {
+    bool started = false;        ///< false = next batch starts at the front
+    std::uint64_t location = 0;  ///< last key returned
+    std::uint64_t period = 0;
+  };
+
+  /// At most `max_records` live records following `cursor`, ordered by
+  /// (location, period); advances the cursor past them.  An empty return
+  /// means the iteration is complete.  Unlike live_contents(), a caller
+  /// streaming a large archive holds whatever lock serializes archive
+  /// access only per-batch, so concurrent ingest proceeds between batches
+  /// (the replication snapshot path relies on exactly that).
+  [[nodiscard]] std::vector<TrafficRecord> live_batch(
+      SnapshotCursor& cursor, std::size_t max_records) const;
+
   /// Every live record, ordered by (location, period) - the replay feed
   /// for rebuilding a server's in-memory store after a crash
-  /// (QueryService::restore_from_archive).
+  /// (QueryService::restore_from_archive).  One unbounded live_batch
+  /// sweep; prefer batched iteration when the archive is large and the
+  /// serializing lock is contended.
   [[nodiscard]] std::vector<TrafficRecord> live_contents() const;
 
   /// The `window` most recent live bitmaps of a location, ordered by

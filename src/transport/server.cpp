@@ -56,7 +56,12 @@ PtmdServer::PtmdServer(PtmdOptions options)
           service_.telemetry().counter("transport_auth_failures_total")),
       auth_rejects_(
           service_.telemetry().counter("transport_auth_rejects_total")),
-      connections_(service_.telemetry().gauge("transport_connections")) {
+      repl_records_(
+          service_.telemetry().counter("transport_repl_records_total")),
+      connections_(service_.telemetry().gauge("transport_connections")),
+      repl_subscribers_(
+          service_.telemetry().gauge("transport_repl_subscribers")),
+      repl_lag_(service_.telemetry().gauge("transport_repl_lag")) {
   if (options_.ingest_threads == 0) options_.ingest_threads = 1;
   // A pause of 0 would never arm a resume timer; a shed connection with no
   // pending ingests would then stay paused forever (see PtmdOptions).
@@ -74,6 +79,15 @@ Status PtmdServer::start() {
     return {ErrorCode::kInvalidArgument,
             "require_auth without a CA key would reject every peer"};
   }
+  if (options_.repl_endpoint.has_value() &&
+      options_.repl_endpoint->to_string() == options_.endpoint.to_string()) {
+    // Catch the operator error at startup with a message that names the
+    // endpoint, instead of the second bind failing deep in the run loop.
+    return {ErrorCode::kInvalidArgument,
+            "--repl-listen duplicates --listen (" +
+                options_.endpoint.to_string() +
+                "); replication needs its own endpoint"};
+  }
   if (!options_.archive_path.empty()) {
     auto archive = RecordArchive::open(options_.archive_path, {});
     if (!archive) return archive.status();
@@ -87,9 +101,24 @@ Status PtmdServer::start() {
   if (!listener) return listener.status();
   listener_ = std::move(*listener);
   if (Status s = loop_.add(listener_.fd(), EventLoop::kReadable,
-                           [this](std::uint32_t) { on_acceptable(); });
+                           [this](std::uint32_t) {
+                             on_acceptable(listener_, accepts_paused_);
+                           });
       !s.is_ok()) {
     return s;
+  }
+  if (options_.repl_endpoint.has_value()) {
+    auto repl = Socket::listen(*options_.repl_endpoint);
+    if (!repl) return repl.status();
+    repl_listener_ = std::move(*repl);
+    if (Status s =
+            loop_.add(repl_listener_.fd(), EventLoop::kReadable,
+                      [this](std::uint32_t) {
+                        on_acceptable(repl_listener_, repl_accepts_paused_);
+                      });
+        !s.is_ok()) {
+      return s;
+    }
   }
   if (options_.idle_timeout_ms > 0) {
     loop_.add_timer(options_.idle_timeout_ms / 2 + 1,
@@ -160,23 +189,34 @@ void PtmdServer::worker_main() {
     }
     const std::uint64_t location = job.record.location;
     const std::uint64_t period = job.record.period;
-    const Status status = service_.ingest(job.record, job.trace);
+    bool first_accept = false;
+    const Status status =
+        service_.ingest(job.record, job.trace, &first_accept);
+    // Only a first accept is worth forwarding to replication subscribers:
+    // re-deliveries dedupe here and must not become duplicate repl
+    // traffic.  The record rides the post back to the loop thread, which
+    // owns the subscriber connections.
+    std::optional<TrafficRecord> forwarded;
+    if (status.is_ok() && first_accept) {
+      forwarded.emplace(std::move(job.record));
+    }
     loop_.post([this, conn_id = job.conn_id, location, period,
-                trace = job.trace, status] {
-      finish_ingest(conn_id, location, period, trace, status);
+                trace = job.trace, status,
+                forwarded = std::move(forwarded)] {
+      finish_ingest(conn_id, location, period, trace, status, forwarded);
     });
   }
 }
 
-void PtmdServer::on_acceptable() {
+void PtmdServer::on_acceptable(Socket& listener, bool& paused_flag) {
   for (;;) {
-    auto accepted = listener_.accept();
+    auto accepted = listener.accept();
     if (!accepted) {
       // Hard error (EMFILE/ENFILE under fd exhaustion).  The listener
       // stays readable in the level-triggered set, so returning with the
       // event pending would spin the loop thread at 100% CPU; drop its
       // read interest and retry after a breather instead.
-      pause_accepts();
+      pause_accepts(listener, paused_flag);
       return;
     }
     if (!accepted->valid()) return;  // would-block: drained the backlog
@@ -211,15 +251,16 @@ void PtmdServer::on_acceptable() {
   }
 }
 
-void PtmdServer::pause_accepts() {
-  if (accepts_paused_) return;
-  accepts_paused_ = true;
+void PtmdServer::pause_accepts(Socket& listener, bool& paused_flag) {
+  if (paused_flag) return;
+  paused_flag = true;
   accept_backoffs_.add();
-  (void)loop_.modify(listener_.fd(), 0);
-  loop_.add_timer(options_.accept_retry_ms, [this] {
-    accepts_paused_ = false;
-    (void)loop_.modify(listener_.fd(), EventLoop::kReadable);
-    on_acceptable();  // drain connections that queued while paused
+  (void)loop_.modify(listener.fd(), 0);
+  loop_.add_timer(options_.accept_retry_ms, [this, &listener, &paused_flag] {
+    paused_flag = false;
+    (void)loop_.modify(listener.fd(), EventLoop::kReadable);
+    // Drain connections that queued while paused.
+    on_acceptable(listener, paused_flag);
   });
 }
 
@@ -289,6 +330,37 @@ void PtmdServer::handle_payload(Conn& conn,
   if (std::holds_alternative<StatsRequest>(*message)) {
     send_message(conn,
                  StatsResponse{to_json(service_.telemetry().snapshot())});
+    return;
+  }
+  if (const auto* sub = std::get_if<ReplSubscribe>(&*message)) {
+    handle_repl_subscribe(conn, *sub);
+    return;
+  }
+  if (const auto* ack = std::get_if<ReplAck>(&*message)) {
+    if (conn.repl_subscriber && ack->acked_seq > conn.repl_acked &&
+        ack->acked_seq <= conn.repl_seq) {
+      conn.repl_acked = ack->acked_seq;
+      update_repl_gauges();
+    }
+    return;
+  }
+  if (const auto* req = std::get_if<RecordsRequest>(&*message)) {
+    // The coordinator's scatter-gather fetch.  The response is bounded to
+    // one wire frame's worth of records; anything cut off looks like a
+    // missing period to the coordinator, which degrades that partition to
+    // partial coverage - never a protocol error.
+    constexpr std::size_t kMaxResponseBytes = 8u << 20;
+    RecordsResponse resp;
+    resp.location = req->location;
+    std::size_t total_bytes = 0;
+    for (const TrafficRecord& rec :
+         service_.records_at_periods(req->location, req->periods)) {
+      std::vector<std::uint8_t> bytes = rec.serialize();
+      total_bytes += bytes.size();
+      if (total_bytes > kMaxResponseBytes) break;
+      resp.records.push_back(std::move(bytes));
+    }
+    send_message(conn, resp);
     return;
   }
   // Acks/nacks/stats flowing server-ward carry nothing for us; ignoring
@@ -397,11 +469,105 @@ void PtmdServer::handle_frame(Conn& conn, const Frame& frame) {
   jobs_cv_.notify_one();
 }
 
+void PtmdServer::handle_repl_subscribe(Conn& conn, const ReplSubscribe& sub) {
+  // (Re)subscribe resets the stream: a follower that redialed after a
+  // sever gets a fresh snapshot, and its idempotent ingest absorbs the
+  // overlap with what it already applied.
+  conn.repl_subscriber = true;
+  conn.subscriber_node = sub.subscriber_node;
+  conn.repl_seq = 0;
+  conn.repl_acked = 0;
+  conn.snapshotting = true;
+  conn.snapshot_cursor = QueryService::RecordCursor{};
+  conn.snapshot_streamed = 0;
+  const std::uint64_t conn_id = conn.id;
+  update_repl_gauges();
+  send_message(conn, ReplSnapshotBegin{service_.record_count()});
+  // send_message may have destroyed the Conn on a write error;
+  // continue_snapshot re-resolves by id.
+  continue_snapshot(conn_id);
+}
+
+void PtmdServer::continue_snapshot(std::uint64_t conn_id) {
+  // Pace the stream by the connection's own outbuf: stop queueing batches
+  // once the peer stops draining.  A slow follower therefore costs this
+  // node one high-water mark of memory and per-batch shared locks - not
+  // an archive-sized copy under the archive mutex (the PR 9 fix).
+  constexpr std::size_t kSnapshotBatch = 64;
+  constexpr std::size_t kOutbufHighWater = 256u << 10;
+  Conn* conn = conn_by_id(conn_id);
+  if (conn == nullptr || !conn->snapshotting || conn->closing) return;
+  while (conn->snapshotting &&
+         conn->outbuf.size() - conn->out_off < kOutbufHighWater) {
+    std::vector<TrafficRecord> batch =
+        service_.records_batch(conn->snapshot_cursor, kSnapshotBatch);
+    if (batch.empty()) {
+      conn->snapshotting = false;
+      send_message(*conn, ReplSnapshotEnd{conn->snapshot_streamed});
+      break;
+    }
+    for (const TrafficRecord& rec : batch) {
+      if (options_.repl_filter &&
+          !options_.repl_filter(conn->subscriber_node, rec.location)) {
+        continue;
+      }
+      ++conn->repl_seq;
+      ++conn->snapshot_streamed;
+      repl_records_.add();
+      send_message(*conn, ReplRecord{conn->repl_seq, rec.serialize()});
+      conn = conn_by_id(conn_id);  // a write error destroys the Conn
+      if (conn == nullptr) return;
+    }
+  }
+  update_repl_gauges();
+}
+
+void PtmdServer::forward_to_subscribers(const TrafficRecord& record) {
+  // Collect ids first: send_message can destroy a Conn (write error), and
+  // that invalidates any iterator into conns_.
+  std::vector<std::uint64_t> subscriber_ids;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->repl_subscriber && !conn->closing) {
+      subscriber_ids.push_back(conn->id);
+    }
+  }
+  if (subscriber_ids.empty()) return;
+  for (std::uint64_t id : subscriber_ids) {
+    Conn* conn = conn_by_id(id);
+    if (conn == nullptr) continue;
+    if (options_.repl_filter &&
+        !options_.repl_filter(conn->subscriber_node, record.location)) {
+      continue;
+    }
+    ++conn->repl_seq;
+    repl_records_.add();
+    send_message(*conn, ReplRecord{conn->repl_seq, record.serialize()});
+  }
+  update_repl_gauges();
+}
+
+void PtmdServer::update_repl_gauges() {
+  std::int64_t subscribers = 0;
+  std::int64_t lag = 0;
+  for (const auto& [fd, conn] : conns_) {
+    if (!conn->repl_subscriber) continue;
+    ++subscribers;
+    lag += static_cast<std::int64_t>(conn->repl_seq - conn->repl_acked);
+  }
+  repl_subscribers_.set(subscribers);
+  repl_lag_.set(lag);
+}
+
 void PtmdServer::finish_ingest(std::uint64_t conn_id, std::uint64_t location,
                                std::uint64_t period,
                                const TraceContext& trace,
-                               const Status& status) {
+                               const Status& status,
+                               const std::optional<TrafficRecord>& forwarded) {
   ingest_gate_.release();
+  // A first accept replicates even when the uploading connection died
+  // between worker and loop: the record is already durable locally, so the
+  // followers must see it too.
+  if (forwarded.has_value()) forward_to_subscribers(*forwarded);
   Conn* conn = conn_by_id(conn_id);
   if (conn == nullptr) return;  // connection died while the ingest ran
   if (conn->pending_ingests > 0) --conn->pending_ingests;
@@ -453,6 +619,11 @@ void PtmdServer::flush(Conn& conn) {
       close_conn(fd);
       return;
     }
+    if (conn.snapshotting) {
+      // The follower drained below the high-water mark - resume the
+      // snapshot off-stack (flush can run deep inside send_message).
+      loop_.post([this, id = conn.id] { continue_snapshot(id); });
+    }
   }
   update_interest(conn);
 }
@@ -483,10 +654,12 @@ void PtmdServer::pause_reads(Conn& conn, std::uint64_t resume_after_ms) {
 void PtmdServer::close_conn(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  const bool was_subscriber = it->second->repl_subscriber;
   loop_.remove(fd);
   conn_fd_by_id_.erase(it->second->id);
   conns_.erase(it);
   connections_.sub(1);
+  if (was_subscriber) update_repl_gauges();
 }
 
 void PtmdServer::sweep_idle() {

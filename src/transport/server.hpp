@@ -40,12 +40,24 @@
 // Protocol errors (bad length prefix, unknown kind, codec violation) close
 // the connection: a length-prefixed stream cannot resync after a framing
 // lie, and a peer that sends garbage cannot be trusted with partial state.
+//
+// Replication (docs/cluster.md): a peer node subscribes with
+// repl-subscribe and receives a snapshot of every live record it should
+// hold (filtered through `repl_filter`), then every later first-accept
+// ingest live-forwarded.  The snapshot streams in bounded batches paced by
+// the connection's own outbuf drain, so a slow follower holds a shard's
+// shared lock only per batch and never stalls concurrent ingest.
+// Subscribers ack sequence numbers; the outstanding delta is the
+// `transport_repl_lag` gauge.  An optional second listener
+// (`repl_endpoint`) isolates replication traffic from client ingest; both
+// listeners speak the same protocol and the same auth policy.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -69,6 +81,20 @@ namespace ptm::transport {
 
 struct PtmdOptions {
   Endpoint endpoint;                 ///< where to listen
+  /// Optional second listener dedicated to replication subscribers, so a
+  /// follower resync cannot compete with client ingest for the same
+  /// accept queue.  start() rejects it with InvalidArgument when it
+  /// equals `endpoint` - a clear startup error beats a bind failure deep
+  /// in the run loop.  Both listeners accept the full protocol.
+  std::optional<Endpoint> repl_endpoint;
+  /// This node's cluster id (0 for a standalone daemon); reported in
+  /// stats and stamped on replication telemetry.
+  std::uint64_t node_id = 0;
+  /// Replication stream filter: should `subscriber_node` hold `location`?
+  /// The cluster layer supplies the partition-map predicate; unset =
+  /// stream everything (a full mirror).
+  std::function<bool(std::uint64_t subscriber_node, std::uint64_t location)>
+      repl_filter;
   std::string archive_path;          ///< empty = volatile (no durability)
   QueryServiceOptions service{};     ///< query engine configuration
   AdmissionOptions ingest_admission{16, 0};  ///< try_admit gate for ingests
@@ -154,6 +180,14 @@ class PtmdServer {
     std::vector<std::uint8_t> auth_nonce;      ///< challenge sent, if any
     RsaPublicKey peer_key;                     ///< from the verified cert
     std::vector<std::uint8_t> peer_cert_bytes; ///< exact hello bytes
+    // Replication subscription state (loop thread only).
+    bool repl_subscriber = false;
+    std::uint64_t subscriber_node = 0;
+    std::uint64_t repl_seq = 0;    ///< last sequence number sent
+    std::uint64_t repl_acked = 0;  ///< last sequence number acked
+    bool snapshotting = false;     ///< snapshot stream still in flight
+    QueryService::RecordCursor snapshot_cursor;
+    std::uint64_t snapshot_streamed = 0;
   };
 
   struct IngestJob {
@@ -164,8 +198,8 @@ class PtmdServer {
 
   void loop_main();
   void worker_main();
-  void on_acceptable();
-  void pause_accepts();
+  void on_acceptable(Socket& listener, bool& paused_flag);
+  void pause_accepts(Socket& listener, bool& paused_flag);
   void on_conn_event(int fd, std::uint32_t events);
   void handle_payload(Conn& conn, std::span<const std::uint8_t> payload);
   void handle_auth(Conn& conn, const WireMessage& message);
@@ -173,9 +207,20 @@ class PtmdServer {
   /// `conn` may be destroyed during the call.
   void reject_auth(Conn& conn, AuthRejectCode code);
   void handle_frame(Conn& conn, const Frame& frame);
+  /// Opens (or restarts) a replication subscription on `conn` and begins
+  /// the snapshot stream; `conn` may be destroyed during the call.
+  void handle_repl_subscribe(Conn& conn, const ReplSubscribe& sub);
+  /// Streams more snapshot batches while the connection's outbuf is below
+  /// the high-water mark; re-posted by flush() as the peer drains.
+  void continue_snapshot(std::uint64_t conn_id);
+  /// Live-forwards a first-accept ingest to every matching subscriber.
+  void forward_to_subscribers(const TrafficRecord& record);
+  /// Recomputes the subscriber-count and replication-lag gauges.
+  void update_repl_gauges();
   void finish_ingest(std::uint64_t conn_id, std::uint64_t location,
                      std::uint64_t period, const TraceContext& trace,
-                     const Status& status);
+                     const Status& status,
+                     const std::optional<TrafficRecord>& forwarded);
   void send_message(Conn& conn, const WireMessage& message);
   void flush(Conn& conn);
   void update_interest(Conn& conn);
@@ -192,7 +237,9 @@ class PtmdServer {
 
   EventLoop loop_;
   Socket listener_;
+  Socket repl_listener_;         ///< valid only with repl_endpoint set
   bool accepts_paused_ = false;  ///< listener read interest dropped
+  bool repl_accepts_paused_ = false;
   std::thread loop_thread_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
@@ -218,7 +265,10 @@ class PtmdServer {
   Counter& auth_ok_;          ///< transport_auth_ok_total
   Counter& auth_failures_;    ///< transport_auth_failures_total (timeouts)
   Counter& auth_rejects_;     ///< transport_auth_rejects_total
+  Counter& repl_records_;     ///< transport_repl_records_total
   Gauge& connections_;        ///< transport_connections
+  Gauge& repl_subscribers_;   ///< transport_repl_subscribers
+  Gauge& repl_lag_;           ///< transport_repl_lag (sent - acked)
 };
 
 }  // namespace ptm::transport

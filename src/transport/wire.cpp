@@ -35,6 +35,25 @@ WireKind wire_kind(const WireMessage& message) noexcept {
       return WireKind::kAuthReject;
     }
     WireKind operator()(const AuthOk&) const { return WireKind::kAuthOk; }
+    WireKind operator()(const ReplSubscribe&) const {
+      return WireKind::kReplSubscribe;
+    }
+    WireKind operator()(const ReplRecord&) const {
+      return WireKind::kReplRecord;
+    }
+    WireKind operator()(const ReplAck&) const { return WireKind::kReplAck; }
+    WireKind operator()(const ReplSnapshotBegin&) const {
+      return WireKind::kReplSnapshotBegin;
+    }
+    WireKind operator()(const ReplSnapshotEnd&) const {
+      return WireKind::kReplSnapshotEnd;
+    }
+    WireKind operator()(const RecordsRequest&) const {
+      return WireKind::kRecordsRequest;
+    }
+    WireKind operator()(const RecordsResponse&) const {
+      return WireKind::kRecordsResponse;
+    }
   };
   return std::visit(Visitor{}, message);
 }
@@ -66,6 +85,13 @@ const char* wire_kind_name(WireKind kind) noexcept {
     case WireKind::kAuthProof: return "auth-proof";
     case WireKind::kAuthReject: return "auth-reject";
     case WireKind::kAuthOk: return "auth-ok";
+    case WireKind::kReplSubscribe: return "repl-subscribe";
+    case WireKind::kReplRecord: return "repl-record";
+    case WireKind::kReplAck: return "repl-ack";
+    case WireKind::kReplSnapshotBegin: return "repl-snapshot-begin";
+    case WireKind::kReplSnapshotEnd: return "repl-snapshot-end";
+    case WireKind::kRecordsRequest: return "records-request";
+    case WireKind::kRecordsResponse: return "records-response";
   }
   return "unknown";
 }
@@ -99,6 +125,26 @@ std::vector<std::uint8_t> encode_wire_message(const WireMessage& message) {
       w.u8(static_cast<std::uint8_t>(r.code));
     }
     void operator()(const AuthOk&) const {}
+    void operator()(const ReplSubscribe& s) const { w.u64(s.subscriber_node); }
+    void operator()(const ReplRecord& rec) const {
+      w.u64(rec.seq);
+      w.bytes(rec.record);
+    }
+    void operator()(const ReplAck& a) const { w.u64(a.acked_seq); }
+    void operator()(const ReplSnapshotBegin& b) const {
+      w.u64(b.live_records);
+    }
+    void operator()(const ReplSnapshotEnd& e) const { w.u64(e.streamed); }
+    void operator()(const RecordsRequest& req) const {
+      w.u64(req.location);
+      w.u32(static_cast<std::uint32_t>(req.periods.size()));
+      for (std::uint64_t p : req.periods) w.u64(p);
+    }
+    void operator()(const RecordsResponse& resp) const {
+      w.u64(resp.location);
+      w.u32(static_cast<std::uint32_t>(resp.records.size()));
+      for (const auto& rec : resp.records) w.bytes(rec);
+    }
   };
   std::visit(Visitor{w}, message);
   return w.take();
@@ -215,6 +261,92 @@ Result<WireMessage> decode_wire_message(
     case WireKind::kAuthOk:
       decoded = WireMessage{AuthOk{}};
       break;
+    case WireKind::kReplSubscribe: {
+      auto node = r.u64();
+      if (!node) return node.status();
+      decoded = WireMessage{ReplSubscribe{*node}};
+      break;
+    }
+    case WireKind::kReplRecord: {
+      auto seq = r.u64();
+      if (!seq) return seq.status();
+      if (*seq == 0) {
+        return Status{ErrorCode::kParseError,
+                      "repl-record: sequence numbers start at 1"};
+      }
+      auto rec = r.bytes();
+      if (!rec) return rec.status();
+      if (rec->empty()) {
+        return Status{ErrorCode::kParseError, "repl-record: empty record"};
+      }
+      decoded = WireMessage{ReplRecord{*seq, std::move(*rec)}};
+      break;
+    }
+    case WireKind::kReplAck: {
+      auto seq = r.u64();
+      if (!seq) return seq.status();
+      decoded = WireMessage{ReplAck{*seq}};
+      break;
+    }
+    case WireKind::kReplSnapshotBegin: {
+      auto live = r.u64();
+      if (!live) return live.status();
+      decoded = WireMessage{ReplSnapshotBegin{*live}};
+      break;
+    }
+    case WireKind::kReplSnapshotEnd: {
+      auto streamed = r.u64();
+      if (!streamed) return streamed.status();
+      decoded = WireMessage{ReplSnapshotEnd{*streamed}};
+      break;
+    }
+    case WireKind::kRecordsRequest: {
+      RecordsRequest req;
+      auto loc = r.u64();
+      if (!loc) return loc.status();
+      req.location = *loc;
+      auto count = r.u32();
+      if (!count) return count.status();
+      // Guard the reserve against a lying count: each period is 8 bytes,
+      // so a count beyond remaining/8 cannot be honest.
+      if (*count > r.remaining() / 8) {
+        return Status{ErrorCode::kParseError,
+                      "records-request: period count exceeds payload"};
+      }
+      req.periods.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        auto p = r.u64();
+        if (!p) return p.status();
+        req.periods.push_back(*p);
+      }
+      decoded = WireMessage{std::move(req)};
+      break;
+    }
+    case WireKind::kRecordsResponse: {
+      RecordsResponse resp;
+      auto loc = r.u64();
+      if (!loc) return loc.status();
+      resp.location = *loc;
+      auto count = r.u32();
+      if (!count) return count.status();
+      // Each record blob carries at least its own u32 length prefix.
+      if (*count > r.remaining() / 4) {
+        return Status{ErrorCode::kParseError,
+                      "records-response: record count exceeds payload"};
+      }
+      resp.records.reserve(*count);
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        auto rec = r.bytes();
+        if (!rec) return rec.status();
+        if (rec->empty()) {
+          return Status{ErrorCode::kParseError,
+                        "records-response: empty record"};
+        }
+        resp.records.push_back(std::move(*rec));
+      }
+      decoded = WireMessage{std::move(resp)};
+      break;
+    }
   }
   if (!decoded) return decoded;
   if (!r.exhausted()) {

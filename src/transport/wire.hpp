@@ -22,6 +22,16 @@
 //                                           channel-binding transcript)
 //            | 10 auth-reject     payload = code(u8)
 //            | 11 auth-ok         payload = empty
+//            | 12 repl-subscribe  payload = subscriber_node(u64)
+//            | 13 repl-record     payload = seq(u64)
+//                                           bytes(TrafficRecord::serialize())
+//            | 14 repl-ack        payload = acked_seq(u64)
+//            | 15 repl-snapshot-begin  payload = live_records(u64)
+//            | 16 repl-snapshot-end    payload = streamed(u64)
+//            | 17 records-request payload = location(u64) count(u32)
+//                                           period(u64)*count  (0 = all)
+//            | 18 records-response payload = location(u64) count(u32)
+//                                           bytes(record)*count
 //
 // Kinds 7-11 are the PKI handshake (docs/transport.md, *Authenticated
 // handshake*): the client presents its §II-B certificate, the server
@@ -29,6 +39,16 @@
 // signing nonce + certificate hash.  auth-reject carries a distinct code
 // per failure class so a fleet operator can tell a clock-skewed RSU from
 // a rogue one in telemetry alone.
+//
+// Kinds 12-16 are the cluster archive-replication stream (docs/cluster.md):
+// a follower subscribes with its node id, the primary answers with a
+// snapshot of every live record the follower should hold (begin / record*
+// / end), then forwards each first-accept ingest live.  Each repl-record
+// carries a per-subscription sequence number the follower acknowledges,
+// so replication lag is observable (`transport_repl_lag`).  Kinds 17-18
+// are the coordinator's scatter-gather fetch: the records stored at one
+// location for an explicit period set (or all periods), used to join
+// cross-partition corridor/p2p queries at the coordinator.
 //
 // Messages travel length-prefixed on the stream (framing.hpp).  The codec
 // is bounds-checked end to end: bytes arrive from a real network peer, so
@@ -59,6 +79,13 @@ enum class WireKind : std::uint8_t {
   kAuthProof = 9,
   kAuthReject = 10,
   kAuthOk = 11,
+  kReplSubscribe = 12,
+  kReplRecord = 13,
+  kReplAck = 14,
+  kReplSnapshotBegin = 15,
+  kReplSnapshotEnd = 16,
+  kRecordsRequest = 17,
+  kRecordsResponse = 18,
 };
 
 /// Why the server refused a handshake.  Distinct codes are part of the
@@ -159,10 +186,82 @@ struct AuthOk {
   friend bool operator==(const AuthOk&, const AuthOk&) = default;
 };
 
+/// Follower -> primary: open an archive-replication subscription.  The
+/// subscriber's node id lets the primary filter the stream to the
+/// locations the subscriber should hold under the cluster partition map.
+struct ReplSubscribe {
+  std::uint64_t subscriber_node = 0;
+
+  friend bool operator==(const ReplSubscribe&,
+                         const ReplSubscribe&) = default;
+};
+
+/// Primary -> follower: one replicated record.  `seq` numbers the records
+/// of this subscription from 1; the follower acks it after the record is
+/// durably applied, so the primary can expose replication lag.  The record
+/// travels as its own serialized bytes (TrafficRecord::serialize) - the
+/// same encoding the RSU upload path uses.
+struct ReplRecord {
+  std::uint64_t seq = 0;
+  std::vector<std::uint8_t> record;
+
+  friend bool operator==(const ReplRecord&, const ReplRecord&) = default;
+};
+
+/// Follower -> primary: every repl-record up to `acked_seq` is applied.
+struct ReplAck {
+  std::uint64_t acked_seq = 0;
+
+  friend bool operator==(const ReplAck&, const ReplAck&) = default;
+};
+
+/// Primary -> follower: the snapshot phase of a new subscription begins;
+/// `live_records` is the primary's live record count at subscribe time
+/// (an upper bound on the snapshot length - the stream is filtered to the
+/// subscriber's partitions).
+struct ReplSnapshotBegin {
+  std::uint64_t live_records = 0;
+
+  friend bool operator==(const ReplSnapshotBegin&,
+                         const ReplSnapshotBegin&) = default;
+};
+
+/// Primary -> follower: snapshot complete after `streamed` records; every
+/// later repl-record is a live-forwarded first accept.
+struct ReplSnapshotEnd {
+  std::uint64_t streamed = 0;
+
+  friend bool operator==(const ReplSnapshotEnd&,
+                         const ReplSnapshotEnd&) = default;
+};
+
+/// Coordinator -> node: the stored records at `location` for the listed
+/// periods (empty = every stored period).  The reply skips periods with no
+/// record - the coordinator computes coverage from what came back.
+struct RecordsRequest {
+  std::uint64_t location = 0;
+  std::vector<std::uint64_t> periods;
+
+  friend bool operator==(const RecordsRequest&,
+                         const RecordsRequest&) = default;
+};
+
+/// Node -> coordinator: the matching records, each as its serialized
+/// bytes.  Order follows the store's period order.
+struct RecordsResponse {
+  std::uint64_t location = 0;
+  std::vector<std::vector<std::uint8_t>> records;
+
+  friend bool operator==(const RecordsResponse&,
+                         const RecordsResponse&) = default;
+};
+
 using WireMessage =
     std::variant<Frame, Heartbeat, HeartbeatAck, UploadNack, StatsRequest,
                  StatsResponse, AuthHello, AuthChallenge, AuthProof,
-                 AuthReject, AuthOk>;
+                 AuthReject, AuthOk, ReplSubscribe, ReplRecord, ReplAck,
+                 ReplSnapshotBegin, ReplSnapshotEnd, RecordsRequest,
+                 RecordsResponse>;
 
 [[nodiscard]] WireKind wire_kind(const WireMessage& message) noexcept;
 [[nodiscard]] const char* wire_kind_name(WireKind kind) noexcept;

@@ -1,0 +1,323 @@
+// Integration tests for the cluster coordinator (docs/cluster.md): ingest
+// routing with replica failover, scatter-gather queries whose estimates
+// match the single-node execution path exactly, partial coverage when a
+// partition has no reachable replica, the no-failover rule for fatal
+// nacks, and cluster_status health polling.  Three in-process
+// ClusterNodes on unix sockets; process-kill failover is
+// cluster_chaos_test's job.
+#include "cluster/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/partition.hpp"
+#include "common/deadline.hpp"
+#include "core/traffic_record.hpp"
+#include "query/query_service.hpp"
+#include "query/query_types.hpp"
+
+namespace ptm::cluster {
+namespace {
+
+using namespace std::chrono_literals;
+
+TrafficRecord make_record(std::uint64_t location, std::uint64_t period) {
+  TrafficRecord rec;
+  rec.location = location;
+  rec.period = period;
+  rec.bits = Bitmap(256);
+  // A deterministic, location/period-dependent population so persistent
+  // intersections are non-trivial.
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    rec.bits.set((location * 17 + period * 5 + i * 3) % 256);
+  }
+  return rec;
+}
+
+class ClusterCoordinatorTest : public ::testing::Test {
+ protected:
+  transport::Endpoint endpoint(const std::string& tag) {
+    transport::Endpoint ep;
+    ep.kind = transport::Endpoint::Kind::kUnix;
+    ep.path = ::testing::TempDir() + "/ptm_ccoord_" + suffix_ + tag + "_" +
+              std::to_string(::getpid()) + ".sock";
+    return ep;
+  }
+
+  ClusterConfig make_config(std::size_t nodes, std::size_t rf) {
+    ClusterConfig config;
+    for (std::uint64_t id = 1; id <= nodes; ++id) {
+      ClusterNodeSpec spec;
+      spec.node_id = id;
+      spec.client = endpoint("c" + std::to_string(id));
+      spec.repl = endpoint("r" + std::to_string(id));
+      config.nodes.push_back(std::move(spec));
+    }
+    config.replication_factor = rf;
+    return config;
+  }
+
+  void start_cluster(std::size_t nodes, std::size_t rf,
+                     const std::string& suffix) {
+    suffix_ = suffix;
+    config_ = make_config(nodes, rf);
+    for (const ClusterNodeSpec& spec : config_.nodes) {
+      ClusterNodeOptions options;
+      options.config = config_;
+      options.node_id = spec.node_id;
+      options.server.idle_timeout_ms = 0;
+      auto node = ClusterNode::create(std::move(options));
+      ASSERT_TRUE(node.has_value()) << node.status().to_string();
+      ASSERT_TRUE((*node)->start().is_ok());
+      nodes_.push_back(std::move(*node));
+    }
+  }
+
+  void TearDown() override {
+    for (auto& node : nodes_) {
+      if (node) node->stop();
+    }
+  }
+
+  ClusterNode* node(std::uint64_t id) {
+    for (auto& n : nodes_) {
+      if (n && n->node_id() == id) return n.get();
+    }
+    return nullptr;
+  }
+
+  void stop_node(std::uint64_t id) {
+    for (auto& n : nodes_) {
+      if (n && n->node_id() == id) {
+        n->stop();
+        n.reset();
+      }
+    }
+  }
+
+  std::unique_ptr<ClusterCoordinator> make_coordinator() {
+    ClusterCoordinatorOptions options;
+    options.config = config_;
+    options.tuning.connect_timeout_ms = 300;
+    options.tuning.io_timeout_ms = 1000;
+    options.tuning.heartbeat_timeout_ms = 1000;
+    options.tuning.backoff_base_ms = 2;
+    options.tuning.backoff_cap_ms = 50;
+    options.seed = 99;
+    return std::make_unique<ClusterCoordinator>(std::move(options));
+  }
+
+  /// Some location owned by `node_id` (the maps agree cluster-wide).
+  std::uint64_t location_owned_by(const PartitionMap& map,
+                                  std::uint64_t node_id) {
+    for (std::uint64_t location = 1; location < 100000; ++location) {
+      if (map.owner(location) == node_id) return location;
+    }
+    ADD_FAILURE() << "no location owned by node " << node_id;
+    return 0;
+  }
+
+  bool wait_for(const std::function<bool()>& done,
+                std::chrono::milliseconds timeout = 10s) {
+    const auto give_up = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < give_up) {
+      if (done()) return true;
+      std::this_thread::sleep_for(2ms);
+    }
+    return done();
+  }
+
+  std::string suffix_;
+  ClusterConfig config_;
+  std::vector<std::unique_ptr<ClusterNode>> nodes_;
+};
+
+TEST_F(ClusterCoordinatorTest, ScatterGatherMatchesSingleNodeEstimates) {
+  start_cluster(3, 2, "sg");
+  auto coordinator = make_coordinator();
+  const PartitionMap& map = coordinator->partition_map();
+
+  // One location per owner, so every query shape crosses partitions.
+  std::vector<std::uint64_t> locations;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    locations.push_back(location_owned_by(map, id));
+  }
+  QueryService reference;
+  for (std::uint64_t location : locations) {
+    for (std::uint64_t period = 0; period < 5; ++period) {
+      const TrafficRecord rec = make_record(location, period);
+      ASSERT_TRUE(coordinator->ingest(rec, Deadline::after(5s)).is_ok());
+      ASSERT_TRUE(reference.ingest(rec).is_ok());
+    }
+  }
+
+  const std::vector<std::uint64_t> periods{0, 1, 2, 3, 4};
+  std::vector<QueryRequest> requests;
+  requests.push_back(PointVolumeQuery{locations[0], 2});
+  requests.push_back(PointPersistentQuery{locations[1], periods});
+  requests.push_back(
+      P2PPersistentQuery{locations[0], locations[1], periods});
+  requests.push_back(CorridorQuery{locations, periods});
+  for (const QueryRequest& request : requests) {
+    const QueryResponse clustered = coordinator->run(request);
+    const QueryResponse local = reference.run(request);
+    ASSERT_TRUE(clustered.ok())
+        << query_kind_name(request) << ": " << clustered.status.to_string();
+    ASSERT_TRUE(local.ok());
+    // The coordinator gathers raw records and reruns the single-node
+    // path, so the estimates are identical, not merely close.
+    EXPECT_DOUBLE_EQ(clustered.summary.value, local.summary.value)
+        << query_kind_name(request);
+    EXPECT_TRUE(clustered.coverage.complete());
+  }
+}
+
+TEST_F(ClusterCoordinatorTest, RecordsReplicateToEveryAssignedHolder) {
+  start_cluster(3, 2, "rep");
+  auto coordinator = make_coordinator();
+  const PartitionMap& map = coordinator->partition_map();
+
+  constexpr std::uint64_t kRecords = 12;
+  for (std::uint64_t location = 1; location <= kRecords; ++location) {
+    ASSERT_TRUE(
+        coordinator->ingest(make_record(location, 0), Deadline::after(5s))
+            .is_ok());
+  }
+  // Replication must land every record on each of its RF=2 holders.
+  ASSERT_TRUE(wait_for([&] {
+    for (std::uint64_t location = 1; location <= kRecords; ++location) {
+      for (std::uint64_t holder : map.replicas(location)) {
+        ClusterNode* n = node(holder);
+        if (n == nullptr || !n->server().service().has_record(location, 0)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }));
+  // And on nobody else: the partition filter keeps non-replicas clean.
+  for (std::uint64_t location = 1; location <= kRecords; ++location) {
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+      if (map.should_hold(id, location)) continue;
+      EXPECT_FALSE(node(id)->server().service().has_record(location, 0))
+          << "node " << id << " holds foreign location " << location;
+    }
+  }
+}
+
+TEST_F(ClusterCoordinatorTest, IngestFailsOverWhenTheOwnerIsDown) {
+  start_cluster(3, 2, "fo");
+  auto coordinator = make_coordinator();
+  const PartitionMap& map = coordinator->partition_map();
+  const std::uint64_t location = location_owned_by(map, 2);
+  stop_node(2);
+
+  // Owner unreachable: the delivery fails over to the ring successor and
+  // still acks durably.
+  ASSERT_TRUE(coordinator->ingest(make_record(location, 0), Deadline::after(5s))
+                  .is_ok());
+  const std::uint64_t fallback = map.replicas(location)[1];
+  EXPECT_TRUE(node(fallback)->server().service().has_record(location, 0));
+
+  // And the gather path reads it back through the same failover.
+  const QueryResponse response =
+      coordinator->run(PointVolumeQuery{location, 0, Deadline::after(5s)});
+  EXPECT_TRUE(response.ok()) << response.status.to_string();
+}
+
+TEST_F(ClusterCoordinatorTest, UnreachablePartitionDegradesToPartialCoverage) {
+  start_cluster(3, 1, "cov");  // RF=1: a dead node IS a dead partition
+  auto coordinator = make_coordinator();
+  const PartitionMap& map = coordinator->partition_map();
+  const std::uint64_t live_loc = location_owned_by(map, 1);
+  const std::uint64_t dead_loc = location_owned_by(map, 3);
+  const std::vector<std::uint64_t> periods{0, 1, 2};
+  for (std::uint64_t location : {live_loc, dead_loc}) {
+    for (std::uint64_t period : periods) {
+      ASSERT_TRUE(coordinator
+                      ->ingest(make_record(location, period),
+                               Deadline::after(5s))
+                      .is_ok());
+    }
+  }
+  stop_node(3);
+
+  // A corridor crossing the dead partition degrades: every period is
+  // reported missing (corridor semantics - present needs every location)
+  // instead of the query failing with a channel error.
+  CorridorQuery corridor{{live_loc, dead_loc}, periods,
+                         MissingPolicy::kSkipMissing, Deadline::after(5s)};
+  const QueryResponse degraded = coordinator->run(corridor);
+  EXPECT_FALSE(degraded.ok());
+  EXPECT_EQ(degraded.coverage.requested, periods);
+  EXPECT_EQ(degraded.coverage.missing, periods);
+  EXPECT_TRUE(degraded.coverage.present.empty());
+
+  // The surviving partition still answers completely.
+  PointPersistentQuery point{live_loc, periods, MissingPolicy::kSkipMissing,
+                             Deadline::after(5s)};
+  const QueryResponse healthy = coordinator->run(point);
+  EXPECT_TRUE(healthy.ok()) << healthy.status.to_string();
+  EXPECT_TRUE(healthy.coverage.complete());
+
+  // Ingest into the dead partition has nowhere to go at RF=1.
+  EXPECT_FALSE(
+      coordinator->ingest(make_record(dead_loc, 9), Deadline::after(2s))
+          .is_ok());
+}
+
+TEST_F(ClusterCoordinatorTest, FatalNackDoesNotFailOver) {
+  start_cluster(3, 2, "nack");
+  auto coordinator = make_coordinator();
+  const std::uint64_t location =
+      location_owned_by(coordinator->partition_map(), 1);
+
+  const TrafficRecord original = make_record(location, 0);
+  ASSERT_TRUE(coordinator->ingest(original, Deadline::after(5s)).is_ok());
+
+  // A conflicting record is about the record, not the node: the owner's
+  // fatal verdict must come back as-is, not be retried onto a replica
+  // (where it would conflict again or, worse, fork the history).
+  TrafficRecord conflicting = original;
+  conflicting.bits.set(255);
+  const Status verdict = coordinator->ingest(conflicting, Deadline::after(5s));
+  EXPECT_FALSE(verdict.is_ok());
+  EXPECT_NE(verdict.code(), ErrorCode::kChannelError);
+
+  // The original redelivers as a dedupe ack - nothing was corrupted.
+  EXPECT_TRUE(coordinator->ingest(original, Deadline::after(5s)).is_ok());
+}
+
+TEST_F(ClusterCoordinatorTest, ClusterStatusMarksDeadNodesUnreachable) {
+  start_cluster(3, 2, "st");
+  auto coordinator = make_coordinator();
+  stop_node(2);
+
+  const auto statuses = coordinator->cluster_status(Deadline::after(10s));
+  ASSERT_EQ(statuses.size(), 3u);
+  for (const NodeStatus& status : statuses) {
+    EXPECT_GT(status.vnodes, 0u);
+    EXPECT_FALSE(status.client_endpoint.empty());
+    if (status.node_id == 2) {
+      EXPECT_FALSE(status.reachable);
+      EXPECT_TRUE(status.stats_json.empty());
+    } else {
+      EXPECT_TRUE(status.reachable) << "node " << status.node_id;
+      EXPECT_NE(status.stats_json.find("transport_repl_subscribers"),
+                std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptm::cluster

@@ -1,0 +1,173 @@
+// Unit tests for the cluster's consistent-hash partition map and the
+// membership spec parser (docs/cluster.md).  The map is the cluster's
+// only coordination mechanism - every node, follower, and coordinator
+// derives it independently from the shared config string - so the tests
+// pin the properties that independence rests on: determinism under node
+// reordering, owner membership, distinct owner-first replica groups, and
+// should_hold being exactly replica membership.
+#include "cluster/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "transport/socket.hpp"
+
+namespace ptm::cluster {
+namespace {
+
+ClusterNodeSpec make_spec(std::uint64_t node_id) {
+  ClusterNodeSpec spec;
+  spec.node_id = node_id;
+  auto client =
+      transport::parse_endpoint("unix:/tmp/n" + std::to_string(node_id));
+  spec.client = *client;
+  spec.repl = *client;
+  return spec;
+}
+
+ClusterConfig make_config(std::vector<std::uint64_t> ids,
+                          std::size_t replication_factor) {
+  ClusterConfig config;
+  for (std::uint64_t id : ids) config.nodes.push_back(make_spec(id));
+  config.replication_factor = replication_factor;
+  return config;
+}
+
+TEST(ClusterSpecTest, ParsesEntriesAndDefaultsReplToClient) {
+  auto config = parse_cluster_spec(
+      "1@unix:/tmp/a.sock@unix:/tmp/a-repl.sock;2@tcp:127.0.0.1:7101");
+  ASSERT_TRUE(config.has_value()) << config.status().to_string();
+  ASSERT_EQ(config->nodes.size(), 2u);
+  EXPECT_EQ(config->nodes[0].node_id, 1u);
+  EXPECT_EQ(config->nodes[0].client.to_string(), "unix:/tmp/a.sock");
+  EXPECT_EQ(config->nodes[0].repl.to_string(), "unix:/tmp/a-repl.sock");
+  EXPECT_EQ(config->nodes[1].node_id, 2u);
+  EXPECT_EQ(config->nodes[1].client.to_string(), "tcp:127.0.0.1:7101");
+  // No explicit repl endpoint: replication shares the client listener.
+  EXPECT_EQ(config->nodes[1].repl.to_string(), "tcp:127.0.0.1:7101");
+}
+
+TEST(ClusterSpecTest, RejectsMalformedSpecs) {
+  // Missing endpoint entirely.
+  EXPECT_FALSE(parse_cluster_spec("1").has_value());
+  // Non-numeric id.
+  EXPECT_FALSE(parse_cluster_spec("x@unix:/tmp/a.sock").has_value());
+  // Id 0 is reserved for standalone daemons.
+  EXPECT_FALSE(parse_cluster_spec("0@unix:/tmp/a.sock").has_value());
+  // Duplicate id.
+  EXPECT_FALSE(
+      parse_cluster_spec("1@unix:/tmp/a.sock;1@unix:/tmp/b.sock").has_value());
+  // Unparseable endpoint.
+  EXPECT_FALSE(parse_cluster_spec("1@tcp:nohost").has_value());
+  // Unparseable repl endpoint.
+  EXPECT_FALSE(parse_cluster_spec("1@unix:/tmp/a.sock@unix:").has_value());
+  // Empty spec has no members.
+  EXPECT_FALSE(parse_cluster_spec("").has_value());
+}
+
+TEST(PartitionMapTest, OwnerIsDeterministicAndIgnoresNodeOrder) {
+  PartitionMap forward(make_config({1, 2, 3}, 2));
+  PartitionMap shuffled(make_config({3, 1, 2}, 2));
+  const std::set<std::uint64_t> members{1, 2, 3};
+  for (std::uint64_t location = 0; location < 512; ++location) {
+    const std::uint64_t owner = forward.owner(location);
+    EXPECT_TRUE(members.count(owner)) << "owner not a member: " << owner;
+    // The map is a pure function of the member ids, not their order.
+    EXPECT_EQ(owner, shuffled.owner(location));
+    EXPECT_EQ(forward.replicas(location), shuffled.replicas(location));
+  }
+}
+
+TEST(PartitionMapTest, ReplicasAreDistinctOwnerFirst) {
+  PartitionMap map(make_config({1, 2, 3, 4}, 3));
+  for (std::uint64_t location = 0; location < 512; ++location) {
+    const auto replicas = map.replicas(location);
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_EQ(replicas.front(), map.owner(location));
+    std::set<std::uint64_t> distinct(replicas.begin(), replicas.end());
+    EXPECT_EQ(distinct.size(), replicas.size());
+  }
+}
+
+TEST(PartitionMapTest, ShouldHoldIsExactlyReplicaMembership) {
+  PartitionMap map(make_config({1, 2, 3, 4, 5}, 2));
+  for (std::uint64_t location = 0; location < 256; ++location) {
+    const auto replicas = map.replicas(location);
+    for (std::uint64_t node = 1; node <= 5; ++node) {
+      const bool in_group =
+          std::find(replicas.begin(), replicas.end(), node) != replicas.end();
+      EXPECT_EQ(map.should_hold(node, location), in_group)
+          << "node " << node << " location " << location;
+    }
+  }
+}
+
+TEST(PartitionMapTest, ReplicationFactorClampsToNodeCount) {
+  PartitionMap oversized(make_config({1, 2, 3}, 9));
+  EXPECT_EQ(oversized.replication_factor(), 3u);
+  EXPECT_EQ(oversized.replicas(42).size(), 3u);
+
+  PartitionMap undersized(make_config({1, 2, 3}, 0));
+  EXPECT_EQ(undersized.replication_factor(), 1u);
+  EXPECT_EQ(undersized.replicas(42).size(), 1u);
+
+  // Single node: every location maps to it, whatever the factor says.
+  PartitionMap solo(make_config({7}, 2));
+  for (std::uint64_t location = 0; location < 64; ++location) {
+    EXPECT_EQ(solo.owner(location), 7u);
+    EXPECT_TRUE(solo.should_hold(7, location));
+  }
+}
+
+TEST(PartitionMapTest, OwnershipIsRoughlyBalanced) {
+  PartitionMap map(make_config({1, 2, 3}, 1));
+  std::map<std::uint64_t, std::size_t> owned;
+  constexpr std::size_t kLocations = 9000;
+  for (std::uint64_t location = 0; location < kLocations; ++location) {
+    ++owned[map.owner(location)];
+  }
+  // 64 vnodes per node keeps a 3-node split within a few percent of even;
+  // the bound below is deliberately loose (hash-dependent, not tuned).
+  for (std::uint64_t node : {1u, 2u, 3u}) {
+    EXPECT_GT(owned[node], kLocations / 6) << "node " << node << " starved";
+    EXPECT_LT(owned[node], kLocations / 2) << "node " << node << " hogging";
+  }
+}
+
+TEST(PartitionMapTest, VnodeCountsSumToRingSize) {
+  ClusterConfig config = make_config({1, 2, 3, 4}, 2);
+  PartitionMap map(config);
+  std::size_t total = 0;
+  for (const ClusterNodeSpec& spec : config.nodes) {
+    const std::size_t share = map.vnode_count(spec.node_id);
+    EXPECT_GT(share, 0u);
+    total += share;
+  }
+  EXPECT_EQ(total, config.nodes.size() * PartitionMap::kVnodesPerNode);
+  EXPECT_EQ(map.vnode_count(99), 0u);  // non-member owns nothing
+}
+
+TEST(PartitionMapTest, LosingANodeOnlyMovesItsOwnArcs) {
+  // Consistent hashing's point: removing node 3 must not reshuffle
+  // locations owned by 1 or 2.
+  PartitionMap full(make_config({1, 2, 3}, 1));
+  PartitionMap reduced(make_config({1, 2}, 1));
+  for (std::uint64_t location = 0; location < 2048; ++location) {
+    const std::uint64_t before = full.owner(location);
+    if (before != 3) {
+      EXPECT_EQ(reduced.owner(location), before)
+          << "location " << location << " moved needlessly";
+    } else {
+      const std::uint64_t after = reduced.owner(location);
+      EXPECT_TRUE(after == 1 || after == 2);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptm::cluster

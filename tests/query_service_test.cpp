@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -311,6 +313,141 @@ TEST(QueryService, IdempotentDuplicatesConflictsAndInvalidRecords) {
   EXPECT_EQ(metrics.ingest_duplicate_total, 1u);
   EXPECT_EQ(metrics.ingest_rejected_total, 2u);
   EXPECT_EQ(metrics.records_total, 1u);
+}
+
+TEST(QueryService, IngestReportsFirstAccept) {
+  const auto workload = make_workload();
+  QueryService service;
+  bool first = false;
+  ASSERT_TRUE(service.ingest(workload[0][0], {}, &first).is_ok());
+  EXPECT_TRUE(first);
+  // Duplicate: Ok, but NOT a first accept - the replication layer relies
+  // on this to never live-forward a re-delivered upload.
+  ASSERT_TRUE(service.ingest(workload[0][0], {}, &first).is_ok());
+  EXPECT_FALSE(first);
+  // Conflicts and invalid records are not first accepts either.
+  TrafficRecord conflicting = workload[0][0];
+  conflicting.bits = Bitmap(conflicting.bits.size());
+  EXPECT_FALSE(service.ingest(conflicting, {}, &first).is_ok());
+  EXPECT_FALSE(first);
+}
+
+TEST(QueryService, RecordsBatchWalksEveryShardInBoundedSteps) {
+  const auto workload = make_workload();
+  QueryServiceOptions options;
+  options.n_shards = 4;  // force multi-shard traversal
+  QueryService service(options);
+  std::size_t total = 0;
+  for (const auto& per_location : workload) {
+    for (const auto& record : per_location) {
+      ASSERT_TRUE(service.ingest(record).is_ok());
+      ++total;
+    }
+  }
+
+  QueryService::RecordCursor cursor;
+  std::size_t walked = 0;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  for (;;) {
+    const auto batch = service.records_batch(cursor, 3);
+    if (batch.empty()) break;
+    EXPECT_LE(batch.size(), 3u);
+    for (const auto& rec : batch) {
+      EXPECT_TRUE(seen.emplace(rec.location, rec.period).second)
+          << "duplicate (" << rec.location << ", " << rec.period << ")";
+      ++walked;
+    }
+  }
+  EXPECT_EQ(walked, total);
+  EXPECT_TRUE(service.records_batch(cursor, 3).empty());
+}
+
+TEST(QueryService, RecordsAtPeriodsCopiesStoredSubset) {
+  const auto workload = make_workload();
+  QueryService service;
+  for (const auto& record : workload[0]) {
+    ASSERT_TRUE(service.ingest(record).is_ok());
+  }
+  const std::uint64_t loc = workload[0][0].location;
+
+  // Explicit periods: stored ones come back, gaps are skipped silently.
+  const std::vector<std::uint64_t> asked{0, 2, 999};
+  const auto some = service.records_at_periods(loc, asked);
+  ASSERT_EQ(some.size(), 2u);
+  EXPECT_EQ(some[0].period, 0u);
+  EXPECT_EQ(some[1].period, 2u);
+  EXPECT_EQ(some[0].bits, workload[0][0].bits);
+
+  // Empty period list = everything stored, ascending.
+  const auto all = service.records_at_periods(loc, {});
+  ASSERT_EQ(all.size(), workload[0].size());
+  for (std::size_t p = 0; p < all.size(); ++p) {
+    EXPECT_EQ(all[p].period, p);
+  }
+  EXPECT_TRUE(service.records_at_periods(loc + 999, {}).empty());
+}
+
+TEST(QueryService, MergeCoverageUnionsRequestsAndIntersectsPresence) {
+  CoverageReport a;
+  a.requested = {1, 2, 3};
+  a.present = {1, 2};
+  a.missing = {3};
+  CoverageReport b;
+  b.requested = {2, 3, 4};
+  b.present = {2, 3};
+  b.missing = {4};
+
+  const CoverageReport merged = merge_coverage(a, b);
+  EXPECT_EQ(merged.requested, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+  // 3 is missing in `a`, 4 in `b`: a period is present only when no
+  // contributor counts it missing.
+  EXPECT_EQ(merged.present, (std::vector<std::uint64_t>{1, 2}));
+  EXPECT_EQ(merged.missing, (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_FALSE(merged.complete());
+
+  // Merging with an empty report is the identity.
+  const CoverageReport same = merge_coverage(a, CoverageReport{});
+  EXPECT_EQ(same.requested, a.requested);
+  EXPECT_EQ(same.present, a.present);
+  EXPECT_EQ(same.missing, a.missing);
+}
+
+TEST(QueryService, IngestProceedsWhileSlowConsumerSnapshots) {
+  // The PR 9 satellite fix: a snapshot consumer that stalls between
+  // batches must never hold a lock that blocks ingest.  The consumer
+  // thread walks with a tiny batch size and sleeps mid-iteration; the
+  // ingest thread must make progress during those sleeps.
+  const auto workload = make_workload();
+  QueryService service;
+  for (const auto& record : workload[0]) {
+    ASSERT_TRUE(service.ingest(record).is_ok());
+  }
+
+  std::atomic<bool> consumer_mid_walk{false};
+  std::atomic<bool> ingested_during_walk{false};
+  std::thread consumer([&] {
+    QueryService::RecordCursor cursor;
+    for (;;) {
+      const auto batch = service.records_batch(cursor, 1);
+      if (batch.empty()) break;
+      consumer_mid_walk.store(true);
+      // A congested follower: no lock is held across this sleep.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  std::thread ingester([&] {
+    while (!consumer_mid_walk.load()) std::this_thread::yield();
+    for (std::size_t i = 1; i < workload.size(); ++i) {
+      for (const auto& record : workload[i]) {
+        ASSERT_TRUE(service.ingest(record).is_ok());
+      }
+    }
+    ingested_during_walk.store(true);
+  });
+  ingester.join();
+  consumer.join();
+  EXPECT_TRUE(ingested_during_walk.load());
+  EXPECT_EQ(service.record_count(), workload.size() * kPeriods);
 }
 
 TEST(QueryService, MetricsTrackQueriesAndLatency) {

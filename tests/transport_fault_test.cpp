@@ -19,6 +19,7 @@
 
 #include "common/env.hpp"
 #include "common/random.hpp"
+#include "core/traffic_record.hpp"
 #include "crypto/certificate.hpp"
 #include "crypto/rsa.hpp"
 #include "net/message.hpp"
@@ -249,6 +250,108 @@ TEST(TransportFuzzTest, InvertedValidityWindowIsRejectedAtDecode) {
   const auto decoded = Certificate::deserialize(cert.serialize());
   ASSERT_FALSE(decoded.has_value());
   EXPECT_EQ(decoded.status().code(), ErrorCode::kInvalidArgument);
+}
+
+std::vector<WireMessage> replication_corpus() {
+  TrafficRecord rec;
+  rec.location = 11;
+  rec.period = 3;
+  rec.bits = Bitmap(128);
+  rec.bits.set(5);
+  rec.bits.set(77);
+  const std::vector<std::uint8_t> blob = rec.serialize();
+  return {
+      ReplSubscribe{7},
+      ReplRecord{1, blob},
+      ReplAck{9},
+      ReplSnapshotBegin{1000},
+      ReplSnapshotEnd{42},
+      RecordsRequest{5, {0, 1, 2}},
+      RecordsRequest{5, {}},  // "all periods" form
+      RecordsResponse{5, {blob, blob}},
+  };
+}
+
+TEST(TransportFuzzTest, BitFlippedReplicationEnvelopesNeverCrash) {
+  // The replication stream crosses the same trust boundary the upload
+  // path does - a compromised or corrupted peer node speaks it - so the
+  // kinds 12-18 codecs get the same adversarial treatment.
+  Xoshiro256 rng(0x4E91u);
+  const auto corpus = replication_corpus();
+  for (std::size_t iter = 0; iter < fuzz_iterations(); ++iter) {
+    auto mutated = encode_wire_message(corpus[iter % corpus.size()]);
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng.below(mutated.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    const auto decoded = decode_wire_message(mutated);
+    if (!decoded.has_value()) {
+      EXPECT_EQ(decoded.status().code(), ErrorCode::kParseError);
+    }
+  }
+}
+
+TEST(TransportFuzzTest, MutatedReplicationEnvelopesNeverCrash) {
+  // Beyond single flips: truncation and trailing garbage on every
+  // replication kind, mirroring what a torn or resynced-at-the-wrong-
+  // offset stream would feed the decoder.
+  Xoshiro256 rng(0x4E92u);
+  const auto corpus = replication_corpus();
+  for (std::size_t iter = 0; iter < fuzz_iterations(); ++iter) {
+    auto mutated = encode_wire_message(corpus[iter % corpus.size()]);
+    switch (rng.below(3)) {
+      case 0:
+        mutated.resize(rng.below(mutated.size()));
+        break;
+      case 1:
+        for (std::size_t g = 0, n = 1 + rng.below(16); g < n; ++g) {
+          mutated.push_back(static_cast<std::uint8_t>(rng.next()));
+        }
+        break;
+      default:
+        for (std::size_t f = 0, n = 1 + rng.below(8); f < n; ++f) {
+          if (mutated.empty()) break;
+          mutated[rng.below(mutated.size())] ^=
+              static_cast<std::uint8_t>(1u << rng.below(8));
+        }
+        break;
+    }
+    const auto decoded = decode_wire_message(mutated);
+    if (!decoded.has_value()) {
+      EXPECT_EQ(decoded.status().code(), ErrorCode::kParseError);
+    }
+  }
+}
+
+TEST(TransportFuzzTest, MutatedRecordBlobsInsideReplEnvelopesFailCleanly) {
+  // A structurally valid repl-record envelope can still carry a corrupt
+  // record blob; the follower's apply path runs it through
+  // TrafficRecord::deserialize, which must reject or round-trip - never
+  // fault - because a poisoned blob otherwise becomes archive contents.
+  Xoshiro256 rng(0x4E93u);
+  TrafficRecord rec;
+  rec.location = 21;
+  rec.period = 8;
+  rec.bits = Bitmap(256);
+  rec.bits.set(100);
+  const std::vector<std::uint8_t> good = rec.serialize();
+  for (std::size_t iter = 0; iter < fuzz_iterations(); ++iter) {
+    auto blob = good;
+    for (std::size_t f = 0, n = 1 + rng.below(6); f < n; ++f) {
+      blob[rng.below(blob.size())] ^=
+          static_cast<std::uint8_t>(1u << rng.below(8));
+    }
+    const auto envelope = encode_wire_message(ReplRecord{1, blob});
+    const auto decoded = decode_wire_message(envelope);
+    if (!decoded.has_value()) continue;  // envelope itself rejected
+    const auto* repl = std::get_if<ReplRecord>(&*decoded);
+    ASSERT_NE(repl, nullptr);
+    const auto record = TrafficRecord::deserialize(repl->record);
+    if (record.has_value()) {
+      EXPECT_TRUE(record->validate().is_ok());
+    }
+  }
 }
 
 class FaultInjectorTest : public ::testing::Test {

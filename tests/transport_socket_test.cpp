@@ -14,7 +14,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -493,6 +495,169 @@ TEST_F(PtmdServerTest, HardAcceptErrorBacksOffAndRecovers) {
   ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &hogs.saved), 0);
   auto rtt = conn.ping();
   EXPECT_TRUE(rtt.has_value()) << rtt.status().to_string();
+  server.stop();
+}
+
+/// Blocks (politely) until the non-blocking listener yields a connection.
+std::optional<Socket> accept_blocking(Socket& listener,
+                                      std::chrono::milliseconds timeout = 5s) {
+  const auto give_up = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < give_up) {
+    auto sock = listener.accept();
+    // accept() reports EAGAIN as an ok() but *invalid* Socket.
+    if (sock.has_value() && sock->valid()) return std::move(*sock);
+    std::this_thread::sleep_for(1ms);
+  }
+  return std::nullopt;
+}
+
+void write_all(Socket& sock, std::span<const std::uint8_t> bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    auto io = sock.write_some(bytes.subspan(off));
+    if (!io.has_value()) return;
+    off += io->bytes;
+    if (io->would_block) std::this_thread::sleep_for(1ms);
+  }
+}
+
+/// A minimal well-behaved peer: reads one frame, echoes the heartbeat.
+void serve_one_heartbeat(Socket& sock) {
+  StreamDecoder decoder;
+  std::uint8_t buf[512];
+  const auto give_up = std::chrono::steady_clock::now() + 5s;
+  while (std::chrono::steady_clock::now() < give_up) {
+    auto payload = decoder.next();
+    if (!payload.has_value()) return;  // poisoned: misbehaving client
+    if (payload->has_value()) {
+      auto message = decode_wire_message(**payload);
+      if (!message.has_value()) return;
+      const auto* hb = std::get_if<Heartbeat>(&*message);
+      if (hb == nullptr) return;
+      const auto reply = frame_payload(encode_wire_message(
+          HeartbeatAck{hb->nonce, hb->send_unix_ns}));
+      write_all(sock, reply);
+      return;
+    }
+    auto io = sock.read_some(buf);
+    if (!io.has_value()) return;
+    if (io->bytes > 0) {
+      decoder.feed(std::span<const std::uint8_t>(buf, io->bytes));
+    } else if (io->peer_closed) {
+      return;
+    } else {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+}
+
+TEST_F(PtmdServerTest, RedialAfterPoisonedStreamGetsFreshDecoder) {
+  // A poisoned StreamDecoder is permanent by design (a length-prefixed
+  // stream cannot resync), so the supervisor must give every redial a
+  // FRESH decoder - a carried-over poison would turn one garbage frame
+  // from a flaky server into a permanently dead client.
+  Endpoint ep = test_endpoint("poison");
+  auto listener = Socket::listen(ep);
+  ASSERT_TRUE(listener.has_value());
+
+  std::thread fake([&] {
+    // Session 1: answer with an oversize length prefix (4 GiB frame).
+    auto conn1 = accept_blocking(*listener);
+    if (!conn1.has_value()) return;
+    const std::uint8_t garbage[8] = {0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4};
+    write_all(*conn1, garbage);
+    // Session 2: a well-behaved peer.
+    auto conn2 = accept_blocking(*listener);
+    if (!conn2.has_value()) return;
+    serve_one_heartbeat(*conn2);
+  });
+
+  SupervisedConnection conn(ep, fast_tuning());
+  ASSERT_TRUE(conn.ensure_connected(Deadline::after(2s)).is_ok());
+  auto poisoned = conn.receive(Deadline::after(2s));
+  ASSERT_FALSE(poisoned.has_value());
+  EXPECT_EQ(poisoned.status().code(), ErrorCode::kParseError);
+  EXPECT_EQ(conn.state(), SupervisedConnection::State::kBroken);
+
+  // With the poison carried across the redial, this ping would fail
+  // instantly with another ParseError instead of round-tripping.
+  ASSERT_TRUE(conn.ensure_connected(Deadline::after(2s)).is_ok());
+  EXPECT_EQ(conn.connections_opened(), 2u);
+  auto rtt = conn.ping();
+  EXPECT_TRUE(rtt.has_value()) << rtt.status().to_string();
+  fake.join();
+}
+
+TEST_F(PtmdServerTest, GarbageLengthPrefixIsCountedAndClosesTheConn) {
+  // The server side of the same contract: a client that lies in its
+  // length prefix is counted in transport_protocol_errors_total and its
+  // connection is closed - garbage cannot be resynced, only dropped.
+  PtmdServer server(base_options("garbage"));
+  ASSERT_TRUE(server.start().is_ok());
+  Counter& protocol_errors =
+      server.telemetry().counter("transport_protocol_errors_total");
+
+  auto raw = Socket::connect(server.options().endpoint, 1000);
+  ASSERT_TRUE(raw.has_value());
+  const std::uint8_t garbage[8] = {0xFF, 0xFF, 0xFF, 0xFF, 9, 9, 9, 9};
+  write_all(*raw, garbage);
+
+  for (int i = 0; i < 2000 && protocol_errors.value() == 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  EXPECT_GE(protocol_errors.value(), 1u);
+
+  // The poisoned connection gets closed out from under the peer...
+  bool closed = false;
+  std::uint8_t buf[64];
+  for (int i = 0; i < 2000 && !closed; ++i) {
+    auto io = raw->read_some(buf);
+    if (!io.has_value()) {
+      closed = true;  // hard error: the close raced our read
+    } else if (io->peer_closed) {
+      closed = true;
+    } else {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  EXPECT_TRUE(closed);
+
+  // ...while the daemon itself stays healthy for everyone else.
+  SupervisedConnection probe(server.options().endpoint, fast_tuning());
+  ASSERT_TRUE(probe.ensure_connected(Deadline::after(2s)).is_ok());
+  EXPECT_TRUE(probe.ping().has_value());
+  server.stop();
+}
+
+TEST_F(PtmdServerTest, DuplicateReplEndpointIsAClearStartupError) {
+  PtmdOptions options = base_options("dupep");
+  options.repl_endpoint = options.endpoint;
+  PtmdServer server(std::move(options));
+  const Status status = server.start();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(PtmdServerTest, ReplListenerSpeaksTheFullProtocol) {
+  PtmdOptions options = base_options("replep");
+  options.repl_endpoint = test_endpoint("replep2");
+  PtmdServer server(std::move(options));
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Both listeners answer: clients on the ingest endpoint, subscribers
+  // (or anyone) on the replication endpoint.
+  SupervisedConnection client(server.options().endpoint, fast_tuning());
+  ASSERT_TRUE(client.ensure_connected(Deadline::after(2s)).is_ok());
+  EXPECT_TRUE(client.ping().has_value());
+
+  SupervisedConnection repl(*server.options().repl_endpoint, fast_tuning());
+  ASSERT_TRUE(repl.ensure_connected(Deadline::after(2s)).is_ok());
+  ASSERT_TRUE(repl.send(StatsRequest{}).is_ok());
+  auto reply = repl.receive(Deadline::after(2s));
+  ASSERT_TRUE(reply.has_value()) << reply.status().to_string();
+  EXPECT_NE(std::get<StatsResponse>(*reply).json.find(
+                "transport_repl_subscribers"),
+            std::string::npos);
   server.stop();
 }
 

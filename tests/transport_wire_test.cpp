@@ -82,6 +82,121 @@ TEST(TransportWireTest, V2IFrameRoundTrip) {
   EXPECT_EQ(std::get<RecordUpload>(inner.body).record, make_record(5, 2));
 }
 
+TEST(TransportWireTest, ReplicationMessagesRoundTrip) {
+  const auto sub = decode_wire_message(encode_wire_message(
+      ReplSubscribe{0xFEEDULL}));
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_EQ(std::get<ReplSubscribe>(*sub), (ReplSubscribe{0xFEEDULL}));
+
+  ReplRecord rec;
+  rec.seq = 42;
+  rec.record = make_record(5, 2).serialize();
+  const auto decoded = decode_wire_message(encode_wire_message(rec));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<ReplRecord>(*decoded), rec);
+  // The nested blob really is a record.
+  auto inner = TrafficRecord::deserialize(std::get<ReplRecord>(*decoded).record);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_EQ(inner->location, 5u);
+
+  const auto ack = decode_wire_message(encode_wire_message(ReplAck{42}));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_EQ(std::get<ReplAck>(*ack), (ReplAck{42}));
+
+  const auto begin =
+      decode_wire_message(encode_wire_message(ReplSnapshotBegin{100}));
+  ASSERT_TRUE(begin.has_value());
+  EXPECT_EQ(std::get<ReplSnapshotBegin>(*begin), (ReplSnapshotBegin{100}));
+
+  const auto end =
+      decode_wire_message(encode_wire_message(ReplSnapshotEnd{99}));
+  ASSERT_TRUE(end.has_value());
+  EXPECT_EQ(std::get<ReplSnapshotEnd>(*end), (ReplSnapshotEnd{99}));
+}
+
+TEST(TransportWireTest, RecordsMessagesRoundTrip) {
+  RecordsRequest req;
+  req.location = 7;
+  req.periods = {1, 2, 3};
+  const auto decoded_req = decode_wire_message(encode_wire_message(req));
+  ASSERT_TRUE(decoded_req.has_value());
+  EXPECT_EQ(std::get<RecordsRequest>(*decoded_req), req);
+
+  // Empty periods = "all stored periods" - must survive the codec.
+  req.periods.clear();
+  const auto all = decode_wire_message(encode_wire_message(req));
+  ASSERT_TRUE(all.has_value());
+  EXPECT_TRUE(std::get<RecordsRequest>(*all).periods.empty());
+
+  RecordsResponse resp;
+  resp.location = 7;
+  resp.records = {make_record(7, 1).serialize(), make_record(7, 2).serialize()};
+  const auto decoded_resp = decode_wire_message(encode_wire_message(resp));
+  ASSERT_TRUE(decoded_resp.has_value());
+  EXPECT_EQ(std::get<RecordsResponse>(*decoded_resp), resp);
+}
+
+TEST(TransportWireTest, ReplRecordRejectsZeroSeqAndEmptyRecord) {
+  ReplRecord zero_seq;
+  zero_seq.seq = 0;
+  zero_seq.record = make_record(1, 1).serialize();
+  EXPECT_FALSE(
+      decode_wire_message(encode_wire_message(zero_seq)).has_value());
+
+  ReplRecord empty;
+  empty.seq = 1;
+  EXPECT_FALSE(decode_wire_message(encode_wire_message(empty)).has_value());
+}
+
+TEST(TransportWireTest, RecordsRequestRejectsOversizeCount) {
+  // A count claiming more periods than the payload could possibly hold
+  // must fail cleanly instead of reserving gigabytes.
+  RecordsRequest req;
+  req.location = 1;
+  req.periods = {1};
+  auto bytes = encode_wire_message(req);
+  // kind(1) + location(8) + count(4): patch count to a huge value.
+  bytes[9] = 0xFF;
+  bytes[10] = 0xFF;
+  bytes[11] = 0xFF;
+  bytes[12] = 0x7F;
+  EXPECT_FALSE(decode_wire_message(bytes).has_value());
+}
+
+TEST(TransportWireTest, RecordsResponseRejectsOversizeCountAndEmptyBlob) {
+  RecordsResponse resp;
+  resp.location = 1;
+  resp.records = {make_record(1, 1).serialize()};
+  auto bytes = encode_wire_message(resp);
+  bytes[9] = 0xFF;
+  bytes[10] = 0xFF;
+  bytes[11] = 0xFF;
+  bytes[12] = 0x7F;
+  EXPECT_FALSE(decode_wire_message(bytes).has_value());
+
+  // A zero-length record blob is structurally meaningless.
+  resp.records = {{}};
+  EXPECT_FALSE(decode_wire_message(encode_wire_message(resp)).has_value());
+}
+
+TEST(TransportWireTest, ReplicationTruncationSweep) {
+  ReplRecord rec;
+  rec.seq = 3;
+  rec.record = make_record(9, 4).serialize();
+  for (const auto& msg : std::vector<WireMessage>{
+           ReplSubscribe{1}, rec, ReplAck{3}, ReplSnapshotBegin{10},
+           ReplSnapshotEnd{10}, RecordsRequest{4, {1, 2}},
+           RecordsResponse{4, {make_record(4, 1).serialize()}}}) {
+    const auto good = encode_wire_message(msg);
+    for (std::size_t len = 1; len < good.size(); ++len) {
+      std::vector<std::uint8_t> cut(good.begin(),
+                                    good.begin() + static_cast<long>(len));
+      EXPECT_FALSE(decode_wire_message(cut).has_value())
+          << "kind=" << wire_kind_name(wire_kind(msg)) << " len=" << len;
+    }
+  }
+}
+
 TEST(TransportWireTest, RejectsEmptyUnknownKindAndTruncation) {
   EXPECT_FALSE(decode_wire_message({}).has_value());
 
@@ -106,6 +221,12 @@ TEST(TransportWireTest, KindNames) {
   EXPECT_EQ(wire_kind(WireMessage{Heartbeat{}}), WireKind::kHeartbeat);
   EXPECT_EQ(wire_kind(WireMessage{StatsRequest{}}), WireKind::kStatsRequest);
   EXPECT_STREQ(wire_kind_name(WireKind::kUploadNack), "upload-nack");
+  EXPECT_EQ(wire_kind(WireMessage{ReplSubscribe{}}), WireKind::kReplSubscribe);
+  EXPECT_EQ(wire_kind(WireMessage{RecordsRequest{}}),
+            WireKind::kRecordsRequest);
+  EXPECT_STREQ(wire_kind_name(WireKind::kReplRecord), "repl-record");
+  EXPECT_STREQ(wire_kind_name(WireKind::kRecordsResponse),
+               "records-response");
 }
 
 TEST(TransportFramingTest, FramesRoundTripByteAtATime) {

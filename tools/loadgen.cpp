@@ -6,16 +6,21 @@
 //   loadgen --server unix:/tmp/ptmd.sock [--connections N] [--locations N]
 //           [--periods N] [--time_cap_ms N] [--seed N] [--json FILE]
 //           [--rev STRING] [--smoke] [--key FILE --cert FILE]
+//           [--cluster SPEC]
 //
 // --smoke shrinks the workload to a seconds-long CI gate and fails (exit
 // 1) unless every record was delivered.  --key / --cert (both or neither)
 // load PTM-KEY-V1 / PTM-CERT-V1 credentials shared by every worker so the
-// replay can target a ptmd running --require-auth.
+// replay can target a ptmd running --require-auth.  --cluster replaces
+// --server with a cluster membership spec (docs/cluster.md): each worker
+// routes records through a ClusterCoordinator - owner-first with replica
+// failover - instead of one raw connection.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 
+#include "cluster/loadgen.hpp"
 #include "crypto/keyfile.hpp"
 #include "transport/loadgen.hpp"
 
@@ -40,6 +45,7 @@ int main(int argc, char** argv) {
   std::string rev = "local";
   std::string key_path;
   std::string cert_path;
+  std::string cluster_spec;
   bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -52,6 +58,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--server") {
       server = next();
+    } else if (arg == "--cluster") {
+      cluster_spec = next();
     } else if (arg == "--connections") {
       options.connections =
           static_cast<std::size_t>(arg_u64(next(), "--connections"));
@@ -79,7 +87,8 @@ int main(int argc, char** argv) {
                    "               [--locations N] [--periods N]\n"
                    "               [--time_cap_ms N] [--seed N]\n"
                    "               [--json FILE] [--rev STR] [--smoke]\n"
-                   "               [--key FILE --cert FILE]\n";
+                   "               [--key FILE --cert FILE]\n"
+                   "               [--cluster SPEC]\n";
       return 0;
     } else {
       std::cerr << "loadgen: unknown flag " << arg << " (try --help)\n";
@@ -110,13 +119,28 @@ int main(int argc, char** argv) {
     options.credentials =
         ptm::transport::AuthCredentials{std::move(*keys), std::move(*cert)};
   }
-  auto endpoint = ptm::transport::parse_endpoint(server);
-  if (!endpoint) {
-    std::cerr << "loadgen: " << endpoint.status().to_string() << "\n";
-    return 2;
+  ptm::Result<ptm::transport::LoadgenReport> report =
+      ptm::transport::LoadgenReport{};
+  if (!cluster_spec.empty()) {
+    auto config = ptm::cluster::parse_cluster_spec(cluster_spec);
+    if (!config) {
+      std::cerr << "loadgen: --cluster: " << config.status().to_string()
+                << "\n";
+      return 2;
+    }
+    ptm::cluster::ClusterCoordinatorOptions coordinator;
+    coordinator.config = std::move(*config);
+    coordinator.credentials = options.credentials;
+    report = ptm::cluster::run_cluster_loadgen(coordinator, options);
+  } else {
+    auto endpoint = ptm::transport::parse_endpoint(server);
+    if (!endpoint) {
+      std::cerr << "loadgen: " << endpoint.status().to_string() << "\n";
+      return 2;
+    }
+    ptm::transport::LoadGenerator generator(*endpoint, options);
+    report = generator.run();
   }
-  ptm::transport::LoadGenerator generator(*endpoint, options);
-  auto report = generator.run();
   if (!report) {
     std::cerr << "loadgen: " << report.status().to_string() << "\n";
     return 1;

@@ -8,15 +8,24 @@
 // protocol.
 //
 //   ptmd --listen unix:/tmp/ptmd.sock --archive /var/lib/ptm/records.log
+//        [--repl-listen ENDPOINT]
 //        [--max_inflight N] [--ingest_threads N] [--shards N]
 //        [--pending_per_conn N] [--ingest_stall_us N] [--idle_timeout_ms N]
 //        [--ca-cert FILE] [--require-auth] [--auth-period N]
 //        [--auth-timeout-ms N]
+//        [--cluster SPEC --node-id N [--key FILE --cert FILE]]
 //
 // --ca-cert loads a PTM-PUB-V1 CA public key; with --require-auth every
 // connection must complete the §II-B challenge-response handshake before
 // its first v2i frame (see docs/transport.md).  --auth-period is the
 // measurement period certificates must cover.
+//
+// --cluster turns the daemon into one member of a location-sharded
+// cluster (docs/cluster.md): SPEC is the shared membership string
+// (`id@client_ep[@repl_ep];...`), --node-id picks which entry is this
+// process (its endpoints override --listen / --repl-listen), and
+// --key/--cert supply the credentials its *outbound* replication
+// subscriptions authenticate with when peers run --require-auth.
 //
 // The daemon prints "ready <endpoint>" on stdout once accepting (chaos
 // harnesses wait for that line), then runs until SIGINT/SIGTERM.
@@ -24,10 +33,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <semaphore>
 #include <string>
 #include <vector>
 
+#include "cluster/node.hpp"
 #include "crypto/keyfile.hpp"
 #include "transport/server.hpp"
 
@@ -52,6 +63,11 @@ std::uint64_t arg_u64(const char* text, const char* flag) {
 int main(int argc, char** argv) {
   ptm::transport::PtmdOptions options;
   std::string listen = "unix:/tmp/ptmd.sock";
+  std::string repl_listen;
+  std::string cluster_spec;
+  std::uint64_t node_id = 0;
+  std::string key_path;
+  std::string cert_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -63,6 +79,16 @@ int main(int argc, char** argv) {
     };
     if (arg == "--listen") {
       listen = next();
+    } else if (arg == "--repl-listen") {
+      repl_listen = next();
+    } else if (arg == "--cluster") {
+      cluster_spec = next();
+    } else if (arg == "--node-id") {
+      node_id = arg_u64(next(), "--node-id");
+    } else if (arg == "--key") {
+      key_path = next();
+    } else if (arg == "--cert") {
+      cert_path = next();
     } else if (arg == "--archive") {
       options.archive_path = next();
     } else if (arg == "--max_inflight") {
@@ -96,11 +122,14 @@ int main(int argc, char** argv) {
       options.auth_timeout_ms = arg_u64(next(), "--auth-timeout-ms");
     } else if (arg == "--help") {
       std::cout << "usage: ptmd --listen ENDPOINT [--archive FILE]\n"
+                   "            [--repl-listen ENDPOINT]\n"
                    "            [--max_inflight N] [--ingest_threads N]\n"
                    "            [--shards N] [--pending_per_conn N]\n"
                    "            [--ingest_stall_us N] [--idle_timeout_ms N]\n"
                    "            [--ca-cert FILE] [--require-auth]\n"
-                   "            [--auth-period N] [--auth-timeout-ms N]\n";
+                   "            [--auth-period N] [--auth-timeout-ms N]\n"
+                   "            [--cluster SPEC --node-id N\n"
+                   "             [--key FILE --cert FILE]]\n";
       return 0;
     } else {
       std::cerr << "ptmd: unknown flag " << arg << " (try --help)\n";
@@ -113,6 +142,73 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.endpoint = *endpoint;
+  if (!repl_listen.empty()) {
+    auto repl = ptm::transport::parse_endpoint(repl_listen);
+    if (!repl) {
+      std::cerr << "ptmd: --repl-listen: " << repl.status().to_string()
+                << "\n";
+      return 2;
+    }
+    options.repl_endpoint = *repl;
+  }
+  if (key_path.empty() != cert_path.empty()) {
+    std::cerr << "ptmd: --key and --cert must be given together\n";
+    return 2;
+  }
+  std::optional<ptm::transport::AuthCredentials> credentials;
+  if (!key_path.empty()) {
+    auto keys = ptm::load_keypair_file(key_path);
+    if (!keys) {
+      std::cerr << "ptmd: --key: " << keys.status().to_string() << "\n";
+      return 2;
+    }
+    auto cert = ptm::load_certificate_file(cert_path);
+    if (!cert) {
+      std::cerr << "ptmd: --cert: " << cert.status().to_string() << "\n";
+      return 2;
+    }
+    credentials =
+        ptm::transport::AuthCredentials{std::move(*keys), std::move(*cert)};
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  if (!cluster_spec.empty()) {
+    if (node_id == 0) {
+      std::cerr << "ptmd: --cluster needs --node-id\n";
+      return 2;
+    }
+    auto config = ptm::cluster::parse_cluster_spec(cluster_spec);
+    if (!config) {
+      std::cerr << "ptmd: --cluster: " << config.status().to_string() << "\n";
+      return 2;
+    }
+    ptm::cluster::ClusterNodeOptions node_options;
+    node_options.config = std::move(*config);
+    node_options.node_id = node_id;
+    node_options.server = std::move(options);
+    node_options.credentials = std::move(credentials);
+    auto node = ptm::cluster::ClusterNode::create(std::move(node_options));
+    if (!node) {
+      std::cerr << "ptmd: " << node.status().to_string() << "\n";
+      return 2;
+    }
+    if (ptm::Status s = (*node)->start(); !s.is_ok()) {
+      std::cerr << "ptmd: " << s.to_string() << "\n";
+      return 1;
+    }
+    auto& server = (*node)->server();
+    if (server.restored_records() > 0) {
+      std::cout << "restored " << server.restored_records()
+                << " records from archive\n";
+    }
+    std::cout << "ready " << server.options().endpoint.to_string()
+              << std::endl;
+    g_shutdown.acquire();
+    (*node)->stop();
+    return 0;
+  }
 
   ptm::transport::PtmdServer server(std::move(options));
   if (ptm::Status s = server.start(); !s.is_ok()) {
@@ -125,8 +221,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "ready " << server.options().endpoint.to_string() << std::endl;
 
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
   g_shutdown.acquire();
   server.stop();
   return 0;
